@@ -1,0 +1,699 @@
+//! EOSAFE's bounded static symbolic executor.
+//!
+//! Unlike WASAI's trace replay, this explores *all* statically reachable
+//! paths of a function (He et al., USENIX Security '21): every value is a
+//! term over the entry parameters and fresh unknowns, both arms of every
+//! branch are followed, loops are unrolled a fixed number of times and
+//! exploration stops at a path/step budget — the "path explosion" and
+//! "timeout" behaviours the WASAI evaluation measures (§4.2–4.3).
+
+use wasai_smt::{BvOp, CmpOp, TermId, TermPool};
+use wasai_symex::SymMemory;
+use wasai_wasm::instr::{Instr, InstrClass};
+use wasai_wasm::module::{ImportDesc, Module};
+use wasai_wasm::types::ValType;
+
+/// Exploration budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Maximum number of completed paths before declaring a timeout.
+    pub max_paths: usize,
+    /// Maximum instructions along one path.
+    pub max_steps: u64,
+    /// Maximum call-inlining depth.
+    pub max_call_depth: u32,
+    /// Loop unroll factor.
+    pub unroll: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { max_paths: 64, max_steps: 8_000, max_call_depth: 4, unroll: 2 }
+    }
+}
+
+/// What one explored path observed.
+#[derive(Debug, Clone, Default)]
+pub struct PathSummary {
+    /// Path constraints (branch conditions as taken).
+    pub constraints: Vec<TermId>,
+    /// Host-API names invoked, in order.
+    pub api_calls: Vec<String>,
+    /// Operand pairs of every `i64.eq`/`i64.ne` executed (guard detection).
+    pub guard_compares: Vec<(TermId, TermId)>,
+}
+
+/// Result of exploring one function.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Completed paths (up to the budget).
+    pub paths: Vec<PathSummary>,
+    /// True when a budget was exhausted — the EOSAFE "timeout".
+    pub timeout: bool,
+    /// The pool owning all terms in the summaries.
+    pub pool: TermPool,
+}
+
+struct Explorer<'m> {
+    module: &'m Module,
+    cfg: ExecConfig,
+    pool: TermPool,
+    paths: Vec<PathSummary>,
+    timeout: bool,
+    fresh: u32,
+    import_names: Vec<String>,
+}
+
+#[derive(Clone)]
+struct PathState {
+    stack: Vec<TermId>,
+    locals: Vec<TermId>,
+    labels: Vec<Label>,
+    mem: SymMemory,
+    summary: PathSummary,
+    steps: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Label {
+    height: usize,
+    arity: usize,
+    target: u32,
+    /// For loops: the pc just past the matching `end` (unroll exit).
+    exit: u32,
+    is_loop: bool,
+    visits: u32,
+}
+
+impl<'m> Explorer<'m> {
+    fn fresh_var(&mut self, width: u32) -> TermId {
+        self.fresh += 1;
+        let name = format!("u{}", self.fresh);
+        self.pool.var(&name, width)
+    }
+
+    fn zero(&mut self, t: ValType) -> TermId {
+        self.pool.bv_const(0, t.bit_width().max(32))
+    }
+
+    /// Explore `func` with `state`, starting at `pc`. Forks recursively.
+    #[allow(clippy::too_many_lines)]
+    fn walk(&mut self, func: u32, mut state: PathState, mut pc: u32, depth: u32) {
+        if self.paths.len() >= self.cfg.max_paths {
+            self.timeout = true;
+            return;
+        }
+        let Some(f) = self.module.local_func(func) else {
+            self.paths.push(state.summary);
+            return;
+        };
+        let body_len = f.body.len() as u32;
+        // Precompute structured targets (else/end) for this function.
+        let targets = control_targets(&f.body);
+
+        while pc < body_len {
+            state.steps += 1;
+            if state.steps > self.cfg.max_steps {
+                self.timeout = true;
+                self.paths.push(state.summary);
+                return;
+            }
+            let instr = f.body[pc as usize].clone();
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Unreachable => {
+                    // Path terminates (EOSAFE still records it).
+                    self.paths.push(state.summary);
+                    return;
+                }
+                Instr::Nop => {}
+                Instr::Block(bt) => state.labels.push(Label {
+                    height: state.stack.len(),
+                    arity: bt.arity(),
+                    target: targets[pc as usize].1 + 1,
+                    exit: targets[pc as usize].1 + 1,
+                    is_loop: false,
+                    visits: 0,
+                }),
+                Instr::Loop(_) => state.labels.push(Label {
+                    height: state.stack.len(),
+                    arity: 0,
+                    target: pc,
+                    exit: targets[pc as usize].1 + 1,
+                    is_loop: true,
+                    visits: 0,
+                }),
+                Instr::If(bt) => {
+                    let cond = state.stack.pop().unwrap_or_else(|| self.zero(ValType::I32));
+                    let (else_pc, end_pc) = targets[pc as usize];
+                    let zero = self.pool.bv_const(0, 32);
+                    let taken_c = self.pool.ne(cond, zero);
+                    let skip_c = self.pool.eq(cond, zero);
+                    // Fork: else/skip arm first (bounded recursion), then
+                    // continue this state through the then-arm.
+                    if self.paths.len() < self.cfg.max_paths {
+                        let mut other = state.clone();
+                        if self.pool.as_const(skip_c) != Some(0) {
+                            other.summary.constraints.push(skip_c);
+                            if else_pc != u32::MAX {
+                                other.labels.push(Label {
+                                    height: other.stack.len(),
+                                    arity: bt.arity(),
+                                    target: end_pc + 1,
+                                    exit: end_pc + 1,
+                                    is_loop: false,
+                                    visits: 0,
+                                });
+                                self.walk(func, other, else_pc + 1, depth);
+                            } else {
+                                self.walk(func, other, end_pc + 1, depth);
+                            }
+                        }
+                    } else {
+                        self.timeout = true;
+                    }
+                    if self.pool.as_const(taken_c) == Some(0) {
+                        // Then-arm statically impossible; this state is done.
+                        return;
+                    }
+                    state.summary.constraints.push(taken_c);
+                    state.labels.push(Label {
+                        height: state.stack.len(),
+                        arity: bt.arity(),
+                        target: end_pc + 1,
+                        exit: end_pc + 1,
+                        is_loop: false,
+                        visits: 0,
+                    });
+                }
+                Instr::Else => {
+                    // Fallthrough from the then-arm: jump past end.
+                    let lab = state.labels.pop().expect("if label");
+                    next_pc = lab.target;
+                }
+                Instr::End => {
+                    if let Some(lab) = state.labels.pop() {
+                        let keep = lab.arity.min(state.stack.len());
+                        let kept = state.stack.split_off(state.stack.len() - keep);
+                        state.stack.truncate(lab.height);
+                        state.stack.extend(kept);
+                    }
+                }
+                Instr::Br(l) => match self.do_branch(&mut state, l) {
+                    Some(t) => next_pc = t,
+                    None => {
+                        self.paths.push(state.summary);
+                        return;
+                    }
+                },
+                Instr::BrIf(l) => {
+                    let cond = state.stack.pop().unwrap_or_else(|| self.zero(ValType::I32));
+                    let zero = self.pool.bv_const(0, 32);
+                    let taken_c = self.pool.ne(cond, zero);
+                    let skip_c = self.pool.eq(cond, zero);
+                    // Fork the taken side; continue with not-taken.
+                    if self.pool.as_const(taken_c) != Some(0)
+                        && self.paths.len() < self.cfg.max_paths
+                    {
+                        let mut other = state.clone();
+                        other.summary.constraints.push(taken_c);
+                        match self.do_branch(&mut other, l) {
+                            Some(t) => self.walk(func, other, t, depth),
+                            None => self.paths.push(other.summary),
+                        }
+                    }
+                    if self.pool.as_const(skip_c) == Some(0) {
+                        return;
+                    }
+                    state.summary.constraints.push(skip_c);
+                }
+                Instr::BrTable(_, default) => {
+                    state.stack.pop();
+                    // Follow only the default label (bounded abstraction).
+                    match self.do_branch(&mut state, default) {
+                        Some(t) => next_pc = t,
+                        None => {
+                            self.paths.push(state.summary);
+                            return;
+                        }
+                    }
+                }
+                Instr::Return => {
+                    self.paths.push(state.summary);
+                    return;
+                }
+                Instr::Call(callee) => {
+                    let ft = self.module.func_type(callee).cloned().unwrap_or_default();
+                    let n = ft.params.len().min(state.stack.len());
+                    let args = state.stack.split_off(state.stack.len() - n);
+                    if let Some(name) = self.import_names.get(callee as usize) {
+                        let name = name.clone();
+                        if name == "eosio_assert" {
+                            if let Some(&cond) = args.first() {
+                                let zero = self.pool.bv_const(0, 32);
+                                let c = self.pool.ne(cond, zero);
+                                state.summary.constraints.push(c);
+                            }
+                        }
+                        state.summary.api_calls.push(name);
+                        for r in &ft.results {
+                            let v = self.fresh_var(r.bit_width());
+                            state.stack.push(v);
+                        }
+                    } else if depth < self.cfg.max_call_depth {
+                        // Inline the callee: explore it flatly by treating
+                        // its effects abstractly (API calls recorded through
+                        // a nested exploration of its straight-line summary
+                        // would fork again; to stay bounded, record a marker
+                        // and approximate results).
+                        self.inline_call(&mut state, callee, args, depth + 1);
+                        for r in &ft.results {
+                            let v = self.fresh_var(r.bit_width());
+                            state.stack.push(v);
+                        }
+                    } else {
+                        for r in &ft.results {
+                            let v = self.fresh_var(r.bit_width());
+                            state.stack.push(v);
+                        }
+                    }
+                }
+                Instr::CallIndirect(type_idx) => {
+                    let ft = self.module.types.get(type_idx as usize).cloned().unwrap_or_default();
+                    state.stack.pop(); // table index
+                    let n = ft.params.len().min(state.stack.len());
+                    let _ = state.stack.split_off(state.stack.len() - n);
+                    state.summary.api_calls.push("call_indirect".into());
+                    for r in &ft.results {
+                        let v = self.fresh_var(r.bit_width());
+                        state.stack.push(v);
+                    }
+                }
+                Instr::Drop => {
+                    state.stack.pop();
+                }
+                Instr::Select => {
+                    let c = state.stack.pop();
+                    let b = state.stack.pop();
+                    let a = state.stack.pop();
+                    match (a, b, c) {
+                        (Some(a), Some(b), Some(c)) => {
+                            let zero = self.pool.bv_const(0, 32);
+                            let cond = self.pool.ne(c, zero);
+                            let v = self.pool.ite(cond, a, b);
+                            state.stack.push(v);
+                        }
+                        _ => {
+                            let v = self.fresh_var(64);
+                            state.stack.push(v);
+                        }
+                    }
+                }
+                Instr::LocalGet(x) => {
+                    let v = state
+                        .locals
+                        .get(x as usize)
+                        .copied()
+                        .unwrap_or_else(|| self.pool.bv_const(0, 64));
+                    state.stack.push(v);
+                }
+                Instr::LocalSet(x) => {
+                    let v = state.stack.pop().unwrap_or_else(|| self.zero(ValType::I64));
+                    set_local(&mut state.locals, x, v, &mut self.pool);
+                }
+                Instr::LocalTee(x) => {
+                    let v = *state.stack.last().expect("tee operand");
+                    set_local(&mut state.locals, x, v, &mut self.pool);
+                }
+                Instr::GlobalGet(_) | Instr::MemorySize => {
+                    let v = self.fresh_var(32);
+                    state.stack.push(v);
+                }
+                Instr::GlobalSet(_) => {
+                    state.stack.pop();
+                }
+                Instr::MemoryGrow => {
+                    state.stack.pop();
+                    let v = self.fresh_var(32);
+                    state.stack.push(v);
+                }
+                Instr::I32Const(v) => state.stack.push(self.pool.bv_const(v as u32 as u64, 32)),
+                Instr::I64Const(v) => state.stack.push(self.pool.bv_const(v as u64, 64)),
+                Instr::F32Const(_) | Instr::F64Const(_) => {
+                    let v = self.fresh_var(64);
+                    state.stack.push(v);
+                }
+                ref other if other.memory_access().is_some() => {
+                    self.memory_op(&mut state, other);
+                }
+                ref other => match other.class() {
+                    InstrClass::Unary => {
+                        let a = state.stack.pop().unwrap_or_else(|| self.zero(ValType::I64));
+                        let v = self.unary_term(other, a);
+                        state.stack.push(v);
+                    }
+                    InstrClass::Binary => {
+                        let b = state.stack.pop().unwrap_or_else(|| self.zero(ValType::I64));
+                        let a = state.stack.pop().unwrap_or_else(|| self.zero(ValType::I64));
+                        if other.is_i64_guard_compare() {
+                            state.summary.guard_compares.push((a, b));
+                        }
+                        let v = self.binary_term(other, a, b);
+                        state.stack.push(v);
+                    }
+                    _ => {}
+                },
+            }
+            pc = next_pc;
+        }
+        self.paths.push(state.summary);
+    }
+
+    /// Abstractly inline a local call: record its API usage without forking
+    /// (a linear scan of the callee body, the common EOSAFE summarization).
+    fn inline_call(&mut self, state: &mut PathState, callee: u32, args: Vec<TermId>, depth: u32) {
+        let Some(f) = self.module.local_func(callee) else { return };
+        if depth > self.cfg.max_call_depth {
+            return;
+        }
+        // Track the callee's guard compares over its parameters.
+        let mut locals = args;
+        for l in &f.locals {
+            let z = self.pool.bv_const(0, l.bit_width().max(32));
+            locals.push(z);
+        }
+        let mut stack: Vec<TermId> = Vec::new();
+        for instr in &f.body {
+            state.steps += 1;
+            if state.steps > self.cfg.max_steps {
+                self.timeout = true;
+                return;
+            }
+            match instr {
+                Instr::LocalGet(x) => {
+                    let v = locals
+                        .get(*x as usize)
+                        .copied()
+                        .unwrap_or_else(|| self.pool.bv_const(0, 64));
+                    stack.push(v);
+                }
+                Instr::LocalSet(x) => {
+                    if let Some(v) = stack.pop() {
+                        set_local(&mut locals, *x, v, &mut self.pool);
+                    }
+                }
+                Instr::LocalTee(x) => {
+                    if let Some(&v) = stack.last() {
+                        set_local(&mut locals, *x, v, &mut self.pool);
+                    }
+                }
+                Instr::I32Const(v) => stack.push(self.pool.bv_const(*v as u32 as u64, 32)),
+                Instr::I64Const(v) => stack.push(self.pool.bv_const(*v as u64, 64)),
+                Instr::Call(c2) => {
+                    if let Some(name) = self.import_names.get(*c2 as usize) {
+                        state.summary.api_calls.push(name.clone());
+                        let ft = self.module.func_type(*c2).cloned().unwrap_or_default();
+                        let keep = stack.len().saturating_sub(ft.params.len());
+                        stack.truncate(keep);
+                        for r in &ft.results {
+                            let v = self.fresh_var(r.bit_width());
+                            stack.push(v);
+                        }
+                    } else {
+                        let remaining: Vec<TermId> = Vec::new();
+                        self.inline_call(state, *c2, remaining, depth + 1);
+                    }
+                }
+                i if i.is_i64_guard_compare() => {
+                    let b = stack.pop();
+                    let a = stack.pop();
+                    if let (Some(a), Some(b)) = (a, b) {
+                        state.summary.guard_compares.push((a, b));
+                        let v = self.binary_term(i, a, b);
+                        stack.push(v);
+                    }
+                }
+                i => match i.class() {
+                    InstrClass::Binary => {
+                        let b = stack.pop();
+                        let a = stack.pop();
+                        if let (Some(a), Some(b)) = (a, b) {
+                            let v = self.binary_term(i, a, b);
+                            stack.push(v);
+                        }
+                    }
+                    InstrClass::Unary => {
+                        if let Some(a) = stack.pop() {
+                            let v = self.unary_term(i, a);
+                            stack.push(v);
+                        }
+                    }
+                    InstrClass::Const => {}
+                    InstrClass::Load => {
+                        stack.pop();
+                        let v = self.fresh_var(64);
+                        stack.push(v);
+                    }
+                    InstrClass::Store => {
+                        stack.pop();
+                        stack.pop();
+                    }
+                    InstrClass::Drop => {
+                        stack.pop();
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    fn memory_op(&mut self, state: &mut PathState, instr: &Instr) {
+        let acc = instr.memory_access().expect("memory instr");
+        let offset = instr.mem_arg().expect("memarg").offset as u64;
+        if acc.is_store {
+            let value = state.stack.pop().unwrap_or_else(|| self.zero(acc.val_type));
+            let addr = state.stack.pop();
+            if let Some(a) = addr.and_then(|a| self.pool.as_const(a)) {
+                let w = acc.val_type.bit_width();
+                let v = if self.pool.sort(value).width() != w {
+                    // Defensive width fix for under-approximated stacks.
+                    self.fresh_var(w)
+                } else {
+                    value
+                };
+                let stored = if acc.bytes * 8 < w {
+                    self.pool.extract(v, acc.bytes * 8 - 1, 0)
+                } else {
+                    v
+                };
+                state.mem.store(&mut self.pool, a + offset, acc.bytes, stored);
+            }
+        } else {
+            let addr = state.stack.pop();
+            let loaded = addr
+                .and_then(|a| self.pool.as_const(a))
+                .and_then(|a| state.mem.load(&mut self.pool, a + offset, acc.bytes));
+            let w = acc.val_type.bit_width();
+            let v = match loaded {
+                Some(t) => {
+                    let add = w - acc.bytes * 8;
+                    if add == 0 {
+                        t
+                    } else if acc.signed {
+                        self.pool.sign_ext(t, add)
+                    } else {
+                        self.pool.zero_ext(t, add)
+                    }
+                }
+                None => self.fresh_var(w),
+            };
+            state.stack.push(v);
+        }
+    }
+
+    fn do_branch(&mut self, state: &mut PathState, l: u32) -> Option<u32> {
+        if state.labels.len() <= l as usize {
+            return None;
+        }
+        let idx = state.labels.len() - 1 - l as usize;
+        let lab = state.labels[idx];
+        if lab.is_loop {
+            state.stack.truncate(lab.height);
+            state.labels[idx].visits += 1;
+            if state.labels[idx].visits >= self.cfg.unroll {
+                // Stop unrolling: continue past the loop's `end`.
+                state.labels.truncate(idx);
+                return Some(lab.exit);
+            }
+            state.labels.truncate(idx + 1);
+            Some(lab.target + 1)
+        } else {
+            let keep = lab.arity.min(state.stack.len());
+            let kept = state.stack.split_off(state.stack.len() - keep);
+            state.stack.truncate(lab.height);
+            state.stack.extend(kept);
+            state.labels.truncate(idx);
+            Some(lab.target)
+        }
+    }
+
+    fn unary_term(&mut self, instr: &Instr, a: TermId) -> TermId {
+        match instr {
+            Instr::I32Eqz | Instr::I64Eqz => {
+                let w = self.pool.sort(a).width();
+                let zero = self.pool.bv_const(0, w);
+                let c = self.pool.eq(a, zero);
+                self.pool.bool_to_bv(c, 32)
+            }
+            Instr::I32Popcnt | Instr::I64Popcnt => self.pool.popcnt(a),
+            Instr::I32WrapI64 if self.pool.sort(a).width() == 64 => self.pool.extract(a, 31, 0),
+            Instr::I64ExtendI32S if self.pool.sort(a).width() == 32 => self.pool.sign_ext(a, 32),
+            Instr::I64ExtendI32U if self.pool.sort(a).width() == 32 => self.pool.zero_ext(a, 32),
+            _ => {
+                let w = result_width(instr);
+                self.fresh_var(w)
+            }
+        }
+    }
+
+    fn binary_term(&mut self, instr: &Instr, a: TermId, b: TermId) -> TermId {
+        use Instr::*;
+        let (wa, wb) = (self.pool.sort(a).width(), self.pool.sort(b).width());
+        if wa != wb {
+            return self.fresh_var(result_width(instr));
+        }
+        let bv = |s: &mut Self, op: BvOp| s.pool.bv(op, a, b);
+        let cmp = |s: &mut Self, op: CmpOp, swap: bool| {
+            let (x, y) = if swap { (b, a) } else { (a, b) };
+            let c = s.pool.cmp(op, x, y);
+            s.pool.bool_to_bv(c, 32)
+        };
+        match instr {
+            I32Add | I64Add => bv(self, BvOp::Add),
+            I32Sub | I64Sub => bv(self, BvOp::Sub),
+            I32Mul | I64Mul => bv(self, BvOp::Mul),
+            I32And | I64And => bv(self, BvOp::And),
+            I32Or | I64Or => bv(self, BvOp::Or),
+            I32Xor | I64Xor => bv(self, BvOp::Xor),
+            I32Shl | I64Shl => bv(self, BvOp::Shl),
+            I32ShrS | I64ShrS => bv(self, BvOp::AShr),
+            I32ShrU | I64ShrU => bv(self, BvOp::LShr),
+            I32Eq | I64Eq => cmp(self, CmpOp::Eq, false),
+            I32Ne | I64Ne => {
+                let c = self.pool.ne(a, b);
+                self.pool.bool_to_bv(c, 32)
+            }
+            I32LtS | I64LtS => cmp(self, CmpOp::Slt, false),
+            I32LtU | I64LtU => cmp(self, CmpOp::Ult, false),
+            I32GtS | I64GtS => cmp(self, CmpOp::Slt, true),
+            I32GtU | I64GtU => cmp(self, CmpOp::Ult, true),
+            I32LeS | I64LeS => cmp(self, CmpOp::Sle, false),
+            I32LeU | I64LeU => cmp(self, CmpOp::Ule, false),
+            I32GeS | I64GeS => cmp(self, CmpOp::Sle, true),
+            I32GeU | I64GeU => cmp(self, CmpOp::Ule, true),
+            _ => self.fresh_var(result_width(instr)),
+        }
+    }
+}
+
+fn result_width(instr: &Instr) -> u32 {
+    if instr.mnemonic().starts_with("i64") {
+        64
+    } else {
+        32
+    }
+}
+
+fn set_local(locals: &mut Vec<TermId>, x: u32, v: TermId, pool: &mut TermPool) {
+    while locals.len() <= x as usize {
+        let z = pool.bv_const(0, 64);
+        locals.push(z);
+    }
+    locals[x as usize] = v;
+}
+
+/// `(else_pc or u32::MAX, end_pc)` for structured instructions.
+fn control_targets(body: &[Instr]) -> Vec<(u32, u32)> {
+    let mut out = vec![(u32::MAX, 0u32); body.len()];
+    let mut stack: Vec<u32> = Vec::new();
+    for (pc, i) in body.iter().enumerate() {
+        match i {
+            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => stack.push(pc as u32),
+            Instr::Else => {
+                if let Some(&open) = stack.last() {
+                    out[open as usize].0 = pc as u32;
+                }
+            }
+            Instr::End => {
+                if let Some(open) = stack.pop() {
+                    out[open as usize].1 = pc as u32;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Explore a function: entry parameters become symbolic variables named
+/// `p0..pn` (so oracles can recognize guard compares over parameters).
+pub fn explore(module: &Module, func: u32, cfg: ExecConfig) -> ExploreResult {
+    let mut pool = TermPool::new();
+    let params: Vec<TermId> = match module.func_type(func) {
+        Some(ft) => ft
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| pool.var(&format!("p{i}"), p.bit_width()))
+            .collect(),
+        None => Vec::new(),
+    };
+    let mut locals = params;
+    if let Some(f) = module.local_func(func) {
+        for l in &f.locals {
+            let z = pool.bv_const(0, l.bit_width());
+            locals.push(z);
+        }
+    }
+    let import_names: Vec<String> = (0..module.num_imported_funcs())
+        .map(|i| module.imported_func(i).map(|imp| imp.name.clone()).unwrap_or_default())
+        .collect();
+    let mut ex = Explorer {
+        module,
+        cfg,
+        pool,
+        paths: Vec::new(),
+        timeout: false,
+        fresh: 0,
+        import_names,
+    };
+    let state = PathState {
+        stack: Vec::new(),
+        locals,
+        labels: Vec::new(),
+        mem: SymMemory::new(),
+        summary: PathSummary::default(),
+        steps: 0,
+    };
+    ex.walk(func, state, 0, 0);
+    ExploreResult { paths: ex.paths, timeout: ex.timeout, pool: ex.pool }
+}
+
+/// The import check used by the dispatcher heuristic.
+pub fn import_index(module: &Module, name: &str) -> Option<u32> {
+    (0..module.num_imported_funcs()).find(|&i| {
+        module
+            .imported_func(i)
+            .map(|imp| imp.name == name)
+            .unwrap_or(false)
+    })
+}
+
+/// True if the module imports anything besides `env` Wasm intrinsics —
+/// unused helper kept for the oracle layer.
+pub fn has_import(module: &Module, name: &str) -> bool {
+    import_index(module, name).is_some()
+}
+
+#[allow(unused)]
+fn unused_import_desc(_: &ImportDesc) {}

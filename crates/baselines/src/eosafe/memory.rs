@@ -1,0 +1,143 @@
+//! EOSAFE's memory model, reimplemented for the ablation benchmark.
+//!
+//! Per §3.2: EOSAFE "adopts a mapping structure to map the address and the
+//! memory content … in each memory access, it needs to search all items in
+//! its memory model to merge the overlapped contents". This list-of-writes
+//! model is O(writes) per load; WASAI's concrete-address byte map
+//! (`wasai_symex::SymMemory`) is O(log n). The `memory_model` Criterion
+//! bench quantifies the gap the paper claims.
+
+use wasai_smt::{TermId, TermPool};
+
+/// One recorded write: `(address, size, value-term)`.
+type WriteEntry = (u64, u32, TermId);
+
+/// The merge-on-access memory model.
+#[derive(Debug, Default, Clone)]
+pub struct RangeMemory {
+    writes: Vec<WriteEntry>,
+}
+
+impl RangeMemory {
+    /// An empty model.
+    pub fn new() -> Self {
+        RangeMemory::default()
+    }
+
+    /// Number of recorded writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Record a store of `size` bytes (term width `size * 8`) at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width does not match `size`.
+    pub fn store(&mut self, pool: &TermPool, addr: u64, size: u32, value: TermId) {
+        assert_eq!(pool.sort(value).width(), size * 8, "store width mismatch");
+        self.writes.push((addr, size, value));
+    }
+
+    /// Load `size` bytes at `addr`, merging all overlapping prior writes
+    /// (latest wins per byte). Returns `None` when no byte is covered.
+    pub fn load(&mut self, pool: &mut TermPool, addr: u64, size: u32) -> Option<TermId> {
+        let mut any = false;
+        let mut result: Option<TermId> = None;
+        for i in (0..size).rev() {
+            let byte_addr = addr + i as u64;
+            // Scan the WHOLE write list for the latest covering entry —
+            // the O(n) merge the paper calls out.
+            let mut byte: Option<TermId> = None;
+            for &(waddr, wsize, value) in self.writes.iter().rev() {
+                if byte_addr >= waddr && byte_addr < waddr + wsize as u64 {
+                    let k = (byte_addr - waddr) as u32;
+                    byte = Some(pool.extract(value, k * 8 + 7, k * 8));
+                    break;
+                }
+            }
+            let byte = match byte {
+                Some(b) => {
+                    any = true;
+                    b
+                }
+                None => pool.bv_const(0, 8),
+            };
+            result = Some(match result {
+                None => byte,
+                Some(hi) => pool.concat(hi, byte),
+            });
+        }
+        if any {
+            result
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_merge_matches_symmemory_semantics() {
+        // Same §3.2 example the fast model is tested with.
+        let mut pool = TermPool::new();
+        let mut mem = RangeMemory::new();
+        let zeros = pool.bv_const(0x0000, 16);
+        let ones = pool.bv_const(0xffff, 16);
+        mem.store(&pool, 10, 2, zeros);
+        mem.store(&pool, 11, 2, ones);
+        let loaded = mem.load(&mut pool, 10, 2).expect("covered");
+        assert_eq!(pool.as_const(loaded), Some(0xff00));
+    }
+
+    #[test]
+    fn uncovered_load_is_none() {
+        let mut pool = TermPool::new();
+        let mut mem = RangeMemory::new();
+        assert_eq!(mem.load(&mut pool, 64, 8), None);
+    }
+
+    #[test]
+    fn agrees_with_fast_model_on_random_workload() {
+        use wasai_symex::SymMemory;
+        let mut pool = TermPool::new();
+        let mut slow = RangeMemory::new();
+        let mut fast = SymMemory::new();
+        let mut lcg = 0x2545f4914f6cdd1du64;
+        let mut rnd = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lcg >> 33
+        };
+        for _ in 0..200 {
+            let addr = rnd() % 256;
+            let size = [1u32, 2, 4, 8][(rnd() % 4) as usize];
+            if rnd() % 2 == 0 {
+                let v = pool.bv_const(rnd(), size * 8);
+                slow.store(&pool, addr, size, v);
+                fast.store(&mut pool, addr, size, v);
+            } else {
+                let a = slow.load(&mut pool, addr, size);
+                let b = fast.load(&mut pool, addr, size);
+                // Coverage may legitimately differ: the fast model
+                // materializes fresh vars for gap bytes on partial loads
+                // (making them "covered" afterwards); with all-zero vars
+                // both views agree on the value 0.
+                if let (Some(x), Some(y)) = (a, b) {
+                    // Both models may synthesize different-but-equal terms;
+                    // compare concretely (all stores were consts, gaps read
+                    // as 0 / fresh vars — evaluate with all-zero vars).
+                    let vals = vec![0u64; pool.vars().len()];
+                    assert_eq!(pool.eval(x, &vals), pool.eval(y, &vals));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! EOSAFE — the static symbolic-execution baseline (He et al., USENIX
+//! Security '21), reimplemented from its description in the WASAI paper:
+//!
+//! - it locates action functions with a *heuristic pattern match* on the
+//!   dispatcher (`code == N(eosio.token) && action == N(transfer)`); when
+//!   developers (or an obfuscator) deviate from the pattern "EOSAFE may fail
+//!   to locate the paths to action functions and report FNs" (§4.2, and the
+//!   0-TP Fake EOS row of Table 5);
+//! - detecting Fake Notif, it "regards timeout as a positive sample", buying
+//!   recall at the cost of precision (§4.2);
+//! - detecting Rollback, it "analyzes all branches in the conditional
+//!   states, even if the constraints are impossible to be satisfied",
+//!   producing FPs on dead code (§4.2 — precision ≈ 50%);
+//! - it has no BlockinfoDep oracle (the "-" cells of Table 4).
+
+pub mod exec;
+pub mod memory;
+
+use std::collections::BTreeSet;
+
+use wasai_chain::abi::Abi;
+use wasai_core::report::VulnClass;
+use wasai_smt::{check, Budget, SolveResult};
+use wasai_wasm::instr::Instr;
+use wasai_wasm::types::ValType;
+use wasai_wasm::Module;
+
+pub use exec::{explore, ExecConfig, ExploreResult, PathSummary};
+pub use memory::RangeMemory;
+
+/// Host APIs EOSAFE treats as side effects for MissAuth.
+const EFFECT_APIS: &[&str] = &["db_store_i64", "db_update_i64", "db_remove_i64", "send_inline"];
+
+/// EOSAFE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EosafeConfig {
+    /// Path-exploration budgets.
+    pub exec: ExecConfig,
+    /// Feasibility-check budget (MissAuth only).
+    pub smt_budget: Budget,
+}
+
+impl Default for EosafeConfig {
+    fn default() -> Self {
+        EosafeConfig { exec: ExecConfig::default(), smt_budget: Budget { max_conflicts: 5_000 } }
+    }
+}
+
+/// EOSAFE's verdicts for one contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EosafeReport {
+    /// Flagged classes.
+    pub findings: BTreeSet<VulnClass>,
+    /// The dispatcher pattern heuristic succeeded.
+    pub located_dispatcher: bool,
+    /// Some exploration hit its budget (the "timeout" the paper discusses).
+    pub timed_out: bool,
+}
+
+impl EosafeReport {
+    /// True if the class was flagged.
+    pub fn has(&self, class: VulnClass) -> bool {
+        self.findings.contains(&class)
+    }
+}
+
+/// The dispatcher pattern heuristic: scan `apply` for literal name
+/// comparisons (the EOSIO SDK idiom EOSAFE matches on).
+fn dispatcher_heuristic(module: &Module) -> (bool, bool) {
+    let Some(apply_idx) = module.exported_func("apply") else { return (false, false) };
+    let Some(apply) = module.local_func(apply_idx) else { return (false, false) };
+    let transfer = wasai_chain::name::Name::new("transfer").as_i64();
+    let token = wasai_chain::name::Name::new("eosio.token").as_i64();
+    let mut has_transfer_dispatch = false;
+    let mut has_code_guard = false;
+    for w in apply.body.windows(2) {
+        match (&w[0], &w[1]) {
+            (Instr::I64Const(c), i) if i.is_i64_guard_compare() => {
+                if *c == transfer {
+                    has_transfer_dispatch = true;
+                }
+                if *c == token {
+                    has_code_guard = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    (has_transfer_dispatch, has_code_guard)
+}
+
+/// Action functions reachable through the indirect-call table.
+fn table_functions(module: &Module) -> Vec<u32> {
+    module.elems.iter().flat_map(|e| e.funcs.iter().copied()).collect()
+}
+
+/// Locate the eosponser by signature: the table function whose type matches
+/// `transfer(self, from, to, qty*, memo*)`.
+fn locate_eosponser(module: &Module) -> Option<u32> {
+    use ValType::*;
+    table_functions(module).into_iter().find(|&f| {
+        module
+            .func_type(f)
+            .map(|t| t.params == [I64, I64, I64, I32, I32] && t.results.is_empty())
+            .unwrap_or(false)
+    })
+}
+
+/// Does any path contain a guard compare between two entry parameters (the
+/// `to == _self` check — both operands are `p…` variables)?
+fn has_param_guard(result: &ExploreResult) -> bool {
+    let p0 = result.pool.var_index("p0");
+    result.paths.iter().any(|p| {
+        p.guard_compares.iter().any(|&(a, b)| {
+            let var_of = |t| match *result.pool.kind(t) {
+                wasai_smt::TermKind::Var { var, .. } => Some(var),
+                _ => None,
+            };
+            match (var_of(a), var_of(b), p0) {
+                (Some(x), Some(y), Some(self_var)) => {
+                    (x == self_var || y == self_var) && x != y
+                }
+                _ => false,
+            }
+        })
+    })
+}
+
+/// Analyze one contract statically.
+pub fn analyze(module: &Module, abi: &Abi, cfg: EosafeConfig) -> EosafeReport {
+    let mut report = EosafeReport::default();
+    let _ = abi;
+    let (has_dispatch, has_code_guard) = dispatcher_heuristic(module);
+    report.located_dispatcher = has_dispatch;
+    let eosponser = locate_eosponser(module);
+
+    // Fake EOS: needs the located dispatcher pattern; vulnerable when the
+    // code guard literal is absent. Without the pattern, EOSAFE "cannot
+    // identify reachable paths" and stays silent (FNs under obfuscation).
+    if has_dispatch && eosponser.is_some() && !has_code_guard {
+        report.findings.insert(VulnClass::FakeEos);
+    }
+
+    // Fake Notif: explore the eosponser; timeout ⇒ positive (the flaw).
+    if let Some(ep) = eosponser {
+        let result = explore(module, ep, cfg.exec);
+        if result.timeout {
+            report.timed_out = true;
+            report.findings.insert(VulnClass::FakeNotif);
+        } else if !has_param_guard(&result) {
+            report.findings.insert(VulnClass::FakeNotif);
+        }
+    }
+
+    // MissAuth (feasibility-checked) and Rollback (deliberately NOT
+    // feasibility-checked) over every table function.
+    for f in table_functions(module) {
+        let result = explore(module, f, cfg.exec);
+        if result.timeout {
+            report.timed_out = true;
+        }
+        for path in &result.paths {
+            // Rollback: any occurrence of send_inline, feasible or not.
+            if path.api_calls.iter().any(|a| a == "send_inline") {
+                report.findings.insert(VulnClass::Rollback);
+            }
+            // MissAuth: skip the eosponser (payments are its authorization);
+            // flag effect-before-auth paths that are actually satisfiable.
+            // Finding the path from `apply` to the action function depends on
+            // the dispatcher heuristic — obfuscated dispatchers mean "EOSAFE
+            // cannot find any feasible paths to detect … MissAuth" (§4.3).
+            if !has_dispatch
+                || Some(f) == eosponser
+                || report.findings.contains(&VulnClass::MissAuth)
+            {
+                continue;
+            }
+            let mut authed = false;
+            let mut effect_without_auth = false;
+            for api in &path.api_calls {
+                if api == "require_auth" || api == "require_auth2" || api == "has_auth" {
+                    authed = true;
+                }
+                if EFFECT_APIS.contains(&api.as_str()) && !authed {
+                    effect_without_auth = true;
+                    break;
+                }
+            }
+            if effect_without_auth {
+                let (res, _) = check(&result.pool, &path.constraints, cfg.smt_budget);
+                if matches!(res, SolveResult::Sat(_)) {
+                    report.findings.insert(VulnClass::MissAuth);
+                }
+            }
+        }
+    }
+
+    report
+}

@@ -1,0 +1,242 @@
+//! EOSFuzzer — the black-box random fuzzer baseline.
+//!
+//! Reimplemented from its description in the WASAI paper and the EOSFuzzer
+//! paper (Huang, Jiang, Chan — Internetware 2020): "it only generates random
+//! seeds without leveraging feedback" (§1), covers Fake EOS, Fake
+//! Notification and Blockinfo Dependency, and carries the documented oracle
+//! flaws the WASAI evaluation measures:
+//!
+//! - "it reports positive no matter which action is invoked after receiving
+//!   fake EOS" (§4.2) — the honeypot false-positive source;
+//! - "it outputs a positive report in detecting Fake EOS if none of the
+//!   transactions is executed successfully" (§4.3) — the failure mode that
+//!   collapses its precision to 50% under complicated verification;
+//! - no feedback: coverage saturates at what random inputs reach, so gated
+//!   code is never explored (0 TP on BlockinfoDep, Table 4).
+//!
+//! It shares WASAI's harness (chain setup, payload templates, virtual clock
+//! and branch metric) so Figure 3 compares like with like; the *only*
+//! differences are seed generation and the oracles — exactly the deltas the
+//! paper attributes to the tools.
+
+use std::collections::{BTreeSet, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wasai_chain::action::ApiEvent;
+use wasai_chain::name::Name;
+use wasai_chain::{Chain, Receipt, Transaction};
+use wasai_core::coverage::{branches_in_trace, BranchKey};
+use wasai_core::harness::{self, accounts, TargetInfo};
+use wasai_core::report::{ExploitRecord, FuzzReport, VulnClass};
+use wasai_core::seed::random_seed;
+use wasai_core::{CostModel, FuzzConfig, VirtualClock};
+use wasai_vm::TraceKind;
+
+/// The EOSFuzzer campaign runner.
+#[derive(Debug)]
+pub struct EosFuzzer {
+    cfg: FuzzConfig,
+    target: TargetInfo,
+    chain: Chain,
+    rng: StdRng,
+    clock: VirtualClock,
+    explored: HashSet<BranchKey>,
+    coverage_series: Vec<(u64, usize)>,
+    iterations: u64,
+    // Oracle state.
+    any_tx_succeeded: bool,
+    fake_apply_ran: bool,
+    forwarded_effect: bool,
+    blockinfo_seen: bool,
+    stall: u64,
+}
+
+impl EosFuzzer {
+    /// Set up the chain (instrumented target, for the shared coverage
+    /// metric) and the fuzzer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target cannot be deployed.
+    pub fn new(target: TargetInfo, cfg: FuzzConfig) -> Result<Self, wasai_chain::ChainError> {
+        let chain = harness::setup_chain(&target, true)?;
+        Ok(EosFuzzer {
+            rng: StdRng::seed_from_u64(cfg.rng_seed ^ 0xe05f),
+            cfg,
+            target,
+            chain,
+            clock: VirtualClock::new(),
+            explored: HashSet::new(),
+            coverage_series: Vec::new(),
+            iterations: 0,
+            any_tx_succeeded: false,
+            fake_apply_ran: false,
+            forwarded_effect: false,
+            blockinfo_seen: false,
+            stall: 0,
+        })
+    }
+
+    /// Run the campaign.
+    pub fn run(mut self) -> FuzzReport {
+        while !self.clock.timed_out(self.cfg.timeout_us) && self.stall < self.cfg.stall_iters * 4
+        {
+            self.iterate();
+            self.iterations += 1;
+        }
+        let mut findings = BTreeSet::new();
+        let mut exploits = Vec::new();
+        // Flaw: with zero successful transactions, EOSFuzzer claims Fake EOS.
+        if self.fake_apply_ran || !self.any_tx_succeeded {
+            findings.insert(VulnClass::FakeEos);
+            exploits.push(ExploitRecord {
+                class: VulnClass::FakeEos,
+                payload: if self.fake_apply_ran {
+                    "an action executed after receiving fake EOS".into()
+                } else {
+                    "no transaction executed successfully (oracle fallback)".into()
+                },
+            });
+        }
+        if self.forwarded_effect {
+            findings.insert(VulnClass::FakeNotif);
+        }
+        if self.blockinfo_seen {
+            findings.insert(VulnClass::BlockinfoDep);
+        }
+        let branches = self.explored.len();
+        let mut coverage_series = std::mem::take(&mut self.coverage_series);
+        coverage_series.push((self.cfg.timeout_us.max(self.clock.micros()), branches));
+        FuzzReport {
+            findings,
+            exploits,
+            branches,
+            coverage_series,
+            iterations: self.iterations,
+            virtual_us: self.clock.micros(),
+            smt_queries: 0,
+            custom_findings: Vec::new(),
+        }
+    }
+
+    fn cost(&self) -> CostModel {
+        self.cfg.cost
+    }
+
+    fn iterate(&mut self) {
+        let actions = self.target.abi.actions.clone();
+        if actions.is_empty() {
+            self.stall = u64::MAX;
+            return;
+        }
+        let decl = &actions[(self.iterations as usize) % actions.len()];
+        let seed = random_seed(&mut self.rng, decl, accounts::target());
+        if decl.name == Name::new("transfer") {
+            // EOSFuzzer cycles its attack payloads with random parameters.
+            match self.iterations % 4 {
+                0 => {
+                    let p = harness::forced_transfer_params(
+                        &seed.params,
+                        accounts::attacker(),
+                        accounts::target(),
+                    );
+                    self.execute(harness::official_transfer(&p), Delivery::Official);
+                }
+                1 => {
+                    self.execute(
+                        harness::direct_fake_transfer(&seed.params),
+                        Delivery::Fake,
+                    );
+                }
+                2 => {
+                    let p = harness::forced_transfer_params(
+                        &seed.params,
+                        accounts::attacker(),
+                        accounts::target(),
+                    );
+                    self.execute(harness::fake_token_transfer(&p), Delivery::Fake);
+                }
+                _ => {
+                    let p = harness::forced_transfer_params(
+                        &seed.params,
+                        accounts::attacker(),
+                        accounts::fake_notif(),
+                    );
+                    self.execute(harness::fake_notif_transfer(&p), Delivery::Forwarded);
+                }
+            }
+        } else {
+            self.execute(harness::direct_action(decl.name, &seed.params), Delivery::Plain);
+        }
+    }
+
+    fn execute(&mut self, tx: Transaction, delivery: Delivery) {
+        let (receipt, ok): (Receipt, bool) = match self.chain.push_transaction(&tx) {
+            Ok(r) => (r, true),
+            Err(e) => (e.receipt, false),
+        };
+        let cost = self.cost();
+        self.clock.charge_execution(&cost, receipt.steps_used);
+        // The flawed oracle watches the transfer payloads specifically:
+        // "EOSFuzzer fails to execute the fuzzing target every time and
+        // flags all samples as vulnerable in detecting the Fake EOS" (§4.3).
+        if ok && delivery != Delivery::Plain {
+            self.any_tx_succeeded = true;
+        }
+
+        // Oracles.
+        let target = accounts::target();
+        let apply_ran = receipt
+            .trace
+            .iter()
+            .any(|r| matches!(r.kind, TraceKind::FuncBegin { .. }));
+        match delivery {
+            Delivery::Fake => {
+                // Flawed oracle: ANY successful execution after fake EOS.
+                if ok && apply_ran {
+                    self.fake_apply_ran = true;
+                }
+            }
+            Delivery::Forwarded => {
+                // Side effect on a forwarded notification = forged-notification
+                // acceptance.
+                if ok && receipt.api_events.iter().any(|e| match e {
+                    ApiEvent::Db(op) => op.contract == target,
+                    ApiEvent::SendInline { contract, .. } => *contract == target,
+                    _ => false,
+                }) {
+                    self.forwarded_effect = true;
+                }
+            }
+            Delivery::Official | Delivery::Plain => {}
+        }
+        if receipt
+            .api_events
+            .iter()
+            .any(|e| matches!(e, ApiEvent::TaposRead { contract } if *contract == target))
+        {
+            self.blockinfo_seen = true;
+        }
+
+        // Coverage (same metric as WASAI).
+        let before = self.explored.len();
+        self.explored
+            .extend(branches_in_trace(&self.target.original, &receipt.trace));
+        if self.explored.len() > before {
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+        self.coverage_series.push((self.clock.micros(), self.explored.len()));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delivery {
+    Official,
+    Fake,
+    Forwarded,
+    Plain,
+}

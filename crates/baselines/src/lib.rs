@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # wasai-baselines — reimplementations of the comparison tools (§4)
+//!
+//! The WASAI evaluation compares against two published tools. Both are
+//! rebuilt here as *real algorithms* (sharing WASAI's harness, virtual clock
+//! and coverage metric so comparisons are apples-to-apples), including the
+//! documented weaknesses the paper measures — their accuracy numbers in our
+//! tables fall out of running them, not of hard-coding the paper's values:
+//!
+//! - [`eosfuzzer`]: the black-box random fuzzer (no feedback, flawed
+//!   Fake-EOS oracle, no MissAuth/Rollback detectors);
+//! - [`eosafe`]: the static symbolic executor (dispatcher pattern
+//!   heuristics, timeout-as-positive Fake Notif, feasibility-blind
+//!   Rollback), plus its merge-on-access memory model for the ablation
+//!   benchmark.
+
+pub mod eosafe;
+pub mod eosfuzzer;
+
+pub use eosafe::{analyze as eosafe_analyze, EosafeConfig, EosafeReport};
+pub use eosfuzzer::EosFuzzer;

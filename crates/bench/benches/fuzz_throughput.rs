@@ -1,0 +1,53 @@
+//! End-to-end campaign throughput: a short WASAI campaign vs an EOSFuzzer
+//! campaign on the same contract — the cost of concolic feedback per §4's
+//! efficiency discussion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wasai_baselines::EosFuzzer;
+use wasai_core::{FuzzConfig, TargetInfo, Wasai};
+use wasai_corpus::{generate, Blueprint, GateKind};
+
+fn short_config() -> FuzzConfig {
+    FuzzConfig {
+        timeout_us: 5_000_000,
+        stall_iters: 10,
+        ..FuzzConfig::default()
+    }
+}
+
+fn bench_fuzz(c: &mut Criterion) {
+    let contract = generate(Blueprint {
+        seed: 88,
+        gate: GateKind::Solvable { depth: 2 },
+        eosponser_branches: 2,
+        ..Blueprint::default()
+    });
+
+    let mut group = c.benchmark_group("fuzz_campaign");
+    group.sample_size(10);
+    group.bench_function("wasai_short", |b| {
+        b.iter(|| {
+            let r = Wasai::new(contract.module.clone(), contract.abi.clone())
+                .with_config(short_config())
+                .run()
+                .unwrap();
+            std::hint::black_box(r.branches);
+        });
+    });
+    group.bench_function("eosfuzzer_short", |b| {
+        b.iter(|| {
+            let r = EosFuzzer::new(
+                TargetInfo::new(contract.module.clone(), contract.abi.clone()),
+                short_config(),
+            )
+            .unwrap()
+            .run();
+            std::hint::black_box(r.branches);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz);
+criterion_main!(benches);

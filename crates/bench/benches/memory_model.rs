@@ -1,0 +1,66 @@
+//! Ablation: WASAI's concrete-address byte map (§3.4.1) vs EOSAFE's
+//! merge-on-access write list (§3.2). The paper claims the former "recovers
+//! symbolic expressions from the memory faster than EOSAFE, which is
+//! essential to improve the fuzzing throughput".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wasai_baselines::eosafe::RangeMemory;
+use wasai_smt::TermPool;
+use wasai_symex::SymMemory;
+
+/// A deterministic store/load workload of `n` operations.
+fn workload(n: usize) -> Vec<(bool, u64, u32)> {
+    let mut lcg = 0x853c49e6748fea9bu64;
+    let mut rnd = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    (0..n)
+        .map(|_| {
+            let is_store = rnd() % 2 == 0;
+            let addr = rnd() % 4096;
+            let size = [1u32, 2, 4, 8][(rnd() % 4) as usize];
+            (is_store, addr, size)
+        })
+        .collect()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_model");
+    for n in [200usize, 1000, 4000] {
+        let ops = workload(n);
+        group.bench_with_input(BenchmarkId::new("wasai_byte_map", n), &ops, |b, ops| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let mut mem = SymMemory::new();
+                for &(is_store, addr, size) in ops {
+                    if is_store {
+                        let v = pool.bv_const(addr, size * 8);
+                        mem.store(&mut pool, addr, size, v);
+                    } else {
+                        std::hint::black_box(mem.load(&mut pool, addr, size));
+                    }
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("eosafe_write_list", n), &ops, |b, ops| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let mut mem = RangeMemory::new();
+                for &(is_store, addr, size) in ops {
+                    if is_store {
+                        let v = pool.bv_const(addr, size * 8);
+                        mem.store(&pool, addr, size, v);
+                    } else {
+                        std::hint::black_box(mem.load(&mut pool, addr, size));
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

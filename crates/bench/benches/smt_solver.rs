@@ -1,0 +1,70 @@
+//! Solver micro-benchmarks on the constraint shapes WASAI actually emits
+//! (§3.4.4): 64-bit name-equality guard flips, masked/xored gate chains, and
+//! the obfuscator's popcount predicates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wasai_smt::{check, Budget, BvOp, TermPool};
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("smt/name_equality_flip", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let code = p.var("code", 64);
+            let token = p.bv_const(0x5530ea033482a600, 64);
+            let a = p.eq(code, token);
+            std::hint::black_box(check(&p, &[a], Budget::default()));
+        });
+    });
+
+    c.bench_function("smt/gate_chain_depth3", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let nonce = p.var("nonce", 64);
+            let v = 0x1234_5678_9abc_def0u64;
+            let c0 = {
+                let cv = p.bv_const(v, 64);
+                p.eq(nonce, cv)
+            };
+            let c1 = {
+                let mask = p.bv_const(0xffff_ffff, 64);
+                let lhs = p.bv(BvOp::And, nonce, mask);
+                let rhs = p.bv_const(v & 0xffff_ffff, 64);
+                p.eq(lhs, rhs)
+            };
+            let c2 = {
+                let key = p.bv_const(0xdead_beef, 64);
+                let lhs = p.bv(BvOp::Xor, nonce, key);
+                let rhs = p.bv_const(v ^ 0xdead_beef, 64);
+                p.eq(lhs, rhs)
+            };
+            std::hint::black_box(check(&p, &[c0, c1, c2], Budget::default()));
+        });
+    });
+
+    c.bench_function("smt/popcount_predicate", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let x = p.var("x", 32);
+            let pc = p.popcnt(x);
+            let c13 = p.bv_const(13, 32);
+            let a = p.eq(pc, c13);
+            std::hint::black_box(check(&p, &[a], Budget::default()));
+        });
+    });
+
+    c.bench_function("smt/unsat_contradiction", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let x = p.var("x", 64);
+            let c1 = p.bv_const(1, 64);
+            let c2 = p.bv_const(2, 64);
+            let a1 = p.eq(x, c1);
+            let a2 = p.eq(x, c2);
+            std::hint::black_box(check(&p, &[a1, a2], Budget::default()));
+        });
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! EOSVM throughput: a full token-transfer transaction against a generated
+//! contract, with and without trace instrumentation — the runtime cost of
+//! the paper's contract-level hooks (§3.3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wasai_chain::abi::ParamValue;
+use wasai_chain::asset::Asset;
+use wasai_chain::name::Name;
+use wasai_chain::{Chain, NativeKind};
+use wasai_corpus::{generate, Blueprint};
+
+fn chain_with(module: wasai_wasm::Module, abi: wasai_chain::abi::Abi) -> Chain {
+    let mut chain = Chain::new();
+    chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
+    chain.create_account(Name::new("alice")).unwrap();
+    chain.deploy_wasm(Name::new("victim"), module, abi).unwrap();
+    chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(1_000_000_000));
+    chain
+}
+
+fn transfer_params() -> Vec<ParamValue> {
+    vec![
+        ParamValue::Name(Name::new("alice")),
+        ParamValue::Name(Name::new("victim")),
+        ParamValue::Asset(Asset::eos(10)),
+        ParamValue::String("bench".into()),
+    ]
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let contract = generate(Blueprint { seed: 77, eosponser_branches: 3, ..Blueprint::default() });
+    let instrumented = wasai_wasm::instrument::instrument(&contract.module).unwrap().module;
+
+    let mut plain = chain_with(contract.module.clone(), contract.abi.clone());
+    c.bench_function("vm/transfer_plain", |b| {
+        b.iter(|| {
+            let r = plain.push_action(
+                Name::new("eosio.token"),
+                Name::new("transfer"),
+                &[Name::new("alice")],
+                &transfer_params(),
+            );
+            std::hint::black_box(r.is_ok());
+        });
+    });
+
+    let mut traced = chain_with(instrumented, contract.abi.clone());
+    c.bench_function("vm/transfer_instrumented", |b| {
+        b.iter(|| {
+            let r = traced.push_action(
+                Name::new("eosio.token"),
+                Name::new("transfer"),
+                &[Name::new("alice")],
+                &transfer_params(),
+            );
+            std::hint::black_box(r.is_ok());
+        });
+    });
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 4 (RQ2): detection accuracy on the ground-truth benchmark.
+//!
+//! The paper's corpus is 3,340 samples; scale with `WASAI_SCALE` (default
+//! 0.02 → ~70 samples, a few minutes in release mode; 1.0 regenerates the
+//! full table).
+
+fn main() {
+    let scale = wasai_bench::env_scale();
+    let seed = wasai_bench::env_seed();
+    let samples = wasai_corpus::table4_benchmark(seed, scale);
+    eprintln!(
+        "table4: {} samples (scale {scale}, seed {seed}) — expected shape: WASAI ≈ 100% P with \
+         near-100% R; EOSFuzzer 0% on BlockinfoDep and '-' on MissAuth/Rollback; EOSAFE low R \
+         on MissAuth, ~50% P on Rollback",
+        samples.len()
+    );
+    let table = wasai_bench::evaluate(&samples, seed);
+    wasai_bench::print_accuracy_table(
+        "Table 4: Evaluation results on the ground truth (RQ2)",
+        &table,
+    );
+}

@@ -1,0 +1,15 @@
+//! Table 5 (RQ3a): the Table 4 benchmark after code obfuscation — popcount
+//! argument encoding, guard-constant splitting and decoy recursion (§4.3).
+//!
+//! Expected shape: WASAI barely moves; EOSAFE loses Fake EOS and MissAuth
+//! entirely (its dispatcher pattern heuristic goes blind); EOSFuzzer is
+//! largely unaffected (it never looked at the bytecode).
+
+fn main() {
+    let scale = wasai_bench::env_scale();
+    let seed = wasai_bench::env_seed();
+    let samples = wasai_corpus::table5_benchmark(seed, scale);
+    eprintln!("table5: {} obfuscated samples (scale {scale}, seed {seed})", samples.len());
+    let table = wasai_bench::evaluate(&samples, seed);
+    wasai_bench::print_accuracy_table("Table 5: The impact of code obfuscation (RQ3)", &table);
+}

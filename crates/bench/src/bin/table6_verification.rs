@@ -1,0 +1,20 @@
+//! Table 6 (RQ3b): the complicated-verification benchmark — exact-value
+//! `if (i64.ne …) unreachable` prologues injected at the eosponser entry
+//! (§4.3).
+//!
+//! Expected shape: WASAI's adaptive seeds solve the prologue and accuracy
+//! stays high; EOSFuzzer collapses (random inputs always trap, and its
+//! flawed oracle then flags *everything* as Fake EOS → 50% precision);
+//! EOSAFE is mostly unaffected (short static paths).
+
+fn main() {
+    let scale = wasai_bench::env_scale();
+    let seed = wasai_bench::env_seed();
+    let samples = wasai_corpus::table6_benchmark(seed, scale);
+    eprintln!("table6: {} samples (scale {scale}, seed {seed})", samples.len());
+    let table = wasai_bench::evaluate(&samples, seed);
+    wasai_bench::print_accuracy_table(
+        "Table 6: The impact of complicated verification (RQ3)",
+        &table,
+    );
+}

@@ -1,0 +1,293 @@
+#![warn(missing_docs)]
+
+//! # wasai-bench — the experiment harness (§4)
+//!
+//! Shared machinery for the binaries that regenerate every table and figure
+//! of the paper's evaluation: run the three tools over labeled corpora,
+//! score per-group precision/recall/F1, and print paper-style tables.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig3_coverage` | Figure 3 — branch coverage over time, WASAI vs EOSFuzzer |
+//! | `table4_accuracy` | Table 4 — ground-truth benchmark accuracy |
+//! | `table5_obfuscation` | Table 5 — accuracy under code obfuscation |
+//! | `table6_verification` | Table 6 — accuracy under complicated verification |
+//! | `rq4_wild` | §4.4 — the wild-contract study |
+//!
+//! Scale the corpora with `WASAI_SCALE` (fraction of the paper's sample
+//! counts, default 0.02) and determinism with `WASAI_SEED`. Run with
+//! `--release`; the full-scale corpora are laptop-hours, the default scale
+//! is laptop-minutes.
+
+use std::collections::BTreeMap;
+
+use wasai_baselines::{eosafe_analyze, EosFuzzer, EosafeConfig};
+use wasai_core::{FuzzConfig, TargetInfo, VulnClass, Wasai};
+use wasai_corpus::BenchmarkSample;
+
+/// Binary classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Metrics {
+    /// Record one sample.
+    pub fn record(&mut self, truth: bool, flagged: bool) {
+        match (truth, flagged) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision (degenerates to 0 when positives existed but none were
+    /// reported, 1 when there was nothing to report).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            if self.fn_ > 0 {
+                return 0.0;
+            }
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall (1 when there were no positives to find).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1-measure.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Merge another metric in.
+    pub fn merge(&mut self, other: Metrics) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// The three tools under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tool {
+    /// The concolic fuzzer (this paper).
+    Wasai,
+    /// The black-box random fuzzer baseline.
+    EosFuzzer,
+    /// The static symbolic-execution baseline.
+    Eosafe,
+}
+
+impl Tool {
+    /// All tools in table order.
+    pub const ALL: [Tool; 3] = [Tool::Wasai, Tool::EosFuzzer, Tool::Eosafe];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Wasai => "WASAI",
+            Tool::EosFuzzer => "EOSFuzzer",
+            Tool::Eosafe => "EOSAFE",
+        }
+    }
+
+    /// Which classes the tool can detect at all (the "-" cells).
+    pub fn supports(self, class: VulnClass) -> bool {
+        match self {
+            Tool::Wasai => true,
+            Tool::EosFuzzer => matches!(
+                class,
+                VulnClass::FakeEos | VulnClass::FakeNotif | VulnClass::BlockinfoDep
+            ),
+            Tool::Eosafe => class != VulnClass::BlockinfoDep,
+        }
+    }
+}
+
+/// Fuzzing configuration used by the accuracy experiments (a virtual
+/// five-minute budget with early saturation, per §4's setup).
+pub fn bench_fuzz_config(seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        timeout_us: 300_000_000,
+        stall_iters: 40,
+        rng_seed: seed,
+        ..FuzzConfig::default()
+    }
+}
+
+/// Run one tool on one sample; returns whether the sample's group class was
+/// flagged.
+pub fn run_tool(tool: Tool, sample: &BenchmarkSample, seed: u64) -> bool {
+    let target = TargetInfo::new(sample.contract.module.clone(), sample.contract.abi.clone());
+    match tool {
+        Tool::Wasai => Wasai::new(sample.contract.module.clone(), sample.contract.abi.clone())
+            .with_config(bench_fuzz_config(seed))
+            .run()
+            .map(|r| r.has(sample.group))
+            .unwrap_or(false),
+        Tool::EosFuzzer => EosFuzzer::new(target, bench_fuzz_config(seed))
+            .map(|f| f.run().has(sample.group))
+            .unwrap_or(false),
+        Tool::Eosafe => {
+            eosafe_analyze(&sample.contract.module, &sample.contract.abi, EosafeConfig::default())
+                .has(sample.group)
+        }
+    }
+}
+
+/// Per-class, per-tool metrics over a corpus.
+pub type AccuracyTable = BTreeMap<VulnClass, BTreeMap<Tool, Metrics>>;
+
+/// Evaluate all three tools over a benchmark corpus.
+pub fn evaluate(samples: &[BenchmarkSample], seed: u64) -> AccuracyTable {
+    let mut table: AccuracyTable = BTreeMap::new();
+    for (i, sample) in samples.iter().enumerate() {
+        for tool in Tool::ALL {
+            let flagged = if tool.supports(sample.group) {
+                run_tool(tool, sample, seed ^ (i as u64))
+            } else {
+                false
+            };
+            table
+                .entry(sample.group)
+                .or_default()
+                .entry(tool)
+                .or_default()
+                .record(sample.is_vulnerable(), flagged);
+        }
+    }
+    table
+}
+
+/// Render an accuracy table in the paper's row format.
+pub fn print_accuracy_table(title: &str, table: &AccuracyTable) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<14} {:>12} | {:^24} | {:^24} | {:^24}",
+        "Types", "#Cnt(V/N)", "WASAI P/R/F1", "EOSFuzzer P/R/F1", "EOSAFE P/R/F1"
+    );
+    let mut totals: BTreeMap<Tool, Metrics> = BTreeMap::new();
+    for class in VulnClass::ALL {
+        let Some(row) = table.get(&class) else { continue };
+        let counts = row.get(&Tool::Wasai).copied().unwrap_or_default();
+        print!(
+            "{:<14} {:>12} |",
+            class.to_string(),
+            format!("{}({}/{})", counts.total(), counts.tp + counts.fn_, counts.fp + counts.tn)
+        );
+        for tool in Tool::ALL {
+            let m = row.get(&tool).copied().unwrap_or_default();
+            totals.entry(tool).or_default().merge(m);
+            if tool.supports(class) {
+                print!(
+                    " {:>6.1}% {:>6.1}% {:>7.1}% |",
+                    m.precision() * 100.0,
+                    m.recall() * 100.0,
+                    m.f1() * 100.0
+                );
+            } else {
+                print!(" {:>7} {:>7} {:>8} |", "-", "-", "-");
+            }
+        }
+        println!();
+    }
+    print!("{:<14} {:>12} |", "Total", "");
+    for tool in Tool::ALL {
+        let m = totals.get(&tool).copied().unwrap_or_default();
+        print!(
+            " {:>6.1}% {:>6.1}% {:>7.1}% |",
+            m.precision() * 100.0,
+            m.recall() * 100.0,
+            m.f1() * 100.0
+        );
+    }
+    println!();
+}
+
+/// Experiment scale from `WASAI_SCALE` (fraction of the paper's corpus).
+pub fn env_scale() -> f64 {
+    let scale: f64 = std::env::var("WASAI_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    scale.clamp(0.001, 1.0)
+}
+
+/// Experiment seed from `WASAI_SEED`.
+pub fn env_seed() -> u64 {
+    std::env::var("WASAI_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xe05)
+}
+
+/// Count from an env var with a default.
+pub fn env_count(var: &str, default: usize) -> usize {
+    std::env::var(var).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_math() {
+        let mut m = Metrics::default();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, false);
+        m.record(false, true);
+        assert_eq!((m.tp, m.fn_, m.tn, m.fp), (1, 1, 1, 1));
+        assert!((m.precision() - 0.5).abs() < 1e-9);
+        assert!((m.recall() - 0.5).abs() < 1e-9);
+        assert!((m.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_metrics() {
+        let mut none_found = Metrics::default();
+        none_found.record(true, false);
+        assert_eq!(none_found.precision(), 0.0);
+        assert_eq!(none_found.recall(), 0.0);
+        assert_eq!(none_found.f1(), 0.0);
+
+        let mut all_clean = Metrics::default();
+        all_clean.record(false, false);
+        assert_eq!(all_clean.precision(), 1.0);
+        assert_eq!(all_clean.recall(), 1.0);
+    }
+
+    #[test]
+    fn tool_support_matches_paper_dashes() {
+        assert!(!Tool::EosFuzzer.supports(VulnClass::MissAuth));
+        assert!(!Tool::EosFuzzer.supports(VulnClass::Rollback));
+        assert!(!Tool::Eosafe.supports(VulnClass::BlockinfoDep));
+        for c in VulnClass::ALL {
+            assert!(Tool::Wasai.supports(c));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Contract ABIs: action signatures and typed parameter values.
+//!
+//! The EOSIO compiler emits, next to the Wasm binary, "an ABI describing the
+//! function signatures of the action functions" (§2.2). WASAI consumes both:
+//! the ABI tells the fuzzer what a seed's parameter vector ρ⃗ looks like and
+//! how it is serialized into the action's byte stream (C3).
+
+use std::fmt;
+
+use crate::asset::Asset;
+use crate::name::Name;
+
+/// A parameter type in an action signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamType {
+    /// An account/action name (8 bytes).
+    Name,
+    /// An asset: amount + symbol (16 bytes).
+    Asset,
+    /// A length-prefixed string.
+    String,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Signed 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+}
+
+impl fmt::Display for ParamType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParamType::Name => "name",
+            ParamType::Asset => "asset",
+            ParamType::String => "string",
+            ParamType::U64 => "uint64",
+            ParamType::U32 => "uint32",
+            ParamType::U8 => "uint8",
+            ParamType::I64 => "int64",
+            ParamType::F64 => "float64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed parameter value (one element of a seed's ρ⃗).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A name.
+    Name(Name),
+    /// An asset.
+    Asset(Asset),
+    /// A string.
+    String(String),
+    /// uint64.
+    U64(u64),
+    /// uint32.
+    U32(u32),
+    /// uint8.
+    U8(u8),
+    /// int64.
+    I64(i64),
+    /// float64.
+    F64(f64),
+}
+
+impl ParamValue {
+    /// The type of this value.
+    pub fn param_type(&self) -> ParamType {
+        match self {
+            ParamValue::Name(_) => ParamType::Name,
+            ParamValue::Asset(_) => ParamType::Asset,
+            ParamValue::String(_) => ParamType::String,
+            ParamValue::U64(_) => ParamType::U64,
+            ParamValue::U32(_) => ParamType::U32,
+            ParamValue::U8(_) => ParamType::U8,
+            ParamValue::I64(_) => ParamType::I64,
+            ParamValue::F64(_) => ParamType::F64,
+        }
+    }
+
+    /// A zero/empty value of the given type (initial random seeds start from
+    /// these and mutate).
+    pub fn zero(t: ParamType) -> ParamValue {
+        match t {
+            ParamType::Name => ParamValue::Name(Name::default()),
+            ParamType::Asset => ParamValue::Asset(Asset::eos(0)),
+            ParamType::String => ParamValue::String(String::new()),
+            ParamType::U64 => ParamValue::U64(0),
+            ParamType::U32 => ParamValue::U32(0),
+            ParamType::U8 => ParamValue::U8(0),
+            ParamType::I64 => ParamValue::I64(0),
+            ParamType::F64 => ParamValue::F64(0.0),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Name(n) => write!(f, "{n}"),
+            ParamValue::Asset(a) => write!(f, "{a}"),
+            ParamValue::String(s) => write!(f, "{s:?}"),
+            ParamValue::U64(v) => write!(f, "{v}"),
+            ParamValue::U32(v) => write!(f, "{v}"),
+            ParamValue::U8(v) => write!(f, "{v}"),
+            ParamValue::I64(v) => write!(f, "{v}"),
+            ParamValue::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Declaration of one action function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDecl {
+    /// The action name (what `apply`'s third parameter carries).
+    pub name: Name,
+    /// Parameter types, in order.
+    pub params: Vec<ParamType>,
+}
+
+impl ActionDecl {
+    /// A new declaration.
+    pub fn new(name: Name, params: Vec<ParamType>) -> Self {
+        ActionDecl { name, params }
+    }
+
+    /// The canonical `transfer(name, name, asset, string)` signature every
+    /// eosponser must share with `transfer@eosio.token` (§2.1).
+    pub fn transfer() -> Self {
+        ActionDecl::new(
+            Name::new("transfer"),
+            vec![ParamType::Name, ParamType::Name, ParamType::Asset, ParamType::String],
+        )
+    }
+}
+
+/// A contract ABI: the list of its action declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Abi {
+    /// Declared actions.
+    pub actions: Vec<ActionDecl>,
+}
+
+impl Abi {
+    /// An ABI from declarations.
+    pub fn new(actions: Vec<ActionDecl>) -> Self {
+        Abi { actions }
+    }
+
+    /// Look up an action by name.
+    pub fn action(&self, name: Name) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_signature_matches_paper() {
+        let t = ActionDecl::transfer();
+        assert_eq!(t.name, Name::new("transfer"));
+        assert_eq!(
+            t.params,
+            vec![ParamType::Name, ParamType::Name, ParamType::Asset, ParamType::String]
+        );
+    }
+
+    #[test]
+    fn abi_lookup() {
+        let abi = Abi::new(vec![ActionDecl::transfer()]);
+        assert!(abi.action(Name::new("transfer")).is_some());
+        assert!(abi.action(Name::new("reveal")).is_none());
+    }
+
+    #[test]
+    fn zero_values_have_matching_types() {
+        for t in [
+            ParamType::Name,
+            ParamType::Asset,
+            ParamType::String,
+            ParamType::U64,
+            ParamType::U32,
+            ParamType::U8,
+            ParamType::I64,
+            ParamType::F64,
+        ] {
+            assert_eq!(ParamValue::zero(t).param_type(), t);
+        }
+    }
+}

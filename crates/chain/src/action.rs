@@ -1,0 +1,224 @@
+//! Actions, transactions and execution receipts.
+
+use crate::abi::ParamValue;
+use crate::name::Name;
+use crate::serialize;
+
+/// An authorization carried by an action (`{actor, permission}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PermissionLevel {
+    /// The authorizing account.
+    pub actor: Name,
+    /// The permission name (`active` in practice).
+    pub permission: Name,
+}
+
+impl PermissionLevel {
+    /// `actor@active`.
+    pub fn active(actor: Name) -> Self {
+        PermissionLevel { actor, permission: Name::new("active") }
+    }
+}
+
+/// A single action: the unit of contract invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// The contract the action targets (`code` at the dispatcher).
+    pub account: Name,
+    /// The action function name.
+    pub name: Name,
+    /// Authorizations provided with the action.
+    pub authorization: Vec<PermissionLevel>,
+    /// Serialized action data.
+    pub data: Vec<u8>,
+}
+
+impl Action {
+    /// Build an action from typed parameter values.
+    pub fn new(account: Name, name: Name, auth: &[Name], params: &[ParamValue]) -> Self {
+        Action {
+            account,
+            name,
+            authorization: auth.iter().copied().map(PermissionLevel::active).collect(),
+            data: serialize::pack(params),
+        }
+    }
+
+    /// True if `actor` authorized this action.
+    pub fn authorized_by(&self, actor: Name) -> bool {
+        self.authorization.iter().any(|p| p.actor == actor)
+    }
+}
+
+/// A transaction: an ordered list of top-level actions, atomic as a whole
+/// (inline actions join the same atomicity domain, §2.3.5).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Transaction {
+    /// Top-level actions.
+    pub actions: Vec<Action>,
+}
+
+impl Transaction {
+    /// A transaction of one action.
+    pub fn single(action: Action) -> Self {
+        Transaction { actions: vec![action] }
+    }
+}
+
+/// Why an executed action ran: directly, as a notification, or inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecKind {
+    /// A top-level transaction action.
+    Direct,
+    /// A `require_recipient` notification.
+    Notification,
+    /// An inline action sent by a contract.
+    Inline,
+    /// A deferred action executing in its own transaction.
+    Deferred,
+}
+
+/// Record of one executed `apply(receiver, code, action)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutedAction {
+    /// The account whose contract ran.
+    pub receiver: Name,
+    /// The `code` parameter (originating contract).
+    pub code: Name,
+    /// The action name.
+    pub action: Name,
+    /// How this execution was triggered.
+    pub kind: ExecKind,
+}
+
+/// A library-API call observed during execution (feeds the Scanner, §3.5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiEvent {
+    /// `require_auth` / `require_auth2` succeeded for an actor.
+    RequireAuth {
+        /// Contract that called the API.
+        contract: Name,
+        /// The checked actor.
+        actor: Name,
+    },
+    /// `has_auth` was queried.
+    HasAuth {
+        /// Contract that called the API.
+        contract: Name,
+        /// The queried actor.
+        actor: Name,
+        /// The result.
+        granted: bool,
+    },
+    /// `require_recipient` queued a notification.
+    RequireRecipient {
+        /// Contract that called the API.
+        contract: Name,
+        /// The notified account.
+        recipient: Name,
+    },
+    /// `eosio_assert` was evaluated.
+    Assert {
+        /// Contract that called the API.
+        contract: Name,
+        /// Whether the condition held.
+        passed: bool,
+    },
+    /// `tapos_block_num` or `tapos_block_prefix` was read (BlockinfoDep
+    /// oracle, §2.3.4).
+    TaposRead {
+        /// Contract that called the API.
+        contract: Name,
+    },
+    /// `send_inline` queued an inline action (Rollback oracle, §2.3.5).
+    SendInline {
+        /// Contract that called the API.
+        contract: Name,
+        /// Target contract of the inline action.
+        target: Name,
+        /// Target action name.
+        action: Name,
+    },
+    /// `send_deferred` scheduled a deferred action.
+    SendDeferred {
+        /// Contract that called the API.
+        contract: Name,
+        /// Target contract.
+        target: Name,
+        /// Target action name.
+        action: Name,
+    },
+    /// A database API touched a table (feeds the DBG, §3.3.2).
+    Db(crate::database::DbOp),
+    /// A token balance moved on the ledger (`from`, `to`, amount sub-units).
+    TokenTransfer {
+        /// The token contract.
+        token: Name,
+        /// Sender.
+        from: Name,
+        /// Receiver.
+        to: Name,
+        /// Amount in sub-units.
+        amount: i64,
+    },
+}
+
+/// Everything observed while executing one transaction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Receipt {
+    /// Every `apply` that ran, in order.
+    pub executed: Vec<ExecutedAction>,
+    /// The instrumented target's trace records.
+    pub trace: Vec<wasai_vm::TraceRecord>,
+    /// Library-API events, in order.
+    pub api_events: Vec<ApiEvent>,
+    /// Steps of fuel consumed (drives the virtual clock).
+    pub steps_used: u64,
+}
+
+impl Receipt {
+    /// True if the given `apply(receiver, code, action)` combination ran.
+    pub fn applied(&self, receiver: Name, code: Name, action: Name) -> bool {
+        self.executed
+            .iter()
+            .any(|e| e.receiver == receiver && e.code == code && e.action == action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::ParamValue;
+    use crate::asset::Asset;
+
+    #[test]
+    fn action_builder_packs_data_and_auth() {
+        let a = Action::new(
+            Name::new("eosio.token"),
+            Name::new("transfer"),
+            &[Name::new("alice")],
+            &[
+                ParamValue::Name(Name::new("alice")),
+                ParamValue::Name(Name::new("bob")),
+                ParamValue::Asset(Asset::eos(1)),
+                ParamValue::String(String::new()),
+            ],
+        );
+        assert!(a.authorized_by(Name::new("alice")));
+        assert!(!a.authorized_by(Name::new("bob")));
+        assert_eq!(a.data.len(), 8 + 8 + 16 + 1);
+    }
+
+    #[test]
+    fn receipt_applied_matches_triples() {
+        let mut r = Receipt::default();
+        r.executed.push(ExecutedAction {
+            receiver: Name::new("eosbet"),
+            code: Name::new("eosio.token"),
+            action: Name::new("transfer"),
+            kind: ExecKind::Notification,
+        });
+        assert!(r.applied(Name::new("eosbet"), Name::new("eosio.token"), Name::new("transfer")));
+        assert!(!r.applied(Name::new("eosbet"), Name::new("eosbet"), Name::new("transfer")));
+    }
+}

@@ -1,0 +1,213 @@
+//! EOSIO `asset` and `symbol` types.
+//!
+//! An asset is the 128-bit struct of Table 2: a 64-bit `amount` and a 64-bit
+//! `symbol` (precision byte + up to 7 ASCII code characters). The paper's
+//! running example is `"10.0000 EOS"`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A token symbol: precision in the low byte, code characters above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u64);
+
+impl Symbol {
+    /// Build from a precision and a code like `"EOS"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code is empty, longer than 7 chars, or not `A-Z`.
+    pub fn new(precision: u8, code: &str) -> Symbol {
+        assert!(
+            !code.is_empty() && code.len() <= 7 && code.bytes().all(|c| c.is_ascii_uppercase()),
+            "invalid symbol code {code:?}"
+        );
+        let mut v = precision as u64;
+        for (i, c) in code.bytes().enumerate() {
+            v |= (c as u64) << (8 * (i + 1));
+        }
+        Symbol(v)
+    }
+
+    /// The display precision (number of decimals).
+    pub fn precision(self) -> u8 {
+        (self.0 & 0xff) as u8
+    }
+
+    /// The code characters, e.g. `"EOS"`.
+    pub fn code(self) -> String {
+        let mut s = String::new();
+        let mut v = self.0 >> 8;
+        while v != 0 {
+            s.push((v & 0xff) as u8 as char);
+            v >>= 8;
+        }
+        s
+    }
+
+    /// The raw packed value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// `10^precision`, the sub-unit scale factor.
+    pub fn scale(self) -> i64 {
+        10i64.pow(self.precision() as u32)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.precision(), self.code())
+    }
+}
+
+/// The default EOS symbol: `"4,EOS"`.
+pub fn eos_symbol() -> Symbol {
+    Symbol::new(4, "EOS")
+}
+
+/// A quantity of some token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Asset {
+    /// Amount in sub-units (e.g. 100000 = "10.0000 EOS").
+    pub amount: i64,
+    /// The token symbol.
+    pub symbol: Symbol,
+}
+
+/// Error parsing an [`Asset`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAssetError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAssetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid asset: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseAssetError {}
+
+impl Asset {
+    /// An asset from sub-units.
+    pub fn new(amount: i64, symbol: Symbol) -> Asset {
+        Asset { amount, symbol }
+    }
+
+    /// `n` whole EOS (the paper's examples use whole-EOS quantities).
+    pub fn eos(n: i64) -> Asset {
+        let symbol = eos_symbol();
+        Asset { amount: n * symbol.scale(), symbol }
+    }
+
+    /// True when the amount is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.amount > 0
+    }
+}
+
+impl fmt::Display for Asset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let scale = self.symbol.scale() as u64;
+        let p = self.symbol.precision() as usize;
+        // Sign handled explicitly: `-0.0001 EOS` has whole part 0, which
+        // would otherwise print unsigned.
+        let sign = if self.amount < 0 { "-" } else { "" };
+        let mag = self.amount.unsigned_abs();
+        let whole = mag / scale;
+        let frac = mag % scale;
+        if p == 0 {
+            write!(f, "{sign}{whole} {}", self.symbol.code())
+        } else {
+            write!(f, "{sign}{whole}.{frac:0p$} {}", self.symbol.code())
+        }
+    }
+}
+
+impl FromStr for Asset {
+    type Err = ParseAssetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: &str| ParseAssetError { message: format!("{s:?}: {m}") };
+        let (num, code) = s.split_once(' ').ok_or_else(|| err("missing symbol code"))?;
+        let (whole_str, frac_str) = match num.split_once('.') {
+            Some((w, fr)) => (w, fr),
+            None => (num, ""),
+        };
+        let negative = whole_str.starts_with('-');
+        let whole: i64 = whole_str.parse().map_err(|_| err("bad whole part"))?;
+        let precision = frac_str.len() as u8;
+        if precision > 18 {
+            return Err(err("precision too large"));
+        }
+        let frac: i64 = if frac_str.is_empty() {
+            0
+        } else {
+            frac_str.parse().map_err(|_| err("bad fractional part"))?
+        };
+        if !code.bytes().all(|c| c.is_ascii_uppercase()) || code.is_empty() || code.len() > 7 {
+            return Err(err("bad symbol code"));
+        }
+        let symbol = Symbol::new(precision, code);
+        let scale = symbol.scale();
+        let magnitude = whole.unsigned_abs() as i64 * scale + frac;
+        let amount = if negative { -magnitude } else { magnitude };
+        Ok(Asset { amount, symbol })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_roundtrip() {
+        let a: Asset = "10.0000 EOS".parse().unwrap();
+        assert_eq!(a.amount, 100_000);
+        assert_eq!(a.symbol, eos_symbol());
+        assert_eq!(a.to_string(), "10.0000 EOS");
+    }
+
+    #[test]
+    fn eos_constructor_matches_parse() {
+        assert_eq!(Asset::eos(10), "10.0000 EOS".parse().unwrap());
+    }
+
+    #[test]
+    fn symbol_packing() {
+        let s = eos_symbol();
+        assert_eq!(s.precision(), 4);
+        assert_eq!(s.code(), "EOS");
+        // 'E' 'O' 'S' = 0x45 0x4f 0x53, little-endian above the precision.
+        assert_eq!(s.raw(), 0x534f_4504);
+    }
+
+    #[test]
+    fn negative_and_zero_precision() {
+        let a: Asset = "-3.50 USD".parse().unwrap();
+        assert_eq!(a.amount, -350);
+        assert_eq!(a.to_string(), "-3.50 USD");
+        let b: Asset = "7 GOLD".parse().unwrap();
+        assert_eq!(b.amount, 7);
+        assert_eq!(b.to_string(), "7 GOLD");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("10.0000".parse::<Asset>().is_err());
+        assert!("x.y EOS".parse::<Asset>().is_err());
+        assert!("1.0 eos".parse::<Asset>().is_err());
+        assert!("1.0 TOOLONGGG".parse::<Asset>().is_err());
+    }
+
+    #[test]
+    fn fake_eos_symbol_equals_real_one() {
+        // The crux of the Fake EOS attack (§2.3.1): anyone can issue a token
+        // whose symbol is bit-identical to the official one.
+        let fake = Symbol::new(4, "EOS");
+        assert_eq!(fake, eos_symbol());
+    }
+}

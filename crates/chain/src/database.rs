@@ -1,0 +1,180 @@
+//! The per-contract key-value database behind the `db_*` library APIs
+//! (§2.2) and the access log that feeds WASAI's database dependency graph
+//! (DBG, §3.3.2).
+
+use std::collections::BTreeMap;
+
+use crate::name::Name;
+
+/// Identifies one table: owning contract, scope, table name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId {
+    /// The contract that owns the table (`code`).
+    pub code: Name,
+    /// The scope within the contract.
+    pub scope: Name,
+    /// The table name.
+    pub table: Name,
+}
+
+/// Whether a database operation read or wrote persistent state
+/// (the ⟨△.read | △.write, tb⟩ pairs of §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbAccess {
+    /// `db_find` / `db_get`.
+    Read,
+    /// `db_store` / `db_update` / `db_remove`.
+    Write,
+}
+
+/// One logged database operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbOp {
+    /// Contract that performed the access.
+    pub contract: Name,
+    /// Read or write.
+    pub access: DbAccess,
+    /// The table touched.
+    pub table: TableId,
+}
+
+/// The chain-wide database: every contract's tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    tables: BTreeMap<TableId, BTreeMap<u64, Vec<u8>>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Store a fresh row; returns `false` if the primary key already exists.
+    pub fn store(&mut self, table: TableId, primary: u64, data: Vec<u8>) -> bool {
+        let rows = self.tables.entry(table).or_default();
+        if rows.contains_key(&primary) {
+            return false;
+        }
+        rows.insert(primary, data);
+        true
+    }
+
+    /// Look up a row.
+    pub fn find(&self, table: TableId, primary: u64) -> Option<&[u8]> {
+        self.tables.get(&table)?.get(&primary).map(Vec::as_slice)
+    }
+
+    /// Replace an existing row; returns `false` if it does not exist.
+    pub fn update(&mut self, table: TableId, primary: u64, data: Vec<u8>) -> bool {
+        match self.tables.get_mut(&table).and_then(|rows| rows.get_mut(&primary)) {
+            Some(slot) => {
+                *slot = data;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a row; returns `false` if it does not exist.
+    pub fn remove(&mut self, table: TableId, primary: u64) -> bool {
+        self.tables
+            .get_mut(&table)
+            .map(|rows| rows.remove(&primary).is_some())
+            .unwrap_or(false)
+    }
+
+    /// The smallest primary key strictly greater than `primary`, if any.
+    pub fn next_key(&self, table: TableId, primary: u64) -> Option<u64> {
+        self.tables
+            .get(&table)?
+            .range((std::ops::Bound::Excluded(primary), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(k, _)| *k)
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: TableId) -> usize {
+        self.tables.get(&table).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// All tables owned by `code` that contain at least one row.
+    pub fn tables_of(&self, code: Name) -> Vec<TableId> {
+        self.tables
+            .iter()
+            .filter(|(id, rows)| id.code == code && !rows.is_empty())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid() -> TableId {
+        TableId {
+            code: Name::new("eosbet"),
+            scope: Name::new("eosbet"),
+            table: Name::new("players"),
+        }
+    }
+
+    #[test]
+    fn store_find_update_remove_cycle() {
+        let mut db = Database::new();
+        assert!(db.store(tid(), 1, vec![1, 2]));
+        assert!(!db.store(tid(), 1, vec![3]), "duplicate primary key rejected");
+        assert_eq!(db.find(tid(), 1), Some(&[1u8, 2][..]));
+        assert!(db.update(tid(), 1, vec![9]));
+        assert_eq!(db.find(tid(), 1), Some(&[9u8][..]));
+        assert!(db.remove(tid(), 1));
+        assert!(!db.remove(tid(), 1));
+        assert_eq!(db.find(tid(), 1), None);
+    }
+
+    #[test]
+    fn update_of_missing_row_fails() {
+        let mut db = Database::new();
+        assert!(!db.update(tid(), 5, vec![]));
+    }
+
+    #[test]
+    fn next_key_iterates_in_order() {
+        let mut db = Database::new();
+        for k in [5u64, 1, 9] {
+            db.store(tid(), k, vec![]);
+        }
+        assert_eq!(db.next_key(tid(), 0), Some(1));
+        assert_eq!(db.next_key(tid(), 1), Some(5));
+        assert_eq!(db.next_key(tid(), 5), Some(9));
+        assert_eq!(db.next_key(tid(), 9), None);
+    }
+
+    #[test]
+    fn tables_of_filters_by_code() {
+        let mut db = Database::new();
+        db.store(tid(), 1, vec![]);
+        let other = TableId {
+            code: Name::new("other"),
+            scope: Name::new("other"),
+            table: Name::new("t"),
+        };
+        db.store(other, 1, vec![]);
+        assert_eq!(db.tables_of(Name::new("eosbet")), vec![tid()]);
+    }
+
+    #[test]
+    fn snapshot_semantics_via_clone() {
+        // Transactions roll back by restoring a cloned snapshot (§2.3.5).
+        let mut db = Database::new();
+        db.store(tid(), 1, vec![1]);
+        let snapshot = db.clone();
+        db.update(tid(), 1, vec![2]);
+        db.store(tid(), 2, vec![]);
+        assert_ne!(db, snapshot);
+        let db = snapshot;
+        assert_eq!(db.find(tid(), 1), Some(&[1u8][..]));
+        assert_eq!(db.find(tid(), 2), None);
+    }
+}

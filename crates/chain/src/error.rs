@@ -1,0 +1,54 @@
+//! Chain-level error types.
+
+use std::fmt;
+
+use wasai_vm::Trap;
+
+use crate::action::Receipt;
+use crate::name::Name;
+
+/// A transaction failed and was rolled back.
+///
+/// The receipt of the partial execution is preserved: WASAI analyzes traces
+/// of reverted transactions too (a failed `eosio_assert` is exactly the
+/// signal the constraint flipper feeds on, §3.4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionError {
+    /// The trap that aborted execution.
+    pub trap: Trap,
+    /// Index of the failing top-level action.
+    pub action_index: usize,
+    /// Observations up to the failure point.
+    pub receipt: Receipt,
+}
+
+impl fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction reverted at action {}: {}", self.action_index, self.trap)
+    }
+}
+
+impl std::error::Error for TransactionError {}
+
+/// An error setting up chain state (deployment, account creation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The account already exists.
+    AccountExists(Name),
+    /// The account does not exist.
+    NoSuchAccount(Name),
+    /// The module failed to compile/instantiate.
+    BadContract(String),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::AccountExists(n) => write!(f, "account {n} already exists"),
+            ChainError::NoSuchAccount(n) => write!(f, "no such account: {n}"),
+            ChainError::BadContract(m) => write!(f, "bad contract: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}

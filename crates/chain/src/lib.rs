@@ -1,0 +1,604 @@
+#![warn(missing_docs)]
+
+//! # wasai-chain — the EOSIO blockchain substrate of the WASAI reproduction
+//!
+//! A self-contained local blockchain with exactly the semantics the paper's
+//! vulnerability classes hinge on (§2):
+//!
+//! - [`mod@name`] / [`asset`]: the `N(...)` packed names and `asset` values whose
+//!   `i64.eq`/`i64.ne` comparisons form the Fake EOS / Fake Notification
+//!   guard code (§2.3.1–2.3.2);
+//! - [`abi`] / [`serialize`]: action signatures and the packed byte stream a
+//!   contract deserializes (the C3 challenge);
+//! - [`database`]: the `db_*` tables whose read/write pairs feed the database
+//!   dependency graph (§3.3.2);
+//! - [`token`]: per-issuer token ledgers — the official EOS under
+//!   `eosio.token` and bit-identical fakes under attacker contracts;
+//! - [`chain`]: transactions, notifications that preserve `code`
+//!   (`require_recipient`), inline actions in the caller's atomicity domain
+//!   (the Rollback surface, §2.3.5), deferred actions that escape it, and the
+//!   EOSIO library APIs (§2.2) exposed to Wasm contracts.
+//!
+//! # Examples
+//!
+//! ```
+//! use wasai_chain::{Chain, NativeKind, name::Name, asset::Asset};
+//! use wasai_chain::abi::ParamValue;
+//!
+//! let mut chain = Chain::new();
+//! chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
+//! chain.create_account(Name::new("alice"))?;
+//! chain.create_account(Name::new("bob"))?;
+//! chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100));
+//!
+//! chain.push_action(
+//!     Name::new("eosio.token"),
+//!     Name::new("transfer"),
+//!     &[Name::new("alice")],
+//!     &[
+//!         ParamValue::Name(Name::new("alice")),
+//!         ParamValue::Name(Name::new("bob")),
+//!         ParamValue::Asset(Asset::eos(10)),
+//!         ParamValue::String("hi".into()),
+//!     ],
+//! )?;
+//! assert_eq!(chain.balance(Name::new("eosio.token"), Name::new("bob")), Asset::eos(10));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod abi;
+pub mod action;
+pub mod asset;
+pub mod chain;
+pub mod database;
+pub mod error;
+pub mod name;
+pub mod serialize;
+pub mod token;
+
+pub use action::{Action, ApiEvent, ExecKind, PermissionLevel, Receipt, Transaction};
+pub use chain::{Chain, ChainConfig, NativeKind};
+pub use error::{ChainError, TransactionError};
+pub use name::Name;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::{Abi, ActionDecl, ParamValue};
+    use crate::asset::Asset;
+    use wasai_wasm::builder::ModuleBuilder;
+    use wasai_wasm::instr::Instr;
+    use wasai_wasm::types::{BlockType, ValType::*};
+
+    fn n(s: &str) -> Name {
+        Name::new(s)
+    }
+
+    /// Assemble a minimal eosponser contract.
+    ///
+    /// `apply(receiver, code, action)`:
+    /// ```c
+    /// if (action == N(transfer)) {
+    ///     if (guarded && code != N(eosio.token)) eosio_assert(false, "");
+    ///     db_store_i64(receiver, N(log), receiver, <unique id>, buf, 4);
+    /// }
+    /// ```
+    /// The db write is the observable "eosponser ran" effect.
+    fn eosponser_contract(guarded: bool) -> wasai_wasm::Module {
+        let mut b = ModuleBuilder::with_memory(1);
+        let assert_fn = b.import_func("env", "eosio_assert", &[I32, I32], &[]);
+        let db_store = b.import_func(
+            "env",
+            "db_store_i64",
+            &[I64, I64, I64, I64, I32, I32],
+            &[I32],
+        );
+        let tapos = b.import_func("env", "tapos_block_num", &[], &[I32]);
+        let mut body = vec![
+            Instr::LocalGet(2),
+            Instr::I64Const(n("transfer").as_i64()),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+        ];
+        if guarded {
+            body.extend([
+                Instr::LocalGet(1),
+                Instr::I64Const(n("eosio.token").as_i64()),
+                Instr::I64Ne,
+                Instr::If(BlockType::Empty),
+                Instr::I32Const(0),
+                Instr::I32Const(0),
+                Instr::Call(assert_fn),
+                Instr::End,
+            ]);
+        }
+        body.extend([
+            // db_store_i64(scope=receiver, table=N(log), payer=receiver,
+            //              id=tapos_block_num(), ptr=0, len=4)
+            Instr::LocalGet(0),
+            Instr::I64Const(n("log").as_i64()),
+            Instr::LocalGet(0),
+            Instr::Call(tapos),
+            Instr::I64ExtendI32U,
+            Instr::I32Const(0),
+            Instr::I32Const(4),
+            Instr::Call(db_store),
+            Instr::Drop,
+            Instr::End, // if action == transfer
+            Instr::End, // function
+        ]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], body);
+        b.export_func("apply", apply);
+        b.build()
+    }
+
+    fn transfer_params(from: &str, to: &str, eos: i64, memo: &str) -> Vec<ParamValue> {
+        vec![
+            ParamValue::Name(n(from)),
+            ParamValue::Name(n(to)),
+            ParamValue::Asset(Asset::eos(eos)),
+            ParamValue::String(memo.into()),
+        ]
+    }
+
+    fn eosponser_ran(chain: &Chain, victim: Name) -> bool {
+        chain
+            .db
+            .row_count(crate::database::TableId {
+                code: victim,
+                scope: victim,
+                table: n("log"),
+            })
+            > 0
+    }
+
+    fn setup(guarded: bool) -> Chain {
+        let mut chain = Chain::new();
+        chain.deploy_native(n("eosio.token"), NativeKind::Token);
+        chain.create_account(n("alice")).unwrap();
+        chain.create_account(n("attacker")).unwrap();
+        chain
+            .deploy_wasm(
+                n("eosbet"),
+                eosponser_contract(guarded),
+                Abi::new(vec![ActionDecl::transfer()]),
+            )
+            .unwrap();
+        chain.issue(n("eosio.token"), n("alice"), Asset::eos(1000));
+        chain.issue(n("eosio.token"), n("attacker"), Asset::eos(1000));
+        chain
+    }
+
+    #[test]
+    fn official_transfer_notifies_eosponser() {
+        let mut chain = setup(false);
+        let receipt = chain
+            .push_action(
+                n("eosio.token"),
+                n("transfer"),
+                &[n("alice")],
+                &transfer_params("alice", "eosbet", 10, "play"),
+            )
+            .unwrap();
+        // Figure 1: the payee is notified with code = eosio.token.
+        assert!(receipt.applied(n("eosbet"), n("eosio.token"), n("transfer")));
+        assert!(eosponser_ran(&chain, n("eosbet")));
+        assert_eq!(chain.balance(n("eosio.token"), n("eosbet")), Asset::eos(10));
+    }
+
+    #[test]
+    fn direct_fake_eos_invocation_reaches_unguarded_eosponser() {
+        // Exploit path 1 of §2.3.1: invoke the victim's eosponser directly.
+        let mut chain = setup(false);
+        chain
+            .push_action(
+                n("eosbet"),
+                n("transfer"),
+                &[n("attacker")],
+                &transfer_params("attacker", "eosbet", 10, "free ride"),
+            )
+            .unwrap();
+        assert!(eosponser_ran(&chain, n("eosbet")));
+        // No EOS actually moved.
+        assert_eq!(chain.balance(n("eosio.token"), n("eosbet")), Asset::eos(0));
+    }
+
+    #[test]
+    fn fake_token_transfer_carries_its_own_code() {
+        // Exploit path 2 of §2.3.1: a fake issuer named differently, token
+        // symbol identical.
+        let mut chain = setup(false);
+        chain.deploy_native(n("fake.token"), NativeKind::Token);
+        chain.issue(n("fake.token"), n("attacker"), Asset::eos(1000));
+        let receipt = chain
+            .push_action(
+                n("fake.token"),
+                n("transfer"),
+                &[n("attacker")],
+                &transfer_params("attacker", "eosbet", 10, "fake"),
+            )
+            .unwrap();
+        // The victim is notified, but code = fake.token, not eosio.token.
+        assert!(receipt.applied(n("eosbet"), n("fake.token"), n("transfer")));
+        assert!(eosponser_ran(&chain, n("eosbet")));
+        assert_eq!(chain.balance(n("eosio.token"), n("eosbet")), Asset::eos(0));
+    }
+
+    #[test]
+    fn guard_code_stops_fake_eos_but_allows_official() {
+        let mut chain = setup(true);
+        // Direct invocation is rejected by the guard...
+        let err = chain
+            .push_action(
+                n("eosbet"),
+                n("transfer"),
+                &[n("attacker")],
+                &transfer_params("attacker", "eosbet", 10, ""),
+            )
+            .unwrap_err();
+        assert!(matches!(err.trap, wasai_vm::Trap::AssertFailed(_)));
+        assert!(!eosponser_ran(&chain, n("eosbet")), "guard must prevent the effect");
+        // ... and the official path still works.
+        chain
+            .push_action(
+                n("eosio.token"),
+                n("transfer"),
+                &[n("alice")],
+                &transfer_params("alice", "eosbet", 10, ""),
+            )
+            .unwrap();
+        assert!(eosponser_ran(&chain, n("eosbet")));
+    }
+
+    #[test]
+    fn fake_notification_bypasses_the_code_guard() {
+        // §2.3.2: attacker transfers real EOS to their agent; the agent
+        // forwards the notification; code remains eosio.token, so even the
+        // guarded eosponser runs — without the victim being paid.
+        let mut chain = setup(true);
+        chain.deploy_native(
+            n("fake.notif"),
+            NativeKind::NotifForwarder { forward_to: n("eosbet") },
+        );
+        let receipt = chain
+            .push_action(
+                n("eosio.token"),
+                n("transfer"),
+                &[n("attacker")],
+                &transfer_params("attacker", "fake.notif", 10, "forward me"),
+            )
+            .unwrap();
+        assert!(
+            receipt.applied(n("eosbet"), n("eosio.token"), n("transfer")),
+            "victim must see a notification with code=eosio.token"
+        );
+        assert!(eosponser_ran(&chain, n("eosbet")), "guard is blind to forwarded notifs");
+        assert_eq!(
+            chain.balance(n("eosio.token"), n("eosbet")),
+            Asset::eos(0),
+            "the victim was never paid"
+        );
+        assert_eq!(chain.balance(n("eosio.token"), n("fake.notif")), Asset::eos(10));
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_everything() {
+        let mut chain = setup(true);
+        let before_attacker = chain.balance(n("eosio.token"), n("attacker"));
+        // One transaction: (1) official transfer to eosbet, (2) a direct fake
+        // call that trips the guard. Both must revert — including the token
+        // movement and the eosponser's db write from step 1.
+        let tx = Transaction {
+            actions: vec![
+                Action::new(
+                    n("eosio.token"),
+                    n("transfer"),
+                    &[n("attacker")],
+                    &transfer_params("attacker", "eosbet", 10, ""),
+                ),
+                Action::new(
+                    n("eosbet"),
+                    n("transfer"),
+                    &[n("attacker")],
+                    &transfer_params("attacker", "eosbet", 10, ""),
+                ),
+            ],
+        };
+        let err = chain.push_transaction(&tx).unwrap_err();
+        assert_eq!(err.action_index, 1);
+        assert_eq!(chain.balance(n("eosio.token"), n("attacker")), before_attacker);
+        assert_eq!(chain.balance(n("eosio.token"), n("eosbet")), Asset::eos(0));
+        assert!(!eosponser_ran(&chain, n("eosbet")), "db writes must roll back");
+        // The receipt still shows what executed before the revert.
+        assert!(err.receipt.applied(n("eosbet"), n("eosio.token"), n("transfer")));
+    }
+
+    #[test]
+    fn missing_authorization_aborts_token_transfer() {
+        let mut chain = setup(false);
+        let err = chain
+            .push_action(
+                n("eosio.token"),
+                n("transfer"),
+                &[n("attacker")], // signs as attacker, moves alice's funds
+                &transfer_params("alice", "attacker", 10, "steal"),
+            )
+            .unwrap_err();
+        assert!(err.trap.to_string().contains("missing authority"));
+        assert_eq!(chain.balance(n("eosio.token"), n("alice")), Asset::eos(1000));
+    }
+
+    #[test]
+    fn require_auth_host_api_traps_without_permission() {
+        let mut b = ModuleBuilder::with_memory(1);
+        let require_auth = b.import_func("env", "require_auth", &[I64], &[]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
+            Instr::I64Const(n("admin").as_i64()),
+            Instr::Call(require_auth),
+            Instr::End,
+        ]);
+        b.export_func("apply", apply);
+        let mut chain = Chain::new();
+        chain.create_account(n("admin")).unwrap();
+        chain.create_account(n("mallory")).unwrap();
+        chain.deploy_wasm(n("guarded"), b.build(), Abi::default()).unwrap();
+
+        assert!(chain.push_action(n("guarded"), n("doit"), &[n("mallory")], &[]).is_err());
+        let ok = chain.push_action(n("guarded"), n("doit"), &[n("admin")], &[]).unwrap();
+        assert!(ok
+            .api_events
+            .iter()
+            .any(|e| matches!(e, ApiEvent::RequireAuth { actor, .. } if *actor == n("admin"))));
+    }
+
+    #[test]
+    fn send_inline_moves_tokens_with_contract_authority() {
+        // A contract that, on any action, sends 1 EOS from itself to `bob`
+        // via an inline eosio.token::transfer — the §2.3.5 reward pattern.
+        let mut b = ModuleBuilder::with_memory(1);
+        let send_inline = b.import_func("env", "send_inline", &[I64, I64, I32, I32], &[]);
+        let mut body = vec![
+            // Only handle direct actions (code == receiver); otherwise the
+            // token's transfer notification re-triggers the reward forever.
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::I64Ne,
+            Instr::If(BlockType::Empty),
+            Instr::Return,
+            Instr::End,
+        ];
+        // Serialize transfer(rewarder, bob, 1.0000 EOS, "") at memory 0.
+        let data = serialize::pack(&transfer_params("rewarder", "bob", 1, ""));
+        for (i, chunk) in data.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            body.extend([
+                Instr::I32Const((i * 8) as i32),
+                Instr::I64Const(i64::from_le_bytes(word)),
+                Instr::I64Store(wasai_wasm::MemArg::default()),
+            ]);
+        }
+        body.extend([
+            Instr::I64Const(n("eosio.token").as_i64()),
+            Instr::I64Const(n("transfer").as_i64()),
+            Instr::I32Const(0),
+            Instr::I32Const(data.len() as i32),
+            Instr::Call(send_inline),
+            Instr::End,
+        ]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], body);
+        b.export_func("apply", apply);
+
+        let mut chain = Chain::new();
+        chain.deploy_native(n("eosio.token"), NativeKind::Token);
+        chain.create_account(n("bob")).unwrap();
+        chain.create_account(n("carol")).unwrap();
+        chain.deploy_wasm(n("rewarder"), b.build(), Abi::default()).unwrap();
+        chain.issue(n("eosio.token"), n("rewarder"), Asset::eos(5));
+
+        let receipt =
+            chain.push_action(n("rewarder"), n("reward"), &[n("carol")], &[]).unwrap();
+        assert_eq!(chain.balance(n("eosio.token"), n("bob")), Asset::eos(1));
+        assert!(receipt
+            .api_events
+            .iter()
+            .any(|e| matches!(e, ApiEvent::SendInline { .. })));
+        assert!(receipt.applied(n("eosio.token"), n("eosio.token"), n("transfer")));
+    }
+
+    #[test]
+    fn deferred_actions_run_in_their_own_transaction() {
+        let mut b = ModuleBuilder::with_memory(1);
+        let send_deferred =
+            b.import_func("env", "send_deferred", &[I64, I64, I64, I32, I32], &[]);
+        let data = serialize::pack(&transfer_params("delayed", "bob", 1, ""));
+        let mut body = Vec::new();
+        for (i, chunk) in data.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            body.extend([
+                Instr::I32Const((i * 8) as i32),
+                Instr::I64Const(i64::from_le_bytes(word)),
+                Instr::I64Store(wasai_wasm::MemArg::default()),
+            ]);
+        }
+        body.extend([
+            Instr::I64Const(1),
+            Instr::I64Const(n("eosio.token").as_i64()),
+            Instr::I64Const(n("transfer").as_i64()),
+            Instr::I32Const(0),
+            Instr::I32Const(data.len() as i32),
+            Instr::Call(send_deferred),
+            Instr::End,
+        ]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], body);
+        b.export_func("apply", apply);
+
+        let mut chain = Chain::new();
+        chain.deploy_native(n("eosio.token"), NativeKind::Token);
+        chain.create_account(n("bob")).unwrap();
+        chain.create_account(n("x")).unwrap();
+        chain.deploy_wasm(n("delayed"), b.build(), Abi::default()).unwrap();
+        chain.issue(n("eosio.token"), n("delayed"), Asset::eos(5));
+
+        chain.push_action(n("delayed"), n("go"), &[n("x")], &[]).unwrap();
+        // Not yet executed...
+        assert_eq!(chain.balance(n("eosio.token"), n("bob")), Asset::eos(0));
+        assert_eq!(chain.deferred_len(), 1);
+        // ...until the deferred queue drains, in a separate transaction.
+        let results = chain.run_deferred();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_ok());
+        assert_eq!(chain.balance(n("eosio.token"), n("bob")), Asset::eos(1));
+    }
+
+    #[test]
+    fn tapos_reads_are_recorded_and_vary_per_block() {
+        let mut b = ModuleBuilder::with_memory(1);
+        let tapos_num = b.import_func("env", "tapos_block_num", &[], &[I32]);
+        let tapos_prefix = b.import_func("env", "tapos_block_prefix", &[], &[I32]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
+            Instr::Call(tapos_num),
+            Instr::Drop,
+            Instr::Call(tapos_prefix),
+            Instr::Drop,
+            Instr::End,
+        ]);
+        b.export_func("apply", apply);
+        let mut chain = Chain::new();
+        chain.create_account(n("x")).unwrap();
+        chain.deploy_wasm(n("lottery"), b.build(), Abi::default()).unwrap();
+        let r = chain.push_action(n("lottery"), n("roll"), &[n("x")], &[]).unwrap();
+        let tapos_reads = r
+            .api_events
+            .iter()
+            .filter(|e| matches!(e, ApiEvent::TaposRead { .. }))
+            .count();
+        assert_eq!(tapos_reads, 2);
+    }
+
+    #[test]
+    fn read_action_data_roundtrips_into_contract_memory() {
+        // Contract copies action data into memory and stores the first 8
+        // bytes into a db row; we verify the row holds the `from` name.
+        let mut b = ModuleBuilder::with_memory(1);
+        let read = b.import_func("env", "read_action_data", &[I32, I32], &[I32]);
+        let size = b.import_func("env", "action_data_size", &[], &[I32]);
+        let db_store =
+            b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
+            Instr::I32Const(256),
+            Instr::Call(size),
+            Instr::Call(read),
+            Instr::Drop,
+            Instr::LocalGet(0),
+            Instr::I64Const(n("data").as_i64()),
+            Instr::LocalGet(0),
+            Instr::I64Const(7),
+            Instr::I32Const(256),
+            Instr::I32Const(8),
+            Instr::Call(db_store),
+            Instr::Drop,
+            Instr::End,
+        ]);
+        b.export_func("apply", apply);
+        let mut chain = Chain::new();
+        chain.create_account(n("x")).unwrap();
+        chain.deploy_wasm(n("echo"), b.build(), Abi::default()).unwrap();
+        chain
+            .push_action(
+                n("echo"),
+                n("poke"),
+                &[n("x")],
+                &[ParamValue::Name(n("alice")), ParamValue::U64(99)],
+            )
+            .unwrap();
+        let row = chain
+            .db
+            .find(
+                crate::database::TableId { code: n("echo"), scope: n("echo"), table: n("data") },
+                7,
+            )
+            .expect("row stored");
+        assert_eq!(row, n("alice").raw().to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+    use crate::abi::Abi;
+    use wasai_wasm::builder::ModuleBuilder;
+    use wasai_wasm::instr::Instr;
+    use wasai_wasm::types::{BlockType, ValType::*};
+
+    #[test]
+    fn fuel_exhaustion_reverts_the_transaction() {
+        let mut b = ModuleBuilder::with_memory(1);
+        let db_store =
+            b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]);
+        // Store a row, then spin forever: the row must be rolled back.
+        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(Name::new("t").as_i64()),
+            Instr::LocalGet(0),
+            Instr::I64Const(1),
+            Instr::I32Const(0),
+            Instr::I32Const(4),
+            Instr::Call(db_store),
+            Instr::Drop,
+            Instr::Loop(BlockType::Empty),
+            Instr::Br(0),
+            Instr::End,
+            Instr::End,
+        ]);
+        b.export_func("apply", apply);
+        let mut chain =
+            Chain::with_config(ChainConfig { fuel_per_tx: 50_000 });
+        chain.create_account(Name::new("x")).unwrap();
+        chain.deploy_wasm(Name::new("spinner"), b.build(), Abi::default()).unwrap();
+        let err = chain
+            .push_action(Name::new("spinner"), Name::new("go"), &[Name::new("x")], &[])
+            .unwrap_err();
+        assert_eq!(err.trap, wasai_vm::Trap::StepLimit);
+        let table = crate::database::TableId {
+            code: Name::new("spinner"),
+            scope: Name::new("spinner"),
+            table: Name::new("t"),
+        };
+        assert_eq!(chain.db.find(table, 1), None, "partial writes must revert");
+        // The receipt still reports the consumed fuel for the virtual clock.
+        assert_eq!(err.receipt.steps_used, 50_000);
+    }
+
+    #[test]
+    fn action_to_missing_account_fails() {
+        let mut chain = Chain::new();
+        chain.create_account(Name::new("x")).unwrap();
+        let err = chain
+            .push_action(Name::new("ghost"), Name::new("go"), &[Name::new("x")], &[])
+            .unwrap_err();
+        assert!(err.trap.to_string().contains("no such account"));
+    }
+
+    #[test]
+    fn duplicate_account_creation_fails() {
+        let mut chain = Chain::new();
+        chain.create_account(Name::new("x")).unwrap();
+        assert_eq!(
+            chain.create_account(Name::new("x")),
+            Err(ChainError::AccountExists(Name::new("x")))
+        );
+    }
+
+    #[test]
+    fn tapos_values_change_across_blocks() {
+        let mut chain = Chain::new();
+        chain.create_account(Name::new("x")).unwrap();
+        let t0 = chain.now_us();
+        // Each transaction advances the synthetic block state.
+        let _ = chain.push_action(Name::new("x"), Name::new("noop"), &[Name::new("x")], &[]);
+        let _ = chain.push_action(Name::new("x"), Name::new("noop"), &[Name::new("x")], &[]);
+        assert!(chain.now_us() > t0);
+    }
+}

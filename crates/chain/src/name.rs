@@ -1,0 +1,180 @@
+//! EOSIO account/action names: 12+1 base-32 characters packed into a `u64`.
+//!
+//! This is the `N(...)` macro of the EOSIO SDK (Listing 1 of the paper uses
+//! `N(transfer)` and `N(eosio.token)`). The Fake EOS guard the paper looks
+//! for compares these packed values with `i64.eq`/`i64.ne` (§2.3.1).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Alphabet of EOSIO names, in symbol-value order.
+const CHARS: &[u8; 32] = b".12345abcdefghijklmnopqrstuvwxyz";
+
+/// A packed EOSIO name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Name(pub u64);
+
+/// Error parsing a [`Name`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNameError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid EOSIO name: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+fn char_value(c: u8) -> Option<u64> {
+    match c {
+        b'.' => Some(0),
+        b'1'..=b'5' => Some((c - b'1') as u64 + 1),
+        b'a'..=b'z' => Some((c - b'a') as u64 + 6),
+        _ => None,
+    }
+}
+
+impl Name {
+    /// Parse a name, panicking on invalid input — the compile-time `N(...)`
+    /// idiom for string literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a valid EOSIO name; use the `FromStr` impl for
+    /// fallible parsing.
+    pub fn new(s: &str) -> Name {
+        s.parse().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The raw packed value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The raw value as the `i64` EOSVM passes around.
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Rebuild from the `i64` representation.
+    pub fn from_i64(v: i64) -> Name {
+        Name(v as u64)
+    }
+
+    /// True for the all-zero (empty) name.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl FromStr for Name {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() > 13 {
+            return Err(ParseNameError { message: format!("{s:?} is longer than 13 chars") });
+        }
+        let bytes = s.as_bytes();
+        let mut value: u64 = 0;
+        for i in 0..13 {
+            let c = bytes.get(i).copied().unwrap_or(b'.');
+            let v = char_value(c).ok_or_else(|| ParseNameError {
+                message: format!("{s:?} contains invalid char {:?}", c as char),
+            })?;
+            if i < 12 {
+                value |= (v & 0x1f) << (64 - 5 * (i + 1));
+            } else {
+                if v > 0x0f {
+                    return Err(ParseNameError {
+                        message: format!("{s:?}: 13th char must be in [.1-5a-j]"),
+                    });
+                }
+                value |= v & 0x0f;
+            }
+        }
+        Ok(Name(value))
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = [b'.'; 13];
+        let mut v = self.0;
+        for i in (0..13).rev() {
+            let sym = if i == 12 {
+                let s = (v & 0x0f) as usize;
+                v >>= 4;
+                s
+            } else {
+                let s = (v & 0x1f) as usize;
+                v >>= 5;
+                s
+            };
+            out[i] = CHARS[sym];
+        }
+        let trimmed = std::str::from_utf8(&out).expect("alphabet is ASCII").trim_end_matches('.');
+        f.write_str(trimmed)
+    }
+}
+
+/// Convenience literal: `name!("eosio.token")`.
+#[macro_export]
+macro_rules! name {
+    ($s:literal) => {
+        $crate::name::Name::new($s)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Reference values from the EOSIO SDK name encoding.
+        assert_eq!(Name::new("eosio.token").raw(), 0x5530ea033482a600);
+        assert_eq!(Name::new("eosio").raw(), 0x5530ea0000000000);
+        assert_eq!(Name::new("transfer").raw(), 0xcdcd3c2d57000000);
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        for s in ["eosio.token", "transfer", "a", "zzzzzzzzzzzz", "eosbet", "fake.notif", "12345"] {
+            assert_eq!(Name::new(s).to_string(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn empty_name() {
+        assert!(Name::default().is_empty());
+        assert_eq!(Name::default().to_string(), "");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!("UPPER".parse::<Name>().is_err());
+        assert!("has space".parse::<Name>().is_err());
+        assert!("waytoolongname1".parse::<Name>().is_err());
+        assert!("aaaaaaaaaaaaz".parse::<Name>().is_err()); // 13th char out of range
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        let n = Name::new("eosbet");
+        assert_eq!(Name::from_i64(n.as_i64()), n);
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(Name::new("a") < Name::new("b"));
+    }
+
+    #[test]
+    fn name_macro() {
+        assert_eq!(name!("eosio.token"), Name::new("eosio.token"));
+    }
+}

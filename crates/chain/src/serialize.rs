@@ -1,0 +1,222 @@
+//! EOSIO binary (de)serialization of action data.
+//!
+//! "The meaningful input data will be serialized into a byte stream before
+//! being fed to the smart contract, according to the function signatures
+//! declared at the ABI" (C3, §3.2). This module is that byte stream codec:
+//! names and integers little-endian, assets as amount‖symbol, strings as a
+//! varuint32 length followed by the bytes.
+
+use std::fmt;
+
+use crate::abi::{ParamType, ParamValue};
+use crate::asset::{Asset, Symbol};
+use crate::name::Name;
+
+/// Error unpacking action data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnpackError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unpack error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Append a varuint32 (LEB128) length.
+fn write_varuint32(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Serialize one value.
+pub fn pack_value(out: &mut Vec<u8>, v: &ParamValue) {
+    match v {
+        ParamValue::Name(n) => out.extend_from_slice(&n.raw().to_le_bytes()),
+        ParamValue::Asset(a) => {
+            out.extend_from_slice(&a.amount.to_le_bytes());
+            out.extend_from_slice(&a.symbol.raw().to_le_bytes());
+        }
+        ParamValue::String(s) => {
+            write_varuint32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+        ParamValue::U64(v) => out.extend_from_slice(&v.to_le_bytes()),
+        ParamValue::U32(v) => out.extend_from_slice(&v.to_le_bytes()),
+        ParamValue::U8(v) => out.push(*v),
+        ParamValue::I64(v) => out.extend_from_slice(&v.to_le_bytes()),
+        ParamValue::F64(v) => out.extend_from_slice(&v.to_le_bytes()),
+    }
+}
+
+/// Serialize a parameter vector ρ⃗ into action data bytes.
+pub fn pack(values: &[ParamValue]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in values {
+        pack_value(&mut out, v);
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, UnpackError> {
+        Err(UnpackError { offset: self.pos, message: message.into() })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], UnpackError> {
+        if self.pos + n > self.bytes.len() {
+            return self.err("unexpected end of action data");
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64_le(&mut self) -> Result<u64, UnpackError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn varuint32(&mut self) -> Result<u32, UnpackError> {
+        let mut v: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or(UnpackError { offset: self.pos, message: "truncated varuint".into() })?;
+            self.pos += 1;
+            v |= ((b & 0x7f) as u32) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 28 {
+                return self.err("varuint32 too long");
+            }
+        }
+    }
+}
+
+/// Deserialize action data according to a signature.
+///
+/// # Errors
+///
+/// Fails when the data is truncated or malformed; the chain treats that like
+/// the SDK's deserializer aborting the action.
+pub fn unpack(types: &[ParamType], bytes: &[u8]) -> Result<Vec<ParamValue>, UnpackError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let mut out = Vec::with_capacity(types.len());
+    for t in types {
+        let v = match t {
+            ParamType::Name => ParamValue::Name(Name(r.u64_le()?)),
+            ParamType::Asset => {
+                let amount = r.u64_le()? as i64;
+                let symbol = Symbol(r.u64_le()?);
+                ParamValue::Asset(Asset { amount, symbol })
+            }
+            ParamType::String => {
+                let len = r.varuint32()? as usize;
+                let raw = r.take(len)?;
+                match std::str::from_utf8(raw) {
+                    Ok(s) => ParamValue::String(s.to_string()),
+                    Err(_) => return r.err("string is not UTF-8"),
+                }
+            }
+            ParamType::U64 => ParamValue::U64(r.u64_le()?),
+            ParamType::U32 => {
+                let b = r.take(4)?;
+                ParamValue::U32(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            }
+            ParamType::U8 => ParamValue::U8(r.take(1)?[0]),
+            ParamType::I64 => ParamValue::I64(r.u64_le()? as i64),
+            ParamType::F64 => ParamValue::F64(f64::from_bits(r.u64_le()?)),
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::ActionDecl;
+
+    #[test]
+    fn transfer_roundtrip() {
+        let values = vec![
+            ParamValue::Name(Name::new("alice")),
+            ParamValue::Name(Name::new("eosbet")),
+            ParamValue::Asset("10.0000 EOS".parse().unwrap()),
+            ParamValue::String("jackpot please".into()),
+        ];
+        let bytes = pack(&values);
+        // name(8) + name(8) + asset(16) + varuint(1) + 14 string bytes
+        assert_eq!(bytes.len(), 8 + 8 + 16 + 1 + 14);
+        let decl = ActionDecl::transfer();
+        assert_eq!(unpack(&decl.params, &bytes).unwrap(), values);
+    }
+
+    #[test]
+    fn layout_is_little_endian_and_ordered() {
+        let values =
+            vec![ParamValue::Name(Name::new("alice")), ParamValue::Asset(Asset::eos(10))];
+        let bytes = pack(&values);
+        assert_eq!(&bytes[0..8], &Name::new("alice").raw().to_le_bytes());
+        assert_eq!(&bytes[8..16], &100_000i64.to_le_bytes());
+    }
+
+    #[test]
+    fn string_length_prefix_is_first_byte_for_short_strings() {
+        // Table 2: "The first byte is the length of the string".
+        let bytes = pack(&[ParamValue::String("abc".into())]);
+        assert_eq!(bytes, vec![3, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn truncated_data_errors() {
+        let err = unpack(&[ParamType::Name], &[1, 2, 3]).unwrap_err();
+        assert!(err.message.contains("unexpected end"));
+    }
+
+    #[test]
+    fn all_scalar_types_roundtrip() {
+        let values = vec![
+            ParamValue::U64(u64::MAX),
+            ParamValue::U32(7),
+            ParamValue::U8(255),
+            ParamValue::I64(-9),
+            ParamValue::F64(2.5),
+        ];
+        let types: Vec<ParamType> = values.iter().map(|v| v.param_type()).collect();
+        assert_eq!(unpack(&types, &pack(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn long_string_uses_multibyte_varint() {
+        let s = "x".repeat(300);
+        let bytes = pack(&[ParamValue::String(s.clone())]);
+        assert_eq!(bytes[0], 0xac); // 300 = 0b10_0101100 → 0xac 0x02
+        assert_eq!(bytes[1], 0x02);
+        let back = unpack(&[ParamType::String], &bytes).unwrap();
+        assert_eq!(back, vec![ParamValue::String(s)]);
+    }
+}

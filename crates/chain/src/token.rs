@@ -1,0 +1,152 @@
+//! The token ledger and the native `eosio.token`-style contract logic.
+//!
+//! "EOSIO allows anyone to issue tokens with any name, enabling attackers to
+//! release fake EOS tokens with identical name of the official one" (§2.3.1).
+//! The ledger therefore keys balances by *(issuing contract, symbol)*: the
+//! official EOS lives under `eosio.token`, a fake EOS under `fake.token`,
+//! and the two never mix even though their symbols are bit-identical.
+
+use std::collections::BTreeMap;
+
+use crate::asset::{Asset, Symbol};
+use crate::name::Name;
+
+/// Balances of every token of every issuer contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenLedger {
+    /// (token contract, symbol, owner) → amount in sub-units.
+    balances: BTreeMap<(Name, u64, Name), i64>,
+}
+
+/// A transfer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// Sender balance is too small.
+    Overdrawn {
+        /// The sender.
+        from: Name,
+        /// Their balance in sub-units.
+        balance: i64,
+        /// The attempted amount.
+        amount: i64,
+    },
+    /// Transfers must move a positive quantity.
+    NonPositive,
+    /// Self transfers are rejected (as `eosio.token` does).
+    SelfTransfer,
+}
+
+impl std::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenError::Overdrawn { from, balance, amount } => {
+                write!(f, "{from} has {balance} sub-units, cannot send {amount}")
+            }
+            TokenError::NonPositive => write!(f, "must transfer positive quantity"),
+            TokenError::SelfTransfer => write!(f, "cannot transfer to self"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+impl TokenLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        TokenLedger::default()
+    }
+
+    /// Balance of `owner` in the token `(contract, symbol)`.
+    pub fn balance(&self, contract: Name, symbol: Symbol, owner: Name) -> i64 {
+        self.balances.get(&(contract, symbol.raw(), owner)).copied().unwrap_or(0)
+    }
+
+    /// Mint tokens to an account (the `issue` action, simplified).
+    pub fn issue(&mut self, contract: Name, owner: Name, quantity: Asset) {
+        *self.balances.entry((contract, quantity.symbol.raw(), owner)).or_insert(0) +=
+            quantity.amount;
+    }
+
+    /// Move `quantity` of the token issued by `contract` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive quantities, self transfers and overdrafts —
+    /// causing the calling action (and transaction) to abort.
+    pub fn transfer(
+        &mut self,
+        contract: Name,
+        from: Name,
+        to: Name,
+        quantity: Asset,
+    ) -> Result<(), TokenError> {
+        if quantity.amount <= 0 {
+            return Err(TokenError::NonPositive);
+        }
+        if from == to {
+            return Err(TokenError::SelfTransfer);
+        }
+        let key_from = (contract, quantity.symbol.raw(), from);
+        let balance = self.balances.get(&key_from).copied().unwrap_or(0);
+        if balance < quantity.amount {
+            return Err(TokenError::Overdrawn { from, balance, amount: quantity.amount });
+        }
+        *self.balances.entry(key_from).or_insert(0) -= quantity.amount;
+        *self.balances.entry((contract, quantity.symbol.raw(), to)).or_insert(0) +=
+            quantity.amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::eos_symbol;
+
+    #[test]
+    fn issue_and_transfer() {
+        let mut l = TokenLedger::new();
+        let token = Name::new("eosio.token");
+        l.issue(token, Name::new("alice"), Asset::eos(100));
+        l.transfer(token, Name::new("alice"), Name::new("bob"), Asset::eos(30)).unwrap();
+        assert_eq!(l.balance(token, eos_symbol(), Name::new("alice")), 70 * 10_000);
+        assert_eq!(l.balance(token, eos_symbol(), Name::new("bob")), 30 * 10_000);
+    }
+
+    #[test]
+    fn overdraft_rejected() {
+        let mut l = TokenLedger::new();
+        let token = Name::new("eosio.token");
+        l.issue(token, Name::new("alice"), Asset::eos(1));
+        let err = l
+            .transfer(token, Name::new("alice"), Name::new("bob"), Asset::eos(2))
+            .unwrap_err();
+        assert!(matches!(err, TokenError::Overdrawn { .. }));
+    }
+
+    #[test]
+    fn fake_token_is_a_distinct_ledger_entry() {
+        // The Fake EOS attack's precondition: fake.token can issue "EOS"
+        // that is bookkept separately from the official one.
+        let mut l = TokenLedger::new();
+        l.issue(Name::new("fake.token"), Name::new("attacker"), Asset::eos(1_000_000));
+        assert_eq!(
+            l.balance(Name::new("eosio.token"), eos_symbol(), Name::new("attacker")),
+            0,
+            "fake EOS must not count as official EOS"
+        );
+        assert_eq!(
+            l.balance(Name::new("fake.token"), eos_symbol(), Name::new("attacker")),
+            1_000_000 * 10_000
+        );
+    }
+
+    #[test]
+    fn degenerate_transfers_rejected() {
+        let mut l = TokenLedger::new();
+        let t = Name::new("eosio.token");
+        l.issue(t, Name::new("a"), Asset::eos(5));
+        assert_eq!(l.transfer(t, Name::new("a"), Name::new("a"), Asset::eos(1)), Err(TokenError::SelfTransfer));
+        assert_eq!(l.transfer(t, Name::new("a"), Name::new("b"), Asset::eos(0)), Err(TokenError::NonPositive));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on the EOSIO data types and the action-data codec.
+
+use proptest::prelude::*;
+
+use wasai_chain::abi::{ParamType, ParamValue};
+use wasai_chain::asset::{Asset, Symbol};
+use wasai_chain::name::Name;
+use wasai_chain::serialize::{pack, unpack};
+
+/// A valid EOSIO name string: 1..=12 chars of [a-z1-5.] with no trailing
+/// dots (trailing dots are trimmed by Display, so exclude them for clean
+/// round-trips).
+fn arb_name_str() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z1-5][a-z1-5.]{0,10}[a-z1-5]|[a-z1-5]")
+        .expect("valid regex")
+}
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    ("[A-Z]{1,7}", 0u8..12).prop_map(|(code, precision)| Symbol::new(precision, &code))
+}
+
+fn arb_param() -> impl Strategy<Value = ParamValue> {
+    prop_oneof![
+        arb_name_str().prop_map(|s| ParamValue::Name(Name::new(&s))),
+        (any::<i64>(), arb_symbol()).prop_map(|(a, s)| ParamValue::Asset(Asset::new(a, s))),
+        "[ -~]{0,40}".prop_map(ParamValue::String),
+        any::<u64>().prop_map(ParamValue::U64),
+        any::<u32>().prop_map(ParamValue::U32),
+        any::<u8>().prop_map(ParamValue::U8),
+        any::<i64>().prop_map(ParamValue::I64),
+        any::<f64>().prop_map(ParamValue::F64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Name strings survive the pack → display round trip.
+    #[test]
+    fn name_roundtrip(s in arb_name_str()) {
+        let n = Name::new(&s);
+        prop_assert_eq!(n.to_string(), s);
+        prop_assert_eq!(Name::from_i64(n.as_i64()), n);
+    }
+
+    /// Name encoding is injective over distinct strings.
+    #[test]
+    fn name_injective(a in arb_name_str(), b in arb_name_str()) {
+        prop_assert_eq!(a == b, Name::new(&a) == Name::new(&b));
+    }
+
+    /// Assets round-trip through their display form.
+    #[test]
+    fn asset_display_roundtrip(amount in -1_000_000_000_000i64..1_000_000_000_000i64,
+                               sym in arb_symbol()) {
+        let a = Asset::new(amount, sym);
+        let parsed: Asset = a.to_string().parse().expect("parses own display");
+        prop_assert_eq!(parsed, a);
+    }
+
+    /// Arbitrary parameter vectors survive the EOSIO byte-stream codec.
+    #[test]
+    fn action_data_roundtrip(values in prop::collection::vec(arb_param(), 0..6)) {
+        // NaN-valued floats break equality; compare via bit patterns.
+        let types: Vec<ParamType> = values.iter().map(ParamValue::param_type).collect();
+        let bytes = pack(&values);
+        let back = unpack(&types, &bytes).expect("unpacks own packing");
+        prop_assert_eq!(back.len(), values.len());
+        for (x, y) in values.iter().zip(&back) {
+            match (x, y) {
+                (ParamValue::F64(a), ParamValue::F64(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                _ => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    /// Truncating packed data never panics — it errors.
+    #[test]
+    fn truncated_unpack_errors_not_panics(values in prop::collection::vec(arb_param(), 1..5),
+                                          cut in 0usize..64) {
+        let types: Vec<ParamType> = values.iter().map(ParamValue::param_type).collect();
+        let bytes = pack(&values);
+        if cut < bytes.len() {
+            let _ = unpack(&types, &bytes[..cut]); // may Err, must not panic
+        }
+    }
+
+    /// The token ledger conserves total supply under arbitrary transfers.
+    #[test]
+    fn ledger_conserves_supply(transfers in prop::collection::vec(
+        (0u8..4, 0u8..4, 1i64..1000), 0..30))
+    {
+        use wasai_chain::token::TokenLedger;
+        let accounts = [Name::new("a"), Name::new("b"), Name::new("c"), Name::new("d")];
+        let token = Name::new("eosio.token");
+        let mut ledger = TokenLedger::new();
+        for &acct in &accounts {
+            ledger.issue(token, acct, Asset::eos(1000));
+        }
+        let total = |l: &TokenLedger| -> i64 {
+            accounts
+                .iter()
+                .map(|&a| l.balance(token, wasai_chain::asset::eos_symbol(), a))
+                .sum()
+        };
+        let initial = total(&ledger);
+        for (f, t, amt) in transfers {
+            let _ = ledger.transfer(
+                token,
+                accounts[f as usize],
+                accounts[t as usize],
+                Asset::new(amt * 10_000, wasai_chain::asset::eos_symbol()),
+            );
+        }
+        prop_assert_eq!(total(&ledger), initial, "transfers must conserve supply");
+        for &acct in &accounts {
+            prop_assert!(ledger.balance(token, wasai_chain::asset::eos_symbol(), acct) >= 0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The virtual clock: a deterministic stand-in for wall-clock time.
+//!
+//! The paper's experiments run each fuzzer for 5 wall-clock minutes with a
+//! 3,000 ms SMT cap (§4). Wall clocks make experiments machine-dependent and
+//! slow; instead every cost source (executed instructions, solver work)
+//! charges a calibrated number of virtual microseconds. Figure 3's shape —
+//! WASAI pays for solving up front and overtakes the random fuzzer within
+//! seconds — falls out of the same cost model both fuzzers are charged under.
+
+/// Virtual-time cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Virtual nanoseconds per executed (instrumented) Wasm instruction.
+    pub step_ns: u64,
+    /// Fixed virtual microseconds per SMT query (encode + solve overhead).
+    pub smt_query_us: u64,
+    /// Virtual nanoseconds per SAT unit propagation.
+    pub smt_prop_ns: u64,
+    /// Fixed virtual microseconds per transaction (signing, scheduling).
+    pub tx_overhead_us: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            step_ns: 2_000,
+            smt_query_us: 20_000,
+            smt_prop_ns: 2_000,
+            tx_overhead_us: 2_000,
+        }
+    }
+}
+
+/// A monotone virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    micros: u64,
+}
+
+impl VirtualClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Elapsed virtual microseconds.
+    pub fn micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Elapsed virtual seconds (fractional).
+    pub fn seconds(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Charge transaction execution: fuel steps consumed + fixed overhead.
+    pub fn charge_execution(&mut self, model: &CostModel, steps: u64) {
+        self.micros += model.tx_overhead_us + steps * model.step_ns / 1_000;
+    }
+
+    /// Charge one SMT query.
+    pub fn charge_smt(&mut self, model: &CostModel, propagations: u64) {
+        self.micros += model.smt_query_us + propagations * model.smt_prop_ns / 1_000;
+    }
+
+    /// True once `timeout_us` virtual microseconds have elapsed.
+    pub fn timed_out(&self, timeout_us: u64) -> bool {
+        self.micros >= timeout_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let model = CostModel::default();
+        let mut c = VirtualClock::new();
+        c.charge_execution(&model, 10_000); // 2ms tx + 20ms steps
+        assert_eq!(c.micros(), 2_000 + 20_000);
+        c.charge_smt(&model, 1_000); // 20ms + 2ms
+        assert_eq!(c.micros(), 22_000 + 22_000);
+        assert!(!c.timed_out(1_000_000));
+        assert!(c.timed_out(44_000));
+    }
+
+    #[test]
+    fn smt_is_much_more_expensive_than_execution() {
+        // The premise behind Figure 3's early crossover.
+        let model = CostModel::default();
+        let mut exec_only = VirtualClock::new();
+        exec_only.charge_execution(&model, 10_000);
+        let mut with_smt = VirtualClock::new();
+        with_smt.charge_execution(&model, 10_000);
+        with_smt.charge_smt(&model, 0);
+        assert!(with_smt.micros() > exec_only.micros() * 15 / 10);
+    }
+}

@@ -1,0 +1,85 @@
+//! Branch-coverage extraction from traces (RQ1's metric: "the number of
+//! distinct branches explored").
+//!
+//! Shared by WASAI and the baseline fuzzers so Figure 3 compares like with
+//! like: a branch is a `(function, pc, direction)` triple of a `br_if`/`if`
+//! (direction = condition ≠ 0) or a `br_table` (direction = index). The
+//! dispatcher (`apply`) is excluded — "WASAI only focuses on exploring
+//! branches in the action functions" (§5).
+
+use std::collections::HashSet;
+
+use wasai_vm::{TraceKind, TraceRecord};
+use wasai_wasm::instr::Instr;
+use wasai_wasm::Module;
+
+/// A covered branch: `(func, pc, direction)`.
+pub type BranchKey = (u32, u32, u64);
+
+/// Extract the branches exercised by a trace.
+pub fn branches_in_trace(module: &Module, trace: &[TraceRecord]) -> HashSet<BranchKey> {
+    let apply_idx = module.exported_func("apply");
+    let mut out = HashSet::new();
+    for rec in trace {
+        let TraceKind::Site { func, pc } = rec.kind else { continue };
+        if Some(func) == apply_idx {
+            continue;
+        }
+        let Some(f) = module.local_func(func) else { continue };
+        match f.body.get(pc as usize) {
+            Some(Instr::BrIf(_)) | Some(Instr::If(_)) => {
+                let cond = rec.operands.first().map(|v| v.bits()).unwrap_or(0);
+                out.insert((func, pc, (cond != 0) as u64));
+            }
+            Some(Instr::BrTable(..)) => {
+                let idx = rec.operands.first().map(|v| v.bits()).unwrap_or(0);
+                out.insert((func, pc, idx));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_vm::TraceVal;
+    use wasai_wasm::builder::ModuleBuilder;
+    use wasai_wasm::types::{BlockType, ValType::*};
+
+    #[test]
+    fn extracts_directions_and_skips_apply() {
+        let mut b = ModuleBuilder::new();
+        let action = b.func(&[I64], &[], &[], vec![
+            Instr::LocalGet(0),
+            Instr::I32WrapI64,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
+            Instr::LocalGet(0),
+            Instr::I32WrapI64,
+            Instr::BrIf(0),
+            Instr::End,
+        ]);
+        b.export_func("apply", apply);
+        let m = b.build();
+
+        let trace = vec![
+            TraceRecord {
+                kind: TraceKind::Site { func: apply, pc: 2 },
+                operands: vec![TraceVal::I(1)],
+            },
+            TraceRecord {
+                kind: TraceKind::Site { func: action, pc: 2 },
+                operands: vec![TraceVal::I(0)],
+            },
+        ];
+        let branches = branches_in_trace(&m, &trace);
+        assert_eq!(branches.len(), 1, "apply branches are excluded");
+        assert!(branches.contains(&(action, 2, 0)));
+    }
+}

@@ -1,0 +1,92 @@
+//! The database dependency graph (DBG, §3.3.2).
+//!
+//! "We use DBG to record the database accesses, representing the transaction
+//! dependency implicitly": if executing action φ₁ *reads* table `tb`, Engine
+//! prefixes the next test of φ₁ with an action φ₂ known to *write* `tb`, so
+//! the read finds data and execution reaches deeper code.
+
+use std::collections::{HashMap, HashSet};
+
+use wasai_chain::database::{DbAccess, TableId};
+use wasai_chain::name::Name;
+
+/// Read/write sets per action.
+#[derive(Debug, Default)]
+pub struct DependencyGraph {
+    reads: HashMap<Name, HashSet<TableId>>,
+    writes: HashMap<Name, HashSet<TableId>>,
+}
+
+impl DependencyGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DependencyGraph::default()
+    }
+
+    /// Record one observed access of `action`.
+    pub fn record(&mut self, action: Name, access: DbAccess, table: TableId) {
+        let map = match access {
+            DbAccess::Read => &mut self.reads,
+            DbAccess::Write => &mut self.writes,
+        };
+        map.entry(action).or_default().insert(table);
+    }
+
+    /// Tables `action` has been seen reading.
+    pub fn reads_of(&self, action: Name) -> impl Iterator<Item = &TableId> {
+        self.reads.get(&action).into_iter().flatten()
+    }
+
+    /// An action (≠ `reader`) known to write any table `reader` reads — the
+    /// dependency-fulfilling prefix action of §3.3.2.
+    pub fn writer_for_reads_of(&self, reader: Name) -> Option<Name> {
+        let tables = self.reads.get(&reader)?;
+        for (writer, wset) in &self.writes {
+            if *writer != reader && tables.iter().any(|t| wset.contains(t)) {
+                return Some(*writer);
+            }
+        }
+        None
+    }
+
+    /// Number of actions with recorded accesses.
+    pub fn num_actions(&self) -> usize {
+        let mut set: HashSet<Name> = self.reads.keys().copied().collect();
+        set.extend(self.writes.keys().copied());
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: &str) -> TableId {
+        TableId { code: Name::new("tgt"), scope: Name::new("tgt"), table: Name::new(n) }
+    }
+
+    #[test]
+    fn finds_the_writer_for_a_reader() {
+        let mut g = DependencyGraph::new();
+        g.record(Name::new("reveal"), DbAccess::Read, table("bets"));
+        g.record(Name::new("play"), DbAccess::Write, table("bets"));
+        assert_eq!(g.writer_for_reads_of(Name::new("reveal")), Some(Name::new("play")));
+    }
+
+    #[test]
+    fn self_writes_do_not_count_as_dependencies() {
+        let mut g = DependencyGraph::new();
+        g.record(Name::new("play"), DbAccess::Read, table("bets"));
+        g.record(Name::new("play"), DbAccess::Write, table("bets"));
+        assert_eq!(g.writer_for_reads_of(Name::new("play")), None);
+    }
+
+    #[test]
+    fn unrelated_tables_do_not_match() {
+        let mut g = DependencyGraph::new();
+        g.record(Name::new("reveal"), DbAccess::Read, table("bets"));
+        g.record(Name::new("init"), DbAccess::Write, table("config"));
+        assert_eq!(g.writer_for_reads_of(Name::new("reveal")), None);
+        assert_eq!(g.num_actions(), 2);
+    }
+}

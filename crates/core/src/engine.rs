@@ -1,0 +1,377 @@
+//! Engine — the concolic fuzzing loop of Algorithm 1.
+//!
+//! Per iteration: select an action (fulfilling database dependencies via the
+//! DBG, §3.3.2), select a seed from the circular pool, execute it on the
+//! local chain capturing traces (§3.3.1), report vulnerabilities (§3.5),
+//! replay the trace symbolically (§3.4), flip unexplored conditional states
+//! and solve them to enqueue adaptive seeds (§3.4.4) — until the (virtual)
+//! timeout.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wasai_chain::abi::{ActionDecl, ParamValue};
+use wasai_chain::action::ApiEvent;
+use wasai_chain::name::Name;
+use wasai_chain::{Chain, Receipt, Transaction};
+use wasai_smt::SolveResult;
+use wasai_symex::{constraint_vars, flip_queries, seed_from_model, Replayer};
+
+use crate::clock::VirtualClock;
+use crate::config::FuzzConfig;
+use crate::coverage::{branches_in_trace, BranchKey};
+use crate::dbg::DependencyGraph;
+use crate::harness::{self, accounts, TargetInfo};
+use crate::pool::SeedPool;
+use crate::oracle::CustomOracle;
+use crate::report::FuzzReport;
+use crate::scanner::{PayloadKind, Scanner};
+use crate::seed::{random_seed, random_value};
+
+/// The WASAI fuzzing engine.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: FuzzConfig,
+    target: TargetInfo,
+    chain: Chain,
+    rng: StdRng,
+    pool: SeedPool,
+    dbg: DependencyGraph,
+    clock: VirtualClock,
+    scanner: Scanner,
+    explored: HashSet<BranchKey>,
+    attempted: HashSet<BranchKey>,
+    action_funcs: HashMap<Name, u32>,
+    coverage_series: Vec<(u64, usize)>,
+    iterations: u64,
+    smt_queries: u64,
+    stall: u64,
+    transfer_round: u64,
+    custom_oracles: Vec<Box<dyn CustomOracle>>,
+}
+
+impl Engine {
+    /// Set up the chain (instrumented target + agents) and the engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target cannot be instrumented or deployed.
+    pub fn new(target: TargetInfo, cfg: FuzzConfig) -> Result<Self, wasai_chain::ChainError> {
+        let chain = harness::setup_chain(&target, true)?;
+        Ok(Engine {
+            rng: StdRng::seed_from_u64(cfg.rng_seed),
+            cfg,
+            target,
+            chain,
+            pool: SeedPool::new(),
+            dbg: DependencyGraph::new(),
+            clock: VirtualClock::new(),
+            scanner: Scanner::new(),
+            explored: HashSet::new(),
+            attempted: HashSet::new(),
+            action_funcs: HashMap::new(),
+            coverage_series: Vec::new(),
+            iterations: 0,
+            smt_queries: 0,
+            stall: 0,
+            transfer_round: 0,
+            custom_oracles: Vec::new(),
+        })
+    }
+
+    /// Register a custom vulnerability oracle (§5's extension interface).
+    pub fn add_oracle(&mut self, oracle: Box<dyn CustomOracle>) {
+        self.custom_oracles.push(oracle);
+    }
+
+    /// Run the campaign to completion and produce the report.
+    pub fn run(mut self) -> FuzzReport {
+        // Algorithm 1, line 2: fill `seeds` with random data.
+        for decl in self.target.abi.actions.clone() {
+            for _ in 0..5 {
+                let s = random_seed(&mut self.rng, &decl, accounts::target());
+                self.pool.push(s.action, s.params);
+            }
+        }
+
+        self.payload_sweep();
+
+        // Algorithm 1, lines 3–12: the fuzzing loop.
+        let action_names: Vec<Name> =
+            self.target.abi.actions.iter().map(|a| a.name).collect();
+        while !self.clock.timed_out(self.cfg.timeout_us)
+            && self.stall < self.cfg.stall_iters
+            && !action_names.is_empty()
+        {
+            let decl = self.target.abi.actions
+                [(self.iterations as usize) % action_names.len()]
+            .clone();
+            self.iterate(&decl);
+            self.iterations += 1;
+        }
+
+        // Final adversary sweep: deeper on-chain state may open new paths.
+        self.payload_sweep();
+
+        let (findings, exploits) = self.scanner.verdicts();
+        let custom_findings = self
+            .custom_oracles
+            .iter()
+            .filter_map(|o| o.verdict().map(|v| (o.name().to_string(), v)))
+            .collect();
+        let branches = self.explored.len();
+        let mut coverage_series = std::mem::take(&mut self.coverage_series);
+        coverage_series.push((self.cfg.timeout_us.max(self.clock.micros()), branches));
+        FuzzReport {
+            findings,
+            exploits,
+            branches,
+            coverage_series,
+            iterations: self.iterations,
+            virtual_us: self.clock.micros(),
+            smt_queries: self.smt_queries,
+            custom_findings,
+        }
+    }
+
+    /// Run the four oracle payloads (§3.5) once.
+    fn payload_sweep(&mut self) {
+        let Some(decl) = self.target.transfer_decl().cloned() else { return };
+        let base = random_seed(&mut self.rng, &decl, accounts::target()).params;
+        for kind in [
+            PayloadKind::Official,
+            PayloadKind::DirectFake,
+            PayloadKind::FakeToken,
+            PayloadKind::ForwardedNotif,
+        ] {
+            self.run_case(kind, decl.name, base.clone(), 0);
+        }
+    }
+
+    /// Build the transaction for a payload kind; returns it together with
+    /// the *effective* parameters (after from/to forcing), which are what
+    /// the symbolic replay must bind to.
+    fn build_tx(
+        &self,
+        kind: PayloadKind,
+        action: Name,
+        params: &[ParamValue],
+    ) -> (Transaction, Vec<ParamValue>) {
+        match kind {
+            PayloadKind::Official => {
+                let p = harness::forced_transfer_params(
+                    params,
+                    accounts::attacker(),
+                    accounts::target(),
+                );
+                (harness::official_transfer(&p), p)
+            }
+            PayloadKind::DirectFake => {
+                (harness::direct_fake_transfer(params), params.to_vec())
+            }
+            PayloadKind::FakeToken => {
+                let p = harness::forced_transfer_params(
+                    params,
+                    accounts::attacker(),
+                    accounts::target(),
+                );
+                (harness::fake_token_transfer(&p), p)
+            }
+            PayloadKind::ForwardedNotif => {
+                let p = harness::forced_transfer_params(
+                    params,
+                    accounts::attacker(),
+                    accounts::fake_notif(),
+                );
+                (harness::fake_notif_transfer(&p), p)
+            }
+            PayloadKind::Action => {
+                (harness::direct_action(action, params), params.to_vec())
+            }
+        }
+    }
+
+    /// Execute one case and immediately chase its adaptive seeds *on the
+    /// same delivery path*: a flipped constraint describes the path the
+    /// executed payload took, so the new seed must ride the same payload to
+    /// reach the flipped branch (progressively deepening through nested
+    /// verification, §3.4.4).
+    fn run_case(&mut self, kind: PayloadKind, action: Name, params: Vec<ParamValue>, depth: u32) {
+        if self.clock.timed_out(self.cfg.timeout_us) {
+            return;
+        }
+        let (tx, effective) = self.build_tx(kind, action, &params);
+        let new_seeds = self.execute(kind, tx, action, effective);
+        if depth < 4 {
+            for s in new_seeds.into_iter().take(2) {
+                // Chase the seed on the delivery that discovered the branch…
+                self.run_case(kind, action, s.clone(), depth + 1);
+                // …and on the forwarded path: the Fake Notif guard can only
+                // be observed through the agent (to = fake.notif ≠ _self), so
+                // deep guards behind verification need the solved inputs to
+                // ride that payload too (§4.3's paytobtckey1 case).
+                if action == Name::new("transfer") && kind != PayloadKind::ForwardedNotif {
+                    self.run_case(PayloadKind::ForwardedNotif, action, s, depth + 1);
+                }
+            }
+        }
+    }
+
+    /// One fuzzing iteration for an action.
+    fn iterate(&mut self, decl: &ActionDecl) {
+        // §3.3.2: if the action reads a table some other action writes,
+        // execute that writer first to fulfil the transaction dependency.
+        if let Some(writer) = self.dbg.writer_for_reads_of(decl.name) {
+            if let Some(params) = self.pool.pop_rotate(writer) {
+                // The eosponser is fed through the legitimate token path so
+                // guard code does not reject the dependency prefix.
+                let kind = if writer == Name::new("transfer") {
+                    PayloadKind::Official
+                } else {
+                    PayloadKind::Action
+                };
+                self.run_case(kind, writer, params, 0);
+            }
+        }
+
+        // Keep a trickle of fresh random seeds flowing so name-typed
+        // parameters eventually hit every harness account (§3.3.2's pool
+        // rotation alone would only recycle the initial candidates).
+        if self.iterations.is_multiple_of(3) {
+            let s = random_seed(&mut self.rng, decl, accounts::target());
+            self.pool.push(s.action, s.params);
+        }
+
+        let params = self.pool.pop_rotate(decl.name).unwrap_or_else(|| {
+            decl.params
+                .iter()
+                .map(|&t| random_value(&mut self.rng, t, accounts::target()))
+                .collect()
+        });
+
+        if decl.name == Name::new("transfer") {
+            // Rotate through the three delivery paths so both the guard code
+            // (official/forwarded) and the unguarded paths (direct) are
+            // exercised with adaptive parameters. A dedicated counter keeps
+            // the rotation independent of the action round-robin (which
+            // shares the modulus when the ABI happens to have three actions).
+            self.transfer_round += 1;
+            let kind = match self.transfer_round % 3 {
+                0 => PayloadKind::Official,
+                1 => PayloadKind::DirectFake,
+                _ => PayloadKind::ForwardedNotif,
+            };
+            self.run_case(kind, decl.name, params, 0);
+        } else {
+            self.run_case(PayloadKind::Action, decl.name, params, 0);
+        }
+    }
+
+    /// Execute one transaction and run the full observation pipeline:
+    /// scanner, DBG update, coverage, symbolic replay, constraint flipping.
+    fn execute(
+        &mut self,
+        kind: PayloadKind,
+        tx: Transaction,
+        action: Name,
+        params: Vec<ParamValue>,
+    ) -> Vec<Vec<ParamValue>> {
+        let receipt: Receipt = match self.chain.push_transaction(&tx) {
+            Ok(r) => r,
+            Err(e) => e.receipt,
+        };
+        self.clock.charge_execution(&self.cfg.cost, receipt.steps_used);
+
+        // Scanner: guard detection needs the transfer's payee value.
+        let to_value = match params.get(1) {
+            Some(ParamValue::Name(n)) if action == Name::new("transfer") => Some(n.raw()),
+            _ => None,
+        };
+        self.scanner.observe(&self.target.original, kind, &receipt, to_value);
+        for oracle in &mut self.custom_oracles {
+            oracle.observe(&self.target.original, kind, &receipt);
+        }
+
+        // DBG update (§3.3.2).
+        for ev in &receipt.api_events {
+            if let ApiEvent::Db(op) = ev {
+                if op.contract == accounts::target() {
+                    self.dbg.record(action, op.access, op.table);
+                }
+            }
+        }
+
+        if receipt.trace.is_empty() {
+            self.stall += 1;
+            return Vec::new();
+        }
+
+        // Locate the action function on first contact (§3.4.2).
+        if !self.action_funcs.contains_key(&action) {
+            if let Some(f) =
+                harness::locate_action_function(&self.target.original, &receipt.trace)
+            {
+                self.action_funcs.insert(action, f);
+                if action == Name::new("transfer")
+                    && matches!(kind, PayloadKind::Official)
+                {
+                    self.scanner.set_eosponser(f);
+                }
+            }
+        }
+
+        // Coverage.
+        let new_branches = branches_in_trace(&self.target.original, &receipt.trace);
+        let before = self.explored.len();
+        self.explored.extend(new_branches);
+        if self.explored.len() > before {
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+        self.coverage_series.push((self.clock.micros(), self.explored.len()));
+
+        // Symbolic feedback (§3.4): replay, flip, solve, enqueue.
+        if !self.cfg.feedback {
+            return Vec::new();
+        }
+        let Some(&action_func) = self.action_funcs.get(&action) else { return Vec::new() };
+        let decl = match self.target.abi.action(action) {
+            Some(d) => d.clone(),
+            None => return Vec::new(),
+        };
+        let pairs: Vec<_> = decl.params.iter().copied().zip(params.iter().cloned()).collect();
+        let outcome =
+            Replayer::new(&self.target.original, action_func, 1, &pairs).run(&receipt.trace);
+
+        let queries = flip_queries(&outcome, &self.explored);
+        let mut solved = 0usize;
+        let mut new_seeds = Vec::new();
+        for q in queries {
+            if solved >= self.cfg.max_queries_per_iter
+                || self.clock.timed_out(self.cfg.timeout_us)
+            {
+                break;
+            }
+            let key = q.target_key();
+            if self.attempted.contains(&key) {
+                continue;
+            }
+            self.attempted.insert(key);
+            let (result, stats) = wasai_smt::check(&outcome.pool, &q.constraints, self.cfg.smt_budget);
+            self.clock.charge_smt(&self.cfg.cost, stats.propagations);
+            self.smt_queries += 1;
+            solved += 1;
+            if let SolveResult::Sat(model) = result {
+                let vars = constraint_vars(&outcome.pool, &q.constraints);
+                let new_params = seed_from_model(&outcome.spec, &outcome.pool, &model, &vars);
+                self.pool.push(action, new_params.clone());
+                new_seeds.push(new_params);
+                self.stall = 0;
+            }
+        }
+        new_seeds
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # wasai-core — the WASAI concolic fuzzer (§3)
+//!
+//! The paper's primary contribution, assembled from the workspace
+//! substrates: [`engine::Engine`] drives Algorithm 1 — instrumented
+//! execution on the local chain (`wasai-chain` + `wasai-vm`), symbolic trace
+//! replay and constraint flipping (`wasai-symex` + `wasai-smt`), seed
+//! selection over the database dependency graph, and the vulnerability
+//! [`scanner::Scanner`] with the five oracles of §3.5.
+//!
+//! Use the [`Wasai`] façade for the one-call API; the submodules are public
+//! so the baselines and the experiment harness can share the chain setup,
+//! payload templates and coverage metric.
+
+pub mod clock;
+pub mod config;
+pub mod coverage;
+pub mod dbg;
+pub mod engine;
+pub mod harness;
+pub mod oracle;
+pub mod pool;
+pub mod report;
+pub mod scanner;
+pub mod seed;
+pub mod wasai;
+
+pub use clock::{CostModel, VirtualClock};
+pub use config::FuzzConfig;
+pub use engine::Engine;
+pub use harness::TargetInfo;
+pub use oracle::{ApiUsageOracle, CustomOracle};
+pub use report::{ExploitRecord, FuzzReport, VulnClass};
+pub use scanner::{PayloadKind, Scanner};
+pub use seed::Seed;
+pub use wasai::Wasai;

@@ -1,0 +1,127 @@
+//! Custom-oracle extension interface (§5).
+//!
+//! "The bug detectors can be extended in two steps: (1) adding oracles and
+//! constructing the payload templates … (2) analyzing traces to confirm the
+//! exploit events." A [`CustomOracle`] observes every executed payload of a
+//! campaign (the §3.5 payload templates are already in place and carry
+//! mutated arguments) and renders an extra verdict at the end; findings land
+//! in [`crate::report::FuzzReport::custom_findings`].
+
+use wasai_chain::action::ApiEvent;
+use wasai_chain::name::Name;
+use wasai_chain::Receipt;
+use wasai_wasm::Module;
+
+use crate::scanner::PayloadKind;
+
+/// A user-supplied vulnerability detector.
+pub trait CustomOracle: std::fmt::Debug + Send {
+    /// Short identifier shown in reports.
+    fn name(&self) -> &str;
+
+    /// Step 2 of §5: analyze one execution's traces/events for exploit
+    /// evidence. Called for every payload and fuzz iteration, in order.
+    fn observe(&mut self, module: &Module, kind: PayloadKind, receipt: &Receipt);
+
+    /// Final verdict after the campaign: `Some(description)` flags the
+    /// contract.
+    fn verdict(&self) -> Option<String>;
+}
+
+/// A ready-made oracle: flag any call of a given library API by the target
+/// contract (the shape of the BlockinfoDep detector, §2.3.4, generalized —
+/// e.g. flag `current_time` as an alternative weak-randomness source).
+#[derive(Debug)]
+pub struct ApiUsageOracle {
+    api: String,
+    contract: Name,
+    seen: bool,
+}
+
+impl ApiUsageOracle {
+    /// Flag uses of `api` by `contract`.
+    pub fn new(api: impl Into<String>, contract: Name) -> Self {
+        ApiUsageOracle { api: api.into(), contract, seen: false }
+    }
+}
+
+impl CustomOracle for ApiUsageOracle {
+    fn name(&self) -> &str {
+        &self.api
+    }
+
+    fn observe(&mut self, _module: &Module, _kind: PayloadKind, receipt: &Receipt) {
+        for ev in &receipt.api_events {
+            let hit = match ev {
+                ApiEvent::TaposRead { contract } => {
+                    *contract == self.contract
+                        && (self.api == "tapos_block_num" || self.api == "tapos_block_prefix")
+                }
+                ApiEvent::SendDeferred { contract, .. } => {
+                    *contract == self.contract && self.api == "send_deferred"
+                }
+                ApiEvent::SendInline { contract, .. } => {
+                    *contract == self.contract && self.api == "send_inline"
+                }
+                ApiEvent::RequireRecipient { contract, .. } => {
+                    *contract == self.contract && self.api == "require_recipient"
+                }
+                ApiEvent::Db(op) => op.contract == self.contract && self.api == "db",
+                _ => false,
+            };
+            if hit {
+                self.seen = true;
+            }
+        }
+    }
+
+    fn verdict(&self) -> Option<String> {
+        self.seen.then(|| format!("target invoked {}", self.api))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_chain::database::{DbAccess, DbOp, TableId};
+
+    fn receipt_with(ev: ApiEvent) -> Receipt {
+        Receipt { api_events: vec![ev], ..Receipt::default() }
+    }
+
+    #[test]
+    fn api_usage_oracle_flags_matching_events() {
+        let target = Name::new("fuzz.target");
+        let mut o = ApiUsageOracle::new("send_deferred", target);
+        assert_eq!(o.verdict(), None);
+        o.observe(
+            &Module::new(),
+            PayloadKind::Action,
+            &receipt_with(ApiEvent::SendDeferred {
+                contract: target,
+                target: Name::new("eosio.token"),
+                action: Name::new("transfer"),
+            }),
+        );
+        assert!(o.verdict().is_some());
+    }
+
+    #[test]
+    fn api_usage_oracle_ignores_other_contracts() {
+        let mut o = ApiUsageOracle::new("db", Name::new("fuzz.target"));
+        o.observe(
+            &Module::new(),
+            PayloadKind::Action,
+            &receipt_with(ApiEvent::Db(DbOp {
+                contract: Name::new("somebody.else"),
+                access: DbAccess::Write,
+                table: TableId {
+                    code: Name::new("somebody.else"),
+                    scope: Name::new("s"),
+                    table: Name::new("t"),
+                },
+            })),
+        );
+        assert_eq!(o.verdict(), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! The seed pool: one circular queue of candidates per action (§3.3.2,
+//! "the seed pool is a mapping, where each key is an action name and each
+//! item is a circular queue saving the seed candidates").
+
+use std::collections::{HashMap, VecDeque};
+
+use wasai_chain::abi::ParamValue;
+use wasai_chain::name::Name;
+
+/// Per-action circular queues of parameter vectors.
+#[derive(Debug, Default)]
+pub struct SeedPool {
+    queues: HashMap<Name, VecDeque<Vec<ParamValue>>>,
+    /// Cap per queue so solver-generated seeds cannot grow without bound.
+    cap: usize,
+}
+
+impl SeedPool {
+    /// A pool with the default per-action capacity.
+    pub fn new() -> Self {
+        SeedPool { queues: HashMap::new(), cap: 64 }
+    }
+
+    /// Add a candidate to an action's queue (dropping the oldest beyond the
+    /// cap).
+    pub fn push(&mut self, action: Name, params: Vec<ParamValue>) {
+        let q = self.queues.entry(action).or_default();
+        if q.contains(&params) {
+            return;
+        }
+        if q.len() >= self.cap {
+            q.pop_front();
+        }
+        q.push_back(params);
+    }
+
+    /// Pop the head candidate and rotate it to the tail (the paper's
+    /// `seeds[φ]` circular-queue discipline).
+    pub fn pop_rotate(&mut self, action: Name) -> Option<Vec<ParamValue>> {
+        let q = self.queues.get_mut(&action)?;
+        let head = q.pop_front()?;
+        q.push_back(head.clone());
+        Some(head)
+    }
+
+    /// Number of candidates queued for an action.
+    pub fn len(&self, action: Name) -> usize {
+        self.queues.get(&action).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// True when the pool holds nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u64) -> Vec<ParamValue> {
+        vec![ParamValue::U64(v)]
+    }
+
+    #[test]
+    fn rotation_cycles_through_candidates() {
+        let mut pool = SeedPool::new();
+        let a = Name::new("play");
+        pool.push(a, p(1));
+        pool.push(a, p(2));
+        assert_eq!(pool.pop_rotate(a), Some(p(1)));
+        assert_eq!(pool.pop_rotate(a), Some(p(2)));
+        assert_eq!(pool.pop_rotate(a), Some(p(1)));
+        assert_eq!(pool.len(a), 2);
+    }
+
+    #[test]
+    fn duplicates_are_not_requeued() {
+        let mut pool = SeedPool::new();
+        let a = Name::new("play");
+        pool.push(a, p(1));
+        pool.push(a, p(1));
+        assert_eq!(pool.len(a), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut pool = SeedPool::new();
+        let a = Name::new("play");
+        for i in 0..100 {
+            pool.push(a, p(i));
+        }
+        assert_eq!(pool.len(a), 64);
+        // The oldest entries were evicted.
+        assert_eq!(pool.pop_rotate(a), Some(p(36)));
+    }
+
+    #[test]
+    fn missing_action_pops_nothing() {
+        let mut pool = SeedPool::new();
+        assert_eq!(pool.pop_rotate(Name::new("nope")), None);
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Vulnerability classes and fuzzing reports.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The five vulnerability classes of §2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VulnClass {
+    /// Accepting counterfeit EOS tokens (§2.3.1).
+    FakeEos,
+    /// Accepting forwarded transfer notifications (§2.3.2).
+    FakeNotif,
+    /// Side effects without authorization checks (§2.3.3).
+    MissAuth,
+    /// Pseudorandomness from blockchain state (§2.3.4).
+    BlockinfoDep,
+    /// Revertable inline-action reward schemes (§2.3.5).
+    Rollback,
+}
+
+impl VulnClass {
+    /// All five classes, in the paper's order.
+    pub const ALL: [VulnClass; 5] = [
+        VulnClass::FakeEos,
+        VulnClass::FakeNotif,
+        VulnClass::MissAuth,
+        VulnClass::BlockinfoDep,
+        VulnClass::Rollback,
+    ];
+}
+
+impl fmt::Display for VulnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VulnClass::FakeEos => "Fake EOS",
+            VulnClass::FakeNotif => "Fake Notif",
+            VulnClass::MissAuth => "MissAuth",
+            VulnClass::BlockinfoDep => "BlockinfoDep",
+            VulnClass::Rollback => "Rollback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reproducible exploit observation attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploitRecord {
+    /// Which class the payload demonstrated.
+    pub class: VulnClass,
+    /// Human-readable description of the payload transaction.
+    pub payload: String,
+}
+
+/// The outcome of fuzzing one contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FuzzReport {
+    /// Vulnerability classes flagged.
+    pub findings: BTreeSet<VulnClass>,
+    /// Exploit payload descriptions (WASAI "can produce exploit payloads").
+    pub exploits: Vec<ExploitRecord>,
+    /// Distinct branches covered in the target's action functions.
+    pub branches: usize,
+    /// Cumulative coverage over virtual time: `(virtual_us, branches)`.
+    pub coverage_series: Vec<(u64, usize)>,
+    /// Fuzzing iterations executed.
+    pub iterations: u64,
+    /// Virtual microseconds consumed.
+    pub virtual_us: u64,
+    /// SMT queries issued (0 for black-box fuzzers).
+    pub smt_queries: u64,
+    /// Verdicts of user-registered custom oracles (§5): `(name, finding)`.
+    pub custom_findings: Vec<(String, String)>,
+}
+
+impl FuzzReport {
+    /// True if the class was flagged.
+    pub fn has(&self, class: VulnClass) -> bool {
+        self.findings.contains(&class)
+    }
+
+    /// True if anything was flagged.
+    pub fn is_vulnerable(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper_tables() {
+        assert_eq!(VulnClass::FakeEos.to_string(), "Fake EOS");
+        assert_eq!(VulnClass::BlockinfoDep.to_string(), "BlockinfoDep");
+        assert_eq!(VulnClass::ALL.len(), 5);
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = FuzzReport::default();
+        assert!(!r.is_vulnerable());
+        r.findings.insert(VulnClass::Rollback);
+        assert!(r.has(VulnClass::Rollback));
+        assert!(!r.has(VulnClass::FakeEos));
+        assert!(r.is_vulnerable());
+    }
+}

@@ -1,0 +1,376 @@
+//! The vulnerability Scanner (§3.5): analyzes execution receipts and traces
+//! for exploit events and emits the final verdicts.
+
+use std::collections::BTreeSet;
+
+use wasai_chain::action::ApiEvent;
+use wasai_chain::database::DbAccess;
+use wasai_chain::Receipt;
+use wasai_vm::TraceKind;
+use wasai_wasm::Module;
+
+use crate::harness::accounts;
+use crate::report::{ExploitRecord, VulnClass};
+
+/// Which oracle payload produced an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Legitimate `transfer@eosio.token` to the target.
+    Official,
+    /// Direct invocation of the eosponser (Fake EOS path 1).
+    DirectFake,
+    /// Counterfeit-token transfer (Fake EOS path 2).
+    FakeToken,
+    /// Forwarded notification through the agent (Fake Notif).
+    ForwardedNotif,
+    /// Ordinary fuzzing of a non-transfer action.
+    Action,
+}
+
+/// Accumulates exploit evidence across the whole campaign.
+#[derive(Debug, Default)]
+pub struct Scanner {
+    /// id_e — the eosponser's function id, located from a valid EOS
+    /// transaction trace (§3.5).
+    pub eosponser: Option<u32>,
+    fake_eos_hit: bool,
+    forwarded_hit: bool,
+    payee_guard_seen: bool,
+    missauth: bool,
+    blockinfo: bool,
+    rollback: bool,
+    exploits: Vec<ExploitRecord>,
+}
+
+impl Scanner {
+    /// A fresh scanner for a target.
+    pub fn new() -> Self {
+        Scanner::default()
+    }
+
+    /// Record the located eosponser id.
+    pub fn set_eosponser(&mut self, id: u32) {
+        self.eosponser = Some(id);
+    }
+
+    /// Whether the eosponser's `function_begin` appears in the trace
+    /// (`vul := id_e ∈ i⃗d`).
+    fn eosponser_ran(&self, receipt: &Receipt) -> bool {
+        match self.eosponser {
+            None => false,
+            Some(id) => receipt
+                .trace
+                .iter()
+                .any(|r| r.kind == TraceKind::FuncBegin { func: id }),
+        }
+    }
+
+    /// Scan a trace for the Fake Notif guard code: an `i64.eq`/`i64.ne`
+    /// whose operands are the payee (`to`) and `_self` (§3.5).
+    fn payee_guard_in(module: &Module, receipt: &Receipt, to_value: u64, self_value: u64) -> bool {
+        // A compare of equal values is indistinguishable from incidental
+        // equality (e.g. the dispatcher's `code == receiver` when the
+        // attacker sets `to = _self`); only unequal pairs are evidence.
+        if to_value == self_value {
+            return false;
+        }
+        let apply_idx = module.exported_func("apply");
+        receipt.trace.iter().any(|r| {
+            let TraceKind::Site { func, pc } = r.kind else { return false };
+            if Some(func) == apply_idx {
+                return false; // dispatcher compares are not payee guards
+            }
+            let Some(f) = module.local_func(func) else { return false };
+            let Some(instr) = f.body.get(pc as usize) else { return false };
+            if !instr.is_i64_guard_compare() || r.operands.len() != 2 {
+                return false;
+            }
+            let a = r.operands[0].bits();
+            let b = r.operands[1].bits();
+            (a == to_value && b == self_value) || (a == self_value && b == to_value)
+        })
+    }
+
+    /// Ingest one executed payload/fuzz receipt.
+    ///
+    /// `to_value` is the transfer's payee for transfer-shaped payloads (used
+    /// for guard detection).
+    pub fn observe(
+        &mut self,
+        module: &Module,
+        kind: PayloadKind,
+        receipt: &Receipt,
+        to_value: Option<u64>,
+    ) {
+        let self_value = accounts::target().raw();
+        // Guard evidence accumulates from every trace (§4.2: the guard may
+        // sit behind deep paths, so every explored path counts).
+        if let Some(to) = to_value {
+            if Self::payee_guard_in(module, receipt, to, self_value) {
+                self.payee_guard_seen = true;
+            }
+        }
+        match kind {
+            PayloadKind::DirectFake | PayloadKind::FakeToken => {
+                if self.eosponser_ran(receipt) && !self.fake_eos_hit {
+                    self.fake_eos_hit = true;
+                    self.exploits.push(ExploitRecord {
+                        class: VulnClass::FakeEos,
+                        payload: match kind {
+                            PayloadKind::DirectFake => {
+                                "direct transfer action on the victim (code ≠ eosio.token)"
+                                    .to_string()
+                            }
+                            _ => "transfer of counterfeit EOS issued by fake.token".to_string(),
+                        },
+                    });
+                }
+            }
+            PayloadKind::ForwardedNotif => {
+                if self.eosponser_ran(receipt) {
+                    self.forwarded_hit = true;
+                }
+            }
+            PayloadKind::Official | PayloadKind::Action => {}
+        }
+        self.scan_api_events(kind, receipt);
+    }
+
+    fn scan_api_events(&mut self, kind: PayloadKind, receipt: &Receipt) {
+        let target = accounts::target();
+        let mut authed = false;
+        for ev in &receipt.api_events {
+            match ev {
+                ApiEvent::RequireAuth { contract, .. } if *contract == target => authed = true,
+                ApiEvent::HasAuth { contract, granted: true, .. } if *contract == target => {
+                    authed = true;
+                }
+                ApiEvent::TaposRead { contract } if *contract == target
+                    && !self.blockinfo => {
+                        self.blockinfo = true;
+                        self.exploits.push(ExploitRecord {
+                            class: VulnClass::BlockinfoDep,
+                            payload: "tapos_block_num/prefix used as randomness source".into(),
+                        });
+                    }
+                ApiEvent::SendInline { contract, target: t, action } if *contract == target => {
+                    if !self.rollback {
+                        self.rollback = true;
+                        self.exploits.push(ExploitRecord {
+                            class: VulnClass::Rollback,
+                            payload: format!(
+                                "inline action {action}@{t} is revertable by the caller"
+                            ),
+                        });
+                    }
+                    if kind == PayloadKind::Action && !authed {
+                        self.flag_missauth("send_inline without a prior permission check");
+                    }
+                }
+                ApiEvent::Db(op)
+                    if op.contract == target
+                        && op.access == DbAccess::Write
+                        && kind == PayloadKind::Action
+                        && !authed =>
+                {
+                    self.flag_missauth("database write without a prior permission check");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn flag_missauth(&mut self, what: &str) {
+        if !self.missauth {
+            self.missauth = true;
+            self.exploits.push(ExploitRecord {
+                class: VulnClass::MissAuth,
+                payload: format!("attacker-signed action performed a side effect: {what}"),
+            });
+        }
+    }
+
+    /// Final verdicts (`vul(τ⃗)` of §3.5).
+    pub fn verdicts(&mut self) -> (BTreeSet<VulnClass>, Vec<ExploitRecord>) {
+        let mut out = BTreeSet::new();
+        if self.fake_eos_hit {
+            out.insert(VulnClass::FakeEos);
+        }
+        // Fake Notif: the eosponser ran on a forwarded notification AND no
+        // guard comparing the payee with _self was ever executed (§3.5).
+        if self.forwarded_hit && !self.payee_guard_seen {
+            out.insert(VulnClass::FakeNotif);
+            self.exploits.push(ExploitRecord {
+                class: VulnClass::FakeNotif,
+                payload: "notification forwarded by fake.notif executed the eosponser".into(),
+            });
+        }
+        if self.missauth {
+            out.insert(VulnClass::MissAuth);
+        }
+        if self.blockinfo {
+            out.insert(VulnClass::BlockinfoDep);
+        }
+        if self.rollback {
+            out.insert(VulnClass::Rollback);
+        }
+        (out, self.exploits.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_chain::name::Name;
+    use wasai_vm::{TraceRecord, TraceVal};
+    use wasai_wasm::builder::ModuleBuilder;
+    use wasai_wasm::instr::Instr;
+    use wasai_wasm::types::ValType::*;
+
+    /// A module with `apply` (exported) and one extra function containing an
+    /// `i64.ne` at pc 2 (a payee-guard shape).
+    fn module_with_guard() -> (Module, u32) {
+        let mut b = ModuleBuilder::new();
+        let eosponser = b.func(&[I64, I64, I64], &[], &[], vec![
+            Instr::LocalGet(2),
+            Instr::LocalGet(0),
+            Instr::I64Ne,
+            Instr::Drop,
+            Instr::End,
+        ]);
+        let apply = b.func(&[I64, I64, I64], &[], &[], vec![Instr::End]);
+        b.export_func("apply", apply);
+        (b.build(), eosponser)
+    }
+
+    fn begin(func: u32) -> TraceRecord {
+        TraceRecord { kind: TraceKind::FuncBegin { func }, operands: vec![] }
+    }
+
+    fn guard_site(func: u32, a: u64, b: u64) -> TraceRecord {
+        TraceRecord {
+            kind: TraceKind::Site { func, pc: 2 },
+            operands: vec![TraceVal::I(a as i64), TraceVal::I(b as i64)],
+        }
+    }
+
+    #[test]
+    fn fake_eos_requires_eosponser_entry() {
+        let (module, eosponser) = module_with_guard();
+        let mut s = Scanner::new();
+        s.set_eosponser(eosponser);
+        // Fake payload without the eosponser running: no flag.
+        s.observe(&module, PayloadKind::DirectFake, &Receipt::default(), None);
+        assert!(!s.verdicts().0.contains(&VulnClass::FakeEos));
+
+        let mut s = Scanner::new();
+        s.set_eosponser(eosponser);
+        let receipt = Receipt { trace: vec![begin(eosponser)], ..Receipt::default() };
+        s.observe(&module, PayloadKind::DirectFake, &receipt, None);
+        assert!(s.verdicts().0.contains(&VulnClass::FakeEos));
+    }
+
+    #[test]
+    fn fake_notif_cleared_by_observed_guard() {
+        let (module, eosponser) = module_with_guard();
+        let to = accounts::fake_notif().raw();
+        let self_v = accounts::target().raw();
+
+        // Forwarded notification runs the eosponser, no guard: vulnerable.
+        let mut s = Scanner::new();
+        s.set_eosponser(eosponser);
+        let receipt = Receipt { trace: vec![begin(eosponser)], ..Receipt::default() };
+        s.observe(&module, PayloadKind::ForwardedNotif, &receipt, Some(to));
+        assert!(s.verdicts().0.contains(&VulnClass::FakeNotif));
+
+        // Same, but the to-vs-self compare executed: safe.
+        let mut s = Scanner::new();
+        s.set_eosponser(eosponser);
+        let receipt = Receipt {
+            trace: vec![begin(eosponser), guard_site(eosponser, to, self_v)],
+            ..Receipt::default()
+        };
+        s.observe(&module, PayloadKind::ForwardedNotif, &receipt, Some(to));
+        assert!(!s.verdicts().0.contains(&VulnClass::FakeNotif));
+    }
+
+    #[test]
+    fn guard_detection_ignores_unrelated_compares() {
+        let (module, eosponser) = module_with_guard();
+        let to = accounts::fake_notif().raw();
+        let mut s = Scanner::new();
+        s.set_eosponser(eosponser);
+        let receipt = Receipt {
+            trace: vec![begin(eosponser), guard_site(eosponser, 123, 456)],
+            ..Receipt::default()
+        };
+        s.observe(&module, PayloadKind::ForwardedNotif, &receipt, Some(to));
+        assert!(
+            s.verdicts().0.contains(&VulnClass::FakeNotif),
+            "a compare of unrelated values is not the guard"
+        );
+    }
+
+    #[test]
+    fn missauth_requires_effect_without_prior_auth() {
+        use wasai_chain::database::{DbAccess, DbOp, TableId};
+        let (module, _) = module_with_guard();
+        let target = accounts::target();
+        let table = TableId { code: target, scope: target, table: Name::new("t") };
+        let write = ApiEvent::Db(DbOp { contract: target, access: DbAccess::Write, table });
+        let auth = ApiEvent::RequireAuth { contract: target, actor: Name::new("attacker") };
+
+        // Auth precedes the write: safe.
+        let mut s = Scanner::new();
+        let receipt = Receipt {
+            api_events: vec![auth.clone(), write.clone()],
+            ..Receipt::default()
+        };
+        s.observe(&module, PayloadKind::Action, &receipt, None);
+        assert!(!s.verdicts().0.contains(&VulnClass::MissAuth));
+
+        // Write with no auth before it: vulnerable.
+        let mut s = Scanner::new();
+        let receipt = Receipt {
+            api_events: vec![write, auth],
+            ..Receipt::default()
+        };
+        s.observe(&module, PayloadKind::Action, &receipt, None);
+        assert!(s.verdicts().0.contains(&VulnClass::MissAuth));
+    }
+
+    #[test]
+    fn blockinfo_and_rollback_from_api_events() {
+        let (module, _) = module_with_guard();
+        let target = accounts::target();
+        let mut s = Scanner::new();
+        let receipt = Receipt {
+            api_events: vec![
+                ApiEvent::TaposRead { contract: target },
+                ApiEvent::SendInline {
+                    contract: target,
+                    target: Name::new("eosio.token"),
+                    action: Name::new("transfer"),
+                },
+            ],
+            ..Receipt::default()
+        };
+        s.observe(&module, PayloadKind::Action, &receipt, None);
+        let (v, exploits) = s.verdicts();
+        assert!(v.contains(&VulnClass::BlockinfoDep));
+        assert!(v.contains(&VulnClass::Rollback));
+        assert_eq!(exploits.len(), 2 + 1 /* MissAuth from unauthorized inline */);
+    }
+
+    #[test]
+    fn other_contracts_events_are_ignored() {
+        let (module, _) = module_with_guard();
+        let mut s = Scanner::new();
+        let receipt = Receipt {
+            api_events: vec![ApiEvent::TaposRead { contract: Name::new("bystander") }],
+            ..Receipt::default()
+        };
+        s.observe(&module, PayloadKind::Action, &receipt, None);
+        assert!(s.verdicts().0.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Seeds: Γ⟨φ, ρ⃗⟩ — an action name plus a parameter vector (§3.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use wasai_chain::abi::{ActionDecl, ParamType, ParamValue};
+use wasai_chain::asset::{eos_symbol, Asset};
+use wasai_chain::name::Name;
+
+/// A fuzzing seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seed {
+    /// The action function φ to invoke.
+    pub action: Name,
+    /// The parameter vector ρ⃗.
+    pub params: Vec<ParamValue>,
+}
+
+impl Seed {
+    /// A new seed.
+    pub fn new(action: Name, params: Vec<ParamValue>) -> Self {
+        Seed { action, params }
+    }
+}
+
+/// Interesting names to draw from when mutating name-typed parameters
+/// (accounts that exist on the harness chain).
+pub const NAME_CANDIDATES: &[&str] =
+    &["attacker", "alice", "eosio.token", "fake.notif", "fake.token", "eosio"];
+
+/// Generate a random value of a parameter type (the initial random seed
+/// filling of Algorithm 1 line 2).
+pub fn random_value(rng: &mut StdRng, ty: ParamType, self_name: Name) -> ParamValue {
+    match ty {
+        ParamType::Name => {
+            // The attacker account is the only payer during fuzzing, so the
+            // rows contracts key by payer are under its name — weight it.
+            let name = if rng.gen_bool(0.4) {
+                Name::new("attacker")
+            } else {
+                match rng.gen_range(0..NAME_CANDIDATES.len() + 2) {
+                    0 => self_name,
+                    p if p <= NAME_CANDIDATES.len() => Name::new(NAME_CANDIDATES[p - 1]),
+                    _ => Name(rng.gen::<u64>()),
+                }
+            };
+            ParamValue::Name(name)
+        }
+        ParamType::Asset => {
+            let amount = match rng.gen_range(0..4) {
+                0 => 0,
+                1 => rng.gen_range(1..100),
+                2 => rng.gen_range(1..1_000_000),
+                _ => 10_000 * rng.gen_range(1..100),
+            };
+            ParamValue::Asset(Asset::new(amount, eos_symbol()))
+        }
+        ParamType::String => {
+            let len = rng.gen_range(0..16);
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect();
+            ParamValue::String(s)
+        }
+        ParamType::U64 => ParamValue::U64(interesting_u64(rng)),
+        ParamType::U32 => ParamValue::U32(interesting_u64(rng) as u32),
+        ParamType::U8 => ParamValue::U8(rng.gen()),
+        ParamType::I64 => ParamValue::I64(interesting_u64(rng) as i64),
+        ParamType::F64 => ParamValue::F64(rng.gen_range(-1000.0..1000.0)),
+    }
+}
+
+fn interesting_u64(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0..5) {
+        0 => 0,
+        1 => rng.gen_range(0..256),
+        2 => u64::MAX,
+        3 => 1 << rng.gen_range(0..63),
+        _ => rng.gen(),
+    }
+}
+
+/// A full random seed for an action declaration.
+pub fn random_seed(rng: &mut StdRng, decl: &ActionDecl, self_name: Name) -> Seed {
+    Seed {
+        action: decl.name,
+        params: decl.params.iter().map(|&t| random_value(rng, t, self_name)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_seed_matches_declaration() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let decl = ActionDecl::transfer();
+        let seed = random_seed(&mut rng, &decl, Name::new("tgt"));
+        assert_eq!(seed.action, Name::new("transfer"));
+        assert_eq!(seed.params.len(), 4);
+        assert_eq!(seed.params[2].param_type(), ParamType::Asset);
+    }
+
+    #[test]
+    fn random_generation_is_deterministic_per_rng_seed() {
+        let decl = ActionDecl::transfer();
+        let a = random_seed(&mut StdRng::seed_from_u64(7), &decl, Name::new("t"));
+        let b = random_seed(&mut StdRng::seed_from_u64(7), &decl, Name::new("t"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,68 @@
+//! The public façade: analyze one contract with WASAI.
+
+use wasai_chain::abi::Abi;
+use wasai_wasm::Module;
+
+use crate::config::FuzzConfig;
+use crate::engine::Engine;
+use crate::harness::TargetInfo;
+use crate::report::FuzzReport;
+
+/// A configured WASAI analysis of one Wasm smart contract.
+///
+/// # Examples
+///
+/// ```no_run
+/// use wasai_core::{Wasai, FuzzConfig};
+/// # let (module, abi) = todo!() as (wasai_wasm::Module, wasai_chain::abi::Abi);
+/// let report = Wasai::new(module, abi)
+///     .with_config(FuzzConfig::default())
+///     .run()?;
+/// for finding in &report.findings {
+///     println!("vulnerable: {finding}");
+/// }
+/// # Ok::<(), wasai_chain::ChainError>(())
+/// ```
+#[derive(Debug)]
+pub struct Wasai {
+    target: TargetInfo,
+    cfg: FuzzConfig,
+    oracles: Vec<Box<dyn crate::oracle::CustomOracle>>,
+}
+
+impl Wasai {
+    /// Analyze `module` (with its ABI) under the default configuration.
+    pub fn new(module: Module, abi: Abi) -> Self {
+        Wasai {
+            target: TargetInfo::new(module, abi),
+            cfg: FuzzConfig::default(),
+            oracles: Vec::new(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, cfg: FuzzConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Register a custom vulnerability oracle (§5's extension interface).
+    pub fn with_oracle(mut self, oracle: Box<dyn crate::oracle::CustomOracle>) -> Self {
+        self.oracles.push(oracle);
+        self
+    }
+
+    /// Run the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the contract cannot be instrumented or deployed (e.g. it
+    /// does not validate).
+    pub fn run(self) -> Result<FuzzReport, wasai_chain::ChainError> {
+        let mut engine = Engine::new(self.target, self.cfg)?;
+        for o in self.oracles {
+            engine.add_oracle(o);
+        }
+        Ok(engine.run())
+    }
+}

@@ -1,0 +1,202 @@
+//! Assembly of the paper's evaluation corpora with the exact group sizes of
+//! Tables 4–6.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wasai_core::VulnClass;
+
+use crate::inject::make_vulnerable;
+use crate::obfuscate::obfuscate;
+use crate::realistic::generate;
+use crate::spec::{Blueprint, GateKind, LabeledContract, RewardKind};
+use crate::verification::inject_verification;
+
+/// One benchmark sample: the contract and the class its group evaluates.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSample {
+    /// The contract with ground truth.
+    pub contract: LabeledContract,
+    /// Which detector this sample grades (per-group P/R/F1, Table 4 style).
+    pub group: VulnClass,
+}
+
+impl BenchmarkSample {
+    /// Ground truth for this sample's group.
+    pub fn is_vulnerable(&self) -> bool {
+        self.contract.is_vulnerable_to(self.group)
+    }
+}
+
+/// Group sizes `(class, vulnerable, non_vulnerable)` of Table 4.
+pub const TABLE4_GROUPS: [(VulnClass, usize, usize); 5] = [
+    (VulnClass::FakeEos, 127, 127),
+    (VulnClass::FakeNotif, 689, 689),
+    (VulnClass::MissAuth, 445, 445),
+    (VulnClass::BlockinfoDep, 200, 200),
+    (VulnClass::Rollback, 209, 209),
+];
+
+/// Group sizes of Table 6 (the complicated-verification benchmark).
+pub const TABLE6_GROUPS: [(VulnClass, usize, usize); 5] = [
+    (VulnClass::FakeEos, 95, 95),
+    (VulnClass::FakeNotif, 589, 589),
+    (VulnClass::MissAuth, 378, 378),
+    (VulnClass::BlockinfoDep, 200, 200),
+    (VulnClass::Rollback, 200, 200),
+];
+
+/// A safe-by-default blueprint with randomized incidental structure.
+fn base_blueprint(rng: &mut StdRng) -> Blueprint {
+    Blueprint {
+        seed: rng.gen(),
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: false,
+        reward: RewardKind::None,
+        gate: GateKind::Open,
+        eosponser_branches: rng.gen_range(1..4),
+    }
+}
+
+/// Build one group's samples: `vul` vulnerable + `nonvul` safe, isolated to
+/// `class` (every other dimension stays safe), following §4.2's three
+/// construction recipes.
+fn build_group(
+    class: VulnClass,
+    vul: usize,
+    nonvul: usize,
+    rng: &mut StdRng,
+) -> Vec<BenchmarkSample> {
+    let mut out = Vec::with_capacity(vul + nonvul);
+    for i in 0..(vul + nonvul) {
+        let make_vul = i < vul;
+        let contract = match class {
+            // Guard/auth classes: generate the guarded contract, then strip
+            // the guard at the bytecode level for the vulnerable half.
+            VulnClass::FakeEos | VulnClass::FakeNotif | VulnClass::MissAuth => {
+                let base = generate(base_blueprint(rng));
+                if make_vul {
+                    make_vulnerable(&base, class)
+                } else {
+                    base
+                }
+            }
+            // Template classes: generated directly; the non-vulnerable half
+            // hides the template behind inaccessible branches (§4.2).
+            VulnClass::BlockinfoDep | VulnClass::Rollback => {
+                let mut bp = base_blueprint(rng);
+                // Keep each group isolated to its class: the BlockinfoDep
+                // group never pays inline, the Rollback group never reads
+                // block state.
+                bp.blockinfo = class == VulnClass::BlockinfoDep;
+                bp.reward = if class == VulnClass::Rollback {
+                    RewardKind::Inline
+                } else if rng.gen_bool(0.5) {
+                    RewardKind::Deferred
+                } else {
+                    RewardKind::None
+                };
+                bp.gate = if make_vul {
+                    GateKind::Solvable { depth: rng.gen_range(1..4) }
+                } else {
+                    GateKind::Unsatisfiable { depth: rng.gen_range(1..4) }
+                };
+                generate(bp)
+            }
+        };
+        debug_assert_eq!(contract.is_vulnerable_to(class), make_vul);
+        out.push(BenchmarkSample { contract, group: class });
+    }
+    out
+}
+
+/// The Table 4 ground-truth benchmark, scaled by `scale ∈ (0, 1]` (the full
+/// corpus is 3,340 samples; experiments can subsample deterministically).
+pub fn table4_benchmark(seed: u64, scale: f64) -> Vec<BenchmarkSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for (class, vul, nonvul) in TABLE4_GROUPS {
+        let v = ((vul as f64 * scale).round() as usize).max(1);
+        let n = ((nonvul as f64 * scale).round() as usize).max(1);
+        out.extend(build_group(class, v, n, &mut rng));
+    }
+    out
+}
+
+/// The Table 5 benchmark: Table 4 passed through the obfuscator (§4.3).
+pub fn table5_benchmark(seed: u64, scale: f64) -> Vec<BenchmarkSample> {
+    table4_benchmark(seed, scale)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| BenchmarkSample {
+            contract: obfuscate(&s.contract, seed ^ (i as u64)),
+            group: s.group,
+        })
+        .collect()
+}
+
+/// The Table 6 benchmark: complicated verification injected at the
+/// eosponser entry (§4.3), with the paper's reduced group sizes.
+pub fn table6_benchmark(seed: u64, scale: f64) -> Vec<BenchmarkSample> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ab1e6);
+    let mut out = Vec::new();
+    for (class, vul, nonvul) in TABLE6_GROUPS {
+        let v = ((vul as f64 * scale).round() as usize).max(1);
+        let n = ((nonvul as f64 * scale).round() as usize).max(1);
+        for s in build_group(class, v, n, &mut rng) {
+            let checks = rng.gen_range(1..3);
+            let (contract, _key) = inject_verification(&s.contract, rng.gen(), checks);
+            out.push(BenchmarkSample { contract, group: s.group });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_counts_scale() {
+        let full: usize = TABLE4_GROUPS.iter().map(|(_, v, n)| v + n).sum();
+        assert_eq!(full, 3_340, "the paper's benchmark size");
+        let sampled = table4_benchmark(1, 0.01);
+        assert!(sampled.len() >= 10);
+        // Balanced-ish per group.
+        let vul = sampled.iter().filter(|s| s.is_vulnerable()).count();
+        assert!(vul * 2 >= sampled.len() - 5 && vul * 2 <= sampled.len() + 5);
+    }
+
+    #[test]
+    fn table6_total_matches_paper() {
+        let full: usize = TABLE6_GROUPS.iter().map(|(_, v, n)| v + n).sum();
+        assert_eq!(full, 2_924);
+    }
+
+    #[test]
+    fn groups_isolate_their_class() {
+        for s in table4_benchmark(2, 0.01) {
+            for other in VulnClass::ALL {
+                if other != s.group {
+                    assert!(
+                        !s.contract.is_vulnerable_to(other),
+                        "{:?} sample also vulnerable to {other}",
+                        s.group
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        let a = table4_benchmark(3, 0.005);
+        let b = table4_benchmark(3, 0.005);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.contract.module, y.contract.module);
+        }
+    }
+}

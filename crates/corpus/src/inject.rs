@@ -1,0 +1,179 @@
+//! LAVA-style bytecode-level vulnerability injection (§4.2).
+//!
+//! The paper builds its 3,340-sample benchmark by editing real contracts'
+//! *bytecode*: "we remove the guard code to generate new vulnerable
+//! samples"; "we remove/add the invocation of the permission APIs". These
+//! transformations operate on [`Module`]s the same way — they locate the
+//! guard instruction patterns and neutralize them while preserving stack
+//! balance (so the result still validates).
+
+use wasai_chain::name::Name;
+use wasai_core::VulnClass;
+use wasai_wasm::instr::Instr;
+use wasai_wasm::module::Module;
+
+use crate::spec::LabeledContract;
+
+/// Neutralize a guard comparison at `pc`: the two i64 operands are dropped
+/// and replaced with the constant verdict that keeps the guard branch cold.
+fn neutralize_compare(body: &mut Vec<Instr>, pc: usize, pass_value: i32) {
+    body.splice(
+        pc..=pc,
+        [Instr::Drop, Instr::Drop, Instr::I32Const(pass_value)],
+    );
+}
+
+/// Remove the Fake EOS guard (`code == N(eosio.token)` in `apply`) from a
+/// contract — §4.2's vulnerable-sample construction.
+///
+/// Returns `true` if a guard was found and stripped.
+pub fn strip_code_guard(module: &mut Module) -> bool {
+    let token = Name::new("eosio.token").as_i64();
+    let Some(apply_idx) = module.exported_func("apply") else { return false };
+    let Some(apply) = module.local_func_mut(apply_idx) else { return false };
+    for pc in 1..apply.body.len() {
+        let is_token_const = matches!(apply.body[pc - 1], Instr::I64Const(c) if c == token);
+        if !is_token_const {
+            continue;
+        }
+        match apply.body[pc] {
+            // `code != token → abort` guards: make the comparison yield 0.
+            Instr::I64Ne => {
+                neutralize_compare(&mut apply.body, pc, 0);
+                return true;
+            }
+            // `assert(code == token)` guards: make the comparison yield 1.
+            Instr::I64Eq => {
+                neutralize_compare(&mut apply.body, pc, 1);
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Remove the Fake Notif guard (`to == _self` at the eosponser entry).
+///
+/// Returns `true` if a guard was found and stripped.
+pub fn strip_payee_guard(module: &mut Module, transfer_func: u32) -> bool {
+    let Some(f) = module.local_func_mut(transfer_func) else { return false };
+    for pc in 2..f.body.len() {
+        let params_compared = matches!(
+            (&f.body[pc - 2], &f.body[pc - 1]),
+            (Instr::LocalGet(a), Instr::LocalGet(b)) if *a <= 4 && *b <= 4 && a != b
+        );
+        if params_compared && f.body[pc].is_i64_guard_compare() {
+            let pass = if f.body[pc] == Instr::I64Ne { 0 } else { 1 };
+            neutralize_compare(&mut f.body, pc, pass);
+            return true;
+        }
+    }
+    false
+}
+
+/// Remove every `require_auth`/`require_auth2` invocation (§4.2's MissAuth
+/// construction). The call is replaced by a `drop` of its argument.
+///
+/// Returns the number of calls removed.
+pub fn strip_auth(module: &mut Module) -> usize {
+    let auth_indices: Vec<u32> = (0..module.num_imported_funcs())
+        .filter(|&i| {
+            module
+                .imported_func(i)
+                .map(|imp| imp.name == "require_auth" || imp.name == "require_auth2")
+                .unwrap_or(false)
+        })
+        .collect();
+    let mut removed = 0;
+    for f in &mut module.funcs {
+        for instr in &mut f.body {
+            if matches!(instr, Instr::Call(c) if auth_indices.contains(c)) {
+                *instr = Instr::Drop;
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
+/// Apply a strip to a labeled contract, updating its ground-truth label.
+///
+/// # Panics
+///
+/// Panics if the transformation breaks validation (a bug in the injector).
+pub fn make_vulnerable(contract: &LabeledContract, class: VulnClass) -> LabeledContract {
+    let mut out = contract.clone();
+    let changed = match class {
+        VulnClass::FakeEos => strip_code_guard(&mut out.module),
+        VulnClass::FakeNotif => strip_payee_guard(&mut out.module, out.meta.transfer_func),
+        VulnClass::MissAuth => strip_auth(&mut out.module) > 0,
+        // Template classes are generated, not injected.
+        VulnClass::BlockinfoDep | VulnClass::Rollback => false,
+    };
+    if changed {
+        out.label.insert(class);
+        let mut bp = out.meta.blueprint;
+        match class {
+            VulnClass::FakeEos => bp.code_guard = false,
+            VulnClass::FakeNotif => bp.payee_guard = false,
+            VulnClass::MissAuth => bp.auth_check = false,
+            _ => {}
+        }
+        out.meta.blueprint = bp;
+    }
+    wasai_wasm::validate::validate(&out.module)
+        .unwrap_or_else(|e| panic!("injector produced invalid module: {e}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::generate;
+    use crate::spec::Blueprint;
+
+    #[test]
+    fn stripping_the_code_guard_flips_the_label() {
+        let safe = generate(Blueprint { seed: 100, ..Blueprint::default() });
+        assert!(!safe.is_vulnerable_to(VulnClass::FakeEos));
+        let vuln = make_vulnerable(&safe, VulnClass::FakeEos);
+        assert!(vuln.is_vulnerable_to(VulnClass::FakeEos));
+        assert_ne!(safe.module, vuln.module);
+    }
+
+    #[test]
+    fn stripping_is_idempotent_on_already_vulnerable() {
+        let mut c = generate(Blueprint { seed: 101, code_guard: false, ..Blueprint::default() });
+        assert!(!strip_code_guard(&mut c.module), "nothing to strip");
+    }
+
+    #[test]
+    fn payee_guard_strip_targets_the_eosponser() {
+        let safe = generate(Blueprint { seed: 102, ..Blueprint::default() });
+        let vuln = make_vulnerable(&safe, VulnClass::FakeNotif);
+        assert!(vuln.is_vulnerable_to(VulnClass::FakeNotif));
+        // Only the eosponser changed.
+        let f_old = safe.module.local_func(safe.meta.transfer_func).unwrap();
+        let f_new = vuln.module.local_func(vuln.meta.transfer_func).unwrap();
+        assert_ne!(f_old.body, f_new.body);
+    }
+
+    #[test]
+    fn auth_strip_removes_all_permission_calls() {
+        let safe = generate(Blueprint { seed: 103, ..Blueprint::default() });
+        let mut m = safe.module.clone();
+        let removed = strip_auth(&mut m);
+        assert!(removed >= 2, "setowner and reveal both check auth, removed {removed}");
+        assert_eq!(strip_auth(&mut m), 0);
+    }
+
+    #[test]
+    fn all_strips_preserve_validation() {
+        for class in [VulnClass::FakeEos, VulnClass::FakeNotif, VulnClass::MissAuth] {
+            let safe = generate(Blueprint { seed: 104, ..Blueprint::default() });
+            let vuln = make_vulnerable(&safe, class);
+            wasai_wasm::validate::validate(&vuln.module).unwrap();
+        }
+    }
+}

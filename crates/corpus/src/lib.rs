@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # wasai-corpus — the benchmark factory (§4.2–4.4)
+//!
+//! Generates the labeled corpora every experiment runs on: realistic
+//! EOSIO-shaped contracts with ground-truth vulnerability labels
+//! ([`realistic`]), LAVA-style bytecode-level vulnerability injection
+//! ([`inject`]), the code obfuscator of RQ3 ([`mod@obfuscate`]), the
+//! complicated-verification injector ([`verification`]) and the wild-corpus
+//! mix of RQ4 ([`wild`]).
+
+pub mod benchmark;
+pub mod inject;
+pub mod obfuscate;
+pub mod realistic;
+pub mod spec;
+pub mod verification;
+pub mod wild;
+
+pub use benchmark::{table4_benchmark, table5_benchmark, table6_benchmark, BenchmarkSample};
+pub use inject::make_vulnerable;
+pub use obfuscate::obfuscate;
+pub use realistic::generate;
+pub use spec::{Blueprint, GateKind, GenMeta, LabeledContract, RewardKind};
+pub use verification::{inject_verification, VerificationKey};
+pub use wild::{wild_corpus, Lifecycle, WildContract, WildRates};

@@ -1,0 +1,210 @@
+//! The Wasm bytecode obfuscator of RQ3 (§4.3).
+//!
+//! "Since there is no available obfuscation tool for Wasm bytecode, we
+//! develop one with two obfuscation methods. First, it obfuscates the data
+//! flow by encoding function arguments with the popcount algorithm. Second,
+//! it obfuscates the control flow by inserting recursion invocations to the
+//! bytecode, where the entry condition is impossibly satisfied."
+//!
+//! Three semantic-preserving passes:
+//!
+//! 1. **Constant splitting** — every `i64.const c` in a guard context
+//!    becomes `i64.const k; i64.const c⊕k; i64.xor`. This is what blinds
+//!    EOSAFE's literal-pattern dispatcher heuristic (Table 5's 0-TP rows);
+//!    WASAI's constant folding sees straight through it.
+//! 2. **Popcount opaque predicates** — action functions gain a
+//!    `popcnt(arg) ≥ 65 → unreachable` prologue: a new data-flow branch over
+//!    an argument encoding that never fires at runtime.
+//! 3. **Decoy recursion** — a self-recursive function whose entry condition
+//!    (`popcnt(arg) > 100`) is unsatisfiable, invoked from `apply`: static
+//!    path exploration must budget for it; dynamic execution never enters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wasai_wasm::instr::Instr;
+use wasai_wasm::module::{Function, Module};
+use wasai_wasm::types::{BlockType, FuncType, ValType};
+
+use crate::spec::LabeledContract;
+
+/// Split every `i64.const` immediately feeding an `i64.eq`/`i64.ne` into an
+/// xor of two random halves. Returns the number of constants split.
+pub fn split_guard_consts(module: &mut Module, rng: &mut StdRng) -> usize {
+    let mut split = 0;
+    for f in &mut module.funcs {
+        let mut pc = 0;
+        while pc + 1 < f.body.len() {
+            let splittable = matches!(f.body[pc], Instr::I64Const(_))
+                && f.body[pc + 1].is_i64_guard_compare();
+            if splittable {
+                let Instr::I64Const(c) = f.body[pc] else { unreachable!() };
+                let k: i64 = rng.gen();
+                f.body.splice(
+                    pc..=pc,
+                    [Instr::I64Const(k), Instr::I64Const(c ^ k), Instr::I64Xor],
+                );
+                split += 1;
+                pc += 4; // skip past the expansion and the compare
+            } else {
+                pc += 1;
+            }
+        }
+    }
+    split
+}
+
+/// Prepend a popcount opaque predicate to each listed function (which must
+/// have an i64 first parameter): `if (popcnt(p0) >= 65) unreachable`.
+pub fn insert_popcount_predicates(module: &mut Module, funcs: &[u32]) {
+    for &func in funcs {
+        let has_i64_param = module
+            .func_type(func)
+            .map(|t| t.params.first() == Some(&ValType::I64))
+            .unwrap_or(false);
+        if !has_i64_param {
+            continue;
+        }
+        if let Some(f) = module.local_func_mut(func) {
+            let prologue = [
+                Instr::LocalGet(0),
+                Instr::I64Popcnt,
+                Instr::I64Const(65),
+                Instr::I64GeS,
+                Instr::If(BlockType::Empty),
+                Instr::Unreachable,
+                Instr::End,
+            ];
+            f.body.splice(0..0, prologue);
+        }
+    }
+}
+
+/// Append the decoy recursive function and call it from `apply`'s entry.
+pub fn insert_decoy_recursion(module: &mut Module) {
+    let type_idx = module.intern_type(FuncType::new(vec![ValType::I64], vec![]));
+    let decoy_idx = module.num_funcs();
+    module.funcs.push(Function {
+        type_idx,
+        locals: vec![],
+        body: vec![
+            // if (popcnt(n) > 100) decoy(n)  — never satisfiable.
+            Instr::LocalGet(0),
+            Instr::I64Popcnt,
+            Instr::I64Const(100),
+            Instr::I64GtS,
+            Instr::If(BlockType::Empty),
+            Instr::LocalGet(0),
+            Instr::Call(decoy_idx),
+            Instr::End,
+            Instr::End,
+        ],
+    });
+    if let Some(apply_idx) = module.exported_func("apply") {
+        if let Some(apply) = module.local_func_mut(apply_idx) {
+            apply
+                .body
+                .splice(0..0, [Instr::LocalGet(0), Instr::Call(decoy_idx)]);
+        }
+    }
+}
+
+/// Obfuscate a labeled contract (labels are semantics, so they are
+/// unchanged — §4.3 evaluates the same ground truth under obfuscation).
+///
+/// # Panics
+///
+/// Panics if the output fails validation (an obfuscator bug).
+pub fn obfuscate(contract: &LabeledContract, seed: u64) -> LabeledContract {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = contract.clone();
+    split_guard_consts(&mut out.module, &mut rng);
+    insert_popcount_predicates(
+        &mut out.module,
+        &[out.meta.transfer_func, out.meta.reveal_func, out.meta.admin_func],
+    );
+    insert_decoy_recursion(&mut out.module);
+    wasai_wasm::validate::validate(&out.module)
+        .unwrap_or_else(|e| panic!("obfuscator produced invalid module: {e}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::generate;
+    use crate::spec::Blueprint;
+
+    #[test]
+    fn obfuscation_validates_and_differs() {
+        let c = generate(Blueprint { seed: 200, ..Blueprint::default() });
+        let o = obfuscate(&c, 7);
+        assert_ne!(c.module, o.module);
+        assert_eq!(c.label, o.label, "obfuscation must not change semantics");
+    }
+
+    #[test]
+    fn guard_literals_disappear() {
+        use wasai_chain::name::Name;
+        let c = generate(Blueprint { seed: 201, ..Blueprint::default() });
+        let o = obfuscate(&c, 7);
+        let token = Name::new("eosio.token").as_i64();
+        let apply = o.module.exported_func("apply").unwrap();
+        let body = &o.module.local_func(apply).unwrap().body;
+        // No i64 guard compare is directly preceded by the token literal.
+        for pc in 1..body.len() {
+            if body[pc].is_i64_guard_compare() {
+                assert!(
+                    !matches!(body[pc - 1], Instr::I64Const(v) if v == token),
+                    "guard literal survived at pc {pc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoy_recursion_is_added_and_called() {
+        let c = generate(Blueprint { seed: 202, ..Blueprint::default() });
+        let before = c.module.funcs.len();
+        let o = obfuscate(&c, 7);
+        assert_eq!(o.module.funcs.len(), before + 1);
+        let decoy_idx = o.module.num_funcs() - 1;
+        let apply = o.module.exported_func("apply").unwrap();
+        let body = &o.module.local_func(apply).unwrap().body;
+        assert!(body.contains(&Instr::Call(decoy_idx)));
+        // The decoy calls itself.
+        let decoy = o.module.local_func(decoy_idx).unwrap();
+        assert!(decoy.body.contains(&Instr::Call(decoy_idx)));
+    }
+
+    #[test]
+    fn obfuscated_contract_behaves_identically() {
+        use wasai_chain::abi::ParamValue;
+        use wasai_chain::asset::Asset;
+        use wasai_chain::name::Name;
+        use wasai_chain::{Chain, NativeKind};
+
+        let c = generate(Blueprint { seed: 203, code_guard: false, ..Blueprint::default() });
+        let o = obfuscate(&c, 7);
+        let run = |module: wasai_wasm::Module| {
+            let mut chain = Chain::new();
+            chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
+            chain.create_account(Name::new("alice")).unwrap();
+            chain.deploy_wasm(Name::new("victim"), module, c.abi.clone()).unwrap();
+            chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100));
+            let r = chain.push_action(
+                Name::new("eosio.token"),
+                Name::new("transfer"),
+                &[Name::new("alice")],
+                &[
+                    ParamValue::Name(Name::new("alice")),
+                    ParamValue::Name(Name::new("victim")),
+                    ParamValue::Asset(Asset::eos(10)),
+                    ParamValue::String("play".into()),
+                ],
+            );
+            (r.is_ok(), chain.balance(Name::new("eosio.token"), Name::new("victim")))
+        };
+        assert_eq!(run(c.module.clone()), run(o.module.clone()));
+    }
+}

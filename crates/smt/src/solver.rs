@@ -1,0 +1,183 @@
+//! The solver frontend: assert terms, check with a budget, read a model.
+
+use std::collections::HashMap;
+
+use crate::bitblast::BitBlaster;
+use crate::sat::SatOutcome;
+use crate::term::{TermId, TermPool};
+
+/// Resource budget for one `check` (the deterministic analogue of the
+/// paper's 3,000 ms per-query cap, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum SAT conflicts before giving up with `Unknown`.
+    pub max_conflicts: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_conflicts: 50_000 }
+    }
+}
+
+/// A satisfying assignment, keyed by pool variable index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<u32, u64>,
+}
+
+impl Model {
+    /// Value of a variable by pool index (unconstrained variables are 0).
+    pub fn value(&self, var: u32) -> u64 {
+        self.values.get(&var).copied().unwrap_or(0)
+    }
+
+    /// Value of a variable by name.
+    pub fn value_by_name(&self, pool: &TermPool, name: &str) -> Option<u64> {
+        pool.var_index(name).map(|v| self.value(v))
+    }
+
+    /// Dense value vector suitable for [`TermPool::eval`].
+    pub fn to_vec(&self, pool: &TermPool) -> Vec<u64> {
+        (0..pool.vars().len() as u32).map(|v| self.value(v)).collect()
+    }
+}
+
+/// Outcome of a `check`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted.
+    Unknown,
+}
+
+impl SolveResult {
+    /// The model, if Sat.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics from one `check`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// SAT conflicts used.
+    pub conflicts: u64,
+    /// Unit propagations performed (the virtual clock charges per unit).
+    pub propagations: u64,
+    /// CNF variables created.
+    pub sat_vars: usize,
+    /// CNF clauses created.
+    pub sat_clauses: usize,
+}
+
+/// Check the conjunction of `assertions` under `budget`.
+///
+/// Every check bit-blasts from scratch: WASAI solves many small independent
+/// branch-flip queries (§3.4.4), so incrementality buys little and
+/// from-scratch keeps the solver stateless and deterministic.
+pub fn check(pool: &TermPool, assertions: &[TermId], budget: Budget) -> (SolveResult, SolveStats) {
+    // Fast path: constant-folded assertions.
+    if assertions.iter().any(|&a| pool.as_const(a) == Some(0)) {
+        return (SolveResult::Unsat, SolveStats::default());
+    }
+    let mut bb = BitBlaster::new(pool);
+    for &a in assertions {
+        bb.assert_true(a);
+    }
+    let outcome = bb.sat.solve(budget.max_conflicts);
+    let stats = SolveStats {
+        conflicts: bb.sat.conflicts,
+        propagations: bb.sat.propagations,
+        sat_vars: bb.sat.num_vars(),
+        sat_clauses: bb.sat.num_clauses(),
+    };
+    let result = match outcome {
+        SatOutcome::Sat => {
+            let mut values = HashMap::new();
+            for v in 0..pool.vars().len() as u32 {
+                values.insert(v, bb.var_value(v));
+            }
+            SolveResult::Sat(Model { values })
+        }
+        SatOutcome::Unsat => SolveResult::Unsat,
+        SatOutcome::Unknown => SolveResult::Unknown,
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{BvOp, CmpOp};
+
+    #[test]
+    fn sat_model_satisfies_all_assertions() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 32);
+        let sum = p.bv(BvOp::Add, x, y);
+        let c100 = p.bv_const(100, 32);
+        let c30 = p.bv_const(30, 32);
+        let a1 = p.eq(sum, c100);
+        let a2 = p.cmp(CmpOp::Ult, x, c30);
+        let (res, stats) = check(&p, &[a1, a2], Budget::default());
+        let model = res.model().expect("sat").to_vec(&p);
+        assert_eq!(p.eval(a1, &model), 1);
+        assert_eq!(p.eval(a2, &model), 1);
+        assert!(stats.sat_vars > 0);
+    }
+
+    #[test]
+    fn unsat_contradiction() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let c1 = p.bv_const(1, 8);
+        let c2 = p.bv_const(2, 8);
+        let a1 = p.eq(x, c1);
+        let a2 = p.eq(x, c2);
+        let (res, _) = check(&p, &[a1, a2], Budget::default());
+        assert_eq!(res, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn folded_false_short_circuits() {
+        let mut p = TermPool::new();
+        let f = p.bool_const(false);
+        let (res, stats) = check(&p, &[f], Budget::default());
+        assert_eq!(res, SolveResult::Unsat);
+        assert_eq!(stats.sat_vars, 0, "no blasting should happen");
+    }
+
+    #[test]
+    fn tiny_budget_yields_unknown_on_hard_instance() {
+        // x² == 3 (mod 2^64) has no solution (squares are 0 or 1 mod 4),
+        // but proving that needs far more than one conflict.
+        let mut p = TermPool::new();
+        let x = p.var("x", 64);
+        let prod = p.bv(BvOp::Mul, x, x);
+        let c = p.bv_const(3, 64);
+        let a = p.eq(prod, c);
+        let (res, _) = check(&p, &[a], Budget { max_conflicts: 1 });
+        assert_eq!(res, SolveResult::Unknown);
+    }
+
+    #[test]
+    fn unconstrained_vars_default_to_zero() {
+        let mut p = TermPool::new();
+        let _unused = p.var("unused", 32);
+        let x = p.var("x", 32);
+        let c = p.bv_const(9, 32);
+        let a = p.eq(x, c);
+        let (res, _) = check(&p, &[a], Budget::default());
+        let m = res.model().unwrap();
+        assert_eq!(m.value_by_name(&p, "unused"), Some(0));
+        assert_eq!(m.value_by_name(&p, "x"), Some(9));
+    }
+}

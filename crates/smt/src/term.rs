@@ -1,0 +1,785 @@
+//! Hash-consed term DAG for quantifier-free bitvector formulas.
+//!
+//! This is the workspace's stand-in for Z3 (§3.4.4): Symback builds one term
+//! per symbolic stack value ("all data used in symbolic execution are
+//! represented as Z3 bit vectors"), and the constraint flipper asserts
+//! Boolean terms over them. Widths are 1–64 bits — every Wasm value fits
+//! (the 128-bit `asset` struct is two 64-bit memory words).
+//!
+//! Constructors fold constants aggressively: on concolic traces most
+//! operands are concrete, so the DAG stays small.
+
+use std::collections::HashMap;
+
+/// Index of a term in its [`TermPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// A term's sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Boolean.
+    Bool,
+    /// Bitvector of the given width (1..=64).
+    BitVec(u32),
+}
+
+impl Sort {
+    /// The bitvector width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("Bool has no width"),
+        }
+    }
+}
+
+/// Binary bitvector operators (both operands and result share a width,
+/// except comparisons which are Bool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BvOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (x/0 = all-ones, the SMT-LIB convention).
+    UDiv,
+    /// Unsigned remainder (x%0 = x).
+    URem,
+    /// Signed division.
+    SDiv,
+    /// Signed remainder.
+    SRem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (shift amount taken modulo width, Wasm-style).
+    Shl,
+    /// Logical shift right (amount modulo width).
+    LShr,
+    /// Arithmetic shift right (amount modulo width).
+    AShr,
+    /// Rotate left (amount modulo width).
+    Rotl,
+    /// Rotate right (amount modulo width).
+    Rotr,
+}
+
+/// Bitvector comparison predicates (result sort Bool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+}
+
+/// The structure of a term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermKind {
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Bitvector constant (`bits` is truncated to `width`).
+    BvConst {
+        /// Width in bits.
+        width: u32,
+        /// The value, LSB-aligned.
+        bits: u64,
+    },
+    /// A free bitvector variable.
+    Var {
+        /// Width in bits.
+        width: u32,
+        /// Index into the pool's variable table.
+        var: u32,
+    },
+    /// Boolean negation.
+    Not(TermId),
+    /// Boolean conjunction.
+    AndB(TermId, TermId),
+    /// Boolean disjunction.
+    OrB(TermId, TermId),
+    /// Binary bitvector operation.
+    Bv(BvOp, TermId, TermId),
+    /// Bitwise complement.
+    BvNot(TermId),
+    /// Two's-complement negation.
+    BvNeg(TermId),
+    /// Population count (same width as the operand) — the obfuscator's
+    /// encoding primitive (§4.3), which WASAI must solve through.
+    Popcnt(TermId),
+    /// Comparison predicate.
+    Cmp(CmpOp, TermId, TermId),
+    /// Concatenation: `hi ++ lo` (hi occupies the upper bits).
+    Concat(TermId, TermId),
+    /// Bit extraction: bits `lo..=hi` of the operand.
+    Extract {
+        /// Operand.
+        term: TermId,
+        /// Highest extracted bit.
+        hi: u32,
+        /// Lowest extracted bit.
+        lo: u32,
+    },
+    /// Zero extension by `add` bits.
+    ZeroExt {
+        /// Operand.
+        term: TermId,
+        /// Bits added.
+        add: u32,
+    },
+    /// Sign extension by `add` bits.
+    SignExt {
+        /// Operand.
+        term: TermId,
+        /// Bits added.
+        add: u32,
+    },
+    /// If-then-else over two terms of equal sort.
+    Ite(TermId, TermId, TermId),
+}
+
+/// A registered variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Human-readable name (unique).
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn sext(bits: u64, width: u32) -> i64 {
+    let shift = 64 - width;
+    ((bits << shift) as i64) >> shift
+}
+
+/// The arena of hash-consed terms.
+#[derive(Debug, Default)]
+pub struct TermPool {
+    terms: Vec<(TermKind, Sort)>,
+    intern: HashMap<TermKind, TermId>,
+    vars: Vec<VarInfo>,
+    var_names: HashMap<String, u32>,
+}
+
+impl TermPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TermPool::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms exist.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The kind of a term.
+    pub fn kind(&self, t: TermId) -> &TermKind {
+        &self.terms[t.0 as usize].0
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, t: TermId) -> Sort {
+        self.terms[t.0 as usize].1
+    }
+
+    /// The registered variables, in creation order.
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// The constant value of a term, if it is a constant.
+    pub fn as_const(&self, t: TermId) -> Option<u64> {
+        match *self.kind(t) {
+            TermKind::BvConst { bits, .. } => Some(bits),
+            TermKind::BoolConst(b) => Some(b as u64),
+            _ => None,
+        }
+    }
+
+    fn intern(&mut self, kind: TermKind, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&kind) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push((kind.clone(), sort));
+        self.intern.insert(kind, id);
+        id
+    }
+
+    /// Boolean constant.
+    pub fn bool_const(&mut self, v: bool) -> TermId {
+        self.intern(TermKind::BoolConst(v), Sort::Bool)
+    }
+
+    /// Bitvector constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width 0 or > 64.
+    pub fn bv_const(&mut self, bits: u64, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        self.intern(TermKind::BvConst { width, bits: bits & mask(width) }, Sort::BitVec(width))
+    }
+
+    /// A fresh-or-existing named variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exists with a different width.
+    pub fn var(&mut self, name: &str, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        let var = match self.var_names.get(name) {
+            Some(&v) => {
+                assert_eq!(self.vars[v as usize].width, width, "width clash for {name}");
+                v
+            }
+            None => {
+                let v = self.vars.len() as u32;
+                self.vars.push(VarInfo { name: name.to_string(), width });
+                self.var_names.insert(name.to_string(), v);
+                v
+            }
+        };
+        self.intern(TermKind::Var { width, var }, Sort::BitVec(width))
+    }
+
+    /// Look up a variable id by name.
+    pub fn var_index(&self, name: &str) -> Option<u32> {
+        self.var_names.get(name).copied()
+    }
+
+    /// Boolean negation (folds constants and double negation).
+    pub fn not(&mut self, t: TermId) -> TermId {
+        match *self.kind(t) {
+            TermKind::BoolConst(b) => self.bool_const(!b),
+            TermKind::Not(inner) => inner,
+            _ => self.intern(TermKind::Not(t), Sort::Bool),
+        }
+    }
+
+    /// Boolean conjunction.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(0), _) | (_, Some(0)) => self.bool_const(false),
+            (Some(1), _) => b,
+            (_, Some(1)) => a,
+            _ if a == b => a,
+            _ => self.intern(TermKind::AndB(a.min(b), a.max(b)), Sort::Bool),
+        }
+    }
+
+    /// Boolean disjunction.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(1), _) | (_, Some(1)) => self.bool_const(true),
+            (Some(0), _) => b,
+            (_, Some(0)) => a,
+            _ if a == b => a,
+            _ => self.intern(TermKind::OrB(a.min(b), a.max(b)), Sort::Bool),
+        }
+    }
+
+    /// Conjunction of many terms.
+    pub fn and_all(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.bool_const(true);
+        for &t in terms {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    fn fold_bv(op: BvOp, x: u64, y: u64, w: u32) -> u64 {
+        let m = mask(w);
+        let sh = (y % w as u64) as u32;
+        let r = match op {
+            BvOp::Add => x.wrapping_add(y),
+            BvOp::Sub => x.wrapping_sub(y),
+            BvOp::Mul => x.wrapping_mul(y),
+            BvOp::UDiv => x.checked_div(y).unwrap_or(m),
+            BvOp::URem => {
+                if y == 0 {
+                    x
+                } else {
+                    x % y
+                }
+            }
+            BvOp::SDiv => {
+                let sx = sext(x, w);
+                let sy = sext(y, w);
+                if sy == 0 {
+                    if sx < 0 {
+                        1
+                    } else {
+                        m
+                    }
+                } else {
+                    sx.wrapping_div(sy) as u64
+                }
+            }
+            BvOp::SRem => {
+                let sx = sext(x, w);
+                let sy = sext(y, w);
+                if sy == 0 {
+                    x
+                } else {
+                    sx.wrapping_rem(sy) as u64
+                }
+            }
+            BvOp::And => x & y,
+            BvOp::Or => x | y,
+            BvOp::Xor => x ^ y,
+            BvOp::Shl => {
+                if sh == 0 {
+                    x
+                } else {
+                    x << sh
+                }
+            }
+            BvOp::LShr => {
+                if sh == 0 {
+                    x
+                } else {
+                    (x & m) >> sh
+                }
+            }
+            BvOp::AShr => (sext(x, w) >> sh) as u64,
+            BvOp::Rotl => {
+                if sh == 0 {
+                    x
+                } else {
+                    ((x << sh) | ((x & m) >> (w - sh))) & m
+                }
+            }
+            BvOp::Rotr => {
+                if sh == 0 {
+                    x
+                } else {
+                    (((x & m) >> sh) | (x << (w - sh))) & m
+                }
+            }
+        };
+        r & m
+    }
+
+    /// Binary bitvector operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn bv(&mut self, op: BvOp, a: TermId, b: TermId) -> TermId {
+        let w = self.sort(a).width();
+        assert_eq!(w, self.sort(b).width(), "width mismatch in {op:?}");
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.bv_const(Self::fold_bv(op, x, y, w), w);
+        }
+        // Identity rewrites.
+        match (op, self.as_const(a), self.as_const(b)) {
+            (BvOp::Add | BvOp::Or | BvOp::Xor | BvOp::Shl | BvOp::LShr, _, Some(0)) => return a,
+            (BvOp::Add | BvOp::Or | BvOp::Xor, Some(0), _) => return b,
+            (BvOp::Sub, _, Some(0)) => return a,
+            (BvOp::Mul | BvOp::And, _, Some(0)) => return self.bv_const(0, w),
+            (BvOp::Mul | BvOp::And, Some(0), _) => return self.bv_const(0, w),
+            (BvOp::Mul, _, Some(1)) => return a,
+            (BvOp::Mul, Some(1), _) => return b,
+            _ => {}
+        }
+        if op == BvOp::Xor && a == b {
+            return self.bv_const(0, w);
+        }
+        if op == BvOp::Sub && a == b {
+            return self.bv_const(0, w);
+        }
+        if (op == BvOp::And || op == BvOp::Or) && a == b {
+            return a;
+        }
+        self.intern(TermKind::Bv(op, a, b), Sort::BitVec(w))
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let w = self.sort(a).width();
+        if let Some(x) = self.as_const(a) {
+            return self.bv_const(!x, w);
+        }
+        if let TermKind::BvNot(inner) = *self.kind(a) {
+            return inner;
+        }
+        self.intern(TermKind::BvNot(a), Sort::BitVec(w))
+    }
+
+    /// Two's-complement negation.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        let w = self.sort(a).width();
+        if let Some(x) = self.as_const(a) {
+            return self.bv_const(x.wrapping_neg(), w);
+        }
+        self.intern(TermKind::BvNeg(a), Sort::BitVec(w))
+    }
+
+    /// Population count.
+    pub fn popcnt(&mut self, a: TermId) -> TermId {
+        let w = self.sort(a).width();
+        if let Some(x) = self.as_const(a) {
+            return self.bv_const((x & mask(w)).count_ones() as u64, w);
+        }
+        self.intern(TermKind::Popcnt(a), Sort::BitVec(w))
+    }
+
+    /// Comparison predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn cmp(&mut self, op: CmpOp, a: TermId, b: TermId) -> TermId {
+        let w = self.sort(a).width();
+        assert_eq!(w, self.sort(b).width(), "width mismatch in {op:?}");
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            let r = match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ult => x < y,
+                CmpOp::Ule => x <= y,
+                CmpOp::Slt => sext(x, w) < sext(y, w),
+                CmpOp::Sle => sext(x, w) <= sext(y, w),
+            };
+            return self.bool_const(r);
+        }
+        if a == b {
+            return self.bool_const(matches!(op, CmpOp::Eq | CmpOp::Ule | CmpOp::Sle));
+        }
+        self.intern(TermKind::Cmp(op, a, b), Sort::Bool)
+    }
+
+    /// Equality shortcut.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Eq, a, b)
+    }
+
+    /// Inequality shortcut.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Concatenation (`hi` above `lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result exceeds 64 bits.
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let wh = self.sort(hi).width();
+        let wl = self.sort(lo).width();
+        assert!(wh + wl <= 64, "concat width {} exceeds 64", wh + wl);
+        if let (Some(h), Some(l)) = (self.as_const(hi), self.as_const(lo)) {
+            return self.bv_const((h << wl) | (l & mask(wl)), wh + wl);
+        }
+        self.intern(TermKind::Concat(hi, lo), Sort::BitVec(wh + wl))
+    }
+
+    /// Extract bits `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is invalid for the operand width.
+    pub fn extract(&mut self, t: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.sort(t).width();
+        assert!(hi < w && lo <= hi, "extract [{hi}:{lo}] out of range for width {w}");
+        if hi == w - 1 && lo == 0 {
+            return t;
+        }
+        if let Some(x) = self.as_const(t) {
+            return self.bv_const((x >> lo) & mask(hi - lo + 1), hi - lo + 1);
+        }
+        self.intern(TermKind::Extract { term: t, hi, lo }, Sort::BitVec(hi - lo + 1))
+    }
+
+    /// Zero-extend by `add` bits (no-op for `add == 0`).
+    pub fn zero_ext(&mut self, t: TermId, add: u32) -> TermId {
+        if add == 0 {
+            return t;
+        }
+        let w = self.sort(t).width();
+        assert!(w + add <= 64, "zero_ext beyond 64 bits");
+        if let Some(x) = self.as_const(t) {
+            return self.bv_const(x & mask(w), w + add);
+        }
+        self.intern(TermKind::ZeroExt { term: t, add }, Sort::BitVec(w + add))
+    }
+
+    /// Sign-extend by `add` bits (no-op for `add == 0`).
+    pub fn sign_ext(&mut self, t: TermId, add: u32) -> TermId {
+        if add == 0 {
+            return t;
+        }
+        let w = self.sort(t).width();
+        assert!(w + add <= 64, "sign_ext beyond 64 bits");
+        if let Some(x) = self.as_const(t) {
+            return self.bv_const(sext(x, w) as u64, w + add);
+        }
+        self.intern(TermKind::SignExt { term: t, add }, Sort::BitVec(w + add))
+    }
+
+    /// If-then-else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branches' sorts differ or `cond` is not Bool.
+    pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
+        assert_eq!(self.sort(cond), Sort::Bool, "ite condition must be Bool");
+        assert_eq!(self.sort(then_t), self.sort(else_t), "ite branch sorts differ");
+        match self.as_const(cond) {
+            Some(1) => then_t,
+            Some(0) => else_t,
+            _ if then_t == else_t => then_t,
+            _ => self.intern(TermKind::Ite(cond, then_t, else_t), self.sort(then_t)),
+        }
+    }
+
+    /// Convert a Bool to a 1-bit-vector-like width-w 0/1 value.
+    pub fn bool_to_bv(&mut self, b: TermId, width: u32) -> TermId {
+        let one = self.bv_const(1, width);
+        let zero = self.bv_const(0, width);
+        self.ite(b, one, zero)
+    }
+
+    /// Evaluate a term under a full variable assignment (`values[var]`).
+    ///
+    /// Used for model validation and differential testing of the bit-blaster.
+    pub fn eval(&self, t: TermId, values: &[u64]) -> u64 {
+        match *self.kind(t) {
+            TermKind::BoolConst(b) => b as u64,
+            TermKind::BvConst { bits, .. } => bits,
+            TermKind::Var { var, width } => values[var as usize] & mask(width),
+            TermKind::Not(x) => (self.eval(x, values) == 0) as u64,
+            TermKind::AndB(a, b) => {
+                (self.eval(a, values) != 0 && self.eval(b, values) != 0) as u64
+            }
+            TermKind::OrB(a, b) => {
+                (self.eval(a, values) != 0 || self.eval(b, values) != 0) as u64
+            }
+            TermKind::Bv(op, a, b) => {
+                let w = self.sort(a).width();
+                Self::fold_bv(op, self.eval(a, values), self.eval(b, values), w)
+            }
+            TermKind::BvNot(a) => !self.eval(a, values) & mask(self.sort(a).width()),
+            TermKind::BvNeg(a) => {
+                self.eval(a, values).wrapping_neg() & mask(self.sort(a).width())
+            }
+            TermKind::Popcnt(a) => {
+                (self.eval(a, values) & mask(self.sort(a).width())).count_ones() as u64
+            }
+            TermKind::Cmp(op, a, b) => {
+                let w = self.sort(a).width();
+                let x = self.eval(a, values);
+                let y = self.eval(b, values);
+                (match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ult => x < y,
+                    CmpOp::Ule => x <= y,
+                    CmpOp::Slt => sext(x, w) < sext(y, w),
+                    CmpOp::Sle => sext(x, w) <= sext(y, w),
+                }) as u64
+            }
+            TermKind::Concat(hi, lo) => {
+                let wl = self.sort(lo).width();
+                (self.eval(hi, values) << wl) | (self.eval(lo, values) & mask(wl))
+            }
+            TermKind::Extract { term, hi, lo } => {
+                (self.eval(term, values) >> lo) & mask(hi - lo + 1)
+            }
+            TermKind::ZeroExt { term, .. } => {
+                self.eval(term, values) & mask(self.sort(term).width())
+            }
+            TermKind::SignExt { term, add } => {
+                let w = self.sort(term).width();
+                (sext(self.eval(term, values), w) as u64) & mask(w + add)
+            }
+            TermKind::Ite(c, a, b) => {
+                if self.eval(c, values) != 0 {
+                    self.eval(a, values)
+                } else {
+                    self.eval(b, values)
+                }
+            }
+        }
+    }
+
+    /// True when the term's DAG contains any variable (i.e., is symbolic).
+    pub fn is_symbolic(&self, t: TermId) -> bool {
+        match *self.kind(t) {
+            TermKind::BoolConst(_) | TermKind::BvConst { .. } => false,
+            TermKind::Var { .. } => true,
+            TermKind::Not(a)
+            | TermKind::BvNot(a)
+            | TermKind::BvNeg(a)
+            | TermKind::Popcnt(a)
+            | TermKind::Extract { term: a, .. }
+            | TermKind::ZeroExt { term: a, .. }
+            | TermKind::SignExt { term: a, .. } => self.is_symbolic(a),
+            TermKind::AndB(a, b)
+            | TermKind::OrB(a, b)
+            | TermKind::Bv(_, a, b)
+            | TermKind::Cmp(_, a, b)
+            | TermKind::Concat(a, b) => self.is_symbolic(a) || self.is_symbolic(b),
+            TermKind::Ite(c, a, b) => {
+                self.is_symbolic(c) || self.is_symbolic(a) || self.is_symbolic(b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_deduplicates() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(5, 32);
+        let b = p.bv_const(5, 32);
+        assert_eq!(a, b);
+        let x = p.var("x", 32);
+        let s1 = p.bv(BvOp::Add, x, a);
+        let s2 = p.bv(BvOp::Add, x, b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let a = p.bv_const(7, 32);
+        let b = p.bv_const(5, 32);
+        let sum = p.bv(BvOp::Add, a, b);
+        assert_eq!(p.as_const(sum), Some(12));
+        let cmp = p.cmp(CmpOp::Ult, b, a);
+        assert_eq!(p.as_const(cmp), Some(1));
+    }
+
+    #[test]
+    fn wrapping_and_division_conventions() {
+        let mut p = TermPool::new();
+        let max = p.bv_const(u64::MAX, 64);
+        let one = p.bv_const(1, 64);
+        let wrapped = p.bv(BvOp::Add, max, one);
+        assert_eq!(p.as_const(wrapped), Some(0));
+        let zero = p.bv_const(0, 32);
+        let x = p.bv_const(10, 32);
+        let div0 = p.bv(BvOp::UDiv, x, zero);
+        assert_eq!(p.as_const(div0), Some(0xffff_ffff), "x/0 = all-ones (SMT-LIB)");
+        let rem0 = p.bv(BvOp::URem, x, zero);
+        assert_eq!(p.as_const(rem0), Some(10), "x%0 = x (SMT-LIB)");
+    }
+
+    #[test]
+    fn identity_rewrites() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 64);
+        let zero = p.bv_const(0, 64);
+        assert_eq!(p.bv(BvOp::Add, x, zero), x);
+        assert_eq!(p.bv(BvOp::Xor, x, x), zero);
+        assert_eq!(p.bv(BvOp::And, x, zero), zero);
+        let e = p.eq(x, x);
+        assert_eq!(p.as_const(e), Some(1));
+    }
+
+    #[test]
+    fn extract_concat_roundtrip() {
+        let mut p = TermPool::new();
+        let c = p.bv_const(0xdead_beef, 32);
+        let hi = p.extract(c, 31, 16);
+        let lo = p.extract(c, 15, 0);
+        assert_eq!(p.as_const(hi), Some(0xdead));
+        assert_eq!(p.as_const(lo), Some(0xbeef));
+        let back = p.concat(hi, lo);
+        assert_eq!(p.as_const(back), Some(0xdead_beef));
+    }
+
+    #[test]
+    fn sign_extension_semantics() {
+        let mut p = TermPool::new();
+        let neg = p.bv_const(0x80, 8);
+        let wide = p.sign_ext(neg, 24);
+        assert_eq!(p.as_const(wide), Some(0xffff_ff80));
+        let pos = p.bv_const(0x7f, 8);
+        let wide2 = p.sign_ext(pos, 24);
+        assert_eq!(p.as_const(wide2), Some(0x7f));
+    }
+
+    #[test]
+    fn eval_agrees_with_folding_on_random_ops() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 32);
+        let ops = [BvOp::Add, BvOp::Sub, BvOp::Mul, BvOp::And, BvOp::Or, BvOp::Xor, BvOp::Shl];
+        for op in ops {
+            let t = p.bv(op, x, y);
+            for (vx, vy) in [(3u64, 5u64), (0xffff_ffff, 1), (0, 0), (123_456, 654_321)] {
+                let via_eval = p.eval(t, &[vx, vy]);
+                let direct = TermPool::fold_bv(op, vx, vy, 32);
+                assert_eq!(via_eval, direct, "{op:?} on ({vx}, {vy})");
+            }
+        }
+    }
+
+    #[test]
+    fn popcnt_folds_and_evals() {
+        let mut p = TermPool::new();
+        let c = p.bv_const(0b1011_0110, 32);
+        let pc = p.popcnt(c);
+        assert_eq!(p.as_const(pc), Some(5));
+        let x = p.var("x", 64);
+        let pcx = p.popcnt(x);
+        assert_eq!(p.eval(pcx, &[u64::MAX]), 64);
+    }
+
+    #[test]
+    fn symbolic_detection() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let c = p.bv_const(4, 32);
+        let mixed = p.bv(BvOp::Add, x, c);
+        assert!(p.is_symbolic(mixed));
+        assert!(!p.is_symbolic(c));
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut p = TermPool::new();
+        let t = p.bool_const(true);
+        let a = p.bv_const(1, 8);
+        let b = p.bv_const(2, 8);
+        assert_eq!(p.ite(t, a, b), a);
+        let x = p.var("c", 32);
+        let zero = p.bv_const(0, 32);
+        let cond = p.ne(x, zero);
+        assert_eq!(p.ite(cond, a, a), a);
+    }
+}

@@ -1,0 +1,55 @@
+//! Constraint flipping (§3.4.4).
+//!
+//! For each conditional state whose *other* side has not been explored yet,
+//! assemble `path-prefix ∧ flipped` — "the path to the conditional state
+//! must be feasible" ∧ "the jumping condition holds for the opposite
+//! branch" — ready to hand to the solver.
+
+use std::collections::HashSet;
+
+use wasai_smt::TermId;
+
+use crate::replay::{CondKind, ReplayOutcome};
+
+/// One ready-to-solve flip query.
+#[derive(Debug, Clone)]
+pub struct FlipQuery {
+    /// All constraints to conjoin.
+    pub constraints: Vec<TermId>,
+    /// The branch site being flipped.
+    pub site: (u32, u32),
+    /// The direction the new seed should take (branches) — `taken` negated.
+    pub target_taken: bool,
+    /// Branch or assert.
+    pub kind: CondKind,
+}
+
+impl FlipQuery {
+    /// The coverage key `(func, pc, direction)` this query targets.
+    pub fn target_key(&self) -> (u32, u32, u64) {
+        (self.site.0, self.site.1, self.target_taken as u64)
+    }
+}
+
+/// Build flip queries from a replay, skipping targets already in `explored`
+/// (branch directions some earlier seed has covered).
+pub fn flip_queries(
+    outcome: &ReplayOutcome,
+    explored: &HashSet<(u32, u32, u64)>,
+) -> Vec<FlipQuery> {
+    let mut seen_this_run: HashSet<(u32, u32, u64)> = HashSet::new();
+    let mut out = Vec::new();
+    for cond in &outcome.conditionals {
+        let target_taken = !cond.taken;
+        let key = (cond.site.0, cond.site.1, target_taken as u64);
+        if cond.kind == CondKind::Branch && (explored.contains(&key) || seen_this_run.contains(&key))
+        {
+            continue;
+        }
+        seen_this_run.insert(key);
+        let mut constraints: Vec<TermId> = outcome.path[..cond.path_len].to_vec();
+        constraints.push(cond.flipped);
+        out.push(FlipQuery { constraints, site: cond.site, target_taken, kind: cond.kind });
+    }
+    out
+}

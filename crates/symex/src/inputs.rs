@@ -1,0 +1,273 @@
+//! Symbolic input construction from the calling convention (C3, §3.4.2).
+//!
+//! WASAI skips the deserializer: instead of symbolically executing
+//! `void apply()` and the byte-stream parsing it performs, it installs
+//! symbolic expressions for the seed parameters ρ⃗ directly in the action
+//! function's Local section, following the Table 2 layout:
+//!
+//! | ρ        | type   | Local    | Linear memory                              |
+//! |----------|--------|----------|--------------------------------------------|
+//! | from     | name   | μ_l̂\[1\]  | —                                          |
+//! | quantity | asset  | μ_l̂\[3\]  | 8-byte amount ‖ 8-byte symbol at the ptr   |
+//! | memo     | string | μ_l̂\[4\]  | length byte ‖ content at the ptr           |
+//!
+//! Pointer-typed parameters (asset, string) are *lazy*: the pointer's
+//! concrete value is only known when the trace first reads the local, at
+//! which point the symbolic bytes are installed at that address.
+
+use wasai_chain::abi::{ParamType, ParamValue};
+use wasai_smt::{TermId, TermPool};
+
+use crate::memory::SymMemory;
+
+/// Maximum string length given a symbolic 8-bit length byte.
+pub const MAX_SYM_STRING: usize = 64;
+
+/// How one action-function parameter maps to symbolic state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamBinding {
+    /// An inline 64-bit value in the Local section (name / u64 / i64).
+    Inline64 {
+        /// The parameter's symbolic variable.
+        var: TermId,
+    },
+    /// An inline 32-bit value (u32 / u8).
+    Inline32 {
+        /// The parameter's symbolic variable.
+        var: TermId,
+    },
+    /// Floats are not tracked symbolically (concrete only).
+    Opaque,
+    /// An i32 pointer to a 16-byte amount‖symbol pair.
+    AssetPtr {
+        /// 64-bit amount variable.
+        amount: TermId,
+        /// 64-bit symbol variable.
+        symbol: TermId,
+    },
+    /// An i32 pointer to length‖content.
+    StringPtr {
+        /// 8-bit length variable.
+        len: TermId,
+        /// 8-bit content variables (up to [`MAX_SYM_STRING`]).
+        bytes: Vec<TermId>,
+    },
+}
+
+/// One parameter of the fuzzed action function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Declared type.
+    pub ty: ParamType,
+    /// Concrete value in the executed seed.
+    pub concrete: ParamValue,
+    /// The symbolic binding.
+    pub binding: ParamBinding,
+}
+
+/// The symbolic input description for one fuzzing execution.
+#[derive(Debug, Clone)]
+pub struct InputSpec {
+    /// Function index (in the original module) of the action function.
+    pub action_func: u32,
+    /// First Local index of ρ⃗₀ (Table 2 uses 1: local 0 is `self`).
+    pub local_base: u32,
+    /// Parameter specs in declaration order.
+    pub params: Vec<ParamSpec>,
+}
+
+impl InputSpec {
+    /// Build the spec (and its symbolic variables) for a seed.
+    ///
+    /// Variables are named `arg{i}`, `arg{i}.amount`, `arg{i}.symbol`,
+    /// `arg{i}.len`, `arg{i}.b{j}` — [`crate::seedgen`] reads them back from
+    /// models under the same names.
+    pub fn build(
+        pool: &mut TermPool,
+        action_func: u32,
+        local_base: u32,
+        params: &[(ParamType, ParamValue)],
+    ) -> InputSpec {
+        let specs = params
+            .iter()
+            .enumerate()
+            .map(|(i, (ty, concrete))| {
+                let binding = match ty {
+                    ParamType::Name | ParamType::U64 | ParamType::I64 => {
+                        ParamBinding::Inline64 { var: pool.var(&format!("arg{i}"), 64) }
+                    }
+                    ParamType::U32 | ParamType::U8 => {
+                        ParamBinding::Inline32 { var: pool.var(&format!("arg{i}"), 32) }
+                    }
+                    ParamType::F64 => ParamBinding::Opaque,
+                    ParamType::Asset => ParamBinding::AssetPtr {
+                        amount: pool.var(&format!("arg{i}.amount"), 64),
+                        symbol: pool.var(&format!("arg{i}.symbol"), 64),
+                    },
+                    ParamType::String => {
+                        let len = pool.var(&format!("arg{i}.len"), 8);
+                        let n = match concrete {
+                            ParamValue::String(s) => s.len().min(MAX_SYM_STRING),
+                            _ => 0,
+                        };
+                        let bytes =
+                            (0..n).map(|j| pool.var(&format!("arg{i}.b{j}"), 8)).collect();
+                        ParamBinding::StringPtr { len, bytes }
+                    }
+                };
+                ParamSpec { ty: *ty, concrete: concrete.clone(), binding }
+            })
+            .collect();
+        InputSpec { action_func, local_base, params: specs }
+    }
+
+    /// The symbolic term for the Local slot holding parameter `i`, for
+    /// inline parameters. Pointer parameters return `None` (their local is a
+    /// concrete pointer; memory content is installed lazily).
+    pub fn local_term(&self, i: usize) -> Option<TermId> {
+        match &self.params[i].binding {
+            ParamBinding::Inline64 { var } | ParamBinding::Inline32 { var } => Some(*var),
+            _ => None,
+        }
+    }
+
+    /// Install the memory content of a pointer parameter once its concrete
+    /// pointer is known from the trace (the lazy step).
+    pub fn install_pointee(
+        &self,
+        i: usize,
+        ptr: u64,
+        pool: &mut TermPool,
+        mem: &mut SymMemory,
+    ) {
+        match &self.params[i].binding {
+            ParamBinding::AssetPtr { amount, symbol } => {
+                mem.store(pool, ptr, 8, *amount);
+                mem.store(pool, ptr + 8, 8, *symbol);
+            }
+            ParamBinding::StringPtr { len, bytes } => {
+                mem.store(pool, ptr, 1, *len);
+                for (j, b) in bytes.iter().enumerate() {
+                    mem.store(pool, ptr + 1 + j as u64, 1, *b);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Equality constraints pinning every parameter variable to the seed's
+    /// concrete value. Added to flip queries so the solver mutates exactly
+    /// the variables the flipped branch depends on and keeps the rest at
+    /// their executed values ("we mutate one parameter in ρ⃗", §3.4.4).
+    pub fn concrete_bindings(&self, pool: &mut TermPool) -> Vec<(TermId, u64)> {
+        let mut out = Vec::new();
+        for p in &self.params {
+            match (&p.binding, &p.concrete) {
+                (ParamBinding::Inline64 { var }, v) => out.push((*var, value_as_u64(v))),
+                (ParamBinding::Inline32 { var }, v) => out.push((*var, value_as_u64(v) & 0xffff_ffff)),
+                (ParamBinding::AssetPtr { amount, symbol }, ParamValue::Asset(a)) => {
+                    out.push((*amount, a.amount as u64));
+                    out.push((*symbol, a.symbol.raw()));
+                }
+                (ParamBinding::StringPtr { len, bytes }, ParamValue::String(s)) => {
+                    out.push((*len, s.len().min(255) as u64));
+                    for (j, b) in bytes.iter().enumerate() {
+                        out.push((*b, s.as_bytes().get(j).copied().unwrap_or(0) as u64));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let _ = pool;
+        out
+    }
+}
+
+/// The u64 image of an inline parameter value.
+pub fn value_as_u64(v: &ParamValue) -> u64 {
+    match v {
+        ParamValue::Name(n) => n.raw(),
+        ParamValue::U64(x) => *x,
+        ParamValue::I64(x) => *x as u64,
+        ParamValue::U32(x) => *x as u64,
+        ParamValue::U8(x) => *x as u64,
+        ParamValue::F64(x) => x.to_bits(),
+        ParamValue::Asset(a) => a.amount as u64,
+        ParamValue::String(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_chain::asset::Asset;
+    use wasai_chain::name::Name;
+
+    fn transfer_spec(pool: &mut TermPool) -> InputSpec {
+        InputSpec::build(
+            pool,
+            7,
+            1,
+            &[
+                (ParamType::Name, ParamValue::Name(Name::new("alice"))),
+                (ParamType::Name, ParamValue::Name(Name::new("eosbet"))),
+                (ParamType::Asset, ParamValue::Asset(Asset::eos(10))),
+                (ParamType::String, ParamValue::String("hi".into())),
+            ],
+        )
+    }
+
+    #[test]
+    fn table2_layout_bindings() {
+        let mut pool = TermPool::new();
+        let spec = transfer_spec(&mut pool);
+        assert!(matches!(spec.params[0].binding, ParamBinding::Inline64 { .. }));
+        assert!(matches!(spec.params[2].binding, ParamBinding::AssetPtr { .. }));
+        assert!(matches!(spec.params[3].binding, ParamBinding::StringPtr { .. }));
+        assert!(spec.local_term(0).is_some());
+        assert!(spec.local_term(2).is_none(), "asset local is a concrete pointer");
+    }
+
+    #[test]
+    fn pointee_installation_places_table2_bytes() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let spec = transfer_spec(&mut pool);
+        spec.install_pointee(2, 1000, &mut pool, &mut mem);
+        // amount at ptr..ptr+8, symbol at ptr+8..ptr+16.
+        assert!(mem.covers_any(1000, 8));
+        assert!(mem.covers_any(1008, 8));
+        assert!(!mem.covers_any(1016, 1));
+        spec.install_pointee(3, 2000, &mut pool, &mut mem);
+        // length byte then 2 content bytes.
+        assert!(mem.covers_any(2000, 1));
+        assert!(mem.covers_any(2001, 2));
+    }
+
+    #[test]
+    fn concrete_bindings_pin_seed_values() {
+        let mut pool = TermPool::new();
+        let spec = transfer_spec(&mut pool);
+        let binds = spec.concrete_bindings(&mut pool);
+        let alice = Name::new("alice").raw();
+        assert!(binds.iter().any(|&(_, v)| v == alice));
+        assert!(binds.iter().any(|&(_, v)| v == 100_000)); // 10.0000 EOS
+        assert!(binds.iter().any(|&(_, v)| v == 2)); // string length
+    }
+
+    #[test]
+    fn string_capped_at_max_sym_len() {
+        let mut pool = TermPool::new();
+        let long = "x".repeat(500);
+        let spec = InputSpec::build(
+            &mut pool,
+            0,
+            1,
+            &[(ParamType::String, ParamValue::String(long))],
+        );
+        match &spec.params[0].binding {
+            ParamBinding::StringPtr { bytes, .. } => assert_eq!(bytes.len(), MAX_SYM_STRING),
+            other => panic!("unexpected binding {other:?}"),
+        }
+    }
+}

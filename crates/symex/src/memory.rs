@@ -1,0 +1,177 @@
+//! The concrete-address symbolic memory model (challenge C2, §3.4.1).
+//!
+//! "We create a memory model based on the concrete addresses from the
+//! runtime traces" — each *byte* of symbolic data is stored under the
+//! concrete address the trace observed, so a load is an O(log n) range read
+//! instead of EOSAFE's merge-over-all-entries scan (§3.2). Loads that touch
+//! bytes the trace never wrote produce *symbolic load objects* ⟨a, s⟩ —
+//! fresh variables standing for "s bytes of unknown memory at offset a".
+
+use std::collections::BTreeMap;
+
+use wasai_smt::{TermId, TermPool};
+
+/// Byte-granular symbolic memory.
+#[derive(Debug, Default, Clone)]
+pub struct SymMemory {
+    /// Concrete byte address → 8-bit term.
+    bytes: BTreeMap<u64, TermId>,
+    /// Counter making symbolic-load-object names unique.
+    fresh: u32,
+}
+
+impl SymMemory {
+    /// An empty memory model.
+    pub fn new() -> Self {
+        SymMemory::default()
+    }
+
+    /// Number of tracked bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when no byte is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// △.store(μ_m, addr, size, val): split `value` (a term of width
+    /// `size * 8`) into byte terms and record them at `addr..addr+size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value`'s width is not `size * 8`.
+    pub fn store(&mut self, pool: &mut TermPool, addr: u64, size: u32, value: TermId) {
+        assert_eq!(pool.sort(value).width(), size * 8, "store width mismatch");
+        for i in 0..size {
+            let byte = pool.extract(value, i * 8 + 7, i * 8);
+            self.bytes.insert(addr + i as u64, byte);
+        }
+    }
+
+    /// Store a concrete value (no symbolic content) — keeps later loads of
+    /// the same cells concrete-foldable.
+    pub fn store_concrete(&mut self, pool: &mut TermPool, addr: u64, size: u32, value: u64) {
+        for i in 0..size {
+            let byte = pool.bv_const((value >> (i * 8)) & 0xff, 8);
+            self.bytes.insert(addr + i as u64, byte);
+        }
+    }
+
+    /// △.load(μ_m, addr, size) → val: concatenate the byte terms at
+    /// `addr..addr+size` (little-endian).
+    ///
+    /// Returns `None` when *no* byte of the range is tracked — the loaded
+    /// value is then fully concrete and the replayer takes it from the
+    /// trace. If the range is *partially* tracked, missing bytes become a
+    /// fresh symbolic-load-object variable each (⟨a, 1⟩), keeping the
+    /// result sound for constraint solving.
+    pub fn load(&mut self, pool: &mut TermPool, addr: u64, size: u32) -> Option<TermId> {
+        let any = (0..size).any(|i| self.bytes.contains_key(&(addr + i as u64)));
+        if !any {
+            return None;
+        }
+        let mut result: Option<TermId> = None;
+        for i in (0..size).rev() {
+            let a = addr + i as u64;
+            let byte = match self.bytes.get(&a) {
+                Some(&b) => b,
+                None => {
+                    let name = format!("mload_{a:#x}_{}", self.fresh);
+                    self.fresh += 1;
+                    let v = pool.var(&name, 8);
+                    self.bytes.insert(a, v);
+                    v
+                }
+            };
+            result = Some(match result {
+                None => byte,
+                Some(hi) => pool.concat(hi, byte),
+            });
+        }
+        result
+    }
+
+    /// Whether any byte in `addr..addr+size` is tracked.
+    pub fn covers_any(&self, addr: u64, size: u32) -> bool {
+        (0..size).any(|i| self.bytes.contains_key(&(addr + i as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_load_roundtrips_constant() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let v = pool.bv_const(0x1122_3344, 32);
+        mem.store(&mut pool, 100, 4, v);
+        let loaded = mem.load(&mut pool, 100, 4).expect("tracked");
+        assert_eq!(pool.as_const(loaded), Some(0x1122_3344));
+    }
+
+    #[test]
+    fn partial_overwrite_merges_bytes() {
+        // The §3.2 example: write a..a+2 then b..b+2 where b overlaps — with
+        // concrete addresses the overlap resolves immediately.
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let zeros = pool.bv_const(0x0000, 16);
+        let ones = pool.bv_const(0xffff, 16);
+        mem.store(&mut pool, 10, 2, zeros);
+        mem.store(&mut pool, 11, 2, ones); // overlaps byte 11
+        let loaded = mem.load(&mut pool, 10, 2).expect("tracked");
+        assert_eq!(pool.as_const(loaded), Some(0xff00));
+        let upper = mem.load(&mut pool, 11, 2).expect("tracked");
+        assert_eq!(pool.as_const(upper), Some(0xffff));
+    }
+
+    #[test]
+    fn symbolic_store_load_preserves_terms() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let x = pool.var("x", 64);
+        mem.store(&mut pool, 0, 8, x);
+        let loaded = mem.load(&mut pool, 0, 8).expect("tracked");
+        // Loading back the whole word yields a term equivalent to x:
+        // concat of extracts. Evaluate both to check equivalence.
+        for v in [0u64, 0xdead_beef_1234_5678, u64::MAX] {
+            assert_eq!(pool.eval(loaded, &[v]), v);
+        }
+    }
+
+    #[test]
+    fn untracked_load_is_concrete() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        assert_eq!(mem.load(&mut pool, 500, 8), None);
+    }
+
+    #[test]
+    fn partial_load_creates_symbolic_load_objects() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let x = pool.var("x", 8);
+        mem.store(&mut pool, 20, 1, x);
+        let loaded = mem.load(&mut pool, 20, 2).expect("partially tracked");
+        assert_eq!(pool.sort(loaded).width(), 16);
+        assert!(pool.is_symbolic(loaded));
+        // The gap byte is now tracked (consistent future loads).
+        assert!(mem.covers_any(21, 1));
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let v = pool.bv_const(0xaabb, 16);
+        mem.store(&mut pool, 0, 2, v);
+        let lo = mem.load(&mut pool, 0, 1).expect("lo");
+        let hi = mem.load(&mut pool, 1, 1).expect("hi");
+        assert_eq!(pool.as_const(lo), Some(0xbb));
+        assert_eq!(pool.as_const(hi), Some(0xaa));
+    }
+}

@@ -1,0 +1,148 @@
+//! Adaptive seed generation: turn a solver model back into a parameter
+//! vector ρ⃗ (§3.4.4, "solve constraints and find new seeds").
+//!
+//! Only parameters whose variables actually occur in the solved constraints
+//! are mutated; everything else keeps the executed seed's value — the
+//! paper's "mutate one parameter in ρ⃗" discipline generalized to whatever
+//! the constraint mentions.
+
+use std::collections::HashSet;
+
+use wasai_chain::abi::ParamValue;
+use wasai_chain::asset::{Asset, Symbol};
+use wasai_chain::name::Name;
+use wasai_smt::{Model, TermId, TermKind, TermPool};
+
+use crate::inputs::{InputSpec, ParamBinding};
+
+/// Collect the variable indices occurring in a term DAG.
+pub fn collect_vars(pool: &TermPool, t: TermId, out: &mut HashSet<u32>) {
+    match *pool.kind(t) {
+        TermKind::BoolConst(_) | TermKind::BvConst { .. } => {}
+        TermKind::Var { var, .. } => {
+            out.insert(var);
+        }
+        TermKind::Not(a)
+        | TermKind::BvNot(a)
+        | TermKind::BvNeg(a)
+        | TermKind::Popcnt(a)
+        | TermKind::Extract { term: a, .. }
+        | TermKind::ZeroExt { term: a, .. }
+        | TermKind::SignExt { term: a, .. } => collect_vars(pool, a, out),
+        TermKind::AndB(a, b)
+        | TermKind::OrB(a, b)
+        | TermKind::Bv(_, a, b)
+        | TermKind::Cmp(_, a, b)
+        | TermKind::Concat(a, b) => {
+            collect_vars(pool, a, out);
+            collect_vars(pool, b, out);
+        }
+        TermKind::Ite(c, a, b) => {
+            collect_vars(pool, c, out);
+            collect_vars(pool, a, out);
+            collect_vars(pool, b, out);
+        }
+    }
+}
+
+/// Variable indices occurring in any of `constraints`.
+pub fn constraint_vars(pool: &TermPool, constraints: &[TermId]) -> HashSet<u32> {
+    let mut out = HashSet::new();
+    for &c in constraints {
+        collect_vars(pool, c, &mut out);
+    }
+    out
+}
+
+fn term_var(pool: &TermPool, t: TermId) -> Option<u32> {
+    match *pool.kind(t) {
+        TermKind::Var { var, .. } => Some(var),
+        _ => None,
+    }
+}
+
+/// Build a new parameter vector: model values for constrained parameters,
+/// the executed seed's values for the rest.
+pub fn seed_from_model(
+    spec: &InputSpec,
+    pool: &TermPool,
+    model: &Model,
+    constrained: &HashSet<u32>,
+) -> Vec<ParamValue> {
+    spec.params
+        .iter()
+        .map(|p| {
+            let touched = |t: TermId| term_var(pool, t).map(|v| constrained.contains(&v));
+            match &p.binding {
+                ParamBinding::Inline64 { var } if touched(*var) == Some(true) => {
+                    let raw = model.value(term_var(pool, *var).expect("var"));
+                    match p.concrete {
+                        ParamValue::Name(_) => ParamValue::Name(Name(raw)),
+                        ParamValue::I64(_) => ParamValue::I64(raw as i64),
+                        _ => ParamValue::U64(raw),
+                    }
+                }
+                ParamBinding::Inline32 { var } if touched(*var) == Some(true) => {
+                    let raw = model.value(term_var(pool, *var).expect("var"));
+                    match p.concrete {
+                        ParamValue::U8(_) => ParamValue::U8(raw as u8),
+                        _ => ParamValue::U32(raw as u32),
+                    }
+                }
+                ParamBinding::AssetPtr { amount, symbol } => {
+                    let am_var = term_var(pool, *amount).expect("var");
+                    let sy_var = term_var(pool, *symbol).expect("var");
+                    if constrained.contains(&am_var) || constrained.contains(&sy_var) {
+                        let old = match &p.concrete {
+                            ParamValue::Asset(a) => *a,
+                            _ => Asset::eos(0),
+                        };
+                        let am = if constrained.contains(&am_var) {
+                            model.value(am_var) as i64
+                        } else {
+                            old.amount
+                        };
+                        let sy = if constrained.contains(&sy_var) {
+                            Symbol(model.value(sy_var))
+                        } else {
+                            old.symbol
+                        };
+                        ParamValue::Asset(Asset::new(am, sy))
+                    } else {
+                        p.concrete.clone()
+                    }
+                }
+                ParamBinding::StringPtr { len, bytes } => {
+                    let len_var = term_var(pool, *len).expect("var");
+                    let byte_vars: Vec<u32> =
+                        bytes.iter().map(|b| term_var(pool, *b).expect("var")).collect();
+                    let any = constrained.contains(&len_var)
+                        || byte_vars.iter().any(|v| constrained.contains(v));
+                    if !any {
+                        return p.concrete.clone();
+                    }
+                    let old = match &p.concrete {
+                        ParamValue::String(s) => s.clone(),
+                        _ => String::new(),
+                    };
+                    let new_len = if constrained.contains(&len_var) {
+                        (model.value(len_var) as usize).min(crate::inputs::MAX_SYM_STRING)
+                    } else {
+                        old.len()
+                    };
+                    let mut content: Vec<u8> = Vec::with_capacity(new_len);
+                    for j in 0..new_len {
+                        let byte = match byte_vars.get(j) {
+                            Some(v) if constrained.contains(v) => model.value(*v) as u8,
+                            _ => old.as_bytes().get(j).copied().unwrap_or(b'a'),
+                        };
+                        // Keep strings printable so memos stay realistic.
+                        content.push(if byte == 0 { b'a' } else { byte });
+                    }
+                    ParamValue::String(String::from_utf8_lossy(&content).into_owned())
+                }
+                _ => p.concrete.clone(),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,126 @@
+//! Trap and error types of the EOSVM.
+
+use std::fmt;
+
+/// A runtime trap: execution of the current action aborts and — at the chain
+/// level — the enclosing transaction is rolled back (§2.3.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// `unreachable` executed (the complicated-verification injector of §4.3
+    /// terminates failing inputs this way).
+    Unreachable,
+    /// Out-of-bounds linear memory access.
+    MemoryOutOfBounds {
+        /// Byte address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        len: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// `INT_MIN / -1` style overflow, or an unrepresentable float→int cast.
+    IntegerOverflow,
+    /// An invalid float-to-int conversion (NaN).
+    InvalidConversion,
+    /// Call stack exceeded the configured depth.
+    CallStackExhausted,
+    /// Step (fuel) budget exhausted — the VM's deterministic time-out.
+    StepLimit,
+    /// `call_indirect` through a null table slot.
+    UndefinedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// Table index out of range.
+    TableOutOfBounds,
+    /// An `eosio_assert` with a false condition.
+    AssertFailed(String),
+    /// A host function reported an error.
+    Host(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::MemoryOutOfBounds { addr, len } => {
+                write!(f, "out-of-bounds memory access of {len} bytes at {addr:#x}")
+            }
+            Trap::DivideByZero => write!(f, "integer divide by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::InvalidConversion => write!(f, "invalid conversion to integer"),
+            Trap::CallStackExhausted => write!(f, "call stack exhausted"),
+            Trap::StepLimit => write!(f, "step limit exceeded"),
+            Trap::UndefinedElement => write!(f, "undefined table element"),
+            Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::TableOutOfBounds => write!(f, "table index out of bounds"),
+            Trap::AssertFailed(msg) => write!(f, "eosio_assert failed: {msg}"),
+            Trap::Host(msg) => write!(f, "host error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// An error constructing or linking an instance (before execution starts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// An import could not be resolved by the host.
+    UnresolvedImport {
+        /// Import namespace.
+        module: String,
+        /// Import name.
+        name: String,
+    },
+    /// The module references a function/type/global that does not exist.
+    BadIndex(String),
+    /// A data segment does not fit in the initial memory.
+    DataSegmentOutOfBounds,
+    /// An element segment does not fit in the table.
+    ElemSegmentOutOfBounds,
+    /// The module has no memory but contracts require one.
+    MissingExport(String),
+    /// Structured control flow is malformed (unmatched block/end).
+    MalformedControlFlow {
+        /// The function with the problem.
+        func: u32,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::UnresolvedImport { module, name } => {
+                write!(f, "unresolved import {module}.{name}")
+            }
+            InstanceError::BadIndex(what) => write!(f, "bad index: {what}"),
+            InstanceError::DataSegmentOutOfBounds => write!(f, "data segment out of bounds"),
+            InstanceError::ElemSegmentOutOfBounds => write!(f, "element segment out of bounds"),
+            InstanceError::MissingExport(name) => write!(f, "missing export {name}"),
+            InstanceError::MalformedControlFlow { func } => {
+                write!(f, "malformed control flow in function {func}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_messages_are_informative() {
+        let t = Trap::MemoryOutOfBounds { addr: 0x100, len: 8 };
+        assert!(t.to_string().contains("0x100"));
+        assert!(Trap::AssertFailed("only eosio.token".into())
+            .to_string()
+            .contains("only eosio.token"));
+    }
+
+    #[test]
+    fn instance_error_messages() {
+        let e = InstanceError::UnresolvedImport { module: "env".into(), name: "foo".into() };
+        assert_eq!(e.to_string(), "unresolved import env.foo");
+    }
+}

@@ -1,0 +1,130 @@
+//! The host-function interface between the VM and its embedder.
+//!
+//! EOSIO library APIs (§2.2) and the WASAI trace hooks (§3.3.1) are both
+//! just host functions from the VM's point of view. The embedder (the
+//! `wasai-chain` crate) resolves import names to [`HostFnId`]s at
+//! instantiation and dispatches calls at runtime.
+
+use wasai_wasm::types::FuncType;
+
+use crate::error::Trap;
+use crate::memory::LinearMemory;
+use crate::trace::{TraceSink, TraceVal};
+use crate::value::Value;
+
+/// Opaque identifier a [`Host`] assigns to a resolved import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostFnId(pub u32);
+
+/// The embedder-side of the VM: resolves and executes imported functions.
+pub trait Host {
+    /// Resolve an import to an id, or `None` if unknown (instantiation then
+    /// fails with `UnresolvedImport`).
+    fn resolve(&mut self, module: &str, name: &str, ty: &FuncType) -> Option<HostFnId>;
+
+    /// Execute a resolved host function.
+    ///
+    /// # Errors
+    ///
+    /// A `Trap` aborts the current contract execution (and, at the chain
+    /// level, rolls back the enclosing transaction).
+    fn call(
+        &mut self,
+        id: HostFnId,
+        args: &[Value],
+        mem: &mut LinearMemory,
+    ) -> Result<Option<Value>, Trap>;
+}
+
+/// A host that resolves nothing — for pure modules in tests and benches.
+#[derive(Debug, Default)]
+pub struct NullHost;
+
+impl Host for NullHost {
+    fn resolve(&mut self, _module: &str, _name: &str, _ty: &FuncType) -> Option<HostFnId> {
+        None
+    }
+
+    fn call(
+        &mut self,
+        _id: HostFnId,
+        _args: &[Value],
+        _mem: &mut LinearMemory,
+    ) -> Result<Option<Value>, Trap> {
+        Err(Trap::Host("null host cannot execute imports".into()))
+    }
+}
+
+/// Helpers for the `wasai.*` hook namespace.
+///
+/// Embedders reserve a contiguous id range for the 8 hooks and delegate to
+/// [`hooks::dispatch`]; everything stays data-driven off
+/// [`wasai_wasm::instrument::HOOK_NAMES`].
+pub mod hooks {
+    use super::*;
+    use wasai_wasm::instrument::{HOOK_MODULE, HOOK_NAMES};
+
+    /// Offset of a hook name within [`HOOK_NAMES`], if `module`/`name` is a
+    /// hook import.
+    pub fn hook_offset(module: &str, name: &str) -> Option<u32> {
+        if module != HOOK_MODULE {
+            return None;
+        }
+        HOOK_NAMES.iter().position(|n| *n == name).map(|p| p as u32)
+    }
+
+    /// Execute hook number `offset` (as returned by [`hook_offset`]) against
+    /// a [`TraceSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 8` or the arguments do not match the hook
+    /// signature (impossible for modules produced by the instrumenter).
+    pub fn dispatch(sink: &mut TraceSink, offset: u32, args: &[Value]) {
+        match offset {
+            0 => sink.site(args[0].as_i32() as u32, args[1].as_i32() as u32),
+            1 => sink.log(TraceVal::I(args[0].as_i64())),
+            2 => sink.log(TraceVal::F32(args[0].as_f32())),
+            3 => sink.log(TraceVal::F64(args[0].as_f64())),
+            4 => sink.call_pre(args[0].as_i32()),
+            5 => sink.call_post(args[0].as_i32()),
+            6 => sink.func_begin(args[0].as_i32() as u32),
+            7 => sink.func_end(args[0].as_i32() as u32),
+            other => panic!("unknown hook offset {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    #[test]
+    fn hook_offsets_cover_all_names() {
+        for (i, name) in wasai_wasm::instrument::HOOK_NAMES.iter().enumerate() {
+            assert_eq!(hooks::hook_offset("wasai", name), Some(i as u32));
+        }
+        assert_eq!(hooks::hook_offset("env", "logi"), None);
+        assert_eq!(hooks::hook_offset("wasai", "nope"), None);
+    }
+
+    #[test]
+    fn dispatch_builds_records() {
+        let mut sink = TraceSink::new();
+        hooks::dispatch(&mut sink, 0, &[Value::I32(2), Value::I32(9)]);
+        hooks::dispatch(&mut sink, 1, &[Value::I64(-3)]);
+        hooks::dispatch(&mut sink, 6, &[Value::I32(2)]);
+        let rec = sink.take();
+        assert_eq!(rec[0].kind, TraceKind::Site { func: 2, pc: 9 });
+        assert_eq!(rec[0].operands, vec![TraceVal::I(-3)]);
+        assert_eq!(rec[1].kind, TraceKind::FuncBegin { func: 2 });
+    }
+
+    #[test]
+    fn null_host_rejects_calls() {
+        let mut h = NullHost;
+        let mut mem = LinearMemory::new(0, None);
+        assert!(h.call(HostFnId(0), &[], &mut mem).is_err());
+    }
+}

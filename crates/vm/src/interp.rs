@@ -1,0 +1,958 @@
+//! The EOSVM interpreter: a stack-based Wasm machine with a call stack,
+//! Local/Global sections and a linear memory (§2.2).
+//!
+//! Contracts are compiled once per module ([`CompiledModule`] precomputes
+//! structured-control targets) and instantiated per action execution
+//! ([`Instance`]), matching EOSIO's fresh-instance-per-action semantics.
+//! Execution is metered ([`Fuel`]) so the fuzzer's virtual clock and the
+//! deterministic time-outs of §4 have a cost model to charge against.
+
+use std::sync::Arc;
+
+use wasai_wasm::instr::Instr;
+use wasai_wasm::module::{ImportDesc, Module};
+use wasai_wasm::types::ValType;
+
+use crate::error::{InstanceError, Trap};
+use crate::host::{Host, HostFnId};
+use crate::memory::LinearMemory;
+use crate::value::Value;
+
+/// Maximum nested call depth (EOSVM isolates function namespaces with
+/// sub-stacks; we bound them to keep the obfuscator's decoy recursion safe).
+pub const MAX_CALL_DEPTH: u32 = 250;
+
+/// A step budget. One unit ≈ one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fuel(pub u64);
+
+impl Fuel {
+    /// Consume one step.
+    fn tick(&mut self) -> Result<(), Trap> {
+        if self.0 == 0 {
+            return Err(Trap::StepLimit);
+        }
+        self.0 -= 1;
+        Ok(())
+    }
+}
+
+/// Per-pc structured-control targets, precomputed at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct CtrlTarget {
+    /// For `if`: pc of the matching `else`, if present.
+    else_pc: Option<u32>,
+    /// For block/loop/if: pc of the matching `end`.
+    end_pc: u32,
+}
+
+/// A module plus the metadata the interpreter needs (control-flow targets).
+#[derive(Debug)]
+pub struct CompiledModule {
+    module: Arc<Module>,
+    /// `targets[local_func][pc]` is meaningful for Block/Loop/If pcs.
+    targets: Vec<Vec<CtrlTarget>>,
+}
+
+impl CompiledModule {
+    /// Compile a module (which should already validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstanceError::MalformedControlFlow`] on unmatched
+    /// block/if/end nesting.
+    pub fn compile(module: Module) -> Result<Arc<Self>, InstanceError> {
+        let module = Arc::new(module);
+        let mut targets = Vec::with_capacity(module.funcs.len());
+        for (local_i, f) in module.funcs.iter().enumerate() {
+            let func = module.num_imported_funcs() + local_i as u32;
+            let mut t = vec![CtrlTarget::default(); f.body.len()];
+            let mut stack: Vec<u32> = Vec::new();
+            for (pc, i) in f.body.iter().enumerate() {
+                match i {
+                    Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => stack.push(pc as u32),
+                    Instr::Else => {
+                        let open = *stack
+                            .last()
+                            .ok_or(InstanceError::MalformedControlFlow { func })?;
+                        t[open as usize].else_pc = Some(pc as u32);
+                    }
+                    Instr::End => {
+                        // The final End closes the function body itself.
+                        if let Some(open) = stack.pop() {
+                            t[open as usize].end_pc = pc as u32;
+                        } else if pc + 1 != f.body.len() {
+                            return Err(InstanceError::MalformedControlFlow { func });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !stack.is_empty() {
+                return Err(InstanceError::MalformedControlFlow { func });
+            }
+            targets.push(t);
+        }
+        Ok(Arc::new(CompiledModule { module, targets }))
+    }
+
+    /// The underlying module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// A control label on the per-function label stack.
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    /// Value-stack height at label entry.
+    height: usize,
+    /// Values a branch to this label carries (0 for loops).
+    arity: usize,
+    /// Where a branch to this label continues.
+    target: u32,
+    /// Loops branch backwards and keep re-pushing their label.
+    is_loop: bool,
+}
+
+/// A live contract instance: memory, globals, table, resolved imports.
+#[derive(Debug)]
+pub struct Instance {
+    compiled: Arc<CompiledModule>,
+    /// The instance's linear memory (public so hosts can service APIs like
+    /// `read_action_data` between calls).
+    pub mem: LinearMemory,
+    globals: Vec<Value>,
+    table: Vec<Option<u32>>,
+    host_ids: Vec<HostFnId>,
+}
+
+impl Instance {
+    /// Instantiate a compiled module, resolving imports against `host` and
+    /// applying data/element segments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an import cannot be resolved, a segment is out of bounds, or
+    /// an index is invalid.
+    pub fn new(compiled: Arc<CompiledModule>, host: &mut dyn Host) -> Result<Self, InstanceError> {
+        let module = compiled.module.clone();
+        let mut host_ids = Vec::new();
+        for imp in &module.imports {
+            if let ImportDesc::Func(type_idx) = imp.desc {
+                let ty = module
+                    .types
+                    .get(type_idx as usize)
+                    .ok_or_else(|| InstanceError::BadIndex(format!("type {type_idx}")))?;
+                let id = host.resolve(&imp.module, &imp.name, ty).ok_or_else(|| {
+                    InstanceError::UnresolvedImport {
+                        module: imp.module.clone(),
+                        name: imp.name.clone(),
+                    }
+                })?;
+                host_ids.push(id);
+            }
+        }
+
+        let mem = match module.memories.first() {
+            Some(l) => LinearMemory::new(l.min, l.max),
+            None => LinearMemory::new(0, Some(0)),
+        };
+
+        let mut globals = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let v = match g.init {
+                Instr::I32Const(v) => Value::I32(v),
+                Instr::I64Const(v) => Value::I64(v),
+                Instr::F32Const(v) => Value::F32(v),
+                Instr::F64Const(v) => Value::F64(v),
+                ref other => {
+                    return Err(InstanceError::BadIndex(format!("global init {other:?}")))
+                }
+            };
+            globals.push(v);
+        }
+
+        let table_size = module.tables.first().map(|l| l.min).unwrap_or(0);
+        let mut table = vec![None; table_size as usize];
+        for e in &module.elems {
+            for (k, &f) in e.funcs.iter().enumerate() {
+                let slot = e.offset as usize + k;
+                if slot >= table.len() {
+                    return Err(InstanceError::ElemSegmentOutOfBounds);
+                }
+                table[slot] = Some(f);
+            }
+        }
+
+        let mut inst = Instance { compiled, mem, globals, table, host_ids };
+        for d in &inst.compiled.module.data.clone() {
+            inst.mem
+                .write(d.offset as u64, &d.bytes)
+                .map_err(|_| InstanceError::DataSegmentOutOfBounds)?;
+        }
+        Ok(inst)
+    }
+
+    /// The compiled module this instance runs.
+    pub fn compiled(&self) -> &Arc<CompiledModule> {
+        &self.compiled
+    }
+
+    /// Invoke an exported function by name.
+    ///
+    /// # Errors
+    ///
+    /// Traps propagate from execution; a missing export is a `Host` trap.
+    pub fn invoke_export(
+        &mut self,
+        host: &mut dyn Host,
+        name: &str,
+        args: &[Value],
+        fuel: &mut Fuel,
+    ) -> Result<Vec<Value>, Trap> {
+        let idx = self
+            .compiled
+            .module
+            .exported_func(name)
+            .ok_or_else(|| Trap::Host(format!("no exported function named {name}")))?;
+        self.invoke(host, idx, args, fuel)
+    }
+
+    /// Invoke a function by index.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised during execution.
+    pub fn invoke(
+        &mut self,
+        host: &mut dyn Host,
+        func_idx: u32,
+        args: &[Value],
+        fuel: &mut Fuel,
+    ) -> Result<Vec<Value>, Trap> {
+        self.call_function(host, func_idx, args, fuel)
+    }
+
+    fn call_function(
+        &mut self,
+        host: &mut dyn Host,
+        func_idx: u32,
+        args: &[Value],
+        fuel: &mut Fuel,
+    ) -> Result<Vec<Value>, Trap> {
+        let n_imp = self.compiled.module.num_imported_funcs();
+        if func_idx < n_imp {
+            let id = self.host_ids[func_idx as usize];
+            let r = host.call(id, args, &mut self.mem)?;
+            return Ok(r.into_iter().collect());
+        }
+        self.run_frames(host, func_idx, args, fuel)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_frames(
+        &mut self,
+        host: &mut dyn Host,
+        entry: u32,
+        entry_args: &[Value],
+        fuel: &mut Fuel,
+    ) -> Result<Vec<Value>, Trap> {
+        let compiled = self.compiled.clone();
+        let module = &*compiled.module;
+        let n_imp = module.num_imported_funcs();
+
+        /// What the current frame wants the driver loop to do next.
+        enum Next {
+            /// Call into another local function with the given arguments.
+            Push(u32, Vec<Value>),
+            /// The frame finished with these results.
+            Pop(Vec<Value>),
+        }
+
+        /// One activation record: the per-function sub-stack of EOSVM.
+        struct Frame {
+            local_i: usize,
+            locals: Vec<Value>,
+            stack: Vec<Value>,
+            labels: Vec<Label>,
+            pc: u32,
+            result_arity: usize,
+        }
+
+        let new_frame = |func_idx: u32, args: Vec<Value>| -> Frame {
+            let local_i = (func_idx - n_imp) as usize;
+            let f = &module.funcs[local_i];
+            let ftype = &module.types[f.type_idx as usize];
+            let mut locals = args;
+            locals.extend(f.locals.iter().map(|&t| Value::zero(t)));
+            Frame {
+                local_i,
+                locals,
+                stack: Vec::new(),
+                labels: vec![Label {
+                    height: 0,
+                    arity: ftype.results.len(),
+                    target: f.body.len() as u32,
+                    is_loop: false,
+                }],
+                pc: 0,
+                result_arity: ftype.results.len(),
+            }
+        };
+
+        /// Execute a branch to relative depth `l`; returns the new pc.
+        fn do_branch(labels: &mut Vec<Label>, stack: &mut Vec<Value>, l: u32) -> u32 {
+            let idx = labels.len() - 1 - l as usize;
+            let lab = labels[idx];
+            let keep = if lab.is_loop { 0 } else { lab.arity };
+            let kept: Vec<Value> = stack.split_off(stack.len() - keep);
+            stack.truncate(lab.height);
+            stack.extend(kept);
+            // Loops jump back to the Loop instruction, which re-pushes the
+            // label; forward branches discard the label.
+            labels.truncate(idx);
+            lab.target
+        }
+
+        let mut frames: Vec<Frame> = vec![new_frame(entry, entry_args.to_vec())];
+
+        loop {
+            let next: Next = 'frame: {
+                let fi = frames.len() - 1;
+                let frame = &mut frames[fi];
+                let f = &module.funcs[frame.local_i];
+                let targets = &compiled.targets[frame.local_i];
+                let body_len = f.body.len() as u32;
+
+                macro_rules! pop {
+                    () => {
+                        frame.stack.pop().expect("validated stack never underflows")
+                    };
+                }
+
+                macro_rules! bin_i32 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_i32();
+                        let $a = pop!().as_i32();
+                        frame.stack.push(Value::I32($e));
+                    }};
+                }
+                macro_rules! bin_i64 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_i64();
+                        let $a = pop!().as_i64();
+                        frame.stack.push(Value::I64($e));
+                    }};
+                }
+                macro_rules! cmp_i64 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_i64();
+                        let $a = pop!().as_i64();
+                        frame.stack.push(Value::I32(($e) as i32));
+                    }};
+                }
+                macro_rules! cmp_i32 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_i32();
+                        let $a = pop!().as_i32();
+                        frame.stack.push(Value::I32(($e) as i32));
+                    }};
+                }
+                macro_rules! bin_f32 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_f32();
+                        let $a = pop!().as_f32();
+                        frame.stack.push(Value::F32($e));
+                    }};
+                }
+                macro_rules! bin_f64 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_f64();
+                        let $a = pop!().as_f64();
+                        frame.stack.push(Value::F64($e));
+                    }};
+                }
+                macro_rules! cmp_f32 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_f32();
+                        let $a = pop!().as_f32();
+                        frame.stack.push(Value::I32(($e) as i32));
+                    }};
+                }
+                macro_rules! cmp_f64 {
+                    (|$a:ident, $b:ident| $e:expr) => {{
+                        let $b = pop!().as_f64();
+                        let $a = pop!().as_f64();
+                        frame.stack.push(Value::I32(($e) as i32));
+                    }};
+                }
+                macro_rules! un_i32 {
+                    (|$a:ident| $e:expr) => {{
+                        let $a = pop!().as_i32();
+                        frame.stack.push(Value::I32($e));
+                    }};
+                }
+                macro_rules! un_i64 {
+                    (|$a:ident| $e:expr) => {{
+                        let $a = pop!().as_i64();
+                        frame.stack.push(Value::I64($e));
+                    }};
+                }
+                macro_rules! un_f32 {
+                    (|$a:ident| $e:expr) => {{
+                        let $a = pop!().as_f32();
+                        frame.stack.push(Value::F32($e));
+                    }};
+                }
+                macro_rules! un_f64 {
+                    (|$a:ident| $e:expr) => {{
+                        let $a = pop!().as_f64();
+                        frame.stack.push(Value::F64($e));
+                    }};
+                }
+
+                loop {
+                    if frame.pc >= body_len {
+                        let at = frame.stack.len() - frame.result_arity;
+                        let results = frame.stack.split_off(at);
+                        break 'frame Next::Pop(results);
+                    }
+                    fuel.tick()?;
+                    let instr = &f.body[frame.pc as usize];
+                    let mut next_pc = frame.pc + 1;
+                    match instr {
+                Instr::Unreachable => return Err(Trap::Unreachable),
+                Instr::Nop => {}
+                Instr::Block(bt) => {
+                    frame.labels.push(Label {
+                        height: frame.stack.len(),
+                        arity: bt.arity(),
+                        target: targets[frame.pc as usize].end_pc + 1,
+                        is_loop: false,
+                    });
+                }
+                Instr::Loop(_) => {
+                    frame.labels.push(Label {
+                        height: frame.stack.len(),
+                        arity: 0,
+                        target: frame.pc,
+                        is_loop: true,
+                    });
+                }
+                Instr::If(bt) => {
+                    let cond = pop!().as_i32();
+                    let t = targets[frame.pc as usize];
+                    if cond != 0 {
+                        frame.labels.push(Label {
+                            height: frame.stack.len(),
+                            arity: bt.arity(),
+                            target: t.end_pc + 1,
+                            is_loop: false,
+                        });
+                    } else if let Some(else_pc) = t.else_pc {
+                        frame.labels.push(Label {
+                            height: frame.stack.len(),
+                            arity: bt.arity(),
+                            target: t.end_pc + 1,
+                            is_loop: false,
+                        });
+                        next_pc = else_pc + 1;
+                    } else {
+                        next_pc = t.end_pc + 1;
+                    }
+                }
+                Instr::Else => {
+                    // Fallthrough from the then-arm: jump past the matching end.
+                    let lab = frame.labels.pop().expect("else inside if");
+                    next_pc = lab.target;
+                }
+                Instr::End => {
+                    frame.labels.pop();
+                }
+                Instr::Br(l) => next_pc = do_branch(&mut frame.labels, &mut frame.stack, *l),
+                Instr::BrIf(l) => {
+                    let cond = pop!().as_i32();
+                    if cond != 0 {
+                        next_pc = do_branch(&mut frame.labels, &mut frame.stack, *l);
+                    }
+                }
+                Instr::BrTable(table_labels, default) => {
+                    let idx = pop!().as_i32() as u32;
+                    let l = table_labels.get(idx as usize).copied().unwrap_or(*default);
+                    next_pc = do_branch(&mut frame.labels, &mut frame.stack, l);
+                }
+                Instr::Return => {
+                    let results = frame.stack.split_off(frame.stack.len() - frame.result_arity);
+                    break 'frame Next::Pop(results);
+                }
+                Instr::Call(callee) => {
+                    let ft = module
+                        .func_type(*callee)
+                        .ok_or_else(|| Trap::Host(format!("call target {callee} missing")))?;
+                    let n = ft.params.len();
+                    let call_args = frame.stack.split_off(frame.stack.len() - n);
+                    if *callee < n_imp {
+                        let id = self.host_ids[*callee as usize];
+                        let r = host.call(id, &call_args, &mut self.mem)?;
+                        frame.stack.extend(r);
+                    } else {
+                        frame.pc = next_pc;
+                        break 'frame Next::Push(*callee, call_args);
+                    }
+                }
+                Instr::CallIndirect(type_idx) => {
+                    let idx = pop!().as_i32() as u32;
+                    let slot = self
+                        .table
+                        .get(idx as usize)
+                        .copied()
+                        .ok_or(Trap::TableOutOfBounds)?;
+                    let callee = slot.ok_or(Trap::UndefinedElement)?;
+                    let expected = module
+                        .types
+                        .get(*type_idx as usize)
+                        .ok_or_else(|| Trap::Host(format!("bad type index {type_idx}")))?;
+                    let actual = module
+                        .func_type(callee)
+                        .ok_or_else(|| Trap::Host(format!("bad table target {callee}")))?;
+                    if expected != actual {
+                        return Err(Trap::IndirectCallTypeMismatch);
+                    }
+                    let n = expected.params.len();
+                    let call_args = frame.stack.split_off(frame.stack.len() - n);
+                    if callee < n_imp {
+                        let id = self.host_ids[callee as usize];
+                        let r = host.call(id, &call_args, &mut self.mem)?;
+                        frame.stack.extend(r);
+                    } else {
+                        frame.pc = next_pc;
+                        break 'frame Next::Push(callee, call_args);
+                    }
+                }
+                Instr::Drop => {
+                    pop!();
+                }
+                Instr::Select => {
+                    let cond = pop!().as_i32();
+                    let b = pop!();
+                    let a = pop!();
+                    frame.stack.push(if cond != 0 { a } else { b });
+                }
+                Instr::LocalGet(x) => frame.stack.push(frame.locals[*x as usize]),
+                Instr::LocalSet(x) => frame.locals[*x as usize] = pop!(),
+                Instr::LocalTee(x) => {
+                    frame.locals[*x as usize] = *frame.stack.last().expect("tee operand");
+                }
+                Instr::GlobalGet(x) => frame.stack.push(self.globals[*x as usize]),
+                Instr::GlobalSet(x) => self.globals[*x as usize] = pop!(),
+                Instr::MemorySize => frame.stack.push(Value::I32(self.mem.size_pages() as i32)),
+                Instr::MemoryGrow => {
+                    let delta = pop!().as_i32();
+                    let r = if delta < 0 { -1 } else { self.mem.grow(delta as u32) };
+                    frame.stack.push(Value::I32(r));
+                }
+                Instr::I32Const(v) => frame.stack.push(Value::I32(*v)),
+                Instr::I64Const(v) => frame.stack.push(Value::I64(*v)),
+                Instr::F32Const(v) => frame.stack.push(Value::F32(*v)),
+                Instr::F64Const(v) => frame.stack.push(Value::F64(*v)),
+
+                // Loads / stores.
+                other if other.memory_access().is_some() => {
+                    let acc = other.memory_access().expect("guarded");
+                    let m = other.mem_arg().expect("memory instr has memarg");
+                    if acc.is_store {
+                        let value = pop!();
+                        let base = pop!().as_i32() as u32 as u64;
+                        let addr = base + m.offset as u64;
+                        self.mem.store_uint(addr, acc.bytes, value.to_bits())?;
+                    } else {
+                        let base = pop!().as_i32() as u32 as u64;
+                        let addr = base + m.offset as u64;
+                        let raw = self.mem.load_uint(addr, acc.bytes)?;
+                        let v = extend_loaded(raw, acc.bytes, acc.signed, acc.val_type);
+                        frame.stack.push(v);
+                    }
+                }
+
+                // i32 compare.
+                Instr::I32Eqz => un_i32!(|a| (a == 0) as i32),
+                Instr::I32Eq => cmp_i32!(|a, b| a == b),
+                Instr::I32Ne => cmp_i32!(|a, b| a != b),
+                Instr::I32LtS => cmp_i32!(|a, b| a < b),
+                Instr::I32LtU => cmp_i32!(|a, b| (a as u32) < (b as u32)),
+                Instr::I32GtS => cmp_i32!(|a, b| a > b),
+                Instr::I32GtU => cmp_i32!(|a, b| (a as u32) > (b as u32)),
+                Instr::I32LeS => cmp_i32!(|a, b| a <= b),
+                Instr::I32LeU => cmp_i32!(|a, b| (a as u32) <= (b as u32)),
+                Instr::I32GeS => cmp_i32!(|a, b| a >= b),
+                Instr::I32GeU => cmp_i32!(|a, b| (a as u32) >= (b as u32)),
+
+                // i64 compare.
+                Instr::I64Eqz => {
+                    let a = pop!().as_i64();
+                    frame.stack.push(Value::I32((a == 0) as i32));
+                }
+                Instr::I64Eq => cmp_i64!(|a, b| a == b),
+                Instr::I64Ne => cmp_i64!(|a, b| a != b),
+                Instr::I64LtS => cmp_i64!(|a, b| a < b),
+                Instr::I64LtU => cmp_i64!(|a, b| (a as u64) < (b as u64)),
+                Instr::I64GtS => cmp_i64!(|a, b| a > b),
+                Instr::I64GtU => cmp_i64!(|a, b| (a as u64) > (b as u64)),
+                Instr::I64LeS => cmp_i64!(|a, b| a <= b),
+                Instr::I64LeU => cmp_i64!(|a, b| (a as u64) <= (b as u64)),
+                Instr::I64GeS => cmp_i64!(|a, b| a >= b),
+                Instr::I64GeU => cmp_i64!(|a, b| (a as u64) >= (b as u64)),
+
+                // f32/f64 compare.
+                Instr::F32Eq => cmp_f32!(|a, b| a == b),
+                Instr::F32Ne => cmp_f32!(|a, b| a != b),
+                Instr::F32Lt => cmp_f32!(|a, b| a < b),
+                Instr::F32Gt => cmp_f32!(|a, b| a > b),
+                Instr::F32Le => cmp_f32!(|a, b| a <= b),
+                Instr::F32Ge => cmp_f32!(|a, b| a >= b),
+                Instr::F64Eq => cmp_f64!(|a, b| a == b),
+                Instr::F64Ne => cmp_f64!(|a, b| a != b),
+                Instr::F64Lt => cmp_f64!(|a, b| a < b),
+                Instr::F64Gt => cmp_f64!(|a, b| a > b),
+                Instr::F64Le => cmp_f64!(|a, b| a <= b),
+                Instr::F64Ge => cmp_f64!(|a, b| a >= b),
+
+                // i32 arithmetic.
+                Instr::I32Clz => un_i32!(|a| a.leading_zeros() as i32),
+                Instr::I32Ctz => un_i32!(|a| a.trailing_zeros() as i32),
+                Instr::I32Popcnt => un_i32!(|a| a.count_ones() as i32),
+                Instr::I32Add => bin_i32!(|a, b| a.wrapping_add(b)),
+                Instr::I32Sub => bin_i32!(|a, b| a.wrapping_sub(b)),
+                Instr::I32Mul => bin_i32!(|a, b| a.wrapping_mul(b)),
+                Instr::I32DivS => {
+                    let b = pop!().as_i32();
+                    let a = pop!().as_i32();
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    if a == i32::MIN && b == -1 {
+                        return Err(Trap::IntegerOverflow);
+                    }
+                    frame.stack.push(Value::I32(a.wrapping_div(b)));
+                }
+                Instr::I32DivU => {
+                    let b = pop!().as_i32() as u32;
+                    let a = pop!().as_i32() as u32;
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    frame.stack.push(Value::I32((a / b) as i32));
+                }
+                Instr::I32RemS => {
+                    let b = pop!().as_i32();
+                    let a = pop!().as_i32();
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    frame.stack.push(Value::I32(a.wrapping_rem(b)));
+                }
+                Instr::I32RemU => {
+                    let b = pop!().as_i32() as u32;
+                    let a = pop!().as_i32() as u32;
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    frame.stack.push(Value::I32((a % b) as i32));
+                }
+                Instr::I32And => bin_i32!(|a, b| a & b),
+                Instr::I32Or => bin_i32!(|a, b| a | b),
+                Instr::I32Xor => bin_i32!(|a, b| a ^ b),
+                Instr::I32Shl => bin_i32!(|a, b| a.wrapping_shl(b as u32)),
+                Instr::I32ShrS => bin_i32!(|a, b| a.wrapping_shr(b as u32)),
+                Instr::I32ShrU => bin_i32!(|a, b| ((a as u32).wrapping_shr(b as u32)) as i32),
+                Instr::I32Rotl => bin_i32!(|a, b| a.rotate_left(b as u32 % 32)),
+                Instr::I32Rotr => bin_i32!(|a, b| a.rotate_right(b as u32 % 32)),
+
+                // i64 arithmetic.
+                Instr::I64Clz => un_i64!(|a| a.leading_zeros() as i64),
+                Instr::I64Ctz => un_i64!(|a| a.trailing_zeros() as i64),
+                Instr::I64Popcnt => un_i64!(|a| a.count_ones() as i64),
+                Instr::I64Add => bin_i64!(|a, b| a.wrapping_add(b)),
+                Instr::I64Sub => bin_i64!(|a, b| a.wrapping_sub(b)),
+                Instr::I64Mul => bin_i64!(|a, b| a.wrapping_mul(b)),
+                Instr::I64DivS => {
+                    let b = pop!().as_i64();
+                    let a = pop!().as_i64();
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    if a == i64::MIN && b == -1 {
+                        return Err(Trap::IntegerOverflow);
+                    }
+                    frame.stack.push(Value::I64(a.wrapping_div(b)));
+                }
+                Instr::I64DivU => {
+                    let b = pop!().as_i64() as u64;
+                    let a = pop!().as_i64() as u64;
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    frame.stack.push(Value::I64((a / b) as i64));
+                }
+                Instr::I64RemS => {
+                    let b = pop!().as_i64();
+                    let a = pop!().as_i64();
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    frame.stack.push(Value::I64(a.wrapping_rem(b)));
+                }
+                Instr::I64RemU => {
+                    let b = pop!().as_i64() as u64;
+                    let a = pop!().as_i64() as u64;
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    frame.stack.push(Value::I64((a % b) as i64));
+                }
+                Instr::I64And => bin_i64!(|a, b| a & b),
+                Instr::I64Or => bin_i64!(|a, b| a | b),
+                Instr::I64Xor => bin_i64!(|a, b| a ^ b),
+                Instr::I64Shl => bin_i64!(|a, b| a.wrapping_shl(b as u32)),
+                Instr::I64ShrS => bin_i64!(|a, b| a.wrapping_shr(b as u32)),
+                Instr::I64ShrU => bin_i64!(|a, b| ((a as u64).wrapping_shr(b as u32)) as i64),
+                Instr::I64Rotl => bin_i64!(|a, b| a.rotate_left((b as u32) % 64)),
+                Instr::I64Rotr => bin_i64!(|a, b| a.rotate_right((b as u32) % 64)),
+
+                // f32 arithmetic.
+                Instr::F32Abs => un_f32!(|a| a.abs()),
+                Instr::F32Neg => un_f32!(|a| -a),
+                Instr::F32Ceil => un_f32!(|a| a.ceil()),
+                Instr::F32Floor => un_f32!(|a| a.floor()),
+                Instr::F32Trunc => un_f32!(|a| a.trunc()),
+                Instr::F32Nearest => un_f32!(|a| nearest_f32(a)),
+                Instr::F32Sqrt => un_f32!(|a| a.sqrt()),
+                Instr::F32Add => bin_f32!(|a, b| a + b),
+                Instr::F32Sub => bin_f32!(|a, b| a - b),
+                Instr::F32Mul => bin_f32!(|a, b| a * b),
+                Instr::F32Div => bin_f32!(|a, b| a / b),
+                Instr::F32Min => bin_f32!(|a, b| a.min(b)),
+                Instr::F32Max => bin_f32!(|a, b| a.max(b)),
+                Instr::F32Copysign => bin_f32!(|a, b| a.copysign(b)),
+
+                // f64 arithmetic.
+                Instr::F64Abs => un_f64!(|a| a.abs()),
+                Instr::F64Neg => un_f64!(|a| -a),
+                Instr::F64Ceil => un_f64!(|a| a.ceil()),
+                Instr::F64Floor => un_f64!(|a| a.floor()),
+                Instr::F64Trunc => un_f64!(|a| a.trunc()),
+                Instr::F64Nearest => un_f64!(|a| nearest_f64(a)),
+                Instr::F64Sqrt => un_f64!(|a| a.sqrt()),
+                Instr::F64Add => bin_f64!(|a, b| a + b),
+                Instr::F64Sub => bin_f64!(|a, b| a - b),
+                Instr::F64Mul => bin_f64!(|a, b| a * b),
+                Instr::F64Div => bin_f64!(|a, b| a / b),
+                Instr::F64Min => bin_f64!(|a, b| a.min(b)),
+                Instr::F64Max => bin_f64!(|a, b| a.max(b)),
+                Instr::F64Copysign => bin_f64!(|a, b| a.copysign(b)),
+
+                // Conversions.
+                Instr::I32WrapI64 => {
+                    let a = pop!().as_i64();
+                    frame.stack.push(Value::I32(a as i32));
+                }
+                Instr::I32TruncF32S => {
+                    let a = pop!().as_f32();
+                    frame.stack.push(Value::I32(trunc_to_i32(a as f64)?));
+                }
+                Instr::I32TruncF32U => {
+                    let a = pop!().as_f32();
+                    frame.stack.push(Value::I32(trunc_to_u32(a as f64)? as i32));
+                }
+                Instr::I32TruncF64S => {
+                    let a = pop!().as_f64();
+                    frame.stack.push(Value::I32(trunc_to_i32(a)?));
+                }
+                Instr::I32TruncF64U => {
+                    let a = pop!().as_f64();
+                    frame.stack.push(Value::I32(trunc_to_u32(a)? as i32));
+                }
+                Instr::I64ExtendI32S => {
+                    let a = pop!().as_i32();
+                    frame.stack.push(Value::I64(a as i64));
+                }
+                Instr::I64ExtendI32U => {
+                    let a = pop!().as_i32();
+                    frame.stack.push(Value::I64(a as u32 as i64));
+                }
+                Instr::I64TruncF32S => {
+                    let a = pop!().as_f32();
+                    frame.stack.push(Value::I64(trunc_to_i64(a as f64)?));
+                }
+                Instr::I64TruncF32U => {
+                    let a = pop!().as_f32();
+                    frame.stack.push(Value::I64(trunc_to_u64(a as f64)? as i64));
+                }
+                Instr::I64TruncF64S => {
+                    let a = pop!().as_f64();
+                    frame.stack.push(Value::I64(trunc_to_i64(a)?));
+                }
+                Instr::I64TruncF64U => {
+                    let a = pop!().as_f64();
+                    frame.stack.push(Value::I64(trunc_to_u64(a)? as i64));
+                }
+                Instr::F32ConvertI32S => {
+                    let a = pop!().as_i32();
+                    frame.stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI32U => {
+                    let a = pop!().as_i32() as u32;
+                    frame.stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI64S => {
+                    let a = pop!().as_i64();
+                    frame.stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI64U => {
+                    let a = pop!().as_i64() as u64;
+                    frame.stack.push(Value::F32(a as f32));
+                }
+                Instr::F32DemoteF64 => {
+                    let a = pop!().as_f64();
+                    frame.stack.push(Value::F32(a as f32));
+                }
+                Instr::F64ConvertI32S => {
+                    let a = pop!().as_i32();
+                    frame.stack.push(Value::F64(a as f64));
+                }
+                Instr::F64ConvertI32U => {
+                    let a = pop!().as_i32() as u32;
+                    frame.stack.push(Value::F64(a as f64));
+                }
+                Instr::F64ConvertI64S => {
+                    let a = pop!().as_i64();
+                    frame.stack.push(Value::F64(a as f64));
+                }
+                Instr::F64ConvertI64U => {
+                    let a = pop!().as_i64() as u64;
+                    frame.stack.push(Value::F64(a as f64));
+                }
+                Instr::F64PromoteF32 => {
+                    let a = pop!().as_f32();
+                    frame.stack.push(Value::F64(a as f64));
+                }
+                Instr::I32ReinterpretF32 => {
+                    let a = pop!().as_f32();
+                    frame.stack.push(Value::I32(a.to_bits() as i32));
+                }
+                Instr::I64ReinterpretF64 => {
+                    let a = pop!().as_f64();
+                    frame.stack.push(Value::I64(a.to_bits() as i64));
+                }
+                Instr::F32ReinterpretI32 => {
+                    let a = pop!().as_i32();
+                    frame.stack.push(Value::F32(f32::from_bits(a as u32)));
+                }
+                Instr::F64ReinterpretI64 => {
+                    let a = pop!().as_i64();
+                    frame.stack.push(Value::F64(f64::from_bits(a as u64)));
+                }
+                // All memory instructions were handled by the guarded arm
+                // above; every other opcode has an explicit arm.
+                other => unreachable!("unhandled instruction {other:?}"),
+            }
+
+                    frame.pc = next_pc;
+                }
+            };
+            match next {
+                Next::Push(callee, args) => {
+                    if frames.len() as u32 >= MAX_CALL_DEPTH {
+                        return Err(Trap::CallStackExhausted);
+                    }
+                    frames.push(new_frame(callee, args));
+                }
+                Next::Pop(results) => {
+                    frames.pop();
+                    match frames.last_mut() {
+                        None => return Ok(results),
+                        Some(parent) => parent.stack.extend(results),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn extend_loaded(raw: u64, bytes: u32, signed: bool, t: ValType) -> Value {
+    let bits = if signed {
+        let shift = 64 - bytes * 8;
+        (((raw << shift) as i64) >> shift) as u64
+    } else {
+        raw
+    };
+    match t {
+        ValType::I32 => Value::I32(bits as u32 as i32),
+        ValType::I64 => Value::I64(bits as i64),
+        ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
+        ValType::F64 => Value::F64(f64::from_bits(bits)),
+    }
+}
+
+fn nearest_f32(a: f32) -> f32 {
+    let r = a.round();
+    if (r - a).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - a.signum()
+    } else {
+        r
+    }
+}
+
+fn nearest_f64(a: f64) -> f64 {
+    let r = a.round();
+    if (r - a).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - a.signum()
+    } else {
+        r
+    }
+}
+
+fn trunc_to_i32(a: f64) -> Result<i32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < i32::MIN as f64 || t > i32::MAX as f64 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as i32)
+}
+
+fn trunc_to_u32(a: f64) -> Result<u32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < 0.0 || t > u32::MAX as f64 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as u32)
+}
+
+fn trunc_to_i64(a: f64) -> Result<i64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < -(2f64.powi(63)) || t >= 2f64.powi(63) {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as i64)
+}
+
+fn trunc_to_u64(a: f64) -> Result<u64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < 0.0 || t >= 2f64.powi(64) {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as u64)
+}

@@ -1,0 +1,138 @@
+//! Byte-addressable linear memory (§2.2: "the linear memory is a
+//! byte-addressable pool").
+
+use crate::error::Trap;
+
+/// Size of one Wasm page in bytes.
+pub const PAGE_SIZE: u32 = 65_536;
+
+/// A contract's linear memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearMemory {
+    bytes: Vec<u8>,
+    max_pages: u32,
+}
+
+impl LinearMemory {
+    /// Create a memory with `min` initial pages and an optional page cap.
+    pub fn new(min: u32, max: Option<u32>) -> Self {
+        let max_pages = max.unwrap_or(u16::MAX as u32 + 1).min(u16::MAX as u32 + 1);
+        LinearMemory {
+            bytes: vec![0; (min * PAGE_SIZE) as usize],
+            max_pages,
+        }
+    }
+
+    /// Current size in pages.
+    pub fn size_pages(&self) -> u32 {
+        (self.bytes.len() / PAGE_SIZE as usize) as u32
+    }
+
+    /// Current size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory has zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Grow by `delta` pages; returns the previous size in pages, or `-1`
+    /// when the maximum would be exceeded (the Wasm semantics).
+    pub fn grow(&mut self, delta: u32) -> i32 {
+        let old = self.size_pages();
+        let new = old as u64 + delta as u64;
+        if new > self.max_pages as u64 {
+            return -1;
+        }
+        self.bytes.resize((new * PAGE_SIZE as u64) as usize, 0);
+        old as i32
+    }
+
+    fn check(&self, addr: u64, len: u32) -> Result<usize, Trap> {
+        let end = addr.checked_add(len as u64).ok_or(Trap::MemoryOutOfBounds { addr, len })?;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::MemoryOutOfBounds { addr, len });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Read `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::MemoryOutOfBounds`] when the range is out of range.
+    pub fn read(&self, addr: u64, len: u32) -> Result<&[u8], Trap> {
+        let start = self.check(addr, len)?;
+        Ok(&self.bytes[start..start + len as usize])
+    }
+
+    /// Write `bytes` at `addr` (same errors as [`LinearMemory::read`]).
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        let start = self.check(addr, bytes.len() as u32)?;
+        self.bytes[start..start + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Load an unsigned little-endian integer of `len ∈ {1,2,4,8}` bytes.
+    pub fn load_uint(&self, addr: u64, len: u32) -> Result<u64, Trap> {
+        let b = self.read(addr, len)?;
+        let mut buf = [0u8; 8];
+        buf[..len as usize].copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Store the low `len ∈ {1,2,4,8}` bytes of `v` little-endian.
+    pub fn store_uint(&mut self, addr: u64, len: u32, v: u64) -> Result<(), Trap> {
+        let bytes = v.to_le_bytes();
+        self.write(addr, &bytes[..len as usize])
+    }
+
+    /// Read a NUL-free byte string of known length into a `Vec`.
+    pub fn read_vec(&self, addr: u64, len: u32) -> Result<Vec<u8>, Trap> {
+        Ok(self.read(addr, len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = LinearMemory::new(1, None);
+        assert_eq!(m.size_pages(), 1);
+        assert_eq!(m.load_uint(0, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = LinearMemory::new(1, None);
+        m.store_uint(16, 8, 0x1122334455667788).unwrap();
+        assert_eq!(m.load_uint(16, 8).unwrap(), 0x1122334455667788);
+        assert_eq!(m.load_uint(16, 1).unwrap(), 0x88);
+        assert_eq!(m.load_uint(22, 2).unwrap(), 0x1122);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = LinearMemory::new(1, None);
+        let end = PAGE_SIZE as u64;
+        assert!(m.load_uint(end - 8, 8).is_ok());
+        assert_eq!(
+            m.load_uint(end - 7, 8).unwrap_err(),
+            Trap::MemoryOutOfBounds { addr: end - 7, len: 8 }
+        );
+        assert!(m.store_uint(u64::MAX, 8, 1).is_err());
+    }
+
+    #[test]
+    fn grow_respects_max() {
+        let mut m = LinearMemory::new(1, Some(2));
+        assert_eq!(m.grow(1), 1);
+        assert_eq!(m.size_pages(), 2);
+        assert_eq!(m.grow(1), -1);
+        assert_eq!(m.size_pages(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Execution trace records (the τ⟨i, p⃗⟩ tuples of §3.1).
+//!
+//! Instrumented contracts emit these through the `wasai.*` hook imports (see
+//! `wasai_wasm::instrument`). The sink groups the raw hook calls into
+//! [`TraceRecord`]s: a `trace_site`/`trace_call_*` call opens a record and
+//! subsequent `logi`/`logsf`/`logdf` calls append its operands — exactly the
+//! "duplicate the operands and invoke library APIs to print the traces"
+//! mechanism of §3.3.1.
+
+/// A single logged operand value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceVal {
+    /// Integer operand (i32 operands arrive zero-extended).
+    I(i64),
+    /// f32 operand.
+    F32(f32),
+    /// f64 operand.
+    F64(f64),
+}
+
+impl TraceVal {
+    /// The operand as raw 64 bits.
+    pub fn bits(self) -> u64 {
+        match self {
+            TraceVal::I(v) => v as u64,
+            TraceVal::F32(v) => v.to_bits() as u64,
+            TraceVal::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// The operand as an integer, if it is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            TraceVal::I(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The kind of a trace record (mirrors the hook taxonomy of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An instruction at `(func, pc)` in the *original* module executed.
+    Site {
+        /// Original function index.
+        func: u32,
+        /// Instruction offset within that function's body.
+        pc: u32,
+    },
+    /// A call is about to happen; operands are the invocation arguments
+    /// "duplicated from the caller's stack" (Table 1, `call_pre`).
+    CallPre {
+        /// Original callee index; `-1` for indirect calls.
+        callee: i32,
+    },
+    /// A call returned; operands are the returned values (`call_post`).
+    CallPost {
+        /// Original callee index; `-1` for indirect calls.
+        callee: i32,
+    },
+    /// A function body started executing (`function_begin`).
+    FuncBegin {
+        /// Original function index.
+        func: u32,
+    },
+    /// A function body finished (`function_end`).
+    FuncEnd {
+        /// Original function index.
+        func: u32,
+    },
+}
+
+/// One grouped trace record: τ⟨i, p⃗⟩.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// What happened.
+    pub kind: TraceKind,
+    /// The duplicated operand values, bottom → top.
+    pub operands: Vec<TraceVal>,
+}
+
+/// Collects hook calls into an ordered list of [`TraceRecord`]s.
+///
+/// The paper redirects traces "to offline files once one EOSVM thread
+/// finishes" (§3.3.1); [`TraceSink::take`] plays the role of that export.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl TraceSink {
+    /// A new, enabled sink.
+    pub fn new() -> Self {
+        TraceSink { records: Vec::new(), enabled: true }
+    }
+
+    /// Enable or disable collection (auxiliary contracts run with the sink
+    /// disabled so their hook calls — if any — are dropped).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether records are currently being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn push(&mut self, kind: TraceKind) {
+        if self.enabled {
+            self.records.push(TraceRecord { kind, operands: Vec::new() });
+        }
+    }
+
+    /// Record a `trace_site(func, pc)` hook call.
+    pub fn site(&mut self, func: u32, pc: u32) {
+        self.push(TraceKind::Site { func, pc });
+    }
+
+    /// Record a `trace_call_pre(callee)` hook call.
+    pub fn call_pre(&mut self, callee: i32) {
+        self.push(TraceKind::CallPre { callee });
+    }
+
+    /// Record a `trace_call_post(callee)` hook call.
+    pub fn call_post(&mut self, callee: i32) {
+        self.push(TraceKind::CallPost { callee });
+    }
+
+    /// Record a `trace_func_begin(func)` hook call.
+    pub fn func_begin(&mut self, func: u32) {
+        self.push(TraceKind::FuncBegin { func });
+    }
+
+    /// Record a `trace_func_end(func)` hook call.
+    pub fn func_end(&mut self, func: u32) {
+        self.push(TraceKind::FuncEnd { func });
+    }
+
+    /// Append an operand to the most recent record (a `logi`/`logsf`/`logdf`
+    /// hook call).
+    pub fn log(&mut self, v: TraceVal) {
+        if self.enabled {
+            if let Some(last) = self.records.last_mut() {
+                last.operands.push(v);
+            }
+        }
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Export the collected trace, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Read-only view of the collected records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_operands_under_latest_record() {
+        let mut sink = TraceSink::new();
+        sink.site(3, 7);
+        sink.log(TraceVal::I(10));
+        sink.log(TraceVal::I(20));
+        sink.site(3, 8);
+        let records = sink.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].operands, vec![TraceVal::I(10), TraceVal::I(20)]);
+        assert!(records[1].operands.is_empty());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn disabled_sink_drops_everything() {
+        let mut sink = TraceSink::new();
+        sink.set_enabled(false);
+        sink.site(0, 0);
+        sink.log(TraceVal::F64(1.0));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn traceval_bits() {
+        assert_eq!(TraceVal::I(-1).bits(), u64::MAX);
+        assert_eq!(TraceVal::F32(1.0).bits(), 1.0f32.to_bits() as u64);
+        assert_eq!(TraceVal::I(5).as_int(), Some(5));
+        assert_eq!(TraceVal::F64(5.0).as_int(), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Runtime values of the EOSVM stack machine.
+
+use std::fmt;
+
+use wasai_wasm::types::ValType;
+
+/// A runtime value — one element of the stack, Local or Global sections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The zero value of a type (Wasm locals are zero-initialized).
+    pub fn zero(t: ValType) -> Value {
+        match t {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// The type of this value.
+    pub fn val_type(self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// The i32 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `I32` (a VM-internal type confusion,
+    /// impossible for validated modules).
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("expected i32, got {other:?}"),
+        }
+    }
+
+    /// The i64 payload (see [`Value::as_i32`] for panics).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// The f32 payload (see [`Value::as_i32`] for panics).
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Value::F32(v) => v,
+            other => panic!("expected f32, got {other:?}"),
+        }
+    }
+
+    /// The f64 payload (see [`Value::as_i32`] for panics).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+
+    /// Raw 64-bit representation (ints zero-extended, floats by bit pattern).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Reconstruct a value of type `t` from its 64-bit representation.
+    pub fn from_bits(t: ValType, bits: u64) -> Value {
+        match t {
+            ValType::I32 => Value::I32(bits as u32 as i32),
+            ValType::I64 => Value::I64(bits as i64),
+            ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
+            ValType::F64 => Value::F64(f64::from_bits(bits)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}:i32"),
+            Value::I64(v) => write!(f, "{v}:i64"),
+            Value::F32(v) => write!(f, "{v}:f32"),
+            Value::F64(v) => write!(f, "{v}:f64"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::I64(v as i64)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(ValType::I32), Value::I32(0));
+        assert_eq!(Value::zero(ValType::F64), Value::F64(0.0));
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        for v in [
+            Value::I32(-7),
+            Value::I64(i64::MIN),
+            Value::F32(3.5),
+            Value::F64(-0.25),
+        ] {
+            assert_eq!(Value::from_bits(v.val_type(), v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn type_confusion_panics() {
+        Value::I64(1).as_i32();
+    }
+}

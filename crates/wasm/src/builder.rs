@@ -1,0 +1,180 @@
+//! Programmatic construction of Wasm modules.
+//!
+//! [`ModuleBuilder`] is the workhorse behind `wasai-corpus`: the benchmark
+//! factory assembles EOSIO-shaped contracts (dispatcher, deserializer, action
+//! functions) directly as instruction sequences, then encodes them to real
+//! bytecode.
+
+use crate::instr::Instr;
+use crate::module::{
+    Data, Elem, Export, ExportDesc, Function, Global, Import, ImportDesc, Module,
+};
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// Incrementally builds a [`Module`].
+///
+/// Function index space rule: all imported functions must be declared before
+/// the first local function so that indices handed out by
+/// [`ModuleBuilder::import_func`] and [`ModuleBuilder::func`] remain stable.
+///
+/// # Examples
+///
+/// ```
+/// use wasai_wasm::builder::ModuleBuilder;
+/// use wasai_wasm::instr::Instr;
+/// use wasai_wasm::types::ValType;
+///
+/// let mut b = ModuleBuilder::new();
+/// let f = b.func(&[ValType::I32], &[ValType::I32], &[], vec![
+///     Instr::LocalGet(0),
+///     Instr::I32Const(1),
+///     Instr::I32Add,
+///     Instr::End,
+/// ]);
+/// b.export_func("inc", f);
+/// let module = b.build();
+/// assert_eq!(module.exported_func("inc"), Some(f));
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start an empty module.
+    pub fn new() -> Self {
+        ModuleBuilder { module: Module::new() }
+    }
+
+    /// Start a module with one linear memory of `pages` 64 KiB pages,
+    /// exported as `"memory"` (the EOSIO contract convention).
+    pub fn with_memory(pages: u32) -> Self {
+        let mut b = ModuleBuilder::new();
+        b.module.memories.push(Limits::at_least(pages));
+        b.module.exports.push(Export { name: "memory".into(), desc: ExportDesc::Memory(0) });
+        b
+    }
+
+    /// Declare an imported function and return its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local function has already been defined (imports must come
+    /// first to keep the index space stable).
+    pub fn import_func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+    ) -> u32 {
+        assert!(
+            self.module.funcs.is_empty(),
+            "imports must be declared before local functions"
+        );
+        let ty = self.module.intern_type(FuncType::new(params.to_vec(), results.to_vec()));
+        self.module.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            desc: ImportDesc::Func(ty),
+        });
+        self.module.num_imported_funcs() - 1
+    }
+
+    /// Define a local function and return its index in the function space.
+    pub fn func(
+        &mut self,
+        params: &[ValType],
+        results: &[ValType],
+        locals: &[ValType],
+        body: Vec<Instr>,
+    ) -> u32 {
+        let type_idx = self.module.intern_type(FuncType::new(params.to_vec(), results.to_vec()));
+        self.module.funcs.push(Function { type_idx, locals: locals.to_vec(), body });
+        self.module.num_funcs() - 1
+    }
+
+    /// Export a function under `name`.
+    pub fn export_func(&mut self, name: &str, func_idx: u32) -> &mut Self {
+        self.module.exports.push(Export { name: name.into(), desc: ExportDesc::Func(func_idx) });
+        self
+    }
+
+    /// Define a global and return its index.
+    pub fn global(&mut self, ty: GlobalType, init: Instr) -> u32 {
+        self.module.globals.push(Global { ty, init });
+        (self.module.globals.len() - 1) as u32
+    }
+
+    /// Define the function table with the given minimum size.
+    pub fn table(&mut self, min: u32) -> &mut Self {
+        self.module.tables.push(Limits::at_least(min));
+        self
+    }
+
+    /// Add an element segment placing `funcs` at `offset` in table 0.
+    pub fn elem(&mut self, offset: u32, funcs: Vec<u32>) -> &mut Self {
+        self.module.elems.push(Elem { table: 0, offset, funcs });
+        self
+    }
+
+    /// Add a data segment initializing memory 0 at `offset`.
+    pub fn data(&mut self, offset: u32, bytes: Vec<u8>) -> &mut Self {
+        self.module.data.push(Data { memory: 0, offset, bytes });
+        self
+    }
+
+    /// The number of functions declared so far (imports + locals).
+    pub fn num_funcs(&self) -> u32 {
+        self.module.num_funcs()
+    }
+
+    /// Read-only access to the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finish and return the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ValType::*;
+
+    #[test]
+    fn builds_indices_in_order() {
+        let mut b = ModuleBuilder::with_memory(1);
+        let imp0 = b.import_func("env", "eosio_assert", &[I32, I32], &[]);
+        let imp1 = b.import_func("env", "require_auth", &[I64], &[]);
+        let f = b.func(&[I64, I64, I64], &[], &[], vec![Instr::End]);
+        assert_eq!(imp0, 0);
+        assert_eq!(imp1, 1);
+        assert_eq!(f, 2);
+        b.export_func("apply", f);
+        let m = b.build();
+        assert_eq!(m.exported_func("apply"), Some(2));
+        assert_eq!(m.memories.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "imports must be declared before local functions")]
+    fn import_after_func_panics() {
+        let mut b = ModuleBuilder::new();
+        b.func(&[], &[], &[], vec![Instr::End]);
+        b.import_func("env", "late", &[], &[]);
+    }
+
+    #[test]
+    fn elem_and_data_segments() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(&[], &[], &[], vec![Instr::End]);
+        b.table(4).elem(1, vec![f]).data(16, vec![0xaa, 0xbb]);
+        let m = b.build();
+        assert_eq!(m.elems[0].funcs, vec![f]);
+        assert_eq!(m.data[0].offset, 16);
+    }
+}

@@ -1,0 +1,592 @@
+//! Decoding of WebAssembly binary bytes into a [`Module`].
+//!
+//! The decoder accepts exactly the MVP feature set produced by
+//! [`crate::encode`] and by the EOSIO C++ SDK toolchain shape this workspace
+//! models. Unknown or custom sections are skipped.
+
+use std::fmt;
+
+use crate::instr::{Instr, MemArg};
+use crate::module::{
+    Data, Elem, Export, ExportDesc, Function, Global, Import, ImportDesc, Module,
+};
+use crate::types::{BlockType, FuncType, GlobalType, Limits, Mutability, ValType};
+
+/// An error produced while decoding a Wasm binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError { offset: self.pos, message: message.into() })
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError { offset: self.pos, message: "unexpected end of input".into() })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return self.err("unexpected end of input");
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut result: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let b = self.byte()?;
+            if shift >= 32 && b & 0x7f != 0 {
+                return self.err("u32 LEB128 overflow");
+            }
+            result |= ((b & 0x7f) as u32) << shift;
+            if b & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if shift > 35 {
+                return self.err("u32 LEB128 too long");
+            }
+        }
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let mut result: i64 = 0;
+        let mut shift = 0;
+        loop {
+            let b = self.byte()?;
+            result |= ((b & 0x7f) as i64) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                if shift < 64 && b & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                return Ok(result);
+            }
+            if shift > 70 {
+                return self.err("i64 LEB128 too long");
+            }
+        }
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.i64()? as i32)
+    }
+
+    fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).or_else(|_| self.err("invalid UTF-8 in name"))
+    }
+
+    fn valtype(&mut self) -> Result<ValType, DecodeError> {
+        let b = self.byte()?;
+        ValType::from_binary(b).ok_or(DecodeError {
+            offset: self.pos - 1,
+            message: format!("invalid value type 0x{b:02x}"),
+        })
+    }
+
+    fn blocktype(&mut self) -> Result<BlockType, DecodeError> {
+        let b = self.byte()?;
+        if b == 0x40 {
+            Ok(BlockType::Empty)
+        } else {
+            ValType::from_binary(b).map(BlockType::Value).ok_or(DecodeError {
+                offset: self.pos - 1,
+                message: format!("invalid block type 0x{b:02x}"),
+            })
+        }
+    }
+
+    fn limits(&mut self) -> Result<Limits, DecodeError> {
+        match self.byte()? {
+            0x00 => Ok(Limits { min: self.u32()?, max: None }),
+            0x01 => Ok(Limits { min: self.u32()?, max: Some(self.u32()?) }),
+            other => self.err(format!("invalid limits flag 0x{other:02x}")),
+        }
+    }
+
+    fn globaltype(&mut self) -> Result<GlobalType, DecodeError> {
+        let val_type = self.valtype()?;
+        let mutability = match self.byte()? {
+            0x00 => Mutability::Const,
+            0x01 => Mutability::Var,
+            other => return self.err(format!("invalid mutability 0x{other:02x}")),
+        };
+        Ok(GlobalType { val_type, mutability })
+    }
+
+    fn memarg(&mut self) -> Result<MemArg, DecodeError> {
+        Ok(MemArg { align: self.u32()?, offset: self.u32()? })
+    }
+
+    fn const_offset(&mut self) -> Result<u32, DecodeError> {
+        // Constant expression: `i32.const N end`.
+        let offset = match self.instr()? {
+            Instr::I32Const(v) => v as u32,
+            other => return self.err(format!("expected i32.const in offset expr, got {other:?}")),
+        };
+        match self.instr()? {
+            Instr::End => Ok(offset),
+            other => self.err(format!("expected end in offset expr, got {other:?}")),
+        }
+    }
+
+    fn instr(&mut self) -> Result<Instr, DecodeError> {
+        use Instr::*;
+        let op = self.byte()?;
+        Ok(match op {
+            0x00 => Unreachable,
+            0x01 => Nop,
+            0x02 => Block(self.blocktype()?),
+            0x03 => Loop(self.blocktype()?),
+            0x04 => If(self.blocktype()?),
+            0x05 => Else,
+            0x0b => End,
+            0x0c => Br(self.u32()?),
+            0x0d => BrIf(self.u32()?),
+            0x0e => {
+                let n = self.u32()? as usize;
+                let mut labels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    labels.push(self.u32()?);
+                }
+                BrTable(labels, self.u32()?)
+            }
+            0x0f => Return,
+            0x10 => Call(self.u32()?),
+            0x11 => {
+                let t = self.u32()?;
+                let table = self.byte()?;
+                if table != 0 {
+                    return self.err("call_indirect table index must be 0");
+                }
+                CallIndirect(t)
+            }
+            0x1a => Drop,
+            0x1b => Select,
+            0x20 => LocalGet(self.u32()?),
+            0x21 => LocalSet(self.u32()?),
+            0x22 => LocalTee(self.u32()?),
+            0x23 => GlobalGet(self.u32()?),
+            0x24 => GlobalSet(self.u32()?),
+            0x28 => I32Load(self.memarg()?),
+            0x29 => I64Load(self.memarg()?),
+            0x2a => F32Load(self.memarg()?),
+            0x2b => F64Load(self.memarg()?),
+            0x2c => I32Load8S(self.memarg()?),
+            0x2d => I32Load8U(self.memarg()?),
+            0x2e => I32Load16S(self.memarg()?),
+            0x2f => I32Load16U(self.memarg()?),
+            0x30 => I64Load8S(self.memarg()?),
+            0x31 => I64Load8U(self.memarg()?),
+            0x32 => I64Load16S(self.memarg()?),
+            0x33 => I64Load16U(self.memarg()?),
+            0x34 => I64Load32S(self.memarg()?),
+            0x35 => I64Load32U(self.memarg()?),
+            0x36 => I32Store(self.memarg()?),
+            0x37 => I64Store(self.memarg()?),
+            0x38 => F32Store(self.memarg()?),
+            0x39 => F64Store(self.memarg()?),
+            0x3a => I32Store8(self.memarg()?),
+            0x3b => I32Store16(self.memarg()?),
+            0x3c => I64Store8(self.memarg()?),
+            0x3d => I64Store16(self.memarg()?),
+            0x3e => I64Store32(self.memarg()?),
+            0x3f => {
+                self.byte()?;
+                MemorySize
+            }
+            0x40 => {
+                self.byte()?;
+                MemoryGrow
+            }
+            0x41 => I32Const(self.i32()?),
+            0x42 => I64Const(self.i64()?),
+            0x43 => {
+                let b = self.take(4)?;
+                F32Const(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            0x44 => {
+                let b = self.take(8)?;
+                F64Const(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+            }
+            0x45..=0xbf => numeric_from_opcode(op).ok_or(DecodeError {
+                offset: self.pos - 1,
+                message: format!("unknown numeric opcode 0x{op:02x}"),
+            })?,
+            other => return self.err(format!("unknown opcode 0x{other:02x}")),
+        })
+    }
+}
+
+fn numeric_from_opcode(op: u8) -> Option<Instr> {
+    use Instr::*;
+    Some(match op {
+        0x45 => I32Eqz,
+        0x46 => I32Eq,
+        0x47 => I32Ne,
+        0x48 => I32LtS,
+        0x49 => I32LtU,
+        0x4a => I32GtS,
+        0x4b => I32GtU,
+        0x4c => I32LeS,
+        0x4d => I32LeU,
+        0x4e => I32GeS,
+        0x4f => I32GeU,
+        0x50 => I64Eqz,
+        0x51 => I64Eq,
+        0x52 => I64Ne,
+        0x53 => I64LtS,
+        0x54 => I64LtU,
+        0x55 => I64GtS,
+        0x56 => I64GtU,
+        0x57 => I64LeS,
+        0x58 => I64LeU,
+        0x59 => I64GeS,
+        0x5a => I64GeU,
+        0x5b => F32Eq,
+        0x5c => F32Ne,
+        0x5d => F32Lt,
+        0x5e => F32Gt,
+        0x5f => F32Le,
+        0x60 => F32Ge,
+        0x61 => F64Eq,
+        0x62 => F64Ne,
+        0x63 => F64Lt,
+        0x64 => F64Gt,
+        0x65 => F64Le,
+        0x66 => F64Ge,
+        0x67 => I32Clz,
+        0x68 => I32Ctz,
+        0x69 => I32Popcnt,
+        0x6a => I32Add,
+        0x6b => I32Sub,
+        0x6c => I32Mul,
+        0x6d => I32DivS,
+        0x6e => I32DivU,
+        0x6f => I32RemS,
+        0x70 => I32RemU,
+        0x71 => I32And,
+        0x72 => I32Or,
+        0x73 => I32Xor,
+        0x74 => I32Shl,
+        0x75 => I32ShrS,
+        0x76 => I32ShrU,
+        0x77 => I32Rotl,
+        0x78 => I32Rotr,
+        0x79 => I64Clz,
+        0x7a => I64Ctz,
+        0x7b => I64Popcnt,
+        0x7c => I64Add,
+        0x7d => I64Sub,
+        0x7e => I64Mul,
+        0x7f => I64DivS,
+        0x80 => I64DivU,
+        0x81 => I64RemS,
+        0x82 => I64RemU,
+        0x83 => I64And,
+        0x84 => I64Or,
+        0x85 => I64Xor,
+        0x86 => I64Shl,
+        0x87 => I64ShrS,
+        0x88 => I64ShrU,
+        0x89 => I64Rotl,
+        0x8a => I64Rotr,
+        0x8b => F32Abs,
+        0x8c => F32Neg,
+        0x8d => F32Ceil,
+        0x8e => F32Floor,
+        0x8f => F32Trunc,
+        0x90 => F32Nearest,
+        0x91 => F32Sqrt,
+        0x92 => F32Add,
+        0x93 => F32Sub,
+        0x94 => F32Mul,
+        0x95 => F32Div,
+        0x96 => F32Min,
+        0x97 => F32Max,
+        0x98 => F32Copysign,
+        0x99 => F64Abs,
+        0x9a => F64Neg,
+        0x9b => F64Ceil,
+        0x9c => F64Floor,
+        0x9d => F64Trunc,
+        0x9e => F64Nearest,
+        0x9f => F64Sqrt,
+        0xa0 => F64Add,
+        0xa1 => F64Sub,
+        0xa2 => F64Mul,
+        0xa3 => F64Div,
+        0xa4 => F64Min,
+        0xa5 => F64Max,
+        0xa6 => F64Copysign,
+        0xa7 => I32WrapI64,
+        0xa8 => I32TruncF32S,
+        0xa9 => I32TruncF32U,
+        0xaa => I32TruncF64S,
+        0xab => I32TruncF64U,
+        0xac => I64ExtendI32S,
+        0xad => I64ExtendI32U,
+        0xae => I64TruncF32S,
+        0xaf => I64TruncF32U,
+        0xb0 => I64TruncF64S,
+        0xb1 => I64TruncF64U,
+        0xb2 => F32ConvertI32S,
+        0xb3 => F32ConvertI32U,
+        0xb4 => F32ConvertI64S,
+        0xb5 => F32ConvertI64U,
+        0xb6 => F32DemoteF64,
+        0xb7 => F64ConvertI32S,
+        0xb8 => F64ConvertI32U,
+        0xb9 => F64ConvertI64S,
+        0xba => F64ConvertI64U,
+        0xbb => F64PromoteF32,
+        0xbc => I32ReinterpretF32,
+        0xbd => I64ReinterpretF64,
+        0xbe => F32ReinterpretI32,
+        0xbf => F64ReinterpretI64,
+        _ => return None,
+    })
+}
+
+/// Decode a Wasm binary into a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the input is not a well-formed MVP binary.
+pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != crate::encode::MAGIC {
+        return r.err("bad magic number");
+    }
+    if r.take(4)? != crate::encode::VERSION {
+        return r.err("unsupported version");
+    }
+
+    let mut m = Module::new();
+    let mut func_type_indices: Vec<u32> = Vec::new();
+
+    while r.pos < r.bytes.len() {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let section_end = r.pos + size;
+        if section_end > r.bytes.len() {
+            return r.err("section extends past end of input");
+        }
+        match id {
+            0 => {
+                // Custom section: skip.
+                r.pos = section_end;
+            }
+            1 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x60 {
+                        return r.err("expected functype tag 0x60");
+                    }
+                    let np = r.u32()? as usize;
+                    let mut params = Vec::with_capacity(np);
+                    for _ in 0..np {
+                        params.push(r.valtype()?);
+                    }
+                    let nr = r.u32()? as usize;
+                    let mut results = Vec::with_capacity(nr);
+                    for _ in 0..nr {
+                        results.push(r.valtype()?);
+                    }
+                    m.types.push(FuncType { params, results });
+                }
+            }
+            2 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let module = r.name()?;
+                    let name = r.name()?;
+                    let desc = match r.byte()? {
+                        0x00 => ImportDesc::Func(r.u32()?),
+                        0x01 => {
+                            if r.byte()? != 0x70 {
+                                return r.err("expected funcref table element type");
+                            }
+                            ImportDesc::Table(r.limits()?)
+                        }
+                        0x02 => ImportDesc::Memory(r.limits()?),
+                        0x03 => ImportDesc::Global(r.globaltype()?),
+                        other => return r.err(format!("invalid import kind 0x{other:02x}")),
+                    };
+                    m.imports.push(Import { module, name, desc });
+                }
+            }
+            3 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    func_type_indices.push(r.u32()?);
+                }
+            }
+            4 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x70 {
+                        return r.err("expected funcref table element type");
+                    }
+                    m.tables.push(r.limits()?);
+                }
+            }
+            5 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    m.memories.push(r.limits()?);
+                }
+            }
+            6 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let ty = r.globaltype()?;
+                    let init = r.instr()?;
+                    match r.instr()? {
+                        Instr::End => {}
+                        other => return r.err(format!("expected end after init, got {other:?}")),
+                    }
+                    m.globals.push(Global { ty, init });
+                }
+            }
+            7 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let tag = r.byte()?;
+                    let idx = r.u32()?;
+                    let desc = match tag {
+                        0x00 => ExportDesc::Func(idx),
+                        0x01 => ExportDesc::Table(idx),
+                        0x02 => ExportDesc::Memory(idx),
+                        0x03 => ExportDesc::Global(idx),
+                        other => return r.err(format!("invalid export kind 0x{other:02x}")),
+                    };
+                    m.exports.push(Export { name, desc });
+                }
+            }
+            8 => {
+                m.start = Some(r.u32()?);
+            }
+            9 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let table = r.u32()?;
+                    let offset = r.const_offset()?;
+                    let cnt = r.u32()? as usize;
+                    let mut funcs = Vec::with_capacity(cnt);
+                    for _ in 0..cnt {
+                        funcs.push(r.u32()?);
+                    }
+                    m.elems.push(Elem { table, offset, funcs });
+                }
+            }
+            10 => {
+                let n = r.u32()? as usize;
+                if n != func_type_indices.len() {
+                    return r.err("code section count mismatch with function section");
+                }
+                for type_idx in func_type_indices.iter().copied() {
+                    let body_size = r.u32()? as usize;
+                    let body_end = r.pos + body_size;
+                    let mut locals = Vec::new();
+                    let runs = r.u32()?;
+                    for _ in 0..runs {
+                        let count = r.u32()?;
+                        let ty = r.valtype()?;
+                        for _ in 0..count {
+                            locals.push(ty);
+                        }
+                    }
+                    let mut body = Vec::new();
+                    while r.pos < body_end {
+                        body.push(r.instr()?);
+                    }
+                    if body.last() != Some(&Instr::End) {
+                        return r.err("function body must end with `end`");
+                    }
+                    m.funcs.push(Function { type_idx, locals, body });
+                }
+            }
+            11 => {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let memory = r.u32()?;
+                    let offset = r.const_offset()?;
+                    let len = r.u32()? as usize;
+                    let bytes = r.take(len)?.to_vec();
+                    m.data.push(Data { memory, offset, bytes });
+                }
+            }
+            other => return r.err(format!("unknown section id {other}")),
+        }
+        if r.pos != section_end && id != 0 {
+            return r.err(format!("section {id} size mismatch"));
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode(&[0, 0, 0, 0, 1, 0, 0, 0]).unwrap_err();
+        assert!(err.message.contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(decode(&[0x00, 0x61, 0x73]).is_err());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let m = Module::new();
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn skips_custom_sections() {
+        let mut bytes = encode(&Module::new());
+        // custom section: id 0, size 5, name "ab", payload [1,2]
+        bytes.extend_from_slice(&[0x00, 0x05, 0x02, b'a', b'b', 1, 2]);
+        assert_eq!(decode(&bytes).unwrap(), Module::new());
+    }
+}

@@ -1,0 +1,98 @@
+//! Human-readable (WAT-flavoured) dumps of modules, used in examples,
+//! debugging output and `Debug` reports throughout the workspace.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::module::{ImportDesc, Module};
+
+/// Render one instruction in a WAT-like notation.
+pub fn instr_to_string(i: &Instr) -> String {
+    use Instr::*;
+    match i {
+        I32Const(v) => format!("i32.const {v}"),
+        I64Const(v) => format!("i64.const {v}"),
+        F32Const(v) => format!("f32.const {v}"),
+        F64Const(v) => format!("f64.const {v}"),
+        LocalGet(x) => format!("local.get {x}"),
+        LocalSet(x) => format!("local.set {x}"),
+        LocalTee(x) => format!("local.tee {x}"),
+        GlobalGet(x) => format!("global.get {x}"),
+        GlobalSet(x) => format!("global.set {x}"),
+        Br(l) => format!("br {l}"),
+        BrIf(l) => format!("br_if {l}"),
+        BrTable(ls, d) => format!("br_table {ls:?} {d}"),
+        Call(f) => format!("call {f}"),
+        CallIndirect(t) => format!("call_indirect (type {t})"),
+        other => match other.mem_arg() {
+            Some(m) if m.offset != 0 => format!("{} offset={}", other.mnemonic(), m.offset),
+            _ => other.mnemonic().to_string(),
+        },
+    }
+}
+
+/// Render a whole module as an indented WAT-like listing.
+pub fn module_to_string(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "(module");
+    for (i, t) in m.types.iter().enumerate() {
+        let _ = writeln!(s, "  (type {i} {t})");
+    }
+    for imp in &m.imports {
+        let kind = match &imp.desc {
+            ImportDesc::Func(t) => format!("func (type {t})"),
+            ImportDesc::Table(_) => "table".into(),
+            ImportDesc::Memory(_) => "memory".into(),
+            ImportDesc::Global(_) => "global".into(),
+        };
+        let _ = writeln!(s, "  (import \"{}\" \"{}\" ({kind}))", imp.module, imp.name);
+    }
+    for (idx, f) in m.iter_local_funcs() {
+        let ty = &m.types[f.type_idx as usize];
+        let _ = writeln!(s, "  (func {idx} {ty} (locals {:?})", f.locals);
+        let mut indent = 2usize;
+        for ins in &f.body {
+            if matches!(ins, Instr::End | Instr::Else) {
+                indent = indent.saturating_sub(1);
+            }
+            let _ = writeln!(s, "  {}{}", "  ".repeat(indent), instr_to_string(ins));
+            if matches!(ins, Instr::Block(_) | Instr::Loop(_) | Instr::If(_) | Instr::Else) {
+                indent += 1;
+            }
+        }
+        let _ = writeln!(s, "  )");
+    }
+    for e in &m.exports {
+        let _ = writeln!(s, "  (export \"{}\" {:?})", e.name, e.desc);
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::MemArg;
+    use crate::types::ValType::*;
+
+    #[test]
+    fn instruction_rendering() {
+        assert_eq!(instr_to_string(&Instr::I64Const(-5)), "i64.const -5");
+        assert_eq!(instr_to_string(&Instr::I64Ne), "i64.ne");
+        assert_eq!(
+            instr_to_string(&Instr::I64Load(MemArg::offset(8))),
+            "i64.load offset=8"
+        );
+    }
+
+    #[test]
+    fn module_rendering_mentions_exports() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func(&[I64], &[], &[], vec![Instr::End]);
+        b.export_func("apply", f);
+        let text = module_to_string(b.module());
+        assert!(text.contains("(module"));
+        assert!(text.contains("\"apply\""));
+    }
+}

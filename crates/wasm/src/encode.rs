@@ -1,0 +1,592 @@
+//! Encoding of [`Module`]s to the WebAssembly binary format.
+//!
+//! Together with [`crate::decode`] this gives the workspace a lossless binary
+//! round trip, which the instrumentation pass (§3.3.1) relies on: WASAI
+//! rewrites contract *bytecode*, not some IR private to the toolchain.
+
+use crate::instr::{Instr, MemArg};
+use crate::module::{Data, Elem, ExportDesc, Function, Global, Import, ImportDesc, Module};
+use crate::types::{BlockType, FuncType, GlobalType, Limits, Mutability, ValType};
+
+/// Magic header of every Wasm binary.
+pub const MAGIC: [u8; 4] = [0x00, 0x61, 0x73, 0x6d];
+/// Binary format version (MVP).
+pub const VERSION: [u8; 4] = [0x01, 0x00, 0x00, 0x00];
+
+/// Append an unsigned LEB128 integer.
+pub fn write_u32(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append an unsigned LEB128 64-bit integer.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a signed LEB128 integer.
+pub fn write_i32(out: &mut Vec<u8>, v: i32) {
+    write_i64(out, v as i64);
+}
+
+/// Append a signed LEB128 64-bit integer.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (v == 0 && sign_clear) || (v == -1 && !sign_clear) {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_name(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_limits(out: &mut Vec<u8>, l: &Limits) {
+    match l.max {
+        None => {
+            out.push(0x00);
+            write_u32(out, l.min);
+        }
+        Some(max) => {
+            out.push(0x01);
+            write_u32(out, l.min);
+            write_u32(out, max);
+        }
+    }
+}
+
+fn write_functype(out: &mut Vec<u8>, ft: &FuncType) {
+    out.push(0x60);
+    write_u32(out, ft.params.len() as u32);
+    for p in &ft.params {
+        out.push(p.binary_code());
+    }
+    write_u32(out, ft.results.len() as u32);
+    for r in &ft.results {
+        out.push(r.binary_code());
+    }
+}
+
+fn write_globaltype(out: &mut Vec<u8>, gt: &GlobalType) {
+    out.push(gt.val_type.binary_code());
+    out.push(match gt.mutability {
+        Mutability::Const => 0x00,
+        Mutability::Var => 0x01,
+    });
+}
+
+fn write_blocktype(out: &mut Vec<u8>, bt: BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(t.binary_code()),
+    }
+}
+
+fn write_memarg(out: &mut Vec<u8>, m: MemArg) {
+    write_u32(out, m.align);
+    write_u32(out, m.offset);
+}
+
+/// Encode one instruction.
+pub fn write_instr(out: &mut Vec<u8>, i: &Instr) {
+    use Instr::*;
+    match i {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt) => {
+            out.push(0x02);
+            write_blocktype(out, *bt);
+        }
+        Loop(bt) => {
+            out.push(0x03);
+            write_blocktype(out, *bt);
+        }
+        If(bt) => {
+            out.push(0x04);
+            write_blocktype(out, *bt);
+        }
+        Else => out.push(0x05),
+        End => out.push(0x0b),
+        Br(l) => {
+            out.push(0x0c);
+            write_u32(out, *l);
+        }
+        BrIf(l) => {
+            out.push(0x0d);
+            write_u32(out, *l);
+        }
+        BrTable(labels, default) => {
+            out.push(0x0e);
+            write_u32(out, labels.len() as u32);
+            for l in labels {
+                write_u32(out, *l);
+            }
+            write_u32(out, *default);
+        }
+        Return => out.push(0x0f),
+        Call(f) => {
+            out.push(0x10);
+            write_u32(out, *f);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            write_u32(out, *t);
+            out.push(0x00); // table index
+        }
+        Drop => out.push(0x1a),
+        Select => out.push(0x1b),
+        LocalGet(x) => {
+            out.push(0x20);
+            write_u32(out, *x);
+        }
+        LocalSet(x) => {
+            out.push(0x21);
+            write_u32(out, *x);
+        }
+        LocalTee(x) => {
+            out.push(0x22);
+            write_u32(out, *x);
+        }
+        GlobalGet(x) => {
+            out.push(0x23);
+            write_u32(out, *x);
+        }
+        GlobalSet(x) => {
+            out.push(0x24);
+            write_u32(out, *x);
+        }
+        I32Load(m) => mem(out, 0x28, *m),
+        I64Load(m) => mem(out, 0x29, *m),
+        F32Load(m) => mem(out, 0x2a, *m),
+        F64Load(m) => mem(out, 0x2b, *m),
+        I32Load8S(m) => mem(out, 0x2c, *m),
+        I32Load8U(m) => mem(out, 0x2d, *m),
+        I32Load16S(m) => mem(out, 0x2e, *m),
+        I32Load16U(m) => mem(out, 0x2f, *m),
+        I64Load8S(m) => mem(out, 0x30, *m),
+        I64Load8U(m) => mem(out, 0x31, *m),
+        I64Load16S(m) => mem(out, 0x32, *m),
+        I64Load16U(m) => mem(out, 0x33, *m),
+        I64Load32S(m) => mem(out, 0x34, *m),
+        I64Load32U(m) => mem(out, 0x35, *m),
+        I32Store(m) => mem(out, 0x36, *m),
+        I64Store(m) => mem(out, 0x37, *m),
+        F32Store(m) => mem(out, 0x38, *m),
+        F64Store(m) => mem(out, 0x39, *m),
+        I32Store8(m) => mem(out, 0x3a, *m),
+        I32Store16(m) => mem(out, 0x3b, *m),
+        I64Store8(m) => mem(out, 0x3c, *m),
+        I64Store16(m) => mem(out, 0x3d, *m),
+        I64Store32(m) => mem(out, 0x3e, *m),
+        MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            write_i32(out, *v);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            write_i64(out, *v);
+        }
+        F32Const(v) => {
+            out.push(0x43);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        F64Const(v) => {
+            out.push(0x44);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        other => out.push(numeric_opcode(other)),
+    }
+}
+
+fn mem(out: &mut Vec<u8>, op: u8, m: MemArg) {
+    out.push(op);
+    write_memarg(out, m);
+}
+
+/// The single-byte opcode for a numeric instruction without immediates.
+///
+/// # Panics
+///
+/// Panics if called with an instruction that carries immediates (those are
+/// handled directly in [`write_instr`]).
+pub fn numeric_opcode(i: &Instr) -> u8 {
+    use Instr::*;
+    match i {
+        I32Eqz => 0x45,
+        I32Eq => 0x46,
+        I32Ne => 0x47,
+        I32LtS => 0x48,
+        I32LtU => 0x49,
+        I32GtS => 0x4a,
+        I32GtU => 0x4b,
+        I32LeS => 0x4c,
+        I32LeU => 0x4d,
+        I32GeS => 0x4e,
+        I32GeU => 0x4f,
+        I64Eqz => 0x50,
+        I64Eq => 0x51,
+        I64Ne => 0x52,
+        I64LtS => 0x53,
+        I64LtU => 0x54,
+        I64GtS => 0x55,
+        I64GtU => 0x56,
+        I64LeS => 0x57,
+        I64LeU => 0x58,
+        I64GeS => 0x59,
+        I64GeU => 0x5a,
+        F32Eq => 0x5b,
+        F32Ne => 0x5c,
+        F32Lt => 0x5d,
+        F32Gt => 0x5e,
+        F32Le => 0x5f,
+        F32Ge => 0x60,
+        F64Eq => 0x61,
+        F64Ne => 0x62,
+        F64Lt => 0x63,
+        F64Gt => 0x64,
+        F64Le => 0x65,
+        F64Ge => 0x66,
+        I32Clz => 0x67,
+        I32Ctz => 0x68,
+        I32Popcnt => 0x69,
+        I32Add => 0x6a,
+        I32Sub => 0x6b,
+        I32Mul => 0x6c,
+        I32DivS => 0x6d,
+        I32DivU => 0x6e,
+        I32RemS => 0x6f,
+        I32RemU => 0x70,
+        I32And => 0x71,
+        I32Or => 0x72,
+        I32Xor => 0x73,
+        I32Shl => 0x74,
+        I32ShrS => 0x75,
+        I32ShrU => 0x76,
+        I32Rotl => 0x77,
+        I32Rotr => 0x78,
+        I64Clz => 0x79,
+        I64Ctz => 0x7a,
+        I64Popcnt => 0x7b,
+        I64Add => 0x7c,
+        I64Sub => 0x7d,
+        I64Mul => 0x7e,
+        I64DivS => 0x7f,
+        I64DivU => 0x80,
+        I64RemS => 0x81,
+        I64RemU => 0x82,
+        I64And => 0x83,
+        I64Or => 0x84,
+        I64Xor => 0x85,
+        I64Shl => 0x86,
+        I64ShrS => 0x87,
+        I64ShrU => 0x88,
+        I64Rotl => 0x89,
+        I64Rotr => 0x8a,
+        F32Abs => 0x8b,
+        F32Neg => 0x8c,
+        F32Ceil => 0x8d,
+        F32Floor => 0x8e,
+        F32Trunc => 0x8f,
+        F32Nearest => 0x90,
+        F32Sqrt => 0x91,
+        F32Add => 0x92,
+        F32Sub => 0x93,
+        F32Mul => 0x94,
+        F32Div => 0x95,
+        F32Min => 0x96,
+        F32Max => 0x97,
+        F32Copysign => 0x98,
+        F64Abs => 0x99,
+        F64Neg => 0x9a,
+        F64Ceil => 0x9b,
+        F64Floor => 0x9c,
+        F64Trunc => 0x9d,
+        F64Nearest => 0x9e,
+        F64Sqrt => 0x9f,
+        F64Add => 0xa0,
+        F64Sub => 0xa1,
+        F64Mul => 0xa2,
+        F64Div => 0xa3,
+        F64Min => 0xa4,
+        F64Max => 0xa5,
+        F64Copysign => 0xa6,
+        I32WrapI64 => 0xa7,
+        I32TruncF32S => 0xa8,
+        I32TruncF32U => 0xa9,
+        I32TruncF64S => 0xaa,
+        I32TruncF64U => 0xab,
+        I64ExtendI32S => 0xac,
+        I64ExtendI32U => 0xad,
+        I64TruncF32S => 0xae,
+        I64TruncF32U => 0xaf,
+        I64TruncF64S => 0xb0,
+        I64TruncF64U => 0xb1,
+        F32ConvertI32S => 0xb2,
+        F32ConvertI32U => 0xb3,
+        F32ConvertI64S => 0xb4,
+        F32ConvertI64U => 0xb5,
+        F32DemoteF64 => 0xb6,
+        F64ConvertI32S => 0xb7,
+        F64ConvertI32U => 0xb8,
+        F64ConvertI64S => 0xb9,
+        F64ConvertI64U => 0xba,
+        F64PromoteF32 => 0xbb,
+        I32ReinterpretF32 => 0xbc,
+        I64ReinterpretF64 => 0xbd,
+        F32ReinterpretI32 => 0xbe,
+        F64ReinterpretI64 => 0xbf,
+        other => panic!("instruction {other:?} carries immediates"),
+    }
+}
+
+fn section(out: &mut Vec<u8>, id: u8, body: Vec<u8>) {
+    if body.is_empty() {
+        return;
+    }
+    out.push(id);
+    write_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+fn encode_import(out: &mut Vec<u8>, imp: &Import) {
+    write_name(out, &imp.module);
+    write_name(out, &imp.name);
+    match &imp.desc {
+        ImportDesc::Func(t) => {
+            out.push(0x00);
+            write_u32(out, *t);
+        }
+        ImportDesc::Table(l) => {
+            out.push(0x01);
+            out.push(0x70);
+            write_limits(out, l);
+        }
+        ImportDesc::Memory(l) => {
+            out.push(0x02);
+            write_limits(out, l);
+        }
+        ImportDesc::Global(g) => {
+            out.push(0x03);
+            write_globaltype(out, g);
+        }
+    }
+}
+
+fn encode_global(out: &mut Vec<u8>, g: &Global) {
+    write_globaltype(out, &g.ty);
+    write_instr(out, &g.init);
+    write_instr(out, &Instr::End);
+}
+
+fn encode_export(out: &mut Vec<u8>, e: &crate::module::Export) {
+    write_name(out, &e.name);
+    let (tag, idx) = match e.desc {
+        ExportDesc::Func(i) => (0x00, i),
+        ExportDesc::Table(i) => (0x01, i),
+        ExportDesc::Memory(i) => (0x02, i),
+        ExportDesc::Global(i) => (0x03, i),
+    };
+    out.push(tag);
+    write_u32(out, idx);
+}
+
+fn encode_elem(out: &mut Vec<u8>, e: &Elem) {
+    write_u32(out, e.table);
+    write_instr(out, &Instr::I32Const(e.offset as i32));
+    write_instr(out, &Instr::End);
+    write_u32(out, e.funcs.len() as u32);
+    for f in &e.funcs {
+        write_u32(out, *f);
+    }
+}
+
+fn encode_data(out: &mut Vec<u8>, d: &Data) {
+    write_u32(out, d.memory);
+    write_instr(out, &Instr::I32Const(d.offset as i32));
+    write_instr(out, &Instr::End);
+    write_u32(out, d.bytes.len() as u32);
+    out.extend_from_slice(&d.bytes);
+}
+
+fn encode_func_body(out: &mut Vec<u8>, f: &Function) {
+    let mut body = Vec::new();
+    // Group consecutive identical local types into (count, type) runs.
+    let mut runs: Vec<(u32, ValType)> = Vec::new();
+    for &l in &f.locals {
+        match runs.last_mut() {
+            Some((n, t)) if *t == l => *n += 1,
+            _ => runs.push((1, l)),
+        }
+    }
+    write_u32(&mut body, runs.len() as u32);
+    for (n, t) in runs {
+        write_u32(&mut body, n);
+        body.push(t.binary_code());
+    }
+    for i in &f.body {
+        write_instr(&mut body, i);
+    }
+    write_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+/// Encode a module to Wasm binary bytes.
+pub fn encode(m: &Module) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION);
+
+    let mut body = Vec::new();
+    if !m.types.is_empty() {
+        write_u32(&mut body, m.types.len() as u32);
+        for t in &m.types {
+            write_functype(&mut body, t);
+        }
+        section(&mut out, 1, std::mem::take(&mut body));
+    }
+    if !m.imports.is_empty() {
+        write_u32(&mut body, m.imports.len() as u32);
+        for i in &m.imports {
+            encode_import(&mut body, i);
+        }
+        section(&mut out, 2, std::mem::take(&mut body));
+    }
+    if !m.funcs.is_empty() {
+        write_u32(&mut body, m.funcs.len() as u32);
+        for f in &m.funcs {
+            write_u32(&mut body, f.type_idx);
+        }
+        section(&mut out, 3, std::mem::take(&mut body));
+    }
+    if !m.tables.is_empty() {
+        write_u32(&mut body, m.tables.len() as u32);
+        for t in &m.tables {
+            body.push(0x70);
+            write_limits(&mut body, t);
+        }
+        section(&mut out, 4, std::mem::take(&mut body));
+    }
+    if !m.memories.is_empty() {
+        write_u32(&mut body, m.memories.len() as u32);
+        for mem in &m.memories {
+            write_limits(&mut body, mem);
+        }
+        section(&mut out, 5, std::mem::take(&mut body));
+    }
+    if !m.globals.is_empty() {
+        write_u32(&mut body, m.globals.len() as u32);
+        for g in &m.globals {
+            encode_global(&mut body, g);
+        }
+        section(&mut out, 6, std::mem::take(&mut body));
+    }
+    if !m.exports.is_empty() {
+        write_u32(&mut body, m.exports.len() as u32);
+        for e in &m.exports {
+            encode_export(&mut body, e);
+        }
+        section(&mut out, 7, std::mem::take(&mut body));
+    }
+    if let Some(start) = m.start {
+        write_u32(&mut body, start);
+        section(&mut out, 8, std::mem::take(&mut body));
+    }
+    if !m.elems.is_empty() {
+        write_u32(&mut body, m.elems.len() as u32);
+        for e in &m.elems {
+            encode_elem(&mut body, e);
+        }
+        section(&mut out, 9, std::mem::take(&mut body));
+    }
+    if !m.funcs.is_empty() {
+        write_u32(&mut body, m.funcs.len() as u32);
+        for f in &m.funcs {
+            encode_func_body(&mut body, f);
+        }
+        section(&mut out, 10, std::mem::take(&mut body));
+    }
+    if !m.data.is_empty() {
+        write_u32(&mut body, m.data.len() as u32);
+        for d in &m.data {
+            encode_data(&mut body, d);
+        }
+        section(&mut out, 11, std::mem::take(&mut body));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leb128_unsigned_known_values() {
+        let mut out = Vec::new();
+        write_u32(&mut out, 624485);
+        assert_eq!(out, vec![0xe5, 0x8e, 0x26]);
+    }
+
+    #[test]
+    fn leb128_signed_known_values() {
+        let mut out = Vec::new();
+        write_i32(&mut out, -123456);
+        assert_eq!(out, vec![0xc0, 0xbb, 0x78]);
+        out.clear();
+        write_i64(&mut out, -1);
+        assert_eq!(out, vec![0x7f]);
+        out.clear();
+        write_i64(&mut out, 64);
+        assert_eq!(out, vec![0xc0, 0x00]);
+    }
+
+    #[test]
+    fn empty_module_is_header_only() {
+        let bytes = encode(&Module::new());
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[0..4], &MAGIC);
+        assert_eq!(&bytes[4..8], &VERSION);
+    }
+
+    #[test]
+    fn instruction_encodings() {
+        let mut out = Vec::new();
+        write_instr(&mut out, &Instr::I64Ne);
+        assert_eq!(out, vec![0x52]);
+        out.clear();
+        write_instr(&mut out, &Instr::I32Const(1024));
+        assert_eq!(out, vec![0x41, 0x80, 0x08]);
+        out.clear();
+        write_instr(&mut out, &Instr::CallIndirect(3));
+        assert_eq!(out, vec![0x11, 0x03, 0x00]);
+    }
+}

@@ -1,0 +1,652 @@
+//! The WebAssembly instruction set used by EOSIO contracts (Wasm MVP).
+//!
+//! The enum covers the full MVP opcode space: control flow, parametric,
+//! variable, all 23 memory instructions (§2.2 / C2 of the paper), and the
+//! numeric operations. Classification helpers ([`Instr::class`],
+//! [`Instr::memory_access`]) drive the interpreter, the instrumentation pass
+//! and the Symback trace replayer from a single source of truth.
+
+use crate::types::{BlockType, ValType};
+
+/// Static description of a memory access: how many bytes it touches and the
+/// value type it produces/consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Number of bytes read or written (`size` in the paper's △.load/△.store).
+    pub bytes: u32,
+    /// The stack value type involved.
+    pub val_type: ValType,
+    /// For narrow loads: whether to sign-extend.
+    pub signed: bool,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+}
+
+/// Alignment/offset immediate carried by every memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemArg {
+    /// Expected alignment exponent (ignored semantically).
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+impl MemArg {
+    /// A memarg with the given static offset and natural alignment 0.
+    pub fn offset(offset: u32) -> Self {
+        MemArg { align: 0, offset }
+    }
+}
+
+/// Coarse classification of an instruction, mirroring the operational
+/// semantics table of the paper (Table 3) and the hook taxonomy (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// `i32.const` etc.
+    Const,
+    /// One stack operand, one result (`unary` row of Table 3).
+    Unary,
+    /// Two stack operands, one result (`binary` row of Table 3).
+    Binary,
+    /// `drop`.
+    Drop,
+    /// `select`.
+    Select,
+    /// `local.get` / `local.set` / `local.tee`.
+    Local,
+    /// `global.get` / `global.set`.
+    Global,
+    /// One of the 14 load instructions.
+    Load,
+    /// One of the 9 store instructions.
+    Store,
+    /// Structured control (block/loop/if/else/end).
+    Structured,
+    /// Branches (`br`, `br_if`, `br_table`) and `return`.
+    Branch,
+    /// Direct or indirect call.
+    Call,
+    /// `memory.size` / `memory.grow`.
+    MemoryAdmin,
+    /// `unreachable` / `nop`.
+    Misc,
+}
+
+macro_rules! instrs {
+    ($( $(#[$doc:meta])* $name:ident $(($($fty:ty),+))? = $text:literal ),+ $(,)?) => {
+        /// A single WebAssembly instruction.
+        #[derive(Debug, Clone, PartialEq)]
+        pub enum Instr {
+            $( $(#[$doc])* $name $(($($fty),+))? ),+
+        }
+
+        impl Instr {
+            /// The canonical text-format mnemonic (e.g. `"i64.ne"`).
+            pub fn mnemonic(&self) -> &'static str {
+                match self {
+                    $( instrs!(@pat $name $(($($fty),+))?) => $text ),+
+                }
+            }
+        }
+    };
+    (@pat $name:ident) => { Instr::$name };
+    (@pat $name:ident ($($fty:ty),+)) => { Instr::$name(..) };
+}
+
+instrs! {
+    // Control.
+    /// Trap unconditionally.
+    Unreachable = "unreachable",
+    /// Do nothing.
+    Nop = "nop",
+    /// Begin a block; branches to it jump past its `end`.
+    Block(BlockType) = "block",
+    /// Begin a loop; branches to it jump back to its start.
+    Loop(BlockType) = "loop",
+    /// Begin a conditional; pops the condition.
+    If(BlockType) = "if",
+    /// Switch to the false arm of the innermost `if`.
+    Else = "else",
+    /// Close the innermost structured instruction (or the function body).
+    End = "end",
+    /// Unconditional branch to the given relative label depth.
+    Br(u32) = "br",
+    /// Conditional branch; pops the condition.
+    BrIf(u32) = "br_if",
+    /// Table branch; pops the index. Fields: table of labels, default label.
+    BrTable(Vec<u32>, u32) = "br_table",
+    /// Return from the current function.
+    Return = "return",
+    /// Direct call to the function with the given index.
+    Call(u32) = "call",
+    /// Indirect call through the table; field is the expected type index.
+    CallIndirect(u32) = "call_indirect",
+
+    // Parametric.
+    /// Pop and discard one value.
+    Drop = "drop",
+    /// Pop condition, then two values; push one of them.
+    Select = "select",
+
+    // Variable.
+    /// Push the value of a local.
+    LocalGet(u32) = "local.get",
+    /// Pop into a local.
+    LocalSet(u32) = "local.set",
+    /// Copy stack top into a local without popping.
+    LocalTee(u32) = "local.tee",
+    /// Push the value of a global.
+    GlobalGet(u32) = "global.get",
+    /// Pop into a global.
+    GlobalSet(u32) = "global.set",
+
+    // The 23 memory instructions (14 loads, 9 stores).
+    /// Load 4 bytes as i32.
+    I32Load(MemArg) = "i32.load",
+    /// Load 8 bytes as i64.
+    I64Load(MemArg) = "i64.load",
+    /// Load 4 bytes as f32.
+    F32Load(MemArg) = "f32.load",
+    /// Load 8 bytes as f64.
+    F64Load(MemArg) = "f64.load",
+    /// Load 1 byte, sign-extend to i32.
+    I32Load8S(MemArg) = "i32.load8_s",
+    /// Load 1 byte, zero-extend to i32.
+    I32Load8U(MemArg) = "i32.load8_u",
+    /// Load 2 bytes, sign-extend to i32.
+    I32Load16S(MemArg) = "i32.load16_s",
+    /// Load 2 bytes, zero-extend to i32.
+    I32Load16U(MemArg) = "i32.load16_u",
+    /// Load 1 byte, sign-extend to i64.
+    I64Load8S(MemArg) = "i64.load8_s",
+    /// Load 1 byte, zero-extend to i64.
+    I64Load8U(MemArg) = "i64.load8_u",
+    /// Load 2 bytes, sign-extend to i64.
+    I64Load16S(MemArg) = "i64.load16_s",
+    /// Load 2 bytes, zero-extend to i64.
+    I64Load16U(MemArg) = "i64.load16_u",
+    /// Load 4 bytes, sign-extend to i64.
+    I64Load32S(MemArg) = "i64.load32_s",
+    /// Load 4 bytes, zero-extend to i64.
+    I64Load32U(MemArg) = "i64.load32_u",
+    /// Store 4 bytes of an i32.
+    I32Store(MemArg) = "i32.store",
+    /// Store 8 bytes of an i64.
+    I64Store(MemArg) = "i64.store",
+    /// Store 4 bytes of an f32.
+    F32Store(MemArg) = "f32.store",
+    /// Store 8 bytes of an f64.
+    F64Store(MemArg) = "f64.store",
+    /// Store the low byte of an i32.
+    I32Store8(MemArg) = "i32.store8",
+    /// Store the low 2 bytes of an i32.
+    I32Store16(MemArg) = "i32.store16",
+    /// Store the low byte of an i64.
+    I64Store8(MemArg) = "i64.store8",
+    /// Store the low 2 bytes of an i64.
+    I64Store16(MemArg) = "i64.store16",
+    /// Store the low 4 bytes of an i64.
+    I64Store32(MemArg) = "i64.store32",
+    /// Push the current memory size in pages.
+    MemorySize = "memory.size",
+    /// Grow memory; pushes the previous size or -1.
+    MemoryGrow = "memory.grow",
+
+    // Numeric constants.
+    /// Push an i32 constant.
+    I32Const(i32) = "i32.const",
+    /// Push an i64 constant.
+    I64Const(i64) = "i64.const",
+    /// Push an f32 constant.
+    F32Const(f32) = "f32.const",
+    /// Push an f64 constant.
+    F64Const(f64) = "f64.const",
+
+    // i32 comparisons.
+    /// Test i32 == 0.
+    I32Eqz = "i32.eqz",
+    /// i32 equality.
+    I32Eq = "i32.eq",
+    /// i32 inequality.
+    I32Ne = "i32.ne",
+    /// i32 signed less-than.
+    I32LtS = "i32.lt_s",
+    /// i32 unsigned less-than.
+    I32LtU = "i32.lt_u",
+    /// i32 signed greater-than.
+    I32GtS = "i32.gt_s",
+    /// i32 unsigned greater-than.
+    I32GtU = "i32.gt_u",
+    /// i32 signed less-or-equal.
+    I32LeS = "i32.le_s",
+    /// i32 unsigned less-or-equal.
+    I32LeU = "i32.le_u",
+    /// i32 signed greater-or-equal.
+    I32GeS = "i32.ge_s",
+    /// i32 unsigned greater-or-equal.
+    I32GeU = "i32.ge_u",
+
+    // i64 comparisons.
+    /// Test i64 == 0.
+    I64Eqz = "i64.eqz",
+    /// i64 equality (the Fake EOS guard instruction, §2.3.1).
+    I64Eq = "i64.eq",
+    /// i64 inequality (the Fake EOS guard instruction, §2.3.1).
+    I64Ne = "i64.ne",
+    /// i64 signed less-than.
+    I64LtS = "i64.lt_s",
+    /// i64 unsigned less-than.
+    I64LtU = "i64.lt_u",
+    /// i64 signed greater-than.
+    I64GtS = "i64.gt_s",
+    /// i64 unsigned greater-than.
+    I64GtU = "i64.gt_u",
+    /// i64 signed less-or-equal.
+    I64LeS = "i64.le_s",
+    /// i64 unsigned less-or-equal.
+    I64LeU = "i64.le_u",
+    /// i64 signed greater-or-equal.
+    I64GeS = "i64.ge_s",
+    /// i64 unsigned greater-or-equal.
+    I64GeU = "i64.ge_u",
+
+    // f32 comparisons.
+    /// f32 equality.
+    F32Eq = "f32.eq",
+    /// f32 inequality.
+    F32Ne = "f32.ne",
+    /// f32 less-than.
+    F32Lt = "f32.lt",
+    /// f32 greater-than.
+    F32Gt = "f32.gt",
+    /// f32 less-or-equal.
+    F32Le = "f32.le",
+    /// f32 greater-or-equal.
+    F32Ge = "f32.ge",
+
+    // f64 comparisons.
+    /// f64 equality.
+    F64Eq = "f64.eq",
+    /// f64 inequality.
+    F64Ne = "f64.ne",
+    /// f64 less-than.
+    F64Lt = "f64.lt",
+    /// f64 greater-than.
+    F64Gt = "f64.gt",
+    /// f64 less-or-equal.
+    F64Le = "f64.le",
+    /// f64 greater-or-equal.
+    F64Ge = "f64.ge",
+
+    // i32 arithmetic.
+    /// Count leading zeros.
+    I32Clz = "i32.clz",
+    /// Count trailing zeros.
+    I32Ctz = "i32.ctz",
+    /// Population count (the obfuscator's encoding primitive, §4.3).
+    I32Popcnt = "i32.popcnt",
+    /// Wrapping addition.
+    I32Add = "i32.add",
+    /// Wrapping subtraction.
+    I32Sub = "i32.sub",
+    /// Wrapping multiplication.
+    I32Mul = "i32.mul",
+    /// Signed division (traps on 0 and overflow).
+    I32DivS = "i32.div_s",
+    /// Unsigned division (traps on 0).
+    I32DivU = "i32.div_u",
+    /// Signed remainder (traps on 0).
+    I32RemS = "i32.rem_s",
+    /// Unsigned remainder (traps on 0).
+    I32RemU = "i32.rem_u",
+    /// Bitwise and.
+    I32And = "i32.and",
+    /// Bitwise or.
+    I32Or = "i32.or",
+    /// Bitwise xor.
+    I32Xor = "i32.xor",
+    /// Shift left.
+    I32Shl = "i32.shl",
+    /// Arithmetic shift right.
+    I32ShrS = "i32.shr_s",
+    /// Logical shift right.
+    I32ShrU = "i32.shr_u",
+    /// Rotate left.
+    I32Rotl = "i32.rotl",
+    /// Rotate right.
+    I32Rotr = "i32.rotr",
+
+    // i64 arithmetic.
+    /// Count leading zeros.
+    I64Clz = "i64.clz",
+    /// Count trailing zeros.
+    I64Ctz = "i64.ctz",
+    /// Population count.
+    I64Popcnt = "i64.popcnt",
+    /// Wrapping addition.
+    I64Add = "i64.add",
+    /// Wrapping subtraction.
+    I64Sub = "i64.sub",
+    /// Wrapping multiplication.
+    I64Mul = "i64.mul",
+    /// Signed division (traps on 0 and overflow).
+    I64DivS = "i64.div_s",
+    /// Unsigned division (traps on 0).
+    I64DivU = "i64.div_u",
+    /// Signed remainder (traps on 0).
+    I64RemS = "i64.rem_s",
+    /// Unsigned remainder (traps on 0).
+    I64RemU = "i64.rem_u",
+    /// Bitwise and.
+    I64And = "i64.and",
+    /// Bitwise or.
+    I64Or = "i64.or",
+    /// Bitwise xor.
+    I64Xor = "i64.xor",
+    /// Shift left.
+    I64Shl = "i64.shl",
+    /// Arithmetic shift right.
+    I64ShrS = "i64.shr_s",
+    /// Logical shift right.
+    I64ShrU = "i64.shr_u",
+    /// Rotate left.
+    I64Rotl = "i64.rotl",
+    /// Rotate right.
+    I64Rotr = "i64.rotr",
+
+    // f32 arithmetic.
+    /// Absolute value.
+    F32Abs = "f32.abs",
+    /// Negation.
+    F32Neg = "f32.neg",
+    /// Round up.
+    F32Ceil = "f32.ceil",
+    /// Round down.
+    F32Floor = "f32.floor",
+    /// Round toward zero.
+    F32Trunc = "f32.trunc",
+    /// Round to nearest even.
+    F32Nearest = "f32.nearest",
+    /// Square root.
+    F32Sqrt = "f32.sqrt",
+    /// Addition.
+    F32Add = "f32.add",
+    /// Subtraction.
+    F32Sub = "f32.sub",
+    /// Multiplication.
+    F32Mul = "f32.mul",
+    /// Division.
+    F32Div = "f32.div",
+    /// IEEE minimum.
+    F32Min = "f32.min",
+    /// IEEE maximum.
+    F32Max = "f32.max",
+    /// Copy sign.
+    F32Copysign = "f32.copysign",
+
+    // f64 arithmetic.
+    /// Absolute value.
+    F64Abs = "f64.abs",
+    /// Negation.
+    F64Neg = "f64.neg",
+    /// Round up.
+    F64Ceil = "f64.ceil",
+    /// Round down.
+    F64Floor = "f64.floor",
+    /// Round toward zero.
+    F64Trunc = "f64.trunc",
+    /// Round to nearest even.
+    F64Nearest = "f64.nearest",
+    /// Square root.
+    F64Sqrt = "f64.sqrt",
+    /// Addition.
+    F64Add = "f64.add",
+    /// Subtraction.
+    F64Sub = "f64.sub",
+    /// Multiplication.
+    F64Mul = "f64.mul",
+    /// Division.
+    F64Div = "f64.div",
+    /// IEEE minimum.
+    F64Min = "f64.min",
+    /// IEEE maximum.
+    F64Max = "f64.max",
+    /// Copy sign.
+    F64Copysign = "f64.copysign",
+
+    // Conversions.
+    /// Truncate i64 to i32.
+    I32WrapI64 = "i32.wrap_i64",
+    /// Truncate f32 to signed i32 (traps on NaN/overflow).
+    I32TruncF32S = "i32.trunc_f32_s",
+    /// Truncate f32 to unsigned i32.
+    I32TruncF32U = "i32.trunc_f32_u",
+    /// Truncate f64 to signed i32.
+    I32TruncF64S = "i32.trunc_f64_s",
+    /// Truncate f64 to unsigned i32.
+    I32TruncF64U = "i32.trunc_f64_u",
+    /// Sign-extend i32 to i64.
+    I64ExtendI32S = "i64.extend_i32_s",
+    /// Zero-extend i32 to i64.
+    I64ExtendI32U = "i64.extend_i32_u",
+    /// Truncate f32 to signed i64.
+    I64TruncF32S = "i64.trunc_f32_s",
+    /// Truncate f32 to unsigned i64.
+    I64TruncF32U = "i64.trunc_f32_u",
+    /// Truncate f64 to signed i64.
+    I64TruncF64S = "i64.trunc_f64_s",
+    /// Truncate f64 to unsigned i64.
+    I64TruncF64U = "i64.trunc_f64_u",
+    /// Convert signed i32 to f32.
+    F32ConvertI32S = "f32.convert_i32_s",
+    /// Convert unsigned i32 to f32.
+    F32ConvertI32U = "f32.convert_i32_u",
+    /// Convert signed i64 to f32.
+    F32ConvertI64S = "f32.convert_i64_s",
+    /// Convert unsigned i64 to f32.
+    F32ConvertI64U = "f32.convert_i64_u",
+    /// Demote f64 to f32.
+    F32DemoteF64 = "f32.demote_f64",
+    /// Convert signed i32 to f64.
+    F64ConvertI32S = "f64.convert_i32_s",
+    /// Convert unsigned i32 to f64.
+    F64ConvertI32U = "f64.convert_i32_u",
+    /// Convert signed i64 to f64.
+    F64ConvertI64S = "f64.convert_i64_s",
+    /// Convert unsigned i64 to f64.
+    F64ConvertI64U = "f64.convert_i64_u",
+    /// Promote f32 to f64.
+    F64PromoteF32 = "f64.promote_f32",
+    /// Reinterpret f32 bits as i32.
+    I32ReinterpretF32 = "i32.reinterpret_f32",
+    /// Reinterpret f64 bits as i64.
+    I64ReinterpretF64 = "i64.reinterpret_f64",
+    /// Reinterpret i32 bits as f32.
+    F32ReinterpretI32 = "f32.reinterpret_i32",
+    /// Reinterpret i64 bits as f64.
+    F64ReinterpretI64 = "f64.reinterpret_i64",
+}
+
+impl Instr {
+    /// Classify the instruction per Table 3 of the paper.
+    pub fn class(&self) -> InstrClass {
+        use Instr::*;
+        match self {
+            Unreachable | Nop => InstrClass::Misc,
+            Block(_) | Loop(_) | If(_) | Else | End => InstrClass::Structured,
+            Br(_) | BrIf(_) | BrTable(..) | Return => InstrClass::Branch,
+            Call(_) | CallIndirect(_) => InstrClass::Call,
+            Drop => InstrClass::Drop,
+            Select => InstrClass::Select,
+            LocalGet(_) | LocalSet(_) | LocalTee(_) => InstrClass::Local,
+            GlobalGet(_) | GlobalSet(_) => InstrClass::Global,
+            MemorySize | MemoryGrow => InstrClass::MemoryAdmin,
+            I32Const(_) | I64Const(_) | F32Const(_) | F64Const(_) => InstrClass::Const,
+            _ => {
+                if self.memory_access().is_some() {
+                    if self.memory_access().unwrap().is_store {
+                        InstrClass::Store
+                    } else {
+                        InstrClass::Load
+                    }
+                } else if self.is_unary_numeric() {
+                    InstrClass::Unary
+                } else {
+                    InstrClass::Binary
+                }
+            }
+        }
+    }
+
+    /// For memory instructions, describe the access; `None` otherwise.
+    pub fn memory_access(&self) -> Option<MemAccess> {
+        use Instr::*;
+        use ValType::*;
+        let (bytes, val_type, signed, is_store) = match self {
+            I32Load(_) => (4, I32, false, false),
+            I64Load(_) => (8, I64, false, false),
+            F32Load(_) => (4, F32, false, false),
+            F64Load(_) => (8, F64, false, false),
+            I32Load8S(_) => (1, I32, true, false),
+            I32Load8U(_) => (1, I32, false, false),
+            I32Load16S(_) => (2, I32, true, false),
+            I32Load16U(_) => (2, I32, false, false),
+            I64Load8S(_) => (1, I64, true, false),
+            I64Load8U(_) => (1, I64, false, false),
+            I64Load16S(_) => (2, I64, true, false),
+            I64Load16U(_) => (2, I64, false, false),
+            I64Load32S(_) => (4, I64, true, false),
+            I64Load32U(_) => (4, I64, false, false),
+            I32Store(_) => (4, I32, false, true),
+            I64Store(_) => (8, I64, false, true),
+            F32Store(_) => (4, F32, false, true),
+            F64Store(_) => (8, F64, false, true),
+            I32Store8(_) => (1, I32, false, true),
+            I32Store16(_) => (2, I32, false, true),
+            I64Store8(_) => (1, I64, false, true),
+            I64Store16(_) => (2, I64, false, true),
+            I64Store32(_) => (4, I64, false, true),
+            _ => return None,
+        };
+        Some(MemAccess { bytes, val_type, signed, is_store })
+    }
+
+    /// The memarg immediate of a memory instruction, if any.
+    pub fn mem_arg(&self) -> Option<MemArg> {
+        use Instr::*;
+        match self {
+            I32Load(m) | I64Load(m) | F32Load(m) | F64Load(m) | I32Load8S(m) | I32Load8U(m)
+            | I32Load16S(m) | I32Load16U(m) | I64Load8S(m) | I64Load8U(m) | I64Load16S(m)
+            | I64Load16U(m) | I64Load32S(m) | I64Load32U(m) | I32Store(m) | I64Store(m)
+            | F32Store(m) | F64Store(m) | I32Store8(m) | I32Store16(m) | I64Store8(m)
+            | I64Store16(m) | I64Store32(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    fn is_unary_numeric(&self) -> bool {
+        use Instr::*;
+        matches!(
+            self,
+            I32Eqz | I64Eqz | I32Clz | I32Ctz | I32Popcnt | I64Clz | I64Ctz | I64Popcnt
+                | F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt
+                | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt
+                | I32WrapI64 | I32TruncF32S | I32TruncF32U | I32TruncF64S | I32TruncF64U
+                | I64ExtendI32S | I64ExtendI32U | I64TruncF32S | I64TruncF32U | I64TruncF64S
+                | I64TruncF64U | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S
+                | F32ConvertI64U | F32DemoteF64 | F64ConvertI32S | F64ConvertI32U
+                | F64ConvertI64S | F64ConvertI64U | F64PromoteF32 | I32ReinterpretF32
+                | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64
+        )
+    }
+
+    /// True if this is one of the comparison instructions a Fake EOS / Fake
+    /// Notification guard compiles to (`i64.eq` / `i64.ne`, §2.3.1–2.3.2).
+    pub fn is_i64_guard_compare(&self) -> bool {
+        matches!(self, Instr::I64Eq | Instr::I64Ne)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_instruction_census() {
+        // The paper repeatedly states there are exactly 23 memory instructions.
+        let mem = MemArg::default();
+        let all = [
+            Instr::I32Load(mem),
+            Instr::I64Load(mem),
+            Instr::F32Load(mem),
+            Instr::F64Load(mem),
+            Instr::I32Load8S(mem),
+            Instr::I32Load8U(mem),
+            Instr::I32Load16S(mem),
+            Instr::I32Load16U(mem),
+            Instr::I64Load8S(mem),
+            Instr::I64Load8U(mem),
+            Instr::I64Load16S(mem),
+            Instr::I64Load16U(mem),
+            Instr::I64Load32S(mem),
+            Instr::I64Load32U(mem),
+            Instr::I32Store(mem),
+            Instr::I64Store(mem),
+            Instr::F32Store(mem),
+            Instr::F64Store(mem),
+            Instr::I32Store8(mem),
+            Instr::I32Store16(mem),
+            Instr::I64Store8(mem),
+            Instr::I64Store16(mem),
+            Instr::I64Store32(mem),
+        ];
+        assert_eq!(all.len(), 23);
+        let loads = all.iter().filter(|i| i.class() == InstrClass::Load).count();
+        let stores = all.iter().filter(|i| i.class() == InstrClass::Store).count();
+        assert_eq!(loads, 14);
+        assert_eq!(stores, 9);
+        for i in &all {
+            assert!(i.memory_access().is_some());
+            assert!(i.mem_arg().is_some());
+        }
+    }
+
+    #[test]
+    fn classification_spot_checks() {
+        assert_eq!(Instr::I32Const(7).class(), InstrClass::Const);
+        assert_eq!(Instr::I64Eq.class(), InstrClass::Binary);
+        assert_eq!(Instr::I32Eqz.class(), InstrClass::Unary);
+        assert_eq!(Instr::BrIf(0).class(), InstrClass::Branch);
+        assert_eq!(Instr::Call(3).class(), InstrClass::Call);
+        assert_eq!(Instr::LocalTee(1).class(), InstrClass::Local);
+        assert_eq!(Instr::MemoryGrow.class(), InstrClass::MemoryAdmin);
+        assert_eq!(Instr::If(BlockType::Empty).class(), InstrClass::Structured);
+        assert_eq!(Instr::Select.class(), InstrClass::Select);
+    }
+
+    #[test]
+    fn guard_compare_detection() {
+        assert!(Instr::I64Eq.is_i64_guard_compare());
+        assert!(Instr::I64Ne.is_i64_guard_compare());
+        assert!(!Instr::I32Eq.is_i64_guard_compare());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Instr::I64Ne.mnemonic(), "i64.ne");
+        assert_eq!(Instr::I32Load16U(MemArg::default()).mnemonic(), "i32.load16_u");
+        assert_eq!(Instr::BrTable(vec![0, 1], 2).mnemonic(), "br_table");
+    }
+
+    #[test]
+    fn load_access_details() {
+        let a = Instr::I32Load16U(MemArg::offset(8)).memory_access().unwrap();
+        assert_eq!(a.bytes, 2);
+        assert_eq!(a.val_type, ValType::I32);
+        assert!(!a.signed);
+        assert!(!a.is_store);
+        let s = Instr::I64Store32(MemArg::default()).memory_access().unwrap();
+        assert_eq!(s.bytes, 4);
+        assert!(s.is_store);
+    }
+}

@@ -1,0 +1,513 @@
+//! Contract-level trace instrumentation (the paper's C1 solution, §3.3.1).
+//!
+//! The pass rewrites a contract's bytecode so that, at runtime, the contract
+//! itself reports every executed instruction and its operands through
+//! imported log APIs — exactly the Wasabi-derived mechanism WASAI uses. The
+//! instrumented module runs on an *unmodified* VM; only instrumented
+//! contracts produce traces, so auxiliary contracts (`eosio.token`, agent
+//! contracts) stay silent and the trace never mixes contracts (C1).
+//!
+//! For each original instruction at `(func, pc)` the rewriter emits:
+//!
+//! 1. `i32.const func; i32.const pc; call $trace_site` — announces the
+//!    instruction (the consumer resolves `(func, pc)` against the *original*
+//!    module to recover the instruction and its immediates);
+//! 2. operand duplication through scratch locals followed by `call $logi` /
+//!    `$logsf` / `$logdf`, mirroring the paper's
+//!    `i32.const 1024; i32.const 1024; call logi` example;
+//! 3. for calls, the five hooks of Table 1 (`call_pre`, `call`,
+//!    `function_begin`, `function_end`, `call_post`): argument values are
+//!    logged before the call, results after it, and function bodies are
+//!    bracketed by begin/end labels.
+
+use crate::instr::{Instr, InstrClass};
+use crate::module::{ExportDesc, ImportDesc, Module};
+use crate::types::ValType;
+use crate::validate::{analyze_operands, validate, ValidateError};
+
+/// Import namespace used for the trace hooks.
+///
+/// The paper extends Nodeos with `logi()`, `logsf()` and `logdf()`; we place
+/// them (plus the site/call labels) in a dedicated `"wasai"` namespace so
+/// they cannot collide with contract imports from `"env"`.
+pub const HOOK_MODULE: &str = "wasai";
+
+/// Names of the hook imports, in the order they are appended.
+pub const HOOK_NAMES: [&str; 8] = [
+    "trace_site",
+    "logi",
+    "logsf",
+    "logdf",
+    "trace_call_pre",
+    "trace_call_post",
+    "trace_func_begin",
+    "trace_func_end",
+];
+
+/// Function indices of the hook imports inside an instrumented module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HookIndices {
+    /// `trace_site(func: i32, pc: i32)`.
+    pub site: u32,
+    /// `logi(v: i64)` — integer operands (i32 operands are zero-extended).
+    pub logi: u32,
+    /// `logsf(v: f32)`.
+    pub logsf: u32,
+    /// `logdf(v: f64)`.
+    pub logdf: u32,
+    /// `trace_call_pre(callee: i32)` — original callee index, `-1` for
+    /// indirect calls.
+    pub call_pre: u32,
+    /// `trace_call_post(callee: i32)`.
+    pub call_post: u32,
+    /// `trace_func_begin(func: i32)`.
+    pub func_begin: u32,
+    /// `trace_func_end(func: i32)`.
+    pub func_end: u32,
+}
+
+/// Result of instrumenting a module.
+#[derive(Debug, Clone)]
+pub struct Instrumented {
+    /// The rewritten module (imports the 8 hook APIs).
+    pub module: Module,
+    /// Number of imported functions *before* instrumentation: original
+    /// function index `f >= pre_imports` maps to `f + 8` in the new module.
+    pub pre_imports: u32,
+    /// Hook import indices in the new module.
+    pub hooks: HookIndices,
+}
+
+impl Instrumented {
+    /// Map an original function index into the instrumented index space.
+    pub fn remap(&self, func_idx: u32) -> u32 {
+        if func_idx < self.pre_imports {
+            func_idx
+        } else {
+            func_idx + HOOK_NAMES.len() as u32
+        }
+    }
+}
+
+/// Per-function scratch register file used for operand duplication.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Local indices per value type.
+    slots: [Vec<u32>; 4],
+    /// Types appended so far (to extend the function's locals).
+    appended: Vec<ValType>,
+    /// First scratch local index.
+    base: u32,
+}
+
+fn type_slot(t: ValType) -> usize {
+    match t {
+        ValType::I32 => 0,
+        ValType::I64 => 1,
+        ValType::F32 => 2,
+        ValType::F64 => 3,
+    }
+}
+
+impl Scratch {
+    fn new(base: u32) -> Self {
+        Scratch { base, ..Default::default() }
+    }
+
+    /// Local index for the `occurrence`-th scratch slot of type `t`.
+    fn slot(&mut self, t: ValType, occurrence: usize) -> u32 {
+        while self.slots[type_slot(t)].len() <= occurrence {
+            let idx = self.base + self.appended.len() as u32;
+            self.appended.push(t);
+            self.slots[type_slot(t)].push(idx);
+        }
+        self.slots[type_slot(t)][occurrence]
+    }
+}
+
+struct FuncRewriter<'a> {
+    hooks: HookIndices,
+    scratch: Scratch,
+    out: Vec<Instr>,
+    remap: &'a dyn Fn(u32) -> u32,
+}
+
+impl FuncRewriter<'_> {
+    fn emit_site(&mut self, func: u32, pc: usize) {
+        self.out.push(Instr::I32Const(func as i32));
+        self.out.push(Instr::I32Const(pc as i32));
+        self.out.push(Instr::Call(self.hooks.site));
+    }
+
+    /// Emit a `call log*` for a value of type `t` currently on the stack top.
+    /// Consumes the value.
+    fn emit_log_top(&mut self, t: ValType) {
+        match t {
+            ValType::I32 => {
+                self.out.push(Instr::I64ExtendI32U);
+                self.out.push(Instr::Call(self.hooks.logi));
+            }
+            ValType::I64 => self.out.push(Instr::Call(self.hooks.logi)),
+            ValType::F32 => self.out.push(Instr::Call(self.hooks.logsf)),
+            ValType::F64 => self.out.push(Instr::Call(self.hooks.logdf)),
+        }
+    }
+
+    /// Duplicate the top `types.len()` operands (given bottom → top), log
+    /// each in bottom → top order, and restore the stack.
+    fn emit_dup_log(&mut self, types: &[ValType]) {
+        let mut occ = [0usize; 4];
+        let mut slots = Vec::with_capacity(types.len());
+        for &t in types {
+            let s = self.scratch.slot(t, occ[type_slot(t)]);
+            occ[type_slot(t)] += 1;
+            slots.push((t, s));
+        }
+        // Pop into scratch, top first.
+        for &(_, s) in slots.iter().rev() {
+            self.out.push(Instr::LocalSet(s));
+        }
+        // Log bottom → top.
+        for &(t, s) in &slots {
+            self.out.push(Instr::LocalGet(s));
+            self.emit_log_top(t);
+        }
+        // Restore.
+        for &(_, s) in &slots {
+            self.out.push(Instr::LocalGet(s));
+        }
+    }
+
+    fn rewrite_instr(
+        &mut self,
+        module: &Module,
+        func: u32,
+        pc: usize,
+        i: &Instr,
+        operand_types: &Option<Vec<ValType>>,
+        is_final_end: bool,
+    ) {
+        self.emit_site(func, pc);
+        match i {
+            Instr::Call(callee) => {
+                self.out.push(Instr::I32Const(*callee as i32));
+                self.out.push(Instr::Call(self.hooks.call_pre));
+                if let Some(types) = operand_types {
+                    self.emit_dup_log(types);
+                }
+                self.out.push(Instr::Call((self.remap)(*callee)));
+                self.out.push(Instr::I32Const(*callee as i32));
+                self.out.push(Instr::Call(self.hooks.call_post));
+                if let Some(ft) = module.func_type(*callee) {
+                    if let Some(&r) = ft.results.first() {
+                        self.emit_dup_log(&[r]);
+                    }
+                }
+            }
+            Instr::CallIndirect(type_idx) => {
+                self.out.push(Instr::I32Const(-1));
+                self.out.push(Instr::Call(self.hooks.call_pre));
+                if let Some(types) = operand_types {
+                    self.emit_dup_log(types);
+                }
+                self.out.push(Instr::CallIndirect(*type_idx));
+                self.out.push(Instr::I32Const(-1));
+                self.out.push(Instr::Call(self.hooks.call_post));
+                if let Some(ft) = module.types.get(*type_idx as usize) {
+                    if let Some(&r) = ft.results.first() {
+                        self.emit_dup_log(&[r]);
+                    }
+                }
+            }
+            Instr::Return => {
+                self.out.push(Instr::I32Const(func as i32));
+                self.out.push(Instr::Call(self.hooks.func_end));
+                self.out.push(Instr::Return);
+            }
+            Instr::End if is_final_end => {
+                self.out.push(Instr::I32Const(func as i32));
+                self.out.push(Instr::Call(self.hooks.func_end));
+                self.out.push(Instr::End);
+            }
+            Instr::LocalGet(x) => {
+                // Reading a local twice is side-effect free; log the value
+                // that the original instruction is about to push.
+                let t = local_type_of(module, func, *x);
+                self.out.push(Instr::LocalGet(*x));
+                self.emit_log_top(t);
+                self.out.push(Instr::LocalGet(*x));
+            }
+            Instr::GlobalGet(x) => {
+                let t = global_type_of(module, *x);
+                self.out.push(Instr::GlobalGet(*x));
+                self.emit_log_top(t);
+                self.out.push(Instr::GlobalGet(*x));
+            }
+            other => {
+                if let Some(types) = operand_types {
+                    if matches!(
+                        other.class(),
+                        InstrClass::Unary
+                            | InstrClass::Binary
+                            | InstrClass::Load
+                            | InstrClass::Store
+                            | InstrClass::Branch
+                            | InstrClass::Structured
+                            | InstrClass::Select
+                            | InstrClass::Local
+                            | InstrClass::Global
+                            | InstrClass::MemoryAdmin
+                    ) && !types.is_empty()
+                    {
+                        self.emit_dup_log(types);
+                    }
+                }
+                self.out.push(other.clone());
+            }
+        }
+    }
+}
+
+fn local_type_of(module: &Module, func: u32, local: u32) -> ValType {
+    let f = module.local_func(func).expect("instrumenting a local function");
+    let params = &module.types[f.type_idx as usize].params;
+    if (local as usize) < params.len() {
+        params[local as usize]
+    } else {
+        f.locals[local as usize - params.len()]
+    }
+}
+
+fn global_type_of(module: &Module, idx: u32) -> ValType {
+    let mut imported = 0u32;
+    for imp in &module.imports {
+        if let ImportDesc::Global(g) = imp.desc {
+            if imported == idx {
+                return g.val_type;
+            }
+            imported += 1;
+        }
+    }
+    module.globals[(idx - imported) as usize].ty.val_type
+}
+
+/// Instrument every local function of `original`.
+///
+/// The input must validate. The output validates too (checked by a test, not
+/// at runtime) and behaves identically apart from invoking the hook imports.
+///
+/// # Errors
+///
+/// Returns the validation error if `original` is not a well-typed module.
+pub fn instrument(original: &Module) -> Result<Instrumented, ValidateError> {
+    validate(original)?;
+    let pre_imports = original.num_imported_funcs();
+    let shift = HOOK_NAMES.len() as u32;
+    let remap = move |f: u32| if f < pre_imports { f } else { f + shift };
+
+    let mut module = original.clone();
+
+    // Append hook imports (after existing imports, before local functions).
+    use crate::types::FuncType;
+    use ValType::*;
+    let sigs: [(&str, Vec<ValType>); 8] = [
+        ("trace_site", vec![I32, I32]),
+        ("logi", vec![I64]),
+        ("logsf", vec![F32]),
+        ("logdf", vec![F64]),
+        ("trace_call_pre", vec![I32]),
+        ("trace_call_post", vec![I32]),
+        ("trace_func_begin", vec![I32]),
+        ("trace_func_end", vec![I32]),
+    ];
+    let mut hook_idx = [0u32; 8];
+    for (k, (name, params)) in sigs.into_iter().enumerate() {
+        let ty = module.intern_type(FuncType::new(params, vec![]));
+        module.imports.push(crate::module::Import {
+            module: HOOK_MODULE.into(),
+            name: name.into(),
+            desc: ImportDesc::Func(ty),
+        });
+        hook_idx[k] = pre_imports + k as u32;
+    }
+    let hooks = HookIndices {
+        site: hook_idx[0],
+        logi: hook_idx[1],
+        logsf: hook_idx[2],
+        logdf: hook_idx[3],
+        call_pre: hook_idx[4],
+        call_post: hook_idx[5],
+        func_begin: hook_idx[6],
+        func_end: hook_idx[7],
+    };
+
+    // Remap function references outside code bodies.
+    for e in &mut module.exports {
+        if let ExportDesc::Func(f) = &mut e.desc {
+            *f = remap(*f);
+        }
+    }
+    for elem in &mut module.elems {
+        for f in &mut elem.funcs {
+            *f = remap(*f);
+        }
+    }
+    if let Some(s) = &mut module.start {
+        *s = remap(*s);
+    }
+
+    // Rewrite each body. Operand analysis runs against the ORIGINAL module
+    // (indices there are what `trace_site` reports).
+    for (local_i, func) in original.funcs.iter().enumerate() {
+        let orig_idx = pre_imports + local_i as u32;
+        let operand_types = analyze_operands(original, orig_idx)?;
+        let params = &original.types[func.type_idx as usize].params;
+        let scratch_base = (params.len() + func.locals.len()) as u32;
+        let mut rw = FuncRewriter {
+            hooks,
+            scratch: Scratch::new(scratch_base),
+            out: Vec::with_capacity(func.body.len() * 4),
+            remap: &remap,
+        };
+        rw.out.push(Instr::I32Const(orig_idx as i32));
+        rw.out.push(Instr::Call(hooks.func_begin));
+        let last = func.body.len() - 1;
+        for (pc, instr) in func.body.iter().enumerate() {
+            rw.rewrite_instr(original, orig_idx, pc, instr, &operand_types[pc], pc == last);
+        }
+        let new_func = &mut module.funcs[local_i];
+        new_func.locals.extend_from_slice(&rw.scratch.appended);
+        new_func.body = rw.out;
+    }
+
+    Ok(Instrumented { module, pre_imports, hooks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::ValType::*;
+
+    fn sample_module() -> Module {
+        let mut b = ModuleBuilder::with_memory(1);
+        let assert_fn = b.import_func("env", "eosio_assert", &[I32, I32], &[]);
+        let helper = b.func(&[I64], &[I64], &[], vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(1),
+            Instr::I64Add,
+            Instr::End,
+        ]);
+        let apply = b.func(&[I64, I64, I64], &[], &[I64], vec![
+            Instr::LocalGet(1),
+            Instr::Call(helper),
+            Instr::LocalSet(3),
+            Instr::LocalGet(3),
+            Instr::I64Const(42),
+            Instr::I64Ne,
+            Instr::If(crate::types::BlockType::Empty),
+            Instr::I32Const(1),
+            Instr::I32Const(0),
+            Instr::Call(assert_fn),
+            Instr::End,
+            Instr::End,
+        ]);
+        b.export_func("apply", apply);
+        b.build()
+    }
+
+    #[test]
+    fn instrumented_module_validates() {
+        let m = sample_module();
+        let inst = instrument(&m).unwrap();
+        validate(&inst.module).expect("instrumented module must validate");
+    }
+
+    #[test]
+    fn adds_exactly_eight_imports() {
+        let m = sample_module();
+        let inst = instrument(&m).unwrap();
+        assert_eq!(
+            inst.module.num_imported_funcs(),
+            m.num_imported_funcs() + HOOK_NAMES.len() as u32
+        );
+        for name in HOOK_NAMES {
+            assert!(inst
+                .module
+                .imports
+                .iter()
+                .any(|i| i.module == HOOK_MODULE && i.name == name));
+        }
+    }
+
+    #[test]
+    fn remaps_exports_and_calls() {
+        let m = sample_module();
+        let inst = instrument(&m).unwrap();
+        // apply was index 2 (1 import + helper), now shifted by 8.
+        assert_eq!(inst.module.exported_func("apply"), Some(m.exported_func("apply").unwrap() + 8));
+        // The direct call to `helper` inside apply must be remapped.
+        let apply = inst.module.local_func(inst.module.exported_func("apply").unwrap()).unwrap();
+        assert!(apply.body.iter().any(|i| *i == Instr::Call(inst.remap(1))));
+    }
+
+    #[test]
+    fn bodies_grow_but_preserve_original_instructions() {
+        let m = sample_module();
+        let inst = instrument(&m).unwrap();
+        for (orig, rewritten) in m.funcs.iter().zip(&inst.module.funcs) {
+            assert!(rewritten.body.len() > orig.body.len());
+            // Every original non-call instruction still appears.
+            for i in &orig.body {
+                if !matches!(i, Instr::Call(_)) {
+                    assert!(rewritten.body.contains(i), "{i:?} missing after rewrite");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_binary_format() {
+        let m = sample_module();
+        let inst = instrument(&m).unwrap();
+        let bytes = crate::encode::encode(&inst.module);
+        let decoded = crate::decode::decode(&bytes).unwrap();
+        assert_eq!(decoded, inst.module);
+    }
+
+    #[test]
+    fn instrument_rejects_invalid_module() {
+        let mut b = ModuleBuilder::new();
+        b.func(&[], &[], &[], vec![Instr::I32Add, Instr::End]);
+        assert!(instrument(b.module()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod remap_tests {
+    use super::*;
+
+    #[test]
+    fn remap_shifts_local_functions_only() {
+        let inst = Instrumented {
+            module: crate::Module::new(),
+            pre_imports: 3,
+            hooks: HookIndices {
+                site: 3,
+                logi: 4,
+                logsf: 5,
+                logdf: 6,
+                call_pre: 7,
+                call_post: 8,
+                func_begin: 9,
+                func_end: 10,
+            },
+        };
+        // Original imports keep their indices.
+        assert_eq!(inst.remap(0), 0);
+        assert_eq!(inst.remap(2), 2);
+        // Local functions shift past the 8 hook imports.
+        assert_eq!(inst.remap(3), 11);
+        assert_eq!(inst.remap(10), 18);
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # wasai-wasm — the WebAssembly substrate of the WASAI reproduction
+//!
+//! Everything WASAI needs to manipulate EOSIO contract bytecode, built from
+//! scratch:
+//!
+//! - [`types`] / [`instr`] / [`module`]: the Wasm MVP type system, the full
+//!   instruction set (including all 23 memory instructions the paper's memory
+//!   model handles, §3.4.1), and the module representation;
+//! - [`encode`] / [`decode`]: a lossless binary-format round trip;
+//! - [`builder`]: programmatic module construction (used by the benchmark
+//!   factory in `wasai-corpus`);
+//! - [`validate`]: the spec-appendix type-checking algorithm, plus the
+//!   operand-type analysis the instrumenter needs;
+//! - [`instrument`]: the contract-level trace instrumentation pass (C1,
+//!   §3.3.1) — Wasabi-style low-level hooks that make the contract report
+//!   every executed instruction and its operands through imported log APIs;
+//! - [`display`]: WAT-flavoured dumps for debugging.
+//!
+//! # Examples
+//!
+//! Build, validate, encode and decode a module:
+//!
+//! ```
+//! use wasai_wasm::builder::ModuleBuilder;
+//! use wasai_wasm::instr::Instr;
+//! use wasai_wasm::types::ValType;
+//!
+//! let mut b = ModuleBuilder::with_memory(1);
+//! let f = b.func(&[ValType::I64], &[ValType::I64], &[], vec![
+//!     Instr::LocalGet(0),
+//!     Instr::I64Const(1),
+//!     Instr::I64Add,
+//!     Instr::End,
+//! ]);
+//! b.export_func("inc", f);
+//! let module = b.build();
+//! wasai_wasm::validate::validate(&module)?;
+//! let bytes = wasai_wasm::encode::encode(&module);
+//! assert_eq!(wasai_wasm::decode::decode(&bytes)?, module);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod builder;
+pub mod decode;
+pub mod display;
+pub mod encode;
+pub mod instr;
+pub mod instrument;
+pub mod module;
+pub mod types;
+pub mod validate;
+
+pub use builder::ModuleBuilder;
+pub use instr::{Instr, InstrClass, MemArg};
+pub use module::Module;
+pub use types::{BlockType, FuncType, GlobalType, Limits, Mutability, ValType};

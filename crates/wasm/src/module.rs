@@ -1,0 +1,291 @@
+//! In-memory representation of a WebAssembly module.
+//!
+//! The layout mirrors the binary format sections. Function index space is
+//! imports-first: indices `0..imports.num_funcs()` refer to imported
+//! functions, the rest to [`Module::funcs`].
+
+use crate::instr::Instr;
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// What an import provides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportDesc {
+    /// A function with the given type index.
+    Func(u32),
+    /// A table of function references.
+    Table(Limits),
+    /// A linear memory.
+    Memory(Limits),
+    /// A global variable.
+    Global(GlobalType),
+}
+
+/// A single import entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Module namespace, `"env"` for all EOSIO library APIs.
+    pub module: String,
+    /// Imported item name, e.g. `"require_auth"`.
+    pub name: String,
+    /// Kind and type of the imported item.
+    pub desc: ImportDesc,
+}
+
+/// What an export exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportDesc {
+    /// A function by index.
+    Func(u32),
+    /// A table by index.
+    Table(u32),
+    /// A memory by index.
+    Memory(u32),
+    /// A global by index.
+    Global(u32),
+}
+
+/// A single export entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    /// Exported name; EOSIO contracts export `"apply"` and `"memory"`.
+    pub name: String,
+    /// The exported item.
+    pub desc: ExportDesc,
+}
+
+/// A function defined inside the module (not imported).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Function {
+    /// Index into [`Module::types`].
+    pub type_idx: u32,
+    /// Additional local variable types (beyond the parameters).
+    pub locals: Vec<ValType>,
+    /// The body, a flat instruction sequence terminated by [`Instr::End`].
+    pub body: Vec<Instr>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Type and mutability.
+    pub ty: GlobalType,
+    /// Constant initializer expression (a single const instruction).
+    pub init: Instr,
+}
+
+/// An element segment populating the function table (used by the EOSIO SDK's
+/// indirect-call dispatcher, §3.4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Elem {
+    /// Table index (always 0 in the MVP).
+    pub table: u32,
+    /// Constant byte offset expression.
+    pub offset: u32,
+    /// Function indices placed at `offset..`.
+    pub funcs: Vec<u32>,
+}
+
+/// A data segment initializing linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// Memory index (always 0 in the MVP).
+    pub memory: u32,
+    /// Constant byte offset.
+    pub offset: u32,
+    /// Raw bytes copied at instantiation.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete WebAssembly module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// The type section: deduplicated function signatures.
+    pub types: Vec<FuncType>,
+    /// The import section.
+    pub imports: Vec<Import>,
+    /// Locally defined functions (function + code sections).
+    pub funcs: Vec<Function>,
+    /// Table definitions (at most one in the MVP).
+    pub tables: Vec<Limits>,
+    /// Memory definitions (at most one in the MVP).
+    pub memories: Vec<Limits>,
+    /// Global definitions.
+    pub globals: Vec<Global>,
+    /// The export section.
+    pub exports: Vec<Export>,
+    /// Optional start function index.
+    pub start: Option<u32>,
+    /// Element segments.
+    pub elems: Vec<Elem>,
+    /// Data segments.
+    pub data: Vec<Data>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Number of imported functions (these occupy indices `0..n`).
+    pub fn num_imported_funcs(&self) -> u32 {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.desc, ImportDesc::Func(_)))
+            .count() as u32
+    }
+
+    /// Total number of functions in the index space.
+    pub fn num_funcs(&self) -> u32 {
+        self.num_imported_funcs() + self.funcs.len() as u32
+    }
+
+    /// The signature of the function with the given index.
+    ///
+    /// Returns `None` if the index or its type index is out of range.
+    pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
+        let n_imp = self.num_imported_funcs();
+        let type_idx = if func_idx < n_imp {
+            let mut seen = 0;
+            let mut found = None;
+            for imp in &self.imports {
+                if let ImportDesc::Func(t) = imp.desc {
+                    if seen == func_idx {
+                        found = Some(t);
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
+            found?
+        } else {
+            self.funcs.get((func_idx - n_imp) as usize)?.type_idx
+        };
+        self.types.get(type_idx as usize)
+    }
+
+    /// The import entry for an imported function index, if it is imported.
+    pub fn imported_func(&self, func_idx: u32) -> Option<&Import> {
+        let mut seen = 0;
+        for imp in &self.imports {
+            if matches!(imp.desc, ImportDesc::Func(_)) {
+                if seen == func_idx {
+                    return Some(imp);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    /// The locally defined function for an index, if it is not imported.
+    pub fn local_func(&self, func_idx: u32) -> Option<&Function> {
+        let n_imp = self.num_imported_funcs();
+        if func_idx < n_imp {
+            None
+        } else {
+            self.funcs.get((func_idx - n_imp) as usize)
+        }
+    }
+
+    /// Mutable access to a locally defined function by global index.
+    pub fn local_func_mut(&mut self, func_idx: u32) -> Option<&mut Function> {
+        let n_imp = self.num_imported_funcs();
+        if func_idx < n_imp {
+            None
+        } else {
+            self.funcs.get_mut((func_idx - n_imp) as usize)
+        }
+    }
+
+    /// Look up an exported function index by name (e.g. `"apply"`).
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        self.exports.iter().find_map(|e| match e.desc {
+            ExportDesc::Func(idx) if e.name == name => Some(idx),
+            _ => None,
+        })
+    }
+
+    /// Find (or append) the type index for a signature.
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(pos) = self.types.iter().position(|t| *t == ty) {
+            pos as u32
+        } else {
+            self.types.push(ty);
+            (self.types.len() - 1) as u32
+        }
+    }
+
+    /// Total number of instructions across all local function bodies.
+    pub fn code_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.body.len()).sum()
+    }
+
+    /// Iterate over `(function_index, function)` pairs for local functions.
+    pub fn iter_local_funcs(&self) -> impl Iterator<Item = (u32, &Function)> {
+        let n_imp = self.num_imported_funcs();
+        self.funcs.iter().enumerate().map(move |(i, f)| (n_imp + i as u32, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ValType::*;
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        let t0 = m.intern_type(FuncType::new(vec![I64], vec![]));
+        let t1 = m.intern_type(FuncType::new(vec![I64, I64, I64], vec![]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "require_auth".into(),
+            desc: ImportDesc::Func(t0),
+        });
+        m.funcs.push(Function {
+            type_idx: t1,
+            locals: vec![I32],
+            body: vec![Instr::End],
+        });
+        m.exports.push(Export { name: "apply".into(), desc: ExportDesc::Func(1) });
+        m
+    }
+
+    #[test]
+    fn function_index_space() {
+        let m = sample();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.num_funcs(), 2);
+        assert!(m.imported_func(0).is_some());
+        assert!(m.imported_func(1).is_none());
+        assert!(m.local_func(0).is_none());
+        assert!(m.local_func(1).is_some());
+        assert_eq!(m.func_type(0).unwrap().params, vec![I64]);
+        assert_eq!(m.func_type(1).unwrap().params.len(), 3);
+        assert_eq!(m.func_type(2), None);
+    }
+
+    #[test]
+    fn export_lookup() {
+        let m = sample();
+        assert_eq!(m.exported_func("apply"), Some(1));
+        assert_eq!(m.exported_func("missing"), None);
+    }
+
+    #[test]
+    fn type_interning_deduplicates() {
+        let mut m = Module::new();
+        let a = m.intern_type(FuncType::new(vec![I32], vec![I32]));
+        let b = m.intern_type(FuncType::new(vec![I32], vec![I32]));
+        let c = m.intern_type(FuncType::new(vec![I64], vec![]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.types.len(), 2);
+    }
+
+    #[test]
+    fn code_size_counts_instructions() {
+        let m = sample();
+        assert_eq!(m.code_size(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Core WebAssembly type definitions shared across the workspace.
+
+use std::fmt;
+
+/// A WebAssembly value type.
+///
+/// EOSVM components (stack, Local section, Global section) hold values of
+/// exactly these four types (§2.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// Byte used for this type in the binary format.
+    pub fn binary_code(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Parse a binary type code.
+    pub fn from_binary(code: u8) -> Option<ValType> {
+        match code {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// Width of the type in bits (32 or 64).
+    pub fn bit_width(self) -> u32 {
+        match self {
+            ValType::I32 | ValType::F32 => 32,
+            ValType::I64 | ValType::F64 => 64,
+        }
+    }
+
+    /// True for `i32`/`i64`.
+    pub fn is_int(self) -> bool {
+        matches!(self, ValType::I32 | ValType::I64)
+    }
+}
+
+impl fmt::Display for ValType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A function signature: parameter types and result types.
+///
+/// The Wasm MVP (which EOSIO targets) allows at most one result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter value types, in declaration order.
+    pub params: Vec<ValType>,
+    /// Result value types (zero or one in the MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Create a new signature.
+    pub fn new(params: Vec<ValType>, results: Vec<ValType>) -> Self {
+        FuncType { params, results }
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Size limits for tables and memories, counted in elements / 64 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// Limits with only a minimum.
+    pub fn at_least(min: u32) -> Self {
+        Limits { min, max: None }
+    }
+
+    /// Limits with both bounds.
+    pub fn bounded(min: u32, max: u32) -> Self {
+        Limits { min, max: Some(max) }
+    }
+}
+
+/// Mutability of a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutability {
+    /// Immutable (`const`).
+    Const,
+    /// Mutable (`var`).
+    Var,
+}
+
+/// The type of a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalType {
+    /// Value type stored in the global.
+    pub val_type: ValType,
+    /// Whether the global may be mutated.
+    pub mutability: Mutability,
+}
+
+impl GlobalType {
+    /// An immutable global of the given type.
+    pub fn immutable(val_type: ValType) -> Self {
+        GlobalType { val_type, mutability: Mutability::Const }
+    }
+
+    /// A mutable global of the given type.
+    pub fn mutable(val_type: ValType) -> Self {
+        GlobalType { val_type, mutability: Mutability::Var }
+    }
+}
+
+/// The type annotation of a structured control instruction (block/loop/if).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockType {
+    /// The block produces no values.
+    #[default]
+    Empty,
+    /// The block produces a single value of the given type.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// Number of result values the block produces.
+    pub fn arity(self) -> usize {
+        match self {
+            BlockType::Empty => 0,
+            BlockType::Value(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_binary_roundtrip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_binary(t.binary_code()), Some(t));
+        }
+        assert_eq!(ValType::from_binary(0x00), None);
+    }
+
+    #[test]
+    fn valtype_widths() {
+        assert_eq!(ValType::I32.bit_width(), 32);
+        assert_eq!(ValType::I64.bit_width(), 64);
+        assert_eq!(ValType::F32.bit_width(), 32);
+        assert_eq!(ValType::F64.bit_width(), 64);
+        assert!(ValType::I32.is_int());
+        assert!(!ValType::F64.is_int());
+    }
+
+    #[test]
+    fn functype_display() {
+        let ft = FuncType::new(vec![ValType::I64, ValType::I32], vec![ValType::I32]);
+        assert_eq!(ft.to_string(), "(i64 i32) -> (i32)");
+    }
+
+    #[test]
+    fn blocktype_arity() {
+        assert_eq!(BlockType::Empty.arity(), 0);
+        assert_eq!(BlockType::Value(ValType::I64).arity(), 1);
+    }
+
+    #[test]
+    fn limits_constructors() {
+        assert_eq!(Limits::at_least(1), Limits { min: 1, max: None });
+        assert_eq!(Limits::bounded(1, 4), Limits { min: 1, max: Some(4) });
+    }
+}

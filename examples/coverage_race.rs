@@ -1,0 +1,63 @@
+//! A single-contract coverage race: WASAI's concolic feedback vs
+//! EOSFuzzer's random seeds on a contract whose deep code hides behind
+//! exact-value verification (a miniature Figure 3).
+//!
+//! ```sh
+//! cargo run --release --example coverage_race
+//! ```
+
+use wasai::prelude::*;
+use wasai::wasai_baselines::EosFuzzer;
+use wasai::wasai_core::TargetInfo;
+use wasai::wasai_corpus::{inject_verification, GateKind, RewardKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Deep solver-gated structure: a 4-deep nonce gate plus an exact
+    // quantity check at the eosponser entry.
+    let base = generate(Blueprint {
+        seed: 99,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Solvable { depth: 4 },
+        eosponser_branches: 3,
+        ..Blueprint::default()
+    });
+    let (contract, key) = inject_verification(&base, 100, 2);
+    println!(
+        "target: {} instructions; verification demands exactly {} sub-units of EOS",
+        contract.module.code_size(),
+        key.amount
+    );
+
+    let cfg = FuzzConfig::default();
+    let wasai_report =
+        Wasai::new(contract.module.clone(), contract.abi.clone()).with_config(cfg).run()?;
+    let eosfuzzer_report =
+        EosFuzzer::new(TargetInfo::new(contract.module, contract.abi), cfg)?.run();
+
+    println!("\n{:<12} {:>10} {:>12} {:>12} {:>10}", "tool", "branches", "iterations", "SMT", "findings");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "WASAI",
+        wasai_report.branches,
+        wasai_report.iterations,
+        wasai_report.smt_queries,
+        wasai_report.findings.len()
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "EOSFuzzer",
+        eosfuzzer_report.branches,
+        eosfuzzer_report.iterations,
+        eosfuzzer_report.smt_queries,
+        eosfuzzer_report.findings.len()
+    );
+    println!(
+        "\ncoverage ratio: {:.2}x",
+        wasai_report.branches as f64 / eosfuzzer_report.branches.max(1) as f64
+    );
+    assert!(wasai_report.branches > eosfuzzer_report.branches);
+    assert!(wasai_report.has(VulnClass::BlockinfoDep), "only the solver gets this deep");
+    assert!(!eosfuzzer_report.has(VulnClass::BlockinfoDep));
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: audit one Wasm smart contract with WASAI.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a deliberately vulnerable EOSIO-style lottery contract, runs
+//! the concolic fuzzing campaign against it on the local chain, and prints
+//! the findings with their exploit payloads.
+
+use wasai::prelude::*;
+use wasai::wasai_corpus::{GateKind, RewardKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A lottery dApp with every §2.3 bug: no code guard (Fake EOS), no
+    // payee guard (Fake Notif), no permission checks (MissAuth), tapos
+    // randomness (BlockinfoDep) and an inline payout (Rollback).
+    let contract = generate(Blueprint {
+        seed: 2024,
+        code_guard: false,
+        payee_guard: false,
+        auth_check: false,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Solvable { depth: 2 },
+        eosponser_branches: 2,
+    });
+    println!(
+        "contract: {} instructions, {} actions declared, ground truth {:?}",
+        contract.module.code_size(),
+        contract.abi.actions.len(),
+        contract.label
+    );
+
+    // Run the campaign: instrument → deploy on the local chain with
+    // eosio.token and the adversary agents → fuzz with concolic feedback.
+    let report = Wasai::new(contract.module, contract.abi)
+        .with_config(FuzzConfig::default())
+        .run()?;
+
+    println!(
+        "\ncampaign: {} iterations, {} SMT queries, {} branches, {:.1} virtual seconds",
+        report.iterations,
+        report.smt_queries,
+        report.branches,
+        report.virtual_us as f64 / 1e6
+    );
+    println!("\nfindings:");
+    for class in &report.findings {
+        println!("  [VULNERABLE] {class}");
+    }
+    println!("\nexploit payloads:");
+    for e in &report.exploits {
+        println!("  {} — {}", e.class, e.payload);
+    }
+    assert_eq!(report.findings.len(), 5, "all five classes should be flagged");
+    Ok(())
+}

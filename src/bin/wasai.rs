@@ -1,0 +1,142 @@
+//! The `wasai` command-line tool.
+//!
+//! ```text
+//! wasai audit <contract.wasm> <contract.abi>      analyze a contract binary
+//! wasai gen   <out-dir> [count] [seed]            emit a labeled sample corpus
+//! wasai show  <contract.wasm>                     dump a WAT-like listing
+//! ```
+//!
+//! The ABI sidecar is one action per line, `name(type,…)` with types from
+//! {name, asset, string, u64, u32, u8, i64, f64}:
+//!
+//! ```text
+//! transfer(name,name,asset,string)
+//! reveal(name,u64)
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use wasai::prelude::*;
+use wasai::wasai_corpus::wild_corpus;
+use wasai::wasai_wasm::{decode, display, encode};
+
+fn parse_abi(text: &str) -> Result<Abi, String> {
+    let mut actions = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| format!("ABI line {}: {m}", lineno + 1);
+        let (name, rest) = line.split_once('(').ok_or_else(|| err("expected `name(…)`"))?;
+        let params_str = rest.strip_suffix(')').ok_or_else(|| err("missing `)`"))?;
+        let mut params = Vec::new();
+        for ty in params_str.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            params.push(match ty {
+                "name" => ParamType::Name,
+                "asset" => ParamType::Asset,
+                "string" => ParamType::String,
+                "u64" | "uint64" => ParamType::U64,
+                "u32" | "uint32" => ParamType::U32,
+                "u8" | "uint8" => ParamType::U8,
+                "i64" | "int64" => ParamType::I64,
+                "f64" | "float64" => ParamType::F64,
+                other => return Err(err(&format!("unknown type {other:?}"))),
+            });
+        }
+        let action: Name = name
+            .trim()
+            .parse()
+            .map_err(|e| err(&format!("bad action name: {e}")))?;
+        actions.push(ActionDecl::new(action, params));
+    }
+    Ok(Abi::new(actions))
+}
+
+fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
+    let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
+    let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
+    let abi = parse_abi(
+        &fs::read_to_string(abi_path).map_err(|e| format!("{abi_path}: {e}"))?,
+    )?;
+    eprintln!(
+        "auditing {wasm_path}: {} instructions, {} functions, {} declared actions",
+        module.code_size(),
+        module.funcs.len(),
+        abi.actions.len()
+    );
+    let report = Wasai::new(module, abi)
+        .with_config(FuzzConfig::default())
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "campaign: {} iterations, {} SMT queries, {} branches covered",
+        report.iterations, report.smt_queries, report.branches
+    );
+    if report.findings.is_empty() {
+        println!("no vulnerabilities detected");
+    } else {
+        for class in &report.findings {
+            println!("VULNERABLE: {class}");
+        }
+        for e in &report.exploits {
+            println!("  payload [{}]: {}", e.class, e.payload);
+        }
+    }
+    Ok(())
+}
+
+fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
+    fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    let corpus = wild_corpus(seed, count, wasai::wasai_corpus::WildRates::default());
+    for (i, w) in corpus.iter().enumerate() {
+        let base = format!("{out_dir}/contract_{i:04}");
+        fs::write(format!("{base}.wasm"), encode::encode(&w.deployed.module))
+            .map_err(|e| e.to_string())?;
+        let abi_text: String = w
+            .deployed
+            .abi
+            .actions
+            .iter()
+            .map(|a| {
+                let tys: Vec<String> = a.params.iter().map(|t| t.to_string()).collect();
+                format!("{}({})\n", a.name, tys.join(","))
+            })
+            .collect();
+        fs::write(format!("{base}.abi"), abi_text).map_err(|e| e.to_string())?;
+        let label: Vec<String> = w.deployed.label.iter().map(|c| c.to_string()).collect();
+        fs::write(format!("{base}.label"), label.join(",") + "\n").map_err(|e| e.to_string())?;
+    }
+    println!("wrote {count} contracts (+.abi/.label sidecars) to {out_dir}");
+    Ok(())
+}
+
+fn show(wasm_path: &str) -> Result<(), String> {
+    let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
+    let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
+    println!("{}", display::module_to_string(&module));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi>\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
+    let result = match args.get(1).map(String::as_str) {
+        Some("audit") if args.len() == 4 => audit(&args[2], &args[3]),
+        Some("gen") if args.len() >= 3 => {
+            let count = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+            gen(&args[2], count, seed)
+        }
+        Some("show") if args.len() == 3 => show(&args[2]),
+        _ => Err(usage.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

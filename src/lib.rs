@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # wasai — the façade crate of the WASAI reproduction
+//!
+//! Re-exports the whole workspace under one roof and hosts the runnable
+//! examples and cross-crate integration tests. Start with
+//! [`wasai_core::Wasai`] to analyze a contract, and with
+//! [`wasai_corpus::generate`] to build labeled test subjects.
+//!
+//! ```
+//! use wasai::prelude::*;
+//!
+//! let contract = generate(Blueprint { code_guard: false, ..Blueprint::default() });
+//! let report = Wasai::new(contract.module, contract.abi)
+//!     .with_config(FuzzConfig::quick())
+//!     .run()?;
+//! assert!(report.has(VulnClass::FakeEos));
+//! # Ok::<(), wasai::wasai_chain::ChainError>(())
+//! ```
+
+pub use wasai_baselines;
+pub use wasai_chain;
+pub use wasai_core;
+pub use wasai_corpus;
+pub use wasai_smt;
+pub use wasai_symex;
+pub use wasai_vm;
+pub use wasai_wasm;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use wasai_chain::abi::{Abi, ActionDecl, ParamType, ParamValue};
+    pub use wasai_chain::asset::Asset;
+    pub use wasai_chain::name::Name;
+    pub use wasai_chain::Chain;
+    pub use wasai_core::{FuzzConfig, FuzzReport, VulnClass, Wasai};
+    pub use wasai_corpus::{generate, Blueprint, GateKind, LabeledContract, RewardKind};
+}

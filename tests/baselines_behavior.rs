@@ -1,0 +1,102 @@
+//! The baselines must exhibit the behaviours the WASAI evaluation measures:
+//! EOSFuzzer cannot pass solver-grade gates; EOSAFE's Rollback oracle
+//! false-positives on dead code; both lose where WASAI wins.
+
+use wasai::prelude::*;
+use wasai::wasai_baselines::{eosafe_analyze, EosFuzzer, EosafeConfig};
+use wasai::wasai_core::TargetInfo;
+use wasai::wasai_corpus::{GateKind, RewardKind};
+
+#[test]
+fn eosfuzzer_detects_plain_fake_eos() {
+    let c = generate(Blueprint { seed: 21, code_guard: false, ..Blueprint::default() });
+    let report = EosFuzzer::new(TargetInfo::new(c.module, c.abi), FuzzConfig::quick())
+        .unwrap()
+        .run();
+    assert!(report.has(VulnClass::FakeEos));
+    assert_eq!(report.smt_queries, 0, "EOSFuzzer never solves constraints");
+}
+
+#[test]
+fn eosfuzzer_misses_gated_blockinfo_that_wasai_finds() {
+    let bp = Blueprint {
+        seed: 3,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Solvable { depth: 2 },
+        eosponser_branches: 1,
+        ..Blueprint::default()
+    };
+    let c = generate(bp);
+    let ef = EosFuzzer::new(TargetInfo::new(c.module.clone(), c.abi.clone()), FuzzConfig::quick())
+        .unwrap()
+        .run();
+    assert!(
+        !ef.has(VulnClass::BlockinfoDep),
+        "random fuzzing cannot guess a 64-bit gate constant"
+    );
+    let wa = Wasai::new(c.module, c.abi).with_config(FuzzConfig::quick()).run().unwrap();
+    assert!(wa.has(VulnClass::BlockinfoDep), "the concolic loop must pass the gate");
+}
+
+#[test]
+fn eosafe_detects_missing_code_guard_statically() {
+    let vuln = generate(Blueprint { seed: 31, code_guard: false, ..Blueprint::default() });
+    let safe = generate(Blueprint { seed: 31, code_guard: true, ..Blueprint::default() });
+    let rv = eosafe_analyze(&vuln.module, &vuln.abi, EosafeConfig::default());
+    let rs = eosafe_analyze(&safe.module, &safe.abi, EosafeConfig::default());
+    assert!(rv.has(VulnClass::FakeEos));
+    assert!(!rs.has(VulnClass::FakeEos));
+    assert!(rv.located_dispatcher && rs.located_dispatcher);
+}
+
+#[test]
+fn eosafe_rollback_oracle_false_positives_on_dead_code() {
+    // The §4.2 flaw: send_inline on an unsatisfiable branch still flags.
+    let dead = generate(Blueprint {
+        seed: 32,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Unsatisfiable { depth: 2 },
+        ..Blueprint::default()
+    });
+    let r = eosafe_analyze(&dead.module, &dead.abi, EosafeConfig::default());
+    assert!(
+        r.has(VulnClass::Rollback),
+        "EOSAFE analyzes all branches even if constraints are impossible"
+    );
+    // WASAI, being dynamic, does not fall for it (see detection.rs).
+}
+
+#[test]
+fn eosafe_detects_payee_guard_presence() {
+    let guarded = generate(Blueprint { seed: 33, payee_guard: true, ..Blueprint::default() });
+    let open = generate(Blueprint { seed: 33, payee_guard: false, ..Blueprint::default() });
+    let rg = eosafe_analyze(&guarded.module, &guarded.abi, EosafeConfig::default());
+    let ro = eosafe_analyze(&open.module, &open.abi, EosafeConfig::default());
+    assert!(!rg.has(VulnClass::FakeNotif), "guard compare found on explored paths");
+    assert!(ro.has(VulnClass::FakeNotif));
+}
+
+#[test]
+fn eosafe_missauth_requires_feasible_path() {
+    let vuln = generate(Blueprint { seed: 34, auth_check: false, ..Blueprint::default() });
+    let safe = generate(Blueprint { seed: 34, auth_check: true, ..Blueprint::default() });
+    let rv = eosafe_analyze(&vuln.module, &vuln.abi, EosafeConfig::default());
+    let rs = eosafe_analyze(&safe.module, &safe.abi, EosafeConfig::default());
+    assert!(rv.has(VulnClass::MissAuth));
+    assert!(!rs.has(VulnClass::MissAuth));
+}
+
+#[test]
+fn eosafe_never_flags_blockinfo() {
+    let c = generate(Blueprint {
+        seed: 35,
+        blockinfo: true,
+        gate: GateKind::Open,
+        reward: RewardKind::None,
+        ..Blueprint::default()
+    });
+    let r = eosafe_analyze(&c.module, &c.abi, EosafeConfig::default());
+    assert!(!r.has(VulnClass::BlockinfoDep), "EOSAFE has no BlockinfoDep oracle");
+}

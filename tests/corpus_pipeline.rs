@@ -1,0 +1,112 @@
+//! The corpus pipeline end to end: every generated/injected/obfuscated
+//! sample must validate, survive the binary round trip, instrument cleanly
+//! and behave per its ground-truth label when audited.
+
+use wasai::prelude::*;
+use wasai::wasai_corpus::{
+    inject_verification, make_vulnerable, obfuscate, table4_benchmark, wild_corpus, WildRates,
+};
+use wasai::wasai_wasm::{decode, encode, instrument, validate};
+
+#[test]
+fn benchmark_samples_roundtrip_and_instrument() {
+    for s in table4_benchmark(77, 0.004) {
+        validate::validate(&s.contract.module).unwrap();
+        let bytes = encode::encode(&s.contract.module);
+        assert_eq!(decode::decode(&bytes).unwrap(), s.contract.module);
+        let inst = instrument::instrument(&s.contract.module).unwrap();
+        validate::validate(&inst.module).unwrap();
+    }
+}
+
+#[test]
+fn obfuscated_and_verified_variants_stay_valid() {
+    let base = generate(Blueprint { seed: 500, ..Blueprint::default() });
+    let v = make_vulnerable(&base, VulnClass::FakeNotif);
+    let o = obfuscate(&v, 1);
+    let (w, _) = inject_verification(&o, 2, 2);
+    validate::validate(&w.module).unwrap();
+    let inst = instrument::instrument(&w.module).unwrap();
+    validate::validate(&inst.module).unwrap();
+    // Triple-transformed contract still audits correctly.
+    let report = Wasai::new(w.module, w.abi).with_config(FuzzConfig::quick()).run().unwrap();
+    assert!(report.has(VulnClass::FakeNotif), "report: {report:?}");
+}
+
+#[test]
+fn wild_patched_contracts_audit_clean() {
+    let corpus = wild_corpus(9, 30, WildRates::default());
+    for w in corpus.iter().filter(|w| w.latest.is_some()).take(2) {
+        let latest = w.latest.as_ref().unwrap();
+        let report = Wasai::new(latest.module.clone(), latest.abi.clone())
+            .with_config(FuzzConfig::quick())
+            .run()
+            .unwrap();
+        assert!(report.findings.is_empty(), "patched version flagged: {report:?}");
+    }
+}
+
+#[test]
+fn wild_deployed_vulnerable_contracts_are_flagged() {
+    let corpus = wild_corpus(11, 20, WildRates::default());
+    let vulnerable = corpus
+        .iter()
+        .find(|w| w.deployed.label.contains(&VulnClass::FakeEos))
+        .expect("some wild contract lacks the code guard");
+    let report = Wasai::new(
+        vulnerable.deployed.module.clone(),
+        vulnerable.deployed.abi.clone(),
+    )
+    .with_config(FuzzConfig::quick())
+    .run()
+    .unwrap();
+    assert!(report.has(VulnClass::FakeEos));
+}
+
+#[test]
+fn traces_reference_only_real_original_sites() {
+    // Invariant behind the whole replay design: every Site record emitted by
+    // an instrumented execution must resolve to a real instruction of the
+    // ORIGINAL module (func exists, pc within the body).
+    use wasai::wasai_chain::{Chain, NativeKind};
+    use wasai::wasai_vm::TraceKind;
+
+    let c = generate(Blueprint { seed: 900, code_guard: false, ..Blueprint::default() });
+    let instrumented = instrument::instrument(&c.module).unwrap().module;
+    let mut chain = Chain::new();
+    chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
+    chain.create_account(Name::new("alice")).unwrap();
+    chain.deploy_wasm(Name::new("victim"), instrumented, c.abi.clone()).unwrap();
+    chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100));
+    let receipt = chain
+        .push_action(
+            Name::new("eosio.token"),
+            Name::new("transfer"),
+            &[Name::new("alice")],
+            &[
+                ParamValue::Name(Name::new("alice")),
+                ParamValue::Name(Name::new("victim")),
+                ParamValue::Asset(Asset::eos(10)),
+                ParamValue::String("inv".into()),
+            ],
+        )
+        .unwrap();
+    assert!(!receipt.trace.is_empty());
+    for rec in &receipt.trace {
+        match rec.kind {
+            TraceKind::Site { func, pc } => {
+                let f = c.module.local_func(func).expect("site func exists in original");
+                assert!(
+                    (pc as usize) < f.body.len(),
+                    "site pc {pc} out of range for func {func}"
+                );
+            }
+            TraceKind::FuncBegin { func } | TraceKind::FuncEnd { func } => {
+                assert!(c.module.local_func(func).is_some());
+            }
+            TraceKind::CallPre { callee } | TraceKind::CallPost { callee } => {
+                assert!(callee == -1 || (callee as u32) < c.module.num_funcs());
+            }
+        }
+    }
+}

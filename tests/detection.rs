@@ -1,0 +1,168 @@
+//! End-to-end detection tests: WASAI vs generated ground-truth contracts.
+
+use wasai::wasai_core::{FuzzConfig, VulnClass, Wasai};
+use wasai::wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
+
+fn run(bp: Blueprint) -> wasai::wasai_core::FuzzReport {
+    let c = generate(bp);
+    Wasai::new(c.module, c.abi)
+        .with_config(FuzzConfig::quick())
+        .run()
+        .expect("fuzzing runs")
+}
+
+#[test]
+fn fully_vulnerable_contract_flags_all_five() {
+    let bp = Blueprint {
+        seed: 1,
+        code_guard: false,
+        payee_guard: false,
+        auth_check: false,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Open,
+        eosponser_branches: 2,
+    };
+    let report = run(bp);
+    for class in VulnClass::ALL {
+        assert!(report.has(class), "missing {class}; report: {report:?}");
+    }
+    assert!(!report.exploits.is_empty());
+}
+
+#[test]
+fn fully_guarded_contract_flags_nothing() {
+    let bp = Blueprint {
+        seed: 2,
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: false,
+        reward: RewardKind::Deferred,
+        gate: GateKind::Open,
+        eosponser_branches: 2,
+    };
+    let report = run(bp);
+    assert!(
+        report.findings.is_empty(),
+        "guarded contract must be clean, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn solver_reaches_template_behind_64bit_gate() {
+    // The concolic advantage (RQ2/RQ3): the blockinfo+rollback template sits
+    // behind nested 64-bit equality checks no random fuzzer can guess.
+    let bp = Blueprint {
+        seed: 3,
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Solvable { depth: 2 },
+        eosponser_branches: 1,
+    };
+    let report = run(bp);
+    assert!(report.has(VulnClass::BlockinfoDep), "report: {report:?}");
+    assert!(report.has(VulnClass::Rollback), "report: {report:?}");
+    assert!(report.smt_queries > 0, "the solver must have been engaged");
+}
+
+#[test]
+fn unsatisfiable_gate_is_not_a_false_positive() {
+    let bp = Blueprint {
+        seed: 4,
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Unsatisfiable { depth: 2 },
+        eosponser_branches: 1,
+    };
+    let report = run(bp);
+    assert!(!report.has(VulnClass::BlockinfoDep), "dead template must stay dead: {report:?}");
+    assert!(!report.has(VulnClass::Rollback));
+}
+
+#[test]
+fn guard_removal_changes_exactly_the_targeted_class() {
+    let safe = Blueprint { seed: 5, ..Blueprint::default() };
+    let vulnerable = Blueprint { code_guard: false, ..safe };
+    let r_safe = run(safe);
+    let r_vuln = run(vulnerable);
+    assert!(!r_safe.has(VulnClass::FakeEos));
+    assert!(r_vuln.has(VulnClass::FakeEos), "report: {r_vuln:?}");
+    assert_eq!(r_safe.has(VulnClass::MissAuth), r_vuln.has(VulnClass::MissAuth));
+}
+
+#[test]
+fn coverage_series_is_monotone() {
+    let report = run(Blueprint { seed: 6, eosponser_branches: 4, ..Blueprint::default() });
+    let mut prev = 0;
+    for &(_, b) in &report.coverage_series {
+        assert!(b >= prev, "coverage must be cumulative");
+        prev = b;
+    }
+    assert!(report.branches > 0);
+}
+
+#[test]
+fn custom_oracles_extend_the_scanner() {
+    use wasai::wasai_chain::name::Name;
+    use wasai::wasai_core::ApiUsageOracle;
+
+    // §5: extend the detectors — flag deferred sends as a custom policy.
+    let bp = Blueprint {
+        seed: 8,
+        reward: wasai::wasai_corpus::RewardKind::Deferred,
+        gate: GateKind::Open,
+        ..Blueprint::default()
+    };
+    let c = generate(bp);
+    let report = Wasai::new(c.module, c.abi)
+        .with_config(FuzzConfig::quick())
+        .with_oracle(Box::new(ApiUsageOracle::new(
+            "send_deferred",
+            Name::new("fuzz.target"),
+        )))
+        .run()
+        .unwrap();
+    assert!(
+        report.custom_findings.iter().any(|(n, _)| n == "send_deferred"),
+        "custom oracle must fire: {:?}",
+        report.custom_findings
+    );
+    // The built-in detectors are unaffected: deferred payouts are safe.
+    assert!(!report.has(VulnClass::Rollback));
+}
+
+#[test]
+fn memo_length_gates_are_solved_unlike_the_papers_fp_case() {
+    // §4.4's manual analysis: WASAI false-positived on paytobtckey1 because
+    // "WASAI cannot set the transaction parameter 'memo' as a 26 bytes
+    // string, thus it fails to touch guard code in the deeper program
+    // states". Our reproduction models the memo length as a symbolic
+    // variable (Table 2's length byte), so the solver sets it directly and
+    // the guarded contract is correctly reported clean.
+    use wasai::wasai_corpus::inject_verification;
+    let c = generate(Blueprint { seed: 60, ..Blueprint::default() });
+    let (v, key) = inject_verification(&c, 61, 3);
+    assert!(key.memo_len.is_some(), "the third check gates on memo length");
+    let report = Wasai::new(v.module, v.abi)
+        .with_config(wasai::wasai_core::FuzzConfig {
+            timeout_us: 300_000_000,
+            stall_iters: 40,
+            rng_seed: 5,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+    assert!(
+        !report.has(VulnClass::FakeNotif),
+        "guard behind the memo gate must be discovered: {report:?}"
+    );
+    assert!(report.smt_queries > 0);
+}

@@ -1,0 +1,66 @@
+//! Every campaign in this workspace is deterministic: same contract + same
+//! seed → byte-identical report. This is what makes EXPERIMENTS.md exactly
+//! reproducible.
+
+use wasai::prelude::*;
+use wasai::wasai_baselines::{eosafe_analyze, EosFuzzer, EosafeConfig};
+use wasai::wasai_core::TargetInfo;
+use wasai::wasai_corpus::{GateKind, RewardKind};
+
+fn contract() -> LabeledContract {
+    generate(Blueprint {
+        seed: 55,
+        code_guard: false,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Solvable { depth: 2 },
+        ..Blueprint::default()
+    })
+}
+
+#[test]
+fn wasai_campaigns_are_reproducible() {
+    let c = contract();
+    let run = || {
+        Wasai::new(c.module.clone(), c.abi.clone())
+            .with_config(FuzzConfig::quick())
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must give identical reports");
+}
+
+#[test]
+fn wasai_seed_changes_the_trajectory_but_not_the_verdict() {
+    let c = contract();
+    let run = |seed| {
+        Wasai::new(c.module.clone(), c.abi.clone())
+            .with_config(FuzzConfig { rng_seed: seed, ..FuzzConfig::quick() })
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a.findings, b.findings, "verdicts must be stable across seeds");
+}
+
+#[test]
+fn eosfuzzer_campaigns_are_reproducible() {
+    let c = contract();
+    let run = || {
+        EosFuzzer::new(TargetInfo::new(c.module.clone(), c.abi.clone()), FuzzConfig::quick())
+            .unwrap()
+            .run()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn eosafe_is_a_pure_function_of_the_module() {
+    let c = contract();
+    let a = eosafe_analyze(&c.module, &c.abi, EosafeConfig::default());
+    let b = eosafe_analyze(&c.module, &c.abi, EosafeConfig::default());
+    assert_eq!(a, b);
+}
