@@ -28,7 +28,12 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { max_paths: 64, max_steps: 8_000, max_call_depth: 4, unroll: 2 }
+        ExecConfig {
+            max_paths: 64,
+            max_steps: 8_000,
+            max_call_depth: 4,
+            unroll: 2,
+        }
     }
 }
 
@@ -279,7 +284,12 @@ impl<'m> Explorer<'m> {
                     }
                 }
                 Instr::CallIndirect(type_idx) => {
-                    let ft = self.module.types.get(type_idx as usize).cloned().unwrap_or_default();
+                    let ft = self
+                        .module
+                        .types
+                        .get(type_idx as usize)
+                        .cloned()
+                        .unwrap_or_default();
                     state.stack.pop(); // table index
                     let n = ft.params.len().min(state.stack.len());
                     let _ = state.stack.split_off(state.stack.len() - n);
@@ -372,7 +382,9 @@ impl<'m> Explorer<'m> {
     /// Abstractly inline a local call: record its API usage without forking
     /// (a linear scan of the callee body, the common EOSAFE summarization).
     fn inline_call(&mut self, state: &mut PathState, callee: u32, args: Vec<TermId>, depth: u32) {
-        let Some(f) = self.module.local_func(callee) else { return };
+        let Some(f) = self.module.local_func(callee) else {
+            return;
+        };
         if depth > self.cfg.max_call_depth {
             return;
         }
@@ -486,7 +498,9 @@ impl<'m> Explorer<'m> {
                 } else {
                     v
                 };
-                state.mem.store(&mut self.pool, a + offset, acc.bytes, stored);
+                state
+                    .mem
+                    .store(&mut self.pool, a + offset, acc.bytes, stored);
             }
         } else {
             let addr = state.stack.pop();
@@ -656,7 +670,12 @@ pub fn explore(module: &Module, func: u32, cfg: ExecConfig) -> ExploreResult {
         }
     }
     let import_names: Vec<String> = (0..module.num_imported_funcs())
-        .map(|i| module.imported_func(i).map(|imp| imp.name.clone()).unwrap_or_default())
+        .map(|i| {
+            module
+                .imported_func(i)
+                .map(|imp| imp.name.clone())
+                .unwrap_or_default()
+        })
         .collect();
     let mut ex = Explorer {
         module,
@@ -676,7 +695,11 @@ pub fn explore(module: &Module, func: u32, cfg: ExecConfig) -> ExploreResult {
         steps: 0,
     };
     ex.walk(func, state, 0, 0);
-    ExploreResult { paths: ex.paths, timeout: ex.timeout, pool: ex.pool }
+    ExploreResult {
+        paths: ex.paths,
+        timeout: ex.timeout,
+        pool: ex.pool,
+    }
 }
 
 /// The import check used by the dispatcher heuristic.

@@ -29,7 +29,12 @@ pub use exec::{explore, ExecConfig, ExploreResult, PathSummary};
 pub use memory::RangeMemory;
 
 /// Host APIs EOSAFE treats as side effects for MissAuth.
-const EFFECT_APIS: &[&str] = &["db_store_i64", "db_update_i64", "db_remove_i64", "send_inline"];
+const EFFECT_APIS: &[&str] = &[
+    "db_store_i64",
+    "db_update_i64",
+    "db_remove_i64",
+    "send_inline",
+];
 
 /// EOSAFE configuration.
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +47,12 @@ pub struct EosafeConfig {
 
 impl Default for EosafeConfig {
     fn default() -> Self {
-        EosafeConfig { exec: ExecConfig::default(), smt_budget: Budget { max_conflicts: 5_000 } }
+        EosafeConfig {
+            exec: ExecConfig::default(),
+            smt_budget: Budget {
+                max_conflicts: 5_000,
+            },
+        }
     }
 }
 
@@ -67,8 +77,12 @@ impl EosafeReport {
 /// The dispatcher pattern heuristic: scan `apply` for literal name
 /// comparisons (the EOSIO SDK idiom EOSAFE matches on).
 fn dispatcher_heuristic(module: &Module) -> (bool, bool) {
-    let Some(apply_idx) = module.exported_func("apply") else { return (false, false) };
-    let Some(apply) = module.local_func(apply_idx) else { return (false, false) };
+    let Some(apply_idx) = module.exported_func("apply") else {
+        return (false, false);
+    };
+    let Some(apply) = module.local_func(apply_idx) else {
+        return (false, false);
+    };
     let transfer = wasai_chain::name::Name::new("transfer").as_i64();
     let token = wasai_chain::name::Name::new("eosio.token").as_i64();
     let mut has_transfer_dispatch = false;
@@ -91,7 +105,11 @@ fn dispatcher_heuristic(module: &Module) -> (bool, bool) {
 
 /// Action functions reachable through the indirect-call table.
 fn table_functions(module: &Module) -> Vec<u32> {
-    module.elems.iter().flat_map(|e| e.funcs.iter().copied()).collect()
+    module
+        .elems
+        .iter()
+        .flat_map(|e| e.funcs.iter().copied())
+        .collect()
 }
 
 /// Locate the eosponser by signature: the table function whose type matches
@@ -117,9 +135,7 @@ fn has_param_guard(result: &ExploreResult) -> bool {
                 _ => None,
             };
             match (var_of(a), var_of(b), p0) {
-                (Some(x), Some(y), Some(self_var)) => {
-                    (x == self_var || y == self_var) && x != y
-                }
+                (Some(x), Some(y), Some(self_var)) => (x == self_var || y == self_var) && x != y,
                 _ => false,
             }
         })

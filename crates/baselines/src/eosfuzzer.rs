@@ -20,6 +20,7 @@
 //! paper attributes to the tools.
 
 use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,8 +28,8 @@ use rand::SeedableRng;
 use wasai_chain::action::ApiEvent;
 use wasai_chain::name::Name;
 use wasai_chain::{Chain, Receipt, Transaction};
-use wasai_core::coverage::{branches_in_trace, BranchKey};
-use wasai_core::harness::{self, accounts, TargetInfo};
+use wasai_core::coverage::BranchKey;
+use wasai_core::harness::{self, accounts, PreparedTarget, TargetInfo};
 use wasai_core::report::{ExploitRecord, FuzzReport, VulnClass};
 use wasai_core::seed::random_seed;
 use wasai_core::{CostModel, FuzzConfig, VirtualClock};
@@ -38,7 +39,7 @@ use wasai_vm::TraceKind;
 #[derive(Debug)]
 pub struct EosFuzzer {
     cfg: FuzzConfig,
-    target: TargetInfo,
+    prepared: Arc<PreparedTarget>,
     chain: Chain,
     rng: StdRng,
     clock: VirtualClock,
@@ -61,11 +62,24 @@ impl EosFuzzer {
     ///
     /// Fails when the target cannot be deployed.
     pub fn new(target: TargetInfo, cfg: FuzzConfig) -> Result<Self, wasai_chain::ChainError> {
-        let chain = harness::setup_chain(&target, true)?;
+        Self::from_prepared(PreparedTarget::prepare(target)?, cfg)
+    }
+
+    /// [`EosFuzzer::new`] against a cached [`PreparedTarget`], sharing the
+    /// instrumented + compiled module with other campaigns.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the harness chain cannot be initialized.
+    pub fn from_prepared(
+        prepared: Arc<PreparedTarget>,
+        cfg: FuzzConfig,
+    ) -> Result<Self, wasai_chain::ChainError> {
+        let chain = harness::setup_chain_prepared(&prepared)?;
         Ok(EosFuzzer {
             rng: StdRng::seed_from_u64(cfg.rng_seed ^ 0xe05f),
             cfg,
-            target,
+            prepared,
             chain,
             clock: VirtualClock::new(),
             explored: HashSet::new(),
@@ -81,8 +95,7 @@ impl EosFuzzer {
 
     /// Run the campaign.
     pub fn run(mut self) -> FuzzReport {
-        while !self.clock.timed_out(self.cfg.timeout_us) && self.stall < self.cfg.stall_iters * 4
-        {
+        while !self.clock.timed_out(self.cfg.timeout_us) && self.stall < self.cfg.stall_iters * 4 {
             self.iterate();
             self.iterations += 1;
         }
@@ -126,7 +139,9 @@ impl EosFuzzer {
     }
 
     fn iterate(&mut self) {
-        let actions = self.target.abi.actions.clone();
+        // One Arc bump instead of cloning the declarations every iteration.
+        let prepared = self.prepared.clone();
+        let actions = &prepared.info.abi.actions;
         if actions.is_empty() {
             self.stall = u64::MAX;
             return;
@@ -145,10 +160,7 @@ impl EosFuzzer {
                     self.execute(harness::official_transfer(&p), Delivery::Official);
                 }
                 1 => {
-                    self.execute(
-                        harness::direct_fake_transfer(&seed.params),
-                        Delivery::Fake,
-                    );
+                    self.execute(harness::direct_fake_transfer(&seed.params), Delivery::Fake);
                 }
                 2 => {
                     let p = harness::forced_transfer_params(
@@ -168,7 +180,10 @@ impl EosFuzzer {
                 }
             }
         } else {
-            self.execute(harness::direct_action(decl.name, &seed.params), Delivery::Plain);
+            self.execute(
+                harness::direct_action(decl.name, &seed.params),
+                Delivery::Plain,
+            );
         }
     }
 
@@ -202,11 +217,13 @@ impl EosFuzzer {
             Delivery::Forwarded => {
                 // Side effect on a forwarded notification = forged-notification
                 // acceptance.
-                if ok && receipt.api_events.iter().any(|e| match e {
-                    ApiEvent::Db(op) => op.contract == target,
-                    ApiEvent::SendInline { contract, .. } => *contract == target,
-                    _ => false,
-                }) {
+                if ok
+                    && receipt.api_events.iter().any(|e| match e {
+                        ApiEvent::Db(op) => op.contract == target,
+                        ApiEvent::SendInline { contract, .. } => *contract == target,
+                        _ => false,
+                    })
+                {
                     self.forwarded_effect = true;
                 }
             }
@@ -220,16 +237,18 @@ impl EosFuzzer {
             self.blockinfo_seen = true;
         }
 
-        // Coverage (same metric as WASAI).
+        // Coverage (same metric as WASAI, via the shared branch-site table).
         let before = self.explored.len();
-        self.explored
-            .extend(branches_in_trace(&self.target.original, &receipt.trace));
+        self.prepared
+            .branch_sites
+            .extend_from_trace(&mut self.explored, &receipt.trace);
         if self.explored.len() > before {
             self.stall = 0;
         } else {
             self.stall += 1;
         }
-        self.coverage_series.push((self.clock.micros(), self.explored.len()));
+        self.coverage_series
+            .push((self.clock.micros(), self.explored.len()));
     }
 }
 

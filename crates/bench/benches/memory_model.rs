@@ -13,7 +13,9 @@ use wasai_symex::SymMemory;
 fn workload(n: usize) -> Vec<(bool, u64, u32)> {
     let mut lcg = 0x853c49e6748fea9bu64;
     let mut rnd = move || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         lcg >> 33
     };
     (0..n)

@@ -15,7 +15,11 @@ fn chain_with(module: wasai_wasm::Module, abi: wasai_chain::abi::Abi) -> Chain {
     chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
     chain.create_account(Name::new("alice")).unwrap();
     chain.deploy_wasm(Name::new("victim"), module, abi).unwrap();
-    chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(1_000_000_000));
+    chain.issue(
+        Name::new("eosio.token"),
+        Name::new("alice"),
+        Asset::eos(1_000_000_000),
+    );
     chain
 }
 
@@ -29,8 +33,14 @@ fn transfer_params() -> Vec<ParamValue> {
 }
 
 fn bench_vm(c: &mut Criterion) {
-    let contract = generate(Blueprint { seed: 77, eosponser_branches: 3, ..Blueprint::default() });
-    let instrumented = wasai_wasm::instrument::instrument(&contract.module).unwrap().module;
+    let contract = generate(Blueprint {
+        seed: 77,
+        eosponser_branches: 3,
+        ..Blueprint::default()
+    });
+    let instrumented = wasai_wasm::instrument::instrument(&contract.module)
+        .unwrap()
+        .module;
 
     let mut plain = chain_with(contract.module.clone(), contract.abi.clone());
     c.bench_function("vm/transfer_plain", |b| {

@@ -13,19 +13,18 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wasai_core::{VulnClass, Wasai};
+use wasai_core::{PreparedTarget, TargetInfo, VulnClass, Wasai};
 use wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
 
 fn main() {
     let n = wasai_bench::env_count("WASAI_ABLATION_CONTRACTS", 20);
     let seed = wasai_bench::env_seed();
+    let jobs = wasai_core::jobs_from_env();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xab1a);
-    eprintln!("ablation: {n} gated contracts, feedback on vs off, seed {seed}");
+    eprintln!("ablation: {n} gated contracts, feedback on vs off, seed {seed}, {jobs} worker(s)");
 
-    let mut on_branches = 0usize;
-    let mut off_branches = 0usize;
-    let mut on_hits = 0usize;
-    let mut off_hits = 0usize;
+    // Serial generation (shared RNG stream), parallel campaigns.
+    let mut cases = Vec::with_capacity(n);
     for i in 0..n {
         // Every contract hides its template behind a solvable gate — the
         // workload where feedback matters.
@@ -33,22 +32,42 @@ fn main() {
             seed: rng.gen(),
             blockinfo: true,
             reward: RewardKind::Inline,
-            gate: GateKind::Solvable { depth: rng.gen_range(1..4) },
+            gate: GateKind::Solvable {
+                depth: rng.gen_range(1..4),
+            },
             eosponser_branches: rng.gen_range(1..4),
             ..Blueprint::default()
         };
-        let c = generate(bp);
-        let base_cfg = wasai_bench::bench_fuzz_config(seed ^ (i as u64));
-        let run = |feedback: bool| {
-            let mut cfg = base_cfg;
-            cfg.feedback = feedback;
-            Wasai::new(c.module.clone(), c.abi.clone())
-                .with_config(cfg)
-                .run()
-                .expect("wasai runs")
-        };
-        let on = run(true);
-        let off = run(false);
+        cases.push((
+            generate(bp),
+            wasai_bench::bench_fuzz_config(seed ^ (i as u64)),
+        ));
+    }
+
+    let (reports, stats) = wasai_core::run_jobs_timed(
+        jobs,
+        cases,
+        |_, (c, base_cfg)| {
+            let prepared = PreparedTarget::prepare(TargetInfo::new(c.module, c.abi))
+                .expect("ablation contract prepares");
+            let run = |feedback: bool| {
+                let mut cfg = base_cfg;
+                cfg.feedback = feedback;
+                Wasai::from_prepared(prepared.clone())
+                    .with_config(cfg)
+                    .run()
+                    .expect("wasai runs")
+            };
+            (run(true), run(false))
+        },
+        |(on, off)| on.virtual_us + off.virtual_us,
+    );
+
+    let mut on_branches = 0usize;
+    let mut off_branches = 0usize;
+    let mut on_hits = 0usize;
+    let mut off_hits = 0usize;
+    for (i, (on, off)) in reports.iter().enumerate() {
         on_branches += on.branches;
         off_branches += off.branches;
         on_hits += on.has(VulnClass::BlockinfoDep) as usize;
@@ -65,7 +84,10 @@ fn main() {
 
     println!("\n=== Ablation: the concolic feedback loop (§3.4) ===");
     println!("{:<22} {:>14} {:>14}", "", "feedback ON", "feedback OFF");
-    println!("{:<22} {:>14} {:>14}", "total branches", on_branches, off_branches);
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "total branches", on_branches, off_branches
+    );
     println!(
         "{:<22} {:>13}/{n} {:>13}/{n}",
         "gated templates found", on_hits, off_hits
@@ -76,4 +98,5 @@ fn main() {
         100.0 * on_hits as f64 / n as f64,
         100.0 * off_hits as f64 / n as f64,
     );
+    println!("\n{}", stats.summary());
 }

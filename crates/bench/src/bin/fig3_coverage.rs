@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use wasai_baselines::EosFuzzer;
-use wasai_core::{TargetInfo, Wasai};
+use wasai_core::{PreparedTarget, TargetInfo, Wasai};
 use wasai_corpus::{generate, inject_verification, Blueprint, GateKind, RewardKind};
 
 /// Sum per-contract coverage series at fixed time points.
@@ -31,11 +31,13 @@ fn cumulative(series: &[Vec<(u64, usize)>], at_us: u64) -> usize {
 fn main() {
     let n = wasai_bench::env_count("WASAI_FIG3_CONTRACTS", 20);
     let seed = wasai_bench::env_seed();
+    let jobs = wasai_core::jobs_from_env();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf163);
-    eprintln!("fig3: {n} contracts, 300 virtual seconds, seed {seed}");
+    eprintln!("fig3: {n} contracts, 300 virtual seconds, seed {seed}, {jobs} worker(s)");
 
-    let mut wasai_series = Vec::with_capacity(n);
-    let mut eosfuzzer_series = Vec::with_capacity(n);
+    // Contract generation stays serial: blueprints draw from one shared RNG
+    // stream, which parallel generation would perturb.
+    let mut cases = Vec::with_capacity(n);
     for i in 0..n {
         // A varied population: different guard mixes, gate depths, branch
         // counts — and, for most contracts, exact-value input verification,
@@ -47,9 +49,15 @@ fn main() {
             payee_guard: rng.gen_bool(0.5),
             auth_check: rng.gen_bool(0.5),
             blockinfo: rng.gen_bool(0.3),
-            reward: if rng.gen_bool(0.4) { RewardKind::Inline } else { RewardKind::Deferred },
+            reward: if rng.gen_bool(0.4) {
+                RewardKind::Inline
+            } else {
+                RewardKind::Deferred
+            },
             gate: if rng.gen_bool(0.7) {
-                GateKind::Solvable { depth: rng.gen_range(3..10) }
+                GateKind::Solvable {
+                    depth: rng.gen_range(3..10),
+                }
             } else {
                 GateKind::Open
             },
@@ -72,13 +80,33 @@ fn main() {
             smt_prop_ns: 2_000,
             tx_overhead_us: 30_000,
         };
-        let w = Wasai::new(c.module.clone(), c.abi.clone())
-            .with_config(cfg)
-            .run()
-            .expect("wasai runs");
-        let e = EosFuzzer::new(TargetInfo::new(c.module, c.abi), cfg)
-            .expect("eosfuzzer runs")
-            .run();
+        cases.push((c, cfg));
+    }
+
+    // Both tools' campaigns over one contract are a single job sharing one
+    // prepared target; each job's seeds derive from its index, so the
+    // merged series are identical for every worker count.
+    let (reports, stats) = wasai_core::run_jobs_timed(
+        jobs,
+        cases,
+        |_, (c, cfg)| {
+            let prepared = PreparedTarget::prepare(TargetInfo::new(c.module, c.abi))
+                .expect("fig3 contract prepares");
+            let w = Wasai::from_prepared(prepared.clone())
+                .with_config(cfg)
+                .run()
+                .expect("wasai runs");
+            let e = EosFuzzer::from_prepared(prepared, cfg)
+                .expect("eosfuzzer runs")
+                .run();
+            (w, e)
+        },
+        |(w, e)| w.virtual_us + e.virtual_us,
+    );
+
+    let mut wasai_series = Vec::with_capacity(n);
+    let mut eosfuzzer_series = Vec::with_capacity(n);
+    for (i, (w, e)) in reports.into_iter().enumerate() {
         eprintln!(
             "  contract {i:>3}: wasai {} branches ({} iters, {} smt) | eosfuzzer {} branches ({} iters)",
             w.branches, w.iterations, w.smt_queries, e.branches, e.iterations
@@ -89,8 +117,9 @@ fn main() {
 
     println!("\n=== Figure 3: cumulative distinct branches vs time (RQ1) ===");
     println!("{:>8} {:>12} {:>12}", "t(s)", "WASAI", "EOSFuzzer");
-    let checkpoints: Vec<u64> =
-        [1u64, 2, 5, 10, 20, 30, 60, 90, 120, 180, 240, 300].into_iter().collect();
+    let checkpoints: Vec<u64> = [1u64, 2, 5, 10, 20, 30, 60, 90, 120, 180, 240, 300]
+        .into_iter()
+        .collect();
     let mut final_w = 0;
     let mut final_e = 0;
     for t in checkpoints {
@@ -101,4 +130,5 @@ fn main() {
     }
     let ratio = final_w as f64 / final_e.max(1) as f64;
     println!("\nfinal ratio WASAI/EOSFuzzer = {ratio:.2}x (paper: ≈ 2x)");
+    println!("\n{}", stats.summary());
 }

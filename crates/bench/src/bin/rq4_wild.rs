@@ -4,55 +4,48 @@
 //! contracts, default 60; the paper analyzes 991), reports flagged counts
 //! per class and the lifecycle study: how many flagged contracts still
 //! operate, and how many of those were patched (verified by re-analyzing
-//! the latest version).
+//! the latest version). Campaigns run on `WASAI_JOBS` workers; the merged
+//! counts are identical for every worker count.
 
-use wasai_core::{VulnClass, Wasai};
+use wasai_core::VulnClass;
 use wasai_corpus::{wild_corpus, Lifecycle, WildRates};
 
 fn main() {
     let count = wasai_bench::env_count("WASAI_WILD_COUNT", 60);
     let seed = wasai_bench::env_seed();
-    eprintln!("rq4: {count} wild contracts (the paper analyzes 991), seed {seed}");
+    let jobs = wasai_core::jobs_from_env();
+    eprintln!(
+        "rq4: {count} wild contracts (the paper analyzes 991), seed {seed}, {jobs} worker(s)"
+    );
 
     let corpus = wild_corpus(seed, count, WildRates::default());
-    let mut flagged: Vec<&wasai_corpus::WildContract> = Vec::new();
+    let (outcomes, stats) = wasai_bench::rq4_analyze(&corpus, seed, jobs);
+
+    let mut flagged = 0usize;
     let mut per_class = std::collections::BTreeMap::<VulnClass, usize>::new();
     let mut verified_patched = 0usize;
     let mut still_operating = 0usize;
     let mut unpatched_operating = 0usize;
-
-    for (i, w) in corpus.iter().enumerate() {
-        let report = Wasai::new(w.deployed.module.clone(), w.deployed.abi.clone())
-            .with_config(wasai_bench::bench_fuzz_config(seed ^ (i as u64)))
-            .run()
-            .expect("wasai runs");
-        if report.is_vulnerable() {
-            flagged.push(w);
-            for c in &report.findings {
-                *per_class.entry(*c).or_default() += 1;
-            }
-            match w.lifecycle {
-                Lifecycle::OperatingPatched => {
-                    still_operating += 1;
-                    // "we further applied WASAI to analyze their latest
-                    // version to investigate whether the vulnerability has
-                    // been patched" (§4.4, footnote 1).
-                    if let Some(latest) = &w.latest {
-                        let re = Wasai::new(latest.module.clone(), latest.abi.clone())
-                            .with_config(wasai_bench::bench_fuzz_config(seed ^ 0xff ^ (i as u64)))
-                            .run()
-                            .expect("wasai runs");
-                        if !re.is_vulnerable() {
-                            verified_patched += 1;
-                        }
-                    }
+    for (w, outcome) in corpus.iter().zip(&outcomes) {
+        if !outcome.flagged() {
+            continue;
+        }
+        flagged += 1;
+        for c in &outcome.findings {
+            *per_class.entry(*c).or_default() += 1;
+        }
+        match w.lifecycle {
+            Lifecycle::OperatingPatched => {
+                still_operating += 1;
+                if outcome.latest_clean == Some(true) {
+                    verified_patched += 1;
                 }
-                Lifecycle::OperatingUnpatched => {
-                    still_operating += 1;
-                    unpatched_operating += 1;
-                }
-                Lifecycle::Abandoned => {}
             }
+            Lifecycle::OperatingUnpatched => {
+                still_operating += 1;
+                unpatched_operating += 1;
+            }
+            Lifecycle::Abandoned => {}
         }
     }
 
@@ -60,8 +53,8 @@ fn main() {
     println!("analyzed contracts:        {count}");
     println!(
         "flagged vulnerable:        {} ({:.1}%)   [paper: 707 of 991 = 71.3%]",
-        flagged.len(),
-        100.0 * flagged.len() as f64 / count as f64
+        flagged,
+        100.0 * flagged as f64 / count as f64
     );
     for c in VulnClass::ALL {
         let n = per_class.get(&c).copied().unwrap_or(0);
@@ -81,11 +74,10 @@ fn main() {
     println!(
         "still operating:           {} of {} flagged ({:.1}%)   [paper: 58.4%]",
         still_operating,
-        flagged.len(),
-        100.0 * still_operating as f64 / flagged.len().max(1) as f64
+        flagged,
+        100.0 * still_operating as f64 / flagged.max(1) as f64
     );
     println!("patched (verified clean):  {verified_patched}   [paper: 72 of 413]");
-    println!(
-        "exposed (operating, unpatched): {unpatched_operating}   [paper: 341 contracts]"
-    );
+    println!("exposed (operating, unpatched): {unpatched_operating}   [paper: 341 contracts]");
+    println!("\n{}", stats.summary());
 }

@@ -14,9 +14,10 @@ fn main() {
          on MissAuth, ~50% P on Rollback",
         samples.len()
     );
-    let table = wasai_bench::evaluate(&samples, seed);
+    let (table, stats) = wasai_bench::evaluate_with(&samples, seed, wasai_core::jobs_from_env());
     wasai_bench::print_accuracy_table(
         "Table 4: Evaluation results on the ground truth (RQ2)",
         &table,
     );
+    println!("\n{}", stats.summary());
 }

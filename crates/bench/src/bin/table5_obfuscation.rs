@@ -9,7 +9,11 @@ fn main() {
     let scale = wasai_bench::env_scale();
     let seed = wasai_bench::env_seed();
     let samples = wasai_corpus::table5_benchmark(seed, scale);
-    eprintln!("table5: {} obfuscated samples (scale {scale}, seed {seed})", samples.len());
-    let table = wasai_bench::evaluate(&samples, seed);
+    eprintln!(
+        "table5: {} obfuscated samples (scale {scale}, seed {seed})",
+        samples.len()
+    );
+    let (table, stats) = wasai_bench::evaluate_with(&samples, seed, wasai_core::jobs_from_env());
     wasai_bench::print_accuracy_table("Table 5: The impact of code obfuscation (RQ3)", &table);
+    println!("\n{}", stats.summary());
 }

@@ -11,10 +11,14 @@ fn main() {
     let scale = wasai_bench::env_scale();
     let seed = wasai_bench::env_seed();
     let samples = wasai_corpus::table6_benchmark(seed, scale);
-    eprintln!("table6: {} samples (scale {scale}, seed {seed})", samples.len());
-    let table = wasai_bench::evaluate(&samples, seed);
+    eprintln!(
+        "table6: {} samples (scale {scale}, seed {seed})",
+        samples.len()
+    );
+    let (table, stats) = wasai_bench::evaluate_with(&samples, seed, wasai_core::jobs_from_env());
     wasai_bench::print_accuracy_table(
         "Table 6: The impact of complicated verification (RQ3)",
         &table,
     );
+    println!("\n{}", stats.summary());
 }

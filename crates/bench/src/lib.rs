@@ -20,10 +20,14 @@
 //! is laptop-minutes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use wasai_baselines::{eosafe_analyze, EosFuzzer, EosafeConfig};
-use wasai_core::{FuzzConfig, TargetInfo, VulnClass, Wasai};
-use wasai_corpus::BenchmarkSample;
+use wasai_core::{
+    jobs_from_env, run_jobs, run_jobs_timed, FleetStats, FuzzConfig, PreparedTarget, TargetInfo,
+    VulnClass, Wasai,
+};
+use wasai_corpus::{BenchmarkSample, Lifecycle, WildContract};
 
 /// Binary classification counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -155,35 +159,175 @@ pub fn run_tool(tool: Tool, sample: &BenchmarkSample, seed: u64) -> bool {
         Tool::EosFuzzer => EosFuzzer::new(target, bench_fuzz_config(seed))
             .map(|f| f.run().has(sample.group))
             .unwrap_or(false),
-        Tool::Eosafe => {
-            eosafe_analyze(&sample.contract.module, &sample.contract.abi, EosafeConfig::default())
-                .has(sample.group)
-        }
+        Tool::Eosafe => eosafe_analyze(
+            &sample.contract.module,
+            &sample.contract.abi,
+            EosafeConfig::default(),
+        )
+        .has(sample.group),
+    }
+}
+
+/// [`run_tool`] against a cached [`PreparedTarget`]; returns the flag
+/// verdict and the campaign's virtual duration (0 for the static tool).
+fn run_tool_prepared(
+    tool: Tool,
+    prepared: &Arc<PreparedTarget>,
+    sample: &BenchmarkSample,
+    seed: u64,
+) -> (bool, u64) {
+    match tool {
+        Tool::Wasai => Wasai::from_prepared(prepared.clone())
+            .with_config(bench_fuzz_config(seed))
+            .run()
+            .map(|r| (r.has(sample.group), r.virtual_us))
+            .unwrap_or((false, 0)),
+        Tool::EosFuzzer => EosFuzzer::from_prepared(prepared.clone(), bench_fuzz_config(seed))
+            .map(|f| {
+                let r = f.run();
+                (r.has(sample.group), r.virtual_us)
+            })
+            .unwrap_or((false, 0)),
+        Tool::Eosafe => (
+            eosafe_analyze(
+                &sample.contract.module,
+                &sample.contract.abi,
+                EosafeConfig::default(),
+            )
+            .has(sample.group),
+            0,
+        ),
     }
 }
 
 /// Per-class, per-tool metrics over a corpus.
 pub type AccuracyTable = BTreeMap<VulnClass, BTreeMap<Tool, Metrics>>;
 
-/// Evaluate all three tools over a benchmark corpus.
+/// Evaluate all three tools over a benchmark corpus, with the worker count
+/// taken from `WASAI_JOBS`.
 pub fn evaluate(samples: &[BenchmarkSample], seed: u64) -> AccuracyTable {
-    let mut table: AccuracyTable = BTreeMap::new();
-    for (i, sample) in samples.iter().enumerate() {
-        for tool in Tool::ALL {
-            let flagged = if tool.supports(sample.group) {
-                run_tool(tool, sample, seed ^ (i as u64))
-            } else {
-                false
+    evaluate_with(samples, seed, jobs_from_env()).0
+}
+
+/// Evaluate all three tools over a benchmark corpus on `jobs` workers.
+///
+/// Deterministic merge: each `(sample, tool)` campaign derives its RNG seed
+/// from the sample index alone (`seed ^ i`) and the per-contract artifacts
+/// are shared, so the returned table is bit-identical for every `jobs`
+/// value — `jobs = 1` is the serial reference path.
+pub fn evaluate_with(
+    samples: &[BenchmarkSample],
+    seed: u64,
+    jobs: usize,
+) -> (AccuracyTable, FleetStats) {
+    // Phase 1: per-contract shared artifacts (instrument + compile + branch
+    // sites), prepared once per sample and shared by all three tools.
+    let prepared: Vec<Option<Arc<PreparedTarget>>> = run_jobs(
+        jobs,
+        samples.iter().collect(),
+        |_, sample: &BenchmarkSample| {
+            let info = TargetInfo::new(sample.contract.module.clone(), sample.contract.abi.clone());
+            PreparedTarget::prepare(info).ok()
+        },
+    );
+
+    // Phase 2: one job per (sample, tool) campaign, seeded by sample index.
+    let cases: Vec<(usize, Tool)> = (0..samples.len())
+        .flat_map(|i| Tool::ALL.into_iter().map(move |t| (i, t)))
+        .collect();
+    let (flags, stats) = run_jobs_timed(
+        jobs,
+        cases,
+        |_, (i, tool)| {
+            let sample = &samples[i];
+            if !tool.supports(sample.group) {
+                return (i, tool, false, 0);
+            }
+            let (flagged, virtual_us) = match &prepared[i] {
+                Some(p) => run_tool_prepared(tool, p, sample, seed ^ (i as u64)),
+                // Preparation failed (uninstrumentable module): the fuzzers
+                // report nothing, matching the serial behavior.
+                None => (run_tool(tool, sample, seed ^ (i as u64)), 0),
             };
-            table
-                .entry(sample.group)
-                .or_default()
-                .entry(tool)
-                .or_default()
-                .record(sample.is_vulnerable(), flagged);
-        }
+            (i, tool, flagged, virtual_us)
+        },
+        |&(_, _, _, virtual_us)| virtual_us,
+    );
+
+    // Phase 3: merge in index order — scheduling cannot affect the table.
+    let mut table: AccuracyTable = BTreeMap::new();
+    for (i, tool, flagged, _) in flags {
+        let sample = &samples[i];
+        table
+            .entry(sample.group)
+            .or_default()
+            .entry(tool)
+            .or_default()
+            .record(sample.is_vulnerable(), flagged);
     }
-    table
+    (table, stats)
+}
+
+/// Outcome of one wild-contract analysis (RQ4's per-contract record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WildOutcome {
+    /// Classes WASAI flagged on the deployed version.
+    pub findings: std::collections::BTreeSet<VulnClass>,
+    /// For flagged `OperatingPatched` contracts: whether re-analyzing the
+    /// latest version came back clean (§4.4's patch verification).
+    pub latest_clean: Option<bool>,
+    /// Aggregate virtual microseconds across the (up to two) campaigns.
+    pub virtual_us: u64,
+}
+
+impl WildOutcome {
+    /// True if the deployed version was flagged at all.
+    pub fn flagged(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+/// Run the RQ4 wild-contract study over `corpus` on `jobs` workers.
+///
+/// Each contract is one job (deployed analysis plus, when flagged and
+/// patched-while-operating, the latest-version re-analysis), seeded from
+/// its corpus index — results are identical for every `jobs` value.
+pub fn rq4_analyze(
+    corpus: &[WildContract],
+    seed: u64,
+    jobs: usize,
+) -> (Vec<WildOutcome>, FleetStats) {
+    run_jobs_timed(
+        jobs,
+        corpus.iter().collect(),
+        |i, w: &WildContract| {
+            let report = Wasai::new(w.deployed.module.clone(), w.deployed.abi.clone())
+                .with_config(bench_fuzz_config(seed ^ (i as u64)))
+                .run()
+                .expect("wasai runs");
+            let mut virtual_us = report.virtual_us;
+            let mut latest_clean = None;
+            if report.is_vulnerable() && w.lifecycle == Lifecycle::OperatingPatched {
+                // "we further applied WASAI to analyze their latest version
+                // to investigate whether the vulnerability has been patched"
+                // (§4.4, footnote 1).
+                if let Some(latest) = &w.latest {
+                    let re = Wasai::new(latest.module.clone(), latest.abi.clone())
+                        .with_config(bench_fuzz_config(seed ^ 0xff ^ (i as u64)))
+                        .run()
+                        .expect("wasai runs");
+                    virtual_us += re.virtual_us;
+                    latest_clean = Some(!re.is_vulnerable());
+                }
+            }
+            WildOutcome {
+                findings: report.findings,
+                latest_clean,
+                virtual_us,
+            }
+        },
+        |o| o.virtual_us,
+    )
 }
 
 /// Render an accuracy table in the paper's row format.
@@ -195,12 +339,19 @@ pub fn print_accuracy_table(title: &str, table: &AccuracyTable) {
     );
     let mut totals: BTreeMap<Tool, Metrics> = BTreeMap::new();
     for class in VulnClass::ALL {
-        let Some(row) = table.get(&class) else { continue };
+        let Some(row) = table.get(&class) else {
+            continue;
+        };
         let counts = row.get(&Tool::Wasai).copied().unwrap_or_default();
         print!(
             "{:<14} {:>12} |",
             class.to_string(),
-            format!("{}({}/{})", counts.total(), counts.tp + counts.fn_, counts.fp + counts.tn)
+            format!(
+                "{}({}/{})",
+                counts.total(),
+                counts.tp + counts.fn_,
+                counts.fp + counts.tn
+            )
         );
         for tool in Tool::ALL {
             let m = row.get(&tool).copied().unwrap_or_default();
@@ -242,12 +393,18 @@ pub fn env_scale() -> f64 {
 
 /// Experiment seed from `WASAI_SEED`.
 pub fn env_seed() -> u64 {
-    std::env::var("WASAI_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xe05)
+    std::env::var("WASAI_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xe05)
 }
 
 /// Count from an env var with a default.
 pub fn env_count(var: &str, default: usize) -> usize {
-    std::env::var(var).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

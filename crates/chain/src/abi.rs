@@ -134,7 +134,12 @@ impl ActionDecl {
     pub fn transfer() -> Self {
         ActionDecl::new(
             Name::new("transfer"),
-            vec![ParamType::Name, ParamType::Name, ParamType::Asset, ParamType::String],
+            vec![
+                ParamType::Name,
+                ParamType::Name,
+                ParamType::Asset,
+                ParamType::String,
+            ],
         )
     }
 }
@@ -168,7 +173,12 @@ mod tests {
         assert_eq!(t.name, Name::new("transfer"));
         assert_eq!(
             t.params,
-            vec![ParamType::Name, ParamType::Name, ParamType::Asset, ParamType::String]
+            vec![
+                ParamType::Name,
+                ParamType::Name,
+                ParamType::Asset,
+                ParamType::String
+            ]
         );
     }
 

@@ -16,7 +16,10 @@ pub struct PermissionLevel {
 impl PermissionLevel {
     /// `actor@active`.
     pub fn active(actor: Name) -> Self {
-        PermissionLevel { actor, permission: Name::new("active") }
+        PermissionLevel {
+            actor,
+            permission: Name::new("active"),
+        }
     }
 }
 
@@ -61,7 +64,9 @@ pub struct Transaction {
 impl Transaction {
     /// A transaction of one action.
     pub fn single(action: Action) -> Self {
-        Transaction { actions: vec![action] }
+        Transaction {
+            actions: vec![action],
+        }
     }
 }
 
@@ -218,7 +223,15 @@ mod tests {
             action: Name::new("transfer"),
             kind: ExecKind::Notification,
         });
-        assert!(r.applied(Name::new("eosbet"), Name::new("eosio.token"), Name::new("transfer")));
-        assert!(!r.applied(Name::new("eosbet"), Name::new("eosbet"), Name::new("transfer")));
+        assert!(r.applied(
+            Name::new("eosbet"),
+            Name::new("eosio.token"),
+            Name::new("transfer")
+        ));
+        assert!(!r.applied(
+            Name::new("eosbet"),
+            Name::new("eosbet"),
+            Name::new("transfer")
+        ));
     }
 }

@@ -100,7 +100,10 @@ impl Asset {
     /// `n` whole EOS (the paper's examples use whole-EOS quantities).
     pub fn eos(n: i64) -> Asset {
         let symbol = eos_symbol();
-        Asset { amount: n * symbol.scale(), symbol }
+        Asset {
+            amount: n * symbol.scale(),
+            symbol,
+        }
     }
 
     /// True when the amount is strictly positive.
@@ -131,8 +134,12 @@ impl FromStr for Asset {
     type Err = ParseAssetError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = |m: &str| ParseAssetError { message: format!("{s:?}: {m}") };
-        let (num, code) = s.split_once(' ').ok_or_else(|| err("missing symbol code"))?;
+        let err = |m: &str| ParseAssetError {
+            message: format!("{s:?}: {m}"),
+        };
+        let (num, code) = s
+            .split_once(' ')
+            .ok_or_else(|| err("missing symbol code"))?;
         let (whole_str, frac_str) = match num.split_once('.') {
             Some((w, fr)) => (w, fr),
             None => (num, ""),

@@ -72,7 +72,9 @@ pub struct ChainConfig {
 
 impl Default for ChainConfig {
     fn default() -> Self {
-        ChainConfig { fuel_per_tx: 5_000_000 }
+        ChainConfig {
+            fuel_per_tx: 5_000_000,
+        }
     }
 }
 
@@ -109,7 +111,10 @@ impl Chain {
 
     /// A fresh chain with a custom configuration.
     pub fn with_config(config: ChainConfig) -> Self {
-        Chain { config, ..Chain::new() }
+        Chain {
+            config,
+            ..Chain::new()
+        }
     }
 
     /// Create a plain account.
@@ -139,8 +144,19 @@ impl Chain {
     ) -> Result<(), ChainError> {
         let compiled =
             CompiledModule::compile(module).map_err(|e| ChainError::BadContract(e.to_string()))?;
-        self.accounts.insert(name, AccountKind::Wasm(WasmContract { compiled, abi }));
+        self.deploy_compiled(name, compiled, abi);
         Ok(())
+    }
+
+    /// Deploy (or replace) an already-compiled Wasm contract on an account,
+    /// creating the account if needed.
+    ///
+    /// Compilation is the expensive part of deployment; sharing one
+    /// [`CompiledModule`] lets many chains (e.g. parallel fuzzing campaigns
+    /// over the same contract) deploy it without recompiling.
+    pub fn deploy_compiled(&mut self, name: Name, compiled: Arc<CompiledModule>, abi: Abi) {
+        self.accounts
+            .insert(name, AccountKind::Wasm(WasmContract { compiled, abi }));
     }
 
     /// Deploy a native harness contract.
@@ -220,7 +236,11 @@ impl Chain {
                 // Deferred actions queued by the reverted transaction vanish;
                 // ones queued by earlier transactions stay.
                 self.deferred_queue.truncate(deferred_mark);
-                Err(TransactionError { trap, action_index, receipt })
+                Err(TransactionError {
+                    trap,
+                    action_index,
+                    receipt,
+                })
             }
         }
     }
@@ -259,8 +279,10 @@ impl Chain {
     fn advance_block(&mut self) {
         self.block_num = self.block_num.wrapping_add(1);
         // A deterministic pseudo-hash so tapos values vary across blocks.
-        self.block_prefix =
-            self.block_prefix.wrapping_mul(0x9e37_79b9).wrapping_add(self.block_num);
+        self.block_prefix = self
+            .block_prefix
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(self.block_num);
         self.time_us += 500_000;
     }
 
@@ -319,7 +341,9 @@ impl Chain {
         let account_kind = self.accounts.get(&receiver).cloned();
         let outcome = match account_kind {
             None | Some(AccountKind::Plain) => Outcome::default(),
-            Some(AccountKind::Native(native)) => self.exec_native(&native, receiver, code, action)?,
+            Some(AccountKind::Native(native)) => {
+                self.exec_native(&native, receiver, code, action)?
+            }
             Some(AccountKind::Wasm(w)) => self.exec_wasm(&w, receiver, code, action, fuel)?,
         };
         self.settle_notification(outcome, code, action, fuel, depth)
@@ -425,7 +449,9 @@ impl Chain {
                 _ => return Err(Trap::Host("token issue: bad types".into())),
             };
             if !action.authorized_by(receiver) {
-                return Err(Trap::Host(format!("issue requires authority of {receiver}")));
+                return Err(Trap::Host(format!(
+                    "issue requires authority of {receiver}"
+                )));
             }
             self.ledger.issue(receiver, to, quantity);
             out.notifications.push(to);
@@ -558,9 +584,11 @@ impl ChainHost<'_> {
     }
 
     fn log_db(&mut self, access: DbAccess, table: TableId) {
-        self.chain
-            .api_events
-            .push(ApiEvent::Db(DbOp { contract: self.receiver, access, table }));
+        self.chain.api_events.push(ApiEvent::Db(DbOp {
+            contract: self.receiver,
+            access,
+            table,
+        }));
     }
 
     #[allow(clippy::too_many_lines)]
@@ -583,9 +611,10 @@ impl ChainHost<'_> {
             Api::RequireAuth => {
                 let actor = Name::from_i64(args[0].as_i64());
                 if self.action.authorized_by(actor) {
-                    self.chain
-                        .api_events
-                        .push(ApiEvent::RequireAuth { contract: self.receiver, actor });
+                    self.chain.api_events.push(ApiEvent::RequireAuth {
+                        contract: self.receiver,
+                        actor,
+                    });
                     Ok(None)
                 } else {
                     Err(Trap::Host(format!("missing required authority {actor}")))
@@ -594,9 +623,10 @@ impl ChainHost<'_> {
             Api::RequireAuth2 => {
                 let actor = Name::from_i64(args[0].as_i64());
                 if self.action.authorized_by(actor) {
-                    self.chain
-                        .api_events
-                        .push(ApiEvent::RequireAuth { contract: self.receiver, actor });
+                    self.chain.api_events.push(ApiEvent::RequireAuth {
+                        contract: self.receiver,
+                        actor,
+                    });
                     Ok(None)
                 } else {
                     Err(Trap::Host(format!("missing required authority {actor}")))
@@ -642,11 +672,15 @@ impl ChainHost<'_> {
             }
             Api::CurrentTime => Ok(Some(Value::I64(self.chain.time_us))),
             Api::TaposBlockNum => {
-                self.chain.api_events.push(ApiEvent::TaposRead { contract: self.receiver });
+                self.chain.api_events.push(ApiEvent::TaposRead {
+                    contract: self.receiver,
+                });
                 Ok(Some(Value::I32(self.chain.block_num as i32)))
             }
             Api::TaposBlockPrefix => {
-                self.chain.api_events.push(ApiEvent::TaposRead { contract: self.receiver });
+                self.chain.api_events.push(ApiEvent::TaposRead {
+                    contract: self.receiver,
+                });
                 Ok(Some(Value::I32(self.chain.block_prefix as i32)))
             }
             Api::SendInline => {

@@ -67,7 +67,11 @@ impl Database {
 
     /// Replace an existing row; returns `false` if it does not exist.
     pub fn update(&mut self, table: TableId, primary: u64, data: Vec<u8>) -> bool {
-        match self.tables.get_mut(&table).and_then(|rows| rows.get_mut(&primary)) {
+        match self
+            .tables
+            .get_mut(&table)
+            .and_then(|rows| rows.get_mut(&primary))
+        {
             Some(slot) => {
                 *slot = data;
                 true
@@ -88,7 +92,10 @@ impl Database {
     pub fn next_key(&self, table: TableId, primary: u64) -> Option<u64> {
         self.tables
             .get(&table)?
-            .range((std::ops::Bound::Excluded(primary), std::ops::Bound::Unbounded))
+            .range((
+                std::ops::Bound::Excluded(primary),
+                std::ops::Bound::Unbounded,
+            ))
             .next()
             .map(|(k, _)| *k)
     }
@@ -124,7 +131,10 @@ mod tests {
     fn store_find_update_remove_cycle() {
         let mut db = Database::new();
         assert!(db.store(tid(), 1, vec![1, 2]));
-        assert!(!db.store(tid(), 1, vec![3]), "duplicate primary key rejected");
+        assert!(
+            !db.store(tid(), 1, vec![3]),
+            "duplicate primary key rejected"
+        );
         assert_eq!(db.find(tid(), 1), Some(&[1u8, 2][..]));
         assert!(db.update(tid(), 1, vec![9]));
         assert_eq!(db.find(tid(), 1), Some(&[9u8][..]));

@@ -24,7 +24,11 @@ pub struct TransactionError {
 
 impl fmt::Display for TransactionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transaction reverted at action {}: {}", self.action_index, self.trap)
+        write!(
+            f,
+            "transaction reverted at action {}: {}",
+            self.action_index, self.trap
+        )
     }
 }
 

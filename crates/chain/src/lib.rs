@@ -142,14 +142,11 @@ mod tests {
     }
 
     fn eosponser_ran(chain: &Chain, victim: Name) -> bool {
-        chain
-            .db
-            .row_count(crate::database::TableId {
-                code: victim,
-                scope: victim,
-                table: n("log"),
-            })
-            > 0
+        chain.db.row_count(crate::database::TableId {
+            code: victim,
+            scope: victim,
+            table: n("log"),
+        }) > 0
     }
 
     fn setup(guarded: bool) -> Chain {
@@ -237,7 +234,10 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err.trap, wasai_vm::Trap::AssertFailed(_)));
-        assert!(!eosponser_ran(&chain, n("eosbet")), "guard must prevent the effect");
+        assert!(
+            !eosponser_ran(&chain, n("eosbet")),
+            "guard must prevent the effect"
+        );
         // ... and the official path still works.
         chain
             .push_action(
@@ -258,7 +258,9 @@ mod tests {
         let mut chain = setup(true);
         chain.deploy_native(
             n("fake.notif"),
-            NativeKind::NotifForwarder { forward_to: n("eosbet") },
+            NativeKind::NotifForwarder {
+                forward_to: n("eosbet"),
+            },
         );
         let receipt = chain
             .push_action(
@@ -272,13 +274,19 @@ mod tests {
             receipt.applied(n("eosbet"), n("eosio.token"), n("transfer")),
             "victim must see a notification with code=eosio.token"
         );
-        assert!(eosponser_ran(&chain, n("eosbet")), "guard is blind to forwarded notifs");
+        assert!(
+            eosponser_ran(&chain, n("eosbet")),
+            "guard is blind to forwarded notifs"
+        );
         assert_eq!(
             chain.balance(n("eosio.token"), n("eosbet")),
             Asset::eos(0),
             "the victim was never paid"
         );
-        assert_eq!(chain.balance(n("eosio.token"), n("fake.notif")), Asset::eos(10));
+        assert_eq!(
+            chain.balance(n("eosio.token"), n("fake.notif")),
+            Asset::eos(10)
+        );
     }
 
     #[test]
@@ -306,11 +314,19 @@ mod tests {
         };
         let err = chain.push_transaction(&tx).unwrap_err();
         assert_eq!(err.action_index, 1);
-        assert_eq!(chain.balance(n("eosio.token"), n("attacker")), before_attacker);
+        assert_eq!(
+            chain.balance(n("eosio.token"), n("attacker")),
+            before_attacker
+        );
         assert_eq!(chain.balance(n("eosio.token"), n("eosbet")), Asset::eos(0));
-        assert!(!eosponser_ran(&chain, n("eosbet")), "db writes must roll back");
+        assert!(
+            !eosponser_ran(&chain, n("eosbet")),
+            "db writes must roll back"
+        );
         // The receipt still shows what executed before the revert.
-        assert!(err.receipt.applied(n("eosbet"), n("eosio.token"), n("transfer")));
+        assert!(err
+            .receipt
+            .applied(n("eosbet"), n("eosio.token"), n("transfer")));
     }
 
     #[test]
@@ -325,26 +341,40 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.trap.to_string().contains("missing authority"));
-        assert_eq!(chain.balance(n("eosio.token"), n("alice")), Asset::eos(1000));
+        assert_eq!(
+            chain.balance(n("eosio.token"), n("alice")),
+            Asset::eos(1000)
+        );
     }
 
     #[test]
     fn require_auth_host_api_traps_without_permission() {
         let mut b = ModuleBuilder::with_memory(1);
         let require_auth = b.import_func("env", "require_auth", &[I64], &[]);
-        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::I64Const(n("admin").as_i64()),
-            Instr::Call(require_auth),
-            Instr::End,
-        ]);
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::I64Const(n("admin").as_i64()),
+                Instr::Call(require_auth),
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
         let mut chain = Chain::new();
         chain.create_account(n("admin")).unwrap();
         chain.create_account(n("mallory")).unwrap();
-        chain.deploy_wasm(n("guarded"), b.build(), Abi::default()).unwrap();
+        chain
+            .deploy_wasm(n("guarded"), b.build(), Abi::default())
+            .unwrap();
 
-        assert!(chain.push_action(n("guarded"), n("doit"), &[n("mallory")], &[]).is_err());
-        let ok = chain.push_action(n("guarded"), n("doit"), &[n("admin")], &[]).unwrap();
+        assert!(chain
+            .push_action(n("guarded"), n("doit"), &[n("mallory")], &[])
+            .is_err());
+        let ok = chain
+            .push_action(n("guarded"), n("doit"), &[n("admin")], &[])
+            .unwrap();
         assert!(ok
             .api_events
             .iter()
@@ -393,11 +423,14 @@ mod tests {
         chain.deploy_native(n("eosio.token"), NativeKind::Token);
         chain.create_account(n("bob")).unwrap();
         chain.create_account(n("carol")).unwrap();
-        chain.deploy_wasm(n("rewarder"), b.build(), Abi::default()).unwrap();
+        chain
+            .deploy_wasm(n("rewarder"), b.build(), Abi::default())
+            .unwrap();
         chain.issue(n("eosio.token"), n("rewarder"), Asset::eos(5));
 
-        let receipt =
-            chain.push_action(n("rewarder"), n("reward"), &[n("carol")], &[]).unwrap();
+        let receipt = chain
+            .push_action(n("rewarder"), n("reward"), &[n("carol")], &[])
+            .unwrap();
         assert_eq!(chain.balance(n("eosio.token"), n("bob")), Asset::eos(1));
         assert!(receipt
             .api_events
@@ -409,8 +442,7 @@ mod tests {
     #[test]
     fn deferred_actions_run_in_their_own_transaction() {
         let mut b = ModuleBuilder::with_memory(1);
-        let send_deferred =
-            b.import_func("env", "send_deferred", &[I64, I64, I64, I32, I32], &[]);
+        let send_deferred = b.import_func("env", "send_deferred", &[I64, I64, I64, I32, I32], &[]);
         let data = serialize::pack(&transfer_params("delayed", "bob", 1, ""));
         let mut body = Vec::new();
         for (i, chunk) in data.chunks(8).enumerate() {
@@ -438,10 +470,14 @@ mod tests {
         chain.deploy_native(n("eosio.token"), NativeKind::Token);
         chain.create_account(n("bob")).unwrap();
         chain.create_account(n("x")).unwrap();
-        chain.deploy_wasm(n("delayed"), b.build(), Abi::default()).unwrap();
+        chain
+            .deploy_wasm(n("delayed"), b.build(), Abi::default())
+            .unwrap();
         chain.issue(n("eosio.token"), n("delayed"), Asset::eos(5));
 
-        chain.push_action(n("delayed"), n("go"), &[n("x")], &[]).unwrap();
+        chain
+            .push_action(n("delayed"), n("go"), &[n("x")], &[])
+            .unwrap();
         // Not yet executed...
         assert_eq!(chain.balance(n("eosio.token"), n("bob")), Asset::eos(0));
         assert_eq!(chain.deferred_len(), 1);
@@ -457,18 +493,27 @@ mod tests {
         let mut b = ModuleBuilder::with_memory(1);
         let tapos_num = b.import_func("env", "tapos_block_num", &[], &[I32]);
         let tapos_prefix = b.import_func("env", "tapos_block_prefix", &[], &[I32]);
-        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::Call(tapos_num),
-            Instr::Drop,
-            Instr::Call(tapos_prefix),
-            Instr::Drop,
-            Instr::End,
-        ]);
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::Call(tapos_num),
+                Instr::Drop,
+                Instr::Call(tapos_prefix),
+                Instr::Drop,
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
         let mut chain = Chain::new();
         chain.create_account(n("x")).unwrap();
-        chain.deploy_wasm(n("lottery"), b.build(), Abi::default()).unwrap();
-        let r = chain.push_action(n("lottery"), n("roll"), &[n("x")], &[]).unwrap();
+        chain
+            .deploy_wasm(n("lottery"), b.build(), Abi::default())
+            .unwrap();
+        let r = chain
+            .push_action(n("lottery"), n("roll"), &[n("x")], &[])
+            .unwrap();
         let tapos_reads = r
             .api_events
             .iter()
@@ -484,27 +529,38 @@ mod tests {
         let mut b = ModuleBuilder::with_memory(1);
         let read = b.import_func("env", "read_action_data", &[I32, I32], &[I32]);
         let size = b.import_func("env", "action_data_size", &[], &[I32]);
-        let db_store =
-            b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]);
-        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::I32Const(256),
-            Instr::Call(size),
-            Instr::Call(read),
-            Instr::Drop,
-            Instr::LocalGet(0),
-            Instr::I64Const(n("data").as_i64()),
-            Instr::LocalGet(0),
-            Instr::I64Const(7),
-            Instr::I32Const(256),
-            Instr::I32Const(8),
-            Instr::Call(db_store),
-            Instr::Drop,
-            Instr::End,
-        ]);
+        let db_store = b.import_func(
+            "env",
+            "db_store_i64",
+            &[I64, I64, I64, I64, I32, I32],
+            &[I32],
+        );
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::I32Const(256),
+                Instr::Call(size),
+                Instr::Call(read),
+                Instr::Drop,
+                Instr::LocalGet(0),
+                Instr::I64Const(n("data").as_i64()),
+                Instr::LocalGet(0),
+                Instr::I64Const(7),
+                Instr::I32Const(256),
+                Instr::I32Const(8),
+                Instr::Call(db_store),
+                Instr::Drop,
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
         let mut chain = Chain::new();
         chain.create_account(n("x")).unwrap();
-        chain.deploy_wasm(n("echo"), b.build(), Abi::default()).unwrap();
+        chain
+            .deploy_wasm(n("echo"), b.build(), Abi::default())
+            .unwrap();
         chain
             .push_action(
                 n("echo"),
@@ -516,7 +572,11 @@ mod tests {
         let row = chain
             .db
             .find(
-                crate::database::TableId { code: n("echo"), scope: n("echo"), table: n("data") },
+                crate::database::TableId {
+                    code: n("echo"),
+                    scope: n("echo"),
+                    table: n("data"),
+                },
                 7,
             )
             .expect("row stored");
@@ -535,30 +595,47 @@ mod limit_tests {
     #[test]
     fn fuel_exhaustion_reverts_the_transaction() {
         let mut b = ModuleBuilder::with_memory(1);
-        let db_store =
-            b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]);
+        let db_store = b.import_func(
+            "env",
+            "db_store_i64",
+            &[I64, I64, I64, I64, I32, I32],
+            &[I32],
+        );
         // Store a row, then spin forever: the row must be rolled back.
-        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::LocalGet(0),
-            Instr::I64Const(Name::new("t").as_i64()),
-            Instr::LocalGet(0),
-            Instr::I64Const(1),
-            Instr::I32Const(0),
-            Instr::I32Const(4),
-            Instr::Call(db_store),
-            Instr::Drop,
-            Instr::Loop(BlockType::Empty),
-            Instr::Br(0),
-            Instr::End,
-            Instr::End,
-        ]);
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I64Const(Name::new("t").as_i64()),
+                Instr::LocalGet(0),
+                Instr::I64Const(1),
+                Instr::I32Const(0),
+                Instr::I32Const(4),
+                Instr::Call(db_store),
+                Instr::Drop,
+                Instr::Loop(BlockType::Empty),
+                Instr::Br(0),
+                Instr::End,
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
-        let mut chain =
-            Chain::with_config(ChainConfig { fuel_per_tx: 50_000 });
+        let mut chain = Chain::with_config(ChainConfig {
+            fuel_per_tx: 50_000,
+        });
         chain.create_account(Name::new("x")).unwrap();
-        chain.deploy_wasm(Name::new("spinner"), b.build(), Abi::default()).unwrap();
+        chain
+            .deploy_wasm(Name::new("spinner"), b.build(), Abi::default())
+            .unwrap();
         let err = chain
-            .push_action(Name::new("spinner"), Name::new("go"), &[Name::new("x")], &[])
+            .push_action(
+                Name::new("spinner"),
+                Name::new("go"),
+                &[Name::new("x")],
+                &[],
+            )
             .unwrap_err();
         assert_eq!(err.trap, wasai_vm::Trap::StepLimit);
         let table = crate::database::TableId {

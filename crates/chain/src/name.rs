@@ -76,7 +76,9 @@ impl FromStr for Name {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.len() > 13 {
-            return Err(ParseNameError { message: format!("{s:?} is longer than 13 chars") });
+            return Err(ParseNameError {
+                message: format!("{s:?} is longer than 13 chars"),
+            });
         }
         let bytes = s.as_bytes();
         let mut value: u64 = 0;
@@ -116,7 +118,9 @@ impl fmt::Display for Name {
             };
             out[i] = CHARS[sym];
         }
-        let trimmed = std::str::from_utf8(&out).expect("alphabet is ASCII").trim_end_matches('.');
+        let trimmed = std::str::from_utf8(&out)
+            .expect("alphabet is ASCII")
+            .trim_end_matches('.');
         f.write_str(trimmed)
     }
 }
@@ -143,7 +147,15 @@ mod tests {
 
     #[test]
     fn roundtrip_display() {
-        for s in ["eosio.token", "transfer", "a", "zzzzzzzzzzzz", "eosbet", "fake.notif", "12345"] {
+        for s in [
+            "eosio.token",
+            "transfer",
+            "a",
+            "zzzzzzzzzzzz",
+            "eosbet",
+            "fake.notif",
+            "12345",
+        ] {
             assert_eq!(Name::new(s).to_string(), s, "roundtrip of {s}");
         }
     }

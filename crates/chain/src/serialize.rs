@@ -78,7 +78,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, UnpackError> {
-        Err(UnpackError { offset: self.pos, message: message.into() })
+        Err(UnpackError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], UnpackError> {
@@ -99,10 +102,10 @@ impl<'a> Reader<'a> {
         let mut v: u32 = 0;
         let mut shift = 0;
         loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or(UnpackError { offset: self.pos, message: "truncated varuint".into() })?;
+            let b = *self.bytes.get(self.pos).ok_or(UnpackError {
+                offset: self.pos,
+                message: "truncated varuint".into(),
+            })?;
             self.pos += 1;
             v |= ((b & 0x7f) as u32) << shift;
             if b & 0x80 == 0 {
@@ -177,8 +180,10 @@ mod tests {
 
     #[test]
     fn layout_is_little_endian_and_ordered() {
-        let values =
-            vec![ParamValue::Name(Name::new("alice")), ParamValue::Asset(Asset::eos(10))];
+        let values = vec![
+            ParamValue::Name(Name::new("alice")),
+            ParamValue::Asset(Asset::eos(10)),
+        ];
         let bytes = pack(&values);
         assert_eq!(&bytes[0..8], &Name::new("alice").raw().to_le_bytes());
         assert_eq!(&bytes[8..16], &100_000i64.to_le_bytes());

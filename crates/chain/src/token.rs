@@ -39,7 +39,11 @@ pub enum TokenError {
 impl std::fmt::Display for TokenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TokenError::Overdrawn { from, balance, amount } => {
+            TokenError::Overdrawn {
+                from,
+                balance,
+                amount,
+            } => {
                 write!(f, "{from} has {balance} sub-units, cannot send {amount}")
             }
             TokenError::NonPositive => write!(f, "must transfer positive quantity"),
@@ -58,13 +62,18 @@ impl TokenLedger {
 
     /// Balance of `owner` in the token `(contract, symbol)`.
     pub fn balance(&self, contract: Name, symbol: Symbol, owner: Name) -> i64 {
-        self.balances.get(&(contract, symbol.raw(), owner)).copied().unwrap_or(0)
+        self.balances
+            .get(&(contract, symbol.raw(), owner))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Mint tokens to an account (the `issue` action, simplified).
     pub fn issue(&mut self, contract: Name, owner: Name, quantity: Asset) {
-        *self.balances.entry((contract, quantity.symbol.raw(), owner)).or_insert(0) +=
-            quantity.amount;
+        *self
+            .balances
+            .entry((contract, quantity.symbol.raw(), owner))
+            .or_insert(0) += quantity.amount;
     }
 
     /// Move `quantity` of the token issued by `contract` from `from` to `to`.
@@ -89,11 +98,17 @@ impl TokenLedger {
         let key_from = (contract, quantity.symbol.raw(), from);
         let balance = self.balances.get(&key_from).copied().unwrap_or(0);
         if balance < quantity.amount {
-            return Err(TokenError::Overdrawn { from, balance, amount: quantity.amount });
+            return Err(TokenError::Overdrawn {
+                from,
+                balance,
+                amount: quantity.amount,
+            });
         }
         *self.balances.entry(key_from).or_insert(0) -= quantity.amount;
-        *self.balances.entry((contract, quantity.symbol.raw(), to)).or_insert(0) +=
-            quantity.amount;
+        *self
+            .balances
+            .entry((contract, quantity.symbol.raw(), to))
+            .or_insert(0) += quantity.amount;
         Ok(())
     }
 }
@@ -108,9 +123,16 @@ mod tests {
         let mut l = TokenLedger::new();
         let token = Name::new("eosio.token");
         l.issue(token, Name::new("alice"), Asset::eos(100));
-        l.transfer(token, Name::new("alice"), Name::new("bob"), Asset::eos(30)).unwrap();
-        assert_eq!(l.balance(token, eos_symbol(), Name::new("alice")), 70 * 10_000);
-        assert_eq!(l.balance(token, eos_symbol(), Name::new("bob")), 30 * 10_000);
+        l.transfer(token, Name::new("alice"), Name::new("bob"), Asset::eos(30))
+            .unwrap();
+        assert_eq!(
+            l.balance(token, eos_symbol(), Name::new("alice")),
+            70 * 10_000
+        );
+        assert_eq!(
+            l.balance(token, eos_symbol(), Name::new("bob")),
+            30 * 10_000
+        );
     }
 
     #[test]
@@ -129,9 +151,17 @@ mod tests {
         // The Fake EOS attack's precondition: fake.token can issue "EOS"
         // that is bookkept separately from the official one.
         let mut l = TokenLedger::new();
-        l.issue(Name::new("fake.token"), Name::new("attacker"), Asset::eos(1_000_000));
+        l.issue(
+            Name::new("fake.token"),
+            Name::new("attacker"),
+            Asset::eos(1_000_000),
+        );
         assert_eq!(
-            l.balance(Name::new("eosio.token"), eos_symbol(), Name::new("attacker")),
+            l.balance(
+                Name::new("eosio.token"),
+                eos_symbol(),
+                Name::new("attacker")
+            ),
             0,
             "fake EOS must not count as official EOS"
         );
@@ -146,7 +176,13 @@ mod tests {
         let mut l = TokenLedger::new();
         let t = Name::new("eosio.token");
         l.issue(t, Name::new("a"), Asset::eos(5));
-        assert_eq!(l.transfer(t, Name::new("a"), Name::new("a"), Asset::eos(1)), Err(TokenError::SelfTransfer));
-        assert_eq!(l.transfer(t, Name::new("a"), Name::new("b"), Asset::eos(0)), Err(TokenError::NonPositive));
+        assert_eq!(
+            l.transfer(t, Name::new("a"), Name::new("a"), Asset::eos(1)),
+            Err(TokenError::SelfTransfer)
+        );
+        assert_eq!(
+            l.transfer(t, Name::new("a"), Name::new("b"), Asset::eos(0)),
+            Err(TokenError::NonPositive)
+        );
     }
 }

@@ -11,8 +11,7 @@ use wasai_chain::serialize::{pack, unpack};
 /// dots (trailing dots are trimmed by Display, so exclude them for clean
 /// round-trips).
 fn arb_name_str() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z1-5][a-z1-5.]{0,10}[a-z1-5]|[a-z1-5]")
-        .expect("valid regex")
+    proptest::string::string_regex("[a-z1-5][a-z1-5.]{0,10}[a-z1-5]|[a-z1-5]").expect("valid regex")
 }
 
 fn arb_symbol() -> impl Strategy<Value = Symbol> {

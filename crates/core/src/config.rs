@@ -29,7 +29,9 @@ impl Default for FuzzConfig {
     fn default() -> Self {
         FuzzConfig {
             timeout_us: 300_000_000,
-            smt_budget: wasai_smt::Budget { max_conflicts: 20_000 },
+            smt_budget: wasai_smt::Budget {
+                max_conflicts: 20_000,
+            },
             max_queries_per_iter: 4,
             stall_iters: 60,
             rng_seed: 0xa5a5_5a5a,

@@ -7,7 +7,7 @@
 //! dispatcher (`apply`) is excluded — "WASAI only focuses on exploring
 //! branches in the action functions" (§5).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use wasai_vm::{TraceKind, TraceRecord};
 use wasai_wasm::instr::Instr;
@@ -16,29 +16,94 @@ use wasai_wasm::Module;
 /// A covered branch: `(func, pc, direction)`.
 pub type BranchKey = (u32, u32, u64);
 
-/// Extract the branches exercised by a trace.
-pub fn branches_in_trace(module: &Module, trace: &[TraceRecord]) -> HashSet<BranchKey> {
-    let apply_idx = module.exported_func("apply");
-    let mut out = HashSet::new();
-    for rec in trace {
-        let TraceKind::Site { func, pc } = rec.kind else { continue };
-        if Some(func) == apply_idx {
-            continue;
+/// How a trace operand at a branch site maps to a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteKind {
+    /// `br_if` / `if`: direction = condition ≠ 0.
+    Cond,
+    /// `br_table`: direction = jump index.
+    Table,
+}
+
+/// The branch-site table of one module, computed once so per-trace coverage
+/// extraction is a hash lookup instead of an instruction-body walk.
+///
+/// Campaigns over the same contract (accuracy tables, coverage curves, the
+/// fleet scheduler) share one table behind the `PreparedTarget` cache.
+#[derive(Debug, Clone, Default)]
+pub struct BranchSites {
+    sites: HashMap<(u32, u32), SiteKind>,
+    apply_idx: Option<u32>,
+}
+
+impl BranchSites {
+    /// Scan `module` for every `br_if`/`if`/`br_table` site.
+    pub fn new(module: &Module) -> Self {
+        let apply_idx = module.exported_func("apply");
+        let mut sites = HashMap::new();
+        let first_local = module.num_imported_funcs();
+        for (local_i, f) in module.funcs.iter().enumerate() {
+            let func = first_local + local_i as u32;
+            if Some(func) == apply_idx {
+                continue;
+            }
+            for (pc, instr) in f.body.iter().enumerate() {
+                let kind = match instr {
+                    Instr::BrIf(_) | Instr::If(_) => SiteKind::Cond,
+                    Instr::BrTable(..) => SiteKind::Table,
+                    _ => continue,
+                };
+                sites.insert((func, pc as u32), kind);
+            }
         }
-        let Some(f) = module.local_func(func) else { continue };
-        match f.body.get(pc as usize) {
-            Some(Instr::BrIf(_)) | Some(Instr::If(_)) => {
-                let cond = rec.operands.first().map(|v| v.bits()).unwrap_or(0);
-                out.insert((func, pc, (cond != 0) as u64));
+        BranchSites { sites, apply_idx }
+    }
+
+    /// Number of distinct branch *sites* (each contributes ≥ 1 direction).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if the module has no branch sites outside `apply`.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Extract the branches exercised by a trace.
+    pub fn branches_in_trace(&self, trace: &[TraceRecord]) -> HashSet<BranchKey> {
+        let mut out = HashSet::new();
+        self.extend_from_trace(&mut out, trace);
+        out
+    }
+
+    /// Add the branches exercised by a trace into an existing set.
+    pub fn extend_from_trace(&self, out: &mut HashSet<BranchKey>, trace: &[TraceRecord]) {
+        for rec in trace {
+            let TraceKind::Site { func, pc } = rec.kind else {
+                continue;
+            };
+            if Some(func) == self.apply_idx {
+                continue;
             }
-            Some(Instr::BrTable(..)) => {
-                let idx = rec.operands.first().map(|v| v.bits()).unwrap_or(0);
-                out.insert((func, pc, idx));
-            }
-            _ => {}
+            let Some(kind) = self.sites.get(&(func, pc)) else {
+                continue;
+            };
+            let operand = rec.operands.first().map(|v| v.bits()).unwrap_or(0);
+            let direction = match kind {
+                SiteKind::Cond => (operand != 0) as u64,
+                SiteKind::Table => operand,
+            };
+            out.insert((func, pc, direction));
         }
     }
-    out
+}
+
+/// Extract the branches exercised by a trace.
+///
+/// One-shot convenience over [`BranchSites`]; callers running many traces
+/// against the same module should build the table once instead.
+pub fn branches_in_trace(module: &Module, trace: &[TraceRecord]) -> HashSet<BranchKey> {
+    BranchSites::new(module).branches_in_trace(trace)
 }
 
 #[cfg(test)]
@@ -51,20 +116,30 @@ mod tests {
     #[test]
     fn extracts_directions_and_skips_apply() {
         let mut b = ModuleBuilder::new();
-        let action = b.func(&[I64], &[], &[], vec![
-            Instr::LocalGet(0),
-            Instr::I32WrapI64,
-            Instr::If(BlockType::Empty),
-            Instr::Nop,
-            Instr::End,
-            Instr::End,
-        ]);
-        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::LocalGet(0),
-            Instr::I32WrapI64,
-            Instr::BrIf(0),
-            Instr::End,
-        ]);
+        let action = b.func(
+            &[I64],
+            &[],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I32WrapI64,
+                Instr::If(BlockType::Empty),
+                Instr::Nop,
+                Instr::End,
+                Instr::End,
+            ],
+        );
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I32WrapI64,
+                Instr::BrIf(0),
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
         let m = b.build();
 
@@ -74,7 +149,10 @@ mod tests {
                 operands: vec![TraceVal::I(1)],
             },
             TraceRecord {
-                kind: TraceKind::Site { func: action, pc: 2 },
+                kind: TraceKind::Site {
+                    func: action,
+                    pc: 2,
+                },
                 operands: vec![TraceVal::I(0)],
             },
         ];

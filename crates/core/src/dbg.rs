@@ -62,7 +62,11 @@ mod tests {
     use super::*;
 
     fn table(n: &str) -> TableId {
-        TableId { code: Name::new("tgt"), scope: Name::new("tgt"), table: Name::new(n) }
+        TableId {
+            code: Name::new("tgt"),
+            scope: Name::new("tgt"),
+            table: Name::new(n),
+        }
     }
 
     #[test]
@@ -70,7 +74,10 @@ mod tests {
         let mut g = DependencyGraph::new();
         g.record(Name::new("reveal"), DbAccess::Read, table("bets"));
         g.record(Name::new("play"), DbAccess::Write, table("bets"));
-        assert_eq!(g.writer_for_reads_of(Name::new("reveal")), Some(Name::new("play")));
+        assert_eq!(
+            g.writer_for_reads_of(Name::new("reveal")),
+            Some(Name::new("play"))
+        );
     }
 
     #[test]

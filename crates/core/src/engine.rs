@@ -8,6 +8,7 @@
 //! timeout.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,11 +22,11 @@ use wasai_symex::{constraint_vars, flip_queries, seed_from_model, Replayer};
 
 use crate::clock::VirtualClock;
 use crate::config::FuzzConfig;
-use crate::coverage::{branches_in_trace, BranchKey};
+use crate::coverage::BranchKey;
 use crate::dbg::DependencyGraph;
-use crate::harness::{self, accounts, TargetInfo};
-use crate::pool::SeedPool;
+use crate::harness::{self, accounts, PreparedTarget, TargetInfo};
 use crate::oracle::CustomOracle;
+use crate::pool::SeedPool;
 use crate::report::FuzzReport;
 use crate::scanner::{PayloadKind, Scanner};
 use crate::seed::{random_seed, random_value};
@@ -34,7 +35,7 @@ use crate::seed::{random_seed, random_value};
 #[derive(Debug)]
 pub struct Engine {
     cfg: FuzzConfig,
-    target: TargetInfo,
+    prepared: Arc<PreparedTarget>,
     chain: Chain,
     rng: StdRng,
     pool: SeedPool,
@@ -42,7 +43,7 @@ pub struct Engine {
     clock: VirtualClock,
     scanner: Scanner,
     explored: HashSet<BranchKey>,
-    attempted: HashSet<BranchKey>,
+    attempted: HashMap<BranchKey, u32>,
     action_funcs: HashMap<Name, u32>,
     coverage_series: Vec<(u64, usize)>,
     iterations: u64,
@@ -59,18 +60,33 @@ impl Engine {
     ///
     /// Fails when the target cannot be instrumented or deployed.
     pub fn new(target: TargetInfo, cfg: FuzzConfig) -> Result<Self, wasai_chain::ChainError> {
-        let chain = harness::setup_chain(&target, true)?;
+        Self::from_prepared(PreparedTarget::prepare(target)?, cfg)
+    }
+
+    /// [`Engine::new`] against a cached [`PreparedTarget`]: the chain deploys
+    /// the shared compiled module instead of re-instrumenting and
+    /// recompiling, so campaigns over the same contract pay the preparation
+    /// cost once.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the harness chain cannot be initialized.
+    pub fn from_prepared(
+        prepared: Arc<PreparedTarget>,
+        cfg: FuzzConfig,
+    ) -> Result<Self, wasai_chain::ChainError> {
+        let chain = harness::setup_chain_prepared(&prepared)?;
         Ok(Engine {
             rng: StdRng::seed_from_u64(cfg.rng_seed),
             cfg,
-            target,
+            prepared,
             chain,
             pool: SeedPool::new(),
             dbg: DependencyGraph::new(),
             clock: VirtualClock::new(),
             scanner: Scanner::new(),
             explored: HashSet::new(),
-            attempted: HashSet::new(),
+            attempted: HashMap::new(),
             action_funcs: HashMap::new(),
             coverage_series: Vec::new(),
             iterations: 0,
@@ -88,10 +104,14 @@ impl Engine {
 
     /// Run the campaign to completion and produce the report.
     pub fn run(mut self) -> FuzzReport {
+        // One Arc bump pins the action declarations for the whole campaign;
+        // the hot loop below borrows them instead of cloning per iteration.
+        let prepared = self.prepared.clone();
+
         // Algorithm 1, line 2: fill `seeds` with random data.
-        for decl in self.target.abi.actions.clone() {
+        for decl in &prepared.info.abi.actions {
             for _ in 0..5 {
-                let s = random_seed(&mut self.rng, &decl, accounts::target());
+                let s = random_seed(&mut self.rng, decl, accounts::target());
                 self.pool.push(s.action, s.params);
             }
         }
@@ -99,16 +119,13 @@ impl Engine {
         self.payload_sweep();
 
         // Algorithm 1, lines 3–12: the fuzzing loop.
-        let action_names: Vec<Name> =
-            self.target.abi.actions.iter().map(|a| a.name).collect();
+        let num_actions = prepared.info.abi.actions.len();
         while !self.clock.timed_out(self.cfg.timeout_us)
             && self.stall < self.cfg.stall_iters
-            && !action_names.is_empty()
+            && num_actions > 0
         {
-            let decl = self.target.abi.actions
-                [(self.iterations as usize) % action_names.len()]
-            .clone();
-            self.iterate(&decl);
+            let decl = &prepared.info.abi.actions[(self.iterations as usize) % num_actions];
+            self.iterate(decl);
             self.iterations += 1;
         }
 
@@ -138,8 +155,11 @@ impl Engine {
 
     /// Run the four oracle payloads (§3.5) once.
     fn payload_sweep(&mut self) {
-        let Some(decl) = self.target.transfer_decl().cloned() else { return };
-        let base = random_seed(&mut self.rng, &decl, accounts::target()).params;
+        let prepared = self.prepared.clone();
+        let Some(decl) = prepared.info.transfer_decl() else {
+            return;
+        };
+        let base = random_seed(&mut self.rng, decl, accounts::target()).params;
         for kind in [
             PayloadKind::Official,
             PayloadKind::DirectFake,
@@ -168,9 +188,7 @@ impl Engine {
                 );
                 (harness::official_transfer(&p), p)
             }
-            PayloadKind::DirectFake => {
-                (harness::direct_fake_transfer(params), params.to_vec())
-            }
+            PayloadKind::DirectFake => (harness::direct_fake_transfer(params), params.to_vec()),
             PayloadKind::FakeToken => {
                 let p = harness::forced_transfer_params(
                     params,
@@ -187,9 +205,7 @@ impl Engine {
                 );
                 (harness::fake_notif_transfer(&p), p)
             }
-            PayloadKind::Action => {
-                (harness::direct_action(action, params), params.to_vec())
-            }
+            PayloadKind::Action => (harness::direct_action(action, params), params.to_vec()),
         }
     }
 
@@ -238,11 +254,12 @@ impl Engine {
 
         // Keep a trickle of fresh random seeds flowing so name-typed
         // parameters eventually hit every harness account (§3.3.2's pool
-        // rotation alone would only recycle the initial candidates).
-        if self.iterations.is_multiple_of(3) {
-            let s = random_seed(&mut self.rng, decl, accounts::target());
-            self.pool.push(s.action, s.params);
-        }
+        // rotation alone would only recycle the initial candidates). This
+        // must run every round: gating it on an iteration modulus aliases
+        // with the action round-robin whenever the ABI size divides the
+        // modulus, starving every action but the first of fresh seeds.
+        let s = random_seed(&mut self.rng, decl, accounts::target());
+        self.pool.push(s.action, s.params);
 
         let params = self.pool.pop_rotate(decl.name).unwrap_or_else(|| {
             decl.params
@@ -278,20 +295,23 @@ impl Engine {
         action: Name,
         params: Vec<ParamValue>,
     ) -> Vec<Vec<ParamValue>> {
+        let prepared = self.prepared.clone();
         let receipt: Receipt = match self.chain.push_transaction(&tx) {
             Ok(r) => r,
             Err(e) => e.receipt,
         };
-        self.clock.charge_execution(&self.cfg.cost, receipt.steps_used);
+        self.clock
+            .charge_execution(&self.cfg.cost, receipt.steps_used);
 
         // Scanner: guard detection needs the transfer's payee value.
         let to_value = match params.get(1) {
             Some(ParamValue::Name(n)) if action == Name::new("transfer") => Some(n.raw()),
             _ => None,
         };
-        self.scanner.observe(&self.target.original, kind, &receipt, to_value);
+        self.scanner
+            .observe(&prepared.info.original, kind, &receipt, to_value);
         for oracle in &mut self.custom_oracles {
-            oracle.observe(&self.target.original, kind, &receipt);
+            oracle.observe(&prepared.info.original, kind, &receipt);
         }
 
         // DBG update (§3.3.2).
@@ -309,58 +329,67 @@ impl Engine {
         }
 
         // Locate the action function on first contact (§3.4.2).
-        if !self.action_funcs.contains_key(&action) {
+        if let std::collections::hash_map::Entry::Vacant(entry) = self.action_funcs.entry(action) {
             if let Some(f) =
-                harness::locate_action_function(&self.target.original, &receipt.trace)
+                harness::locate_action_function(&prepared.info.original, &receipt.trace)
             {
-                self.action_funcs.insert(action, f);
-                if action == Name::new("transfer")
-                    && matches!(kind, PayloadKind::Official)
-                {
+                entry.insert(f);
+                if action == Name::new("transfer") && matches!(kind, PayloadKind::Official) {
                     self.scanner.set_eosponser(f);
                 }
             }
         }
 
-        // Coverage.
-        let new_branches = branches_in_trace(&self.target.original, &receipt.trace);
+        // Coverage, via the target's precomputed branch-site table.
         let before = self.explored.len();
-        self.explored.extend(new_branches);
+        prepared
+            .branch_sites
+            .extend_from_trace(&mut self.explored, &receipt.trace);
         if self.explored.len() > before {
             self.stall = 0;
         } else {
             self.stall += 1;
         }
-        self.coverage_series.push((self.clock.micros(), self.explored.len()));
+        self.coverage_series
+            .push((self.clock.micros(), self.explored.len()));
 
         // Symbolic feedback (§3.4): replay, flip, solve, enqueue.
         if !self.cfg.feedback {
             return Vec::new();
         }
-        let Some(&action_func) = self.action_funcs.get(&action) else { return Vec::new() };
-        let decl = match self.target.abi.action(action) {
-            Some(d) => d.clone(),
-            None => return Vec::new(),
+        let Some(&action_func) = self.action_funcs.get(&action) else {
+            return Vec::new();
         };
-        let pairs: Vec<_> = decl.params.iter().copied().zip(params.iter().cloned()).collect();
+        let Some(decl) = prepared.info.abi.action(action) else {
+            return Vec::new();
+        };
+        // `params` is consumed into the binding pairs — no per-transaction
+        // re-clone of the declaration or the values.
+        let pairs: Vec<_> = decl.params.iter().copied().zip(params).collect();
         let outcome =
-            Replayer::new(&self.target.original, action_func, 1, &pairs).run(&receipt.trace);
+            Replayer::new(&prepared.info.original, action_func, 1, &pairs).run(&receipt.trace);
 
         let queries = flip_queries(&outcome, &self.explored);
         let mut solved = 0usize;
         let mut new_seeds = Vec::new();
         for q in queries {
-            if solved >= self.cfg.max_queries_per_iter
-                || self.clock.timed_out(self.cfg.timeout_us)
+            if solved >= self.cfg.max_queries_per_iter || self.clock.timed_out(self.cfg.timeout_us)
             {
                 break;
             }
             let key = q.target_key();
-            if self.attempted.contains(&key) {
+            // A solved model does not guarantee the chased seed reaches the
+            // flipped branch (the delivery path may force from/to and clamp
+            // the asset, §3.5's payload templates), so allow a few retries
+            // per target before writing it off — a permanently poisoned key
+            // can otherwise stall a campaign two flips short of a gate.
+            let tries = self.attempted.entry(key).or_insert(0);
+            if *tries >= 3 {
                 continue;
             }
-            self.attempted.insert(key);
-            let (result, stats) = wasai_smt::check(&outcome.pool, &q.constraints, self.cfg.smt_budget);
+            *tries += 1;
+            let (result, stats) =
+                wasai_smt::check(&outcome.pool, &q.constraints, self.cfg.smt_budget);
             self.clock.charge_smt(&self.cfg.cost, stats.propagations);
             self.smt_queries += 1;
             solved += 1;

@@ -1,0 +1,208 @@
+//! Fleet — deterministic parallel campaign orchestration.
+//!
+//! The paper's experiments run hundreds of independent fuzzing campaigns
+//! (contract × tool × seed). Each campaign is single-threaded and seeded
+//! from its sample index, so campaigns are embarrassingly parallel *if* the
+//! merge step is careful: results must be combined in index order, never in
+//! completion order, so the merged output (accuracy tables, wild-corpus
+//! counts, coverage series) is bit-identical regardless of worker count.
+//!
+//! [`run_jobs`] implements that contract with a work-queue scheduler on
+//! [`std::thread::scope`]: workers pull `(index, item)` jobs from a shared
+//! queue and write each result into its index-keyed slot, and the slot
+//! vector is returned in index order. `jobs == 1` bypasses the scheduler
+//! entirely and runs the items serially on the calling thread.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resolve the worker count from the `WASAI_JOBS` environment variable.
+///
+/// Unset, empty, `0`, or unparsable → available hardware parallelism;
+/// `1` → serial execution on the calling thread; `n` → `n` workers.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("WASAI_JOBS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => default_jobs(),
+            Ok(n) => n,
+        },
+        Err(_) => default_jobs(),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Throughput of one fleet run, for the bench binaries' summary line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetStats {
+    /// Worker threads used (1 = serial path).
+    pub jobs: usize,
+    /// Campaigns completed.
+    pub campaigns: usize,
+    /// Aggregate virtual microseconds simulated across all campaigns.
+    pub virtual_us: u64,
+    /// Wall-clock duration of the whole fleet.
+    pub wall: Duration,
+}
+
+impl FleetStats {
+    /// Campaigns completed per wall-clock second.
+    pub fn campaigns_per_sec(&self) -> f64 {
+        self.campaigns as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Aggregate virtual microseconds simulated per wall-clock second.
+    pub fn virtual_us_per_sec(&self) -> f64 {
+        self.virtual_us as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The standard one-line summary printed by the experiment binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "fleet: {} campaigns on {} worker(s) in {:.2}s — {:.2} campaigns/s, {:.0} virtual-µs/s",
+            self.campaigns,
+            self.jobs,
+            self.wall.as_secs_f64(),
+            self.campaigns_per_sec(),
+            self.virtual_us_per_sec(),
+        )
+    }
+}
+
+/// Run `worker` over every `(index, item)` on `jobs` threads and return the
+/// results in index order.
+///
+/// Determinism contract: `worker` must derive all randomness from its own
+/// arguments (in this workspace, campaign seeds derive from the sample
+/// index), so the result at slot `i` does not depend on scheduling. The
+/// scheduler only affects *when* a slot is filled, never *what* fills it.
+///
+/// With `jobs <= 1` the items run serially on the calling thread — the
+/// reference path parallel runs are checked against.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn run_jobs<I, T, F>(jobs: usize, items: Vec<I>, worker: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| worker(i, item))
+            .collect();
+    }
+
+    let n = items.len();
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("fleet queue poisoned").pop_front();
+                let Some((i, item)) = job else { break };
+                let result = worker(i, item);
+                *slots[i].lock().expect("fleet slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fleet slot poisoned")
+                .expect("every queued job fills its slot")
+        })
+        .collect()
+}
+
+/// [`run_jobs`] with wall-clock + virtual-time accounting: `virtual_us`
+/// extracts each result's simulated duration for the throughput summary.
+pub fn run_jobs_timed<I, T, F, V>(
+    jobs: usize,
+    items: Vec<I>,
+    worker: F,
+    virtual_us: V,
+) -> (Vec<T>, FleetStats)
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+    V: Fn(&T) -> u64,
+{
+    let start = Instant::now();
+    let results = run_jobs(jobs, items, worker);
+    let wall = start.elapsed();
+    let stats = FleetStats {
+        jobs: jobs.max(1),
+        campaigns: results.len(),
+        virtual_us: results.iter().map(&virtual_us).sum(),
+        wall,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Stagger completion so later indices finish first under parallelism.
+        let items: Vec<u64> = (0..32).collect();
+        let out = run_jobs(4, items, |i, x| {
+            std::thread::sleep(Duration::from_micros(200 - 6 * i as u64));
+            x * 2
+        });
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: usize, x: u64| x.wrapping_mul(0x9e37_79b9).rotate_left(i as u32);
+        let items: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        let serial = run_jobs(1, items.clone(), work);
+        let parallel = run_jobs(8, items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = run_jobs(3, (0..50).collect::<Vec<_>>(), |_, x: i32| {
+            count.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn timed_variant_sums_virtual_time() {
+        let (out, stats) = run_jobs_timed(2, vec![10u64, 20, 30], |_, x| x, |&t| t);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(stats.campaigns, 3);
+        assert_eq!(stats.virtual_us, 60);
+        assert!(stats.campaigns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        // No env manipulation here (tests run in parallel); exercise the
+        // default path only.
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -2,13 +2,17 @@
 //! adversary-oracle agent contracts (Algorithm 1, line 2), plus the payload
 //! transaction templates of §3.5 and action-function location (§3.4.2).
 
+use std::sync::Arc;
+
 use wasai_chain::abi::{Abi, ActionDecl, ParamValue};
 use wasai_chain::asset::Asset;
 use wasai_chain::name::Name;
 use wasai_chain::{Action, Chain, NativeKind, Transaction};
-use wasai_vm::{TraceKind, TraceRecord};
+use wasai_vm::{CompiledModule, TraceKind, TraceRecord};
 use wasai_wasm::instr::Instr;
 use wasai_wasm::Module;
+
+use crate::coverage::BranchSites;
 
 /// Well-known harness account names.
 pub mod accounts {
@@ -66,6 +70,44 @@ impl TargetInfo {
     }
 }
 
+/// A target with its per-contract shared artifacts computed once: the
+/// instrumented + compiled module and the branch-site table.
+///
+/// Instrumentation, compilation and branch-site scanning are pure functions
+/// of the module, so campaigns that differ only in tool or RNG seed can
+/// share one `Arc<PreparedTarget>` instead of redoing that work per
+/// campaign — the fleet scheduler's shared-artifact cache.
+#[derive(Debug)]
+pub struct PreparedTarget {
+    /// The target (original module + ABI) — what campaigns introspect.
+    pub info: TargetInfo,
+    /// The instrumented module, compiled once for every chain deployment.
+    pub compiled: Arc<CompiledModule>,
+    /// Branch sites of the *original* module (trace sites refer to it).
+    pub branch_sites: BranchSites,
+}
+
+impl PreparedTarget {
+    /// Instrument, compile and scan `target` once.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the module cannot be instrumented or compiled.
+    pub fn prepare(target: TargetInfo) -> Result<Arc<Self>, wasai_chain::ChainError> {
+        let instrumented = wasai_wasm::instrument::instrument(&target.original)
+            .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?
+            .module;
+        let compiled = CompiledModule::compile(instrumented)
+            .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?;
+        let branch_sites = BranchSites::new(&target.original);
+        Ok(Arc::new(PreparedTarget {
+            info: target,
+            compiled,
+            branch_sites,
+        }))
+    }
+}
+
 /// Initialize the local blockchain: deploy the (instrumented) target, the
 /// token contracts and the adversary agents, and fund everyone.
 ///
@@ -77,41 +119,63 @@ pub fn setup_chain(
     target: &TargetInfo,
     instrument: bool,
 ) -> Result<Chain, wasai_chain::ChainError> {
+    if instrument {
+        let prepared = PreparedTarget::prepare(target.clone())?;
+        return setup_chain_prepared(&prepared);
+    }
+    let compiled = CompiledModule::compile(target.original.clone())
+        .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?;
+    setup_chain_compiled(compiled, target.abi.clone())
+}
+
+/// [`setup_chain`] against a [`PreparedTarget`]: deploys the cached compiled
+/// module instead of re-instrumenting and recompiling per campaign.
+///
+/// # Errors
+///
+/// Propagates harness account-creation errors.
+pub fn setup_chain_prepared(prepared: &PreparedTarget) -> Result<Chain, wasai_chain::ChainError> {
+    setup_chain_compiled(prepared.compiled.clone(), prepared.info.abi.clone())
+}
+
+fn setup_chain_compiled(
+    compiled: Arc<CompiledModule>,
+    abi: Abi,
+) -> Result<Chain, wasai_chain::ChainError> {
     let mut chain = Chain::new();
     chain.deploy_native(accounts::token(), NativeKind::Token);
     chain.deploy_native(accounts::fake_token(), NativeKind::Token);
     chain.deploy_native(
         accounts::fake_notif(),
-        NativeKind::NotifForwarder { forward_to: accounts::target() },
+        NativeKind::NotifForwarder {
+            forward_to: accounts::target(),
+        },
     );
     chain.create_account(accounts::attacker())?;
     chain.create_account(accounts::alice())?;
 
-    let module = if instrument {
-        wasai_wasm::instrument::instrument(&target.original)
-            .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?
-            .module
-    } else {
-        target.original.clone()
-    };
-    chain.deploy_wasm(accounts::target(), module, target.abi.clone())?;
+    chain.deploy_compiled(accounts::target(), compiled, abi);
 
     // Fund the cast: real EOS for users and the target (so reward payouts
     // work), fake EOS for the attacker.
-    chain.issue(accounts::token(), accounts::attacker(), Asset::eos(1_000_000));
+    chain.issue(
+        accounts::token(),
+        accounts::attacker(),
+        Asset::eos(1_000_000),
+    );
     chain.issue(accounts::token(), accounts::alice(), Asset::eos(1_000_000));
     chain.issue(accounts::token(), accounts::target(), Asset::eos(10_000));
-    chain.issue(accounts::fake_token(), accounts::attacker(), Asset::eos(1_000_000));
+    chain.issue(
+        accounts::fake_token(),
+        accounts::attacker(),
+        Asset::eos(1_000_000),
+    );
     Ok(chain)
 }
 
 /// Transfer-shaped parameters with `from`/`to` forced (used by payloads that
 /// must satisfy the token contract).
-pub fn forced_transfer_params(
-    params: &[ParamValue],
-    from: Name,
-    to: Name,
-) -> Vec<ParamValue> {
+pub fn forced_transfer_params(params: &[ParamValue], from: Name, to: Name) -> Vec<ParamValue> {
     let mut p = params.to_vec();
     if !p.is_empty() {
         p[0] = ParamValue::Name(from);
@@ -179,7 +243,12 @@ pub fn fake_notif_transfer(params: &[ParamValue]) -> Transaction {
 
 /// A plain direct action on the target, attacker-signed.
 pub fn direct_action(action: Name, params: &[ParamValue]) -> Transaction {
-    Transaction::single(Action::new(accounts::target(), action, &[accounts::attacker()], params))
+    Transaction::single(Action::new(
+        accounts::target(),
+        action,
+        &[accounts::attacker()],
+        params,
+    ))
 }
 
 /// Locate the executed action function from a trace (§3.4.2): the function
@@ -240,9 +309,18 @@ mod tests {
             ParamValue::Asset(Asset::eos(1)),
             ParamValue::String(String::new()),
         ];
-        assert_eq!(official_transfer(&params).actions[0].account, accounts::token());
-        assert_eq!(direct_fake_transfer(&params).actions[0].account, accounts::target());
-        assert_eq!(fake_token_transfer(&params).actions[0].account, accounts::fake_token());
+        assert_eq!(
+            official_transfer(&params).actions[0].account,
+            accounts::token()
+        );
+        assert_eq!(
+            direct_fake_transfer(&params).actions[0].account,
+            accounts::target()
+        );
+        assert_eq!(
+            fake_token_transfer(&params).actions[0].account,
+            accounts::fake_token()
+        );
         let fnotif = fake_notif_transfer(&params);
         assert_eq!(fnotif.actions[0].account, accounts::token());
         // The payee is the agent, not the target.
@@ -263,22 +341,33 @@ mod locate_tests {
         let action = b.func(&[I64], &[], &[], vec![Instr::End]);
         b.table(1).elem(0, vec![action]);
         let ty = b.module().local_func(action).unwrap().type_idx;
-        let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::LocalGet(0),
-            Instr::I32Const(0),
-            Instr::CallIndirect(ty),
-            Instr::End,
-        ]);
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I32Const(0),
+                Instr::CallIndirect(ty),
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
         (b.build(), apply, action)
     }
 
     fn site(func: u32, pc: u32) -> TraceRecord {
-        TraceRecord { kind: TraceKind::Site { func, pc }, operands: vec![TraceVal::I(0)] }
+        TraceRecord {
+            kind: TraceKind::Site { func, pc },
+            operands: vec![TraceVal::I(0)],
+        }
     }
 
     fn begin(func: u32) -> TraceRecord {
-        TraceRecord { kind: TraceKind::FuncBegin { func }, operands: vec![] }
+        TraceRecord {
+            kind: TraceKind::FuncBegin { func },
+            operands: vec![],
+        }
     }
 
     #[test]

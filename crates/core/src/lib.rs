@@ -18,6 +18,7 @@ pub mod config;
 pub mod coverage;
 pub mod dbg;
 pub mod engine;
+pub mod fleet;
 pub mod harness;
 pub mod oracle;
 pub mod pool;
@@ -28,8 +29,10 @@ pub mod wasai;
 
 pub use clock::{CostModel, VirtualClock};
 pub use config::FuzzConfig;
+pub use coverage::BranchSites;
 pub use engine::Engine;
-pub use harness::TargetInfo;
+pub use fleet::{jobs_from_env, run_jobs, run_jobs_timed, FleetStats};
+pub use harness::{PreparedTarget, TargetInfo};
 pub use oracle::{ApiUsageOracle, CustomOracle};
 pub use report::{ExploitRecord, FuzzReport, VulnClass};
 pub use scanner::{PayloadKind, Scanner};

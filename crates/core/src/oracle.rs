@@ -41,7 +41,11 @@ pub struct ApiUsageOracle {
 impl ApiUsageOracle {
     /// Flag uses of `api` by `contract`.
     pub fn new(api: impl Into<String>, contract: Name) -> Self {
-        ApiUsageOracle { api: api.into(), contract, seen: false }
+        ApiUsageOracle {
+            api: api.into(),
+            contract,
+            seen: false,
+        }
     }
 }
 
@@ -86,7 +90,10 @@ mod tests {
     use wasai_chain::database::{DbAccess, DbOp, TableId};
 
     fn receipt_with(ev: ApiEvent) -> Receipt {
-        Receipt { api_events: vec![ev], ..Receipt::default() }
+        Receipt {
+            api_events: vec![ev],
+            ..Receipt::default()
+        }
     }
 
     #[test]

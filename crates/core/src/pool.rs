@@ -2,15 +2,74 @@
 //! "the seed pool is a mapping, where each key is an action name and each
 //! item is a circular queue saving the seed candidates").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use wasai_chain::abi::ParamValue;
 use wasai_chain::name::Name;
 
+/// One action's circular queue plus the hash set mirroring its membership,
+/// so `push` dedup is O(1) instead of a linear queue scan.
+///
+/// Invariant: `keys` holds exactly the encoded key of every queued vector
+/// (rotation leaves membership unchanged; eviction removes the evicted key).
+#[derive(Debug, Default)]
+struct Queue {
+    items: VecDeque<Vec<ParamValue>>,
+    keys: HashSet<Vec<u8>>,
+}
+
+/// A total encoding of a parameter vector, usable as a hash key.
+///
+/// `ParamValue` holds `f64` so it cannot implement `Eq`/`Hash` itself; the
+/// encoding compares floats by bit pattern (which also deduplicates NaNs —
+/// acceptable for seeds, where any NaN drives the target identically).
+fn encode_key(params: &[ParamValue]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(params.len() * 9);
+    for p in params {
+        match p {
+            ParamValue::Name(n) => {
+                key.push(0);
+                key.extend_from_slice(&n.raw().to_le_bytes());
+            }
+            ParamValue::Asset(a) => {
+                key.push(1);
+                key.extend_from_slice(&a.amount.to_le_bytes());
+                key.extend_from_slice(&a.symbol.raw().to_le_bytes());
+            }
+            ParamValue::String(s) => {
+                key.push(2);
+                key.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                key.extend_from_slice(s.as_bytes());
+            }
+            ParamValue::U64(v) => {
+                key.push(3);
+                key.extend_from_slice(&v.to_le_bytes());
+            }
+            ParamValue::U32(v) => {
+                key.push(4);
+                key.extend_from_slice(&v.to_le_bytes());
+            }
+            ParamValue::U8(v) => {
+                key.push(5);
+                key.push(*v);
+            }
+            ParamValue::I64(v) => {
+                key.push(6);
+                key.extend_from_slice(&v.to_le_bytes());
+            }
+            ParamValue::F64(v) => {
+                key.push(7);
+                key.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    key
+}
+
 /// Per-action circular queues of parameter vectors.
 #[derive(Debug, Default)]
 pub struct SeedPool {
-    queues: HashMap<Name, VecDeque<Vec<ParamValue>>>,
+    queues: HashMap<Name, Queue>,
     /// Cap per queue so solver-generated seeds cannot grow without bound.
     cap: usize,
 }
@@ -18,39 +77,45 @@ pub struct SeedPool {
 impl SeedPool {
     /// A pool with the default per-action capacity.
     pub fn new() -> Self {
-        SeedPool { queues: HashMap::new(), cap: 64 }
+        SeedPool {
+            queues: HashMap::new(),
+            cap: 64,
+        }
     }
 
     /// Add a candidate to an action's queue (dropping the oldest beyond the
-    /// cap).
+    /// cap). Duplicate vectors are ignored in O(1).
     pub fn push(&mut self, action: Name, params: Vec<ParamValue>) {
         let q = self.queues.entry(action).or_default();
-        if q.contains(&params) {
+        let key = encode_key(&params);
+        if !q.keys.insert(key) {
             return;
         }
-        if q.len() >= self.cap {
-            q.pop_front();
+        if q.items.len() >= self.cap {
+            if let Some(evicted) = q.items.pop_front() {
+                q.keys.remove(&encode_key(&evicted));
+            }
         }
-        q.push_back(params);
+        q.items.push_back(params);
     }
 
     /// Pop the head candidate and rotate it to the tail (the paper's
     /// `seeds[φ]` circular-queue discipline).
     pub fn pop_rotate(&mut self, action: Name) -> Option<Vec<ParamValue>> {
         let q = self.queues.get_mut(&action)?;
-        let head = q.pop_front()?;
-        q.push_back(head.clone());
+        let head = q.items.pop_front()?;
+        q.items.push_back(head.clone());
         Some(head)
     }
 
     /// Number of candidates queued for an action.
     pub fn len(&self, action: Name) -> usize {
-        self.queues.get(&action).map(VecDeque::len).unwrap_or(0)
+        self.queues.get(&action).map(|q| q.items.len()).unwrap_or(0)
     }
 
     /// True when the pool holds nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.queues.values().all(VecDeque::is_empty)
+        self.queues.values().all(|q| q.items.is_empty())
     }
 }
 
@@ -93,6 +158,50 @@ mod tests {
         assert_eq!(pool.len(a), 64);
         // The oldest entries were evicted.
         assert_eq!(pool.pop_rotate(a), Some(p(36)));
+    }
+
+    #[test]
+    fn eviction_keeps_dedup_set_and_queue_in_sync() {
+        let mut pool = SeedPool::new();
+        let a = Name::new("play");
+        for i in 0..100 {
+            pool.push(a, p(i));
+        }
+        // 0..36 were evicted, so they must be insertable again…
+        pool.push(a, p(0));
+        assert_eq!(pool.len(a), 64);
+        // …while surviving entries are still deduplicated.
+        pool.push(a, p(50));
+        assert_eq!(pool.len(a), 64);
+        let q = &pool.queues[&a];
+        assert_eq!(
+            q.items.len(),
+            q.keys.len(),
+            "set mirrors queue after eviction"
+        );
+        assert!(q.items.iter().all(|v| q.keys.contains(&encode_key(v))));
+    }
+
+    #[test]
+    fn rotation_does_not_break_dedup() {
+        let mut pool = SeedPool::new();
+        let a = Name::new("play");
+        pool.push(a, p(1));
+        pool.push(a, p(2));
+        pool.pop_rotate(a);
+        // p(1) is now at the tail but still a member — re-pushing must dedup.
+        pool.push(a, p(1));
+        assert_eq!(pool.len(a), 2);
+    }
+
+    #[test]
+    fn distinct_types_with_same_bits_do_not_collide() {
+        let mut pool = SeedPool::new();
+        let a = Name::new("play");
+        pool.push(a, vec![ParamValue::U64(5)]);
+        pool.push(a, vec![ParamValue::I64(5)]);
+        pool.push(a, vec![ParamValue::F64(f64::from_bits(5))]);
+        assert_eq!(pool.len(a), 3);
     }
 
     #[test]

@@ -76,12 +76,18 @@ impl Scanner {
         }
         let apply_idx = module.exported_func("apply");
         receipt.trace.iter().any(|r| {
-            let TraceKind::Site { func, pc } = r.kind else { return false };
+            let TraceKind::Site { func, pc } = r.kind else {
+                return false;
+            };
             if Some(func) == apply_idx {
                 return false; // dispatcher compares are not payee guards
             }
-            let Some(f) = module.local_func(func) else { return false };
-            let Some(instr) = f.body.get(pc as usize) else { return false };
+            let Some(f) = module.local_func(func) else {
+                return false;
+            };
+            let Some(instr) = f.body.get(pc as usize) else {
+                return false;
+            };
             if !instr.is_i64_guard_compare() || r.operands.len() != 2 {
                 return false;
             }
@@ -142,18 +148,25 @@ impl Scanner {
         for ev in &receipt.api_events {
             match ev {
                 ApiEvent::RequireAuth { contract, .. } if *contract == target => authed = true,
-                ApiEvent::HasAuth { contract, granted: true, .. } if *contract == target => {
+                ApiEvent::HasAuth {
+                    contract,
+                    granted: true,
+                    ..
+                } if *contract == target => {
                     authed = true;
                 }
-                ApiEvent::TaposRead { contract } if *contract == target
-                    && !self.blockinfo => {
-                        self.blockinfo = true;
-                        self.exploits.push(ExploitRecord {
-                            class: VulnClass::BlockinfoDep,
-                            payload: "tapos_block_num/prefix used as randomness source".into(),
-                        });
-                    }
-                ApiEvent::SendInline { contract, target: t, action } if *contract == target => {
+                ApiEvent::TaposRead { contract } if *contract == target && !self.blockinfo => {
+                    self.blockinfo = true;
+                    self.exploits.push(ExploitRecord {
+                        class: VulnClass::BlockinfoDep,
+                        payload: "tapos_block_num/prefix used as randomness source".into(),
+                    });
+                }
+                ApiEvent::SendInline {
+                    contract,
+                    target: t,
+                    action,
+                } if *contract == target => {
                     if !self.rollback {
                         self.rollback = true;
                         self.exploits.push(ExploitRecord {
@@ -231,20 +244,28 @@ mod tests {
     /// `i64.ne` at pc 2 (a payee-guard shape).
     fn module_with_guard() -> (Module, u32) {
         let mut b = ModuleBuilder::new();
-        let eosponser = b.func(&[I64, I64, I64], &[], &[], vec![
-            Instr::LocalGet(2),
-            Instr::LocalGet(0),
-            Instr::I64Ne,
-            Instr::Drop,
-            Instr::End,
-        ]);
+        let eosponser = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::LocalGet(2),
+                Instr::LocalGet(0),
+                Instr::I64Ne,
+                Instr::Drop,
+                Instr::End,
+            ],
+        );
         let apply = b.func(&[I64, I64, I64], &[], &[], vec![Instr::End]);
         b.export_func("apply", apply);
         (b.build(), eosponser)
     }
 
     fn begin(func: u32) -> TraceRecord {
-        TraceRecord { kind: TraceKind::FuncBegin { func }, operands: vec![] }
+        TraceRecord {
+            kind: TraceKind::FuncBegin { func },
+            operands: vec![],
+        }
     }
 
     fn guard_site(func: u32, a: u64, b: u64) -> TraceRecord {
@@ -265,7 +286,10 @@ mod tests {
 
         let mut s = Scanner::new();
         s.set_eosponser(eosponser);
-        let receipt = Receipt { trace: vec![begin(eosponser)], ..Receipt::default() };
+        let receipt = Receipt {
+            trace: vec![begin(eosponser)],
+            ..Receipt::default()
+        };
         s.observe(&module, PayloadKind::DirectFake, &receipt, None);
         assert!(s.verdicts().0.contains(&VulnClass::FakeEos));
     }
@@ -279,7 +303,10 @@ mod tests {
         // Forwarded notification runs the eosponser, no guard: vulnerable.
         let mut s = Scanner::new();
         s.set_eosponser(eosponser);
-        let receipt = Receipt { trace: vec![begin(eosponser)], ..Receipt::default() };
+        let receipt = Receipt {
+            trace: vec![begin(eosponser)],
+            ..Receipt::default()
+        };
         s.observe(&module, PayloadKind::ForwardedNotif, &receipt, Some(to));
         assert!(s.verdicts().0.contains(&VulnClass::FakeNotif));
 
@@ -316,9 +343,20 @@ mod tests {
         use wasai_chain::database::{DbAccess, DbOp, TableId};
         let (module, _) = module_with_guard();
         let target = accounts::target();
-        let table = TableId { code: target, scope: target, table: Name::new("t") };
-        let write = ApiEvent::Db(DbOp { contract: target, access: DbAccess::Write, table });
-        let auth = ApiEvent::RequireAuth { contract: target, actor: Name::new("attacker") };
+        let table = TableId {
+            code: target,
+            scope: target,
+            table: Name::new("t"),
+        };
+        let write = ApiEvent::Db(DbOp {
+            contract: target,
+            access: DbAccess::Write,
+            table,
+        });
+        let auth = ApiEvent::RequireAuth {
+            contract: target,
+            actor: Name::new("attacker"),
+        };
 
         // Auth precedes the write: safe.
         let mut s = Scanner::new();
@@ -359,7 +397,10 @@ mod tests {
         let (v, exploits) = s.verdicts();
         assert!(v.contains(&VulnClass::BlockinfoDep));
         assert!(v.contains(&VulnClass::Rollback));
-        assert_eq!(exploits.len(), 2 + 1 /* MissAuth from unauthorized inline */);
+        assert_eq!(
+            exploits.len(),
+            2 + 1 /* MissAuth from unauthorized inline */
+        );
     }
 
     #[test]
@@ -367,7 +408,9 @@ mod tests {
         let (module, _) = module_with_guard();
         let mut s = Scanner::new();
         let receipt = Receipt {
-            api_events: vec![ApiEvent::TaposRead { contract: Name::new("bystander") }],
+            api_events: vec![ApiEvent::TaposRead {
+                contract: Name::new("bystander"),
+            }],
             ..Receipt::default()
         };
         s.observe(&module, PayloadKind::Action, &receipt, None);

@@ -25,8 +25,14 @@ impl Seed {
 
 /// Interesting names to draw from when mutating name-typed parameters
 /// (accounts that exist on the harness chain).
-pub const NAME_CANDIDATES: &[&str] =
-    &["attacker", "alice", "eosio.token", "fake.notif", "fake.token", "eosio"];
+pub const NAME_CANDIDATES: &[&str] = &[
+    "attacker",
+    "alice",
+    "eosio.token",
+    "fake.notif",
+    "fake.token",
+    "eosio",
+];
 
 /// Generate a random value of a parameter type (the initial random seed
 /// filling of Algorithm 1 line 2).
@@ -84,7 +90,11 @@ fn interesting_u64(rng: &mut StdRng) -> u64 {
 pub fn random_seed(rng: &mut StdRng, decl: &ActionDecl, self_name: Name) -> Seed {
     Seed {
         action: decl.name,
-        params: decl.params.iter().map(|&t| random_value(rng, t, self_name)).collect(),
+        params: decl
+            .params
+            .iter()
+            .map(|&t| random_value(rng, t, self_name))
+            .collect(),
     }
 }
 

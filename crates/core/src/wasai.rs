@@ -1,12 +1,22 @@
 //! The public façade: analyze one contract with WASAI.
 
+use std::sync::Arc;
+
 use wasai_chain::abi::Abi;
 use wasai_wasm::Module;
 
 use crate::config::FuzzConfig;
 use crate::engine::Engine;
-use crate::harness::TargetInfo;
+use crate::harness::{PreparedTarget, TargetInfo};
 use crate::report::FuzzReport;
+
+/// Where the campaign's target comes from: a raw module prepared on `run`,
+/// or a shared pre-instrumented artifact (the fleet cache).
+#[derive(Debug)]
+enum Target {
+    Raw(Box<TargetInfo>),
+    Prepared(Arc<PreparedTarget>),
+}
 
 /// A configured WASAI analysis of one Wasm smart contract.
 ///
@@ -25,7 +35,7 @@ use crate::report::FuzzReport;
 /// ```
 #[derive(Debug)]
 pub struct Wasai {
-    target: TargetInfo,
+    target: Target,
     cfg: FuzzConfig,
     oracles: Vec<Box<dyn crate::oracle::CustomOracle>>,
 }
@@ -34,7 +44,18 @@ impl Wasai {
     /// Analyze `module` (with its ABI) under the default configuration.
     pub fn new(module: Module, abi: Abi) -> Self {
         Wasai {
-            target: TargetInfo::new(module, abi),
+            target: Target::Raw(Box::new(TargetInfo::new(module, abi))),
+            cfg: FuzzConfig::default(),
+            oracles: Vec::new(),
+        }
+    }
+
+    /// Analyze a cached [`PreparedTarget`]: instrumentation, compilation and
+    /// the branch-site table are shared with every other campaign holding
+    /// the same `Arc` instead of being redone per campaign.
+    pub fn from_prepared(prepared: Arc<PreparedTarget>) -> Self {
+        Wasai {
+            target: Target::Prepared(prepared),
             cfg: FuzzConfig::default(),
             oracles: Vec::new(),
         }
@@ -59,7 +80,11 @@ impl Wasai {
     /// Fails if the contract cannot be instrumented or deployed (e.g. it
     /// does not validate).
     pub fn run(self) -> Result<FuzzReport, wasai_chain::ChainError> {
-        let mut engine = Engine::new(self.target, self.cfg)?;
+        let prepared = match self.target {
+            Target::Raw(info) => PreparedTarget::prepare(*info)?,
+            Target::Prepared(p) => p,
+        };
+        let mut engine = Engine::from_prepared(prepared, self.cfg)?;
         for o in self.oracles {
             engine.add_oracle(o);
         }

@@ -99,15 +99,22 @@ fn build_group(
                     RewardKind::None
                 };
                 bp.gate = if make_vul {
-                    GateKind::Solvable { depth: rng.gen_range(1..4) }
+                    GateKind::Solvable {
+                        depth: rng.gen_range(1..4),
+                    }
                 } else {
-                    GateKind::Unsatisfiable { depth: rng.gen_range(1..4) }
+                    GateKind::Unsatisfiable {
+                        depth: rng.gen_range(1..4),
+                    }
                 };
                 generate(bp)
             }
         };
         debug_assert_eq!(contract.is_vulnerable_to(class), make_vul);
-        out.push(BenchmarkSample { contract, group: class });
+        out.push(BenchmarkSample {
+            contract,
+            group: class,
+        });
     }
     out
 }
@@ -148,7 +155,10 @@ pub fn table6_benchmark(seed: u64, scale: f64) -> Vec<BenchmarkSample> {
         for s in build_group(class, v, n, &mut rng) {
             let checks = rng.gen_range(1..3);
             let (contract, _key) = inject_verification(&s.contract, rng.gen(), checks);
-            out.push(BenchmarkSample { contract, group: s.group });
+            out.push(BenchmarkSample {
+                contract,
+                group: s.group,
+            });
         }
     }
     out

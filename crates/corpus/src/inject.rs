@@ -29,8 +29,12 @@ fn neutralize_compare(body: &mut Vec<Instr>, pc: usize, pass_value: i32) {
 /// Returns `true` if a guard was found and stripped.
 pub fn strip_code_guard(module: &mut Module) -> bool {
     let token = Name::new("eosio.token").as_i64();
-    let Some(apply_idx) = module.exported_func("apply") else { return false };
-    let Some(apply) = module.local_func_mut(apply_idx) else { return false };
+    let Some(apply_idx) = module.exported_func("apply") else {
+        return false;
+    };
+    let Some(apply) = module.local_func_mut(apply_idx) else {
+        return false;
+    };
     for pc in 1..apply.body.len() {
         let is_token_const = matches!(apply.body[pc - 1], Instr::I64Const(c) if c == token);
         if !is_token_const {
@@ -57,7 +61,9 @@ pub fn strip_code_guard(module: &mut Module) -> bool {
 ///
 /// Returns `true` if a guard was found and stripped.
 pub fn strip_payee_guard(module: &mut Module, transfer_func: u32) -> bool {
-    let Some(f) = module.local_func_mut(transfer_func) else { return false };
+    let Some(f) = module.local_func_mut(transfer_func) else {
+        return false;
+    };
     for pc in 2..f.body.len() {
         let params_compared = matches!(
             (&f.body[pc - 2], &f.body[pc - 1]),
@@ -135,7 +141,10 @@ mod tests {
 
     #[test]
     fn stripping_the_code_guard_flips_the_label() {
-        let safe = generate(Blueprint { seed: 100, ..Blueprint::default() });
+        let safe = generate(Blueprint {
+            seed: 100,
+            ..Blueprint::default()
+        });
         assert!(!safe.is_vulnerable_to(VulnClass::FakeEos));
         let vuln = make_vulnerable(&safe, VulnClass::FakeEos);
         assert!(vuln.is_vulnerable_to(VulnClass::FakeEos));
@@ -144,13 +153,20 @@ mod tests {
 
     #[test]
     fn stripping_is_idempotent_on_already_vulnerable() {
-        let mut c = generate(Blueprint { seed: 101, code_guard: false, ..Blueprint::default() });
+        let mut c = generate(Blueprint {
+            seed: 101,
+            code_guard: false,
+            ..Blueprint::default()
+        });
         assert!(!strip_code_guard(&mut c.module), "nothing to strip");
     }
 
     #[test]
     fn payee_guard_strip_targets_the_eosponser() {
-        let safe = generate(Blueprint { seed: 102, ..Blueprint::default() });
+        let safe = generate(Blueprint {
+            seed: 102,
+            ..Blueprint::default()
+        });
         let vuln = make_vulnerable(&safe, VulnClass::FakeNotif);
         assert!(vuln.is_vulnerable_to(VulnClass::FakeNotif));
         // Only the eosponser changed.
@@ -161,17 +177,30 @@ mod tests {
 
     #[test]
     fn auth_strip_removes_all_permission_calls() {
-        let safe = generate(Blueprint { seed: 103, ..Blueprint::default() });
+        let safe = generate(Blueprint {
+            seed: 103,
+            ..Blueprint::default()
+        });
         let mut m = safe.module.clone();
         let removed = strip_auth(&mut m);
-        assert!(removed >= 2, "setowner and reveal both check auth, removed {removed}");
+        assert!(
+            removed >= 2,
+            "setowner and reveal both check auth, removed {removed}"
+        );
         assert_eq!(strip_auth(&mut m), 0);
     }
 
     #[test]
     fn all_strips_preserve_validation() {
-        for class in [VulnClass::FakeEos, VulnClass::FakeNotif, VulnClass::MissAuth] {
-            let safe = generate(Blueprint { seed: 104, ..Blueprint::default() });
+        for class in [
+            VulnClass::FakeEos,
+            VulnClass::FakeNotif,
+            VulnClass::MissAuth,
+        ] {
+            let safe = generate(Blueprint {
+                seed: 104,
+                ..Blueprint::default()
+            });
             let vuln = make_vulnerable(&safe, class);
             wasai_wasm::validate::validate(&vuln.module).unwrap();
         }

@@ -35,10 +35,12 @@ pub fn split_guard_consts(module: &mut Module, rng: &mut StdRng) -> usize {
     for f in &mut module.funcs {
         let mut pc = 0;
         while pc + 1 < f.body.len() {
-            let splittable = matches!(f.body[pc], Instr::I64Const(_))
-                && f.body[pc + 1].is_i64_guard_compare();
+            let splittable =
+                matches!(f.body[pc], Instr::I64Const(_)) && f.body[pc + 1].is_i64_guard_compare();
             if splittable {
-                let Instr::I64Const(c) = f.body[pc] else { unreachable!() };
+                let Instr::I64Const(c) = f.body[pc] else {
+                    unreachable!()
+                };
                 let k: i64 = rng.gen();
                 f.body.splice(
                     pc..=pc,
@@ -121,7 +123,11 @@ pub fn obfuscate(contract: &LabeledContract, seed: u64) -> LabeledContract {
     split_guard_consts(&mut out.module, &mut rng);
     insert_popcount_predicates(
         &mut out.module,
-        &[out.meta.transfer_func, out.meta.reveal_func, out.meta.admin_func],
+        &[
+            out.meta.transfer_func,
+            out.meta.reveal_func,
+            out.meta.admin_func,
+        ],
     );
     insert_decoy_recursion(&mut out.module);
     wasai_wasm::validate::validate(&out.module)
@@ -137,7 +143,10 @@ mod tests {
 
     #[test]
     fn obfuscation_validates_and_differs() {
-        let c = generate(Blueprint { seed: 200, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 200,
+            ..Blueprint::default()
+        });
         let o = obfuscate(&c, 7);
         assert_ne!(c.module, o.module);
         assert_eq!(c.label, o.label, "obfuscation must not change semantics");
@@ -146,7 +155,10 @@ mod tests {
     #[test]
     fn guard_literals_disappear() {
         use wasai_chain::name::Name;
-        let c = generate(Blueprint { seed: 201, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 201,
+            ..Blueprint::default()
+        });
         let o = obfuscate(&c, 7);
         let token = Name::new("eosio.token").as_i64();
         let apply = o.module.exported_func("apply").unwrap();
@@ -164,7 +176,10 @@ mod tests {
 
     #[test]
     fn decoy_recursion_is_added_and_called() {
-        let c = generate(Blueprint { seed: 202, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 202,
+            ..Blueprint::default()
+        });
         let before = c.module.funcs.len();
         let o = obfuscate(&c, 7);
         assert_eq!(o.module.funcs.len(), before + 1);
@@ -184,14 +199,24 @@ mod tests {
         use wasai_chain::name::Name;
         use wasai_chain::{Chain, NativeKind};
 
-        let c = generate(Blueprint { seed: 203, code_guard: false, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 203,
+            code_guard: false,
+            ..Blueprint::default()
+        });
         let o = obfuscate(&c, 7);
         let run = |module: wasai_wasm::Module| {
             let mut chain = Chain::new();
             chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
             chain.create_account(Name::new("alice")).unwrap();
-            chain.deploy_wasm(Name::new("victim"), module, c.abi.clone()).unwrap();
-            chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100));
+            chain
+                .deploy_wasm(Name::new("victim"), module, c.abi.clone())
+                .unwrap();
+            chain.issue(
+                Name::new("eosio.token"),
+                Name::new("alice"),
+                Asset::eos(100),
+            );
             let r = chain.push_action(
                 Name::new("eosio.token"),
                 Name::new("transfer"),
@@ -203,7 +228,10 @@ mod tests {
                     ParamValue::String("play".into()),
                 ],
             );
-            (r.is_ok(), chain.balance(Name::new("eosio.token"), Name::new("victim")))
+            (
+                r.is_ok(),
+                chain.balance(Name::new("eosio.token"), Name::new("victim")),
+            )
         };
         assert_eq!(run(c.module.clone()), run(o.module.clone()));
     }

@@ -57,7 +57,12 @@ fn declare_imports(b: &mut ModuleBuilder) -> Imports {
         tapos_prefix: b.import_func("env", "tapos_block_prefix", &[], &[I32]),
         send_inline: b.import_func("env", "send_inline", &[I64, I64, I32, I32], &[]),
         send_deferred: b.import_func("env", "send_deferred", &[I64, I64, I64, I32, I32], &[]),
-        db_store: b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]),
+        db_store: b.import_func(
+            "env",
+            "db_store_i64",
+            &[I64, I64, I64, I64, I32, I32],
+            &[I32],
+        ),
         db_find: b.import_func("env", "db_find_i64", &[I64, I64, I64, I64], &[I32]),
         db_update: b.import_func("env", "db_update_i64", &[I32, I64, I32, I32], &[]),
     }
@@ -79,13 +84,16 @@ fn emit_gate(body: &mut Vec<Instr>, gate: GateKind, rng: &mut StdRng) -> u32 {
     let v: i64 = rng.gen();
     let mut opened = 0;
     for k in 0..depth {
-        let contradiction =
-            matches!(gate, GateKind::Unsatisfiable { .. }) && k == depth - 1;
+        let contradiction = matches!(gate, GateKind::Unsatisfiable { .. }) && k == depth - 1;
         match k % 3 {
             // nonce == v  (or v+1 for the dead innermost check)
             0 => {
                 body.push(Instr::LocalGet(2));
-                body.push(Instr::I64Const(if contradiction { v.wrapping_add(1) } else { v }));
+                body.push(Instr::I64Const(if contradiction {
+                    v.wrapping_add(1)
+                } else {
+                    v
+                }));
                 body.push(Instr::I64Eq);
             }
             // (nonce & mask) == (v & mask)
@@ -94,7 +102,11 @@ fn emit_gate(body: &mut Vec<Instr>, gate: GateKind, rng: &mut StdRng) -> u32 {
                 body.push(Instr::LocalGet(2));
                 body.push(Instr::I64Const(mask));
                 body.push(Instr::I64And);
-                let expect = if contradiction { (v & mask) ^ 1 } else { v & mask };
+                let expect = if contradiction {
+                    (v & mask) ^ 1
+                } else {
+                    v & mask
+                };
                 body.push(Instr::I64Const(expect));
                 body.push(Instr::I64Eq);
             }
@@ -104,7 +116,11 @@ fn emit_gate(body: &mut Vec<Instr>, gate: GateKind, rng: &mut StdRng) -> u32 {
                 body.push(Instr::LocalGet(2));
                 body.push(Instr::I64Const(key));
                 body.push(Instr::I64Xor);
-                let expect = if contradiction { (v ^ key).wrapping_add(1) } else { v ^ key };
+                let expect = if contradiction {
+                    (v ^ key).wrapping_add(1)
+                } else {
+                    v ^ key
+                };
                 body.push(Instr::I64Const(expect));
                 body.push(Instr::I64Eq);
             }
@@ -135,7 +151,9 @@ fn emit_reward(body: &mut Vec<Instr>, imports: &Imports, reward: RewardKind) {
     body.push(Instr::I64Store(MemArg::default()));
     // symbol
     body.push(Instr::I32Const(OUT + 24));
-    body.push(Instr::I64Const(wasai_chain::asset::eos_symbol().raw() as i64));
+    body.push(Instr::I64Const(
+        wasai_chain::asset::eos_symbol().raw() as i64
+    ));
     body.push(Instr::I64Store(MemArg::default()));
     // memo: zero-length string
     body.push(Instr::I32Const(OUT + 32));
@@ -180,8 +198,9 @@ fn build_eosponser(bp: &Blueprint, imports: &Imports, rng: &mut StdRng) -> Vec<I
     body.push(Instr::LocalSet(5));
     // Benign verification branches: nested amount thresholds (ascending so
     // large payments reach the deepest code).
-    let mut thresholds: Vec<i64> =
-        (0..bp.eosponser_branches).map(|_| rng.gen_range(1..500_000)).collect();
+    let mut thresholds: Vec<i64> = (0..bp.eosponser_branches)
+        .map(|_| rng.gen_range(1..500_000))
+        .collect();
     thresholds.sort_unstable();
     for t in &thresholds {
         body.push(Instr::LocalGet(5));
@@ -370,17 +389,25 @@ pub fn generate(bp: Blueprint) -> LabeledContract {
     let imports = declare_imports(&mut b);
 
     let transfer_body = build_eosponser(&bp, &imports, &mut rng);
-    let transfer_fn =
-        b.func(&[I64, I64, I64, I32, I32], &[], &[I64, I32], transfer_body);
+    let transfer_fn = b.func(&[I64, I64, I64, I32, I32], &[], &[I64, I32], transfer_body);
     let reveal_body = build_reveal(&bp, &imports, &mut rng);
     let reveal_fn = b.func(&[I64, I64, I64], &[], &[I32], reveal_body);
     let setowner_body = build_setowner(&bp, &imports);
     let setowner_fn = b.func(&[I64, I64], &[], &[I32], setowner_body);
 
-    b.table(3).elem(0, vec![transfer_fn, reveal_fn, setowner_fn]);
-    let t_transfer = b.module().local_func(transfer_fn).expect("defined").type_idx;
+    b.table(3)
+        .elem(0, vec![transfer_fn, reveal_fn, setowner_fn]);
+    let t_transfer = b
+        .module()
+        .local_func(transfer_fn)
+        .expect("defined")
+        .type_idx;
     let t_reveal = b.module().local_func(reveal_fn).expect("defined").type_idx;
-    let t_setowner = b.module().local_func(setowner_fn).expect("defined").type_idx;
+    let t_setowner = b
+        .module()
+        .local_func(setowner_fn)
+        .expect("defined")
+        .type_idx;
 
     // The dispatcher (Listing 1's structure).
     let mut body = vec![
@@ -403,7 +430,12 @@ pub fn generate(bp: Blueprint) -> LabeledContract {
     emit_dispatch(
         &mut body,
         &imports,
-        &[ParamType::Name, ParamType::Name, ParamType::Asset, ParamType::String],
+        &[
+            ParamType::Name,
+            ParamType::Name,
+            ParamType::Asset,
+            ParamType::String,
+        ],
         0,
         t_transfer,
     );
@@ -417,7 +449,13 @@ pub fn generate(bp: Blueprint) -> LabeledContract {
     body.push(Instr::I64Const(actions::reveal().as_i64()));
     body.push(Instr::I64Eq);
     body.push(Instr::If(BlockType::Empty));
-    emit_dispatch(&mut body, &imports, &[ParamType::Name, ParamType::U64], 1, t_reveal);
+    emit_dispatch(
+        &mut body,
+        &imports,
+        &[ParamType::Name, ParamType::U64],
+        1,
+        t_reveal,
+    );
     body.push(Instr::End);
     body.push(Instr::LocalGet(2));
     body.push(Instr::I64Const(actions::setowner().as_i64()));
@@ -472,9 +510,7 @@ mod tests {
                         GateKind::Solvable { depth: 3 },
                         GateKind::Unsatisfiable { depth: 2 },
                     ] {
-                        for reward in
-                            [RewardKind::None, RewardKind::Inline, RewardKind::Deferred]
-                        {
+                        for reward in [RewardKind::None, RewardKind::Inline, RewardKind::Deferred] {
                             let bp = Blueprint {
                                 seed: 11,
                                 code_guard,
@@ -498,22 +534,34 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let bp = Blueprint { seed: 42, ..Blueprint::default() };
+        let bp = Blueprint {
+            seed: 42,
+            ..Blueprint::default()
+        };
         assert_eq!(generate(bp).module, generate(bp).module);
-        let other = Blueprint { seed: 43, ..Blueprint::default() };
+        let other = Blueprint {
+            seed: 43,
+            ..Blueprint::default()
+        };
         assert_ne!(generate(other).module, generate(bp).module);
     }
 
     #[test]
     fn instrumented_samples_still_validate() {
-        let c = generate(Blueprint { seed: 5, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 5,
+            ..Blueprint::default()
+        });
         let inst = wasai_wasm::instrument::instrument(&c.module).unwrap();
         validate(&inst.module).unwrap();
     }
 
     #[test]
     fn binary_roundtrip_of_generated_contract() {
-        let c = generate(Blueprint { seed: 9, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 9,
+            ..Blueprint::default()
+        });
         let bytes = wasai_wasm::encode::encode(&c.module);
         assert_eq!(wasai_wasm::decode::decode(&bytes).unwrap(), c.module);
     }

@@ -51,7 +51,11 @@ pub fn inject_verification(
     // An exact whole-EOS amount within the harness clamp (1..1000 EOS).
     let amount = 10_000 * rng.gen_range(1..1_000i64);
     let symbol = wasai_chain::asset::eos_symbol().raw();
-    let memo_len = if checks >= 3 { Some(rng.gen_range(1..26u8)) } else { None };
+    let memo_len = if checks >= 3 {
+        Some(rng.gen_range(1..26u8))
+    } else {
+        None
+    };
 
     let mut prologue: Vec<Instr> = Vec::new();
     // if (quantity.amount != AMT) unreachable
@@ -97,7 +101,14 @@ pub fn inject_verification(
 
     wasai_wasm::validate::validate(&out.module)
         .unwrap_or_else(|e| panic!("verification injector produced invalid module: {e}"));
-    (out, VerificationKey { amount, symbol, memo_len })
+    (
+        out,
+        VerificationKey {
+            amount,
+            symbol,
+            memo_len,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -115,7 +126,11 @@ mod tests {
         chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
         chain.create_account(Name::new("alice")).unwrap();
         chain.deploy_wasm(Name::new("victim"), module, abi).unwrap();
-        chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100_000));
+        chain.issue(
+            Name::new("eosio.token"),
+            Name::new("alice"),
+            Asset::eos(100_000),
+        );
         chain
             .push_action(
                 Name::new("eosio.token"),
@@ -133,23 +148,38 @@ mod tests {
 
     #[test]
     fn only_the_exact_key_passes() {
-        let c = generate(Blueprint { seed: 300, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 300,
+            ..Blueprint::default()
+        });
         let (v, key) = inject_verification(&c, 301, 2);
-        assert!(pay(v.module.clone(), v.abi.clone(), key.amount), "exact amount passes");
-        assert!(!pay(v.module.clone(), v.abi.clone(), key.amount + 1), "off-by-one traps");
+        assert!(
+            pay(v.module.clone(), v.abi.clone(), key.amount),
+            "exact amount passes"
+        );
+        assert!(
+            !pay(v.module.clone(), v.abi.clone(), key.amount + 1),
+            "off-by-one traps"
+        );
         assert!(!pay(v.module, v.abi, 10_000), "a random-ish amount traps");
     }
 
     #[test]
     fn uninjected_contract_accepts_anything_positive() {
-        let c = generate(Blueprint { seed: 302, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 302,
+            ..Blueprint::default()
+        });
         assert!(pay(c.module.clone(), c.abi.clone(), 12_345));
         assert!(pay(c.module, c.abi, 10_000));
     }
 
     #[test]
     fn three_checks_include_memo_length() {
-        let c = generate(Blueprint { seed: 303, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 303,
+            ..Blueprint::default()
+        });
         let (v, key) = inject_verification(&c, 304, 3);
         assert!(key.memo_len.is_some());
         // Even the exact amount now fails with an empty memo.
@@ -158,7 +188,11 @@ mod tests {
 
     #[test]
     fn labels_are_preserved() {
-        let c = generate(Blueprint { seed: 305, code_guard: false, ..Blueprint::default() });
+        let c = generate(Blueprint {
+            seed: 305,
+            code_guard: false,
+            ..Blueprint::default()
+        });
         let (v, _) = inject_verification(&c, 306, 2);
         assert_eq!(c.label, v.label);
     }

@@ -130,7 +130,11 @@ pub fn wild_corpus(seed: u64, count: usize, rates: WildRates) -> Vec<WildContrac
             } else {
                 None
             };
-            WildContract { deployed, lifecycle, latest }
+            WildContract {
+                deployed,
+                lifecycle,
+                latest,
+            }
         })
         .collect()
 }
@@ -145,13 +149,18 @@ mod tests {
         let corpus = wild_corpus(42, 991, WildRates::default());
         assert_eq!(corpus.len(), 991);
         let count = |c: VulnClass| {
-            corpus.iter().filter(|w| w.deployed.label.contains(&c)).count() as f64
+            corpus
+                .iter()
+                .filter(|w| w.deployed.label.contains(&c))
+                .count() as f64
         };
         // Within loose tolerance of the paper's flagged counts.
         assert!((count(VulnClass::FakeEos) - 241.0).abs() < 60.0);
         assert!((count(VulnClass::MissAuth) - 470.0).abs() < 80.0);
-        let vulnerable =
-            corpus.iter().filter(|w| !w.deployed.label.is_empty()).count() as f64;
+        let vulnerable = corpus
+            .iter()
+            .filter(|w| !w.deployed.label.is_empty())
+            .count() as f64;
         assert!(
             (0.6..0.85).contains(&(vulnerable / 991.0)),
             "~70% vulnerable, got {}",
@@ -165,7 +174,10 @@ mod tests {
         for w in &corpus {
             if let Some(latest) = &w.latest {
                 assert_eq!(w.lifecycle, Lifecycle::OperatingPatched);
-                assert!(latest.label.is_empty(), "patched versions must carry no label");
+                assert!(
+                    latest.label.is_empty(),
+                    "patched versions must carry no label"
+                );
             }
         }
     }

@@ -1,0 +1,548 @@
+#![warn(missing_docs)]
+
+//! # proptest (offline shim)
+//!
+//! The build container cannot reach crates.io, so this crate vendors the
+//! subset of the `proptest` 1.x API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`, [`any`], range / tuple / string
+//! strategies, [`prop_oneof!`], `prop::collection::vec`,
+//! [`string::string_regex`], and the [`proptest!`] test macro.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the case number and the
+//!   per-test RNG seed; re-running reproduces it exactly (sampling is fully
+//!   deterministic — seeded per test from the test's name, overridable with
+//!   `PROPTEST_SEED`).
+//! - **Sampling distributions differ** from upstream (no bias toward edge
+//!   cases). Property tests in this workspace assert invariants, not
+//!   distribution-sensitive statistics, so any uniform sampler satisfies
+//!   them.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng, Standard, UniformSampled};
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test name, or from
+/// `PROPTEST_SEED` when set (to reproduce a failure exactly).
+pub fn test_rng(test_name: &str) -> TestRng {
+    let seed = seed_for(test_name);
+    TestRng::seed_from_u64(seed)
+}
+
+/// The seed [`test_rng`] uses for `test_name` (printed on failure).
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Some(s) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        return s;
+    }
+    // FNV-1a over the test name.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A value generator. Object-safe core (`generate`), with the combinators
+/// gated on `Sized` so `Box<dyn Strategy>` works.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform over the whole domain of `T` (`any::<T>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy over `T`'s whole domain.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: UniformSampled + Clone> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::sample_regex(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Uniform choice among type-erased alternatives ([`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given alternatives (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies from regex-like patterns.
+pub mod string {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Error from [`string_regex`] (the shim never produces one at parse
+    /// time; malformed patterns panic during sampling instead).
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    /// A strategy generating strings matching `pattern`.
+    ///
+    /// Supported subset: literal characters, `[...]` classes with ranges,
+    /// the postfix repeaters `{m,n}` / `{n}` / `*` / `+` / `?`, and
+    /// top-level alternation with `|`. This covers every pattern the
+    /// workspace's tests use (EOSIO name shapes, symbol codes, printable
+    /// ASCII runs).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        Ok(RegexStrategy {
+            alternatives: parse(pattern),
+        })
+    }
+
+    /// The [`string_regex`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        alternatives: Vec<Vec<Piece>>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let alt = &self.alternatives[rng.gen_range(0..self.alternatives.len())];
+            let mut out = String::new();
+            for piece in alt {
+                let n = if piece.min == piece.max {
+                    piece.min
+                } else {
+                    rng.gen_range(piece.min..piece.max + 1)
+                };
+                for _ in 0..n {
+                    out.push(piece.chars[rng.gen_range(0..piece.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Sample one string matching `pattern` (used by the `&str` strategy).
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        RegexStrategy {
+            alternatives: parse(pattern),
+        }
+        .generate(rng)
+    }
+
+    /// One repeated character-class atom.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Vec<Piece>> {
+        pattern.split('|').map(parse_sequence).collect()
+    }
+
+    fn parse_sequence(seq: &str) -> Vec<Piece> {
+        let chars: Vec<char> = seq.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in regex {seq:?}"))
+                        + i;
+                    let set = parse_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("trailing \\ in {seq:?}"));
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Postfix repeater.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in regex {seq:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("regex repeat lower bound"),
+                            hi.trim().parse().expect("regex repeat upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("regex repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            out.push(Piece {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        out
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                assert!(lo <= hi, "descending range in char class");
+                out.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// `proptest::prelude::*` — what test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` module alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Assert inside a property (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (behaves like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies generating the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]` running `body` over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test fn inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = $crate::rng_from_seed(__seed);
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $crate::__proptest_bind! { __rng $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: bind each `name in strategy` / `name: Type` parameter.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident ) => {};
+    ( $rng:ident , ) => {};
+    ( $rng:ident , $($rest:tt)+ ) => { $crate::__proptest_bind! { $rng $($rest)+ } };
+    ( $rng:ident $name:ident in $strat:expr , $($rest:tt)* ) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng $($rest)* }
+    };
+    ( $rng:ident $name:ident in $strat:expr ) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ( $rng:ident $name:ident : $ty:ty , $($rest:tt)* ) => {
+        let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind! { $rng $($rest)* }
+    };
+    ( $rng:ident $name:ident : $ty:ty ) => {
+        let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+}
+
+/// Build the deterministic RNG the [`proptest!`] runner uses (public so the
+/// macro expansion can reach it without importing trait methods).
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::string::string_regex;
+
+    #[test]
+    fn regex_name_pattern_shapes() {
+        let strat = string_regex("[a-z1-5][a-z1-5.]{0,10}[a-z1-5]|[a-z1-5]").unwrap();
+        let mut rng = super::test_rng("regex_name_pattern_shapes");
+        for _ in 0..500 {
+            let s = super::Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "bad length: {s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c == '.' || c.is_ascii_lowercase() || ('1'..='5').contains(&c)),
+                "bad chars: {s:?}"
+            );
+            assert!(
+                !s.starts_with('.') && !s.ends_with('.'),
+                "dot at edge: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_counted_and_printable() {
+        let mut rng = super::test_rng("regex_counted_and_printable");
+        for _ in 0..200 {
+            let sym = super::string::sample_regex("[A-Z]{1,7}", &mut rng);
+            assert!((1..=7).contains(&sym.len()));
+            assert!(sym.chars().all(|c| c.is_ascii_uppercase()));
+            let p = super::string::sample_regex("[ -~]{0,40}", &mut rng);
+            assert!(p.len() <= 40);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro plumbing itself: `in` bindings, type bindings, tuples,
+        /// oneof, vec.
+        #[test]
+        fn macro_surface(a in 0u8..10, b: u64, v in crate::collection::vec(any::<u8>(), 0..5),
+                         c in prop_oneof![Just(1u8), Just(2u8), (3u8..5)]) {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(v.len() < 5);
+            prop_assert!((1..5).contains(&c));
+        }
+    }
+}

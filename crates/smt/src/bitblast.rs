@@ -135,7 +135,10 @@ impl<'p> BitBlaster<'p> {
     }
 
     fn mux_vec(&mut self, s: Lit, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
-        a.iter().zip(b).map(|(&x, &y)| self.mux_gate(s, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux_gate(s, x, y))
+            .collect()
     }
 
     /// Full adder over vectors, returning (sum, carry-out).
@@ -225,7 +228,10 @@ impl<'p> BitBlaster<'p> {
     #[allow(clippy::needless_range_loop)] // index math is clearer than iterators here
     fn shift(&mut self, a: &[Lit], amount: &[Lit], left: bool, arith: bool) -> Vec<Lit> {
         let w = a.len();
-        assert!(w.is_power_of_two(), "symbolic shifts require power-of-two width, got {w}");
+        assert!(
+            w.is_power_of_two(),
+            "symbolic shifts require power-of-two width, got {w}"
+        );
         let stages = w.trailing_zeros() as usize;
         let fill = if arith { a[w - 1] } else { self.lit_false() };
         let mut cur: Vec<Lit> = a.to_vec();
@@ -252,7 +258,10 @@ impl<'p> BitBlaster<'p> {
     #[allow(clippy::needless_range_loop)] // index math is clearer than iterators here
     fn rotate(&mut self, a: &[Lit], amount: &[Lit], left: bool) -> Vec<Lit> {
         let w = a.len();
-        assert!(w.is_power_of_two(), "symbolic rotates require power-of-two width");
+        assert!(
+            w.is_power_of_two(),
+            "symbolic rotates require power-of-two width"
+        );
         let stages = w.trailing_zeros() as usize;
         let mut cur: Vec<Lit> = a.to_vec();
         for k in 0..stages {
@@ -260,7 +269,11 @@ impl<'p> BitBlaster<'p> {
             let dist = 1usize << k;
             let mut rotated = vec![self.lit_false(); w];
             for j in 0..w {
-                let src = if left { (j + w - dist) % w } else { (j + dist) % w };
+                let src = if left {
+                    (j + w - dist) % w
+                } else {
+                    (j + dist) % w
+                };
                 rotated[j] = cur[src];
             }
             cur = self.mux_vec(s, &rotated, &cur);
@@ -350,8 +363,7 @@ impl<'p> BitBlaster<'p> {
                 if let Some(bits) = self.var_bits.get(&var) {
                     bits.clone()
                 } else {
-                    let bits: Vec<Lit> =
-                        (0..width).map(|_| Lit::pos(self.sat.new_var())).collect();
+                    let bits: Vec<Lit> = (0..width).map(|_| Lit::pos(self.sat.new_var())).collect();
                     self.var_bits.insert(var, bits.clone());
                     bits
                 }
@@ -464,13 +476,10 @@ impl<'p> BitBlaster<'p> {
     pub fn var_value(&self, var: u32) -> u64 {
         match self.var_bits.get(&var) {
             None => 0,
-            Some(bits) => bits
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, l)| {
-                    let bit = self.sat.value(l.var()) != l.is_neg();
-                    acc | ((bit as u64) << i)
-                }),
+            Some(bits) => bits.iter().enumerate().fold(0u64, |acc, (i, l)| {
+                let bit = self.sat.value(l.var()) != l.is_neg();
+                acc | ((bit as u64) << i)
+            }),
         }
     }
 }
@@ -487,9 +496,11 @@ mod tests {
             bb.assert_true(a);
         }
         match bb.sat.solve(200_000) {
-            SatOutcome::Sat => {
-                Some((0..pool.vars().len() as u32).map(|v| bb.var_value(v)).collect())
-            }
+            SatOutcome::Sat => Some(
+                (0..pool.vars().len() as u32)
+                    .map(|v| bb.var_value(v))
+                    .collect(),
+            ),
             _ => None,
         }
     }
@@ -607,7 +618,14 @@ mod tests {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             seed >> 32
         };
-        let ops = [BvOp::Add, BvOp::Sub, BvOp::Mul, BvOp::And, BvOp::Or, BvOp::Xor];
+        let ops = [
+            BvOp::Add,
+            BvOp::Sub,
+            BvOp::Mul,
+            BvOp::And,
+            BvOp::Or,
+            BvOp::Xor,
+        ];
         for case in 0..12 {
             let mut p = TermPool::new();
             let x = p.var("x", 16);

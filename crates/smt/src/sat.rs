@@ -85,7 +85,10 @@ pub struct SatSolver {
 impl SatSolver {
     /// A fresh solver.
     pub fn new() -> Self {
-        SatSolver { var_inc: 1.0, ..Default::default() }
+        SatSolver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Allocate a new variable, returning its index.
@@ -132,7 +135,10 @@ impl SatSolver {
     ///
     /// Returns `false` if the clause made the instance trivially unsat.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        debug_assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
             if self.lit_value(l) == 1 {
@@ -294,8 +300,7 @@ impl SatSolver {
             // Second-highest level in the clause.
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize]
-                {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
                     max_i = i;
                 }
             }
@@ -489,7 +494,9 @@ mod tests {
         // actually satisfies the clauses whenever Sat is reported.
         let mut seed = 0x12345678u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _case in 0..50 {

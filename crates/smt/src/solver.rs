@@ -16,7 +16,9 @@ pub struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { max_conflicts: 50_000 }
+        Budget {
+            max_conflicts: 50_000,
+        }
     }
 }
 
@@ -39,7 +41,9 @@ impl Model {
 
     /// Dense value vector suitable for [`TermPool::eval`].
     pub fn to_vec(&self, pool: &TermPool) -> Vec<u64> {
-        (0..pool.vars().len() as u32).map(|v| self.value(v)).collect()
+        (0..pool.vars().len() as u32)
+            .map(|v| self.value(v))
+            .collect()
     }
 }
 

@@ -247,7 +247,13 @@ impl TermPool {
     /// Panics on width 0 or > 64.
     pub fn bv_const(&mut self, bits: u64, width: u32) -> TermId {
         assert!((1..=64).contains(&width), "width {width} out of range");
-        self.intern(TermKind::BvConst { width, bits: bits & mask(width) }, Sort::BitVec(width))
+        self.intern(
+            TermKind::BvConst {
+                width,
+                bits: bits & mask(width),
+            },
+            Sort::BitVec(width),
+        )
     }
 
     /// A fresh-or-existing named variable.
@@ -264,7 +270,10 @@ impl TermPool {
             }
             None => {
                 let v = self.vars.len() as u32;
-                self.vars.push(VarInfo { name: name.to_string(), width });
+                self.vars.push(VarInfo {
+                    name: name.to_string(),
+                    width,
+                });
                 self.var_names.insert(name.to_string(), v);
                 v
             }
@@ -511,14 +520,20 @@ impl TermPool {
     /// Panics when the range is invalid for the operand width.
     pub fn extract(&mut self, t: TermId, hi: u32, lo: u32) -> TermId {
         let w = self.sort(t).width();
-        assert!(hi < w && lo <= hi, "extract [{hi}:{lo}] out of range for width {w}");
+        assert!(
+            hi < w && lo <= hi,
+            "extract [{hi}:{lo}] out of range for width {w}"
+        );
         if hi == w - 1 && lo == 0 {
             return t;
         }
         if let Some(x) = self.as_const(t) {
             return self.bv_const((x >> lo) & mask(hi - lo + 1), hi - lo + 1);
         }
-        self.intern(TermKind::Extract { term: t, hi, lo }, Sort::BitVec(hi - lo + 1))
+        self.intern(
+            TermKind::Extract { term: t, hi, lo },
+            Sort::BitVec(hi - lo + 1),
+        )
     }
 
     /// Zero-extend by `add` bits (no-op for `add == 0`).
@@ -554,7 +569,11 @@ impl TermPool {
     /// Panics if the branches' sorts differ or `cond` is not Bool.
     pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
         assert_eq!(self.sort(cond), Sort::Bool, "ite condition must be Bool");
-        assert_eq!(self.sort(then_t), self.sort(else_t), "ite branch sorts differ");
+        assert_eq!(
+            self.sort(then_t),
+            self.sort(else_t),
+            "ite branch sorts differ"
+        );
         match self.as_const(cond) {
             Some(1) => then_t,
             Some(0) => else_t,
@@ -579,20 +598,14 @@ impl TermPool {
             TermKind::BvConst { bits, .. } => bits,
             TermKind::Var { var, width } => values[var as usize] & mask(width),
             TermKind::Not(x) => (self.eval(x, values) == 0) as u64,
-            TermKind::AndB(a, b) => {
-                (self.eval(a, values) != 0 && self.eval(b, values) != 0) as u64
-            }
-            TermKind::OrB(a, b) => {
-                (self.eval(a, values) != 0 || self.eval(b, values) != 0) as u64
-            }
+            TermKind::AndB(a, b) => (self.eval(a, values) != 0 && self.eval(b, values) != 0) as u64,
+            TermKind::OrB(a, b) => (self.eval(a, values) != 0 || self.eval(b, values) != 0) as u64,
             TermKind::Bv(op, a, b) => {
                 let w = self.sort(a).width();
                 Self::fold_bv(op, self.eval(a, values), self.eval(b, values), w)
             }
             TermKind::BvNot(a) => !self.eval(a, values) & mask(self.sort(a).width()),
-            TermKind::BvNeg(a) => {
-                self.eval(a, values).wrapping_neg() & mask(self.sort(a).width())
-            }
+            TermKind::BvNeg(a) => self.eval(a, values).wrapping_neg() & mask(self.sort(a).width()),
             TermKind::Popcnt(a) => {
                 (self.eval(a, values) & mask(self.sort(a).width())).count_ones() as u64
             }
@@ -693,7 +706,11 @@ mod tests {
         let zero = p.bv_const(0, 32);
         let x = p.bv_const(10, 32);
         let div0 = p.bv(BvOp::UDiv, x, zero);
-        assert_eq!(p.as_const(div0), Some(0xffff_ffff), "x/0 = all-ones (SMT-LIB)");
+        assert_eq!(
+            p.as_const(div0),
+            Some(0xffff_ffff),
+            "x/0 = all-ones (SMT-LIB)"
+        );
         let rem0 = p.bv(BvOp::URem, x, zero);
         assert_eq!(p.as_const(rem0), Some(10), "x%0 = x (SMT-LIB)");
     }
@@ -738,7 +755,15 @@ mod tests {
         let mut p = TermPool::new();
         let x = p.var("x", 32);
         let y = p.var("y", 32);
-        let ops = [BvOp::Add, BvOp::Sub, BvOp::Mul, BvOp::And, BvOp::Or, BvOp::Xor, BvOp::Shl];
+        let ops = [
+            BvOp::Add,
+            BvOp::Sub,
+            BvOp::Mul,
+            BvOp::And,
+            BvOp::Or,
+            BvOp::Xor,
+            BvOp::Shl,
+        ];
         for op in ops {
             let t = p.bv(op, x, y);
             for (vx, vy) in [(3u64, 5u64), (0xffff_ffff, 1), (0, 0), (123_456, 654_321)] {

@@ -42,14 +42,20 @@ pub fn flip_queries(
     for cond in &outcome.conditionals {
         let target_taken = !cond.taken;
         let key = (cond.site.0, cond.site.1, target_taken as u64);
-        if cond.kind == CondKind::Branch && (explored.contains(&key) || seen_this_run.contains(&key))
+        if cond.kind == CondKind::Branch
+            && (explored.contains(&key) || seen_this_run.contains(&key))
         {
             continue;
         }
         seen_this_run.insert(key);
         let mut constraints: Vec<TermId> = outcome.path[..cond.path_len].to_vec();
         constraints.push(cond.flipped);
-        out.push(FlipQuery { constraints, site: cond.site, target_taken, kind: cond.kind });
+        out.push(FlipQuery {
+            constraints,
+            site: cond.site,
+            target_taken,
+            kind: cond.kind,
+        });
     }
     out
 }

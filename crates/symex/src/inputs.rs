@@ -93,12 +93,12 @@ impl InputSpec {
             .enumerate()
             .map(|(i, (ty, concrete))| {
                 let binding = match ty {
-                    ParamType::Name | ParamType::U64 | ParamType::I64 => {
-                        ParamBinding::Inline64 { var: pool.var(&format!("arg{i}"), 64) }
-                    }
-                    ParamType::U32 | ParamType::U8 => {
-                        ParamBinding::Inline32 { var: pool.var(&format!("arg{i}"), 32) }
-                    }
+                    ParamType::Name | ParamType::U64 | ParamType::I64 => ParamBinding::Inline64 {
+                        var: pool.var(&format!("arg{i}"), 64),
+                    },
+                    ParamType::U32 | ParamType::U8 => ParamBinding::Inline32 {
+                        var: pool.var(&format!("arg{i}"), 32),
+                    },
                     ParamType::F64 => ParamBinding::Opaque,
                     ParamType::Asset => ParamBinding::AssetPtr {
                         amount: pool.var(&format!("arg{i}.amount"), 64),
@@ -110,15 +110,24 @@ impl InputSpec {
                             ParamValue::String(s) => s.len().min(MAX_SYM_STRING),
                             _ => 0,
                         };
-                        let bytes =
-                            (0..n).map(|j| pool.var(&format!("arg{i}.b{j}"), 8)).collect();
+                        let bytes = (0..n)
+                            .map(|j| pool.var(&format!("arg{i}.b{j}"), 8))
+                            .collect();
                         ParamBinding::StringPtr { len, bytes }
                     }
                 };
-                ParamSpec { ty: *ty, concrete: concrete.clone(), binding }
+                ParamSpec {
+                    ty: *ty,
+                    concrete: concrete.clone(),
+                    binding,
+                }
             })
             .collect();
-        InputSpec { action_func, local_base, params: specs }
+        InputSpec {
+            action_func,
+            local_base,
+            params: specs,
+        }
     }
 
     /// The symbolic term for the Local slot holding parameter `i`, for
@@ -133,13 +142,7 @@ impl InputSpec {
 
     /// Install the memory content of a pointer parameter once its concrete
     /// pointer is known from the trace (the lazy step).
-    pub fn install_pointee(
-        &self,
-        i: usize,
-        ptr: u64,
-        pool: &mut TermPool,
-        mem: &mut SymMemory,
-    ) {
+    pub fn install_pointee(&self, i: usize, ptr: u64, pool: &mut TermPool, mem: &mut SymMemory) {
         match &self.params[i].binding {
             ParamBinding::AssetPtr { amount, symbol } => {
                 mem.store(pool, ptr, 8, *amount);
@@ -164,7 +167,9 @@ impl InputSpec {
         for p in &self.params {
             match (&p.binding, &p.concrete) {
                 (ParamBinding::Inline64 { var }, v) => out.push((*var, value_as_u64(v))),
-                (ParamBinding::Inline32 { var }, v) => out.push((*var, value_as_u64(v) & 0xffff_ffff)),
+                (ParamBinding::Inline32 { var }, v) => {
+                    out.push((*var, value_as_u64(v) & 0xffff_ffff))
+                }
                 (ParamBinding::AssetPtr { amount, symbol }, ParamValue::Asset(a)) => {
                     out.push((*amount, a.amount as u64));
                     out.push((*symbol, a.symbol.raw()));
@@ -221,11 +226,23 @@ mod tests {
     fn table2_layout_bindings() {
         let mut pool = TermPool::new();
         let spec = transfer_spec(&mut pool);
-        assert!(matches!(spec.params[0].binding, ParamBinding::Inline64 { .. }));
-        assert!(matches!(spec.params[2].binding, ParamBinding::AssetPtr { .. }));
-        assert!(matches!(spec.params[3].binding, ParamBinding::StringPtr { .. }));
+        assert!(matches!(
+            spec.params[0].binding,
+            ParamBinding::Inline64 { .. }
+        ));
+        assert!(matches!(
+            spec.params[2].binding,
+            ParamBinding::AssetPtr { .. }
+        ));
+        assert!(matches!(
+            spec.params[3].binding,
+            ParamBinding::StringPtr { .. }
+        ));
         assert!(spec.local_term(0).is_some());
-        assert!(spec.local_term(2).is_none(), "asset local is a concrete pointer");
+        assert!(
+            spec.local_term(2).is_none(),
+            "asset local is a concrete pointer"
+        );
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod seedgen;
 pub use flip::{flip_queries, FlipQuery};
 pub use inputs::{InputSpec, ParamBinding, ParamSpec};
 pub use memory::SymMemory;
-pub use replay::{CondKind, ConditionalState, Replayer, ReplayOutcome};
+pub use replay::{CondKind, ConditionalState, ReplayOutcome, Replayer};
 pub use seedgen::{collect_vars, constraint_vars, seed_from_model};

@@ -13,11 +13,11 @@
 use std::collections::{HashMap, HashSet};
 
 use wasai_chain::abi::{ParamType, ParamValue};
+use wasai_smt::{BvOp, CmpOp, TermId, TermPool};
 use wasai_vm::{TraceKind, TraceRecord, TraceVal};
 use wasai_wasm::instr::{Instr, InstrClass};
 use wasai_wasm::module::Module;
 use wasai_wasm::types::ValType;
-use wasai_smt::{BvOp, CmpOp, TermId, TermPool};
 
 use crate::inputs::InputSpec;
 use crate::memory::SymMemory;
@@ -207,10 +207,7 @@ impl<'m> Replayer<'m> {
                 match self.spec.local_term(i) {
                     Some(term) => frame.set_local(local_idx, Some(term)),
                     None => {
-                        if matches!(
-                            self.spec.params[i].ty,
-                            ParamType::Asset | ParamType::String
-                        ) {
+                        if matches!(self.spec.params[i].ty, ParamType::Asset | ParamType::String) {
                             frame.pending_ptr.insert(local_idx, i);
                         }
                     }
@@ -288,8 +285,12 @@ impl<'m> Replayer<'m> {
 
     #[allow(clippy::too_many_lines)]
     fn on_site(&mut self, func: u32, pc: u32, operands: &[TraceVal], call_ops: &[TraceVal]) {
-        let Some(f) = self.module.local_func(func) else { return };
-        let Some(instr) = f.body.get(pc as usize).cloned() else { return };
+        let Some(f) = self.module.local_func(func) else {
+            return;
+        };
+        let Some(instr) = f.body.get(pc as usize).cloned() else {
+            return;
+        };
         // Ensure the depth table exists before borrowing the frame.
         let depth = self.depth_table(func)[pc as usize] as usize;
         if self.frames.is_empty() {
@@ -461,8 +462,7 @@ impl<'m> Replayer<'m> {
                 frame.pop();
                 frame.stack.push(None);
             }
-            Instr::I32Const(_) | Instr::I64Const(_) | Instr::F32Const(_)
-            | Instr::F64Const(_) => {
+            Instr::I32Const(_) | Instr::I64Const(_) | Instr::F32Const(_) | Instr::F64Const(_) => {
                 self.frames.last_mut().expect("non-empty").stack.push(None);
             }
             ref other if other.memory_access().is_some() => {
@@ -595,17 +595,19 @@ impl<'m> Replayer<'m> {
             self.frames.last_mut().expect("non-empty").pop(); // address
             let addr = (Self::op_u64(operands, 0) & 0xffff_ffff) + offset;
             let term = if acc.val_type.is_int() {
-                self.mem.load(&mut self.pool, addr, acc.bytes).map(|loaded| {
-                    let w = width_of(acc.val_type);
-                    let add = w - acc.bytes * 8;
-                    if add == 0 {
-                        loaded
-                    } else if acc.signed {
-                        self.pool.sign_ext(loaded, add)
-                    } else {
-                        self.pool.zero_ext(loaded, add)
-                    }
-                })
+                self.mem
+                    .load(&mut self.pool, addr, acc.bytes)
+                    .map(|loaded| {
+                        let w = width_of(acc.val_type);
+                        let add = w - acc.bytes * 8;
+                        if add == 0 {
+                            loaded
+                        } else if acc.signed {
+                            self.pool.sign_ext(loaded, add)
+                        } else {
+                            self.pool.zero_ext(loaded, add)
+                        }
+                    })
             } else {
                 // A float load still consults the model (keeps it warm) but
                 // produces no term.
@@ -631,9 +633,7 @@ impl<'m> Replayer<'m> {
                 let b = self.pool.eq(t, zero);
                 Some(self.pool.bool_to_bv(b, 32))
             }
-            (Instr::I32Popcnt, Some(t)) | (Instr::I64Popcnt, Some(t)) => {
-                Some(self.pool.popcnt(t))
-            }
+            (Instr::I32Popcnt, Some(t)) | (Instr::I64Popcnt, Some(t)) => Some(self.pool.popcnt(t)),
             (Instr::I32WrapI64, Some(t)) => Some(self.pool.extract(t, 31, 0)),
             (Instr::I64ExtendI32S, Some(t)) => Some(self.pool.sign_ext(t, 32)),
             (Instr::I64ExtendI32U, Some(t)) => Some(self.pool.zero_ext(t, 32)),
@@ -643,7 +643,11 @@ impl<'m> Replayer<'m> {
             _ => None,
         };
         let _ = logged;
-        self.frames.last_mut().expect("non-empty").stack.push(result);
+        self.frames
+            .last_mut()
+            .expect("non-empty")
+            .stack
+            .push(result);
     }
 
     fn on_binary(&mut self, instr: &Instr, operands: &[TraceVal]) {
@@ -672,7 +676,11 @@ impl<'m> Replayer<'m> {
         let ta = self.operand_term(a, la, w);
         let tb = self.operand_term(b, lb, w);
         let result = self.binary_term(instr, ta, tb);
-        self.frames.last_mut().expect("non-empty").stack.push(result);
+        self.frames
+            .last_mut()
+            .expect("non-empty")
+            .stack
+            .push(result);
     }
 
     fn binary_term(&mut self, instr: &Instr, a: TermId, b: TermId) -> Option<TermId> {

@@ -114,8 +114,10 @@ pub fn seed_from_model(
                 }
                 ParamBinding::StringPtr { len, bytes } => {
                     let len_var = term_var(pool, *len).expect("var");
-                    let byte_vars: Vec<u32> =
-                        bytes.iter().map(|b| term_var(pool, *b).expect("var")).collect();
+                    let byte_vars: Vec<u32> = bytes
+                        .iter()
+                        .map(|b| term_var(pool, *b).expect("var"))
+                        .collect();
                     let any = constrained.contains(&len_var)
                         || byte_vars.iter().any(|v| constrained.contains(v));
                     if !any {

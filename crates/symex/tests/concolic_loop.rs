@@ -53,7 +53,9 @@ impl Host for TestHost {
 fn trace_of(module: &wasai_wasm::Module, export: &str, args: &[Value]) -> Vec<TraceRecord> {
     let inst_mod = wasai_wasm::instrument::instrument(module).unwrap().module;
     let compiled = CompiledModule::compile(inst_mod).unwrap();
-    let mut host = TestHost { sink: TraceSink::new() };
+    let mut host = TestHost {
+        sink: TraceSink::new(),
+    };
     let mut instance = Instance::new(compiled, &mut host).unwrap();
     let mut fuel = Fuel(1_000_000);
     let _ = instance.invoke_export(&mut host, export, args, &mut fuel);
@@ -70,24 +72,34 @@ fn branchy_contract() -> (wasai_wasm::Module, u32) {
     let mut b = ModuleBuilder::with_memory(1);
     let hit = b.func(&[], &[], &[], vec![Instr::Nop, Instr::End]);
     let miss = b.func(&[], &[], &[], vec![Instr::Nop, Instr::End]);
-    let action = b.func(&[I64, I64], &[], &[], vec![
-        Instr::LocalGet(1),
-        Instr::I64Const(0xdeadbeef),
-        Instr::I64Eq,
-        Instr::If(BlockType::Empty),
-        Instr::Call(hit),
-        Instr::Else,
-        Instr::Call(miss),
-        Instr::End,
-        Instr::End,
-    ]);
+    let action = b.func(
+        &[I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(0xdeadbeef),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+            Instr::Call(hit),
+            Instr::Else,
+            Instr::Call(miss),
+            Instr::End,
+            Instr::End,
+        ],
+    );
     // apply(receiver, code, action_name) calls action(receiver, 7).
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::LocalGet(0),
-        Instr::I64Const(7),
-        Instr::Call(action),
-        Instr::End,
-    ]);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(7),
+            Instr::Call(action),
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     (b.build(), action)
 }
@@ -103,7 +115,12 @@ fn replay_collects_branch_and_flip_solves_it() {
     let outcome = replayer.run(&trace);
 
     // One conditional state: the `if` on x == 0xdeadbeef, not taken.
-    assert_eq!(outcome.conditionals.len(), 1, "conds: {:?}", outcome.conditionals);
+    assert_eq!(
+        outcome.conditionals.len(),
+        1,
+        "conds: {:?}",
+        outcome.conditionals
+    );
     let cond = &outcome.conditionals[0];
     assert!(!cond.taken);
     assert_eq!(cond.kind, CondKind::Branch);
@@ -156,36 +173,57 @@ fn failing_assert_yields_satisfiable_flip() {
     // action(self, x): eosio_assert(x == 42, "…") — run with x = 7.
     let mut b = ModuleBuilder::with_memory(1);
     let assert_fn = b.import_func("env", "eosio_assert", &[I32, I32], &[]);
-    let action = b.func(&[I64, I64], &[], &[], vec![
-        Instr::LocalGet(1),
-        Instr::I64Const(42),
-        Instr::I64Eq,
-        Instr::I32Const(0),
-        Instr::Call(assert_fn),
-        Instr::End,
-    ]);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::LocalGet(0),
-        Instr::I64Const(7),
-        Instr::Call(action),
-        Instr::End,
-    ]);
+    let action = b.func(
+        &[I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(42),
+            Instr::I64Eq,
+            Instr::I32Const(0),
+            Instr::Call(assert_fn),
+            Instr::End,
+        ],
+    );
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(7),
+            Instr::Call(action),
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let module = b.build();
 
     let trace = trace_of(&module, "apply", &apply_args());
     let params = vec![(ParamType::U64, ParamValue::U64(7))];
     let outcome = Replayer::new(&module, action, 1, &params).run(&trace);
-    let asserts: Vec<_> =
-        outcome.conditionals.iter().filter(|c| c.kind == CondKind::Assert).collect();
-    assert_eq!(asserts.len(), 1, "failed assert must be a conditional state");
+    let asserts: Vec<_> = outcome
+        .conditionals
+        .iter()
+        .filter(|c| c.kind == CondKind::Assert)
+        .collect();
+    assert_eq!(
+        asserts.len(),
+        1,
+        "failed assert must be a conditional state"
+    );
     let queries = flip_queries(&outcome, &HashSet::new());
     let q = queries.iter().find(|q| q.kind == CondKind::Assert).unwrap();
     let (res, _) = check(&outcome.pool, &q.constraints, Budget::default());
     let model = res.model().expect("assert flip must be satisfiable");
     let vars = constraint_vars(&outcome.pool, &q.constraints);
     let seed = seed_from_model(&outcome.spec, &outcome.pool, model, &vars);
-    assert_eq!(seed, vec![ParamValue::U64(42)], "solver finds the passing value");
+    assert_eq!(
+        seed,
+        vec![ParamValue::U64(42)],
+        "solver finds the passing value"
+    );
 }
 
 #[test]
@@ -194,30 +232,40 @@ fn asset_pointer_parameter_flows_through_memory() {
     //   if (amount == 100000) hit.
     // The wrapper writes amount=77 at address 64 and calls action(1, 64).
     let mut b = ModuleBuilder::with_memory(1);
-    let action = b.func(&[I64, I32], &[], &[], vec![
-        Instr::LocalGet(1),
-        Instr::I64Load(MemArg::default()),
-        Instr::I64Const(100_000),
-        Instr::I64Eq,
-        Instr::If(BlockType::Empty),
-        Instr::Nop,
-        Instr::End,
-        Instr::End,
-    ]);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        // mem[64] = 77 (the executed seed's amount)
-        Instr::I32Const(64),
-        Instr::I64Const(77),
-        Instr::I64Store(MemArg::default()),
-        // mem[72] = symbol of "4,EOS"
-        Instr::I32Const(72),
-        Instr::I64Const(wasai_chain::asset::eos_symbol().raw() as i64),
-        Instr::I64Store(MemArg::default()),
-        Instr::LocalGet(0),
-        Instr::I32Const(64),
-        Instr::Call(action),
-        Instr::End,
-    ]);
+    let action = b.func(
+        &[I64, I32],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Load(MemArg::default()),
+            Instr::I64Const(100_000),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            // mem[64] = 77 (the executed seed's amount)
+            Instr::I32Const(64),
+            Instr::I64Const(77),
+            Instr::I64Store(MemArg::default()),
+            // mem[72] = symbol of "4,EOS"
+            Instr::I32Const(72),
+            Instr::I64Const(wasai_chain::asset::eos_symbol().raw() as i64),
+            Instr::I64Store(MemArg::default()),
+            Instr::LocalGet(0),
+            Instr::I32Const(64),
+            Instr::Call(action),
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let module = b.build();
 
@@ -227,7 +275,11 @@ fn asset_pointer_parameter_flows_through_memory() {
         ParamValue::Asset(Asset::new(77, wasai_chain::asset::eos_symbol())),
     )];
     let outcome = Replayer::new(&module, action, 1, &params).run(&trace);
-    assert_eq!(outcome.conditionals.len(), 1, "amount comparison must be symbolic");
+    assert_eq!(
+        outcome.conditionals.len(),
+        1,
+        "amount comparison must be symbolic"
+    );
 
     let queries = flip_queries(&outcome, &HashSet::new());
     let (res, _) = check(&outcome.pool, &queries[0].constraints, Budget::default());
@@ -237,7 +289,11 @@ fn asset_pointer_parameter_flows_through_memory() {
     match &seed[0] {
         ParamValue::Asset(a) => {
             assert_eq!(a.amount, 100_000, "solved amount is \"10.0000 EOS\"");
-            assert_eq!(a.symbol, wasai_chain::asset::eos_symbol(), "symbol untouched");
+            assert_eq!(
+                a.symbol,
+                wasai_chain::asset::eos_symbol(),
+                "symbol untouched"
+            );
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -248,26 +304,36 @@ fn nested_branches_build_path_constraints() {
     // action(self, x): if (x > 10) { if (x < 20) hit; }
     // Executed with x = 5: flipping the outer branch requires x > 10.
     let mut b = ModuleBuilder::with_memory(1);
-    let action = b.func(&[I64, I64], &[], &[], vec![
-        Instr::LocalGet(1),
-        Instr::I64Const(10),
-        Instr::I64GtS,
-        Instr::If(BlockType::Empty),
-        Instr::LocalGet(1),
-        Instr::I64Const(20),
-        Instr::I64LtS,
-        Instr::If(BlockType::Empty),
-        Instr::Nop,
-        Instr::End,
-        Instr::End,
-        Instr::End,
-    ]);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::LocalGet(0),
-        Instr::I64Const(5),
-        Instr::Call(action),
-        Instr::End,
-    ]);
+    let action = b.func(
+        &[I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(10),
+            Instr::I64GtS,
+            Instr::If(BlockType::Empty),
+            Instr::LocalGet(1),
+            Instr::I64Const(20),
+            Instr::I64LtS,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(5),
+            Instr::Call(action),
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let module = b.build();
 
@@ -301,35 +367,45 @@ fn explored_directions_are_not_requeried() {
 fn loops_replay_without_desync() {
     // action(self, n): count down from n, then if (n == 3) hit.
     let mut b = ModuleBuilder::with_memory(1);
-    let action = b.func(&[I64, I64], &[], &[I64], vec![
-        Instr::LocalGet(1),
-        Instr::LocalSet(2),
-        Instr::Block(BlockType::Empty),
-        Instr::Loop(BlockType::Empty),
-        Instr::LocalGet(2),
-        Instr::I64Eqz,
-        Instr::BrIf(1),
-        Instr::LocalGet(2),
-        Instr::I64Const(1),
-        Instr::I64Sub,
-        Instr::LocalSet(2),
-        Instr::Br(0),
-        Instr::End,
-        Instr::End,
-        Instr::LocalGet(1),
-        Instr::I64Const(3),
-        Instr::I64Eq,
-        Instr::If(BlockType::Empty),
-        Instr::Nop,
-        Instr::End,
-        Instr::End,
-    ]);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::LocalGet(0),
-        Instr::I64Const(2),
-        Instr::Call(action),
-        Instr::End,
-    ]);
+    let action = b.func(
+        &[I64, I64],
+        &[],
+        &[I64],
+        vec![
+            Instr::LocalGet(1),
+            Instr::LocalSet(2),
+            Instr::Block(BlockType::Empty),
+            Instr::Loop(BlockType::Empty),
+            Instr::LocalGet(2),
+            Instr::I64Eqz,
+            Instr::BrIf(1),
+            Instr::LocalGet(2),
+            Instr::I64Const(1),
+            Instr::I64Sub,
+            Instr::LocalSet(2),
+            Instr::Br(0),
+            Instr::End,
+            Instr::End,
+            Instr::LocalGet(1),
+            Instr::I64Const(3),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(2),
+            Instr::Call(action),
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let module = b.build();
 

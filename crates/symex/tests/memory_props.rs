@@ -13,9 +13,15 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u16>(), 0u8..4, any::<u64>())
-            .prop_map(|(addr, size_sel, value)| Op::Store { addr: addr % 512, size_sel, value }),
-        (any::<u16>(), 0u8..4).prop_map(|(addr, size_sel)| Op::Load { addr: addr % 512, size_sel }),
+        (any::<u16>(), 0u8..4, any::<u64>()).prop_map(|(addr, size_sel, value)| Op::Store {
+            addr: addr % 512,
+            size_sel,
+            value
+        }),
+        (any::<u16>(), 0u8..4).prop_map(|(addr, size_sel)| Op::Load {
+            addr: addr % 512,
+            size_sel
+        }),
     ]
 }
 

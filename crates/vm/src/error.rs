@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn trap_messages_are_informative() {
-        let t = Trap::MemoryOutOfBounds { addr: 0x100, len: 8 };
+        let t = Trap::MemoryOutOfBounds {
+            addr: 0x100,
+            len: 8,
+        };
         assert!(t.to_string().contains("0x100"));
         assert!(Trap::AssertFailed("only eosio.token".into())
             .to_string()
@@ -120,7 +123,10 @@ mod tests {
 
     #[test]
     fn instance_error_messages() {
-        let e = InstanceError::UnresolvedImport { module: "env".into(), name: "foo".into() };
+        let e = InstanceError::UnresolvedImport {
+            module: "env".into(),
+            name: "foo".into(),
+        };
         assert_eq!(e.to_string(), "unresolved import env.foo");
     }
 }

@@ -166,9 +166,7 @@ impl Instance {
                 Instr::I64Const(v) => Value::I64(v),
                 Instr::F32Const(v) => Value::F32(v),
                 Instr::F64Const(v) => Value::F64(v),
-                ref other => {
-                    return Err(InstanceError::BadIndex(format!("global init {other:?}")))
-                }
+                ref other => return Err(InstanceError::BadIndex(format!("global init {other:?}"))),
             };
             globals.push(v);
         }
@@ -185,7 +183,13 @@ impl Instance {
             }
         }
 
-        let mut inst = Instance { compiled, mem, globals, table, host_ids };
+        let mut inst = Instance {
+            compiled,
+            mem,
+            globals,
+            table,
+            host_ids,
+        };
         for d in &inst.compiled.module.data.clone() {
             inst.mem
                 .write(d.offset as u64, &d.bytes)
@@ -422,441 +426,455 @@ impl Instance {
                     let instr = &f.body[frame.pc as usize];
                     let mut next_pc = frame.pc + 1;
                     match instr {
-                Instr::Unreachable => return Err(Trap::Unreachable),
-                Instr::Nop => {}
-                Instr::Block(bt) => {
-                    frame.labels.push(Label {
-                        height: frame.stack.len(),
-                        arity: bt.arity(),
-                        target: targets[frame.pc as usize].end_pc + 1,
-                        is_loop: false,
-                    });
-                }
-                Instr::Loop(_) => {
-                    frame.labels.push(Label {
-                        height: frame.stack.len(),
-                        arity: 0,
-                        target: frame.pc,
-                        is_loop: true,
-                    });
-                }
-                Instr::If(bt) => {
-                    let cond = pop!().as_i32();
-                    let t = targets[frame.pc as usize];
-                    if cond != 0 {
-                        frame.labels.push(Label {
-                            height: frame.stack.len(),
-                            arity: bt.arity(),
-                            target: t.end_pc + 1,
-                            is_loop: false,
-                        });
-                    } else if let Some(else_pc) = t.else_pc {
-                        frame.labels.push(Label {
-                            height: frame.stack.len(),
-                            arity: bt.arity(),
-                            target: t.end_pc + 1,
-                            is_loop: false,
-                        });
-                        next_pc = else_pc + 1;
-                    } else {
-                        next_pc = t.end_pc + 1;
-                    }
-                }
-                Instr::Else => {
-                    // Fallthrough from the then-arm: jump past the matching end.
-                    let lab = frame.labels.pop().expect("else inside if");
-                    next_pc = lab.target;
-                }
-                Instr::End => {
-                    frame.labels.pop();
-                }
-                Instr::Br(l) => next_pc = do_branch(&mut frame.labels, &mut frame.stack, *l),
-                Instr::BrIf(l) => {
-                    let cond = pop!().as_i32();
-                    if cond != 0 {
-                        next_pc = do_branch(&mut frame.labels, &mut frame.stack, *l);
-                    }
-                }
-                Instr::BrTable(table_labels, default) => {
-                    let idx = pop!().as_i32() as u32;
-                    let l = table_labels.get(idx as usize).copied().unwrap_or(*default);
-                    next_pc = do_branch(&mut frame.labels, &mut frame.stack, l);
-                }
-                Instr::Return => {
-                    let results = frame.stack.split_off(frame.stack.len() - frame.result_arity);
-                    break 'frame Next::Pop(results);
-                }
-                Instr::Call(callee) => {
-                    let ft = module
-                        .func_type(*callee)
-                        .ok_or_else(|| Trap::Host(format!("call target {callee} missing")))?;
-                    let n = ft.params.len();
-                    let call_args = frame.stack.split_off(frame.stack.len() - n);
-                    if *callee < n_imp {
-                        let id = self.host_ids[*callee as usize];
-                        let r = host.call(id, &call_args, &mut self.mem)?;
-                        frame.stack.extend(r);
-                    } else {
-                        frame.pc = next_pc;
-                        break 'frame Next::Push(*callee, call_args);
-                    }
-                }
-                Instr::CallIndirect(type_idx) => {
-                    let idx = pop!().as_i32() as u32;
-                    let slot = self
-                        .table
-                        .get(idx as usize)
-                        .copied()
-                        .ok_or(Trap::TableOutOfBounds)?;
-                    let callee = slot.ok_or(Trap::UndefinedElement)?;
-                    let expected = module
-                        .types
-                        .get(*type_idx as usize)
-                        .ok_or_else(|| Trap::Host(format!("bad type index {type_idx}")))?;
-                    let actual = module
-                        .func_type(callee)
-                        .ok_or_else(|| Trap::Host(format!("bad table target {callee}")))?;
-                    if expected != actual {
-                        return Err(Trap::IndirectCallTypeMismatch);
-                    }
-                    let n = expected.params.len();
-                    let call_args = frame.stack.split_off(frame.stack.len() - n);
-                    if callee < n_imp {
-                        let id = self.host_ids[callee as usize];
-                        let r = host.call(id, &call_args, &mut self.mem)?;
-                        frame.stack.extend(r);
-                    } else {
-                        frame.pc = next_pc;
-                        break 'frame Next::Push(callee, call_args);
-                    }
-                }
-                Instr::Drop => {
-                    pop!();
-                }
-                Instr::Select => {
-                    let cond = pop!().as_i32();
-                    let b = pop!();
-                    let a = pop!();
-                    frame.stack.push(if cond != 0 { a } else { b });
-                }
-                Instr::LocalGet(x) => frame.stack.push(frame.locals[*x as usize]),
-                Instr::LocalSet(x) => frame.locals[*x as usize] = pop!(),
-                Instr::LocalTee(x) => {
-                    frame.locals[*x as usize] = *frame.stack.last().expect("tee operand");
-                }
-                Instr::GlobalGet(x) => frame.stack.push(self.globals[*x as usize]),
-                Instr::GlobalSet(x) => self.globals[*x as usize] = pop!(),
-                Instr::MemorySize => frame.stack.push(Value::I32(self.mem.size_pages() as i32)),
-                Instr::MemoryGrow => {
-                    let delta = pop!().as_i32();
-                    let r = if delta < 0 { -1 } else { self.mem.grow(delta as u32) };
-                    frame.stack.push(Value::I32(r));
-                }
-                Instr::I32Const(v) => frame.stack.push(Value::I32(*v)),
-                Instr::I64Const(v) => frame.stack.push(Value::I64(*v)),
-                Instr::F32Const(v) => frame.stack.push(Value::F32(*v)),
-                Instr::F64Const(v) => frame.stack.push(Value::F64(*v)),
+                        Instr::Unreachable => return Err(Trap::Unreachable),
+                        Instr::Nop => {}
+                        Instr::Block(bt) => {
+                            frame.labels.push(Label {
+                                height: frame.stack.len(),
+                                arity: bt.arity(),
+                                target: targets[frame.pc as usize].end_pc + 1,
+                                is_loop: false,
+                            });
+                        }
+                        Instr::Loop(_) => {
+                            frame.labels.push(Label {
+                                height: frame.stack.len(),
+                                arity: 0,
+                                target: frame.pc,
+                                is_loop: true,
+                            });
+                        }
+                        Instr::If(bt) => {
+                            let cond = pop!().as_i32();
+                            let t = targets[frame.pc as usize];
+                            if cond != 0 {
+                                frame.labels.push(Label {
+                                    height: frame.stack.len(),
+                                    arity: bt.arity(),
+                                    target: t.end_pc + 1,
+                                    is_loop: false,
+                                });
+                            } else if let Some(else_pc) = t.else_pc {
+                                frame.labels.push(Label {
+                                    height: frame.stack.len(),
+                                    arity: bt.arity(),
+                                    target: t.end_pc + 1,
+                                    is_loop: false,
+                                });
+                                next_pc = else_pc + 1;
+                            } else {
+                                next_pc = t.end_pc + 1;
+                            }
+                        }
+                        Instr::Else => {
+                            // Fallthrough from the then-arm: jump past the matching end.
+                            let lab = frame.labels.pop().expect("else inside if");
+                            next_pc = lab.target;
+                        }
+                        Instr::End => {
+                            frame.labels.pop();
+                        }
+                        Instr::Br(l) => {
+                            next_pc = do_branch(&mut frame.labels, &mut frame.stack, *l)
+                        }
+                        Instr::BrIf(l) => {
+                            let cond = pop!().as_i32();
+                            if cond != 0 {
+                                next_pc = do_branch(&mut frame.labels, &mut frame.stack, *l);
+                            }
+                        }
+                        Instr::BrTable(table_labels, default) => {
+                            let idx = pop!().as_i32() as u32;
+                            let l = table_labels.get(idx as usize).copied().unwrap_or(*default);
+                            next_pc = do_branch(&mut frame.labels, &mut frame.stack, l);
+                        }
+                        Instr::Return => {
+                            let results = frame
+                                .stack
+                                .split_off(frame.stack.len() - frame.result_arity);
+                            break 'frame Next::Pop(results);
+                        }
+                        Instr::Call(callee) => {
+                            let ft = module.func_type(*callee).ok_or_else(|| {
+                                Trap::Host(format!("call target {callee} missing"))
+                            })?;
+                            let n = ft.params.len();
+                            let call_args = frame.stack.split_off(frame.stack.len() - n);
+                            if *callee < n_imp {
+                                let id = self.host_ids[*callee as usize];
+                                let r = host.call(id, &call_args, &mut self.mem)?;
+                                frame.stack.extend(r);
+                            } else {
+                                frame.pc = next_pc;
+                                break 'frame Next::Push(*callee, call_args);
+                            }
+                        }
+                        Instr::CallIndirect(type_idx) => {
+                            let idx = pop!().as_i32() as u32;
+                            let slot = self
+                                .table
+                                .get(idx as usize)
+                                .copied()
+                                .ok_or(Trap::TableOutOfBounds)?;
+                            let callee = slot.ok_or(Trap::UndefinedElement)?;
+                            let expected = module
+                                .types
+                                .get(*type_idx as usize)
+                                .ok_or_else(|| Trap::Host(format!("bad type index {type_idx}")))?;
+                            let actual = module
+                                .func_type(callee)
+                                .ok_or_else(|| Trap::Host(format!("bad table target {callee}")))?;
+                            if expected != actual {
+                                return Err(Trap::IndirectCallTypeMismatch);
+                            }
+                            let n = expected.params.len();
+                            let call_args = frame.stack.split_off(frame.stack.len() - n);
+                            if callee < n_imp {
+                                let id = self.host_ids[callee as usize];
+                                let r = host.call(id, &call_args, &mut self.mem)?;
+                                frame.stack.extend(r);
+                            } else {
+                                frame.pc = next_pc;
+                                break 'frame Next::Push(callee, call_args);
+                            }
+                        }
+                        Instr::Drop => {
+                            pop!();
+                        }
+                        Instr::Select => {
+                            let cond = pop!().as_i32();
+                            let b = pop!();
+                            let a = pop!();
+                            frame.stack.push(if cond != 0 { a } else { b });
+                        }
+                        Instr::LocalGet(x) => frame.stack.push(frame.locals[*x as usize]),
+                        Instr::LocalSet(x) => frame.locals[*x as usize] = pop!(),
+                        Instr::LocalTee(x) => {
+                            frame.locals[*x as usize] = *frame.stack.last().expect("tee operand");
+                        }
+                        Instr::GlobalGet(x) => frame.stack.push(self.globals[*x as usize]),
+                        Instr::GlobalSet(x) => self.globals[*x as usize] = pop!(),
+                        Instr::MemorySize => {
+                            frame.stack.push(Value::I32(self.mem.size_pages() as i32))
+                        }
+                        Instr::MemoryGrow => {
+                            let delta = pop!().as_i32();
+                            let r = if delta < 0 {
+                                -1
+                            } else {
+                                self.mem.grow(delta as u32)
+                            };
+                            frame.stack.push(Value::I32(r));
+                        }
+                        Instr::I32Const(v) => frame.stack.push(Value::I32(*v)),
+                        Instr::I64Const(v) => frame.stack.push(Value::I64(*v)),
+                        Instr::F32Const(v) => frame.stack.push(Value::F32(*v)),
+                        Instr::F64Const(v) => frame.stack.push(Value::F64(*v)),
 
-                // Loads / stores.
-                other if other.memory_access().is_some() => {
-                    let acc = other.memory_access().expect("guarded");
-                    let m = other.mem_arg().expect("memory instr has memarg");
-                    if acc.is_store {
-                        let value = pop!();
-                        let base = pop!().as_i32() as u32 as u64;
-                        let addr = base + m.offset as u64;
-                        self.mem.store_uint(addr, acc.bytes, value.to_bits())?;
-                    } else {
-                        let base = pop!().as_i32() as u32 as u64;
-                        let addr = base + m.offset as u64;
-                        let raw = self.mem.load_uint(addr, acc.bytes)?;
-                        let v = extend_loaded(raw, acc.bytes, acc.signed, acc.val_type);
-                        frame.stack.push(v);
-                    }
-                }
+                        // Loads / stores.
+                        other if other.memory_access().is_some() => {
+                            let acc = other.memory_access().expect("guarded");
+                            let m = other.mem_arg().expect("memory instr has memarg");
+                            if acc.is_store {
+                                let value = pop!();
+                                let base = pop!().as_i32() as u32 as u64;
+                                let addr = base + m.offset as u64;
+                                self.mem.store_uint(addr, acc.bytes, value.to_bits())?;
+                            } else {
+                                let base = pop!().as_i32() as u32 as u64;
+                                let addr = base + m.offset as u64;
+                                let raw = self.mem.load_uint(addr, acc.bytes)?;
+                                let v = extend_loaded(raw, acc.bytes, acc.signed, acc.val_type);
+                                frame.stack.push(v);
+                            }
+                        }
 
-                // i32 compare.
-                Instr::I32Eqz => un_i32!(|a| (a == 0) as i32),
-                Instr::I32Eq => cmp_i32!(|a, b| a == b),
-                Instr::I32Ne => cmp_i32!(|a, b| a != b),
-                Instr::I32LtS => cmp_i32!(|a, b| a < b),
-                Instr::I32LtU => cmp_i32!(|a, b| (a as u32) < (b as u32)),
-                Instr::I32GtS => cmp_i32!(|a, b| a > b),
-                Instr::I32GtU => cmp_i32!(|a, b| (a as u32) > (b as u32)),
-                Instr::I32LeS => cmp_i32!(|a, b| a <= b),
-                Instr::I32LeU => cmp_i32!(|a, b| (a as u32) <= (b as u32)),
-                Instr::I32GeS => cmp_i32!(|a, b| a >= b),
-                Instr::I32GeU => cmp_i32!(|a, b| (a as u32) >= (b as u32)),
+                        // i32 compare.
+                        Instr::I32Eqz => un_i32!(|a| (a == 0) as i32),
+                        Instr::I32Eq => cmp_i32!(|a, b| a == b),
+                        Instr::I32Ne => cmp_i32!(|a, b| a != b),
+                        Instr::I32LtS => cmp_i32!(|a, b| a < b),
+                        Instr::I32LtU => cmp_i32!(|a, b| (a as u32) < (b as u32)),
+                        Instr::I32GtS => cmp_i32!(|a, b| a > b),
+                        Instr::I32GtU => cmp_i32!(|a, b| (a as u32) > (b as u32)),
+                        Instr::I32LeS => cmp_i32!(|a, b| a <= b),
+                        Instr::I32LeU => cmp_i32!(|a, b| (a as u32) <= (b as u32)),
+                        Instr::I32GeS => cmp_i32!(|a, b| a >= b),
+                        Instr::I32GeU => cmp_i32!(|a, b| (a as u32) >= (b as u32)),
 
-                // i64 compare.
-                Instr::I64Eqz => {
-                    let a = pop!().as_i64();
-                    frame.stack.push(Value::I32((a == 0) as i32));
-                }
-                Instr::I64Eq => cmp_i64!(|a, b| a == b),
-                Instr::I64Ne => cmp_i64!(|a, b| a != b),
-                Instr::I64LtS => cmp_i64!(|a, b| a < b),
-                Instr::I64LtU => cmp_i64!(|a, b| (a as u64) < (b as u64)),
-                Instr::I64GtS => cmp_i64!(|a, b| a > b),
-                Instr::I64GtU => cmp_i64!(|a, b| (a as u64) > (b as u64)),
-                Instr::I64LeS => cmp_i64!(|a, b| a <= b),
-                Instr::I64LeU => cmp_i64!(|a, b| (a as u64) <= (b as u64)),
-                Instr::I64GeS => cmp_i64!(|a, b| a >= b),
-                Instr::I64GeU => cmp_i64!(|a, b| (a as u64) >= (b as u64)),
+                        // i64 compare.
+                        Instr::I64Eqz => {
+                            let a = pop!().as_i64();
+                            frame.stack.push(Value::I32((a == 0) as i32));
+                        }
+                        Instr::I64Eq => cmp_i64!(|a, b| a == b),
+                        Instr::I64Ne => cmp_i64!(|a, b| a != b),
+                        Instr::I64LtS => cmp_i64!(|a, b| a < b),
+                        Instr::I64LtU => cmp_i64!(|a, b| (a as u64) < (b as u64)),
+                        Instr::I64GtS => cmp_i64!(|a, b| a > b),
+                        Instr::I64GtU => cmp_i64!(|a, b| (a as u64) > (b as u64)),
+                        Instr::I64LeS => cmp_i64!(|a, b| a <= b),
+                        Instr::I64LeU => cmp_i64!(|a, b| (a as u64) <= (b as u64)),
+                        Instr::I64GeS => cmp_i64!(|a, b| a >= b),
+                        Instr::I64GeU => cmp_i64!(|a, b| (a as u64) >= (b as u64)),
 
-                // f32/f64 compare.
-                Instr::F32Eq => cmp_f32!(|a, b| a == b),
-                Instr::F32Ne => cmp_f32!(|a, b| a != b),
-                Instr::F32Lt => cmp_f32!(|a, b| a < b),
-                Instr::F32Gt => cmp_f32!(|a, b| a > b),
-                Instr::F32Le => cmp_f32!(|a, b| a <= b),
-                Instr::F32Ge => cmp_f32!(|a, b| a >= b),
-                Instr::F64Eq => cmp_f64!(|a, b| a == b),
-                Instr::F64Ne => cmp_f64!(|a, b| a != b),
-                Instr::F64Lt => cmp_f64!(|a, b| a < b),
-                Instr::F64Gt => cmp_f64!(|a, b| a > b),
-                Instr::F64Le => cmp_f64!(|a, b| a <= b),
-                Instr::F64Ge => cmp_f64!(|a, b| a >= b),
+                        // f32/f64 compare.
+                        Instr::F32Eq => cmp_f32!(|a, b| a == b),
+                        Instr::F32Ne => cmp_f32!(|a, b| a != b),
+                        Instr::F32Lt => cmp_f32!(|a, b| a < b),
+                        Instr::F32Gt => cmp_f32!(|a, b| a > b),
+                        Instr::F32Le => cmp_f32!(|a, b| a <= b),
+                        Instr::F32Ge => cmp_f32!(|a, b| a >= b),
+                        Instr::F64Eq => cmp_f64!(|a, b| a == b),
+                        Instr::F64Ne => cmp_f64!(|a, b| a != b),
+                        Instr::F64Lt => cmp_f64!(|a, b| a < b),
+                        Instr::F64Gt => cmp_f64!(|a, b| a > b),
+                        Instr::F64Le => cmp_f64!(|a, b| a <= b),
+                        Instr::F64Ge => cmp_f64!(|a, b| a >= b),
 
-                // i32 arithmetic.
-                Instr::I32Clz => un_i32!(|a| a.leading_zeros() as i32),
-                Instr::I32Ctz => un_i32!(|a| a.trailing_zeros() as i32),
-                Instr::I32Popcnt => un_i32!(|a| a.count_ones() as i32),
-                Instr::I32Add => bin_i32!(|a, b| a.wrapping_add(b)),
-                Instr::I32Sub => bin_i32!(|a, b| a.wrapping_sub(b)),
-                Instr::I32Mul => bin_i32!(|a, b| a.wrapping_mul(b)),
-                Instr::I32DivS => {
-                    let b = pop!().as_i32();
-                    let a = pop!().as_i32();
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    if a == i32::MIN && b == -1 {
-                        return Err(Trap::IntegerOverflow);
-                    }
-                    frame.stack.push(Value::I32(a.wrapping_div(b)));
-                }
-                Instr::I32DivU => {
-                    let b = pop!().as_i32() as u32;
-                    let a = pop!().as_i32() as u32;
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    frame.stack.push(Value::I32((a / b) as i32));
-                }
-                Instr::I32RemS => {
-                    let b = pop!().as_i32();
-                    let a = pop!().as_i32();
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    frame.stack.push(Value::I32(a.wrapping_rem(b)));
-                }
-                Instr::I32RemU => {
-                    let b = pop!().as_i32() as u32;
-                    let a = pop!().as_i32() as u32;
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    frame.stack.push(Value::I32((a % b) as i32));
-                }
-                Instr::I32And => bin_i32!(|a, b| a & b),
-                Instr::I32Or => bin_i32!(|a, b| a | b),
-                Instr::I32Xor => bin_i32!(|a, b| a ^ b),
-                Instr::I32Shl => bin_i32!(|a, b| a.wrapping_shl(b as u32)),
-                Instr::I32ShrS => bin_i32!(|a, b| a.wrapping_shr(b as u32)),
-                Instr::I32ShrU => bin_i32!(|a, b| ((a as u32).wrapping_shr(b as u32)) as i32),
-                Instr::I32Rotl => bin_i32!(|a, b| a.rotate_left(b as u32 % 32)),
-                Instr::I32Rotr => bin_i32!(|a, b| a.rotate_right(b as u32 % 32)),
+                        // i32 arithmetic.
+                        Instr::I32Clz => un_i32!(|a| a.leading_zeros() as i32),
+                        Instr::I32Ctz => un_i32!(|a| a.trailing_zeros() as i32),
+                        Instr::I32Popcnt => un_i32!(|a| a.count_ones() as i32),
+                        Instr::I32Add => bin_i32!(|a, b| a.wrapping_add(b)),
+                        Instr::I32Sub => bin_i32!(|a, b| a.wrapping_sub(b)),
+                        Instr::I32Mul => bin_i32!(|a, b| a.wrapping_mul(b)),
+                        Instr::I32DivS => {
+                            let b = pop!().as_i32();
+                            let a = pop!().as_i32();
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            if a == i32::MIN && b == -1 {
+                                return Err(Trap::IntegerOverflow);
+                            }
+                            frame.stack.push(Value::I32(a.wrapping_div(b)));
+                        }
+                        Instr::I32DivU => {
+                            let b = pop!().as_i32() as u32;
+                            let a = pop!().as_i32() as u32;
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            frame.stack.push(Value::I32((a / b) as i32));
+                        }
+                        Instr::I32RemS => {
+                            let b = pop!().as_i32();
+                            let a = pop!().as_i32();
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            frame.stack.push(Value::I32(a.wrapping_rem(b)));
+                        }
+                        Instr::I32RemU => {
+                            let b = pop!().as_i32() as u32;
+                            let a = pop!().as_i32() as u32;
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            frame.stack.push(Value::I32((a % b) as i32));
+                        }
+                        Instr::I32And => bin_i32!(|a, b| a & b),
+                        Instr::I32Or => bin_i32!(|a, b| a | b),
+                        Instr::I32Xor => bin_i32!(|a, b| a ^ b),
+                        Instr::I32Shl => bin_i32!(|a, b| a.wrapping_shl(b as u32)),
+                        Instr::I32ShrS => bin_i32!(|a, b| a.wrapping_shr(b as u32)),
+                        Instr::I32ShrU => {
+                            bin_i32!(|a, b| ((a as u32).wrapping_shr(b as u32)) as i32)
+                        }
+                        Instr::I32Rotl => bin_i32!(|a, b| a.rotate_left(b as u32 % 32)),
+                        Instr::I32Rotr => bin_i32!(|a, b| a.rotate_right(b as u32 % 32)),
 
-                // i64 arithmetic.
-                Instr::I64Clz => un_i64!(|a| a.leading_zeros() as i64),
-                Instr::I64Ctz => un_i64!(|a| a.trailing_zeros() as i64),
-                Instr::I64Popcnt => un_i64!(|a| a.count_ones() as i64),
-                Instr::I64Add => bin_i64!(|a, b| a.wrapping_add(b)),
-                Instr::I64Sub => bin_i64!(|a, b| a.wrapping_sub(b)),
-                Instr::I64Mul => bin_i64!(|a, b| a.wrapping_mul(b)),
-                Instr::I64DivS => {
-                    let b = pop!().as_i64();
-                    let a = pop!().as_i64();
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    if a == i64::MIN && b == -1 {
-                        return Err(Trap::IntegerOverflow);
-                    }
-                    frame.stack.push(Value::I64(a.wrapping_div(b)));
-                }
-                Instr::I64DivU => {
-                    let b = pop!().as_i64() as u64;
-                    let a = pop!().as_i64() as u64;
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    frame.stack.push(Value::I64((a / b) as i64));
-                }
-                Instr::I64RemS => {
-                    let b = pop!().as_i64();
-                    let a = pop!().as_i64();
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    frame.stack.push(Value::I64(a.wrapping_rem(b)));
-                }
-                Instr::I64RemU => {
-                    let b = pop!().as_i64() as u64;
-                    let a = pop!().as_i64() as u64;
-                    if b == 0 {
-                        return Err(Trap::DivideByZero);
-                    }
-                    frame.stack.push(Value::I64((a % b) as i64));
-                }
-                Instr::I64And => bin_i64!(|a, b| a & b),
-                Instr::I64Or => bin_i64!(|a, b| a | b),
-                Instr::I64Xor => bin_i64!(|a, b| a ^ b),
-                Instr::I64Shl => bin_i64!(|a, b| a.wrapping_shl(b as u32)),
-                Instr::I64ShrS => bin_i64!(|a, b| a.wrapping_shr(b as u32)),
-                Instr::I64ShrU => bin_i64!(|a, b| ((a as u64).wrapping_shr(b as u32)) as i64),
-                Instr::I64Rotl => bin_i64!(|a, b| a.rotate_left((b as u32) % 64)),
-                Instr::I64Rotr => bin_i64!(|a, b| a.rotate_right((b as u32) % 64)),
+                        // i64 arithmetic.
+                        Instr::I64Clz => un_i64!(|a| a.leading_zeros() as i64),
+                        Instr::I64Ctz => un_i64!(|a| a.trailing_zeros() as i64),
+                        Instr::I64Popcnt => un_i64!(|a| a.count_ones() as i64),
+                        Instr::I64Add => bin_i64!(|a, b| a.wrapping_add(b)),
+                        Instr::I64Sub => bin_i64!(|a, b| a.wrapping_sub(b)),
+                        Instr::I64Mul => bin_i64!(|a, b| a.wrapping_mul(b)),
+                        Instr::I64DivS => {
+                            let b = pop!().as_i64();
+                            let a = pop!().as_i64();
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            if a == i64::MIN && b == -1 {
+                                return Err(Trap::IntegerOverflow);
+                            }
+                            frame.stack.push(Value::I64(a.wrapping_div(b)));
+                        }
+                        Instr::I64DivU => {
+                            let b = pop!().as_i64() as u64;
+                            let a = pop!().as_i64() as u64;
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            frame.stack.push(Value::I64((a / b) as i64));
+                        }
+                        Instr::I64RemS => {
+                            let b = pop!().as_i64();
+                            let a = pop!().as_i64();
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            frame.stack.push(Value::I64(a.wrapping_rem(b)));
+                        }
+                        Instr::I64RemU => {
+                            let b = pop!().as_i64() as u64;
+                            let a = pop!().as_i64() as u64;
+                            if b == 0 {
+                                return Err(Trap::DivideByZero);
+                            }
+                            frame.stack.push(Value::I64((a % b) as i64));
+                        }
+                        Instr::I64And => bin_i64!(|a, b| a & b),
+                        Instr::I64Or => bin_i64!(|a, b| a | b),
+                        Instr::I64Xor => bin_i64!(|a, b| a ^ b),
+                        Instr::I64Shl => bin_i64!(|a, b| a.wrapping_shl(b as u32)),
+                        Instr::I64ShrS => bin_i64!(|a, b| a.wrapping_shr(b as u32)),
+                        Instr::I64ShrU => {
+                            bin_i64!(|a, b| ((a as u64).wrapping_shr(b as u32)) as i64)
+                        }
+                        Instr::I64Rotl => bin_i64!(|a, b| a.rotate_left((b as u32) % 64)),
+                        Instr::I64Rotr => bin_i64!(|a, b| a.rotate_right((b as u32) % 64)),
 
-                // f32 arithmetic.
-                Instr::F32Abs => un_f32!(|a| a.abs()),
-                Instr::F32Neg => un_f32!(|a| -a),
-                Instr::F32Ceil => un_f32!(|a| a.ceil()),
-                Instr::F32Floor => un_f32!(|a| a.floor()),
-                Instr::F32Trunc => un_f32!(|a| a.trunc()),
-                Instr::F32Nearest => un_f32!(|a| nearest_f32(a)),
-                Instr::F32Sqrt => un_f32!(|a| a.sqrt()),
-                Instr::F32Add => bin_f32!(|a, b| a + b),
-                Instr::F32Sub => bin_f32!(|a, b| a - b),
-                Instr::F32Mul => bin_f32!(|a, b| a * b),
-                Instr::F32Div => bin_f32!(|a, b| a / b),
-                Instr::F32Min => bin_f32!(|a, b| a.min(b)),
-                Instr::F32Max => bin_f32!(|a, b| a.max(b)),
-                Instr::F32Copysign => bin_f32!(|a, b| a.copysign(b)),
+                        // f32 arithmetic.
+                        Instr::F32Abs => un_f32!(|a| a.abs()),
+                        Instr::F32Neg => un_f32!(|a| -a),
+                        Instr::F32Ceil => un_f32!(|a| a.ceil()),
+                        Instr::F32Floor => un_f32!(|a| a.floor()),
+                        Instr::F32Trunc => un_f32!(|a| a.trunc()),
+                        Instr::F32Nearest => un_f32!(|a| nearest_f32(a)),
+                        Instr::F32Sqrt => un_f32!(|a| a.sqrt()),
+                        Instr::F32Add => bin_f32!(|a, b| a + b),
+                        Instr::F32Sub => bin_f32!(|a, b| a - b),
+                        Instr::F32Mul => bin_f32!(|a, b| a * b),
+                        Instr::F32Div => bin_f32!(|a, b| a / b),
+                        Instr::F32Min => bin_f32!(|a, b| a.min(b)),
+                        Instr::F32Max => bin_f32!(|a, b| a.max(b)),
+                        Instr::F32Copysign => bin_f32!(|a, b| a.copysign(b)),
 
-                // f64 arithmetic.
-                Instr::F64Abs => un_f64!(|a| a.abs()),
-                Instr::F64Neg => un_f64!(|a| -a),
-                Instr::F64Ceil => un_f64!(|a| a.ceil()),
-                Instr::F64Floor => un_f64!(|a| a.floor()),
-                Instr::F64Trunc => un_f64!(|a| a.trunc()),
-                Instr::F64Nearest => un_f64!(|a| nearest_f64(a)),
-                Instr::F64Sqrt => un_f64!(|a| a.sqrt()),
-                Instr::F64Add => bin_f64!(|a, b| a + b),
-                Instr::F64Sub => bin_f64!(|a, b| a - b),
-                Instr::F64Mul => bin_f64!(|a, b| a * b),
-                Instr::F64Div => bin_f64!(|a, b| a / b),
-                Instr::F64Min => bin_f64!(|a, b| a.min(b)),
-                Instr::F64Max => bin_f64!(|a, b| a.max(b)),
-                Instr::F64Copysign => bin_f64!(|a, b| a.copysign(b)),
+                        // f64 arithmetic.
+                        Instr::F64Abs => un_f64!(|a| a.abs()),
+                        Instr::F64Neg => un_f64!(|a| -a),
+                        Instr::F64Ceil => un_f64!(|a| a.ceil()),
+                        Instr::F64Floor => un_f64!(|a| a.floor()),
+                        Instr::F64Trunc => un_f64!(|a| a.trunc()),
+                        Instr::F64Nearest => un_f64!(|a| nearest_f64(a)),
+                        Instr::F64Sqrt => un_f64!(|a| a.sqrt()),
+                        Instr::F64Add => bin_f64!(|a, b| a + b),
+                        Instr::F64Sub => bin_f64!(|a, b| a - b),
+                        Instr::F64Mul => bin_f64!(|a, b| a * b),
+                        Instr::F64Div => bin_f64!(|a, b| a / b),
+                        Instr::F64Min => bin_f64!(|a, b| a.min(b)),
+                        Instr::F64Max => bin_f64!(|a, b| a.max(b)),
+                        Instr::F64Copysign => bin_f64!(|a, b| a.copysign(b)),
 
-                // Conversions.
-                Instr::I32WrapI64 => {
-                    let a = pop!().as_i64();
-                    frame.stack.push(Value::I32(a as i32));
-                }
-                Instr::I32TruncF32S => {
-                    let a = pop!().as_f32();
-                    frame.stack.push(Value::I32(trunc_to_i32(a as f64)?));
-                }
-                Instr::I32TruncF32U => {
-                    let a = pop!().as_f32();
-                    frame.stack.push(Value::I32(trunc_to_u32(a as f64)? as i32));
-                }
-                Instr::I32TruncF64S => {
-                    let a = pop!().as_f64();
-                    frame.stack.push(Value::I32(trunc_to_i32(a)?));
-                }
-                Instr::I32TruncF64U => {
-                    let a = pop!().as_f64();
-                    frame.stack.push(Value::I32(trunc_to_u32(a)? as i32));
-                }
-                Instr::I64ExtendI32S => {
-                    let a = pop!().as_i32();
-                    frame.stack.push(Value::I64(a as i64));
-                }
-                Instr::I64ExtendI32U => {
-                    let a = pop!().as_i32();
-                    frame.stack.push(Value::I64(a as u32 as i64));
-                }
-                Instr::I64TruncF32S => {
-                    let a = pop!().as_f32();
-                    frame.stack.push(Value::I64(trunc_to_i64(a as f64)?));
-                }
-                Instr::I64TruncF32U => {
-                    let a = pop!().as_f32();
-                    frame.stack.push(Value::I64(trunc_to_u64(a as f64)? as i64));
-                }
-                Instr::I64TruncF64S => {
-                    let a = pop!().as_f64();
-                    frame.stack.push(Value::I64(trunc_to_i64(a)?));
-                }
-                Instr::I64TruncF64U => {
-                    let a = pop!().as_f64();
-                    frame.stack.push(Value::I64(trunc_to_u64(a)? as i64));
-                }
-                Instr::F32ConvertI32S => {
-                    let a = pop!().as_i32();
-                    frame.stack.push(Value::F32(a as f32));
-                }
-                Instr::F32ConvertI32U => {
-                    let a = pop!().as_i32() as u32;
-                    frame.stack.push(Value::F32(a as f32));
-                }
-                Instr::F32ConvertI64S => {
-                    let a = pop!().as_i64();
-                    frame.stack.push(Value::F32(a as f32));
-                }
-                Instr::F32ConvertI64U => {
-                    let a = pop!().as_i64() as u64;
-                    frame.stack.push(Value::F32(a as f32));
-                }
-                Instr::F32DemoteF64 => {
-                    let a = pop!().as_f64();
-                    frame.stack.push(Value::F32(a as f32));
-                }
-                Instr::F64ConvertI32S => {
-                    let a = pop!().as_i32();
-                    frame.stack.push(Value::F64(a as f64));
-                }
-                Instr::F64ConvertI32U => {
-                    let a = pop!().as_i32() as u32;
-                    frame.stack.push(Value::F64(a as f64));
-                }
-                Instr::F64ConvertI64S => {
-                    let a = pop!().as_i64();
-                    frame.stack.push(Value::F64(a as f64));
-                }
-                Instr::F64ConvertI64U => {
-                    let a = pop!().as_i64() as u64;
-                    frame.stack.push(Value::F64(a as f64));
-                }
-                Instr::F64PromoteF32 => {
-                    let a = pop!().as_f32();
-                    frame.stack.push(Value::F64(a as f64));
-                }
-                Instr::I32ReinterpretF32 => {
-                    let a = pop!().as_f32();
-                    frame.stack.push(Value::I32(a.to_bits() as i32));
-                }
-                Instr::I64ReinterpretF64 => {
-                    let a = pop!().as_f64();
-                    frame.stack.push(Value::I64(a.to_bits() as i64));
-                }
-                Instr::F32ReinterpretI32 => {
-                    let a = pop!().as_i32();
-                    frame.stack.push(Value::F32(f32::from_bits(a as u32)));
-                }
-                Instr::F64ReinterpretI64 => {
-                    let a = pop!().as_i64();
-                    frame.stack.push(Value::F64(f64::from_bits(a as u64)));
-                }
-                // All memory instructions were handled by the guarded arm
-                // above; every other opcode has an explicit arm.
-                other => unreachable!("unhandled instruction {other:?}"),
-            }
+                        // Conversions.
+                        Instr::I32WrapI64 => {
+                            let a = pop!().as_i64();
+                            frame.stack.push(Value::I32(a as i32));
+                        }
+                        Instr::I32TruncF32S => {
+                            let a = pop!().as_f32();
+                            frame.stack.push(Value::I32(trunc_to_i32(a as f64)?));
+                        }
+                        Instr::I32TruncF32U => {
+                            let a = pop!().as_f32();
+                            frame.stack.push(Value::I32(trunc_to_u32(a as f64)? as i32));
+                        }
+                        Instr::I32TruncF64S => {
+                            let a = pop!().as_f64();
+                            frame.stack.push(Value::I32(trunc_to_i32(a)?));
+                        }
+                        Instr::I32TruncF64U => {
+                            let a = pop!().as_f64();
+                            frame.stack.push(Value::I32(trunc_to_u32(a)? as i32));
+                        }
+                        Instr::I64ExtendI32S => {
+                            let a = pop!().as_i32();
+                            frame.stack.push(Value::I64(a as i64));
+                        }
+                        Instr::I64ExtendI32U => {
+                            let a = pop!().as_i32();
+                            frame.stack.push(Value::I64(a as u32 as i64));
+                        }
+                        Instr::I64TruncF32S => {
+                            let a = pop!().as_f32();
+                            frame.stack.push(Value::I64(trunc_to_i64(a as f64)?));
+                        }
+                        Instr::I64TruncF32U => {
+                            let a = pop!().as_f32();
+                            frame.stack.push(Value::I64(trunc_to_u64(a as f64)? as i64));
+                        }
+                        Instr::I64TruncF64S => {
+                            let a = pop!().as_f64();
+                            frame.stack.push(Value::I64(trunc_to_i64(a)?));
+                        }
+                        Instr::I64TruncF64U => {
+                            let a = pop!().as_f64();
+                            frame.stack.push(Value::I64(trunc_to_u64(a)? as i64));
+                        }
+                        Instr::F32ConvertI32S => {
+                            let a = pop!().as_i32();
+                            frame.stack.push(Value::F32(a as f32));
+                        }
+                        Instr::F32ConvertI32U => {
+                            let a = pop!().as_i32() as u32;
+                            frame.stack.push(Value::F32(a as f32));
+                        }
+                        Instr::F32ConvertI64S => {
+                            let a = pop!().as_i64();
+                            frame.stack.push(Value::F32(a as f32));
+                        }
+                        Instr::F32ConvertI64U => {
+                            let a = pop!().as_i64() as u64;
+                            frame.stack.push(Value::F32(a as f32));
+                        }
+                        Instr::F32DemoteF64 => {
+                            let a = pop!().as_f64();
+                            frame.stack.push(Value::F32(a as f32));
+                        }
+                        Instr::F64ConvertI32S => {
+                            let a = pop!().as_i32();
+                            frame.stack.push(Value::F64(a as f64));
+                        }
+                        Instr::F64ConvertI32U => {
+                            let a = pop!().as_i32() as u32;
+                            frame.stack.push(Value::F64(a as f64));
+                        }
+                        Instr::F64ConvertI64S => {
+                            let a = pop!().as_i64();
+                            frame.stack.push(Value::F64(a as f64));
+                        }
+                        Instr::F64ConvertI64U => {
+                            let a = pop!().as_i64() as u64;
+                            frame.stack.push(Value::F64(a as f64));
+                        }
+                        Instr::F64PromoteF32 => {
+                            let a = pop!().as_f32();
+                            frame.stack.push(Value::F64(a as f64));
+                        }
+                        Instr::I32ReinterpretF32 => {
+                            let a = pop!().as_f32();
+                            frame.stack.push(Value::I32(a.to_bits() as i32));
+                        }
+                        Instr::I64ReinterpretF64 => {
+                            let a = pop!().as_f64();
+                            frame.stack.push(Value::I64(a.to_bits() as i64));
+                        }
+                        Instr::F32ReinterpretI32 => {
+                            let a = pop!().as_i32();
+                            frame.stack.push(Value::F32(f32::from_bits(a as u32)));
+                        }
+                        Instr::F64ReinterpretI64 => {
+                            let a = pop!().as_i64();
+                            frame.stack.push(Value::F64(f64::from_bits(a as u64)));
+                        }
+                        // All memory instructions were handled by the guarded arm
+                        // above; every other opcode has an explicit arm.
+                        other => unreachable!("unhandled instruction {other:?}"),
+                    }
 
                     frame.pc = next_pc;
                 }

@@ -71,26 +71,31 @@ mod tests {
     fn loop_sums_one_to_n() {
         // sum = 0; i = n; while (i != 0) { sum += i; i -= 1 } return sum
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[I64], &[I64], &[I64], vec![
-            Instr::Block(BlockType::Empty),
-            Instr::Loop(BlockType::Empty),
-            Instr::LocalGet(0),
-            Instr::I64Eqz,
-            Instr::BrIf(1),
-            Instr::LocalGet(1),
-            Instr::LocalGet(0),
-            Instr::I64Add,
-            Instr::LocalSet(1),
-            Instr::LocalGet(0),
-            Instr::I64Const(1),
-            Instr::I64Sub,
-            Instr::LocalSet(0),
-            Instr::Br(0),
-            Instr::End,
-            Instr::End,
-            Instr::LocalGet(1),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I64],
+            &[I64],
+            &[I64],
+            vec![
+                Instr::Block(BlockType::Empty),
+                Instr::Loop(BlockType::Empty),
+                Instr::LocalGet(0),
+                Instr::I64Eqz,
+                Instr::BrIf(1),
+                Instr::LocalGet(1),
+                Instr::LocalGet(0),
+                Instr::I64Add,
+                Instr::LocalSet(1),
+                Instr::LocalGet(0),
+                Instr::I64Const(1),
+                Instr::I64Sub,
+                Instr::LocalSet(0),
+                Instr::Br(0),
+                Instr::End,
+                Instr::End,
+                Instr::LocalGet(1),
+                Instr::End,
+            ],
+        );
         b.export_func("sum", f);
         let r = run1(b, "sum", &[Value::I64(10)]).unwrap();
         assert_eq!(r, vec![Value::I64(55)]);
@@ -99,26 +104,33 @@ mod tests {
     #[test]
     fn if_else_selects_branch() {
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[I32], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::If(BlockType::Value(I64)),
-            Instr::I64Const(7),
-            Instr::Else,
-            Instr::I64Const(9),
-            Instr::End,
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I32],
+            &[I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::If(BlockType::Value(I64)),
+                Instr::I64Const(7),
+                Instr::Else,
+                Instr::I64Const(9),
+                Instr::End,
+                Instr::End,
+            ],
+        );
         b.export_func("pick", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(1000);
         assert_eq!(
-            inst.invoke_export(&mut host, "pick", &[Value::I32(1)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "pick", &[Value::I32(1)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(7)]
         );
         assert_eq!(
-            inst.invoke_export(&mut host, "pick", &[Value::I32(0)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "pick", &[Value::I32(0)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(9)]
         );
     }
@@ -126,28 +138,35 @@ mod tests {
     #[test]
     fn if_without_else_skips_body() {
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[I32], &[I64], &[I64], vec![
-            Instr::I64Const(1),
-            Instr::LocalSet(1),
-            Instr::LocalGet(0),
-            Instr::If(BlockType::Empty),
-            Instr::I64Const(2),
-            Instr::LocalSet(1),
-            Instr::End,
-            Instr::LocalGet(1),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I32],
+            &[I64],
+            &[I64],
+            vec![
+                Instr::I64Const(1),
+                Instr::LocalSet(1),
+                Instr::LocalGet(0),
+                Instr::If(BlockType::Empty),
+                Instr::I64Const(2),
+                Instr::LocalSet(1),
+                Instr::End,
+                Instr::LocalGet(1),
+                Instr::End,
+            ],
+        );
         b.export_func("f", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(1000);
         assert_eq!(
-            inst.invoke_export(&mut host, "f", &[Value::I32(0)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "f", &[Value::I32(0)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(1)]
         );
         assert_eq!(
-            inst.invoke_export(&mut host, "f", &[Value::I32(5)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "f", &[Value::I32(5)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(2)]
         );
     }
@@ -155,19 +174,29 @@ mod tests {
     #[test]
     fn direct_call_passes_args_and_results() {
         let mut b = ModuleBuilder::new();
-        let double = b.func(&[I64], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::I64Const(2),
-            Instr::I64Mul,
-            Instr::End,
-        ]);
-        let f = b.func(&[I64], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::Call(double),
-            Instr::I64Const(1),
-            Instr::I64Add,
-            Instr::End,
-        ]);
+        let double = b.func(
+            &[I64],
+            &[I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I64Const(2),
+                Instr::I64Mul,
+                Instr::End,
+            ],
+        );
+        let f = b.func(
+            &[I64],
+            &[I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::Call(double),
+                Instr::I64Const(1),
+                Instr::I64Add,
+                Instr::End,
+            ],
+        );
         b.export_func("f", f);
         let r = run1(b, "f", &[Value::I64(20)]).unwrap();
         assert_eq!(r, vec![Value::I64(41)]);
@@ -180,22 +209,25 @@ mod tests {
         let two = b.func(&[], &[I64], &[], vec![Instr::I64Const(2), Instr::End]);
         b.table(2).elem(0, vec![one, two]);
         let ty = b.module().funcs[0].type_idx;
-        let f = b.func(&[I32], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::CallIndirect(ty),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I32],
+            &[I64],
+            &[],
+            vec![Instr::LocalGet(0), Instr::CallIndirect(ty), Instr::End],
+        );
         b.export_func("dispatch", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(1000);
         assert_eq!(
-            inst.invoke_export(&mut host, "dispatch", &[Value::I32(0)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "dispatch", &[Value::I32(0)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(1)]
         );
         assert_eq!(
-            inst.invoke_export(&mut host, "dispatch", &[Value::I32(1)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "dispatch", &[Value::I32(1)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(2)]
         );
         assert_eq!(
@@ -207,14 +239,19 @@ mod tests {
     #[test]
     fn memory_store_load_roundtrip() {
         let mut b = ModuleBuilder::with_memory(1);
-        let f = b.func(&[I64], &[I64], &[], vec![
-            Instr::I32Const(64),
-            Instr::LocalGet(0),
-            Instr::I64Store(MemArg::default()),
-            Instr::I32Const(64),
-            Instr::I64Load(MemArg::default()),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I64],
+            &[I64],
+            &[],
+            vec![
+                Instr::I32Const(64),
+                Instr::LocalGet(0),
+                Instr::I64Store(MemArg::default()),
+                Instr::I32Const(64),
+                Instr::I64Load(MemArg::default()),
+                Instr::End,
+            ],
+        );
         b.export_func("echo", f);
         let r = run1(b, "echo", &[Value::I64(-12345)]).unwrap();
         assert_eq!(r, vec![Value::I64(-12345)]);
@@ -223,14 +260,19 @@ mod tests {
     #[test]
     fn narrow_loads_extend_correctly() {
         let mut b = ModuleBuilder::with_memory(1);
-        let f = b.func(&[], &[I32], &[], vec![
-            Instr::I32Const(0),
-            Instr::I32Const(0xff),
-            Instr::I32Store8(MemArg::default()),
-            Instr::I32Const(0),
-            Instr::I32Load8S(MemArg::default()),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[],
+            &[I32],
+            &[],
+            vec![
+                Instr::I32Const(0),
+                Instr::I32Const(0xff),
+                Instr::I32Store8(MemArg::default()),
+                Instr::I32Const(0),
+                Instr::I32Load8S(MemArg::default()),
+                Instr::End,
+            ],
+        );
         b.export_func("f", f);
         assert_eq!(run1(b, "f", &[]).unwrap(), vec![Value::I32(-1)]);
     }
@@ -246,12 +288,17 @@ mod tests {
     #[test]
     fn division_traps() {
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[I64, I64], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::LocalGet(1),
-            Instr::I64DivS,
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I64, I64],
+            &[I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::I64DivS,
+                Instr::End,
+            ],
+        );
         b.export_func("div", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
@@ -275,31 +322,44 @@ mod tests {
     #[test]
     fn fuel_limits_infinite_loops() {
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[], &[], &[], vec![
-            Instr::Loop(BlockType::Empty),
-            Instr::Br(0),
-            Instr::End,
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[],
+            &[],
+            &[],
+            vec![
+                Instr::Loop(BlockType::Empty),
+                Instr::Br(0),
+                Instr::End,
+                Instr::End,
+            ],
+        );
         b.export_func("spin", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(10_000);
-        assert_eq!(inst.invoke_export(&mut host, "spin", &[], &mut fuel), Err(Trap::StepLimit));
+        assert_eq!(
+            inst.invoke_export(&mut host, "spin", &[], &mut fuel),
+            Err(Trap::StepLimit)
+        );
         assert_eq!(fuel.0, 0);
     }
 
     #[test]
     fn memory_grow_and_size() {
         let mut b = ModuleBuilder::with_memory(1);
-        let f = b.func(&[], &[I32], &[], vec![
-            Instr::I32Const(2),
-            Instr::MemoryGrow,
-            Instr::Drop,
-            Instr::MemorySize,
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[],
+            &[I32],
+            &[],
+            vec![
+                Instr::I32Const(2),
+                Instr::MemoryGrow,
+                Instr::Drop,
+                Instr::MemorySize,
+                Instr::End,
+            ],
+        );
         b.export_func("grow", f);
         assert_eq!(run1(b, "grow", &[]).unwrap(), vec![Value::I32(3)]);
     }
@@ -318,25 +378,32 @@ mod tests {
         use wasai_wasm::types::GlobalType;
         let mut b = ModuleBuilder::new();
         b.global(GlobalType::mutable(I64), Instr::I64Const(100));
-        let f = b.func(&[], &[I64], &[], vec![
-            Instr::GlobalGet(0),
-            Instr::I64Const(1),
-            Instr::I64Add,
-            Instr::GlobalSet(0),
-            Instr::GlobalGet(0),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[],
+            &[I64],
+            &[],
+            vec![
+                Instr::GlobalGet(0),
+                Instr::I64Const(1),
+                Instr::I64Add,
+                Instr::GlobalSet(0),
+                Instr::GlobalGet(0),
+                Instr::End,
+            ],
+        );
         b.export_func("bump", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(1000);
         assert_eq!(
-            inst.invoke_export(&mut host, "bump", &[], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "bump", &[], &mut fuel)
+                .unwrap(),
             vec![Value::I64(101)]
         );
         assert_eq!(
-            inst.invoke_export(&mut host, "bump", &[], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "bump", &[], &mut fuel)
+                .unwrap(),
             vec![Value::I64(102)]
         );
     }
@@ -344,39 +411,47 @@ mod tests {
     #[test]
     fn br_table_selects_case() {
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[I32], &[I64], &[I64], vec![
-            Instr::Block(BlockType::Empty),
-            Instr::Block(BlockType::Empty),
-            Instr::Block(BlockType::Empty),
-            Instr::LocalGet(0),
-            Instr::BrTable(vec![0, 1], 2),
-            Instr::End,
-            Instr::I64Const(10),
-            Instr::LocalSet(1),
-            Instr::Br(1),
-            Instr::End,
-            Instr::I64Const(20),
-            Instr::LocalSet(1),
-            Instr::Br(0),
-            Instr::End,
-            Instr::LocalGet(1),
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I32],
+            &[I64],
+            &[I64],
+            vec![
+                Instr::Block(BlockType::Empty),
+                Instr::Block(BlockType::Empty),
+                Instr::Block(BlockType::Empty),
+                Instr::LocalGet(0),
+                Instr::BrTable(vec![0, 1], 2),
+                Instr::End,
+                Instr::I64Const(10),
+                Instr::LocalSet(1),
+                Instr::Br(1),
+                Instr::End,
+                Instr::I64Const(20),
+                Instr::LocalSet(1),
+                Instr::Br(0),
+                Instr::End,
+                Instr::LocalGet(1),
+                Instr::End,
+            ],
+        );
         b.export_func("case", f);
         let compiled = CompiledModule::compile(b.build()).unwrap();
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(1000);
         assert_eq!(
-            inst.invoke_export(&mut host, "case", &[Value::I32(0)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "case", &[Value::I32(0)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(10)]
         );
         assert_eq!(
-            inst.invoke_export(&mut host, "case", &[Value::I32(1)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "case", &[Value::I32(1)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(20)]
         );
         assert_eq!(
-            inst.invoke_export(&mut host, "case", &[Value::I32(9)], &mut fuel).unwrap(),
+            inst.invoke_export(&mut host, "case", &[Value::I32(9)], &mut fuel)
+                .unwrap(),
             vec![Value::I64(0)]
         );
     }
@@ -406,25 +481,32 @@ mod tests {
     fn instrumented_execution_produces_faithful_trace() {
         // f(a, b) = if (a != b) { a + b } else { 0 }
         let mut b = ModuleBuilder::new();
-        let f = b.func(&[I64, I64], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::LocalGet(1),
-            Instr::I64Ne,
-            Instr::If(BlockType::Value(I64)),
-            Instr::LocalGet(0),
-            Instr::LocalGet(1),
-            Instr::I64Add,
-            Instr::Else,
-            Instr::I64Const(0),
-            Instr::End,
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I64, I64],
+            &[I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::I64Ne,
+                Instr::If(BlockType::Value(I64)),
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::I64Add,
+                Instr::Else,
+                Instr::I64Const(0),
+                Instr::End,
+                Instr::End,
+            ],
+        );
         b.export_func("f", f);
         let original = b.build();
         let inst_mod = wasai_wasm::instrument::instrument(&original).unwrap();
 
         let compiled = CompiledModule::compile(inst_mod.module.clone()).unwrap();
-        let mut host = HookOnlyHost { sink: TraceSink::new() };
+        let mut host = HookOnlyHost {
+            sink: TraceSink::new(),
+        };
         let mut instance = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(100_000);
         let r = instance
@@ -455,7 +537,9 @@ mod tests {
             .expect("add site recorded");
         assert_eq!(add.operands, vec![TraceVal::I(30), TraceVal::I(12)]);
         // The else-arm did NOT execute.
-        assert!(!records.iter().any(|r| r.kind == TraceKind::Site { func: f, pc: 8 }));
+        assert!(!records
+            .iter()
+            .any(|r| r.kind == TraceKind::Site { func: f, pc: 8 }));
         // The trace ends with function_end.
         assert_eq!(records.last().unwrap().kind, TraceKind::FuncEnd { func: f });
     }
@@ -464,23 +548,30 @@ mod tests {
     fn instrumented_and_original_agree() {
         // Differential check across inputs.
         let mut b = ModuleBuilder::with_memory(1);
-        let f = b.func(&[I64, I64], &[I64], &[I64], vec![
-            Instr::LocalGet(0),
-            Instr::LocalGet(1),
-            Instr::I64Mul,
-            Instr::LocalSet(2),
-            Instr::I32Const(8),
-            Instr::LocalGet(2),
-            Instr::I64Store(MemArg::default()),
-            Instr::I32Const(8),
-            Instr::I64Load(MemArg::default()),
-            Instr::LocalGet(0),
-            Instr::I64Add,
-            Instr::End,
-        ]);
+        let f = b.func(
+            &[I64, I64],
+            &[I64],
+            &[I64],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::I64Mul,
+                Instr::LocalSet(2),
+                Instr::I32Const(8),
+                Instr::LocalGet(2),
+                Instr::I64Store(MemArg::default()),
+                Instr::I32Const(8),
+                Instr::I64Load(MemArg::default()),
+                Instr::LocalGet(0),
+                Instr::I64Add,
+                Instr::End,
+            ],
+        );
         b.export_func("f", f);
         let original = b.build();
-        let instrumented = wasai_wasm::instrument::instrument(&original).unwrap().module;
+        let instrumented = wasai_wasm::instrument::instrument(&original)
+            .unwrap()
+            .module;
 
         for (a, bb) in [(3i64, 4i64), (-7, 9), (1 << 40, 17), (0, 0)] {
             let co = CompiledModule::compile(original.clone()).unwrap();
@@ -492,7 +583,9 @@ mod tests {
                 .unwrap();
 
             let ci = CompiledModule::compile(instrumented.clone()).unwrap();
-            let mut h2 = HookOnlyHost { sink: TraceSink::new() };
+            let mut h2 = HookOnlyHost {
+                sink: TraceSink::new(),
+            };
             let mut i2 = Instance::new(ci, &mut h2).unwrap();
             let mut fuel2 = Fuel(1_000_000);
             let r2 = i2
@@ -518,7 +611,8 @@ mod float_tests {
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(10_000);
-        inst.invoke_export(&mut host, "f", &[], &mut fuel).map(|r| r[0])
+        inst.invoke_export(&mut host, "f", &[], &mut fuel)
+            .map(|r| r[0])
     }
 
     #[test]
@@ -579,17 +673,26 @@ mod float_tests {
         assert_eq!(r, Value::I32(123));
         // NaN: invalid conversion.
         assert_eq!(
-            eval(vec![Instr::F64Const(f64::NAN), Instr::I32TruncF64S, Instr::End], I32),
+            eval(
+                vec![Instr::F64Const(f64::NAN), Instr::I32TruncF64S, Instr::End],
+                I32
+            ),
             Err(Trap::InvalidConversion)
         );
         // Overflow: integer overflow.
         assert_eq!(
-            eval(vec![Instr::F64Const(1e300), Instr::I32TruncF64S, Instr::End], I32),
+            eval(
+                vec![Instr::F64Const(1e300), Instr::I32TruncF64S, Instr::End],
+                I32
+            ),
             Err(Trap::IntegerOverflow)
         );
         // Negative to unsigned: overflow.
         assert_eq!(
-            eval(vec![Instr::F64Const(-1.0), Instr::I32TruncF64U, Instr::End], I32),
+            eval(
+                vec![Instr::F64Const(-1.0), Instr::I32TruncF64U, Instr::End],
+                I32
+            ),
             Err(Trap::IntegerOverflow)
         );
     }
@@ -608,7 +711,11 @@ mod float_tests {
         .unwrap();
         assert_eq!(r, Value::F64(-0.5));
         let r = eval(
-            vec![Instr::I32Const(0x3f80_0000), Instr::F32ReinterpretI32, Instr::End],
+            vec![
+                Instr::I32Const(0x3f80_0000),
+                Instr::F32ReinterpretI32,
+                Instr::End,
+            ],
             F32,
         )
         .unwrap();
@@ -630,7 +737,12 @@ mod float_tests {
         .unwrap();
         assert_eq!(r, Value::F64(u64::MAX as f64));
         let r = eval(
-            vec![Instr::F64Const(1.0e9), Instr::F32DemoteF64, Instr::F64PromoteF32, Instr::End],
+            vec![
+                Instr::F64Const(1.0e9),
+                Instr::F32DemoteF64,
+                Instr::F64PromoteF32,
+                Instr::End,
+            ],
             F64,
         )
         .unwrap();
@@ -653,7 +765,12 @@ mod structure_tests {
         m.funcs.push(wasai_wasm::module::Function {
             type_idx: 0,
             locals: vec![],
-            body: vec![Instr::Block(BlockType::Empty), Instr::End, Instr::Else, Instr::End],
+            body: vec![
+                Instr::Block(BlockType::Empty),
+                Instr::End,
+                Instr::Else,
+                Instr::End,
+            ],
         });
         // `else` after its block closed: leftover scan must flag the function.
         let r = CompiledModule::compile(m);
@@ -688,7 +805,10 @@ mod structure_tests {
         let mut host = NullHost;
         assert_eq!(
             Instance::new(compiled, &mut host).err(),
-            Some(InstanceError::UnresolvedImport { module: "env".into(), name: "no_such_api".into() })
+            Some(InstanceError::UnresolvedImport {
+                module: "env".into(),
+                name: "no_such_api".into()
+            })
         );
     }
 
@@ -726,7 +846,9 @@ mod structure_tests {
         let mut host = NullHost;
         let mut inst = Instance::new(compiled, &mut host).unwrap();
         let mut fuel = Fuel(10);
-        let err = inst.invoke_export(&mut host, "apply", &[], &mut fuel).unwrap_err();
+        let err = inst
+            .invoke_export(&mut host, "apply", &[], &mut fuel)
+            .unwrap_err();
         assert!(err.to_string().contains("apply"));
     }
 }

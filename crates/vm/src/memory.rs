@@ -51,7 +51,9 @@ impl LinearMemory {
     }
 
     fn check(&self, addr: u64, len: u32) -> Result<usize, Trap> {
-        let end = addr.checked_add(len as u64).ok_or(Trap::MemoryOutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(Trap::MemoryOutOfBounds { addr, len })?;
         if end > self.bytes.len() as u64 {
             return Err(Trap::MemoryOutOfBounds { addr, len });
         }
@@ -122,7 +124,10 @@ mod tests {
         assert!(m.load_uint(end - 8, 8).is_ok());
         assert_eq!(
             m.load_uint(end - 7, 8).unwrap_err(),
-            Trap::MemoryOutOfBounds { addr: end - 7, len: 8 }
+            Trap::MemoryOutOfBounds {
+                addr: end - 7,
+                len: 8
+            }
         );
         assert!(m.store_uint(u64::MAX, 8, 1).is_err());
     }

@@ -92,7 +92,10 @@ pub struct TraceSink {
 impl TraceSink {
     /// A new, enabled sink.
     pub fn new() -> Self {
-        TraceSink { records: Vec::new(), enabled: true }
+        TraceSink {
+            records: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// Enable or disable collection (auxiliary contracts run with the sink
@@ -108,7 +111,10 @@ impl TraceSink {
 
     fn push(&mut self, kind: TraceKind) {
         if self.enabled {
-            self.records.push(TraceRecord { kind, operands: Vec::new() });
+            self.records.push(TraceRecord {
+                kind,
+                operands: Vec::new(),
+            });
         }
     }
 

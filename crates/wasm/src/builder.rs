@@ -6,9 +6,7 @@
 //! bytecode.
 
 use crate::instr::Instr;
-use crate::module::{
-    Data, Elem, Export, ExportDesc, Function, Global, Import, ImportDesc, Module,
-};
+use crate::module::{Data, Elem, Export, ExportDesc, Function, Global, Import, ImportDesc, Module};
 use crate::types::{FuncType, GlobalType, Limits, ValType};
 
 /// Incrementally builds a [`Module`].
@@ -43,7 +41,9 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Start an empty module.
     pub fn new() -> Self {
-        ModuleBuilder { module: Module::new() }
+        ModuleBuilder {
+            module: Module::new(),
+        }
     }
 
     /// Start a module with one linear memory of `pages` 64 KiB pages,
@@ -51,7 +51,10 @@ impl ModuleBuilder {
     pub fn with_memory(pages: u32) -> Self {
         let mut b = ModuleBuilder::new();
         b.module.memories.push(Limits::at_least(pages));
-        b.module.exports.push(Export { name: "memory".into(), desc: ExportDesc::Memory(0) });
+        b.module.exports.push(Export {
+            name: "memory".into(),
+            desc: ExportDesc::Memory(0),
+        });
         b
     }
 
@@ -72,7 +75,9 @@ impl ModuleBuilder {
             self.module.funcs.is_empty(),
             "imports must be declared before local functions"
         );
-        let ty = self.module.intern_type(FuncType::new(params.to_vec(), results.to_vec()));
+        let ty = self
+            .module
+            .intern_type(FuncType::new(params.to_vec(), results.to_vec()));
         self.module.imports.push(Import {
             module: module.to_string(),
             name: name.to_string(),
@@ -89,14 +94,23 @@ impl ModuleBuilder {
         locals: &[ValType],
         body: Vec<Instr>,
     ) -> u32 {
-        let type_idx = self.module.intern_type(FuncType::new(params.to_vec(), results.to_vec()));
-        self.module.funcs.push(Function { type_idx, locals: locals.to_vec(), body });
+        let type_idx = self
+            .module
+            .intern_type(FuncType::new(params.to_vec(), results.to_vec()));
+        self.module.funcs.push(Function {
+            type_idx,
+            locals: locals.to_vec(),
+            body,
+        });
         self.module.num_funcs() - 1
     }
 
     /// Export a function under `name`.
     pub fn export_func(&mut self, name: &str, func_idx: u32) -> &mut Self {
-        self.module.exports.push(Export { name: name.into(), desc: ExportDesc::Func(func_idx) });
+        self.module.exports.push(Export {
+            name: name.into(),
+            desc: ExportDesc::Func(func_idx),
+        });
         self
     }
 
@@ -114,13 +128,21 @@ impl ModuleBuilder {
 
     /// Add an element segment placing `funcs` at `offset` in table 0.
     pub fn elem(&mut self, offset: u32, funcs: Vec<u32>) -> &mut Self {
-        self.module.elems.push(Elem { table: 0, offset, funcs });
+        self.module.elems.push(Elem {
+            table: 0,
+            offset,
+            funcs,
+        });
         self
     }
 
     /// Add a data segment initializing memory 0 at `offset`.
     pub fn data(&mut self, offset: u32, bytes: Vec<u8>) -> &mut Self {
-        self.module.data.push(Data { memory: 0, offset, bytes });
+        self.module.data.push(Data {
+            memory: 0,
+            offset,
+            bytes,
+        });
         self
     }
 

@@ -7,9 +7,7 @@
 use std::fmt;
 
 use crate::instr::{Instr, MemArg};
-use crate::module::{
-    Data, Elem, Export, ExportDesc, Function, Global, Import, ImportDesc, Module,
-};
+use crate::module::{Data, Elem, Export, ExportDesc, Function, Global, Import, ImportDesc, Module};
 use crate::types::{BlockType, FuncType, GlobalType, Limits, Mutability, ValType};
 
 /// An error produced while decoding a Wasm binary.
@@ -40,14 +38,17 @@ impl<'a> Reader<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, DecodeError> {
-        Err(DecodeError { offset: self.pos, message: message.into() })
+        Err(DecodeError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     fn byte(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or(DecodeError { offset: self.pos, message: "unexpected end of input".into() })?;
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError {
+            offset: self.pos,
+            message: "unexpected end of input".into(),
+        })?;
         self.pos += 1;
         Ok(b)
     }
@@ -66,10 +67,15 @@ impl<'a> Reader<'a> {
         let mut shift = 0;
         loop {
             let b = self.byte()?;
-            if shift >= 32 && b & 0x7f != 0 {
-                return self.err("u32 LEB128 overflow");
+            if shift >= 32 {
+                // Continuation bytes past the 32-bit value space must be
+                // zero padding; shifting by >= 32 would also panic in debug.
+                if b & 0x7f != 0 {
+                    return self.err("u32 LEB128 overflow");
+                }
+            } else {
+                result |= ((b & 0x7f) as u32) << shift;
             }
-            result |= ((b & 0x7f) as u32) << shift;
             if b & 0x80 == 0 {
                 return Ok(result);
             }
@@ -85,7 +91,9 @@ impl<'a> Reader<'a> {
         let mut shift = 0;
         loop {
             let b = self.byte()?;
-            result |= ((b & 0x7f) as i64) << shift;
+            if shift < 64 {
+                result |= ((b & 0x7f) as i64) << shift;
+            }
             shift += 7;
             if b & 0x80 == 0 {
                 if shift < 64 && b & 0x40 != 0 {
@@ -122,17 +130,25 @@ impl<'a> Reader<'a> {
         if b == 0x40 {
             Ok(BlockType::Empty)
         } else {
-            ValType::from_binary(b).map(BlockType::Value).ok_or(DecodeError {
-                offset: self.pos - 1,
-                message: format!("invalid block type 0x{b:02x}"),
-            })
+            ValType::from_binary(b)
+                .map(BlockType::Value)
+                .ok_or(DecodeError {
+                    offset: self.pos - 1,
+                    message: format!("invalid block type 0x{b:02x}"),
+                })
         }
     }
 
     fn limits(&mut self) -> Result<Limits, DecodeError> {
         match self.byte()? {
-            0x00 => Ok(Limits { min: self.u32()?, max: None }),
-            0x01 => Ok(Limits { min: self.u32()?, max: Some(self.u32()?) }),
+            0x00 => Ok(Limits {
+                min: self.u32()?,
+                max: None,
+            }),
+            0x01 => Ok(Limits {
+                min: self.u32()?,
+                max: Some(self.u32()?),
+            }),
             other => self.err(format!("invalid limits flag 0x{other:02x}")),
         }
     }
@@ -144,11 +160,17 @@ impl<'a> Reader<'a> {
             0x01 => Mutability::Var,
             other => return self.err(format!("invalid mutability 0x{other:02x}")),
         };
-        Ok(GlobalType { val_type, mutability })
+        Ok(GlobalType {
+            val_type,
+            mutability,
+        })
     }
 
     fn memarg(&mut self) -> Result<MemArg, DecodeError> {
-        Ok(MemArg { align: self.u32()?, offset: self.u32()? })
+        Ok(MemArg {
+            align: self.u32()?,
+            offset: self.u32()?,
+        })
     }
 
     fn const_offset(&mut self) -> Result<u32, DecodeError> {
@@ -240,7 +262,9 @@ impl<'a> Reader<'a> {
             }
             0x44 => {
                 let b = self.take(8)?;
-                F64Const(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+                F64Const(f64::from_le_bytes([
+                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                ]))
             }
             0x45..=0xbf => numeric_from_opcode(op).ok_or(DecodeError {
                 offset: self.pos - 1,
@@ -511,7 +535,11 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                     for _ in 0..cnt {
                         funcs.push(r.u32()?);
                     }
-                    m.elems.push(Elem { table, offset, funcs });
+                    m.elems.push(Elem {
+                        table,
+                        offset,
+                        funcs,
+                    });
                 }
             }
             10 => {
@@ -538,7 +566,11 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                     if body.last() != Some(&Instr::End) {
                         return r.err("function body must end with `end`");
                     }
-                    m.funcs.push(Function { type_idx, locals, body });
+                    m.funcs.push(Function {
+                        type_idx,
+                        locals,
+                        body,
+                    });
                 }
             }
             11 => {
@@ -548,7 +580,11 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                     let offset = r.const_offset()?;
                     let len = r.u32()? as usize;
                     let bytes = r.take(len)?.to_vec();
-                    m.data.push(Data { memory, offset, bytes });
+                    m.data.push(Data {
+                        memory,
+                        offset,
+                        bytes,
+                    });
                 }
             }
             other => return r.err(format!("unknown section id {other}")),

@@ -56,7 +56,10 @@ pub fn module_to_string(m: &Module) -> String {
                 indent = indent.saturating_sub(1);
             }
             let _ = writeln!(s, "  {}{}", "  ".repeat(indent), instr_to_string(ins));
-            if matches!(ins, Instr::Block(_) | Instr::Loop(_) | Instr::If(_) | Instr::Else) {
+            if matches!(
+                ins,
+                Instr::Block(_) | Instr::Loop(_) | Instr::If(_) | Instr::Else
+            ) {
                 indent += 1;
             }
         }

@@ -528,7 +528,12 @@ impl Instr {
             I64Store32(_) => (4, I64, false, true),
             _ => return None,
         };
-        Some(MemAccess { bytes, val_type, signed, is_store })
+        Some(MemAccess {
+            bytes,
+            val_type,
+            signed,
+            is_store,
+        })
     }
 
     /// The memarg immediate of a memory instruction, if any.
@@ -548,15 +553,53 @@ impl Instr {
         use Instr::*;
         matches!(
             self,
-            I32Eqz | I64Eqz | I32Clz | I32Ctz | I32Popcnt | I64Clz | I64Ctz | I64Popcnt
-                | F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt
-                | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt
-                | I32WrapI64 | I32TruncF32S | I32TruncF32U | I32TruncF64S | I32TruncF64U
-                | I64ExtendI32S | I64ExtendI32U | I64TruncF32S | I64TruncF32U | I64TruncF64S
-                | I64TruncF64U | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S
-                | F32ConvertI64U | F32DemoteF64 | F64ConvertI32S | F64ConvertI32U
-                | F64ConvertI64S | F64ConvertI64U | F64PromoteF32 | I32ReinterpretF32
-                | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64
+            I32Eqz
+                | I64Eqz
+                | I32Clz
+                | I32Ctz
+                | I32Popcnt
+                | I64Clz
+                | I64Ctz
+                | I64Popcnt
+                | F32Abs
+                | F32Neg
+                | F32Ceil
+                | F32Floor
+                | F32Trunc
+                | F32Nearest
+                | F32Sqrt
+                | F64Abs
+                | F64Neg
+                | F64Ceil
+                | F64Floor
+                | F64Trunc
+                | F64Nearest
+                | F64Sqrt
+                | I32WrapI64
+                | I32TruncF32S
+                | I32TruncF32U
+                | I32TruncF64S
+                | I32TruncF64U
+                | I64ExtendI32S
+                | I64ExtendI32U
+                | I64TruncF32S
+                | I64TruncF32U
+                | I64TruncF64S
+                | I64TruncF64U
+                | F32ConvertI32S
+                | F32ConvertI32U
+                | F32ConvertI64S
+                | F32ConvertI64U
+                | F32DemoteF64
+                | F64ConvertI32S
+                | F64ConvertI32U
+                | F64ConvertI64S
+                | F64ConvertI64U
+                | F64PromoteF32
+                | I32ReinterpretF32
+                | I64ReinterpretF64
+                | F32ReinterpretI32
+                | F64ReinterpretI64
         )
     }
 
@@ -602,7 +645,10 @@ mod tests {
         ];
         assert_eq!(all.len(), 23);
         let loads = all.iter().filter(|i| i.class() == InstrClass::Load).count();
-        let stores = all.iter().filter(|i| i.class() == InstrClass::Store).count();
+        let stores = all
+            .iter()
+            .filter(|i| i.class() == InstrClass::Store)
+            .count();
         assert_eq!(loads, 14);
         assert_eq!(stores, 9);
         for i in &all {
@@ -634,18 +680,25 @@ mod tests {
     #[test]
     fn mnemonics() {
         assert_eq!(Instr::I64Ne.mnemonic(), "i64.ne");
-        assert_eq!(Instr::I32Load16U(MemArg::default()).mnemonic(), "i32.load16_u");
+        assert_eq!(
+            Instr::I32Load16U(MemArg::default()).mnemonic(),
+            "i32.load16_u"
+        );
         assert_eq!(Instr::BrTable(vec![0, 1], 2).mnemonic(), "br_table");
     }
 
     #[test]
     fn load_access_details() {
-        let a = Instr::I32Load16U(MemArg::offset(8)).memory_access().unwrap();
+        let a = Instr::I32Load16U(MemArg::offset(8))
+            .memory_access()
+            .unwrap();
         assert_eq!(a.bytes, 2);
         assert_eq!(a.val_type, ValType::I32);
         assert!(!a.signed);
         assert!(!a.is_store);
-        let s = Instr::I64Store32(MemArg::default()).memory_access().unwrap();
+        let s = Instr::I64Store32(MemArg::default())
+            .memory_access()
+            .unwrap();
         assert_eq!(s.bytes, 4);
         assert!(s.is_store);
     }

@@ -111,7 +111,10 @@ fn type_slot(t: ValType) -> usize {
 
 impl Scratch {
     fn new(base: u32) -> Self {
-        Scratch { base, ..Default::default() }
+        Scratch {
+            base,
+            ..Default::default()
+        }
     }
 
     /// Local index for the `occurrence`-th scratch slot of type `t`.
@@ -269,7 +272,9 @@ impl FuncRewriter<'_> {
 }
 
 fn local_type_of(module: &Module, func: u32, local: u32) -> ValType {
-    let f = module.local_func(func).expect("instrumenting a local function");
+    let f = module
+        .local_func(func)
+        .expect("instrumenting a local function");
     let params = &module.types[f.type_idx as usize].params;
     if (local as usize) < params.len() {
         params[local as usize]
@@ -373,14 +378,25 @@ pub fn instrument(original: &Module) -> Result<Instrumented, ValidateError> {
         rw.out.push(Instr::Call(hooks.func_begin));
         let last = func.body.len() - 1;
         for (pc, instr) in func.body.iter().enumerate() {
-            rw.rewrite_instr(original, orig_idx, pc, instr, &operand_types[pc], pc == last);
+            rw.rewrite_instr(
+                original,
+                orig_idx,
+                pc,
+                instr,
+                &operand_types[pc],
+                pc == last,
+            );
         }
         let new_func = &mut module.funcs[local_i];
         new_func.locals.extend_from_slice(&rw.scratch.appended);
         new_func.body = rw.out;
     }
 
-    Ok(Instrumented { module, pre_imports, hooks })
+    Ok(Instrumented {
+        module,
+        pre_imports,
+        hooks,
+    })
 }
 
 #[cfg(test)]
@@ -392,26 +408,36 @@ mod tests {
     fn sample_module() -> Module {
         let mut b = ModuleBuilder::with_memory(1);
         let assert_fn = b.import_func("env", "eosio_assert", &[I32, I32], &[]);
-        let helper = b.func(&[I64], &[I64], &[], vec![
-            Instr::LocalGet(0),
-            Instr::I64Const(1),
-            Instr::I64Add,
-            Instr::End,
-        ]);
-        let apply = b.func(&[I64, I64, I64], &[], &[I64], vec![
-            Instr::LocalGet(1),
-            Instr::Call(helper),
-            Instr::LocalSet(3),
-            Instr::LocalGet(3),
-            Instr::I64Const(42),
-            Instr::I64Ne,
-            Instr::If(crate::types::BlockType::Empty),
-            Instr::I32Const(1),
-            Instr::I32Const(0),
-            Instr::Call(assert_fn),
-            Instr::End,
-            Instr::End,
-        ]);
+        let helper = b.func(
+            &[I64],
+            &[I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I64Const(1),
+                Instr::I64Add,
+                Instr::End,
+            ],
+        );
+        let apply = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[I64],
+            vec![
+                Instr::LocalGet(1),
+                Instr::Call(helper),
+                Instr::LocalSet(3),
+                Instr::LocalGet(3),
+                Instr::I64Const(42),
+                Instr::I64Ne,
+                Instr::If(crate::types::BlockType::Empty),
+                Instr::I32Const(1),
+                Instr::I32Const(0),
+                Instr::Call(assert_fn),
+                Instr::End,
+                Instr::End,
+            ],
+        );
         b.export_func("apply", apply);
         b.build()
     }
@@ -445,9 +471,15 @@ mod tests {
         let m = sample_module();
         let inst = instrument(&m).unwrap();
         // apply was index 2 (1 import + helper), now shifted by 8.
-        assert_eq!(inst.module.exported_func("apply"), Some(m.exported_func("apply").unwrap() + 8));
+        assert_eq!(
+            inst.module.exported_func("apply"),
+            Some(m.exported_func("apply").unwrap() + 8)
+        );
         // The direct call to `helper` inside apply must be remapped.
-        let apply = inst.module.local_func(inst.module.exported_func("apply").unwrap()).unwrap();
+        let apply = inst
+            .module
+            .local_func(inst.module.exported_func("apply").unwrap())
+            .unwrap();
         assert!(apply.body.iter().any(|i| *i == Instr::Call(inst.remap(1))));
     }
 

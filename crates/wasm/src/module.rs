@@ -224,7 +224,10 @@ impl Module {
     /// Iterate over `(function_index, function)` pairs for local functions.
     pub fn iter_local_funcs(&self) -> impl Iterator<Item = (u32, &Function)> {
         let n_imp = self.num_imported_funcs();
-        self.funcs.iter().enumerate().map(move |(i, f)| (n_imp + i as u32, f))
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(move |(i, f)| (n_imp + i as u32, f))
     }
 }
 
@@ -247,7 +250,10 @@ mod tests {
             locals: vec![I32],
             body: vec![Instr::End],
         });
-        m.exports.push(Export { name: "apply".into(), desc: ExportDesc::Func(1) });
+        m.exports.push(Export {
+            name: "apply".into(),
+            desc: ExportDesc::Func(1),
+        });
         m
     }
 

@@ -121,7 +121,10 @@ impl Limits {
 
     /// Limits with both bounds.
     pub fn bounded(min: u32, max: u32) -> Self {
-        Limits { min, max: Some(max) }
+        Limits {
+            min,
+            max: Some(max),
+        }
     }
 }
 
@@ -146,12 +149,18 @@ pub struct GlobalType {
 impl GlobalType {
     /// An immutable global of the given type.
     pub fn immutable(val_type: ValType) -> Self {
-        GlobalType { val_type, mutability: Mutability::Const }
+        GlobalType {
+            val_type,
+            mutability: Mutability::Const,
+        }
     }
 
     /// A mutable global of the given type.
     pub fn mutable(val_type: ValType) -> Self {
-        GlobalType { val_type, mutability: Mutability::Var }
+        GlobalType {
+            val_type,
+            mutability: Mutability::Var,
+        }
     }
 }
 
@@ -212,6 +221,12 @@ mod tests {
     #[test]
     fn limits_constructors() {
         assert_eq!(Limits::at_least(1), Limits { min: 1, max: None });
-        assert_eq!(Limits::bounded(1, 4), Limits { min: 1, max: Some(4) });
+        assert_eq!(
+            Limits::bounded(1, 4),
+            Limits {
+                min: 1,
+                max: Some(4)
+            }
+        );
     }
 }

@@ -64,9 +64,7 @@ fn build_module(steps: &[Step]) -> Module {
                 body.push(Instr::LocalGet(*p as u32 % 2));
                 depth += 1;
             }
-            Step::Add | Step::Sub | Step::Mul | Step::And | Step::Or | Step::Xor
-                if depth >= 2 =>
-            {
+            Step::Add | Step::Sub | Step::Mul | Step::And | Step::Or | Step::Xor if depth >= 2 => {
                 body.push(match s {
                     Step::Add => Instr::I64Add,
                     Step::Sub => Instr::I64Sub,
@@ -153,7 +151,9 @@ fn run(module: Module, a: i64, b_arg: i64, trace: bool) -> i64 {
     }
 
     let module = if trace {
-        wasai_wasm::instrument::instrument(&module).expect("instrumentable").module
+        wasai_wasm::instrument::instrument(&module)
+            .expect("instrumentable")
+            .module
     } else {
         module
     };
@@ -162,7 +162,12 @@ fn run(module: Module, a: i64, b_arg: i64, trace: bool) -> i64 {
     let mut inst = Instance::new(compiled, &mut host).expect("instantiates");
     let mut fuel = Fuel(10_000_000);
     let r = inst
-        .invoke_export(&mut host, "f", &[Value::I64(a), Value::I64(b_arg)], &mut fuel)
+        .invoke_export(
+            &mut host,
+            "f",
+            &[Value::I64(a), Value::I64(b_arg)],
+            &mut fuel,
+        )
         .expect("trap-free by construction");
     r[0].as_i64()
 }

@@ -23,78 +23,102 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size = b.import_func("env", "action_data_size", &[], &[I32]);
 
     // reveal(self, who): Listing 4's body — a = prefix * num; if (a % 2) pay.
-    let reveal = b.func(&[I64, I64], &[], &[I32], vec![
-        Instr::Call(tapos_prefix),
-        Instr::Call(tapos_num),
-        Instr::I32Mul,
-        Instr::I32Const(1),
-        Instr::I32And,
-        Instr::If(BlockType::Empty),
-        // Serialize transfer(self, who, 1.0000 EOS, "") at address 512.
-        Instr::I32Const(512),
-        Instr::LocalGet(0),
-        Instr::I64Store(MemArg::default()),
-        Instr::I32Const(520),
-        Instr::LocalGet(1),
-        Instr::I64Store(MemArg::default()),
-        Instr::I32Const(528),
-        Instr::I64Const(10_000),
-        Instr::I64Store(MemArg::default()),
-        Instr::I32Const(536),
-        Instr::I64Const(wasai::wasai_chain::asset::eos_symbol().raw() as i64),
-        Instr::I64Store(MemArg::default()),
-        Instr::I32Const(544),
-        Instr::I32Const(0),
-        Instr::I32Store8(MemArg::default()),
-        Instr::I64Const(Name::new("eosio.token").as_i64()),
-        Instr::I64Const(Name::new("transfer").as_i64()),
-        Instr::I32Const(512),
-        Instr::I32Const(33),
-        Instr::Call(send_inline),
-        Instr::End,
-        Instr::End,
-    ]);
+    let reveal = b.func(
+        &[I64, I64],
+        &[],
+        &[I32],
+        vec![
+            Instr::Call(tapos_prefix),
+            Instr::Call(tapos_num),
+            Instr::I32Mul,
+            Instr::I32Const(1),
+            Instr::I32And,
+            Instr::If(BlockType::Empty),
+            // Serialize transfer(self, who, 1.0000 EOS, "") at address 512.
+            Instr::I32Const(512),
+            Instr::LocalGet(0),
+            Instr::I64Store(MemArg::default()),
+            Instr::I32Const(520),
+            Instr::LocalGet(1),
+            Instr::I64Store(MemArg::default()),
+            Instr::I32Const(528),
+            Instr::I64Const(10_000),
+            Instr::I64Store(MemArg::default()),
+            Instr::I32Const(536),
+            Instr::I64Const(wasai::wasai_chain::asset::eos_symbol().raw() as i64),
+            Instr::I64Store(MemArg::default()),
+            Instr::I32Const(544),
+            Instr::I32Const(0),
+            Instr::I32Store8(MemArg::default()),
+            Instr::I64Const(Name::new("eosio.token").as_i64()),
+            Instr::I64Const(Name::new("transfer").as_i64()),
+            Instr::I32Const(512),
+            Instr::I32Const(33),
+            Instr::Call(send_inline),
+            Instr::End,
+            Instr::End,
+        ],
+    );
 
     // apply(receiver, code, action): dispatch reveal via call_indirect.
     let t_reveal = b.module().local_func(reveal).unwrap().type_idx;
     b.table(1).elem(0, vec![reveal]);
-    let apply = b.func(&[I64, I64, I64], &[], &[I32], vec![
-        Instr::LocalGet(1),
-        Instr::LocalGet(0),
-        Instr::I64Eq,
-        Instr::If(BlockType::Empty),
-        Instr::LocalGet(2),
-        Instr::I64Const(Name::new("reveal").as_i64()),
-        Instr::I64Eq,
-        Instr::If(BlockType::Empty),
-        Instr::Call(size),
-        Instr::LocalSet(3),
-        Instr::I32Const(1024),
-        Instr::LocalGet(3),
-        Instr::Call(read),
-        Instr::Drop,
-        Instr::LocalGet(0),
-        Instr::I32Const(1024),
-        Instr::I64Load(MemArg::default()),
-        Instr::I32Const(0),
-        Instr::CallIndirect(t_reveal),
-        Instr::End,
-        Instr::End,
-        Instr::End,
-    ]);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[I32],
+        vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(0),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+            Instr::LocalGet(2),
+            Instr::I64Const(Name::new("reveal").as_i64()),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+            Instr::Call(size),
+            Instr::LocalSet(3),
+            Instr::I32Const(1024),
+            Instr::LocalGet(3),
+            Instr::Call(read),
+            Instr::Drop,
+            Instr::LocalGet(0),
+            Instr::I32Const(1024),
+            Instr::I64Load(MemArg::default()),
+            Instr::I32Const(0),
+            Instr::CallIndirect(t_reveal),
+            Instr::End,
+            Instr::End,
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let module = b.build();
     wasai::wasai_wasm::validate::validate(&module)?;
-    println!("hand-built lottery: {} instructions across {} functions",
-        module.code_size(), module.funcs.len());
+    println!(
+        "hand-built lottery: {} instructions across {} functions",
+        module.code_size(),
+        module.funcs.len()
+    );
 
-    let abi = Abi::new(vec![ActionDecl::new(Name::new("reveal"), vec![ParamType::Name])]);
-    let report = Wasai::new(module, abi).with_config(FuzzConfig::default()).run()?;
+    let abi = Abi::new(vec![ActionDecl::new(
+        Name::new("reveal"),
+        vec![ParamType::Name],
+    )]);
+    let report = Wasai::new(module, abi)
+        .with_config(FuzzConfig::default())
+        .run()?;
 
     println!("findings: {:?}", report.findings);
-    println!("coverage: {} branches over {} iterations", report.branches, report.iterations);
+    println!(
+        "coverage: {} branches over {} iterations",
+        report.branches, report.iterations
+    );
     assert!(report.has(VulnClass::BlockinfoDep), "Listing 4's PRNG bug");
-    assert!(report.has(VulnClass::Rollback), "Listing 4's inline-payout bug");
+    assert!(
+        report.has(VulnClass::Rollback),
+        "Listing 4's inline-payout bug"
+    );
     println!("\nListing 4's two bugs confirmed: use a verified PRNG and a defer scheme.");
     Ok(())
 }

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::create_dir_all(out)?;
 
     let samples = table4_benchmark(1234, 0.005);
-    println!("generated {} labeled samples (0.5% of the paper's 3,340)", samples.len());
+    println!(
+        "generated {} labeled samples (0.5% of the paper's 3,340)",
+        samples.len()
+    );
 
     let mut manifest = String::from("file,group,vulnerable,bytes,instructions\n");
     for (i, s) in samples.iter().enumerate() {
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
 
     fs::write(out.join("manifest.csv"), &manifest)?;
-    println!("wrote {} .wasm files + manifest.csv to {}", samples.len() + 1, out.display());
+    println!(
+        "wrote {} .wasm files + manifest.csv to {}",
+        samples.len() + 1,
+        out.display()
+    );
     println!("\nmanifest:\n{manifest}");
     Ok(())
 }

@@ -30,12 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cfg = FuzzConfig::default();
-    let wasai_report =
-        Wasai::new(contract.module.clone(), contract.abi.clone()).with_config(cfg).run()?;
+    let wasai_report = Wasai::new(contract.module.clone(), contract.abi.clone())
+        .with_config(cfg)
+        .run()?;
     let eosfuzzer_report =
         EosFuzzer::new(TargetInfo::new(contract.module, contract.abi), cfg)?.run();
 
-    println!("\n{:<12} {:>10} {:>12} {:>12} {:>10}", "tool", "branches", "iterations", "SMT", "findings");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "tool", "branches", "iterations", "SMT", "findings"
+    );
     println!(
         "{:<12} {:>10} {:>12} {:>12} {:>10}",
         "WASAI",
@@ -57,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wasai_report.branches as f64 / eosfuzzer_report.branches.max(1) as f64
     );
     assert!(wasai_report.branches > eosfuzzer_report.branches);
-    assert!(wasai_report.has(VulnClass::BlockinfoDep), "only the solver gets this deep");
+    assert!(
+        wasai_report.has(VulnClass::BlockinfoDep),
+        "only the solver gets this deep"
+    );
     assert!(!eosfuzzer_report.has(VulnClass::BlockinfoDep));
     Ok(())
 }

@@ -53,6 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in &report.exploits {
         println!("  {} — {}", e.class, e.payload);
     }
-    assert_eq!(report.findings.len(), 5, "all five classes should be flagged");
+    assert_eq!(
+        report.findings.len(),
+        5,
+        "all five classes should be flagged"
+    );
     Ok(())
 }

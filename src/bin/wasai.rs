@@ -1,10 +1,15 @@
 //! The `wasai` command-line tool.
 //!
 //! ```text
-//! wasai audit <contract.wasm> <contract.abi>      analyze a contract binary
-//! wasai gen   <out-dir> [count] [seed]            emit a labeled sample corpus
-//! wasai show  <contract.wasm>                     dump a WAT-like listing
+//! wasai audit     <contract.wasm> <contract.abi>  analyze a contract binary
+//! wasai audit-dir <dir> [seed]                    analyze every *.wasm in a directory
+//! wasai gen       <out-dir> [count] [seed]        emit a labeled sample corpus
+//! wasai show      <contract.wasm>                 dump a WAT-like listing
 //! ```
+//!
+//! `audit-dir` fans campaigns out over `WASAI_JOBS` worker threads (default:
+//! available parallelism; `1` forces serial) and reports per-contract
+//! verdicts in directory order regardless of worker count.
 //!
 //! The ABI sidecar is one action per line, `name(type,…)` with types from
 //! {name, asset, string, u64, u32, u8, i64, f64}:
@@ -29,10 +34,16 @@ fn parse_abi(text: &str) -> Result<Abi, String> {
             continue;
         }
         let err = |m: &str| format!("ABI line {}: {m}", lineno + 1);
-        let (name, rest) = line.split_once('(').ok_or_else(|| err("expected `name(…)`"))?;
+        let (name, rest) = line
+            .split_once('(')
+            .ok_or_else(|| err("expected `name(…)`"))?;
         let params_str = rest.strip_suffix(')').ok_or_else(|| err("missing `)`"))?;
         let mut params = Vec::new();
-        for ty in params_str.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        for ty in params_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
             params.push(match ty {
                 "name" => ParamType::Name,
                 "asset" => ParamType::Asset,
@@ -57,9 +68,7 @@ fn parse_abi(text: &str) -> Result<Abi, String> {
 fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
     let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
     let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
-    let abi = parse_abi(
-        &fs::read_to_string(abi_path).map_err(|e| format!("{abi_path}: {e}"))?,
-    )?;
+    let abi = parse_abi(&fs::read_to_string(abi_path).map_err(|e| format!("{abi_path}: {e}"))?)?;
     eprintln!(
         "auditing {wasm_path}: {} instructions, {} functions, {} declared actions",
         module.code_size(),
@@ -84,6 +93,86 @@ fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
             println!("  payload [{}]: {}", e.class, e.payload);
         }
     }
+    Ok(())
+}
+
+/// Analyze every `*.wasm` (with `.abi` sidecar) in a directory, in parallel.
+fn audit_dir(dir: &str, seed: u64) -> Result<(), String> {
+    let mut wasm_paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "wasm"))
+        .collect();
+    // Sorted order fixes the job indices (and thus each campaign's seed),
+    // independent of directory enumeration order.
+    wasm_paths.sort();
+    if wasm_paths.is_empty() {
+        return Err(format!("{dir}: no *.wasm files"));
+    }
+    let jobs = wasai::wasai_core::jobs_from_env();
+    eprintln!(
+        "auditing {} contracts from {dir} on {jobs} worker(s)",
+        wasm_paths.len()
+    );
+
+    let (outcomes, stats) = wasai::wasai_core::run_jobs_timed(
+        jobs,
+        wasm_paths,
+        |i, path| {
+            let run = || -> Result<FuzzReport, String> {
+                let bytes = fs::read(&path).map_err(|e| format!("{e}"))?;
+                let module = decode::decode(&bytes).map_err(|e| format!("{e}"))?;
+                let abi_path = path.with_extension("abi");
+                let abi = parse_abi(
+                    &fs::read_to_string(&abi_path)
+                        .map_err(|e| format!("{}: {e}", abi_path.display()))?,
+                )?;
+                Wasai::new(module, abi)
+                    .with_config(FuzzConfig {
+                        rng_seed: seed ^ (i as u64),
+                        ..FuzzConfig::default()
+                    })
+                    .run()
+                    .map_err(|e| e.to_string())
+            };
+            let outcome = run();
+            (path, outcome)
+        },
+        |(_, r)| r.as_ref().map(|r| r.virtual_us).unwrap_or(0),
+    );
+
+    let mut vulnerable = 0usize;
+    let mut errors = 0usize;
+    for (path, outcome) in &outcomes {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match outcome {
+            Ok(report) if report.findings.is_empty() => {
+                println!("{name}: clean ({} branches)", report.branches);
+            }
+            Ok(report) => {
+                vulnerable += 1;
+                let classes: Vec<String> = report.findings.iter().map(|c| c.to_string()).collect();
+                println!("{name}: VULNERABLE — {}", classes.join(", "));
+            }
+            Err(e) => {
+                // Per-file failures are reported, not fatal: a directory
+                // sweep should survive one malformed binary.
+                errors += 1;
+                println!("{name}: error — {e}");
+            }
+        }
+    }
+    println!(
+        "\n{} contracts: {} vulnerable, {} clean, {} errors",
+        outcomes.len(),
+        vulnerable,
+        outcomes.len() - vulnerable - errors,
+        errors
+    );
+    println!("{}", stats.summary());
     Ok(())
 }
 
@@ -121,9 +210,13 @@ fn show(wasm_path: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi>\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi>\n  wasai audit-dir <dir> [seed]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
     let result = match args.get(1).map(String::as_str) {
         Some("audit") if args.len() == 4 => audit(&args[2], &args[3]),
+        Some("audit-dir") if args.len() >= 3 => {
+            let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0xe05);
+            audit_dir(&args[2], seed)
+        }
         Some("gen") if args.len() >= 3 => {
             let count = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
             let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);

@@ -9,7 +9,11 @@ use wasai::wasai_corpus::{GateKind, RewardKind};
 
 #[test]
 fn eosfuzzer_detects_plain_fake_eos() {
-    let c = generate(Blueprint { seed: 21, code_guard: false, ..Blueprint::default() });
+    let c = generate(Blueprint {
+        seed: 21,
+        code_guard: false,
+        ..Blueprint::default()
+    });
     let report = EosFuzzer::new(TargetInfo::new(c.module, c.abi), FuzzConfig::quick())
         .unwrap()
         .run();
@@ -28,21 +32,38 @@ fn eosfuzzer_misses_gated_blockinfo_that_wasai_finds() {
         ..Blueprint::default()
     };
     let c = generate(bp);
-    let ef = EosFuzzer::new(TargetInfo::new(c.module.clone(), c.abi.clone()), FuzzConfig::quick())
-        .unwrap()
-        .run();
+    let ef = EosFuzzer::new(
+        TargetInfo::new(c.module.clone(), c.abi.clone()),
+        FuzzConfig::quick(),
+    )
+    .unwrap()
+    .run();
     assert!(
         !ef.has(VulnClass::BlockinfoDep),
         "random fuzzing cannot guess a 64-bit gate constant"
     );
-    let wa = Wasai::new(c.module, c.abi).with_config(FuzzConfig::quick()).run().unwrap();
-    assert!(wa.has(VulnClass::BlockinfoDep), "the concolic loop must pass the gate");
+    let wa = Wasai::new(c.module, c.abi)
+        .with_config(FuzzConfig::quick())
+        .run()
+        .unwrap();
+    assert!(
+        wa.has(VulnClass::BlockinfoDep),
+        "the concolic loop must pass the gate"
+    );
 }
 
 #[test]
 fn eosafe_detects_missing_code_guard_statically() {
-    let vuln = generate(Blueprint { seed: 31, code_guard: false, ..Blueprint::default() });
-    let safe = generate(Blueprint { seed: 31, code_guard: true, ..Blueprint::default() });
+    let vuln = generate(Blueprint {
+        seed: 31,
+        code_guard: false,
+        ..Blueprint::default()
+    });
+    let safe = generate(Blueprint {
+        seed: 31,
+        code_guard: true,
+        ..Blueprint::default()
+    });
     let rv = eosafe_analyze(&vuln.module, &vuln.abi, EosafeConfig::default());
     let rs = eosafe_analyze(&safe.module, &safe.abi, EosafeConfig::default());
     assert!(rv.has(VulnClass::FakeEos));
@@ -70,18 +91,37 @@ fn eosafe_rollback_oracle_false_positives_on_dead_code() {
 
 #[test]
 fn eosafe_detects_payee_guard_presence() {
-    let guarded = generate(Blueprint { seed: 33, payee_guard: true, ..Blueprint::default() });
-    let open = generate(Blueprint { seed: 33, payee_guard: false, ..Blueprint::default() });
+    let guarded = generate(Blueprint {
+        seed: 33,
+        payee_guard: true,
+        ..Blueprint::default()
+    });
+    let open = generate(Blueprint {
+        seed: 33,
+        payee_guard: false,
+        ..Blueprint::default()
+    });
     let rg = eosafe_analyze(&guarded.module, &guarded.abi, EosafeConfig::default());
     let ro = eosafe_analyze(&open.module, &open.abi, EosafeConfig::default());
-    assert!(!rg.has(VulnClass::FakeNotif), "guard compare found on explored paths");
+    assert!(
+        !rg.has(VulnClass::FakeNotif),
+        "guard compare found on explored paths"
+    );
     assert!(ro.has(VulnClass::FakeNotif));
 }
 
 #[test]
 fn eosafe_missauth_requires_feasible_path() {
-    let vuln = generate(Blueprint { seed: 34, auth_check: false, ..Blueprint::default() });
-    let safe = generate(Blueprint { seed: 34, auth_check: true, ..Blueprint::default() });
+    let vuln = generate(Blueprint {
+        seed: 34,
+        auth_check: false,
+        ..Blueprint::default()
+    });
+    let safe = generate(Blueprint {
+        seed: 34,
+        auth_check: true,
+        ..Blueprint::default()
+    });
     let rv = eosafe_analyze(&vuln.module, &vuln.abi, EosafeConfig::default());
     let rs = eosafe_analyze(&safe.module, &safe.abi, EosafeConfig::default());
     assert!(rv.has(VulnClass::MissAuth));
@@ -98,5 +138,8 @@ fn eosafe_never_flags_blockinfo() {
         ..Blueprint::default()
     });
     let r = eosafe_analyze(&c.module, &c.abi, EosafeConfig::default());
-    assert!(!r.has(VulnClass::BlockinfoDep), "EOSAFE has no BlockinfoDep oracle");
+    assert!(
+        !r.has(VulnClass::BlockinfoDep),
+        "EOSAFE has no BlockinfoDep oracle"
+    );
 }

@@ -21,7 +21,10 @@ fn benchmark_samples_roundtrip_and_instrument() {
 
 #[test]
 fn obfuscated_and_verified_variants_stay_valid() {
-    let base = generate(Blueprint { seed: 500, ..Blueprint::default() });
+    let base = generate(Blueprint {
+        seed: 500,
+        ..Blueprint::default()
+    });
     let v = make_vulnerable(&base, VulnClass::FakeNotif);
     let o = obfuscate(&v, 1);
     let (w, _) = inject_verification(&o, 2, 2);
@@ -29,7 +32,10 @@ fn obfuscated_and_verified_variants_stay_valid() {
     let inst = instrument::instrument(&w.module).unwrap();
     validate::validate(&inst.module).unwrap();
     // Triple-transformed contract still audits correctly.
-    let report = Wasai::new(w.module, w.abi).with_config(FuzzConfig::quick()).run().unwrap();
+    let report = Wasai::new(w.module, w.abi)
+        .with_config(FuzzConfig::quick())
+        .run()
+        .unwrap();
     assert!(report.has(VulnClass::FakeNotif), "report: {report:?}");
 }
 
@@ -42,7 +48,10 @@ fn wild_patched_contracts_audit_clean() {
             .with_config(FuzzConfig::quick())
             .run()
             .unwrap();
-        assert!(report.findings.is_empty(), "patched version flagged: {report:?}");
+        assert!(
+            report.findings.is_empty(),
+            "patched version flagged: {report:?}"
+        );
     }
 }
 
@@ -71,13 +80,23 @@ fn traces_reference_only_real_original_sites() {
     use wasai::wasai_chain::{Chain, NativeKind};
     use wasai::wasai_vm::TraceKind;
 
-    let c = generate(Blueprint { seed: 900, code_guard: false, ..Blueprint::default() });
+    let c = generate(Blueprint {
+        seed: 900,
+        code_guard: false,
+        ..Blueprint::default()
+    });
     let instrumented = instrument::instrument(&c.module).unwrap().module;
     let mut chain = Chain::new();
     chain.deploy_native(Name::new("eosio.token"), NativeKind::Token);
     chain.create_account(Name::new("alice")).unwrap();
-    chain.deploy_wasm(Name::new("victim"), instrumented, c.abi.clone()).unwrap();
-    chain.issue(Name::new("eosio.token"), Name::new("alice"), Asset::eos(100));
+    chain
+        .deploy_wasm(Name::new("victim"), instrumented, c.abi.clone())
+        .unwrap();
+    chain.issue(
+        Name::new("eosio.token"),
+        Name::new("alice"),
+        Asset::eos(100),
+    );
     let receipt = chain
         .push_action(
             Name::new("eosio.token"),
@@ -95,7 +114,10 @@ fn traces_reference_only_real_original_sites() {
     for rec in &receipt.trace {
         match rec.kind {
             TraceKind::Site { func, pc } => {
-                let f = c.module.local_func(func).expect("site func exists in original");
+                let f = c
+                    .module
+                    .local_func(func)
+                    .expect("site func exists in original");
                 assert!(
                     (pc as usize) < f.body.len(),
                     "site pc {pc} out of range for func {func}"

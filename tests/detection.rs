@@ -83,24 +83,40 @@ fn unsatisfiable_gate_is_not_a_false_positive() {
         eosponser_branches: 1,
     };
     let report = run(bp);
-    assert!(!report.has(VulnClass::BlockinfoDep), "dead template must stay dead: {report:?}");
+    assert!(
+        !report.has(VulnClass::BlockinfoDep),
+        "dead template must stay dead: {report:?}"
+    );
     assert!(!report.has(VulnClass::Rollback));
 }
 
 #[test]
 fn guard_removal_changes_exactly_the_targeted_class() {
-    let safe = Blueprint { seed: 5, ..Blueprint::default() };
-    let vulnerable = Blueprint { code_guard: false, ..safe };
+    let safe = Blueprint {
+        seed: 5,
+        ..Blueprint::default()
+    };
+    let vulnerable = Blueprint {
+        code_guard: false,
+        ..safe
+    };
     let r_safe = run(safe);
     let r_vuln = run(vulnerable);
     assert!(!r_safe.has(VulnClass::FakeEos));
     assert!(r_vuln.has(VulnClass::FakeEos), "report: {r_vuln:?}");
-    assert_eq!(r_safe.has(VulnClass::MissAuth), r_vuln.has(VulnClass::MissAuth));
+    assert_eq!(
+        r_safe.has(VulnClass::MissAuth),
+        r_vuln.has(VulnClass::MissAuth)
+    );
 }
 
 #[test]
 fn coverage_series_is_monotone() {
-    let report = run(Blueprint { seed: 6, eosponser_branches: 4, ..Blueprint::default() });
+    let report = run(Blueprint {
+        seed: 6,
+        eosponser_branches: 4,
+        ..Blueprint::default()
+    });
     let mut prev = 0;
     for &(_, b) in &report.coverage_series {
         assert!(b >= prev, "coverage must be cumulative");
@@ -131,7 +147,10 @@ fn custom_oracles_extend_the_scanner() {
         .run()
         .unwrap();
     assert!(
-        report.custom_findings.iter().any(|(n, _)| n == "send_deferred"),
+        report
+            .custom_findings
+            .iter()
+            .any(|(n, _)| n == "send_deferred"),
         "custom oracle must fire: {:?}",
         report.custom_findings
     );
@@ -148,9 +167,15 @@ fn memo_length_gates_are_solved_unlike_the_papers_fp_case() {
     // variable (Table 2's length byte), so the solver sets it directly and
     // the guarded contract is correctly reported clean.
     use wasai::wasai_corpus::inject_verification;
-    let c = generate(Blueprint { seed: 60, ..Blueprint::default() });
+    let c = generate(Blueprint {
+        seed: 60,
+        ..Blueprint::default()
+    });
     let (v, key) = inject_verification(&c, 61, 3);
-    assert!(key.memo_len.is_some(), "the third check gates on memo length");
+    assert!(
+        key.memo_len.is_some(),
+        "the third check gates on memo length"
+    );
     let report = Wasai::new(v.module, v.abi)
         .with_config(wasai::wasai_core::FuzzConfig {
             timeout_us: 300_000_000,

@@ -37,22 +37,31 @@ fn wasai_seed_changes_the_trajectory_but_not_the_verdict() {
     let c = contract();
     let run = |seed| {
         Wasai::new(c.module.clone(), c.abi.clone())
-            .with_config(FuzzConfig { rng_seed: seed, ..FuzzConfig::quick() })
+            .with_config(FuzzConfig {
+                rng_seed: seed,
+                ..FuzzConfig::quick()
+            })
             .run()
             .unwrap()
     };
     let a = run(1);
     let b = run(2);
-    assert_eq!(a.findings, b.findings, "verdicts must be stable across seeds");
+    assert_eq!(
+        a.findings, b.findings,
+        "verdicts must be stable across seeds"
+    );
 }
 
 #[test]
 fn eosfuzzer_campaigns_are_reproducible() {
     let c = contract();
     let run = || {
-        EosFuzzer::new(TargetInfo::new(c.module.clone(), c.abi.clone()), FuzzConfig::quick())
-            .unwrap()
-            .run()
+        EosFuzzer::new(
+            TargetInfo::new(c.module.clone(), c.abi.clone()),
+            FuzzConfig::quick(),
+        )
+        .unwrap()
+        .run()
     };
     assert_eq!(run(), run());
 }

@@ -1,0 +1,49 @@
+//! Tier-1 gate for the parallel campaign fleet: the merged results of every
+//! experiment driver must be bit-identical regardless of the worker count.
+//!
+//! This is the determinism contract (DESIGN.md): campaign seeds derive from
+//! the sample index alone, workers write into index-keyed slots, and the
+//! merge runs in index order — so `jobs = 4` must reproduce the `jobs = 1`
+//! serial reference exactly. The tests pass explicit `jobs` values instead
+//! of setting `WASAI_JOBS`, so they can run concurrently with each other.
+
+use wasai::wasai_corpus::{table4_benchmark, wild_corpus, WildRates};
+use wasai_bench::{evaluate_with, rq4_analyze};
+
+#[test]
+fn evaluate_is_identical_serial_and_parallel() {
+    // The smallest Table 4 subsample: one vulnerable + one clean contract
+    // per class, all three tools — 30 campaigns, enough to exercise the
+    // queue with more jobs than workers.
+    let samples = table4_benchmark(7, 0.001);
+    let (serial, _) = evaluate_with(&samples, 0xe05, 1);
+    let (parallel, _) = evaluate_with(&samples, 0xe05, 4);
+    assert_eq!(
+        serial, parallel,
+        "AccuracyTable must not depend on worker count"
+    );
+}
+
+#[test]
+fn rq4_wild_counts_match_serial() {
+    let corpus = wild_corpus(11, 8, WildRates::default());
+    let (serial, _) = rq4_analyze(&corpus, 0xe05, 1);
+    let (parallel, _) = rq4_analyze(&corpus, 0xe05, 4);
+    assert_eq!(
+        serial, parallel,
+        "per-contract RQ4 outcomes must match serial"
+    );
+    // The aggregate counts the rq4_wild binary prints follow directly.
+    let flagged = |v: &[wasai_bench::WildOutcome]| v.iter().filter(|o| o.flagged()).count();
+    assert_eq!(flagged(&serial), flagged(&parallel));
+}
+
+#[test]
+fn oversubscribed_fleet_still_matches() {
+    // More workers than jobs: the scheduler caps the thread count at the
+    // queue length; the result must still be the serial reference.
+    let corpus = wild_corpus(23, 3, WildRates::default());
+    let (serial, _) = rq4_analyze(&corpus, 1, 1);
+    let (wide, _) = rq4_analyze(&corpus, 1, 16);
+    assert_eq!(serial, wide);
+}

@@ -11,12 +11,17 @@ fn infinite_loop_contract_cannot_hang_the_campaign() {
     // apply() spins forever: every transaction exhausts its fuel and
     // reverts; the campaign must still terminate (virtual clock + stall).
     let mut b = ModuleBuilder::with_memory(1);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::Loop(BlockType::Empty),
-        Instr::Br(0),
-        Instr::End,
-        Instr::End,
-    ]);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::Loop(BlockType::Empty),
+            Instr::Br(0),
+            Instr::End,
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let abi = Abi::new(vec![ActionDecl::transfer()]);
     let report = Wasai::new(b.build(), abi)
@@ -26,14 +31,21 @@ fn infinite_loop_contract_cannot_hang_the_campaign() {
     // Each spinning transaction burns its full fuel budget, so the virtual
     // clock (not iteration count) is what bounds the campaign.
     assert!(report.virtual_us > 0);
-    assert!(report.findings.is_empty(), "a spinning contract serves nobody");
+    assert!(
+        report.findings.is_empty(),
+        "a spinning contract serves nobody"
+    );
 }
 
 #[test]
 fn trap_only_contract_is_clean() {
     let mut b = ModuleBuilder::with_memory(1);
-    let apply =
-        b.func(&[I64, I64, I64], &[], &[], vec![Instr::Unreachable, Instr::End]);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![Instr::Unreachable, Instr::End],
+    );
     b.export_func("apply", apply);
     let abi = Abi::new(vec![ActionDecl::transfer()]);
     let report = Wasai::new(b.build(), abi)
@@ -49,36 +61,50 @@ fn direct_call_dispatcher_is_still_analyzed() {
     // the §3.4.2 fallback locates the action function as the last function
     // entered, and Fake EOS detection still works.
     let mut b = ModuleBuilder::with_memory(1);
-    let db_store =
-        b.import_func("env", "db_store_i64", &[I64, I64, I64, I64, I32, I32], &[I32]);
+    let db_store = b.import_func(
+        "env",
+        "db_store_i64",
+        &[I64, I64, I64, I64, I32, I32],
+        &[I32],
+    );
     let tapos = b.import_func("env", "tapos_block_num", &[], &[I32]);
-    let eosponser = b.func(&[I64, I64, I64, I32, I32], &[], &[], vec![
-        Instr::LocalGet(0),
-        Instr::I64Const(Name::new("log").as_i64()),
-        Instr::LocalGet(0),
-        Instr::Call(tapos),
-        Instr::I64ExtendI32U,
-        Instr::I32Const(0),
-        Instr::I32Const(4),
-        Instr::Call(db_store),
-        Instr::Drop,
-        Instr::End,
-    ]);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::LocalGet(2),
-        Instr::I64Const(Name::new("transfer").as_i64()),
-        Instr::I64Eq,
-        Instr::If(BlockType::Empty),
-        // No code guard, direct call with placeholder args.
-        Instr::LocalGet(0),
-        Instr::LocalGet(1),
-        Instr::LocalGet(2),
-        Instr::I32Const(0),
-        Instr::I32Const(0),
-        Instr::Call(eosponser),
-        Instr::End,
-        Instr::End,
-    ]);
+    let eosponser = b.func(
+        &[I64, I64, I64, I32, I32],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(Name::new("log").as_i64()),
+            Instr::LocalGet(0),
+            Instr::Call(tapos),
+            Instr::I64ExtendI32U,
+            Instr::I32Const(0),
+            Instr::I32Const(4),
+            Instr::Call(db_store),
+            Instr::Drop,
+            Instr::End,
+        ],
+    );
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(2),
+            Instr::I64Const(Name::new("transfer").as_i64()),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+            // No code guard, direct call with placeholder args.
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I32Const(0),
+            Instr::I32Const(0),
+            Instr::Call(eosponser),
+            Instr::End,
+            Instr::End,
+        ],
+    );
     b.export_func("apply", apply);
     let abi = Abi::new(vec![ActionDecl::transfer()]);
     let report = Wasai::new(b.build(), abi)
@@ -97,11 +123,12 @@ fn contract_without_eosponser_is_handled() {
     // and ordinary fuzzing proceeds.
     let mut b = ModuleBuilder::with_memory(1);
     let tapos = b.import_func("env", "tapos_block_prefix", &[], &[I32]);
-    let apply = b.func(&[I64, I64, I64], &[], &[], vec![
-        Instr::Call(tapos),
-        Instr::Drop,
-        Instr::End,
-    ]);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![Instr::Call(tapos), Instr::Drop, Instr::End],
+    );
     b.export_func("apply", apply);
     let abi = Abi::new(vec![ActionDecl::new(
         Name::new("tick"),
@@ -121,5 +148,8 @@ fn invalid_module_is_rejected_up_front() {
     let apply = b.func(&[I64, I64, I64], &[], &[], vec![Instr::I32Add, Instr::End]);
     b.export_func("apply", apply);
     let err = Wasai::new(b.build(), Abi::default()).run();
-    assert!(err.is_err(), "stack-broken modules must fail instrumentation/deployment");
+    assert!(
+        err.is_err(),
+        "stack-broken modules must fail instrumentation/deployment"
+    );
 }
