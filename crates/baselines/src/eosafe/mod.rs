@@ -49,9 +49,7 @@ impl Default for EosafeConfig {
     fn default() -> Self {
         EosafeConfig {
             exec: ExecConfig::default(),
-            smt_budget: Budget {
-                max_conflicts: 5_000,
-            },
+            smt_budget: Budget::conflicts(5_000),
         }
     }
 }

@@ -131,6 +131,7 @@ impl EosFuzzer {
             virtual_us: self.clock.micros(),
             smt_queries: 0,
             custom_findings: Vec::new(),
+            truncated: false,
         }
     }
 

@@ -6,27 +6,61 @@
 //! operate, and how many of those were patched (verified by re-analyzing
 //! the latest version). Campaigns run on `WASAI_JOBS` workers; the merged
 //! counts are identical for every worker count.
+//!
+//! Campaigns are fault-isolated: a contract that panics or overruns the
+//! `WASAI_DEADLINE` wall-clock watchdog (seconds; unset = no watchdog) is
+//! counted in the triage summary and the rest of the study is unaffected.
 
-use wasai_core::VulnClass;
+use wasai_core::{fleet, CampaignOutcome, FleetStats, VulnClass};
 use wasai_corpus::{wild_corpus, Lifecycle, WildRates};
 
 fn main() {
     let count = wasai_bench::env_count("WASAI_WILD_COUNT", 60);
     let seed = wasai_bench::env_seed();
     let jobs = wasai_core::jobs_from_env();
+    let deadline = fleet::deadline_from_env();
     eprintln!(
         "rq4: {count} wild contracts (the paper analyzes 991), seed {seed}, {jobs} worker(s)"
     );
 
     let corpus = wild_corpus(seed, count, WildRates::default());
-    let (outcomes, stats) = wasai_bench::rq4_analyze(&corpus, seed, jobs);
+    let start = std::time::Instant::now();
+    let runs = wasai_bench::rq4_analyze_isolated(&corpus, seed, jobs, deadline);
+    let stats = FleetStats {
+        jobs: jobs.max(1),
+        campaigns: runs.len(),
+        virtual_us: runs
+            .iter()
+            .filter_map(|r| r.outcome.as_ok())
+            .map(|o| o.virtual_us)
+            .sum(),
+        wall: start.elapsed(),
+    };
 
     let mut flagged = 0usize;
     let mut per_class = std::collections::BTreeMap::<VulnClass, usize>::new();
     let mut verified_patched = 0usize;
     let mut still_operating = 0usize;
     let mut unpatched_operating = 0usize;
-    for (w, outcome) in corpus.iter().zip(&outcomes) {
+    let mut triage = std::collections::BTreeMap::<&'static str, usize>::new();
+    let mut analyzed = 0usize;
+    for (i, (w, run)) in corpus.iter().zip(&runs).enumerate() {
+        let outcome = match &run.outcome {
+            CampaignOutcome::Ok(o) => {
+                analyzed += 1;
+                o
+            }
+            other => {
+                *triage.entry(other.kind()).or_default() += 1;
+                eprintln!(
+                    "triage: contract {i} {} in stage {} — {}",
+                    other.kind(),
+                    other.stage(),
+                    other.detail()
+                );
+                continue;
+            }
+        };
         if !outcome.flagged() {
             continue;
         }
@@ -50,7 +84,11 @@ fn main() {
     }
 
     println!("\n=== RQ4: Vulnerabilities in the wild (§4.4) ===");
-    println!("analyzed contracts:        {count}");
+    println!("analyzed contracts:        {analyzed} of {count}");
+    if !triage.is_empty() {
+        let parts: Vec<String> = triage.iter().map(|(k, n)| format!("{n} {k}")).collect();
+        println!("triaged (not analyzed):    {}", parts.join(", "));
+    }
     println!(
         "flagged vulnerable:        {} ({:.1}%)   [paper: 707 of 991 = 71.3%]",
         flagged,

@@ -24,10 +24,11 @@ use std::sync::Arc;
 
 use wasai_baselines::{eosafe_analyze, EosFuzzer, EosafeConfig};
 use wasai_core::{
-    jobs_from_env, run_jobs, run_jobs_timed, FleetStats, FuzzConfig, PreparedTarget, TargetInfo,
-    VulnClass, Wasai,
+    jobs_from_env, run_jobs, run_jobs_isolated, run_jobs_timed, CampaignRun, FleetStats,
+    FuzzConfig, PreparedTarget, TargetInfo, VulnClass, Wasai,
 };
 use wasai_corpus::{BenchmarkSample, Lifecycle, WildContract};
+use wasai_smt::Deadline;
 
 /// Binary classification counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -297,37 +298,62 @@ pub fn rq4_analyze(
     seed: u64,
     jobs: usize,
 ) -> (Vec<WildOutcome>, FleetStats) {
-    run_jobs_timed(
-        jobs,
-        corpus.iter().collect(),
-        |i, w: &WildContract| {
-            let report = Wasai::new(w.deployed.module.clone(), w.deployed.abi.clone())
-                .with_config(bench_fuzz_config(seed ^ (i as u64)))
-                .run()
-                .expect("wasai runs");
-            let mut virtual_us = report.virtual_us;
-            let mut latest_clean = None;
-            if report.is_vulnerable() && w.lifecycle == Lifecycle::OperatingPatched {
-                // "we further applied WASAI to analyze their latest version
-                // to investigate whether the vulnerability has been patched"
-                // (§4.4, footnote 1).
-                if let Some(latest) = &w.latest {
-                    let re = Wasai::new(latest.module.clone(), latest.abi.clone())
-                        .with_config(bench_fuzz_config(seed ^ 0xff ^ (i as u64)))
-                        .run()
-                        .expect("wasai runs");
-                    virtual_us += re.virtual_us;
-                    latest_clean = Some(!re.is_vulnerable());
-                }
+    let start = std::time::Instant::now();
+    let runs = rq4_analyze_isolated(corpus, seed, jobs, Deadline::NONE);
+    let outcomes: Vec<WildOutcome> = runs
+        .into_iter()
+        .map(|r| match r.outcome {
+            wasai_core::CampaignOutcome::Ok(o) => o,
+            other => panic!("wild campaign failed: {}", other.detail()),
+        })
+        .collect();
+    let stats = FleetStats {
+        jobs: jobs.max(1),
+        campaigns: outcomes.len(),
+        virtual_us: outcomes.iter().map(|o| o.virtual_us).sum(),
+        wall: start.elapsed(),
+    };
+    (outcomes, stats)
+}
+
+/// [`rq4_analyze`] with per-contract fault isolation: a panicking, failing,
+/// or deadline-overrunning contract is reported in its slot instead of
+/// tearing down the whole study, and every other slot is byte-identical to
+/// the clean run's — for any `jobs` value.
+pub fn rq4_analyze_isolated(
+    corpus: &[WildContract],
+    seed: u64,
+    jobs: usize,
+    deadline: Deadline,
+) -> Vec<CampaignRun<WildOutcome>> {
+    run_jobs_isolated(jobs, corpus.iter().collect(), deadline, |i, w| {
+        let config = |s: u64| FuzzConfig {
+            deadline,
+            ..bench_fuzz_config(s)
+        };
+        let report = Wasai::new(w.deployed.module.clone(), w.deployed.abi.clone())
+            .with_config(config(seed ^ (i as u64)))
+            .run()?;
+        let mut virtual_us = report.virtual_us;
+        let mut latest_clean = None;
+        if report.is_vulnerable() && w.lifecycle == Lifecycle::OperatingPatched {
+            // "we further applied WASAI to analyze their latest version
+            // to investigate whether the vulnerability has been patched"
+            // (§4.4, footnote 1).
+            if let Some(latest) = &w.latest {
+                let re = Wasai::new(latest.module.clone(), latest.abi.clone())
+                    .with_config(config(seed ^ 0xff ^ (i as u64)))
+                    .run()?;
+                virtual_us += re.virtual_us;
+                latest_clean = Some(!re.is_vulnerable());
             }
-            WildOutcome {
-                findings: report.findings,
-                latest_clean,
-                virtual_us,
-            }
-        },
-        |o| o.virtual_us,
-    )
+        }
+        Ok(WildOutcome {
+            findings: report.findings,
+            latest_clean,
+            virtual_us,
+        })
+    })
 }
 
 /// Render an accuracy table in the paper's row format.

@@ -1,0 +1,207 @@
+//! Deterministic fault injection for the fleet's recovery paths.
+//!
+//! The fault-isolation layer ([`crate::fleet::run_jobs_isolated`]) exists to
+//! survive the wild-contract sweep (§4.4): panicking decoders, hanging
+//! solver queries, malformed modules. Recovery code that is never exercised
+//! rots, so this module lets tests (and CI) inject those failures at chosen
+//! campaign indices and assert that the rest of the sweep is untouched.
+//!
+//! Faults are injected by the fleet scheduler right before a campaign's
+//! worker runs, keyed by campaign index — fully deterministic, independent
+//! of worker count or scheduling.
+//!
+//! # Activation
+//!
+//! Injection is compiled out unless the `chaos` cargo feature is enabled;
+//! with the feature off, [`fault_at`] is a constant `None` and the scheduler
+//! pays nothing. With the feature on, a plan is activated either
+//! programmatically ([`install`]/[`clear`], for in-process tests) or through
+//! the `WASAI_CHAOS` environment variable (for subprocess/CLI tests):
+//!
+//! ```text
+//! WASAI_CHAOS="panic@1,stall@4,decode@0,trap@2"
+//! ```
+//!
+//! An installed plan takes precedence over the environment.
+
+use std::fmt;
+
+/// A fault the scheduler can inject into one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the worker (exercises `catch_unwind` containment).
+    Panic,
+    /// A trap-shaped contract failure (surfaces as `Failed`).
+    Trap,
+    /// A solver stall: the campaign hangs until the wall-clock watchdog
+    /// fires (surfaces as `TimedOut`).
+    SolverStall,
+    /// A decoder error (surfaces as `Failed`).
+    DecodeError,
+}
+
+impl Fault {
+    /// Parse the `WASAI_CHAOS` spelling of a fault.
+    pub fn parse(s: &str) -> Result<Fault, String> {
+        match s {
+            "panic" => Ok(Fault::Panic),
+            "trap" => Ok(Fault::Trap),
+            "stall" => Ok(Fault::SolverStall),
+            "decode" => Ok(Fault::DecodeError),
+            other => Err(format!(
+                "unknown chaos fault {other:?} (expected panic|trap|stall|decode)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fault::Panic => "panic",
+            Fault::Trap => "trap",
+            Fault::SolverStall => "stall",
+            Fault::DecodeError => "decode",
+        })
+    }
+}
+
+/// Which campaign indices get which faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    faults: Vec<(usize, Fault)>,
+}
+
+impl ChaosPlan {
+    /// A plan injecting `faults` at the given campaign indices.
+    pub fn new(faults: Vec<(usize, Fault)>) -> Self {
+        ChaosPlan { faults }
+    }
+
+    /// Parse a `WASAI_CHAOS` spec: comma-separated `fault@index` entries,
+    /// e.g. `panic@1,stall@4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (fault, index) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("chaos entry {entry:?}: expected `fault@index`"))?;
+            let index: usize = index
+                .trim()
+                .parse()
+                .map_err(|e| format!("chaos entry {entry:?}: bad index: {e}"))?;
+            faults.push((index, Fault::parse(fault.trim())?));
+        }
+        Ok(ChaosPlan { faults })
+    }
+
+    /// The fault planned for campaign `index`, if any.
+    pub fn fault_at(&self, index: usize) -> Option<Fault> {
+        self.faults
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|&(_, f)| f)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod active {
+    use super::ChaosPlan;
+    use std::sync::{Mutex, OnceLock};
+
+    static INSTALLED: Mutex<Option<ChaosPlan>> = Mutex::new(None);
+    static FROM_ENV: OnceLock<Option<ChaosPlan>> = OnceLock::new();
+
+    /// Activate `plan` process-wide (overrides `WASAI_CHAOS`).
+    pub fn install(plan: ChaosPlan) {
+        *INSTALLED.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
+    }
+
+    /// Deactivate the installed plan (the environment plan, if any, applies
+    /// again).
+    pub fn clear() {
+        *INSTALLED.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    pub(super) fn current_fault_at(index: usize) -> Option<super::Fault> {
+        if let Some(plan) = INSTALLED.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
+            return plan.fault_at(index);
+        }
+        FROM_ENV
+            .get_or_init(|| {
+                let spec = std::env::var("WASAI_CHAOS").ok()?;
+                match ChaosPlan::parse(&spec) {
+                    Ok(p) if !p.is_empty() => Some(p),
+                    Ok(_) => None,
+                    Err(e) => {
+                        eprintln!("ignoring WASAI_CHAOS: {e}");
+                        None
+                    }
+                }
+            })
+            .as_ref()
+            .and_then(|p| p.fault_at(index))
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use active::{clear, install};
+
+/// The fault to inject into campaign `index`, per the active plan.
+///
+/// Always `None` unless the `chaos` cargo feature is enabled.
+#[cfg(feature = "chaos")]
+pub fn fault_at(index: usize) -> Option<Fault> {
+    active::current_fault_at(index)
+}
+
+/// The fault to inject into campaign `index`, per the active plan.
+///
+/// Always `None` unless the `chaos` cargo feature is enabled.
+#[cfg(not(feature = "chaos"))]
+pub fn fault_at(_index: usize) -> Option<Fault> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_specs() {
+        let p = ChaosPlan::parse("panic@1, stall@4 ,decode@0").expect("parses");
+        assert_eq!(p.fault_at(1), Some(Fault::Panic));
+        assert_eq!(p.fault_at(4), Some(Fault::SolverStall));
+        assert_eq!(p.fault_at(0), Some(Fault::DecodeError));
+        assert_eq!(p.fault_at(2), None);
+        assert!(ChaosPlan::parse("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ChaosPlan::parse("panic").is_err());
+        assert!(ChaosPlan::parse("explode@3").is_err());
+        assert!(ChaosPlan::parse("panic@x").is_err());
+    }
+
+    #[test]
+    fn fault_display_roundtrips_through_parse() {
+        for f in [
+            Fault::Panic,
+            Fault::Trap,
+            Fault::SolverStall,
+            Fault::DecodeError,
+        ] {
+            assert_eq!(Fault::parse(&f.to_string()), Ok(f));
+        }
+    }
+}

@@ -23,20 +23,25 @@ pub struct FuzzConfig {
     /// engine to random fuzzing with WASAI's oracles — the ablation that
     /// isolates how much of the accuracy/coverage story the solver carries.
     pub feedback: bool,
+    /// Cooperative wall-clock watchdog. Every long-running stage (engine
+    /// iterations, symbolic replay, SMT search) checks this deadline and
+    /// degrades to a partial, `truncated` report when it fires. The default
+    /// [`wasai_smt::Deadline::NONE`] never expires, keeping campaigns fully
+    /// deterministic.
+    pub deadline: wasai_smt::Deadline,
 }
 
 impl Default for FuzzConfig {
     fn default() -> Self {
         FuzzConfig {
             timeout_us: 300_000_000,
-            smt_budget: wasai_smt::Budget {
-                max_conflicts: 20_000,
-            },
+            smt_budget: wasai_smt::Budget::conflicts(20_000),
             max_queries_per_iter: 4,
             stall_iters: 60,
             rng_seed: 0xa5a5_5a5a,
             cost: CostModel::default(),
             feedback: true,
+            deadline: wasai_smt::Deadline::NONE,
         }
     }
 }

@@ -24,6 +24,7 @@ use crate::clock::VirtualClock;
 use crate::config::FuzzConfig;
 use crate::coverage::BranchKey;
 use crate::dbg::DependencyGraph;
+use crate::fleet::stage;
 use crate::harness::{self, accounts, PreparedTarget, TargetInfo};
 use crate::oracle::CustomOracle;
 use crate::pool::SeedPool;
@@ -51,6 +52,7 @@ pub struct Engine {
     stall: u64,
     transfer_round: u64,
     custom_oracles: Vec<Box<dyn CustomOracle>>,
+    truncated: bool,
 }
 
 impl Engine {
@@ -94,6 +96,7 @@ impl Engine {
             stall: 0,
             transfer_round: 0,
             custom_oracles: Vec::new(),
+            truncated: false,
         })
     }
 
@@ -118,11 +121,14 @@ impl Engine {
 
         self.payload_sweep();
 
-        // Algorithm 1, lines 3–12: the fuzzing loop.
+        // Algorithm 1, lines 3–12: the fuzzing loop. The wall-clock deadline
+        // check makes the loop degrade to a partial (`truncated`) report when
+        // the watchdog fires, instead of running out virtual time.
         let num_actions = prepared.info.abi.actions.len();
         while !self.clock.timed_out(self.cfg.timeout_us)
             && self.stall < self.cfg.stall_iters
             && num_actions > 0
+            && !self.deadline_fired()
         {
             let decl = &prepared.info.abi.actions[(self.iterations as usize) % num_actions];
             self.iterate(decl);
@@ -150,7 +156,18 @@ impl Engine {
             virtual_us: self.clock.micros(),
             smt_queries: self.smt_queries,
             custom_findings,
+            truncated: self.truncated,
         }
+    }
+
+    /// Check the wall-clock watchdog, latching [`FuzzReport::truncated`] the
+    /// first time it fires. [`wasai_smt::Deadline::NONE`] (the default) never
+    /// fires, so unwatched campaigns stay fully deterministic.
+    fn deadline_fired(&mut self) -> bool {
+        if !self.truncated && self.cfg.deadline.expired() {
+            self.truncated = true;
+        }
+        self.truncated
     }
 
     /// Run the four oracle payloads (§3.5) once.
@@ -215,7 +232,7 @@ impl Engine {
     /// reach the flipped branch (progressively deepening through nested
     /// verification, §3.4.4).
     fn run_case(&mut self, kind: PayloadKind, action: Name, params: Vec<ParamValue>, depth: u32) {
-        if self.clock.timed_out(self.cfg.timeout_us) {
+        if self.clock.timed_out(self.cfg.timeout_us) || self.deadline_fired() {
             return;
         }
         let (tx, effective) = self.build_tx(kind, action, &params);
@@ -296,10 +313,12 @@ impl Engine {
         params: Vec<ParamValue>,
     ) -> Vec<Vec<ParamValue>> {
         let prepared = self.prepared.clone();
+        stage::enter(stage::EXECUTE);
         let receipt: Receipt = match self.chain.push_transaction(&tx) {
             Ok(r) => r,
             Err(e) => e.receipt,
         };
+        stage::enter(stage::CAMPAIGN);
         self.clock
             .charge_execution(&self.cfg.cost, receipt.steps_used);
 
@@ -366,14 +385,27 @@ impl Engine {
         // `params` is consumed into the binding pairs — no per-transaction
         // re-clone of the declaration or the values.
         let pairs: Vec<_> = decl.params.iter().copied().zip(params).collect();
-        let outcome =
-            Replayer::new(&prepared.info.original, action_func, 1, &pairs).run(&receipt.trace);
+        stage::enter(stage::REPLAY);
+        let outcome = Replayer::new(&prepared.info.original, action_func, 1, &pairs)
+            .with_deadline(self.cfg.deadline)
+            .run(&receipt.trace);
+        stage::enter(stage::CAMPAIGN);
+        if outcome.truncated {
+            self.truncated = true;
+        }
+
+        // The solver inherits the campaign watchdog: whichever of the
+        // per-query budget deadline and the campaign deadline is sooner wins.
+        let mut budget = self.cfg.smt_budget;
+        budget.deadline = budget.deadline.earliest(self.cfg.deadline);
 
         let queries = flip_queries(&outcome, &self.explored);
         let mut solved = 0usize;
         let mut new_seeds = Vec::new();
         for q in queries {
-            if solved >= self.cfg.max_queries_per_iter || self.clock.timed_out(self.cfg.timeout_us)
+            if solved >= self.cfg.max_queries_per_iter
+                || self.clock.timed_out(self.cfg.timeout_us)
+                || self.deadline_fired()
             {
                 break;
             }
@@ -388,8 +420,9 @@ impl Engine {
                 continue;
             }
             *tries += 1;
-            let (result, stats) =
-                wasai_smt::check(&outcome.pool, &q.constraints, self.cfg.smt_budget);
+            stage::enter(stage::SOLVE);
+            let (result, stats) = wasai_smt::check(&outcome.pool, &q.constraints, budget);
+            stage::enter(stage::CAMPAIGN);
             self.clock.charge_smt(&self.cfg.cost, stats.propagations);
             self.smt_queries += 1;
             solved += 1;

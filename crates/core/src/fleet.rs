@@ -12,11 +12,33 @@
 //! queue and write each result into its index-keyed slot, and the slot
 //! vector is returned in index order. `jobs == 1` bypasses the scheduler
 //! entirely and runs the items serially on the calling thread.
+//!
+//! [`run_jobs_isolated`] layers fault isolation on top of the same
+//! scheduler: each campaign runs under [`std::panic::catch_unwind`] and a
+//! cooperative wall-clock [`Deadline`], so one panicking, trapping, or
+//! hanging campaign is reported as a structured [`CampaignOutcome`] in its
+//! slot while every other slot is exactly what a clean run would produce.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use wasai_chain::ChainError;
+use wasai_smt::Deadline;
+
+use crate::chaos::Fault;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+///
+/// Fleet state stays coherent under poisoning: the queue only ever has
+/// completed `pop_front` calls applied and each slot holds either `None` or
+/// a fully-written result, so an interrupted critical section never leaves a
+/// torn value behind.
+fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Resolve the worker count from the `WASAI_JOBS` environment variable.
 ///
@@ -36,6 +58,21 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Resolve a wall-clock deadline from the `WASAI_DEADLINE` environment
+/// variable (seconds, fractional allowed).
+///
+/// Unset, empty, non-positive, or unparsable → [`Deadline::NONE`] (no
+/// watchdog, fully deterministic campaigns).
+pub fn deadline_from_env() -> Deadline {
+    match std::env::var("WASAI_DEADLINE") {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(secs) if secs > 0.0 => Deadline::after_secs(secs),
+            _ => Deadline::NONE,
+        },
+        Err(_) => Deadline::NONE,
+    }
 }
 
 /// Throughput of one fleet run, for the bench binaries' summary line.
@@ -110,10 +147,10 @@ where
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(n) {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("fleet queue poisoned").pop_front();
+                let job = recover(&queue).pop_front();
                 let Some((i, item)) = job else { break };
                 let result = worker(i, item);
-                *slots[i].lock().expect("fleet slot poisoned") = Some(result);
+                *recover(&slots[i]) = Some(result);
             });
         }
     });
@@ -122,7 +159,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("fleet slot poisoned")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .expect("every queued job fills its slot")
         })
         .collect()
@@ -152,6 +189,248 @@ where
         wall,
     };
     (results, stats)
+}
+
+/// Campaign-stage attribution for panic triage.
+///
+/// Long-running stages mark themselves with [`stage::enter`] on their worker
+/// thread; when [`run_jobs_isolated`] contains a panic, it reads
+/// [`stage::current`] so the triage report can say *where* the campaign died
+/// ("replay", "solve", …) instead of just that it died.
+pub mod stage {
+    use std::cell::Cell;
+
+    /// The default stage — set at every campaign start so attribution never
+    /// leaks across jobs that share a worker thread.
+    pub const CAMPAIGN: &str = "campaign";
+    /// Instrumented concrete execution on the local chain.
+    pub const EXECUTE: &str = "execute";
+    /// Symbolic trace replay (Symback).
+    pub const REPLAY: &str = "replay";
+    /// Constraint solving.
+    pub const SOLVE: &str = "solve";
+    /// Target preparation (decode/validate/instrument/deploy).
+    pub const PREPARE: &str = "prepare";
+
+    thread_local! {
+        static STAGE: Cell<&'static str> = const { Cell::new(CAMPAIGN) };
+    }
+
+    /// Mark the current thread as being inside `name`.
+    pub fn enter(name: &'static str) {
+        STAGE.with(|s| s.set(name));
+    }
+
+    /// The stage the current thread most recently entered.
+    pub fn current() -> &'static str {
+        STAGE.with(|s| s.get())
+    }
+}
+
+/// How one fault-isolated campaign ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignOutcome<T> {
+    /// The campaign completed and produced a result.
+    Ok(T),
+    /// The campaign failed with a typed chain error (bad contract, missing
+    /// account, …).
+    Failed(ChainError),
+    /// The campaign panicked; `stage` is the [`stage`] marker active on the
+    /// worker thread when it died.
+    Panicked {
+        /// Stage marker active at the panic site.
+        stage: &'static str,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The fleet deadline expired before (or while) this campaign ran.
+    TimedOut {
+        /// Wall-clock time this campaign consumed before being cut off
+        /// (zero if it never started).
+        elapsed: Duration,
+    },
+}
+
+impl<T> CampaignOutcome<T> {
+    /// True for [`CampaignOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CampaignOutcome::Ok(_))
+    }
+
+    /// The result, if the campaign completed.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            CampaignOutcome::Ok(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The result by reference, if the campaign completed.
+    pub fn as_ok(&self) -> Option<&T> {
+        match self {
+            CampaignOutcome::Ok(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Machine-readable outcome tag: `ok`, `failed`, `panicked`, or
+    /// `timed-out` (the `outcome` field of the triage format).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignOutcome::Ok(_) => "ok",
+            CampaignOutcome::Failed(_) => "failed",
+            CampaignOutcome::Panicked { .. } => "panicked",
+            CampaignOutcome::TimedOut { .. } => "timed-out",
+        }
+    }
+
+    /// The stage the campaign died in (`-` for successes; failures without
+    /// finer attribution report `campaign`).
+    pub fn stage(&self) -> &'static str {
+        match self {
+            CampaignOutcome::Ok(_) => "-",
+            CampaignOutcome::Failed(_) => stage::PREPARE,
+            CampaignOutcome::Panicked { stage, .. } => stage,
+            CampaignOutcome::TimedOut { .. } => stage::CAMPAIGN,
+        }
+    }
+
+    /// Human-readable failure detail (empty for successes).
+    pub fn detail(&self) -> String {
+        match self {
+            CampaignOutcome::Ok(_) => String::new(),
+            CampaignOutcome::Failed(e) => e.to_string(),
+            CampaignOutcome::Panicked { stage, payload } => {
+                format!("panic in {stage}: {payload}")
+            }
+            CampaignOutcome::TimedOut { elapsed } => {
+                format!("deadline expired after {}ms", elapsed.as_millis())
+            }
+        }
+    }
+}
+
+/// One slot of a fault-isolated fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRun<T> {
+    /// How the campaign ended.
+    pub outcome: CampaignOutcome<T>,
+    /// Wall-clock time the slot consumed (zero if deadline-gated before
+    /// start).
+    pub elapsed: Duration,
+}
+
+/// Backstop for an injected solver stall when no deadline is configured —
+/// the chaos harness must terminate even if the watchdog is off.
+const MAX_INJECTED_STALL: Duration = Duration::from_secs(5);
+
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_one_isolated<I, T, F>(
+    i: usize,
+    item: I,
+    deadline: Deadline,
+    worker: &F,
+) -> CampaignOutcome<T>
+where
+    F: Fn(usize, I) -> Result<T, ChainError>,
+{
+    // Jobs that have not started when the deadline fires are cut off here —
+    // this is what bounds a sweep's wall clock to the deadline plus at most
+    // one in-flight campaign's grace per worker.
+    if deadline.expired() {
+        return CampaignOutcome::TimedOut {
+            elapsed: Duration::ZERO,
+        };
+    }
+    stage::enter(stage::CAMPAIGN);
+    match crate::chaos::fault_at(i) {
+        Some(Fault::Trap) => {
+            return CampaignOutcome::Failed(ChainError::BadContract(
+                "chaos: injected trap".to_string(),
+            ));
+        }
+        Some(Fault::DecodeError) => {
+            return CampaignOutcome::Failed(ChainError::BadContract(
+                "chaos: injected decode error".to_string(),
+            ));
+        }
+        Some(Fault::SolverStall) => {
+            let start = Instant::now();
+            stage::enter(stage::SOLVE);
+            while !deadline.expired() && start.elapsed() < MAX_INJECTED_STALL {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            stage::enter(stage::CAMPAIGN);
+            return CampaignOutcome::TimedOut {
+                elapsed: start.elapsed(),
+            };
+        }
+        Some(Fault::Panic) | None => {}
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if crate::chaos::fault_at(i) == Some(Fault::Panic) {
+            panic!("chaos: injected panic in campaign {i}");
+        }
+        worker(i, item)
+    }));
+    match result {
+        Ok(Ok(t)) => CampaignOutcome::Ok(t),
+        Ok(Err(e)) => CampaignOutcome::Failed(e),
+        Err(payload) => CampaignOutcome::Panicked {
+            stage: stage::current(),
+            payload: panic_payload(payload),
+        },
+    }
+}
+
+/// [`run_jobs`] with per-campaign fault isolation.
+///
+/// Each `(index, item)` job runs under [`catch_unwind`]; a panic, typed
+/// failure, or deadline overrun is recorded as that slot's
+/// [`CampaignOutcome`] instead of tearing down the fleet. Slots are still
+/// returned in index order, and — because campaign seeds derive from the
+/// index, never from scheduling — every non-faulting slot holds a result
+/// byte-identical to what a clean [`run_jobs`] sweep would produce, for any
+/// worker count.
+///
+/// `deadline` gates the queue: jobs that have not started when it expires
+/// come back as [`CampaignOutcome::TimedOut`] without running, so the
+/// sweep's wall clock is bounded by the deadline plus one in-flight
+/// campaign's grace per worker. Pass [`Deadline::NONE`] for an unbounded
+/// sweep. Cooperative checks *inside* a campaign (engine iterations, replay,
+/// solver polls) are the caller's job: thread the same deadline into the
+/// worker so long stages truncate rather than run out the grace period.
+///
+/// With the `chaos` cargo feature enabled, planned faults
+/// ([`crate::chaos`]) are injected here, keyed by campaign index.
+pub fn run_jobs_isolated<I, T, F>(
+    jobs: usize,
+    items: Vec<I>,
+    deadline: Deadline,
+    worker: F,
+) -> Vec<CampaignRun<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> Result<T, ChainError> + Sync,
+{
+    run_jobs(jobs, items, |i, item| {
+        let start = Instant::now();
+        let outcome = run_one_isolated(i, item, deadline, &worker);
+        CampaignRun {
+            outcome,
+            elapsed: start.elapsed(),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -204,5 +483,120 @@ mod tests {
         // No env manipulation here (tests run in parallel); exercise the
         // default path only.
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn recover_returns_guard_from_poisoned_mutex() {
+        let m = Mutex::new(7);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().expect("first lock");
+            panic!("poison the mutex");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*recover(&m), 7);
+    }
+
+    /// A worker that panics on one index, fails on another, succeeds
+    /// elsewhere — shared by the containment tests.
+    fn faulty(i: usize, x: u64) -> Result<u64, ChainError> {
+        match i {
+            3 => panic!("campaign 3 exploded"),
+            5 => Err(ChainError::BadContract("campaign 5 is malformed".into())),
+            _ => Ok(x * 2),
+        }
+    }
+
+    #[test]
+    fn isolated_contains_panics_and_failures() {
+        let items: Vec<u64> = (0..8).collect();
+        let runs = run_jobs_isolated(4, items, Deadline::NONE, faulty);
+        assert_eq!(runs.len(), 8);
+        for (i, run) in runs.iter().enumerate() {
+            match i {
+                3 => match &run.outcome {
+                    CampaignOutcome::Panicked { stage, payload } => {
+                        assert_eq!(*stage, stage::CAMPAIGN);
+                        assert!(payload.contains("campaign 3 exploded"));
+                    }
+                    other => panic!("slot 3: expected panic, got {other:?}"),
+                },
+                5 => assert_eq!(run.outcome.kind(), "failed"),
+                _ => assert_eq!(run.outcome.as_ok(), Some(&(i as u64 * 2))),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..16).collect();
+        let serial = run_jobs_isolated(1, items.clone(), Deadline::NONE, faulty);
+        let parallel = run_jobs_isolated(8, items, Deadline::NONE, faulty);
+        let strip = |runs: &[CampaignRun<u64>]| {
+            runs.iter()
+                .map(|r| (r.outcome.kind(), r.outcome.as_ok().copied()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&serial), strip(&parallel));
+    }
+
+    #[test]
+    fn isolated_reports_panic_stage_marker() {
+        let runs = run_jobs_isolated(1, vec![0u8], Deadline::NONE, |_, _| -> Result<(), _> {
+            stage::enter(stage::REPLAY);
+            panic!("replay blew up");
+        });
+        match &runs[0].outcome {
+            CampaignOutcome::Panicked { stage, .. } => assert_eq!(*stage, stage::REPLAY),
+            other => panic!("expected panic, got {other:?}"),
+        }
+        // The marker resets at the next campaign on the same thread.
+        let runs = run_jobs_isolated(1, vec![0u8], Deadline::NONE, |_, _| -> Result<(), _> {
+            panic!("no stage entered this time");
+        });
+        match &runs[0].outcome {
+            CampaignOutcome::Panicked { stage, .. } => assert_eq!(*stage, stage::CAMPAIGN),
+            other => panic!("expected panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_gates_unstarted_jobs() {
+        let ran = AtomicUsize::new(0);
+        let runs = run_jobs_isolated(
+            2,
+            (0..6).collect::<Vec<u64>>(),
+            Deadline::after(Duration::ZERO),
+            |_, x| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok::<u64, ChainError>(x)
+            },
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no job should start");
+        assert!(runs
+            .iter()
+            .all(|r| matches!(r.outcome, CampaignOutcome::TimedOut { .. })));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok: CampaignOutcome<u32> = CampaignOutcome::Ok(9);
+        assert!(ok.is_ok());
+        assert_eq!(ok.kind(), "ok");
+        assert_eq!(ok.stage(), "-");
+        assert_eq!(ok.detail(), "");
+        assert_eq!(ok.ok(), Some(9));
+
+        let timed: CampaignOutcome<u32> = CampaignOutcome::TimedOut {
+            elapsed: Duration::from_millis(120),
+        };
+        assert_eq!(timed.kind(), "timed-out");
+        assert!(timed.detail().contains("120ms"));
+
+        let panicked: CampaignOutcome<u32> = CampaignOutcome::Panicked {
+            stage: stage::SOLVE,
+            payload: "boom".into(),
+        };
+        assert_eq!(panicked.stage(), stage::SOLVE);
+        assert!(panicked.detail().contains("panic in solve: boom"));
     }
 }

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! # wasai-core — the WASAI concolic fuzzer (§3)
 //!
@@ -13,6 +15,7 @@
 //! so the baselines and the experiment harness can share the chain setup,
 //! payload templates and coverage metric.
 
+pub mod chaos;
 pub mod clock;
 pub mod config;
 pub mod coverage;
@@ -31,7 +34,10 @@ pub use clock::{CostModel, VirtualClock};
 pub use config::FuzzConfig;
 pub use coverage::BranchSites;
 pub use engine::Engine;
-pub use fleet::{jobs_from_env, run_jobs, run_jobs_timed, FleetStats};
+pub use fleet::{
+    jobs_from_env, run_jobs, run_jobs_isolated, run_jobs_timed, CampaignOutcome, CampaignRun,
+    FleetStats,
+};
 pub use harness::{PreparedTarget, TargetInfo};
 pub use oracle::{ApiUsageOracle, CustomOracle};
 pub use report::{ExploitRecord, FuzzReport, VulnClass};

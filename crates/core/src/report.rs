@@ -70,6 +70,10 @@ pub struct FuzzReport {
     pub smt_queries: u64,
     /// Verdicts of user-registered custom oracles (§5): `(name, finding)`.
     pub custom_findings: Vec<(String, String)>,
+    /// The wall-clock watchdog fired and cut the campaign short: findings
+    /// and coverage are valid but partial (a lower bound, not a verdict of
+    /// cleanliness).
+    pub truncated: bool,
 }
 
 impl FuzzReport {

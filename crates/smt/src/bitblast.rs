@@ -487,6 +487,7 @@ impl<'p> BitBlaster<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deadline::Deadline;
     use crate::sat::SatOutcome;
 
     /// Solve `assertions` and return the model value of `x` if Sat.
@@ -495,7 +496,7 @@ mod tests {
         for &a in assertions {
             bb.assert_true(a);
         }
-        match bb.sat.solve(200_000) {
+        match bb.sat.solve(200_000, Deadline::NONE) {
             SatOutcome::Sat => Some(
                 (0..pool.vars().len() as u32)
                     .map(|v| bb.var_value(v))

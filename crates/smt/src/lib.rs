@@ -45,10 +45,12 @@
 //! ```
 
 pub mod bitblast;
+pub mod deadline;
 pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use deadline::Deadline;
 pub use solver::{check, Budget, Model, SolveResult, SolveStats};
 pub use term::{BvOp, CmpOp, Sort, TermId, TermKind, TermPool};
 

@@ -6,6 +6,15 @@
 //! implements the paper's "at most 3,000 ms in solving an SMT problem"
 //! resource cap (§4) deterministically.
 
+use crate::deadline::Deadline;
+
+/// Search steps (propagate/decide rounds) between wall-clock deadline polls.
+///
+/// Polling costs one `Instant::now()`; at this interval the overhead is
+/// unmeasurable while an expired deadline still stops the search within
+/// microseconds.
+pub const DEADLINE_POLL_INTERVAL: u32 = 1024;
+
 /// A literal: variable index shifted left once, LSB = negated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Lit(pub u32);
@@ -339,8 +348,13 @@ impl SatSolver {
         })
     }
 
-    /// Solve with a conflict budget.
-    pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+    /// Solve with a conflict budget and a cooperative wall-clock deadline.
+    ///
+    /// The deadline is polled every [`DEADLINE_POLL_INTERVAL`] search steps;
+    /// once it passes, the search backtracks to the root and returns
+    /// [`SatOutcome::Unknown`], exactly like conflict exhaustion. With
+    /// [`Deadline::NONE`] the search is fully deterministic.
+    pub fn solve(&mut self, max_conflicts: u64, deadline: Deadline) -> SatOutcome {
         if self.unsat {
             return SatOutcome::Unsat;
         }
@@ -348,10 +362,25 @@ impl SatSolver {
             self.unsat = true;
             return SatOutcome::Unsat;
         }
+        // A query issued after the deadline should not start searching at
+        // all — the caller's watchdog has already fired.
+        if deadline.expired() {
+            self.backtrack(0);
+            return SatOutcome::Unknown;
+        }
         let start_conflicts = self.conflicts;
         let mut restart_unit = 64u64;
         let mut next_restart = self.conflicts + restart_unit;
+        let mut steps_since_poll: u32 = 0;
         loop {
+            steps_since_poll += 1;
+            if steps_since_poll >= DEADLINE_POLL_INTERVAL {
+                steps_since_poll = 0;
+                if deadline.expired() {
+                    self.backtrack(0);
+                    return SatOutcome::Unknown;
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 if self.trail_lim.is_empty() {
@@ -417,7 +446,7 @@ mod tests {
     fn trivial_sat() {
         let mut s = solver_with_vars(2);
         s.add_clause(&[lit(1), lit(2)]);
-        assert_eq!(s.solve(1000), SatOutcome::Sat);
+        assert_eq!(s.solve(1000, Deadline::NONE), SatOutcome::Sat);
         assert!(s.value(0) || s.value(1));
     }
 
@@ -426,7 +455,7 @@ mod tests {
         let mut s = solver_with_vars(1);
         s.add_clause(&[lit(1)]);
         s.add_clause(&[lit(-1)]);
-        assert_eq!(s.solve(1000), SatOutcome::Unsat);
+        assert_eq!(s.solve(1000, Deadline::NONE), SatOutcome::Unsat);
     }
 
     #[test]
@@ -436,7 +465,7 @@ mod tests {
         s.add_clause(&[lit(1)]);
         s.add_clause(&[lit(-1), lit(2)]);
         s.add_clause(&[lit(-2), lit(3)]);
-        assert_eq!(s.solve(1000), SatOutcome::Sat);
+        assert_eq!(s.solve(1000, Deadline::NONE), SatOutcome::Sat);
         assert!(s.value(0) && s.value(1) && s.value(2));
     }
 
@@ -447,7 +476,7 @@ mod tests {
         s.add_clause(&[lit(1)]);
         s.add_clause(&[lit(2)]);
         s.add_clause(&[lit(-1), lit(-2)]);
-        assert_eq!(s.solve(1000), SatOutcome::Unsat);
+        assert_eq!(s.solve(1000, Deadline::NONE), SatOutcome::Unsat);
     }
 
     #[test]
@@ -461,7 +490,7 @@ mod tests {
         xor1(&mut s, 1, 2);
         xor1(&mut s, 2, 3);
         xor1(&mut s, 1, 3);
-        assert_eq!(s.solve(10_000), SatOutcome::Unsat);
+        assert_eq!(s.solve(10_000, Deadline::NONE), SatOutcome::Unsat);
     }
 
     #[test]
@@ -477,7 +506,7 @@ mod tests {
         s.add_clause(&[lit(1), lit(2)]);
         s.add_clause(&[lit(3), lit(4)]);
         s.add_clause(&[lit(-1), lit(-3)]);
-        assert_eq!(s.solve(1_000), SatOutcome::Sat);
+        assert_eq!(s.solve(1_000, Deadline::NONE), SatOutcome::Sat);
     }
 
     #[test]
@@ -485,7 +514,7 @@ mod tests {
         let mut s = solver_with_vars(2);
         s.add_clause(&[lit(1), lit(1), lit(2)]);
         s.add_clause(&[lit(1), lit(-1)]);
-        assert_eq!(s.solve(100), SatOutcome::Sat);
+        assert_eq!(s.solve(100, Deadline::NONE), SatOutcome::Sat);
     }
 
     #[test]
@@ -514,7 +543,7 @@ mod tests {
                 clauses.push(c.clone());
                 s.add_clause(&c);
             }
-            if s.solve(100_000) == SatOutcome::Sat {
+            if s.solve(100_000, Deadline::NONE) == SatOutcome::Sat {
                 for c in &clauses {
                     assert!(
                         c.iter().any(|l| s.value(l.var()) != l.is_neg()),

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use crate::bitblast::BitBlaster;
+use crate::deadline::Deadline;
 use crate::sat::SatOutcome;
 use crate::term::{TermId, TermPool};
 
@@ -12,12 +13,27 @@ use crate::term::{TermId, TermPool};
 pub struct Budget {
     /// Maximum SAT conflicts before giving up with `Unknown`.
     pub max_conflicts: u64,
+    /// Wall-clock watchdog: the SAT search also gives up with `Unknown`
+    /// once this deadline passes. [`Deadline::NONE`] (the default) keeps
+    /// solving fully deterministic.
+    pub deadline: Deadline,
 }
 
 impl Default for Budget {
     fn default() -> Self {
         Budget {
             max_conflicts: 50_000,
+            deadline: Deadline::NONE,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with `max_conflicts` and no wall-clock deadline.
+    pub fn conflicts(max_conflicts: u64) -> Self {
+        Budget {
+            max_conflicts,
+            ..Budget::default()
         }
     }
 }
@@ -95,7 +111,7 @@ pub fn check(pool: &TermPool, assertions: &[TermId], budget: Budget) -> (SolveRe
     for &a in assertions {
         bb.assert_true(a);
     }
-    let outcome = bb.sat.solve(budget.max_conflicts);
+    let outcome = bb.sat.solve(budget.max_conflicts, budget.deadline);
     let stats = SolveStats {
         conflicts: bb.sat.conflicts,
         propagations: bb.sat.propagations,
@@ -168,7 +184,24 @@ mod tests {
         let prod = p.bv(BvOp::Mul, x, x);
         let c = p.bv_const(3, 64);
         let a = p.eq(prod, c);
-        let (res, _) = check(&p, &[a], Budget { max_conflicts: 1 });
+        let (res, _) = check(&p, &[a], Budget::conflicts(1));
+        assert_eq!(res, SolveResult::Unknown);
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_on_hard_instance() {
+        // Same hard instance as above, generous conflict budget, but the
+        // wall-clock watchdog has already fired: the search must give up.
+        let mut p = TermPool::new();
+        let x = p.var("x", 64);
+        let prod = p.bv(BvOp::Mul, x, x);
+        let c = p.bv_const(3, 64);
+        let a = p.eq(prod, c);
+        let budget = Budget {
+            deadline: Deadline::after(std::time::Duration::ZERO),
+            ..Budget::default()
+        };
+        let (res, _) = check(&p, &[a], budget);
         assert_eq!(res, SolveResult::Unknown);
     }
 

@@ -13,7 +13,7 @@
 use std::collections::{HashMap, HashSet};
 
 use wasai_chain::abi::{ParamType, ParamValue};
-use wasai_smt::{BvOp, CmpOp, TermId, TermPool};
+use wasai_smt::{BvOp, CmpOp, Deadline, TermId, TermPool};
 use wasai_vm::{TraceKind, TraceRecord, TraceVal};
 use wasai_wasm::instr::{Instr, InstrClass};
 use wasai_wasm::module::Module;
@@ -24,6 +24,11 @@ use crate::memory::SymMemory;
 
 /// Cap on recorded conditional states per execution (bounds solving work).
 pub const MAX_CONDITIONALS: usize = 512;
+
+/// Trace records replayed between wall-clock deadline checks — frequent
+/// enough that a watchdog fires within milliseconds, rare enough that the
+/// `Instant::now()` syscall never shows up in replay profiles.
+pub const DEADLINE_POLL_RECORDS: usize = 4096;
 
 /// What kind of conditional state produced a constraint (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +70,9 @@ pub struct ReplayOutcome {
     pub branches: HashSet<(u32, u32, u64)>,
     /// Function ids observed starting (the i⃗d chain of §3.5).
     pub func_chain: Vec<u32>,
+    /// Replay stopped early because the wall-clock deadline fired; the
+    /// collected observations cover only a prefix of the trace.
+    pub truncated: bool,
 }
 
 #[derive(Debug, Default)]
@@ -121,6 +129,7 @@ pub struct Replayer<'m> {
     branches: HashSet<(u32, u32, u64)>,
     func_chain: Vec<u32>,
     depths: HashMap<u32, Vec<u32>>,
+    deadline: Deadline,
 }
 
 fn width_of(t: ValType) -> u32 {
@@ -161,12 +170,27 @@ impl<'m> Replayer<'m> {
             branches: HashSet::new(),
             func_chain: Vec::new(),
             depths: HashMap::new(),
+            deadline: Deadline::NONE,
         }
+    }
+
+    /// Attach a wall-clock deadline: [`Replayer::run`] polls it every
+    /// [`DEADLINE_POLL_RECORDS`] trace records and returns a truncated
+    /// outcome when it fires. The default [`Deadline::NONE`] never fires.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Replay a trace and return the collected symbolic observations.
     pub fn run(mut self, trace: &[TraceRecord]) -> ReplayOutcome {
+        let mut truncated = false;
         for (i, record) in trace.iter().enumerate() {
+            if i % DEADLINE_POLL_RECORDS == DEADLINE_POLL_RECORDS - 1 && self.deadline.expired() {
+                truncated = true;
+                break;
+            }
             match record.kind {
                 TraceKind::FuncBegin { func } => self.on_func_begin(func),
                 TraceKind::FuncEnd { func } => self.on_func_end(func),
@@ -192,6 +216,7 @@ impl<'m> Replayer<'m> {
             path: self.path,
             branches: self.branches,
             func_chain: self.func_chain,
+            truncated,
         }
     }
 

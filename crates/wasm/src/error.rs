@@ -1,0 +1,126 @@
+//! The crate-wide error type for bytecode manipulation.
+//!
+//! Wild contracts are adversarial input: decoding, validation, and
+//! instrumentation must reject malformed modules with a typed error rather
+//! than panic inside a fuzzing campaign. [`WasmError`] is the umbrella the
+//! instrumentation pass (and downstream harness code) reports through — the
+//! structural variants cover out-of-range indices that validation normally
+//! rules out but that defensive code paths must not trust.
+
+use std::fmt;
+
+use crate::decode::DecodeError;
+use crate::validate::ValidateError;
+
+/// Any failure while decoding, validating, or instrumenting a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WasmError {
+    /// The binary could not be decoded.
+    Decode(DecodeError),
+    /// The module is not well-typed.
+    Validate(ValidateError),
+    /// A function index has no local function.
+    MissingFunction {
+        /// The out-of-range function index.
+        func: u32,
+    },
+    /// A type index points outside the type section.
+    MissingType {
+        /// The out-of-range type index.
+        type_idx: u32,
+    },
+    /// A local index points outside a function's params + locals.
+    MissingLocal {
+        /// The function whose body referenced the local.
+        func: u32,
+        /// The out-of-range local index.
+        local: u32,
+    },
+    /// A global index points outside imported + defined globals.
+    MissingGlobal {
+        /// The out-of-range global index.
+        global: u32,
+    },
+}
+
+impl fmt::Display for WasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WasmError::Decode(e) => e.fmt(f),
+            WasmError::Validate(e) => e.fmt(f),
+            WasmError::MissingFunction { func } => {
+                write!(f, "function index {func} has no local function")
+            }
+            WasmError::MissingType { type_idx } => {
+                write!(f, "type index {type_idx} is out of range")
+            }
+            WasmError::MissingLocal { func, local } => {
+                write!(f, "local index {local} is out of range in func {func}")
+            }
+            WasmError::MissingGlobal { global } => {
+                write!(f, "global index {global} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WasmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WasmError::Decode(e) => Some(e),
+            WasmError::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for WasmError {
+    fn from(e: DecodeError) -> Self {
+        WasmError::Decode(e)
+    }
+}
+
+impl From<ValidateError> for WasmError {
+    fn from(e: ValidateError) -> Self {
+        WasmError::Validate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_and_displays_sources() {
+        let v = ValidateError {
+            func: Some(2),
+            pc: Some(7),
+            message: "type mismatch".into(),
+        };
+        let e = WasmError::from(v.clone());
+        assert_eq!(e.to_string(), v.to_string());
+        assert!(e.source().is_some());
+
+        let d = DecodeError {
+            offset: 4,
+            message: "bad magic".into(),
+        };
+        let e = WasmError::from(d.clone());
+        assert_eq!(e.to_string(), d.to_string());
+    }
+
+    #[test]
+    fn structural_variants_name_the_index() {
+        assert!(WasmError::MissingFunction { func: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(WasmError::MissingLocal { func: 1, local: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(WasmError::MissingGlobal { global: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(WasmError::MissingType { type_idx: 5 }.source().is_none());
+    }
+}

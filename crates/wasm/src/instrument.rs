@@ -20,10 +20,11 @@
 //!    logged before the call, results after it, and function bodies are
 //!    bracketed by begin/end labels.
 
+use crate::error::WasmError;
 use crate::instr::{Instr, InstrClass};
 use crate::module::{ExportDesc, ImportDesc, Module};
 use crate::types::ValType;
-use crate::validate::{analyze_operands, validate, ValidateError};
+use crate::validate::{analyze_operands, validate};
 
 /// Import namespace used for the trace hooks.
 ///
@@ -189,7 +190,7 @@ impl FuncRewriter<'_> {
         i: &Instr,
         operand_types: &Option<Vec<ValType>>,
         is_final_end: bool,
-    ) {
+    ) -> Result<(), WasmError> {
         self.emit_site(func, pc);
         match i {
             Instr::Call(callee) => {
@@ -235,13 +236,13 @@ impl FuncRewriter<'_> {
             Instr::LocalGet(x) => {
                 // Reading a local twice is side-effect free; log the value
                 // that the original instruction is about to push.
-                let t = local_type_of(module, func, *x);
+                let t = local_type_of(module, func, *x)?;
                 self.out.push(Instr::LocalGet(*x));
                 self.emit_log_top(t);
                 self.out.push(Instr::LocalGet(*x));
             }
             Instr::GlobalGet(x) => {
-                let t = global_type_of(module, *x);
+                let t = global_type_of(module, *x)?;
                 self.out.push(Instr::GlobalGet(*x));
                 self.emit_log_top(t);
                 self.out.push(Instr::GlobalGet(*x));
@@ -268,32 +269,46 @@ impl FuncRewriter<'_> {
                 self.out.push(other.clone());
             }
         }
+        Ok(())
     }
 }
 
-fn local_type_of(module: &Module, func: u32, local: u32) -> ValType {
+fn local_type_of(module: &Module, func: u32, local: u32) -> Result<ValType, WasmError> {
     let f = module
         .local_func(func)
-        .expect("instrumenting a local function");
-    let params = &module.types[f.type_idx as usize].params;
-    if (local as usize) < params.len() {
-        params[local as usize]
+        .ok_or(WasmError::MissingFunction { func })?;
+    let params = &module
+        .types
+        .get(f.type_idx as usize)
+        .ok_or(WasmError::MissingType {
+            type_idx: f.type_idx,
+        })?
+        .params;
+    if let Some(&t) = params.get(local as usize) {
+        Ok(t)
     } else {
-        f.locals[local as usize - params.len()]
+        f.locals
+            .get(local as usize - params.len())
+            .copied()
+            .ok_or(WasmError::MissingLocal { func, local })
     }
 }
 
-fn global_type_of(module: &Module, idx: u32) -> ValType {
+fn global_type_of(module: &Module, idx: u32) -> Result<ValType, WasmError> {
     let mut imported = 0u32;
     for imp in &module.imports {
         if let ImportDesc::Global(g) = imp.desc {
             if imported == idx {
-                return g.val_type;
+                return Ok(g.val_type);
             }
             imported += 1;
         }
     }
-    module.globals[(idx - imported) as usize].ty.val_type
+    module
+        .globals
+        .get((idx - imported) as usize)
+        .map(|g| g.ty.val_type)
+        .ok_or(WasmError::MissingGlobal { global: idx })
 }
 
 /// Instrument every local function of `original`.
@@ -303,8 +318,10 @@ fn global_type_of(module: &Module, idx: u32) -> ValType {
 ///
 /// # Errors
 ///
-/// Returns the validation error if `original` is not a well-typed module.
-pub fn instrument(original: &Module) -> Result<Instrumented, ValidateError> {
+/// Returns [`WasmError::Validate`] when `original` is not a well-typed
+/// module, or a structural [`WasmError`] when a body references an index the
+/// module does not define.
+pub fn instrument(original: &Module) -> Result<Instrumented, WasmError> {
     validate(original)?;
     let pre_imports = original.num_imported_funcs();
     let shift = HOOK_NAMES.len() as u32;
@@ -366,7 +383,13 @@ pub fn instrument(original: &Module) -> Result<Instrumented, ValidateError> {
     for (local_i, func) in original.funcs.iter().enumerate() {
         let orig_idx = pre_imports + local_i as u32;
         let operand_types = analyze_operands(original, orig_idx)?;
-        let params = &original.types[func.type_idx as usize].params;
+        let params = &original
+            .types
+            .get(func.type_idx as usize)
+            .ok_or(WasmError::MissingType {
+                type_idx: func.type_idx,
+            })?
+            .params;
         let scratch_base = (params.len() + func.locals.len()) as u32;
         let mut rw = FuncRewriter {
             hooks,
@@ -376,7 +399,7 @@ pub fn instrument(original: &Module) -> Result<Instrumented, ValidateError> {
         };
         rw.out.push(Instr::I32Const(orig_idx as i32));
         rw.out.push(Instr::Call(hooks.func_begin));
-        let last = func.body.len() - 1;
+        let last = func.body.len().saturating_sub(1);
         for (pc, instr) in func.body.iter().enumerate() {
             rw.rewrite_instr(
                 original,
@@ -385,7 +408,7 @@ pub fn instrument(original: &Module) -> Result<Instrumented, ValidateError> {
                 instr,
                 &operand_types[pc],
                 pc == last,
-            );
+            )?;
         }
         let new_func = &mut module.funcs[local_i];
         new_func.locals.extend_from_slice(&rw.scratch.appended);

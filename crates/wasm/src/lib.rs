@@ -46,6 +46,7 @@ pub mod builder;
 pub mod decode;
 pub mod display;
 pub mod encode;
+pub mod error;
 pub mod instr;
 pub mod instrument;
 pub mod module;
@@ -53,6 +54,7 @@ pub mod types;
 pub mod validate;
 
 pub use builder::ModuleBuilder;
+pub use error::WasmError;
 pub use instr::{Instr, InstrClass, MemArg};
 pub use module::Module;
 pub use types::{BlockType, FuncType, GlobalType, Limits, Mutability, ValType};

@@ -2,14 +2,31 @@
 //!
 //! ```text
 //! wasai audit     <contract.wasm> <contract.abi>  analyze a contract binary
-//! wasai audit-dir <dir> [seed]                    analyze every *.wasm in a directory
+//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE]
+//!                                                 analyze every *.wasm in a directory
 //! wasai gen       <out-dir> [count] [seed]        emit a labeled sample corpus
 //! wasai show      <contract.wasm>                 dump a WAT-like listing
 //! ```
 //!
 //! `audit-dir` fans campaigns out over `WASAI_JOBS` worker threads (default:
 //! available parallelism; `1` forces serial) and reports per-contract
-//! verdicts in directory order regardless of worker count.
+//! verdicts in directory order regardless of worker count. Campaigns are
+//! fault-isolated: a contract that panics the pipeline, hangs the solver, or
+//! fails to validate is triaged and the sweep keeps going. `--deadline-secs`
+//! (or `WASAI_DEADLINE`, seconds) arms a wall-clock watchdog shared by every
+//! stage; `--triage FILE` writes a machine-readable JSON-lines report with
+//! one record per contract:
+//!
+//! ```text
+//! {"contract":"c.wasm","index":3,"outcome":"panicked","stage":"replay",
+//!  "detail":"...","seed":1234,"truncated":false,"elapsed_ms":17}
+//! ```
+//!
+//! Exit codes: `0` — sweep completed, every contract audited cleanly (the
+//! contracts may still be *vulnerable*; findings are verdicts, not errors);
+//! `2` — sweep completed but at least one contract failed, panicked, or
+//! timed out (see the triage report); `1` — fatal usage or I/O error before
+//! the sweep could run.
 //!
 //! The ABI sidecar is one action per line, `name(type,…)` with types from
 //! {name, asset, string, u64, u32, u8, i64, f64}:
@@ -23,7 +40,10 @@ use std::fs;
 use std::process::ExitCode;
 
 use wasai::prelude::*;
+use wasai::wasai_chain::ChainError;
+use wasai::wasai_core::fleet::{self, stage, CampaignOutcome};
 use wasai::wasai_corpus::wild_corpus;
+use wasai::wasai_smt::Deadline;
 use wasai::wasai_wasm::{decode, display, encode};
 
 fn parse_abi(text: &str) -> Result<Abi, String> {
@@ -96,8 +116,43 @@ fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Analyze every `*.wasm` (with `.abi` sidecar) in a directory, in parallel.
-fn audit_dir(dir: &str, seed: u64) -> Result<(), String> {
+/// Minimal JSON string escaping for the triage report (filenames and error
+/// messages only — no nested structures).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Options for `audit-dir` beyond the directory and seed.
+#[derive(Default)]
+struct AuditDirOpts {
+    /// Wall-clock watchdog from `--deadline-secs` (overrides
+    /// `WASAI_DEADLINE`).
+    deadline_secs: Option<f64>,
+    /// Destination for the JSON-lines triage report.
+    triage_path: Option<String>,
+}
+
+/// Analyze every `*.wasm` (with `.abi` sidecar) in a directory, in parallel,
+/// with per-contract fault isolation.
+///
+/// Returns the documented sweep exit code: `0` when every contract audited
+/// cleanly, `2` when the sweep completed but some contracts failed, panicked
+/// or timed out.
+fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, String> {
     let mut wasm_paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
         .map_err(|e| format!("{dir}: {e}"))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -109,71 +164,118 @@ fn audit_dir(dir: &str, seed: u64) -> Result<(), String> {
     if wasm_paths.is_empty() {
         return Err(format!("{dir}: no *.wasm files"));
     }
+    let names: Vec<String> = wasm_paths
+        .iter()
+        .map(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        })
+        .collect();
     let jobs = wasai::wasai_core::jobs_from_env();
+    let deadline = match opts.deadline_secs {
+        Some(secs) if secs > 0.0 => Deadline::after_secs(secs),
+        Some(_) => Deadline::NONE,
+        None => fleet::deadline_from_env(),
+    };
     eprintln!(
-        "auditing {} contracts from {dir} on {jobs} worker(s)",
-        wasm_paths.len()
+        "auditing {} contracts from {dir} on {jobs} worker(s){}",
+        wasm_paths.len(),
+        match deadline.remaining() {
+            Some(d) => format!(", deadline {:.1}s", d.as_secs_f64()),
+            None => String::new(),
+        }
     );
 
-    let (outcomes, stats) = wasai::wasai_core::run_jobs_timed(
-        jobs,
-        wasm_paths,
-        |i, path| {
-            let run = || -> Result<FuzzReport, String> {
-                let bytes = fs::read(&path).map_err(|e| format!("{e}"))?;
-                let module = decode::decode(&bytes).map_err(|e| format!("{e}"))?;
-                let abi_path = path.with_extension("abi");
-                let abi = parse_abi(
-                    &fs::read_to_string(&abi_path)
-                        .map_err(|e| format!("{}: {e}", abi_path.display()))?,
-                )?;
-                Wasai::new(module, abi)
-                    .with_config(FuzzConfig {
-                        rng_seed: seed ^ (i as u64),
-                        ..FuzzConfig::default()
-                    })
-                    .run()
-                    .map_err(|e| e.to_string())
-            };
-            let outcome = run();
-            (path, outcome)
-        },
-        |(_, r)| r.as_ref().map(|r| r.virtual_us).unwrap_or(0),
-    );
+    let start = std::time::Instant::now();
+    let runs = fleet::run_jobs_isolated(jobs, wasm_paths, deadline, |i, path| {
+        stage::enter(stage::PREPARE);
+        let bytes = fs::read(&path).map_err(|e| ChainError::BadContract(e.to_string()))?;
+        let module = decode::decode(&bytes).map_err(|e| ChainError::BadContract(e.to_string()))?;
+        let abi_path = path.with_extension("abi");
+        let abi_text = fs::read_to_string(&abi_path)
+            .map_err(|e| ChainError::BadContract(format!("{}: {e}", abi_path.display())))?;
+        let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
+        Wasai::new(module, abi)
+            .with_config(FuzzConfig {
+                rng_seed: seed ^ (i as u64),
+                deadline,
+                ..FuzzConfig::default()
+            })
+            .run()
+    });
+    let wall = start.elapsed();
 
     let mut vulnerable = 0usize;
-    let mut errors = 0usize;
-    for (path, outcome) in &outcomes {
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        match outcome {
-            Ok(report) if report.findings.is_empty() => {
-                println!("{name}: clean ({} branches)", report.branches);
+    let mut clean = 0usize;
+    let mut failures = 0usize;
+    let mut triage_lines = Vec::with_capacity(runs.len());
+    for (i, (name, run)) in names.iter().zip(&runs).enumerate() {
+        let repro_seed = seed ^ (i as u64);
+        match &run.outcome {
+            CampaignOutcome::Ok(report) => {
+                let truncated = if report.truncated { ", truncated" } else { "" };
+                if report.findings.is_empty() {
+                    clean += 1;
+                    println!("{name}: clean ({} branches{truncated})", report.branches);
+                } else {
+                    vulnerable += 1;
+                    let classes: Vec<String> =
+                        report.findings.iter().map(|c| c.to_string()).collect();
+                    println!("{name}: VULNERABLE — {}{truncated}", classes.join(", "));
+                }
             }
-            Ok(report) => {
-                vulnerable += 1;
-                let classes: Vec<String> = report.findings.iter().map(|c| c.to_string()).collect();
-                println!("{name}: VULNERABLE — {}", classes.join(", "));
-            }
-            Err(e) => {
-                // Per-file failures are reported, not fatal: a directory
-                // sweep should survive one malformed binary.
-                errors += 1;
-                println!("{name}: error — {e}");
+            other => {
+                // Per-contract failures are triaged, not fatal: a sweep
+                // survives one malformed, panicking, or hanging binary.
+                failures += 1;
+                println!("{name}: {} — {}", other.kind(), other.detail());
             }
         }
+        let truncated = run
+            .outcome
+            .as_ok()
+            .map(|r| r.truncated)
+            .unwrap_or(matches!(run.outcome, CampaignOutcome::TimedOut { .. }));
+        triage_lines.push(format!(
+            "{{\"contract\":\"{}\",\"index\":{i},\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{repro_seed},\"truncated\":{truncated},\"elapsed_ms\":{}}}",
+            json_escape(name),
+            run.outcome.kind(),
+            run.outcome.stage(),
+            json_escape(&run.outcome.detail()),
+            run.elapsed.as_millis(),
+        ));
     }
+
+    let stats = wasai::wasai_core::FleetStats {
+        jobs: jobs.max(1),
+        campaigns: runs.len(),
+        virtual_us: runs
+            .iter()
+            .filter_map(|r| r.outcome.as_ok())
+            .map(|r| r.virtual_us)
+            .sum(),
+        wall,
+    };
     println!(
-        "\n{} contracts: {} vulnerable, {} clean, {} errors",
-        outcomes.len(),
+        "\n{} contracts: {} vulnerable, {} clean, {} failed",
+        runs.len(),
         vulnerable,
-        outcomes.len() - vulnerable - errors,
-        errors
+        clean,
+        failures,
     );
     println!("{}", stats.summary());
-    Ok(())
+
+    if let Some(path) = &opts.triage_path {
+        fs::write(path, triage_lines.join("\n") + "\n").map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("triage report written to {path}");
+    }
+
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
@@ -208,25 +310,53 @@ fn show(wasm_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `audit-dir`'s tail: positional `[seed]` plus `--deadline-secs S`
+/// and `--triage FILE` flags, in any order.
+fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> {
+    let mut seed = 0xe05u64;
+    let mut seed_seen = false;
+    let mut opts = AuditDirOpts::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deadline-secs" => {
+                let v = it.next().ok_or("--deadline-secs needs a value")?;
+                opts.deadline_secs =
+                    Some(v.parse().map_err(|e| format!("--deadline-secs {v}: {e}"))?);
+            }
+            "--triage" => {
+                let v = it.next().ok_or("--triage needs a file path")?;
+                opts.triage_path = Some(v.clone());
+            }
+            other if !seed_seen => {
+                seed = other
+                    .parse()
+                    .map_err(|e| format!("bad seed {other:?}: {e}"))?;
+                seed_seen = true;
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok((seed, opts))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi>\n  wasai audit-dir <dir> [seed]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
-    let result = match args.get(1).map(String::as_str) {
-        Some("audit") if args.len() == 4 => audit(&args[2], &args[3]),
-        Some("audit-dir") if args.len() >= 3 => {
-            let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0xe05);
-            audit_dir(&args[2], seed)
-        }
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi>\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
+    let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
+        Some("audit") if args.len() == 4 => audit(&args[2], &args[3]).map(|()| ExitCode::SUCCESS),
+        Some("audit-dir") if args.len() >= 3 => parse_audit_dir_args(&args[3..])
+            .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
         Some("gen") if args.len() >= 3 => {
             let count = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
             let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
-            gen(&args[2], count, seed)
+            gen(&args[2], count, seed).map(|()| ExitCode::SUCCESS)
         }
-        Some("show") if args.len() == 3 => show(&args[2]),
+        Some("show") if args.len() == 3 => show(&args[2]).map(|()| ExitCode::SUCCESS),
         _ => Err(usage.to_string()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE

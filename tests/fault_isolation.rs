@@ -1,0 +1,364 @@
+//! Fault isolation: one broken, panicking, or hanging contract must never
+//! take down a sweep, and the survivors' results must be byte-identical to
+//! a clean run's — for any worker count.
+//!
+//! The subprocess tests drive the real `wasai audit-dir` binary over a
+//! malformed corpus (truncated binary, non-validating module, missing ABI
+//! sidecar, fuel-exhausting loop) and check the documented triage contract:
+//! exit code 2, one JSON-lines record per contract, failures named with
+//! stage and repro seed. The `chaos`-gated tests exercise the injection
+//! harness (`cargo test --features chaos --test fault_isolation`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use wasai::prelude::*;
+use wasai::wasai_wasm::instr::Instr;
+use wasai::wasai_wasm::types::{BlockType, ValType::*};
+use wasai::wasai_wasm::{encode, ModuleBuilder};
+
+/// A fresh scratch directory under the target dir (no tempfile dependency;
+/// target/ is already gitignored and writable).
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("test-scratch")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const TRANSFER_ABI: &str = "transfer(name,name,asset,string)\n";
+
+/// Write a well-formed contract that validates and runs.
+fn write_good_contract(dir: &Path, name: &str) {
+    let mut b = ModuleBuilder::with_memory(1);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(0),
+            Instr::I64Ne,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    b.export_func("apply", apply);
+    fs::write(dir.join(format!("{name}.wasm")), encode::encode(&b.build())).expect("write wasm");
+    fs::write(dir.join(format!("{name}.abi")), TRANSFER_ABI).expect("write abi");
+}
+
+/// Write a fuel-exhausting contract: apply() spins until the VM cuts it off.
+fn write_spinning_contract(dir: &Path, name: &str) {
+    let mut b = ModuleBuilder::with_memory(1);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::Loop(BlockType::Empty),
+            Instr::Br(0),
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    b.export_func("apply", apply);
+    fs::write(dir.join(format!("{name}.wasm")), encode::encode(&b.build())).expect("write wasm");
+    fs::write(dir.join(format!("{name}.abi")), TRANSFER_ABI).expect("write abi");
+}
+
+/// Populate `dir` with three good contracts plus every malformed shape the
+/// sweep must survive. Broken names sort after the good ones so the good
+/// contracts keep the same indices (and thus campaign seeds) as a clean run.
+fn write_malformed_corpus(dir: &Path) {
+    write_good_contract(dir, "a_good_0");
+    write_good_contract(dir, "a_good_1");
+    write_spinning_contract(dir, "a_spin_2");
+    // Truncated binary: fails in the decoder.
+    fs::write(dir.join("z_truncated.wasm"), b"\0asm\x01\0\0").expect("write wasm");
+    fs::write(dir.join("z_truncated.abi"), TRANSFER_ABI).expect("write abi");
+    // Non-validating module: decodes, then fails instrumentation-validation.
+    let mut b = ModuleBuilder::new();
+    b.func(&[], &[], &[], vec![Instr::I32Add, Instr::End]);
+    fs::write(dir.join("z_unvalidatable.wasm"), encode::encode(&b.build())).expect("write wasm");
+    fs::write(dir.join("z_unvalidatable.abi"), TRANSFER_ABI).expect("write abi");
+    // Missing ABI sidecar.
+    write_good_contract(dir, "z_noabi");
+    fs::remove_file(dir.join("z_noabi.abi")).expect("remove abi");
+}
+
+struct SweepRun {
+    exit_code: i32,
+    /// Per-contract verdict lines (stdout up to the summary blank line).
+    verdicts: Vec<String>,
+    triage: Vec<String>,
+}
+
+/// Run `wasai audit-dir` as a subprocess and split its output.
+fn run_audit_dir(dir: &Path, jobs: &str, extra_env: &[(&str, &str)]) -> SweepRun {
+    let triage_path = dir.join(format!("triage-{jobs}.jsonl"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_wasai"));
+    cmd.arg("audit-dir")
+        .arg(dir)
+        .arg("5")
+        .arg("--deadline-secs")
+        .arg("300")
+        .arg("--triage")
+        .arg(&triage_path)
+        .env("WASAI_JOBS", jobs);
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn wasai");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let verdicts = stdout
+        .lines()
+        .take_while(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    let triage = fs::read_to_string(&triage_path)
+        .expect("triage report exists")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    SweepRun {
+        exit_code: out.status.code().expect("exit code"),
+        verdicts,
+        triage,
+    }
+}
+
+#[test]
+fn sweep_survives_malformed_corpus_and_triages_each_failure() {
+    let dir = scratch_dir("malformed");
+    write_malformed_corpus(&dir);
+    let run = run_audit_dir(&dir, "1", &[]);
+
+    // Documented triage exit code: sweep completed, some contracts failed.
+    assert_eq!(run.exit_code, 2, "verdicts: {:?}", run.verdicts);
+
+    // Every contract — good and broken — has a verdict line and a triage
+    // record.
+    assert_eq!(run.verdicts.len(), 6);
+    assert_eq!(run.triage.len(), 6);
+
+    let triage_for = |name: &str| -> &String {
+        run.triage
+            .iter()
+            .find(|l| l.contains(&format!("\"contract\":\"{name}\"")))
+            .unwrap_or_else(|| panic!("no triage line for {name}"))
+    };
+    // The failures are named, attributed to the prepare stage, and carry the
+    // repro seed (sweep seed 5 XOR sorted index).
+    for (name, index) in [("z_truncated.wasm", 4), ("z_unvalidatable.wasm", 5)] {
+        let line = triage_for(name);
+        assert!(line.contains("\"outcome\":\"failed\""), "{line}");
+        assert!(line.contains("\"stage\":\"prepare\""), "{line}");
+        assert!(line.contains(&format!("\"seed\":{}", 5 ^ index)), "{line}");
+    }
+    let noabi = triage_for("z_noabi.wasm");
+    assert!(noabi.contains("\"outcome\":\"failed\""), "{noabi}");
+    assert!(noabi.contains("z_noabi.abi"), "{noabi}");
+    // The fuel-exhausting contract completes: the virtual clock bounds it.
+    let spin = triage_for("a_spin_2.wasm");
+    assert!(spin.contains("\"outcome\":\"ok\""), "{spin}");
+
+    // Good contracts were audited, not skipped.
+    for name in ["a_good_0.wasm", "a_good_1.wasm"] {
+        assert!(
+            run.verdicts.iter().any(|l| l.starts_with(name)),
+            "no verdict for {name}: {:?}",
+            run.verdicts
+        );
+    }
+
+    // The survivors' verdict lines are byte-identical to a clean sweep over
+    // only the good contracts (broken names sort last, so indices + seeds of
+    // the good contracts match).
+    let clean_dir = scratch_dir("clean");
+    write_good_contract(&clean_dir, "a_good_0");
+    write_good_contract(&clean_dir, "a_good_1");
+    write_spinning_contract(&clean_dir, "a_spin_2");
+    let clean = run_audit_dir(&clean_dir, "1", &[]);
+    assert_eq!(clean.exit_code, 0);
+    for clean_line in &clean.verdicts {
+        assert!(
+            run.verdicts.contains(clean_line),
+            "survivor line changed: {clean_line:?} not in {:?}",
+            run.verdicts
+        );
+    }
+}
+
+#[test]
+fn malformed_sweep_is_identical_at_any_worker_count() {
+    let dir = scratch_dir("malformed-jobs");
+    write_malformed_corpus(&dir);
+    let serial = run_audit_dir(&dir, "1", &[]);
+    let parallel = run_audit_dir(&dir, "4", &[]);
+    assert_eq!(serial.exit_code, parallel.exit_code);
+    assert_eq!(serial.verdicts, parallel.verdicts);
+    // Triage records match apart from wall-clock timings.
+    let strip_elapsed = |lines: &[String]| -> Vec<String> {
+        lines
+            .iter()
+            .map(|l| l[..l.find("\"elapsed_ms\"").expect("elapsed field")].to_string())
+            .collect()
+    };
+    assert_eq!(
+        strip_elapsed(&serial.triage),
+        strip_elapsed(&parallel.triage)
+    );
+}
+
+#[test]
+fn expired_deadline_truncates_a_campaign() {
+    let mut b = ModuleBuilder::with_memory(1);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(0),
+            Instr::I64Ne,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    b.export_func("apply", apply);
+    let abi = Abi::new(vec![ActionDecl::transfer()]);
+    let report = Wasai::new(b.build(), abi)
+        .with_config(FuzzConfig {
+            deadline: wasai::wasai_smt::Deadline::after(std::time::Duration::ZERO),
+            ..FuzzConfig::quick()
+        })
+        .run()
+        .expect("campaign still completes");
+    assert!(report.truncated, "watchdog must mark the report partial");
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::time::{Duration, Instant};
+
+    use wasai::wasai_core::chaos::{clear, install, ChaosPlan, Fault};
+    use wasai::wasai_corpus::{wild_corpus, WildRates};
+    use wasai::wasai_smt::Deadline;
+    use wasai_bench::rq4_analyze_isolated;
+
+    /// The chaos plan is process-global; serialize in-process chaos tests.
+    fn chaos_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Survivor slots of a chaotic run must be byte-identical to the clean
+    /// run's, at every worker count.
+    fn assert_survivors_identical(fault: Fault, index: usize) {
+        let _guard = chaos_lock();
+        let corpus = wild_corpus(11, 6, WildRates::default());
+        clear();
+        let baseline = rq4_analyze_isolated(&corpus, 11, 1, Deadline::NONE);
+        for jobs in [1, 4] {
+            install(ChaosPlan::new(vec![(index, fault)]));
+            let chaotic =
+                rq4_analyze_isolated(&corpus, 11, jobs, Deadline::after(Duration::from_secs(300)));
+            clear();
+            assert_eq!(chaotic.len(), baseline.len());
+            for (i, (b, c)) in baseline.iter().zip(&chaotic).enumerate() {
+                if i == index {
+                    assert_ne!(c.outcome.kind(), "ok", "fault not injected at {index}");
+                } else {
+                    assert_eq!(
+                        b.outcome, c.outcome,
+                        "slot {i} changed under {fault} at {index} with {jobs} job(s)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_leaves_survivors_byte_identical() {
+        assert_survivors_identical(Fault::Panic, 1);
+    }
+
+    #[test]
+    fn injected_trap_leaves_survivors_byte_identical() {
+        assert_survivors_identical(Fault::Trap, 4);
+    }
+
+    #[test]
+    fn injected_stall_times_out_within_deadline_plus_grace() {
+        let _guard = chaos_lock();
+        let corpus = wild_corpus(3, 4, WildRates::default());
+        install(ChaosPlan::new(vec![(0, Fault::SolverStall)]));
+        let start = Instant::now();
+        let runs = rq4_analyze_isolated(&corpus, 3, 2, Deadline::after(Duration::from_millis(300)));
+        clear();
+        let wall = start.elapsed();
+        match &runs[0].outcome {
+            wasai::wasai_core::CampaignOutcome::TimedOut { elapsed } => {
+                assert!(
+                    *elapsed >= Duration::from_millis(250),
+                    "stalled {elapsed:?}"
+                );
+            }
+            other => panic!("expected timeout, got {}", other.detail()),
+        }
+        // Deadline (300ms) + one campaign's grace; campaigns here are
+        // milliseconds, so seconds of headroom is conservative.
+        assert!(wall < Duration::from_secs(30), "sweep took {wall:?}");
+    }
+
+    #[test]
+    fn cli_chaos_panic_is_triaged_and_survivors_match() {
+        // Subprocess: the WASAI_CHAOS env plan drives the binary (built with
+        // the same `chaos` feature as this test).
+        let dir = scratch_dir("cli-chaos");
+        write_good_contract(&dir, "a_good_0");
+        write_good_contract(&dir, "a_good_1");
+        write_good_contract(&dir, "a_good_2");
+        let clean = run_audit_dir(&dir, "1", &[]);
+        assert_eq!(clean.exit_code, 0);
+        for jobs in ["1", "4"] {
+            let chaotic = run_audit_dir(&dir, jobs, &[("WASAI_CHAOS", "panic@1")]);
+            assert_eq!(chaotic.exit_code, 2);
+            let line = chaotic
+                .triage
+                .iter()
+                .find(|l| l.contains("\"index\":1"))
+                .expect("triage line for campaign 1");
+            assert!(line.contains("\"outcome\":\"panicked\""), "{line}");
+            assert!(line.contains("\"stage\":\"campaign\""), "{line}");
+            assert!(line.contains(&format!("\"seed\":{}", 5 ^ 1)), "{line}");
+            // Survivors: verdict lines for the other two contracts are
+            // byte-identical to the clean run's.
+            for name in ["a_good_0.wasm", "a_good_2.wasm"] {
+                let clean_line = clean
+                    .verdicts
+                    .iter()
+                    .find(|l| l.starts_with(name))
+                    .expect("clean verdict");
+                assert!(
+                    chaotic.verdicts.contains(clean_line),
+                    "survivor {name} changed with {jobs} job(s): {:?}",
+                    chaotic.verdicts
+                );
+            }
+        }
+    }
+}
