@@ -44,7 +44,7 @@ pub struct EosFuzzer {
     rng: StdRng,
     clock: VirtualClock,
     explored: HashSet<BranchKey>,
-    coverage_series: Vec<(u64, usize)>,
+    coverage_series: wasai_core::CoverageSeries,
     iterations: u64,
     // Oracle state.
     any_tx_succeeded: bool,
@@ -83,7 +83,7 @@ impl EosFuzzer {
             chain,
             clock: VirtualClock::new(),
             explored: HashSet::new(),
-            coverage_series: Vec::new(),
+            coverage_series: wasai_core::CoverageSeries::new(),
             iterations: 0,
             any_tx_succeeded: false,
             fake_apply_ran: false,
@@ -121,7 +121,7 @@ impl EosFuzzer {
         }
         let branches = self.explored.len();
         let mut coverage_series = std::mem::take(&mut self.coverage_series);
-        coverage_series.push((self.cfg.timeout_us.max(self.clock.micros()), branches));
+        coverage_series.push(self.cfg.timeout_us.max(self.clock.micros()), branches);
         FuzzReport {
             findings,
             exploits,
@@ -249,7 +249,7 @@ impl EosFuzzer {
             self.stall += 1;
         }
         self.coverage_series
-            .push((self.clock.micros(), self.explored.len()));
+            .push(self.clock.micros(), self.explored.len());
     }
 }
 

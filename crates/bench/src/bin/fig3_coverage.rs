@@ -11,22 +11,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use wasai_baselines::EosFuzzer;
-use wasai_core::{PreparedTarget, TargetInfo, Wasai};
+use wasai_core::{CoverageSeries, PreparedTarget, TargetInfo, Wasai};
 use wasai_corpus::{generate, inject_verification, Blueprint, GateKind, RewardKind};
-
-/// Sum per-contract coverage series at fixed time points.
-fn cumulative(series: &[Vec<(u64, usize)>], at_us: u64) -> usize {
-    series
-        .iter()
-        .map(|s| {
-            s.iter()
-                .take_while(|(t, _)| *t <= at_us)
-                .map(|(_, b)| *b)
-                .last()
-                .unwrap_or(0)
-        })
-        .sum()
-}
 
 fn main() {
     let n = wasai_bench::env_count("WASAI_FIG3_CONTRACTS", 20);
@@ -124,8 +110,8 @@ fn main() {
     let mut final_e = 0;
     for t in checkpoints {
         let at = t * 1_000_000;
-        final_w = cumulative(&wasai_series, at);
-        final_e = cumulative(&eosfuzzer_series, at);
+        final_w = CoverageSeries::cumulative_at(&wasai_series, at);
+        final_e = CoverageSeries::cumulative_at(&eosfuzzer_series, at);
         println!("{t:>8} {final_w:>12} {final_e:>12}");
     }
     let ratio = final_w as f64 / final_e.max(1) as f64;

@@ -11,7 +11,7 @@
 //! `WASAI_DEADLINE` wall-clock watchdog (seconds; unset = no watchdog) is
 //! counted in the triage summary and the rest of the study is unaffected.
 
-use wasai_core::{fleet, CampaignOutcome, FleetStats, VulnClass};
+use wasai_core::{fleet, CampaignOutcome, FleetStats, Metrics, VulnClass};
 use wasai_corpus::{wild_corpus, Lifecycle, WildRates};
 
 fn main() {
@@ -25,7 +25,12 @@ fn main() {
 
     let corpus = wild_corpus(seed, count, WildRates::default());
     let start = std::time::Instant::now();
-    let runs = wasai_bench::rq4_analyze_isolated(&corpus, seed, jobs, deadline);
+    // Campaigns run traced into the Metrics aggregator, so the triage counts
+    // and the per-stage effort summary fall out of one event stream instead
+    // of ad-hoc bookkeeping.
+    let mut metrics = Metrics::new();
+    let runs =
+        wasai_bench::rq4_analyze_isolated_traced(&corpus, seed, jobs, deadline, &mut metrics);
     let stats = FleetStats {
         jobs: jobs.max(1),
         campaigns: runs.len(),
@@ -42,7 +47,6 @@ fn main() {
     let mut verified_patched = 0usize;
     let mut still_operating = 0usize;
     let mut unpatched_operating = 0usize;
-    let mut triage = std::collections::BTreeMap::<&'static str, usize>::new();
     let mut analyzed = 0usize;
     for (i, (w, run)) in corpus.iter().zip(&runs).enumerate() {
         let outcome = match &run.outcome {
@@ -51,7 +55,6 @@ fn main() {
                 o
             }
             other => {
-                *triage.entry(other.kind()).or_default() += 1;
                 eprintln!(
                     "triage: contract {i} {} in stage {} — {}",
                     other.kind(),
@@ -85,8 +88,12 @@ fn main() {
 
     println!("\n=== RQ4: Vulnerabilities in the wild (§4.4) ===");
     println!("analyzed contracts:        {analyzed} of {count}");
-    if !triage.is_empty() {
-        let parts: Vec<String> = triage.iter().map(|(k, n)| format!("{n} {k}")).collect();
+    if metrics.total_aborted() > 0 {
+        let parts: Vec<String> = metrics
+            .aborted
+            .iter()
+            .map(|(k, n)| format!("{n} {k}"))
+            .collect();
         println!("triaged (not analyzed):    {}", parts.join(", "));
     }
     println!(
@@ -117,5 +124,6 @@ fn main() {
     );
     println!("patched (verified clean):  {verified_patched}   [paper: 72 of 413]");
     println!("exposed (operating, unpatched): {unpatched_operating}   [paper: 341 contracts]");
-    println!("\n{}", stats.summary());
+    println!("\n{}", metrics.render());
+    println!("{}", stats.summary());
 }

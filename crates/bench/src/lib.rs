@@ -25,7 +25,7 @@ use std::sync::Arc;
 use wasai_baselines::{eosafe_analyze, EosFuzzer, EosafeConfig};
 use wasai_core::{
     jobs_from_env, run_jobs, run_jobs_isolated, run_jobs_timed, CampaignRun, FleetStats,
-    FuzzConfig, PreparedTarget, TargetInfo, VulnClass, Wasai,
+    FuzzConfig, PreparedTarget, TargetInfo, TelemetryEvent, TelemetrySink, VulnClass, Wasai,
 };
 use wasai_corpus::{BenchmarkSample, Lifecycle, WildContract};
 use wasai_smt::Deadline;
@@ -326,34 +326,114 @@ pub fn rq4_analyze_isolated(
     jobs: usize,
     deadline: Deadline,
 ) -> Vec<CampaignRun<WildOutcome>> {
-    run_jobs_isolated(jobs, corpus.iter().collect(), deadline, |i, w| {
-        let config = |s: u64| FuzzConfig {
-            deadline,
-            ..bench_fuzz_config(s)
-        };
-        let report = Wasai::new(w.deployed.module.clone(), w.deployed.abi.clone())
-            .with_config(config(seed ^ (i as u64)))
-            .run()?;
-        let mut virtual_us = report.virtual_us;
-        let mut latest_clean = None;
-        if report.is_vulnerable() && w.lifecycle == Lifecycle::OperatingPatched {
-            // "we further applied WASAI to analyze their latest version
-            // to investigate whether the vulnerability has been patched"
-            // (§4.4, footnote 1).
-            if let Some(latest) = &w.latest {
-                let re = Wasai::new(latest.module.clone(), latest.abi.clone())
-                    .with_config(config(seed ^ 0xff ^ (i as u64)))
-                    .run()?;
-                virtual_us += re.virtual_us;
-                latest_clean = Some(!re.is_vulnerable());
+    strip_events(run_jobs_isolated(
+        jobs,
+        corpus.iter().collect(),
+        deadline,
+        |i, w| rq4_one(i, w, seed, deadline, false),
+    ))
+}
+
+/// [`rq4_analyze_isolated`] with telemetry: every campaign runs traced, and
+/// after the index-keyed merge each contract's event stream — or a
+/// `CampaignAborted` record for slots that died — is fed to `sink` in index
+/// order. The sink therefore observes the exact same stream for every
+/// `jobs` value.
+pub fn rq4_analyze_isolated_traced(
+    corpus: &[WildContract],
+    seed: u64,
+    jobs: usize,
+    deadline: Deadline,
+    sink: &mut dyn TelemetrySink,
+) -> Vec<CampaignRun<WildOutcome>> {
+    let runs = run_jobs_isolated(jobs, corpus.iter().collect(), deadline, |i, w| {
+        rq4_one(i, w, seed, deadline, true)
+    });
+    for (i, run) in runs.iter().enumerate() {
+        match &run.outcome {
+            wasai_core::CampaignOutcome::Ok((_, events)) => {
+                for ev in events {
+                    sink.record(ev.clone());
+                }
             }
+            other => sink.record(TelemetryEvent::CampaignAborted {
+                campaign: i,
+                stage: other.stage().to_string(),
+                outcome: other.kind().to_string(),
+                vtime: 0,
+            }),
         }
-        Ok(WildOutcome {
+    }
+    strip_events(runs)
+}
+
+/// One RQ4 contract: deployed-version analysis plus, when flagged and
+/// patched-while-operating, the latest-version re-analysis (§4.4).
+fn rq4_one(
+    i: usize,
+    w: &WildContract,
+    seed: u64,
+    deadline: Deadline,
+    traced: bool,
+) -> Result<(WildOutcome, Vec<TelemetryEvent>), wasai_chain::ChainError> {
+    let config = |s: u64| FuzzConfig {
+        deadline,
+        ..bench_fuzz_config(s)
+    };
+    let mut events = Vec::new();
+    let mut run = |module: &wasai_wasm::Module, abi: &wasai_chain::abi::Abi, s: u64| {
+        let w = Wasai::new(module.clone(), abi.clone()).with_config(config(s));
+        if traced {
+            let (report, ev) = w.run_traced()?;
+            events.extend(ev);
+            Ok(report)
+        } else {
+            w.run()
+        }
+    };
+    let report = run(&w.deployed.module, &w.deployed.abi, seed ^ (i as u64))?;
+    let mut virtual_us = report.virtual_us;
+    let mut latest_clean = None;
+    if report.is_vulnerable() && w.lifecycle == Lifecycle::OperatingPatched {
+        // "we further applied WASAI to analyze their latest version
+        // to investigate whether the vulnerability has been patched"
+        // (§4.4, footnote 1).
+        if let Some(latest) = &w.latest {
+            let re = run(&latest.module, &latest.abi, seed ^ 0xff ^ (i as u64))?;
+            virtual_us += re.virtual_us;
+            latest_clean = Some(!re.is_vulnerable());
+        }
+    }
+    Ok((
+        WildOutcome {
             findings: report.findings,
             latest_clean,
             virtual_us,
+        },
+        events,
+    ))
+}
+
+/// Drop the per-campaign event payloads from traced RQ4 runs, keeping the
+/// outcome shape the untraced consumers expect.
+fn strip_events(
+    runs: Vec<CampaignRun<(WildOutcome, Vec<TelemetryEvent>)>>,
+) -> Vec<CampaignRun<WildOutcome>> {
+    runs.into_iter()
+        .map(|r| CampaignRun {
+            outcome: match r.outcome {
+                wasai_core::CampaignOutcome::Ok((o, _)) => wasai_core::CampaignOutcome::Ok(o),
+                wasai_core::CampaignOutcome::Failed(e) => wasai_core::CampaignOutcome::Failed(e),
+                wasai_core::CampaignOutcome::Panicked { stage, payload } => {
+                    wasai_core::CampaignOutcome::Panicked { stage, payload }
+                }
+                wasai_core::CampaignOutcome::TimedOut { elapsed } => {
+                    wasai_core::CampaignOutcome::TimedOut { elapsed }
+                }
+            },
+            elapsed: r.elapsed,
         })
-    })
+        .collect()
 }
 
 /// Render an accuracy table in the paper's row format.

@@ -16,6 +16,74 @@ use wasai_wasm::Module;
 /// A covered branch: `(func, pc, direction)`.
 pub type BranchKey = (u32, u32, u64);
 
+/// Cumulative coverage over virtual time: a monotone series of
+/// `(virtual_us, branches)` samples.
+///
+/// First-class so every consumer — the engine, the baselines, Figure 3's
+/// bucketing, telemetry — shares one representation and one interpolation
+/// rule instead of each keeping private `Vec<(u64, usize)>` bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageSeries {
+    points: Vec<(u64, usize)>,
+}
+
+impl CoverageSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        CoverageSeries::default()
+    }
+
+    /// Append a sample at `virtual_us` with cumulative `branches`.
+    pub fn push(&mut self, virtual_us: u64, branches: usize) {
+        self.points.push((virtual_us, branches));
+    }
+
+    /// The raw `(virtual_us, branches)` samples, in recording order.
+    pub fn points(&self) -> &[(u64, usize)] {
+        &self.points
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Cumulative branches at virtual time `at_us` (step interpolation:
+    /// the last sample at or before `at_us`, 0 before the first sample).
+    pub fn value_at(&self, at_us: u64) -> usize {
+        self.points
+            .iter()
+            .take_while(|&&(t, _)| t <= at_us)
+            .last()
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    }
+
+    /// The final cumulative branch count (0 when empty).
+    pub fn final_branches(&self) -> usize {
+        self.points.last().map(|&(_, b)| b).unwrap_or(0)
+    }
+
+    /// Sum of [`CoverageSeries::value_at`] across many series — Figure 3's
+    /// aggregate coverage at one time bucket.
+    pub fn cumulative_at(series: &[CoverageSeries], at_us: u64) -> usize {
+        series.iter().map(|s| s.value_at(at_us)).sum()
+    }
+}
+
+impl FromIterator<(u64, usize)> for CoverageSeries {
+    fn from_iter<I: IntoIterator<Item = (u64, usize)>>(iter: I) -> Self {
+        CoverageSeries {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
 /// How a trace operand at a branch site maps to a direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SiteKind {
@@ -159,5 +227,22 @@ mod tests {
         let branches = branches_in_trace(&m, &trace);
         assert_eq!(branches.len(), 1, "apply branches are excluded");
         assert!(branches.contains(&(action, 2, 0)));
+    }
+
+    #[test]
+    fn coverage_series_step_interpolates() {
+        let s: CoverageSeries = [(10, 1), (20, 3), (40, 7)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.value_at(0), 0);
+        assert_eq!(s.value_at(10), 1);
+        assert_eq!(s.value_at(19), 1);
+        assert_eq!(s.value_at(20), 3);
+        assert_eq!(s.value_at(1_000), 7);
+        assert_eq!(s.final_branches(), 7);
+        let other: CoverageSeries = [(5, 2)].into_iter().collect();
+        assert_eq!(CoverageSeries::cumulative_at(&[s, other], 20), 5);
+        assert_eq!(CoverageSeries::new().value_at(99), 0);
+        assert_eq!(CoverageSeries::new().final_branches(), 0);
     }
 }

@@ -22,7 +22,7 @@ use wasai_symex::{constraint_vars, flip_queries, seed_from_model, Replayer};
 
 use crate::clock::VirtualClock;
 use crate::config::FuzzConfig;
-use crate::coverage::BranchKey;
+use crate::coverage::{BranchKey, CoverageSeries};
 use crate::dbg::DependencyGraph;
 use crate::fleet::stage;
 use crate::harness::{self, accounts, PreparedTarget, TargetInfo};
@@ -31,6 +31,7 @@ use crate::pool::SeedPool;
 use crate::report::FuzzReport;
 use crate::scanner::{PayloadKind, Scanner};
 use crate::seed::{random_seed, random_value};
+use crate::telemetry::{self, SmtOutcome, Stage, TelemetryEvent, TelemetrySink};
 
 /// The WASAI fuzzing engine.
 #[derive(Debug)]
@@ -46,12 +47,13 @@ pub struct Engine {
     explored: HashSet<BranchKey>,
     attempted: HashMap<BranchKey, u32>,
     action_funcs: HashMap<Name, u32>,
-    coverage_series: Vec<(u64, usize)>,
+    coverage_series: CoverageSeries,
     iterations: u64,
     smt_queries: u64,
     stall: u64,
     transfer_round: u64,
     custom_oracles: Vec<Box<dyn CustomOracle>>,
+    sink: Option<Box<dyn TelemetrySink>>,
     truncated: bool,
 }
 
@@ -90,12 +92,13 @@ impl Engine {
             explored: HashSet::new(),
             attempted: HashMap::new(),
             action_funcs: HashMap::new(),
-            coverage_series: Vec::new(),
+            coverage_series: CoverageSeries::new(),
             iterations: 0,
             smt_queries: 0,
             stall: 0,
             transfer_round: 0,
             custom_oracles: Vec::new(),
+            sink: None,
             truncated: false,
         })
     }
@@ -105,11 +108,34 @@ impl Engine {
         self.custom_oracles.push(oracle);
     }
 
+    /// Attach a telemetry sink for this campaign.
+    ///
+    /// Without a sink (the default) the engine skips event construction
+    /// entirely, so untraced campaigns are byte-for-byte what they were
+    /// before telemetry existed. Events carry virtual-clock timestamps only,
+    /// so traced campaigns remain deterministic across worker counts.
+    pub fn set_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Emit one event if a sink is attached.
+    fn emit(&mut self, event: TelemetryEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(event);
+        }
+    }
+
     /// Run the campaign to completion and produce the report.
     pub fn run(mut self) -> FuzzReport {
         // One Arc bump pins the action declarations for the whole campaign;
         // the hot loop below borrows them instead of cloning per iteration.
         let prepared = self.prepared.clone();
+
+        self.emit(TelemetryEvent::CampaignStarted {
+            seed: self.cfg.rng_seed,
+            actions: prepared.info.abi.actions.len(),
+            vtime: 0,
+        });
 
         // Algorithm 1, line 2: fill `seeds` with random data.
         for decl in &prepared.info.abi.actions {
@@ -139,14 +165,25 @@ impl Engine {
         self.payload_sweep();
 
         let (findings, exploits) = self.scanner.verdicts();
-        let custom_findings = self
+        let custom_findings: Vec<(String, String)> = self
             .custom_oracles
             .iter()
             .filter_map(|o| o.verdict().map(|v| (o.name().to_string(), v)))
             .collect();
         let branches = self.explored.len();
+        if self.sink.is_some() {
+            for ev in telemetry::oracle_verdicts(&findings, &custom_findings, self.clock.micros()) {
+                self.emit(ev);
+            }
+            self.emit(TelemetryEvent::CampaignFinished {
+                iterations: self.iterations,
+                branches,
+                truncated: self.truncated,
+                vtime: self.clock.micros(),
+            });
+        }
         let mut coverage_series = std::mem::take(&mut self.coverage_series);
-        coverage_series.push((self.cfg.timeout_us.max(self.clock.micros()), branches));
+        coverage_series.push(self.cfg.timeout_us.max(self.clock.micros()), branches);
         FuzzReport {
             findings,
             exploits,
@@ -319,8 +356,14 @@ impl Engine {
             Err(e) => e.receipt,
         };
         stage::enter(stage::CAMPAIGN);
+        let vtime_before = self.clock.micros();
         self.clock
             .charge_execution(&self.cfg.cost, receipt.steps_used);
+        self.emit(TelemetryEvent::StageTiming {
+            stage: Stage::Execute,
+            dur_us: self.clock.micros() - vtime_before,
+            vtime: self.clock.micros(),
+        });
 
         // Scanner: guard detection needs the transfer's payee value.
         let to_value = match params.get(1) {
@@ -344,6 +387,16 @@ impl Engine {
 
         if receipt.trace.is_empty() {
             self.stall += 1;
+            if self.sink.is_some() {
+                let branches = self.explored.len();
+                self.emit(TelemetryEvent::SeedExecuted {
+                    action: action.to_string(),
+                    payload: kind.name().to_string(),
+                    coverage_delta: 0,
+                    branches,
+                    vtime: self.clock.micros(),
+                });
+            }
             return Vec::new();
         }
 
@@ -370,7 +423,17 @@ impl Engine {
             self.stall += 1;
         }
         self.coverage_series
-            .push((self.clock.micros(), self.explored.len()));
+            .push(self.clock.micros(), self.explored.len());
+        if self.sink.is_some() {
+            let branches = self.explored.len();
+            self.emit(TelemetryEvent::SeedExecuted {
+                action: action.to_string(),
+                payload: kind.name().to_string(),
+                coverage_delta: branches - before,
+                branches,
+                vtime: self.clock.micros(),
+            });
+        }
 
         // Symbolic feedback (§3.4): replay, flip, solve, enqueue.
         if !self.cfg.feedback {
@@ -393,6 +456,12 @@ impl Engine {
         if outcome.truncated {
             self.truncated = true;
         }
+        self.emit(TelemetryEvent::Replayed {
+            records: outcome.records,
+            conditionals: outcome.conditionals.len(),
+            truncated: outcome.truncated,
+            vtime: self.clock.micros(),
+        });
 
         // The solver inherits the campaign watchdog: whichever of the
         // per-query budget deadline and the campaign deadline is sooner wins.
@@ -423,10 +492,35 @@ impl Engine {
             stage::enter(stage::SOLVE);
             let (result, stats) = wasai_smt::check(&outcome.pool, &q.constraints, budget);
             stage::enter(stage::CAMPAIGN);
+            let vtime_before = self.clock.micros();
             self.clock.charge_smt(&self.cfg.cost, stats.propagations);
             self.smt_queries += 1;
             solved += 1;
+            if self.sink.is_some() {
+                self.emit(TelemetryEvent::StageTiming {
+                    stage: Stage::Solve,
+                    dur_us: self.clock.micros() - vtime_before,
+                    vtime: self.clock.micros(),
+                });
+                let outcome_tag = match result {
+                    SolveResult::Sat(_) => SmtOutcome::Sat,
+                    SolveResult::Unsat => SmtOutcome::Unsat,
+                    SolveResult::Unknown => SmtOutcome::Unknown,
+                };
+                self.emit(TelemetryEvent::SmtQuery {
+                    outcome: outcome_tag,
+                    conflicts: stats.conflicts,
+                    props: stats.propagations,
+                    vtime: self.clock.micros(),
+                });
+            }
             if let SolveResult::Sat(model) = result {
+                self.emit(TelemetryEvent::ConstraintFlipped {
+                    func: key.0,
+                    pc: key.1,
+                    direction: key.2,
+                    vtime: self.clock.micros(),
+                });
                 let vars = constraint_vars(&outcome.pool, &q.constraints);
                 let new_params = seed_from_model(&outcome.spec, &outcome.pool, &model, &vars);
                 self.pool.push(action, new_params.clone());

@@ -29,6 +29,7 @@ use wasai_chain::ChainError;
 use wasai_smt::Deadline;
 
 use crate::chaos::Fault;
+use crate::telemetry::{TelemetryEvent, TelemetrySink};
 
 /// Lock `m`, recovering the guard if a previous holder panicked.
 ///
@@ -433,6 +434,41 @@ where
     })
 }
 
+/// [`run_jobs_isolated`] that additionally reports every non-completing
+/// campaign to `sink` as a [`TelemetryEvent::CampaignAborted`].
+///
+/// Without this, chaos-injected and organic failures vanish from every
+/// summary other than the triage file. Events are emitted *after* the
+/// index-keyed merge, in index order — never from the worker threads — so
+/// the abort stream is byte-identical for every worker count, matching the
+/// fleet's determinism contract. The aborted campaign's virtual clock is
+/// lost with the campaign, so `vtime` is 0.
+pub fn run_jobs_isolated_with_sink<I, T, F>(
+    jobs: usize,
+    items: Vec<I>,
+    deadline: Deadline,
+    sink: &mut dyn TelemetrySink,
+    worker: F,
+) -> Vec<CampaignRun<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> Result<T, ChainError> + Sync,
+{
+    let runs = run_jobs_isolated(jobs, items, deadline, worker);
+    for (i, run) in runs.iter().enumerate() {
+        if !run.outcome.is_ok() {
+            sink.record(TelemetryEvent::CampaignAborted {
+                campaign: i,
+                stage: run.outcome.stage().to_string(),
+                outcome: run.outcome.kind().to_string(),
+                vtime: 0,
+            });
+        }
+    }
+    runs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +560,50 @@ mod tests {
                 _ => assert_eq!(run.outcome.as_ok(), Some(&(i as u64 * 2))),
             }
         }
+    }
+
+    #[test]
+    fn isolated_with_sink_reports_aborts_in_index_order() {
+        use crate::telemetry::Recorder;
+        let collect = |jobs: usize| {
+            let mut rec = Recorder::new();
+            let runs = run_jobs_isolated_with_sink(
+                jobs,
+                (0..8).collect::<Vec<u64>>(),
+                Deadline::NONE,
+                &mut rec,
+                faulty,
+            );
+            assert_eq!(runs.len(), 8);
+            rec.take()
+        };
+        let events = collect(1);
+        assert_eq!(events.len(), 2, "one panic + one failure");
+        match &events[0] {
+            TelemetryEvent::CampaignAborted {
+                campaign,
+                stage,
+                outcome,
+                vtime,
+            } => {
+                assert_eq!(*campaign, 3);
+                assert_eq!(stage, super::stage::CAMPAIGN);
+                assert_eq!(outcome, "panicked");
+                assert_eq!(*vtime, 0);
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        match &events[1] {
+            TelemetryEvent::CampaignAborted {
+                campaign, outcome, ..
+            } => {
+                assert_eq!(*campaign, 5);
+                assert_eq!(outcome, "failed");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        // The abort stream is scheduling-independent.
+        assert_eq!(collect(4), events);
     }
 
     #[test]

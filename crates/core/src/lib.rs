@@ -28,19 +28,23 @@ pub mod pool;
 pub mod report;
 pub mod scanner;
 pub mod seed;
+pub mod telemetry;
 pub mod wasai;
 
 pub use clock::{CostModel, VirtualClock};
 pub use config::FuzzConfig;
-pub use coverage::BranchSites;
+pub use coverage::{BranchSites, CoverageSeries};
 pub use engine::Engine;
 pub use fleet::{
-    jobs_from_env, run_jobs, run_jobs_isolated, run_jobs_timed, CampaignOutcome, CampaignRun,
-    FleetStats,
+    jobs_from_env, run_jobs, run_jobs_isolated, run_jobs_isolated_with_sink, run_jobs_timed,
+    CampaignOutcome, CampaignRun, FleetStats,
 };
 pub use harness::{PreparedTarget, TargetInfo};
 pub use oracle::{ApiUsageOracle, CustomOracle};
 pub use report::{ExploitRecord, FuzzReport, VulnClass};
 pub use scanner::{PayloadKind, Scanner};
 pub use seed::Seed;
+pub use telemetry::{
+    Metrics, NullSink, Recorder, SmtOutcome, Stage, TelemetryEvent, TelemetrySink, VtimeHistogram,
+};
 pub use wasai::Wasai;

@@ -131,4 +131,212 @@ mod tests {
         );
         assert_eq!(o.verdict(), None);
     }
+
+    /// Edge-case coverage for the five §3.5 verdicts: each class flagged
+    /// from a minimal hand-built trace, plus the all-clean negative case —
+    /// and, for every scenario, the emitted `OracleVerdict` telemetry must
+    /// say exactly what the verdict set says.
+    mod verdict_telemetry {
+        use std::collections::BTreeSet;
+
+        use wasai_chain::database::{DbAccess, DbOp, TableId};
+        use wasai_chain::name::Name;
+        use wasai_chain::Receipt;
+        use wasai_vm::{TraceKind, TraceRecord};
+        use wasai_wasm::builder::ModuleBuilder;
+        use wasai_wasm::instr::Instr;
+        use wasai_wasm::types::ValType::I64;
+        use wasai_wasm::Module;
+
+        use crate::harness::accounts;
+        use crate::report::VulnClass;
+        use crate::scanner::{PayloadKind, Scanner};
+        use crate::telemetry::{self, TelemetryEvent};
+
+        /// A module with an exported `apply` plus one eosponser-shaped
+        /// function (mirrors the scanner's own test fixture).
+        fn module_and_eosponser() -> (Module, u32) {
+            let mut b = ModuleBuilder::new();
+            let eosponser = b.func(
+                &[I64, I64, I64],
+                &[],
+                &[],
+                vec![
+                    Instr::LocalGet(2),
+                    Instr::LocalGet(0),
+                    Instr::I64Ne,
+                    Instr::Drop,
+                    Instr::End,
+                ],
+            );
+            let apply = b.func(&[I64, I64, I64], &[], &[], vec![Instr::End]);
+            b.export_func("apply", apply);
+            (b.build(), eosponser)
+        }
+
+        fn begin(func: u32) -> TraceRecord {
+            TraceRecord {
+                kind: TraceKind::FuncBegin { func },
+                operands: vec![],
+            }
+        }
+
+        /// The invariant under test: the verdict telemetry a campaign emits
+        /// is exactly the report's findings, one event per class in paper
+        /// order, plus one flagged event per custom finding.
+        fn assert_telemetry_matches(findings: &BTreeSet<VulnClass>, custom: &[(String, String)]) {
+            let events = telemetry::oracle_verdicts(findings, custom, 7);
+            assert_eq!(events.len(), VulnClass::ALL.len() + custom.len());
+            for (class, ev) in VulnClass::ALL.iter().zip(&events) {
+                match ev {
+                    TelemetryEvent::OracleVerdict {
+                        oracle,
+                        flagged,
+                        vtime,
+                    } => {
+                        assert_eq!(oracle, &class.to_string());
+                        assert_eq!(
+                            *flagged,
+                            findings.contains(class),
+                            "telemetry for {class} disagrees with the report"
+                        );
+                        assert_eq!(*vtime, 7);
+                    }
+                    other => panic!("expected OracleVerdict, got {other:?}"),
+                }
+            }
+            for ((name, _), ev) in custom.iter().zip(&events[VulnClass::ALL.len()..]) {
+                match ev {
+                    TelemetryEvent::OracleVerdict {
+                        oracle, flagged, ..
+                    } => {
+                        assert_eq!(oracle, name);
+                        assert!(*flagged, "custom findings are always flagged");
+                    }
+                    other => panic!("expected OracleVerdict, got {other:?}"),
+                }
+            }
+        }
+
+        #[test]
+        fn fake_eos_verdict() {
+            let (module, eosponser) = module_and_eosponser();
+            let mut s = Scanner::new();
+            s.set_eosponser(eosponser);
+            let receipt = Receipt {
+                trace: vec![begin(eosponser)],
+                ..Receipt::default()
+            };
+            s.observe(&module, PayloadKind::DirectFake, &receipt, None);
+            let (findings, _) = s.verdicts();
+            assert_eq!(findings, BTreeSet::from([VulnClass::FakeEos]));
+            assert_telemetry_matches(&findings, &[]);
+        }
+
+        #[test]
+        fn fake_notif_verdict() {
+            let (module, eosponser) = module_and_eosponser();
+            let mut s = Scanner::new();
+            s.set_eosponser(eosponser);
+            let receipt = Receipt {
+                trace: vec![begin(eosponser)],
+                ..Receipt::default()
+            };
+            s.observe(
+                &module,
+                PayloadKind::ForwardedNotif,
+                &receipt,
+                Some(accounts::fake_notif().raw()),
+            );
+            let (findings, _) = s.verdicts();
+            assert_eq!(findings, BTreeSet::from([VulnClass::FakeNotif]));
+            assert_telemetry_matches(&findings, &[]);
+        }
+
+        #[test]
+        fn missauth_verdict() {
+            let (module, _) = module_and_eosponser();
+            let target = accounts::target();
+            let mut s = Scanner::new();
+            let receipt = Receipt {
+                api_events: vec![wasai_chain::action::ApiEvent::Db(DbOp {
+                    contract: target,
+                    access: DbAccess::Write,
+                    table: TableId {
+                        code: target,
+                        scope: target,
+                        table: Name::new("t"),
+                    },
+                })],
+                ..Receipt::default()
+            };
+            s.observe(&module, PayloadKind::Action, &receipt, None);
+            let (findings, _) = s.verdicts();
+            assert_eq!(findings, BTreeSet::from([VulnClass::MissAuth]));
+            assert_telemetry_matches(&findings, &[]);
+        }
+
+        #[test]
+        fn blockinfo_dep_verdict() {
+            let (module, _) = module_and_eosponser();
+            let mut s = Scanner::new();
+            let receipt = Receipt {
+                api_events: vec![wasai_chain::action::ApiEvent::TaposRead {
+                    contract: accounts::target(),
+                }],
+                ..Receipt::default()
+            };
+            s.observe(&module, PayloadKind::Action, &receipt, None);
+            let (findings, _) = s.verdicts();
+            assert_eq!(findings, BTreeSet::from([VulnClass::BlockinfoDep]));
+            assert_telemetry_matches(&findings, &[]);
+        }
+
+        #[test]
+        fn rollback_verdict() {
+            let (module, _) = module_and_eosponser();
+            let target = accounts::target();
+            let mut s = Scanner::new();
+            // A prior auth isolates Rollback from the MissAuth detector.
+            let receipt = Receipt {
+                api_events: vec![
+                    wasai_chain::action::ApiEvent::RequireAuth {
+                        contract: target,
+                        actor: Name::new("attacker"),
+                    },
+                    wasai_chain::action::ApiEvent::SendInline {
+                        contract: target,
+                        target: Name::new("eosio.token"),
+                        action: Name::new("transfer"),
+                    },
+                ],
+                ..Receipt::default()
+            };
+            s.observe(&module, PayloadKind::Action, &receipt, None);
+            let (findings, _) = s.verdicts();
+            assert_eq!(findings, BTreeSet::from([VulnClass::Rollback]));
+            assert_telemetry_matches(&findings, &[]);
+        }
+
+        #[test]
+        fn negative_case_emits_five_clean_verdicts() {
+            let (module, eosponser) = module_and_eosponser();
+            let mut s = Scanner::new();
+            s.set_eosponser(eosponser);
+            s.observe(&module, PayloadKind::Official, &Receipt::default(), None);
+            let (findings, _) = s.verdicts();
+            assert!(findings.is_empty());
+            assert_telemetry_matches(&findings, &[]);
+        }
+
+        #[test]
+        fn custom_oracle_verdict_rides_along() {
+            let findings = BTreeSet::from([VulnClass::Rollback]);
+            let custom = vec![(
+                "send_deferred".to_string(),
+                "target invoked send_deferred".to_string(),
+            )];
+            assert_telemetry_matches(&findings, &custom);
+        }
+    }
 }

@@ -3,6 +3,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::coverage::CoverageSeries;
+
 /// The five vulnerability classes of §2.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum VulnClass {
@@ -60,8 +62,8 @@ pub struct FuzzReport {
     pub exploits: Vec<ExploitRecord>,
     /// Distinct branches covered in the target's action functions.
     pub branches: usize,
-    /// Cumulative coverage over virtual time: `(virtual_us, branches)`.
-    pub coverage_series: Vec<(u64, usize)>,
+    /// Cumulative coverage over virtual time.
+    pub coverage_series: CoverageSeries,
     /// Fuzzing iterations executed.
     pub iterations: u64,
     /// Virtual microseconds consumed.
@@ -86,6 +88,45 @@ impl FuzzReport {
     pub fn is_vulnerable(&self) -> bool {
         !self.findings.is_empty()
     }
+
+    /// Render the report as deterministic plain text — the format the
+    /// golden-report snapshots pin down.
+    ///
+    /// Every line is derived from ordered data (`BTreeSet` findings,
+    /// execution-ordered exploits), so equal reports render byte-identically.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== fuzz report ===");
+        let findings = if self.findings.is_empty() {
+            "none".to_string()
+        } else {
+            self.findings
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "findings: {findings}");
+        let _ = writeln!(out, "branches: {}", self.branches);
+        let _ = writeln!(out, "iterations: {}", self.iterations);
+        let _ = writeln!(out, "virtual_us: {}", self.virtual_us);
+        let _ = writeln!(out, "smt_queries: {}", self.smt_queries);
+        let _ = writeln!(out, "truncated: {}", self.truncated);
+        let _ = writeln!(
+            out,
+            "coverage: {} samples, final {}",
+            self.coverage_series.len(),
+            self.coverage_series.final_branches()
+        );
+        for e in &self.exploits {
+            let _ = writeln!(out, "exploit [{}]: {}", e.class, e.payload);
+        }
+        for (name, finding) in &self.custom_findings {
+            let _ = writeln!(out, "custom [{name}]: {finding}");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +148,31 @@ mod tests {
         assert!(r.has(VulnClass::Rollback));
         assert!(!r.has(VulnClass::FakeEos));
         assert!(r.is_vulnerable());
+    }
+
+    #[test]
+    fn render_is_deterministic_text() {
+        let mut r = FuzzReport {
+            branches: 4,
+            iterations: 12,
+            virtual_us: 99_000,
+            smt_queries: 3,
+            ..FuzzReport::default()
+        };
+        r.findings.insert(VulnClass::FakeEos);
+        r.coverage_series.push(10, 2);
+        r.coverage_series.push(20, 4);
+        r.exploits.push(ExploitRecord {
+            class: VulnClass::FakeEos,
+            payload: "direct eosponser call".into(),
+        });
+        r.custom_findings.push(("tapos".into(), "seen".into()));
+        let text = r.render();
+        assert_eq!(text, r.clone().render(), "rendering is pure");
+        assert!(text.contains("findings: Fake EOS\n"));
+        assert!(text.contains("coverage: 2 samples, final 4\n"));
+        assert!(text.contains("exploit [Fake EOS]: direct eosponser call\n"));
+        assert!(text.contains("custom [tapos]: seen\n"));
+        assert!(FuzzReport::default().render().contains("findings: none\n"));
     }
 }

@@ -27,6 +27,19 @@ pub enum PayloadKind {
     Action,
 }
 
+impl PayloadKind {
+    /// The stable machine-readable name (the spelling telemetry traces use).
+    pub fn name(self) -> &'static str {
+        match self {
+            PayloadKind::Official => "official",
+            PayloadKind::DirectFake => "direct-fake",
+            PayloadKind::FakeToken => "fake-token",
+            PayloadKind::ForwardedNotif => "forwarded-notif",
+            PayloadKind::Action => "action",
+        }
+    }
+}
+
 /// Accumulates exploit evidence across the whole campaign.
 #[derive(Debug, Default)]
 pub struct Scanner {

@@ -9,6 +9,7 @@ use crate::config::FuzzConfig;
 use crate::engine::Engine;
 use crate::harness::{PreparedTarget, TargetInfo};
 use crate::report::FuzzReport;
+use crate::telemetry::{Recorder, TelemetryEvent, TelemetrySink};
 
 /// Where the campaign's target comes from: a raw module prepared on `run`,
 /// or a shared pre-instrumented artifact (the fleet cache).
@@ -38,6 +39,7 @@ pub struct Wasai {
     target: Target,
     cfg: FuzzConfig,
     oracles: Vec<Box<dyn crate::oracle::CustomOracle>>,
+    sink: Option<Box<dyn TelemetrySink>>,
 }
 
 impl Wasai {
@@ -47,6 +49,7 @@ impl Wasai {
             target: Target::Raw(Box::new(TargetInfo::new(module, abi))),
             cfg: FuzzConfig::default(),
             oracles: Vec::new(),
+            sink: None,
         }
     }
 
@@ -58,6 +61,7 @@ impl Wasai {
             target: Target::Prepared(prepared),
             cfg: FuzzConfig::default(),
             oracles: Vec::new(),
+            sink: None,
         }
     }
 
@@ -70,6 +74,15 @@ impl Wasai {
     /// Register a custom vulnerability oracle (§5's extension interface).
     pub fn with_oracle(mut self, oracle: Box<dyn crate::oracle::CustomOracle>) -> Self {
         self.oracles.push(oracle);
+        self
+    }
+
+    /// Attach a telemetry sink for the campaign (see
+    /// [`crate::telemetry`] for the event taxonomy and determinism
+    /// contract). Without one, the campaign emits nothing and behaves
+    /// exactly as before telemetry existed.
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -88,6 +101,25 @@ impl Wasai {
         for o in self.oracles {
             engine.add_oracle(o);
         }
+        if let Some(sink) = self.sink {
+            engine.set_sink(sink);
+        }
         Ok(engine.run())
+    }
+
+    /// Run the campaign and return its full telemetry event stream along
+    /// with the report (a [`Recorder`] is attached internally; any sink set
+    /// via [`Wasai::with_sink`] is replaced).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the contract cannot be instrumented or deployed.
+    pub fn run_traced(
+        mut self,
+    ) -> Result<(FuzzReport, Vec<TelemetryEvent>), wasai_chain::ChainError> {
+        let recorder = Recorder::new();
+        self.sink = Some(Box::new(recorder.clone()));
+        let report = self.run()?;
+        Ok((report, recorder.take()))
     }
 }

@@ -82,6 +82,16 @@ impl SolveResult {
             _ => None,
         }
     }
+
+    /// Machine-readable outcome tag: `sat`, `unsat`, or `unknown` (the
+    /// spelling telemetry traces use).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveResult::Sat(_) => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown => "unknown",
+        }
+    }
 }
 
 /// Statistics from one `check`.

@@ -70,6 +70,9 @@ pub struct ReplayOutcome {
     pub branches: HashSet<(u32, u32, u64)>,
     /// Function ids observed starting (the i⃗d chain of §3.5).
     pub func_chain: Vec<u32>,
+    /// Trace records actually replayed (< `trace.len()` when truncated) —
+    /// what telemetry reports as per-replay work.
+    pub records: usize,
     /// Replay stopped early because the wall-clock deadline fired; the
     /// collected observations cover only a prefix of the trace.
     pub truncated: bool,
@@ -186,11 +189,13 @@ impl<'m> Replayer<'m> {
     /// Replay a trace and return the collected symbolic observations.
     pub fn run(mut self, trace: &[TraceRecord]) -> ReplayOutcome {
         let mut truncated = false;
+        let mut records = 0usize;
         for (i, record) in trace.iter().enumerate() {
             if i % DEADLINE_POLL_RECORDS == DEADLINE_POLL_RECORDS - 1 && self.deadline.expired() {
                 truncated = true;
                 break;
             }
+            records = i + 1;
             match record.kind {
                 TraceKind::FuncBegin { func } => self.on_func_begin(func),
                 TraceKind::FuncEnd { func } => self.on_func_end(func),
@@ -216,6 +221,7 @@ impl<'m> Replayer<'m> {
             path: self.path,
             branches: self.branches,
             func_chain: self.func_chain,
+            records,
             truncated,
         }
     }

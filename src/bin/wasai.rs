@@ -1,9 +1,11 @@
 //! The `wasai` command-line tool.
 //!
 //! ```text
-//! wasai audit     <contract.wasm> <contract.abi>  analyze a contract binary
-//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE]
+//! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE]
+//!                                                 analyze a contract binary
+//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]
 //!                                                 analyze every *.wasm in a directory
+//! wasai stats     <trace-or-triage.jsonl>         summarize a telemetry trace or triage report
 //! wasai gen       <out-dir> [count] [seed]        emit a labeled sample corpus
 //! wasai show      <contract.wasm>                 dump a WAT-like listing
 //! ```
@@ -21,6 +23,11 @@
 //! {"contract":"c.wasm","index":3,"outcome":"panicked","stage":"replay",
 //!  "detail":"...","seed":1234,"truncated":false,"elapsed_ms":17}
 //! ```
+//!
+//! `--trace-out FILE` writes the campaigns' telemetry event stream as JSON
+//! lines (see `wasai_core::telemetry`), merged in campaign-index order —
+//! the trace is byte-identical for every `WASAI_JOBS` value. `wasai stats`
+//! renders either file kind as a human-readable table.
 //!
 //! Exit codes: `0` — sweep completed, every contract audited cleanly (the
 //! contracts may still be *vulnerable*; findings are verdicts, not errors);
@@ -42,6 +49,7 @@ use std::process::ExitCode;
 use wasai::prelude::*;
 use wasai::wasai_chain::ChainError;
 use wasai::wasai_core::fleet::{self, stage, CampaignOutcome};
+use wasai::wasai_core::telemetry::{self, json_escape, Metrics, TelemetryEvent};
 use wasai::wasai_corpus::wild_corpus;
 use wasai::wasai_smt::Deadline;
 use wasai::wasai_wasm::{decode, display, encode};
@@ -85,7 +93,7 @@ fn parse_abi(text: &str) -> Result<Abi, String> {
     Ok(Abi::new(actions))
 }
 
-fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
+fn audit(wasm_path: &str, abi_path: &str, trace_out: Option<&str>) -> Result<(), String> {
     let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
     let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
     let abi = parse_abi(&fs::read_to_string(abi_path).map_err(|e| format!("{abi_path}: {e}"))?)?;
@@ -95,10 +103,19 @@ fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
         module.funcs.len(),
         abi.actions.len()
     );
-    let report = Wasai::new(module, abi)
-        .with_config(FuzzConfig::default())
-        .run()
-        .map_err(|e| e.to_string())?;
+    let wasai = Wasai::new(module, abi).with_config(FuzzConfig::default());
+    let report = if let Some(path) = trace_out {
+        let (report, events) = wasai.run_traced().map_err(|e| e.to_string())?;
+        fs::write(path, telemetry::write_trace([(0, events.as_slice())]))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "telemetry trace written to {path} ({} events)",
+            events.len()
+        );
+        report
+    } else {
+        wasai.run().map_err(|e| e.to_string())?
+    };
     println!(
         "campaign: {} iterations, {} SMT queries, {} branches covered",
         report.iterations, report.smt_queries, report.branches
@@ -116,26 +133,6 @@ fn audit(wasm_path: &str, abi_path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Minimal JSON string escaping for the triage report (filenames and error
-/// messages only — no nested structures).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// Options for `audit-dir` beyond the directory and seed.
 #[derive(Default)]
 struct AuditDirOpts {
@@ -144,6 +141,8 @@ struct AuditDirOpts {
     deadline_secs: Option<f64>,
     /// Destination for the JSON-lines triage report.
     triage_path: Option<String>,
+    /// Destination for the JSON-lines telemetry trace.
+    trace_path: Option<String>,
 }
 
 /// Analyze every `*.wasm` (with `.abi` sidecar) in a directory, in parallel,
@@ -188,6 +187,9 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
     );
 
     let start = std::time::Instant::now();
+    // Campaigns run traced only when a trace destination was requested;
+    // untraced sweeps attach no sink at all and behave exactly as before.
+    let tracing = opts.trace_path.is_some();
     let runs = fleet::run_jobs_isolated(jobs, wasm_paths, deadline, |i, path| {
         stage::enter(stage::PREPARE);
         let bytes = fs::read(&path).map_err(|e| ChainError::BadContract(e.to_string()))?;
@@ -196,13 +198,16 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         let abi_text = fs::read_to_string(&abi_path)
             .map_err(|e| ChainError::BadContract(format!("{}: {e}", abi_path.display())))?;
         let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
-        Wasai::new(module, abi)
-            .with_config(FuzzConfig {
-                rng_seed: seed ^ (i as u64),
-                deadline,
-                ..FuzzConfig::default()
-            })
-            .run()
+        let wasai = Wasai::new(module, abi).with_config(FuzzConfig {
+            rng_seed: seed ^ (i as u64),
+            deadline,
+            ..FuzzConfig::default()
+        });
+        if tracing {
+            wasai.run_traced()
+        } else {
+            wasai.run().map(|r| (r, Vec::new()))
+        }
     });
     let wall = start.elapsed();
 
@@ -210,10 +215,11 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
     let mut clean = 0usize;
     let mut failures = 0usize;
     let mut triage_lines = Vec::with_capacity(runs.len());
+    let mut trace_lines = Vec::new();
     for (i, (name, run)) in names.iter().zip(&runs).enumerate() {
         let repro_seed = seed ^ (i as u64);
         match &run.outcome {
-            CampaignOutcome::Ok(report) => {
+            CampaignOutcome::Ok((report, events)) => {
                 let truncated = if report.truncated { ", truncated" } else { "" };
                 if report.findings.is_empty() {
                     clean += 1;
@@ -224,18 +230,34 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
                         report.findings.iter().map(|c| c.to_string()).collect();
                     println!("{name}: VULNERABLE — {}{truncated}", classes.join(", "));
                 }
+                if tracing {
+                    trace_lines.extend(events.iter().map(|ev| ev.to_jsonl(i)));
+                }
             }
             other => {
                 // Per-contract failures are triaged, not fatal: a sweep
                 // survives one malformed, panicking, or hanging binary.
                 failures += 1;
                 println!("{name}: {} — {}", other.kind(), other.detail());
+                if tracing {
+                    // Aborted campaigns leave a structured marker in the
+                    // trace, mirroring `run_jobs_isolated_with_sink`.
+                    trace_lines.push(
+                        TelemetryEvent::CampaignAborted {
+                            campaign: i,
+                            stage: other.stage().to_string(),
+                            outcome: other.kind().to_string(),
+                            vtime: 0,
+                        }
+                        .to_jsonl(i),
+                    );
+                }
             }
         }
         let truncated = run
             .outcome
             .as_ok()
-            .map(|r| r.truncated)
+            .map(|(r, _)| r.truncated)
             .unwrap_or(matches!(run.outcome, CampaignOutcome::TimedOut { .. }));
         triage_lines.push(format!(
             "{{\"contract\":\"{}\",\"index\":{i},\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{repro_seed},\"truncated\":{truncated},\"elapsed_ms\":{}}}",
@@ -253,7 +275,7 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         virtual_us: runs
             .iter()
             .filter_map(|r| r.outcome.as_ok())
-            .map(|r| r.virtual_us)
+            .map(|(r, _)| r.virtual_us)
             .sum(),
         wall,
     };
@@ -269,6 +291,18 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
     if let Some(path) = &opts.triage_path {
         fs::write(path, triage_lines.join("\n") + "\n").map_err(|e| format!("{path}: {e}"))?;
         eprintln!("triage report written to {path}");
+    }
+    if let Some(path) = &opts.trace_path {
+        let body = if trace_lines.is_empty() {
+            String::new()
+        } else {
+            trace_lines.join("\n") + "\n"
+        };
+        fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "telemetry trace written to {path} ({} events)",
+            trace_lines.len()
+        );
     }
 
     Ok(if failures == 0 {
@@ -303,6 +337,76 @@ fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Summarize a JSONL telemetry trace (`--trace-out`) or triage report
+/// (`--triage`) as a human-readable table.
+///
+/// The two formats are distinguished by their fields: trace lines carry
+/// `"event"`, triage lines carry `"contract"`.
+fn stats_cmd(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let first = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path}: empty file"))?;
+    let fields = telemetry::parse_json_fields(first).map_err(|e| format!("{path}: {e}"))?;
+    if fields.contains_key("event") {
+        let events = telemetry::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        let metrics = Metrics::from_events(events.iter().map(|(_, ev)| ev));
+        let campaigns: std::collections::BTreeSet<usize> = events.iter().map(|&(c, _)| c).collect();
+        println!(
+            "trace {path}: {} events across {} campaign(s)\n",
+            events.len(),
+            campaigns.len()
+        );
+        print!("{}", metrics.render());
+        Ok(())
+    } else if fields.contains_key("contract") {
+        let mut by_outcome = std::collections::BTreeMap::<String, usize>::new();
+        let mut failed_stages = std::collections::BTreeMap::<String, usize>::new();
+        let mut total = 0usize;
+        let mut elapsed_ms = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = telemetry::parse_json_fields(line)
+                .map_err(|e| format!("{path} line {}: {e}", lineno + 1))?;
+            let outcome = rec
+                .get("outcome")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown")
+                .to_string();
+            if outcome != "ok" {
+                let stage = rec
+                    .get("stage")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unknown")
+                    .to_string();
+                *failed_stages.entry(stage).or_default() += 1;
+            }
+            *by_outcome.entry(outcome).or_default() += 1;
+            elapsed_ms += rec.get("elapsed_ms").and_then(|v| v.as_num()).unwrap_or(0);
+            total += 1;
+        }
+        println!("triage {path}: {total} contract(s), {elapsed_ms} ms total wall clock\n");
+        println!("by outcome:");
+        for (outcome, n) in &by_outcome {
+            println!("  {outcome:<10} {n:>5}");
+        }
+        if !failed_stages.is_empty() {
+            println!("non-ok by stage:");
+            for (stage, n) in &failed_stages {
+                println!("  {stage:<10} {n:>5}");
+            }
+        }
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: neither a telemetry trace (no \"event\" field) nor a triage report (no \"contract\" field)"
+        ))
+    }
+}
+
 fn show(wasm_path: &str) -> Result<(), String> {
     let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
     let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
@@ -328,6 +432,10 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
                 let v = it.next().ok_or("--triage needs a file path")?;
                 opts.triage_path = Some(v.clone());
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file path")?;
+                opts.trace_path = Some(v.clone());
+            }
             other if !seed_seen => {
                 seed = other
                     .parse()
@@ -342,11 +450,17 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi>\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n  wasai stats <trace-or-triage.jsonl>\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
     let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
-        Some("audit") if args.len() == 4 => audit(&args[2], &args[3]).map(|()| ExitCode::SUCCESS),
+        Some("audit") if args.len() == 4 => {
+            audit(&args[2], &args[3], None).map(|()| ExitCode::SUCCESS)
+        }
+        Some("audit") if args.len() == 6 && args[4] == "--trace-out" => {
+            audit(&args[2], &args[3], Some(&args[5])).map(|()| ExitCode::SUCCESS)
+        }
         Some("audit-dir") if args.len() >= 3 => parse_audit_dir_args(&args[3..])
             .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
+        Some("stats") if args.len() == 3 => stats_cmd(&args[2]).map(|()| ExitCode::SUCCESS),
         Some("gen") if args.len() >= 3 => {
             let count = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
             let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);

@@ -118,7 +118,7 @@ fn coverage_series_is_monotone() {
         ..Blueprint::default()
     });
     let mut prev = 0;
-    for &(_, b) in &report.coverage_series {
+    for &(_, b) in report.coverage_series.points() {
         assert!(b >= prev, "coverage must be cumulative");
         prev = b;
     }

@@ -218,6 +218,62 @@ fn malformed_sweep_is_identical_at_any_worker_count() {
 }
 
 #[test]
+fn aborted_campaigns_leave_structured_markers_in_the_trace() {
+    let dir = scratch_dir("malformed-trace");
+    write_malformed_corpus(&dir);
+    let trace = |jobs: &str| -> String {
+        let trace_path = dir.join(format!("trace-{jobs}.jsonl"));
+        let out = Command::new(env!("CARGO_BIN_EXE_wasai"))
+            .arg("audit-dir")
+            .arg(&dir)
+            .arg("5")
+            .arg("--deadline-secs")
+            .arg("300")
+            .arg("--trace-out")
+            .arg(&trace_path)
+            .env("WASAI_JOBS", jobs)
+            .output()
+            .expect("spawn wasai");
+        assert_eq!(out.status.code(), Some(2));
+        fs::read_to_string(&trace_path).expect("trace exists")
+    };
+
+    let serial = trace("1");
+    // The three broken contracts (indices 3..=5 in sorted order) appear as
+    // campaign_aborted events naming stage and outcome, in index order.
+    let aborted: Vec<&str> = serial
+        .lines()
+        .filter(|l| l.contains("\"event\":\"campaign_aborted\""))
+        .collect();
+    assert_eq!(aborted.len(), 3, "trace:\n{serial}");
+    for (line, index) in aborted.iter().zip([3usize, 4, 5]) {
+        assert!(
+            line.starts_with(&format!("{{\"campaign\":{index},")),
+            "{line}"
+        );
+        assert!(line.contains("\"stage\":\"prepare\""), "{line}");
+        assert!(line.contains("\"outcome\":\"failed\""), "{line}");
+    }
+    // The surviving campaigns still trace normally.
+    for index in [0usize, 1, 2] {
+        assert!(
+            serial.lines().any(|l| l.starts_with(&format!(
+                "{{\"campaign\":{index},\"event\":\"campaign_started\""
+            ))),
+            "campaign {index} left no start event:\n{serial}"
+        );
+    }
+    // Every line round-trips through the parser.
+    for line in serial.lines() {
+        wasai::wasai_core::TelemetryEvent::parse_jsonl(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+    }
+    // And the whole trace — aborts included — is byte-identical at any
+    // worker count.
+    assert_eq!(serial, trace("4"));
+}
+
+#[test]
 fn expired_deadline_truncates_a_campaign() {
     let mut b = ModuleBuilder::with_memory(1);
     let apply = b.func(

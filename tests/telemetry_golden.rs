@@ -1,0 +1,133 @@
+//! Golden snapshots of the telemetry layer's two user-facing artifacts: the
+//! JSONL event trace and the rendered fuzz report. Campaigns are fully
+//! deterministic (virtual clock, fixed seeds, no wall-clock deadline), so
+//! both artifacts must be byte-identical run over run — any drift is either
+//! a real behavior change (bless it) or a determinism regression (fix it).
+//!
+//! Regenerate the snapshots with:
+//!
+//! ```text
+//! WASAI_BLESS=1 cargo test --test telemetry_golden
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use wasai::wasai_core::{telemetry, FuzzConfig, Wasai};
+use wasai::wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
+
+fn snapshot_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+}
+
+fn blessing() -> bool {
+    std::env::var("WASAI_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// Compare `actual` against the checked-in snapshot, or overwrite the
+/// snapshot under `WASAI_BLESS=1`. On mismatch the actual text lands next to
+/// the build artifacts so it can be diffed (CI uploads it).
+fn check_snapshot(name: &str, actual: &str) {
+    let path = snapshot_dir().join(name);
+    if blessing() {
+        fs::create_dir_all(snapshot_dir()).expect("create snapshot dir");
+        fs::write(&path, actual).expect("write snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); generate it with \
+             `WASAI_BLESS=1 cargo test --test telemetry_golden`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let out_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("snapshot-failures");
+        fs::create_dir_all(&out_dir).expect("create failure dir");
+        let actual_path = out_dir.join(name);
+        fs::write(&actual_path, actual).expect("write actual");
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()) + 1);
+        panic!(
+            "snapshot {name} differs from {} (first difference at line \
+             {first_diff}); actual written to {}; if the change is intended, \
+             bless with `WASAI_BLESS=1 cargo test --test telemetry_golden`",
+            path.display(),
+            actual_path.display()
+        );
+    }
+}
+
+/// Run one traced campaign and return (JSONL trace, rendered report).
+fn campaign(bp: Blueprint) -> (String, String) {
+    let c = generate(bp);
+    let (report, events) = Wasai::new(c.module, c.abi)
+        .with_config(FuzzConfig {
+            timeout_us: 2_000_000,
+            stall_iters: 8,
+            rng_seed: 7,
+            ..FuzzConfig::default()
+        })
+        .run_traced()
+        .expect("campaign runs");
+    let trace = telemetry::write_trace([(0, events.as_slice())]);
+    (trace, report.render())
+}
+
+fn vulnerable_blueprint() -> Blueprint {
+    Blueprint {
+        seed: 1,
+        code_guard: false,
+        payee_guard: false,
+        auth_check: false,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Open,
+        eosponser_branches: 2,
+    }
+}
+
+fn guarded_blueprint() -> Blueprint {
+    Blueprint {
+        seed: 2,
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: false,
+        reward: RewardKind::Deferred,
+        gate: GateKind::Open,
+        eosponser_branches: 2,
+    }
+}
+
+#[test]
+fn vulnerable_campaign_matches_golden_trace_and_report() {
+    let (trace, report) = campaign(vulnerable_blueprint());
+    check_snapshot("vulnerable_trace.jsonl", &trace);
+    check_snapshot("vulnerable_report.txt", &report);
+}
+
+#[test]
+fn guarded_campaign_matches_golden_trace_and_report() {
+    let (trace, report) = campaign(guarded_blueprint());
+    check_snapshot("guarded_trace.jsonl", &trace);
+    check_snapshot("guarded_report.txt", &report);
+}
+
+#[test]
+fn golden_trace_round_trips_through_the_parser() {
+    let (trace, _) = campaign(vulnerable_blueprint());
+    let events = telemetry::parse_trace(&trace).expect("trace parses");
+    let rewritten =
+        telemetry::write_trace(events.iter().map(|(c, ev)| (*c, std::slice::from_ref(ev))));
+    assert_eq!(trace, rewritten, "parse → write must be the identity");
+}

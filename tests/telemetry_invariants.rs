@@ -1,0 +1,194 @@
+//! Telemetry determinism and accounting invariants.
+//!
+//! The trace is not a best-effort log: every virtual microsecond the clock
+//! charges appears in exactly one `stage_timing` event, every solver call in
+//! exactly one `smt_query` event, and the whole stream is keyed by virtual
+//! time — so traces are byte-identical at any worker count, and the metrics
+//! folded from a trace must reconcile exactly with the campaign's report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use wasai::prelude::*;
+use wasai::wasai_core::{Metrics, Stage, TelemetryEvent};
+use wasai::wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
+use wasai::wasai_wasm::instr::Instr;
+use wasai::wasai_wasm::types::{BlockType, ValType::*};
+use wasai::wasai_wasm::{encode, ModuleBuilder};
+
+/// A solver-engaging blueprint: the reward template sits behind a nested
+/// 64-bit gate, so the campaign exercises all four stages.
+fn solver_blueprint() -> Blueprint {
+    Blueprint {
+        seed: 3,
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: true,
+        reward: RewardKind::Inline,
+        gate: GateKind::Solvable { depth: 2 },
+        eosponser_branches: 1,
+    }
+}
+
+fn traced(bp: Blueprint) -> (FuzzReport, Vec<TelemetryEvent>) {
+    let c = generate(bp);
+    Wasai::new(c.module, c.abi)
+        .with_config(FuzzConfig::quick())
+        .run_traced()
+        .expect("campaign runs")
+}
+
+#[test]
+fn stage_vtime_totals_equal_the_final_clock_reading() {
+    let (report, events) = traced(solver_blueprint());
+    let metrics = Metrics::from_events(&events);
+    assert!(
+        metrics.stage_total_us(Stage::Execute) > 0,
+        "campaign must have executed seeds"
+    );
+    assert!(
+        metrics.stage_total_us(Stage::Solve) > 0,
+        "campaign must have engaged the solver"
+    );
+    assert_eq!(
+        metrics.total_vtime_us(),
+        report.virtual_us,
+        "every clock charge must appear in exactly one stage_timing event"
+    );
+}
+
+#[test]
+fn smt_query_events_reconcile_with_the_report() {
+    let (report, events) = traced(solver_blueprint());
+    let metrics = Metrics::from_events(&events);
+    assert!(report.smt_queries > 0, "solver must have been engaged");
+    assert_eq!(
+        metrics.smt_queries(),
+        report.smt_queries,
+        "one smt_query event per solver call"
+    );
+    // Coverage accounting reconciles too: the deltas in seed_executed events
+    // sum to the final branch count.
+    assert_eq!(metrics.coverage_gained, report.branches as u64);
+    // And the final event is the campaign's own summary.
+    match events.last() {
+        Some(TelemetryEvent::CampaignFinished {
+            branches,
+            truncated,
+            vtime,
+            ..
+        }) => {
+            assert_eq!(*branches, report.branches);
+            assert_eq!(*truncated, report.truncated);
+            assert_eq!(*vtime, report.virtual_us);
+        }
+        other => panic!("expected CampaignFinished last, got {other:?}"),
+    }
+}
+
+#[test]
+fn traced_and_untraced_campaigns_produce_the_same_report() {
+    // Attaching a sink must not perturb the campaign: the default (no sink)
+    // report is unchanged by tracing.
+    let c = generate(solver_blueprint());
+    let plain = Wasai::new(c.module.clone(), c.abi.clone())
+        .with_config(FuzzConfig::quick())
+        .run()
+        .expect("campaign runs");
+    let (traced_report, _) = traced(solver_blueprint());
+    assert_eq!(plain.render(), traced_report.render());
+    assert_eq!(plain.findings, traced_report.findings);
+    assert_eq!(plain.virtual_us, traced_report.virtual_us);
+    assert_eq!(plain.smt_queries, traced_report.smt_queries);
+}
+
+// --- subprocess: the full CLI surface -----------------------------------
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("test-scratch")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write_contract(dir: &Path, name: &str) {
+    let mut b = ModuleBuilder::with_memory(1);
+    let apply = b.func(
+        &[I64, I64, I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(0),
+            Instr::I64Ne,
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ],
+    );
+    b.export_func("apply", apply);
+    fs::write(dir.join(format!("{name}.wasm")), encode::encode(&b.build())).expect("write wasm");
+    fs::write(
+        dir.join(format!("{name}.abi")),
+        "transfer(name,name,asset,string)\n",
+    )
+    .expect("write abi");
+}
+
+#[test]
+fn trace_is_byte_identical_at_any_worker_count_and_stats_renders_it() {
+    let dir = scratch_dir("trace-jobs");
+    write_contract(&dir, "alpha");
+    write_contract(&dir, "beta");
+    write_contract(&dir, "gamma");
+
+    let run = |jobs: &str| -> String {
+        let trace_path = dir.join(format!("trace-{jobs}.jsonl"));
+        let out = Command::new(env!("CARGO_BIN_EXE_wasai"))
+            .arg("audit-dir")
+            .arg(&dir)
+            .arg("9")
+            .arg("--trace-out")
+            .arg(&trace_path)
+            .env("WASAI_JOBS", jobs)
+            .output()
+            .expect("spawn wasai");
+        assert_eq!(out.status.code(), Some(0), "{:?}", out);
+        fs::read_to_string(&trace_path).expect("trace exists")
+    };
+
+    let serial = run("1");
+    let parallel = run("4");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "traces must be byte-identical across worker counts"
+    );
+
+    // `wasai stats` summarizes the trace: per-stage virtual time, SMT
+    // outcomes, and per-oracle verdict counts.
+    let stats = Command::new(env!("CARGO_BIN_EXE_wasai"))
+        .arg("stats")
+        .arg(dir.join("trace-1.jsonl"))
+        .output()
+        .expect("spawn wasai stats");
+    assert_eq!(stats.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("=== campaign telemetry ==="), "{text}");
+    assert!(text.contains("per-stage virtual time:"), "{text}");
+    for stage in Stage::ALL {
+        assert!(text.contains(stage.name()), "missing {stage:?}: {text}");
+    }
+    assert!(text.contains("SMT queries:"), "{text}");
+    assert!(
+        text.contains("oracle verdicts (flagged / clean):"),
+        "{text}"
+    );
+    assert!(text.contains("campaigns: 3 started, 3 finished"), "{text}");
+}
