@@ -1,0 +1,138 @@
+//! Solver reuse microbench (BENCH_smt.json): what the reuse layer saves.
+//!
+//! Two fixtures:
+//!
+//! 1. **Shared-prefix flip families** — replay-shaped query chains
+//!    (`path[..i] ∧ flipᵢ`, nondecreasing prefixes). Compares the total unit
+//!    propagations of from-scratch [`wasai_smt::check`] calls against a
+//!    [`wasai_smt::PrefixSolver`]'s honest work counter. The acceptance bar
+//!    is a ≥2× reduction.
+//! 2. **Repeated-query campaigns** — the same generated contract fuzzed
+//!    twice sharing one fleet [`wasai_smt::SolverCache`]; the second
+//!    campaign's flip queries are all warm. Exits 1 if the hit rate is 0
+//!    (the CI gate: a silent cache regression must fail the build).
+//!
+//! Prints a JSON measurement block; paste into BENCH_smt.json when
+//! refreshing the baseline.
+
+use std::sync::Arc;
+
+use wasai_core::{FuzzConfig, Wasai};
+use wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
+use wasai_smt::{check, Budget, BvOp, CmpOp, PrefixSolver, SolverCache, TermId, TermPool};
+
+/// A replay-like flip family: a chain of path guards over two 64-bit args,
+/// one flip per step (mirrors the engine's flip-query shape).
+fn flip_family(pool: &mut TermPool, steps: usize, salt: u64) -> (Vec<TermId>, Vec<TermId>) {
+    let mut rng = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let a = pool.var("arg0", 64);
+    let b = pool.var("arg1", 64);
+    let mut path = Vec::new();
+    let mut flips = Vec::new();
+    for i in 0..steps {
+        let k = pool.bv_const(next() % 1000 + 1, 64);
+        let guard = match i % 3 {
+            0 => pool.cmp(CmpOp::Ult, a, k),
+            1 => {
+                let s = pool.bv(BvOp::Add, a, b);
+                pool.cmp(CmpOp::Ule, s, k)
+            }
+            _ => {
+                let x = pool.bv(BvOp::Xor, a, b);
+                let z = pool.bv_const(next() % 7, 64);
+                pool.cmp(CmpOp::Ule, z, x)
+            }
+        };
+        path.push(guard);
+        flips.push(pool.not(guard));
+    }
+    (path, flips)
+}
+
+/// Total from-scratch vs shared-prefix propagations over `families` flip
+/// families of `steps` queries each. Returns (scratch, reused).
+fn prefix_savings(families: u64, steps: usize) -> (u64, u64) {
+    let mut scratch = 0u64;
+    let mut reused = 0u64;
+    for salt in 0..families {
+        let mut pool = TermPool::new();
+        let (path, flips) = flip_family(&mut pool, steps, salt);
+        for (i, &flip) in flips.iter().enumerate() {
+            let mut q: Vec<TermId> = path[..i].to_vec();
+            q.push(flip);
+            let (_, stats) = check(&pool, &q, Budget::default());
+            scratch += stats.propagations;
+        }
+        let mut session = PrefixSolver::new(&pool);
+        for (i, &flip) in flips.iter().enumerate() {
+            session.solve(&path[..i], flip, Budget::default());
+        }
+        reused += session.performed_propagations();
+    }
+    (scratch, reused)
+}
+
+/// Fuzz the same contract twice sharing one fleet cache; the second
+/// campaign's canonical queries are all warm. Returns (lookups, hits).
+fn repeated_campaign_hits() -> (u64, u64) {
+    let bp = Blueprint {
+        seed: 2,
+        code_guard: true,
+        payee_guard: true,
+        auth_check: true,
+        blockinfo: false,
+        reward: RewardKind::Inline,
+        gate: GateKind::Open,
+        eosponser_branches: 2,
+    };
+    let cache = Arc::new(SolverCache::new());
+    for _ in 0..2 {
+        let c = generate(bp);
+        Wasai::new(c.module, c.abi)
+            .with_config(FuzzConfig {
+                timeout_us: 2_000_000,
+                stall_iters: 8,
+                rng_seed: 7,
+                ..FuzzConfig::default()
+            })
+            .with_solver_cache(cache.clone())
+            .run()
+            .expect("campaign runs");
+    }
+    (cache.lookups(), cache.hits())
+}
+
+fn main() {
+    let (scratch, reused) = prefix_savings(8, 16);
+    let ratio = scratch as f64 / reused.max(1) as f64;
+    let (lookups, hits) = repeated_campaign_hits();
+    let hit_rate = hits as f64 / lookups.max(1) as f64;
+
+    println!("{{");
+    println!("  \"shared_prefix_flip_families\": {{");
+    println!("    \"families\": 8, \"queries_per_family\": 16,");
+    println!("    \"from_scratch_propagations\": {scratch},");
+    println!("    \"reused_propagations\": {reused},");
+    println!("    \"reduction_x\": {ratio:.2}");
+    println!("  }},");
+    println!("  \"repeated_campaign_fleet_cache\": {{");
+    println!("    \"lookups\": {lookups}, \"hits\": {hits}, \"hit_rate\": {hit_rate:.3}");
+    println!("  }}");
+    println!("}}");
+
+    if hits == 0 {
+        eprintln!("FAIL: repeated-query fixture produced 0 fleet-cache hits");
+        std::process::exit(1);
+    }
+    if ratio < 2.0 {
+        eprintln!("FAIL: shared-prefix reduction {ratio:.2}x is below the 2x acceptance bar");
+        std::process::exit(1);
+    }
+    eprintln!("ok: {ratio:.2}x propagation reduction, {hit_rate:.3} repeat hit rate");
+}

@@ -28,7 +28,7 @@ use wasai_core::{
     FuzzConfig, PreparedTarget, TargetInfo, TelemetryEvent, TelemetrySink, VulnClass, Wasai,
 };
 use wasai_corpus::{BenchmarkSample, Lifecycle, WildContract};
-use wasai_smt::Deadline;
+use wasai_smt::{Deadline, SolverCache};
 
 /// Binary classification counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -171,15 +171,20 @@ pub fn run_tool(tool: Tool, sample: &BenchmarkSample, seed: u64) -> bool {
 
 /// [`run_tool`] against a cached [`PreparedTarget`]; returns the flag
 /// verdict and the campaign's virtual duration (0 for the static tool).
+/// WASAI campaigns additionally share the fleet-wide solver query cache —
+/// like the prepared artifact, it changes only wall-clock cost, never
+/// results.
 fn run_tool_prepared(
     tool: Tool,
     prepared: &Arc<PreparedTarget>,
+    solver_cache: &Arc<SolverCache>,
     sample: &BenchmarkSample,
     seed: u64,
 ) -> (bool, u64) {
     match tool {
         Tool::Wasai => Wasai::from_prepared(prepared.clone())
             .with_config(bench_fuzz_config(seed))
+            .with_solver_cache(solver_cache.clone())
             .run()
             .map(|r| (r.has(sample.group), r.virtual_us))
             .unwrap_or((false, 0)),
@@ -233,6 +238,10 @@ pub fn evaluate_with(
     );
 
     // Phase 2: one job per (sample, tool) campaign, seeded by sample index.
+    // Campaigns share one solver query cache: structurally repeated flip
+    // queries (common guard shapes across the generated corpus) are solved
+    // once fleet-wide.
+    let solver_cache = Arc::new(SolverCache::new());
     let cases: Vec<(usize, Tool)> = (0..samples.len())
         .flat_map(|i| Tool::ALL.into_iter().map(move |t| (i, t)))
         .collect();
@@ -245,7 +254,7 @@ pub fn evaluate_with(
                 return (i, tool, false, 0);
             }
             let (flagged, virtual_us) = match &prepared[i] {
-                Some(p) => run_tool_prepared(tool, p, sample, seed ^ (i as u64)),
+                Some(p) => run_tool_prepared(tool, p, &solver_cache, sample, seed ^ (i as u64)),
                 // Preparation failed (uninstrumentable module): the fuzzers
                 // report nothing, matching the serial behavior.
                 None => (run_tool(tool, sample, seed ^ (i as u64)), 0),
@@ -326,11 +335,12 @@ pub fn rq4_analyze_isolated(
     jobs: usize,
     deadline: Deadline,
 ) -> Vec<CampaignRun<WildOutcome>> {
+    let solver_cache = Arc::new(SolverCache::new());
     strip_events(run_jobs_isolated(
         jobs,
         corpus.iter().collect(),
         deadline,
-        |i, w| rq4_one(i, w, seed, deadline, false),
+        |i, w| rq4_one(i, w, seed, deadline, false, &solver_cache),
     ))
 }
 
@@ -346,8 +356,9 @@ pub fn rq4_analyze_isolated_traced(
     deadline: Deadline,
     sink: &mut dyn TelemetrySink,
 ) -> Vec<CampaignRun<WildOutcome>> {
+    let solver_cache = Arc::new(SolverCache::new());
     let runs = run_jobs_isolated(jobs, corpus.iter().collect(), deadline, |i, w| {
-        rq4_one(i, w, seed, deadline, true)
+        rq4_one(i, w, seed, deadline, true, &solver_cache)
     });
     for (i, run) in runs.iter().enumerate() {
         match &run.outcome {
@@ -375,6 +386,7 @@ fn rq4_one(
     seed: u64,
     deadline: Deadline,
     traced: bool,
+    solver_cache: &Arc<SolverCache>,
 ) -> Result<(WildOutcome, Vec<TelemetryEvent>), wasai_chain::ChainError> {
     let config = |s: u64| FuzzConfig {
         deadline,
@@ -382,7 +394,9 @@ fn rq4_one(
     };
     let mut events = Vec::new();
     let mut run = |module: &wasai_wasm::Module, abi: &wasai_chain::abi::Abi, s: u64| {
-        let w = Wasai::new(module.clone(), abi.clone()).with_config(config(s));
+        let w = Wasai::new(module.clone(), abi.clone())
+            .with_config(config(s))
+            .with_solver_cache(solver_cache.clone());
         if traced {
             let (report, ev) = w.run_traced()?;
             events.extend(ev);

@@ -29,6 +29,12 @@ pub struct FuzzConfig {
     /// [`wasai_smt::Deadline::NONE`] never expires, keeping campaigns fully
     /// deterministic.
     pub deadline: wasai_smt::Deadline,
+    /// Enable the solver reuse layer: the per-campaign query memo cache and
+    /// shared-prefix incremental solving (plus the fleet-wide cache when one
+    /// is attached). Reuse is observationally pure — reports and traces
+    /// (modulo the `cache_hit`/`incremental` tags) are byte-identical either
+    /// way — so disabling it is only useful for measuring what it saves.
+    pub smt_reuse: bool,
 }
 
 impl Default for FuzzConfig {
@@ -42,6 +48,7 @@ impl Default for FuzzConfig {
             cost: CostModel::default(),
             feedback: true,
             deadline: wasai_smt::Deadline::NONE,
+            smt_reuse: true,
         }
     }
 }

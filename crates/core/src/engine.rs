@@ -17,7 +17,7 @@ use wasai_chain::abi::{ActionDecl, ParamValue};
 use wasai_chain::action::ApiEvent;
 use wasai_chain::name::Name;
 use wasai_chain::{Chain, Receipt, Transaction};
-use wasai_smt::SolveResult;
+use wasai_smt::{CachedQuery, PrefixSolver, QueryKey, SolveResult, SolverCache};
 use wasai_symex::{constraint_vars, flip_queries, seed_from_model, Replayer};
 
 use crate::clock::VirtualClock;
@@ -55,6 +55,15 @@ pub struct Engine {
     custom_oracles: Vec<Box<dyn CustomOracle>>,
     sink: Option<Box<dyn TelemetrySink>>,
     truncated: bool,
+    /// Per-campaign query memo (L1). Keyed canonically, so the same guard
+    /// re-reached by a later seed replays its `(result, stats)` instead of
+    /// re-solving. Drives the deterministic `cache_hit` telemetry tag.
+    memo: HashMap<QueryKey, CachedQuery>,
+    /// Optional fleet-wide cache (L2), shared across campaigns like the
+    /// `PreparedTarget` artifact cache. Hits are invisible in telemetry
+    /// (they depend on sibling scheduling), which is what keeps traces
+    /// byte-identical at any worker count.
+    solver_cache: Option<Arc<SolverCache>>,
 }
 
 impl Engine {
@@ -100,7 +109,16 @@ impl Engine {
             custom_oracles: Vec::new(),
             sink: None,
             truncated: false,
+            memo: HashMap::new(),
+            solver_cache: None,
         })
+    }
+
+    /// Attach a fleet-shared solver query cache. Campaigns with and without
+    /// one produce byte-identical reports and traces — the cache only
+    /// changes how answers are obtained, never what they are.
+    pub fn set_solver_cache(&mut self, cache: Arc<SolverCache>) {
+        self.solver_cache = Some(cache);
     }
 
     /// Register a custom vulnerability oracle (§5's extension interface).
@@ -468,10 +486,14 @@ impl Engine {
         let mut budget = self.cfg.smt_budget;
         budget.deadline = budget.deadline.earliest(self.cfg.deadline);
 
-        let queries = flip_queries(&outcome, &self.explored);
+        let set = flip_queries(&outcome, &self.explored);
+        // One incremental session per replay: every query shares this
+        // replay's path-constraint chain, so the common prefix is blasted
+        // once and each flip solves from a fork of it.
+        let mut session = PrefixSolver::new(&outcome.pool);
         let mut solved = 0usize;
         let mut new_seeds = Vec::new();
-        for q in queries {
+        for q in &set.queries {
             if solved >= self.cfg.max_queries_per_iter
                 || self.clock.timed_out(self.cfg.timeout_us)
                 || self.deadline_fired()
@@ -490,7 +512,47 @@ impl Engine {
             }
             *tries += 1;
             stage::enter(stage::SOLVE);
-            let (result, stats) = wasai_smt::check(&outcome.pool, &q.constraints, budget);
+            let prefix = &set.prefix[..q.prefix_len];
+            let (result, stats, cache_hit, incremental) = if self.cfg.smt_reuse {
+                let qkey = wasai_smt::query_key(&outcome.pool, prefix, Some(q.flipped));
+                if let Some(entry) = self.memo.get(&qkey) {
+                    // L1: an identical canonical query was resolved earlier
+                    // this campaign — replay its exact (result, stats).
+                    let (r, s) = entry.decode(&outcome.pool);
+                    (r, s, true, false)
+                } else {
+                    let incremental = session.started();
+                    let fleet_hit = self
+                        .solver_cache
+                        .as_ref()
+                        .and_then(|c| c.lookup(&qkey, &outcome.pool));
+                    let (r, s) = match fleet_hit {
+                        Some(hit) => {
+                            // L2: a sibling campaign already solved this.
+                            // Advance the session anyway so its state (and
+                            // the `incremental` tag of later queries) does
+                            // not depend on who populated the fleet cache.
+                            session.advance(prefix);
+                            hit
+                        }
+                        None => {
+                            let (r, s) = session.solve(prefix, q.flipped, budget);
+                            if let Some(cache) = &self.solver_cache {
+                                cache
+                                    .store(qkey.clone(), CachedQuery::encode(&outcome.pool, &r, s));
+                            }
+                            (r, s)
+                        }
+                    };
+                    self.memo
+                        .insert(qkey, CachedQuery::encode(&outcome.pool, &r, s));
+                    (r, s, false, incremental)
+                }
+            } else {
+                let constraints = q.constraints(&set.prefix);
+                let (r, s) = wasai_smt::check(&outcome.pool, &constraints, budget);
+                (r, s, false, false)
+            };
             stage::enter(stage::CAMPAIGN);
             let vtime_before = self.clock.micros();
             self.clock.charge_smt(&self.cfg.cost, stats.propagations);
@@ -511,6 +573,8 @@ impl Engine {
                     outcome: outcome_tag,
                     conflicts: stats.conflicts,
                     props: stats.propagations,
+                    cache_hit,
+                    incremental,
                     vtime: self.clock.micros(),
                 });
             }
@@ -521,7 +585,8 @@ impl Engine {
                     direction: key.2,
                     vtime: self.clock.micros(),
                 });
-                let vars = constraint_vars(&outcome.pool, &q.constraints);
+                let constraints = q.constraints(&set.prefix);
+                let vars = constraint_vars(&outcome.pool, &constraints);
                 let new_params = seed_from_model(&outcome.spec, &outcome.pool, &model, &vars);
                 self.pool.push(action, new_params.clone());
                 new_seeds.push(new_params);

@@ -168,6 +168,15 @@ pub enum TelemetryEvent {
         conflicts: u64,
         /// Unit propagations performed (what the virtual clock charges).
         props: u64,
+        /// The query was answered from the campaign's memo cache (an
+        /// identical canonical query was solved earlier this campaign).
+        /// Deterministic: independent of worker count and of any fleet-level
+        /// cache.
+        cache_hit: bool,
+        /// The query was answered through the shared-prefix incremental
+        /// session (an earlier query of this replay already blasted part of
+        /// the path prefix). Also deterministic.
+        incremental: bool,
         /// Virtual microseconds at emission (after the charge).
         vtime: u64,
     },
@@ -288,9 +297,11 @@ impl TelemetryEvent {
                 outcome,
                 conflicts,
                 props,
+                cache_hit,
+                incremental,
                 ..
             } => format!(
-                ",\"outcome\":\"{}\",\"conflicts\":{conflicts},\"props\":{props}",
+                ",\"outcome\":\"{}\",\"conflicts\":{conflicts},\"props\":{props},\"cache_hit\":{cache_hit},\"incremental\":{incremental}",
                 outcome.name()
             ),
             TelemetryEvent::ConstraintFlipped {
@@ -379,6 +390,10 @@ impl TelemetryEvent {
                     .ok_or_else(|| format!("unknown outcome in {line:?}"))?,
                 conflicts: num_of("conflicts")?,
                 props: num_of("props")?,
+                // Reuse tags postdate the trace format: absent in old
+                // traces, which means the query was solved from scratch.
+                cache_hit: bool_of("cache_hit").unwrap_or(false),
+                incremental: bool_of("incremental").unwrap_or(false),
                 vtime,
             },
             "constraint_flipped" => TelemetryEvent::ConstraintFlipped {
@@ -546,6 +561,10 @@ pub struct Metrics {
     pub smt_props: u64,
     /// Total SAT conflicts.
     pub smt_conflicts: u64,
+    /// SMT queries answered from the campaign memo cache.
+    pub smt_cache_hits: u64,
+    /// SMT queries answered through the shared-prefix incremental session.
+    pub smt_incremental: u64,
     /// Virtual-time histograms per stage.
     pub stage_vtime: BTreeMap<Stage, VtimeHistogram>,
     /// Per-oracle flagged counts.
@@ -583,6 +602,8 @@ impl Metrics {
                 outcome,
                 conflicts,
                 props,
+                cache_hit,
+                incremental,
                 ..
             } => {
                 match outcome {
@@ -592,6 +613,12 @@ impl Metrics {
                 }
                 self.smt_conflicts += conflicts;
                 self.smt_props += props;
+                if *cache_hit {
+                    self.smt_cache_hits += 1;
+                }
+                if *incremental {
+                    self.smt_incremental += 1;
+                }
             }
             TelemetryEvent::ConstraintFlipped { .. } => self.flips += 1,
             TelemetryEvent::OracleVerdict {
@@ -690,6 +717,13 @@ impl Metrics {
             self.smt_unknown,
             self.smt_conflicts,
             self.smt_props
+        );
+        let _ = writeln!(
+            out,
+            "solver reuse: {} cache hits ({:.1}% hit rate), {} incremental",
+            self.smt_cache_hits,
+            100.0 * self.smt_cache_hits as f64 / self.smt_queries().max(1) as f64,
+            self.smt_incremental
         );
         let total = self.total_vtime_us().max(1);
         let _ = writeln!(out, "\nper-stage virtual time:");
@@ -988,6 +1022,8 @@ mod tests {
                 outcome: SmtOutcome::Sat,
                 conflicts: 3,
                 props: 500,
+                cache_hit: true,
+                incremental: false,
                 vtime: 23_500,
             },
             TelemetryEvent::ConstraintFlipped {
@@ -1078,6 +1114,8 @@ mod tests {
         assert_eq!(m.flips, 1);
         assert_eq!(m.smt_queries(), 1);
         assert_eq!(m.smt_sat, 1);
+        assert_eq!(m.smt_cache_hits, 1);
+        assert_eq!(m.smt_incremental, 0);
         assert_eq!(m.total_vtime_us(), 23_500);
         assert_eq!(m.stage_total_us(Stage::Execute), 2_500);
         assert_eq!(m.stage_total_us(Stage::Solve), 21_000);
@@ -1093,8 +1131,29 @@ mod tests {
         // The rendered table mentions the headline numbers.
         let table = m.render();
         assert!(table.contains("SMT queries: 1 (sat 1, unsat 0, unknown 0)"));
+        assert!(table.contains("solver reuse: 1 cache hits (100.0% hit rate), 0 incremental"));
         assert!(table.contains("execute"));
         assert!(table.contains("Fake EOS"));
+    }
+
+    #[test]
+    fn pre_reuse_smt_query_lines_parse_with_tags_false() {
+        // Traces written before the reuse tags existed must keep parsing;
+        // a missing tag means the query was solved from scratch.
+        let line = "{\"campaign\":0,\"event\":\"smt_query\",\"vtime\":5,\
+                    \"outcome\":\"sat\",\"conflicts\":1,\"props\":2}";
+        let (_, ev) = TelemetryEvent::parse_jsonl(line).expect("parses");
+        assert_eq!(
+            ev,
+            TelemetryEvent::SmtQuery {
+                outcome: SmtOutcome::Sat,
+                conflicts: 1,
+                props: 2,
+                cache_hit: false,
+                incremental: false,
+                vtime: 5,
+            }
+        );
     }
 
     #[test]

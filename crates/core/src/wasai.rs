@@ -10,6 +10,7 @@ use crate::engine::Engine;
 use crate::harness::{PreparedTarget, TargetInfo};
 use crate::report::FuzzReport;
 use crate::telemetry::{Recorder, TelemetryEvent, TelemetrySink};
+use wasai_smt::SolverCache;
 
 /// Where the campaign's target comes from: a raw module prepared on `run`,
 /// or a shared pre-instrumented artifact (the fleet cache).
@@ -40,6 +41,7 @@ pub struct Wasai {
     cfg: FuzzConfig,
     oracles: Vec<Box<dyn crate::oracle::CustomOracle>>,
     sink: Option<Box<dyn TelemetrySink>>,
+    solver_cache: Option<Arc<SolverCache>>,
 }
 
 impl Wasai {
@@ -50,6 +52,7 @@ impl Wasai {
             cfg: FuzzConfig::default(),
             oracles: Vec::new(),
             sink: None,
+            solver_cache: None,
         }
     }
 
@@ -62,6 +65,7 @@ impl Wasai {
             cfg: FuzzConfig::default(),
             oracles: Vec::new(),
             sink: None,
+            solver_cache: None,
         }
     }
 
@@ -86,6 +90,15 @@ impl Wasai {
         self
     }
 
+    /// Share a fleet-wide solver query cache with this campaign (see
+    /// [`wasai_smt::SolverCache`]). Campaigns holding the same `Arc` skip
+    /// each other's already-solved flip queries; reports and traces are
+    /// byte-identical with or without it.
+    pub fn with_solver_cache(mut self, cache: Arc<SolverCache>) -> Self {
+        self.solver_cache = Some(cache);
+        self
+    }
+
     /// Run the campaign.
     ///
     /// # Errors
@@ -103,6 +116,9 @@ impl Wasai {
         }
         if let Some(sink) = self.sink {
             engine.set_sink(sink);
+        }
+        if let Some(cache) = self.solver_cache {
+            engine.set_solver_cache(cache);
         }
         Ok(engine.run())
     }

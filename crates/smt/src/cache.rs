@@ -1,0 +1,247 @@
+//! A thread-safe memo cache for solver queries.
+//!
+//! Keys are canonical ([`crate::canon::query_key`]): two structurally
+//! identical assertion lists — even from different [`TermPool`]s — blast to
+//! literally the same CNF, so replaying the memoized `(result, stats)` pair
+//! is byte-identical to re-solving. Sat models are stored by *variable
+//! name* (names are stable across replays; `TermId`s and variable indices
+//! are not) and re-keyed onto the querying pool on decode.
+//!
+//! The cache is shared fleet-wide behind an `Arc`, the same pattern as the
+//! core crate's `PreparedTarget` artifact cache: campaigns over the same
+//! contract (or different contracts sharing guard shapes) skip each other's
+//! already-solved queries. Because a hit returns exactly what a solve would
+//! have, sharing across worker threads cannot perturb campaign results —
+//! only wall-clock time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::canon::QueryKey;
+use crate::solver::{Model, SolveResult, SolveStats};
+use crate::term::TermPool;
+
+/// Entry cap: beyond this the cache stops accepting new queries instead of
+/// evicting (eviction order would make hit patterns scheduling-dependent;
+/// refusing keeps behavior deterministic and memory bounded).
+const MAX_ENTRIES: usize = 1 << 16;
+
+#[derive(Debug, Clone)]
+enum CachedOutcome {
+    /// Sat, with the model's nonzero values keyed by variable name.
+    Sat(Vec<(String, u64)>),
+    Unsat,
+    Unknown,
+}
+
+/// One memoized query: the solver's verdict plus its exact statistics, in a
+/// pool-independent form.
+#[derive(Debug, Clone)]
+pub struct CachedQuery {
+    outcome: CachedOutcome,
+    stats: SolveStats,
+}
+
+impl CachedQuery {
+    /// Capture a solve outcome in pool-independent form.
+    pub fn encode(pool: &TermPool, result: &SolveResult, stats: SolveStats) -> CachedQuery {
+        let outcome = match result {
+            SolveResult::Sat(m) => {
+                let mut named: Vec<(String, u64)> = m
+                    .values()
+                    .iter()
+                    .filter(|&(_, &v)| v != 0)
+                    .map(|(&var, &v)| (pool.vars()[var as usize].name.clone(), v))
+                    .collect();
+                named.sort();
+                CachedOutcome::Sat(named)
+            }
+            SolveResult::Unsat => CachedOutcome::Unsat,
+            SolveResult::Unknown => CachedOutcome::Unknown,
+        };
+        CachedQuery { outcome, stats }
+    }
+
+    /// Replay the memoized outcome against `pool` (the querying replay's
+    /// pool). Stored variables the pool does not know are impossible for a
+    /// canonical key match and are ignored; pool variables the query never
+    /// constrained stay at the implicit 0, exactly as a fresh solve leaves
+    /// them.
+    pub fn decode(&self, pool: &TermPool) -> (SolveResult, SolveStats) {
+        let result = match &self.outcome {
+            CachedOutcome::Sat(named) => {
+                let mut values = HashMap::new();
+                for (name, value) in named {
+                    if let Some(var) = pool.var_index(name) {
+                        values.insert(var, *value);
+                    }
+                }
+                SolveResult::Sat(Model::from_values(values))
+            }
+            CachedOutcome::Unsat => SolveResult::Unsat,
+            CachedOutcome::Unknown => SolveResult::Unknown,
+        };
+        (result, self.stats)
+    }
+}
+
+/// The fleet-wide query cache. Cheap to share: lookups take one mutex hold
+/// over a hash probe; counters are atomic.
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    map: Mutex<HashMap<QueryKey, CachedQuery>>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl SolverCache {
+    /// An empty cache.
+    pub fn new() -> SolverCache {
+        SolverCache::default()
+    }
+
+    /// Look up a canonical key, decoding the memo against `pool` on a hit.
+    pub fn lookup(&self, key: &QueryKey, pool: &TermPool) -> Option<(SolveResult, SolveStats)> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let entry = {
+            let map = self.map.lock().expect("cache poisoned");
+            map.get(key).cloned()
+        };
+        let hit = entry.map(|e| e.decode(pool));
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Memoize a solved query. Idempotent: concurrent stores of the same
+    /// key write identical entries (solving is deterministic), so races are
+    /// harmless.
+    pub fn store(&self, key: QueryKey, entry: CachedQuery) {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
+            return;
+        }
+        map.insert(key, entry);
+    }
+
+    /// Number of memoized queries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in [0, 1] (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::query_key;
+    use crate::solver::{check, Budget};
+    use crate::term::CmpOp;
+
+    fn build_query(pool: &mut TermPool, noise_vars: usize) -> (crate::term::TermId, u32) {
+        for i in 0..noise_vars {
+            pool.var(&format!("noise{i}"), 8);
+        }
+        let x = pool.var("x", 32);
+        let c = pool.bv_const(41, 32);
+        let xv = pool.var_index("x").expect("x registered");
+        (pool.eq(x, c), xv)
+    }
+
+    #[test]
+    fn hit_replays_result_and_stats_across_pools() {
+        let cache = SolverCache::new();
+
+        // Solve in pool 1 and memoize.
+        let mut p1 = TermPool::new();
+        let (q1, _) = build_query(&mut p1, 0);
+        let key1 = query_key(&p1, &[q1], None);
+        let (res1, stats1) = check(&p1, &[q1], Budget::default());
+        cache.store(key1.clone(), CachedQuery::encode(&p1, &res1, stats1));
+
+        // Same structural query from a different pool with shifted indices.
+        let mut p2 = TermPool::new();
+        let (q2, x2) = build_query(&mut p2, 3);
+        let key2 = query_key(&p2, &[q2], None);
+        assert_eq!(key1, key2, "canonical keys must match across pools");
+
+        let (hit_res, hit_stats) = cache.lookup(&key2, &p2).expect("hit");
+        let (fresh_res, fresh_stats) = check(&p2, &[q2], Budget::default());
+        assert_eq!(hit_res, fresh_res, "memoized result must replay exactly");
+        assert_eq!(hit_stats, fresh_stats);
+        assert_eq!(hit_res.model().expect("sat").value(x2), 41);
+
+        assert_eq!(cache.lookups(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn miss_then_store_then_hit() {
+        let cache = SolverCache::new();
+        let mut p = TermPool::new();
+        let x = p.var("x", 16);
+        let c = p.bv_const(5, 16);
+        let q = p.cmp(CmpOp::Ult, x, c);
+        let key = query_key(&p, &[q], None);
+        assert!(cache.lookup(&key, &p).is_none());
+        let (res, stats) = check(&p, &[q], Budget::default());
+        cache.store(key.clone(), CachedQuery::encode(&p, &res, stats));
+        assert!(cache.lookup(&key, &p).is_some());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookups(), 2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let cache = Arc::new(SolverCache::new());
+        let mut p = TermPool::new();
+        let x = p.var("x", 16);
+        let c = p.bv_const(9, 16);
+        let q = p.eq(x, c);
+        let key = query_key(&p, &[q], None);
+        let (res, stats) = check(&p, &[q], Budget::default());
+        cache.store(key.clone(), CachedQuery::encode(&p, &res, stats));
+
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let key = key.clone();
+                let pool = &p;
+                s.spawn(move || {
+                    let (r, _) = cache.lookup(&key, pool).expect("hit");
+                    assert_eq!(r.model().map(|m| m.value_by_name(pool, "x")), Some(Some(9)));
+                });
+            }
+        });
+        assert_eq!(cache.hits(), 4);
+    }
+}

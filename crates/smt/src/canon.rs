@@ -1,0 +1,281 @@
+//! Canonical query keys: a pool-independent encoding of an assertion set.
+//!
+//! [`crate::term::TermPool`] hash-conses terms, so within one pool a query
+//! is identified by its `TermId` list — but every symbolic replay owns a
+//! fresh pool, and the memo cache (see [`crate::cache`]) must recognize the
+//! *same* query re-issued from a different pool (the same guard re-reached
+//! by a later seed, or the same contract analyzed by a sibling campaign).
+//!
+//! The key is therefore a serialization of the assertion list's term DAG
+//! *structure*: each distinct subterm is numbered in first-visit order
+//! (post-order over the assertion list) and emitted once as an opcode plus
+//! operand sequence numbers; variables are identified by name and width
+//! (names like `arg0.amount` are stable across replays — see
+//! `wasai-symex`'s input construction). Two assertion lists get equal keys
+//! iff they are structurally identical with identically-named variables, in
+//! which case bit-blasting them produces literally the same CNF and the
+//! solver the same result and statistics — the property that makes cache
+//! hits byte-identical to re-solving.
+
+use std::collections::HashMap;
+
+use crate::term::{BvOp, CmpOp, TermId, TermKind, TermPool};
+
+/// An opaque canonical key for one assertion list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey(Vec<u8>);
+
+impl QueryKey {
+    /// Size of the encoded key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the key is empty (the empty query).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+fn bv_code(op: BvOp) -> u8 {
+    match op {
+        BvOp::Add => 0,
+        BvOp::Sub => 1,
+        BvOp::Mul => 2,
+        BvOp::UDiv => 3,
+        BvOp::URem => 4,
+        BvOp::SDiv => 5,
+        BvOp::SRem => 6,
+        BvOp::And => 7,
+        BvOp::Or => 8,
+        BvOp::Xor => 9,
+        BvOp::Shl => 10,
+        BvOp::LShr => 11,
+        BvOp::AShr => 12,
+        BvOp::Rotl => 13,
+        BvOp::Rotr => 14,
+    }
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ult => 1,
+        CmpOp::Ule => 2,
+        CmpOp::Slt => 3,
+        CmpOp::Sle => 4,
+    }
+}
+
+struct Encoder<'p> {
+    pool: &'p TermPool,
+    seq: HashMap<TermId, u32>,
+    out: Vec<u8>,
+}
+
+impl<'p> Encoder<'p> {
+    fn new(pool: &'p TermPool) -> Self {
+        Encoder {
+            pool,
+            seq: HashMap::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn put_u32(&mut self, x: u32) {
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, x: u64) {
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Encode a term (children first), returning its sequence number.
+    fn term(&mut self, t: TermId) -> u32 {
+        if let Some(&id) = self.seq.get(&t) {
+            return id;
+        }
+        // Children are encoded before the parent record is emitted, so every
+        // operand reference below points at an already-numbered subterm.
+        let kind = self.pool.kind(t).clone();
+        match kind {
+            TermKind::BoolConst(b) => {
+                self.out.push(0x01);
+                self.out.push(b as u8);
+            }
+            TermKind::BvConst { width, bits } => {
+                self.out.push(0x02);
+                self.put_u32(width);
+                self.put_u64(bits);
+            }
+            TermKind::Var { width, var } => {
+                let name = self.pool.vars()[var as usize].name.clone();
+                self.out.push(0x03);
+                self.put_u32(width);
+                self.put_u32(name.len() as u32);
+                self.out.extend_from_slice(name.as_bytes());
+            }
+            TermKind::Not(a) => {
+                let a = self.term(a);
+                self.out.push(0x04);
+                self.put_u32(a);
+            }
+            TermKind::AndB(a, b) => {
+                let (a, b) = (self.term(a), self.term(b));
+                self.out.push(0x05);
+                self.put_u32(a);
+                self.put_u32(b);
+            }
+            TermKind::OrB(a, b) => {
+                let (a, b) = (self.term(a), self.term(b));
+                self.out.push(0x06);
+                self.put_u32(a);
+                self.put_u32(b);
+            }
+            TermKind::Bv(op, a, b) => {
+                let (a, b) = (self.term(a), self.term(b));
+                self.out.push(0x07);
+                self.out.push(bv_code(op));
+                self.put_u32(a);
+                self.put_u32(b);
+            }
+            TermKind::BvNot(a) => {
+                let a = self.term(a);
+                self.out.push(0x08);
+                self.put_u32(a);
+            }
+            TermKind::BvNeg(a) => {
+                let a = self.term(a);
+                self.out.push(0x09);
+                self.put_u32(a);
+            }
+            TermKind::Popcnt(a) => {
+                let a = self.term(a);
+                self.out.push(0x0a);
+                self.put_u32(a);
+            }
+            TermKind::Cmp(op, a, b) => {
+                let (a, b) = (self.term(a), self.term(b));
+                self.out.push(0x0b);
+                self.out.push(cmp_code(op));
+                self.put_u32(a);
+                self.put_u32(b);
+            }
+            TermKind::Concat(a, b) => {
+                let (a, b) = (self.term(a), self.term(b));
+                self.out.push(0x0c);
+                self.put_u32(a);
+                self.put_u32(b);
+            }
+            TermKind::Extract { term, hi, lo } => {
+                let a = self.term(term);
+                self.out.push(0x0d);
+                self.put_u32(a);
+                self.put_u32(hi);
+                self.put_u32(lo);
+            }
+            TermKind::ZeroExt { term, add } => {
+                let a = self.term(term);
+                self.out.push(0x0e);
+                self.put_u32(a);
+                self.put_u32(add);
+            }
+            TermKind::SignExt { term, add } => {
+                let a = self.term(term);
+                self.out.push(0x0f);
+                self.put_u32(a);
+                self.put_u32(add);
+            }
+            TermKind::Ite(c, a, b) => {
+                let (c, a, b) = (self.term(c), self.term(a), self.term(b));
+                self.out.push(0x10);
+                self.put_u32(c);
+                self.put_u32(a);
+                self.put_u32(b);
+            }
+        }
+        let id = self.seq.len() as u32;
+        self.seq.insert(t, id);
+        id
+    }
+}
+
+/// The canonical key of the query `prefix ∧ delta` (pass `None` for a
+/// plain assertion list). The key covers the assertion list exactly as
+/// given — order and repetitions included — so equal keys imply an
+/// identical bit-blast and therefore identical results *and statistics*.
+pub fn query_key(pool: &TermPool, prefix: &[TermId], delta: Option<TermId>) -> QueryKey {
+    let mut enc = Encoder::new(pool);
+    let mut roots: Vec<u32> = Vec::with_capacity(prefix.len() + 1);
+    for &a in prefix {
+        let id = enc.term(a);
+        roots.push(id);
+    }
+    if let Some(d) = delta {
+        let id = enc.term(d);
+        roots.push(id);
+    }
+    enc.out.push(0xff);
+    for r in roots {
+        enc.out.extend_from_slice(&r.to_le_bytes());
+    }
+    QueryKey(enc.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+
+    fn guard(pool: &mut TermPool, name: &str, k: u64) -> TermId {
+        let v = pool.var(name, 64);
+        let c = pool.bv_const(k, 64);
+        pool.cmp(CmpOp::Ult, v, c)
+    }
+
+    #[test]
+    fn same_structure_different_pools_share_keys() {
+        // Pools built in different orders assign different TermIds and var
+        // indices, but the canonical key only sees structure and names.
+        let mut p1 = TermPool::new();
+        let _noise = p1.var("zzz", 8); // shifts var indices
+        let a1 = guard(&mut p1, "arg0", 10);
+        let b1 = guard(&mut p1, "arg1", 20);
+
+        let mut p2 = TermPool::new();
+        let b2 = guard(&mut p2, "arg1", 20);
+        let a2 = guard(&mut p2, "arg0", 10);
+
+        assert_eq!(
+            query_key(&p1, &[a1], Some(b1)),
+            query_key(&p2, &[a2], Some(b2))
+        );
+    }
+
+    #[test]
+    fn structure_and_names_distinguish_queries() {
+        let mut p = TermPool::new();
+        let a = guard(&mut p, "arg0", 10);
+        let b = guard(&mut p, "arg1", 10);
+        let c = guard(&mut p, "arg0", 11);
+        assert_ne!(query_key(&p, &[a], None), query_key(&p, &[b], None));
+        assert_ne!(query_key(&p, &[a], None), query_key(&p, &[c], None));
+        // Order matters: the blast order (and hence CNF numbering) differs.
+        assert_ne!(query_key(&p, &[a, b], None), query_key(&p, &[b, a], None));
+        // Prefix + delta is the same list as prefix-with-delta-appended.
+        assert_eq!(query_key(&p, &[a, b], None), query_key(&p, &[a], Some(b)));
+    }
+
+    #[test]
+    fn shared_subterms_are_numbered_once() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let c = p.bv_const(5, 32);
+        let lt = p.cmp(CmpOp::Ult, x, c);
+        let eq = p.eq(x, c);
+        let k_pair = query_key(&p, &[lt, eq], None);
+        let k_single = query_key(&p, &[lt], None);
+        // The pair's key reuses x and c: it is shorter than two singles.
+        assert!(k_pair.len() < 2 * k_single.len());
+    }
+}

@@ -16,7 +16,11 @@
 //! - [`sat`]: a CDCL SAT solver (two-watched literals, 1UIP learning,
 //!   VSIDS activities, phase saving, restarts);
 //! - [`solver`]: the assert/check/model frontend with the deterministic
-//!   resource budget that replaces the paper's 3,000 ms cap.
+//!   resource budget that replaces the paper's 3,000 ms cap;
+//! - [`canon`] / [`cache`] / [`prefix`]: the reuse layer — pool-independent
+//!   canonical query keys, a fleet-shared memo cache, and shared-prefix
+//!   incremental solving for flip-query families. All three are
+//!   observationally identical to calling [`check`] from scratch.
 //!
 //! The byte-array role Z3 plays in the paper (its `Store`/`Select` memory
 //! model, §3.4.1) is implemented in `wasai-symex` directly: WASAI's memory
@@ -45,12 +49,18 @@
 //! ```
 
 pub mod bitblast;
+pub mod cache;
+pub mod canon;
 pub mod deadline;
+pub mod prefix;
 pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use cache::{CachedQuery, SolverCache};
+pub use canon::{query_key, QueryKey};
 pub use deadline::Deadline;
+pub use prefix::PrefixSolver;
 pub use solver::{check, Budget, Model, SolveResult, SolveStats};
 pub use term::{BvOp, CmpOp, Sort, TermId, TermKind, TermPool};
 

@@ -60,7 +60,12 @@ pub enum SatOutcome {
 const UNASSIGNED: i8 = -1;
 
 /// The solver.
-#[derive(Debug, Default)]
+///
+/// `Clone` snapshots the complete solver state — clause database, trail,
+/// activities, counters. [`crate::prefix::PrefixSolver`] uses this to fork a
+/// shared path-prefix instance per flip query, which is what makes
+/// shared-prefix solving bit-for-bit identical to solving from scratch.
+#[derive(Debug, Default, Clone)]
 pub struct SatSolver {
     /// Clause literal storage; index = clause id.
     clauses: Vec<Vec<Lit>>,
@@ -408,6 +413,115 @@ impl SatSolver {
                     restart_unit = restart_unit.saturating_mul(2);
                     next_restart = self.conflicts + restart_unit;
                     self.backtrack(0);
+                }
+            } else {
+                match self.decide() {
+                    None => return SatOutcome::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, u32::MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Undo all decisions, returning the solver to the root level.
+    ///
+    /// After a [`SatOutcome::Sat`] the trail still holds the model; call
+    /// this once the model has been read and before adding further clauses
+    /// (clauses must be added at level 0).
+    pub fn backtrack_root(&mut self) {
+        self.backtrack(0);
+    }
+
+    /// Solve under `assumptions`: each literal is decided (in order) before
+    /// the free search, MiniSat-style.
+    ///
+    /// [`SatOutcome::Unsat`] here means *unsat under the assumptions*: the
+    /// instance itself is not poisoned unless a root-level conflict proved
+    /// it globally unsat, so the same solver can keep answering further
+    /// assumption queries. Learnt clauses are derived by resolution from the
+    /// clause database alone, so they remain valid across queries and
+    /// successive queries get faster.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+        deadline: Deadline,
+    ) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        if deadline.expired() {
+            self.backtrack(0);
+            return SatOutcome::Unknown;
+        }
+        let start_conflicts = self.conflicts;
+        let mut restart_unit = 64u64;
+        let mut next_restart = self.conflicts + restart_unit;
+        let mut steps_since_poll: u32 = 0;
+        loop {
+            steps_since_poll += 1;
+            if steps_since_poll >= DEADLINE_POLL_INTERVAL {
+                steps_since_poll = 0;
+                if deadline.expired() {
+                    self.backtrack(0);
+                    return SatOutcome::Unknown;
+                }
+            }
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                if self.conflicts - start_conflicts >= max_conflicts {
+                    self.backtrack(0);
+                    return SatOutcome::Unknown;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, u32::MAX);
+                } else {
+                    let id = self.clauses.len() as u32;
+                    self.watches[learnt[0].negate().0 as usize].push(id);
+                    self.watches[learnt[1].negate().0 as usize].push(id);
+                    self.clauses.push(learnt);
+                    self.enqueue(asserting, id);
+                }
+                self.var_inc *= 1.05;
+                if self.conflicts >= next_restart {
+                    restart_unit = restart_unit.saturating_mul(2);
+                    next_restart = self.conflicts + restart_unit;
+                    self.backtrack(0);
+                }
+            } else if (self.trail_lim.len()) < assumptions.len() {
+                // Establish the next assumption as a decision.
+                let a = assumptions[self.trail_lim.len()];
+                match self.lit_value(a) {
+                    1 => {
+                        // Already implied: open an empty decision level so
+                        // assumption index k always lives at level k+1.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    0 => {
+                        // The clause database (plus earlier assumptions)
+                        // forces ¬a: unsat under these assumptions, but the
+                        // instance itself stays healthy.
+                        self.backtrack(0);
+                        return SatOutcome::Unsat;
+                    }
+                    _ => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, u32::MAX);
+                    }
                 }
             } else {
                 match self.decide() {

@@ -61,6 +61,17 @@ impl Model {
             .map(|v| self.value(v))
             .collect()
     }
+
+    /// Build a model from explicit per-variable values (the cache's decode
+    /// path reconstructs models this way).
+    pub(crate) fn from_values(values: HashMap<u32, u64>) -> Model {
+        Model { values }
+    }
+
+    /// The explicit value map (the cache's encode path reads it).
+    pub(crate) fn values(&self) -> &HashMap<u32, u64> {
+        &self.values
+    }
 }
 
 /// Outcome of a `check`.
@@ -107,39 +118,87 @@ pub struct SolveStats {
     pub sat_clauses: usize,
 }
 
-/// Check the conjunction of `assertions` under `budget`.
+/// Preprocess an assertion list: detect constant-false assertions, prune
+/// constant-true ones and dedup repeated term ids, preserving first-seen
+/// order. Returns `None` when the conjunction is trivially unsat.
 ///
-/// Every check bit-blasts from scratch: WASAI solves many small independent
-/// branch-flip queries (§3.4.4), so incrementality buys little and
-/// from-scratch keeps the solver stateless and deterministic.
-pub fn check(pool: &TermPool, assertions: &[TermId], budget: Budget) -> (SolveResult, SolveStats) {
-    // Fast path: constant-folded assertions.
+/// Pruning is CNF-neutral for non-trivial queries (a `BoolConst(true)`
+/// assertion adds no gates and its unit clause is satisfied at level 0; a
+/// repeated assertion hits the blaster's cache and its unit is already
+/// true), so it never changes results or solve statistics — it only lets
+/// fully trivial queries skip the blaster entirely.
+pub(crate) fn preprocess(pool: &TermPool, assertions: &[TermId]) -> Option<Vec<TermId>> {
     if assertions.iter().any(|&a| pool.as_const(a) == Some(0)) {
-        return (SolveResult::Unsat, SolveStats::default());
+        return None;
     }
-    let mut bb = BitBlaster::new(pool);
+    let mut seen: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+    let mut effective = Vec::with_capacity(assertions.len());
     for &a in assertions {
-        bb.assert_true(a);
+        if pool.as_const(a) == Some(1) {
+            continue;
+        }
+        if seen.insert(a) {
+            effective.push(a);
+        }
     }
-    let outcome = bb.sat.solve(budget.max_conflicts, budget.deadline);
-    let stats = SolveStats {
+    Some(effective)
+}
+
+/// Read the full solve statistics out of a blaster.
+pub(crate) fn stats_of(bb: &BitBlaster<'_>) -> SolveStats {
+    SolveStats {
         conflicts: bb.sat.conflicts,
         propagations: bb.sat.propagations,
         sat_vars: bb.sat.num_vars(),
         sat_clauses: bb.sat.num_clauses(),
-    };
-    let result = match outcome {
+    }
+}
+
+/// Build the [`SolveResult`] for a finished blaster: on Sat, a model with an
+/// explicit entry for every pool variable (unconstrained ones read 0).
+pub(crate) fn result_of(pool: &TermPool, bb: &BitBlaster<'_>, outcome: SatOutcome) -> SolveResult {
+    match outcome {
         SatOutcome::Sat => {
+            // Zero values stay implicit ([`Model::value`] defaults to 0), so
+            // models are canonical: a memoized model decoded in another pool
+            // compares equal to the one a fresh solve would have built.
             let mut values = HashMap::new();
             for v in 0..pool.vars().len() as u32 {
-                values.insert(v, bb.var_value(v));
+                let value = bb.var_value(v);
+                if value != 0 {
+                    values.insert(v, value);
+                }
             }
             SolveResult::Sat(Model { values })
         }
         SatOutcome::Unsat => SolveResult::Unsat,
         SatOutcome::Unknown => SolveResult::Unknown,
+    }
+}
+
+/// Check the conjunction of `assertions` under `budget`.
+///
+/// Each call bit-blasts its (preprocessed) assertion list from scratch,
+/// which keeps the solver stateless and is the reference semantics the
+/// reuse layer must reproduce bit-for-bit: [`crate::prefix::PrefixSolver`]
+/// answers the same queries from a shared prefix encoding, and
+/// [`crate::cache::SolverCache`] replays memoized `(result, stats)` pairs —
+/// both are observationally identical to calling `check`.
+pub fn check(pool: &TermPool, assertions: &[TermId], budget: Budget) -> (SolveResult, SolveStats) {
+    // Fast paths: constant-folded assertions never reach the blaster.
+    let Some(effective) = preprocess(pool, assertions) else {
+        return (SolveResult::Unsat, SolveStats::default());
     };
-    (result, stats)
+    if effective.is_empty() {
+        return (SolveResult::Sat(Model::default()), SolveStats::default());
+    }
+    let mut bb = BitBlaster::new(pool);
+    for &a in &effective {
+        bb.assert_true(a);
+    }
+    let outcome = bb.sat.solve(budget.max_conflicts, budget.deadline);
+    let stats = stats_of(&bb);
+    (result_of(pool, &bb, outcome), stats)
 }
 
 #[cfg(test)]
@@ -183,6 +242,50 @@ mod tests {
         let (res, stats) = check(&p, &[f], Budget::default());
         assert_eq!(res, SolveResult::Unsat);
         assert_eq!(stats.sat_vars, 0, "no blasting should happen");
+    }
+
+    #[test]
+    fn folded_true_short_circuits() {
+        // All assertions fold to constant true: Sat with the default model,
+        // and — mirroring folded_false_short_circuits — no blasting.
+        let mut p = TermPool::new();
+        let t = p.bool_const(true);
+        let c1 = p.bv_const(7, 32);
+        let c2 = p.bv_const(7, 32);
+        let folded = p.eq(c1, c2); // folds to BoolConst(true)
+        let (res, stats) = check(&p, &[t, folded, t], Budget::default());
+        assert_eq!(res, SolveResult::Sat(Model::default()));
+        assert_eq!(stats.sat_vars, 0, "no blasting should happen");
+        assert_eq!(stats, SolveStats::default());
+    }
+
+    #[test]
+    fn empty_assertion_list_is_trivially_sat() {
+        let p = TermPool::new();
+        let (res, stats) = check(&p, &[], Budget::default());
+        assert_eq!(res, SolveResult::Sat(Model::default()));
+        assert_eq!(stats.sat_vars, 0);
+    }
+
+    #[test]
+    fn preprocessing_is_result_and_stats_neutral() {
+        // Repeating assertions and interleaving constant-true assertions must
+        // not change the verdict, the model, or the solve statistics relative
+        // to the plain query — the preprocessing contract the reuse layer
+        // relies on.
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 32);
+        let sum = p.bv(BvOp::Add, x, y);
+        let c100 = p.bv_const(100, 32);
+        let c30 = p.bv_const(30, 32);
+        let a1 = p.eq(sum, c100);
+        let a2 = p.cmp(CmpOp::Ult, x, c30);
+        let t = p.bool_const(true);
+        let (plain_res, plain_stats) = check(&p, &[a1, a2], Budget::default());
+        let (noisy_res, noisy_stats) = check(&p, &[t, a1, a1, t, a2, a2, a1], Budget::default());
+        assert_eq!(plain_res, noisy_res);
+        assert_eq!(plain_stats, noisy_stats);
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! assemble `path-prefix ∧ flipped` — "the path to the conditional state
 //! must be feasible" ∧ "the jumping condition holds for the opposite
 //! branch" — ready to hand to the solver.
+//!
+//! All queries from one replay share the same path-constraint chain, so the
+//! result is a [`FlipSet`]: the chain stored once, plus per-query
+//! `(prefix_len, flipped)` pairs. That shape is what lets the solver blast
+//! the shared prefix a single time and answer every flip from it
+//! (`wasai_smt::PrefixSolver`), instead of re-encoding a cloned constraint
+//! vector per query.
 
 use std::collections::HashSet;
 
@@ -11,11 +18,15 @@ use wasai_smt::TermId;
 
 use crate::replay::{CondKind, ReplayOutcome};
 
-/// One ready-to-solve flip query.
+/// One ready-to-solve flip query: the first `prefix_len` constraints of the
+/// owning [`FlipSet`]'s chain, conjoined with `flipped`.
 #[derive(Debug, Clone)]
 pub struct FlipQuery {
-    /// All constraints to conjoin.
-    pub constraints: Vec<TermId>,
+    /// How much of the shared path-constraint chain precedes this
+    /// conditional.
+    pub prefix_len: usize,
+    /// The negated jumping condition.
+    pub flipped: TermId,
     /// The branch site being flipped.
     pub site: (u32, u32),
     /// The direction the new seed should take (branches) — `taken` negated.
@@ -26,36 +37,184 @@ pub struct FlipQuery {
 
 impl FlipQuery {
     /// The coverage key `(func, pc, direction)` this query targets.
+    ///
+    /// Branches use directions 0/1 (the `taken` flag recorded in traces).
+    /// Asserts use 2/3 — their own key space — so an assert flip at a site
+    /// never aliases a branch flip at the same `(func, pc)`: `explored`
+    /// only ever holds branch keys, and an aliased key would silently
+    /// suppress whichever query came second.
     pub fn target_key(&self) -> (u32, u32, u64) {
-        (self.site.0, self.site.1, self.target_taken as u64)
+        let dir = match self.kind {
+            CondKind::Branch => self.target_taken as u64,
+            CondKind::Assert => 2 + self.target_taken as u64,
+        };
+        (self.site.0, self.site.1, dir)
+    }
+
+    /// Materialize the full constraint list against the owning set's
+    /// `prefix` (compatibility path for callers that solve from scratch).
+    pub fn constraints(&self, prefix: &[TermId]) -> Vec<TermId> {
+        let mut out: Vec<TermId> = prefix[..self.prefix_len].to_vec();
+        out.push(self.flipped);
+        out
+    }
+}
+
+/// All flip queries from one replay, sharing a single path-constraint chain.
+#[derive(Debug, Clone, Default)]
+pub struct FlipSet {
+    /// The replay's full path-constraint chain; each query uses a prefix of
+    /// it. Queries appear in trace order, so their `prefix_len`s are
+    /// non-decreasing — exactly the access pattern incremental solving
+    /// wants.
+    pub prefix: Vec<TermId>,
+    /// The queries, in trace order.
+    pub queries: Vec<FlipQuery>,
+}
+
+impl FlipSet {
+    /// Materialized constraints of `q` (see [`FlipQuery::constraints`]).
+    pub fn constraints_of(&self, q: &FlipQuery) -> Vec<TermId> {
+        q.constraints(&self.prefix)
     }
 }
 
 /// Build flip queries from a replay, skipping targets already in `explored`
-/// (branch directions some earlier seed has covered).
-pub fn flip_queries(
-    outcome: &ReplayOutcome,
-    explored: &HashSet<(u32, u32, u64)>,
-) -> Vec<FlipQuery> {
+/// (branch directions some earlier seed has covered) and deduplicating
+/// repeated targets within the run — asserts included: a guard re-checked
+/// on every loop iteration yields one query, not one per iteration.
+pub fn flip_queries(outcome: &ReplayOutcome, explored: &HashSet<(u32, u32, u64)>) -> FlipSet {
     let mut seen_this_run: HashSet<(u32, u32, u64)> = HashSet::new();
-    let mut out = Vec::new();
+    let mut queries = Vec::new();
     for cond in &outcome.conditionals {
-        let target_taken = !cond.taken;
-        let key = (cond.site.0, cond.site.1, target_taken as u64);
-        if cond.kind == CondKind::Branch
-            && (explored.contains(&key) || seen_this_run.contains(&key))
-        {
+        let q = FlipQuery {
+            prefix_len: cond.path_len,
+            flipped: cond.flipped,
+            site: cond.site,
+            target_taken: !cond.taken,
+            kind: cond.kind,
+        };
+        let key = q.target_key();
+        if explored.contains(&key) || seen_this_run.contains(&key) {
             continue;
         }
         seen_this_run.insert(key);
-        let mut constraints: Vec<TermId> = outcome.path[..cond.path_len].to_vec();
-        constraints.push(cond.flipped);
-        out.push(FlipQuery {
-            constraints,
-            site: cond.site,
-            target_taken,
-            kind: cond.kind,
-        });
+        queries.push(q);
     }
-    out
+    FlipSet {
+        prefix: outcome.path.clone(),
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::InputSpec;
+    use wasai_chain::abi::{ParamType, ParamValue};
+    use wasai_smt::{CmpOp, TermPool};
+
+    /// A replay with hand-placed conditionals over one `arg0` guard chain.
+    fn outcome(
+        conds: Vec<ConditionalState>,
+        path: Vec<TermId>,
+        mut pool: TermPool,
+    ) -> ReplayOutcome {
+        let spec = InputSpec::build(&mut pool, 7, 1, &[(ParamType::U64, ParamValue::U64(5))]);
+        ReplayOutcome {
+            pool,
+            spec,
+            conditionals: conds,
+            path,
+            branches: HashSet::new(),
+            func_chain: vec![7],
+            records: 0,
+            truncated: false,
+        }
+    }
+
+    use crate::replay::ConditionalState;
+
+    fn guard(pool: &mut TermPool, k: u64) -> (TermId, TermId) {
+        let v = pool.var("g", 64);
+        let c = pool.bv_const(k, 64);
+        let taken = pool.cmp(CmpOp::Ult, v, c);
+        let flipped = pool.not(taken);
+        (taken, flipped)
+    }
+
+    #[test]
+    fn repeated_asserts_dedup_to_one_query() {
+        // Regression: the dedup filter used to apply only to
+        // `CondKind::Branch`, so an assert re-checked N times (a guard in a
+        // loop) produced N identical queries, wasting the per-iteration
+        // query budget.
+        let mut pool = TermPool::new();
+        let (taken, flipped) = guard(&mut pool, 10);
+        let cond = |path_len| ConditionalState {
+            site: (3, 42),
+            taken: false,
+            kind: CondKind::Assert,
+            flipped,
+            path_len,
+        };
+        let out = outcome(vec![cond(0), cond(1), cond(2)], vec![taken, taken], pool);
+        let set = flip_queries(&out, &HashSet::new());
+        assert_eq!(set.queries.len(), 1, "identical assert targets must dedup");
+        assert_eq!(set.queries[0].prefix_len, 0, "first occurrence wins");
+    }
+
+    #[test]
+    fn assert_keys_do_not_alias_branch_keys() {
+        // An assert and a branch at the same (func, pc) flipping the same
+        // direction must both survive: asserts live in key space 2/3.
+        let mut pool = TermPool::new();
+        let (taken, flipped) = guard(&mut pool, 10);
+        let branch = ConditionalState {
+            site: (3, 42),
+            taken: false,
+            kind: CondKind::Branch,
+            flipped,
+            path_len: 0,
+        };
+        let assert_ = ConditionalState {
+            site: (3, 42),
+            taken: false,
+            kind: CondKind::Assert,
+            flipped,
+            path_len: 1,
+        };
+        let out = outcome(vec![branch, assert_], vec![taken], pool);
+        let set = flip_queries(&out, &HashSet::new());
+        assert_eq!(set.queries.len(), 2);
+        let k_branch = set.queries[0].target_key();
+        let k_assert = set.queries[1].target_key();
+        assert_ne!(k_branch, k_assert);
+        assert_eq!(k_branch, (3, 42, 1));
+        assert_eq!(k_assert, (3, 42, 3));
+
+        // `explored` holding the branch key must not suppress the assert.
+        let explored: HashSet<_> = [k_branch].into_iter().collect();
+        let set = flip_queries(&out, &explored);
+        assert_eq!(set.queries.len(), 1);
+        assert_eq!(set.queries[0].kind, CondKind::Assert);
+    }
+
+    #[test]
+    fn constraints_materialize_prefix_plus_flip() {
+        let mut pool = TermPool::new();
+        let (taken, flipped) = guard(&mut pool, 10);
+        let cond = ConditionalState {
+            site: (1, 2),
+            taken: true,
+            kind: CondKind::Branch,
+            flipped,
+            path_len: 2,
+        };
+        let out = outcome(vec![cond], vec![taken, taken, taken], pool);
+        let set = flip_queries(&out, &HashSet::new());
+        let q = &set.queries[0];
+        assert_eq!(set.constraints_of(q), vec![taken, taken, flipped]);
+        assert_eq!(q.constraints(&set.prefix), vec![taken, taken, flipped]);
+    }
 }

@@ -21,7 +21,7 @@ pub mod memory;
 pub mod replay;
 pub mod seedgen;
 
-pub use flip::{flip_queries, FlipQuery};
+pub use flip::{flip_queries, FlipQuery, FlipSet};
 pub use inputs::{InputSpec, ParamBinding, ParamSpec};
 pub use memory::SymMemory;
 pub use replay::{CondKind, ConditionalState, ReplayOutcome, Replayer};

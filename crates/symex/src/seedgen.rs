@@ -135,11 +135,20 @@ pub fn seed_from_model(
                     let mut content: Vec<u8> = Vec::with_capacity(new_len);
                     for j in 0..new_len {
                         let byte = match byte_vars.get(j) {
+                            // A solved byte is part of the model the seed
+                            // exists to realize — keep it verbatim, even 0;
+                            // remapping would break constraints like
+                            // `memo[j] == 0`.
                             Some(v) if constrained.contains(v) => model.value(*v) as u8,
-                            _ => old.as_bytes().get(j).copied().unwrap_or(b'a'),
+                            // Unconstrained bytes keep the executed seed's
+                            // value, padded printably so memos stay
+                            // realistic.
+                            _ => match old.as_bytes().get(j).copied().unwrap_or(b'a') {
+                                0 => b'a',
+                                b => b,
+                            },
                         };
-                        // Keep strings printable so memos stay realistic.
-                        content.push(if byte == 0 { b'a' } else { byte });
+                        content.push(byte);
                     }
                     ParamValue::String(String::from_utf8_lossy(&content).into_owned())
                 }
@@ -147,4 +156,57 @@ pub fn seed_from_model(
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_chain::abi::ParamType;
+    use wasai_smt::{check, Budget, TermKind};
+
+    #[test]
+    fn constrained_zero_bytes_survive_unconstrained_ones_are_padded() {
+        // Regression: every generated string byte of 0 used to be rewritten
+        // to b'a' — including *solved* bytes, breaking constraints like
+        // `memo[0] == 0` (an empty-C-string guard). Only unconstrained
+        // padding may be printable-ized.
+        let mut pool = TermPool::new();
+        let spec = InputSpec::build(
+            &mut pool,
+            7,
+            1,
+            &[(ParamType::String, ParamValue::String("hi\0x".into()))],
+        );
+        let ParamBinding::StringPtr { len: _, bytes } = spec.params[0].binding.clone() else {
+            panic!("string param binds StringPtr");
+        };
+        let b0 = bytes[0];
+        let zero = pool.bv_const(0, 8);
+        let c = pool.eq(b0, zero);
+
+        let (res, _) = check(&pool, &[c], Budget::default());
+        let model = res.model().expect("sat").clone();
+        let constrained = constraint_vars(&pool, &[c]);
+        let seed = seed_from_model(&spec, &pool, &model, &constrained);
+        let ParamValue::String(s) = &seed[0] else {
+            panic!("string param stays a string");
+        };
+        let out = s.as_bytes();
+        assert_eq!(out.len(), 4, "unconstrained length keeps the seed's");
+        assert_eq!(out[0], 0, "solved zero byte must be kept verbatim");
+        assert_eq!(out[1], b'i', "unconstrained bytes keep the seed's value");
+        assert_eq!(out[2], b'a', "unconstrained zero padding stays printable");
+        assert_eq!(out[3], b'x');
+
+        // The seed must satisfy the solved constraints under `eval`: bind
+        // each byte variable to the byte actually emitted and re-evaluate.
+        let mut vals = model.to_vec(&pool);
+        for (j, &bt) in bytes.iter().enumerate() {
+            let TermKind::Var { var, .. } = *pool.kind(bt) else {
+                panic!("byte binding is a variable");
+            };
+            vals[var as usize] = u64::from(out[j]);
+        }
+        assert_eq!(pool.eval(c, &vals), 1, "generated seed satisfies the query");
+    }
 }

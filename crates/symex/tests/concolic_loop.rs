@@ -126,14 +126,15 @@ fn replay_collects_branch_and_flip_solves_it() {
     assert_eq!(cond.kind, CondKind::Branch);
 
     // Flip it and solve: the model must assign x = 0xdeadbeef.
-    let queries = flip_queries(&outcome, &HashSet::new());
-    assert_eq!(queries.len(), 1);
-    let (res, _) = check(&outcome.pool, &queries[0].constraints, Budget::default());
+    let set = flip_queries(&outcome, &HashSet::new());
+    assert_eq!(set.queries.len(), 1);
+    let constraints = set.constraints_of(&set.queries[0]);
+    let (res, _) = check(&outcome.pool, &constraints, Budget::default());
     let model = match res {
         SolveResult::Sat(m) => m,
         other => panic!("expected sat, got {other:?}"),
     };
-    let vars = constraint_vars(&outcome.pool, &queries[0].constraints);
+    let vars = constraint_vars(&outcome.pool, &constraints);
     let new_seed = seed_from_model(&outcome.spec, &outcome.pool, &model, &vars);
     assert_eq!(new_seed, vec![ParamValue::U64(0xdeadbeef)]);
 }
@@ -213,11 +214,16 @@ fn failing_assert_yields_satisfiable_flip() {
         1,
         "failed assert must be a conditional state"
     );
-    let queries = flip_queries(&outcome, &HashSet::new());
-    let q = queries.iter().find(|q| q.kind == CondKind::Assert).unwrap();
-    let (res, _) = check(&outcome.pool, &q.constraints, Budget::default());
+    let set = flip_queries(&outcome, &HashSet::new());
+    let q = set
+        .queries
+        .iter()
+        .find(|q| q.kind == CondKind::Assert)
+        .unwrap();
+    let constraints = set.constraints_of(q);
+    let (res, _) = check(&outcome.pool, &constraints, Budget::default());
     let model = res.model().expect("assert flip must be satisfiable");
-    let vars = constraint_vars(&outcome.pool, &q.constraints);
+    let vars = constraint_vars(&outcome.pool, &constraints);
     let seed = seed_from_model(&outcome.spec, &outcome.pool, model, &vars);
     assert_eq!(
         seed,
@@ -281,10 +287,11 @@ fn asset_pointer_parameter_flows_through_memory() {
         "amount comparison must be symbolic"
     );
 
-    let queries = flip_queries(&outcome, &HashSet::new());
-    let (res, _) = check(&outcome.pool, &queries[0].constraints, Budget::default());
+    let set = flip_queries(&outcome, &HashSet::new());
+    let constraints = set.constraints_of(&set.queries[0]);
+    let (res, _) = check(&outcome.pool, &constraints, Budget::default());
     let model = res.model().expect("sat");
-    let vars = constraint_vars(&outcome.pool, &queries[0].constraints);
+    let vars = constraint_vars(&outcome.pool, &constraints);
     let seed = seed_from_model(&outcome.spec, &outcome.pool, model, &vars);
     match &seed[0] {
         ParamValue::Asset(a) => {
@@ -341,10 +348,11 @@ fn nested_branches_build_path_constraints() {
     let params = vec![(ParamType::I64, ParamValue::I64(5))];
     let outcome = Replayer::new(&module, action, 1, &params).run(&trace);
     assert_eq!(outcome.conditionals.len(), 1, "only outer branch executed");
-    let queries = flip_queries(&outcome, &HashSet::new());
-    let (res, _) = check(&outcome.pool, &queries[0].constraints, Budget::default());
+    let set = flip_queries(&outcome, &HashSet::new());
+    let constraints = set.constraints_of(&set.queries[0]);
+    let (res, _) = check(&outcome.pool, &constraints, Budget::default());
     let model = res.model().expect("sat");
-    let vars = constraint_vars(&outcome.pool, &queries[0].constraints);
+    let vars = constraint_vars(&outcome.pool, &constraints);
     let seed = seed_from_model(&outcome.spec, &outcome.pool, model, &vars);
     match seed[0] {
         ParamValue::I64(v) => assert!(v > 10, "solved x = {v} must exceed 10"),
@@ -360,7 +368,7 @@ fn explored_directions_are_not_requeried() {
     let outcome = Replayer::new(&module, action, 1, &params).run(&trace);
     let mut explored = HashSet::new();
     explored.insert((action, 3u32, 1u64)); // other direction already seen
-    assert!(flip_queries(&outcome, &explored).is_empty());
+    assert!(flip_queries(&outcome, &explored).queries.is_empty());
 }
 
 #[test]
@@ -415,19 +423,23 @@ fn loops_replay_without_desync() {
     // The loop exit br_if ran 3 times (n=2) plus the final == 3 check.
     let final_if = outcome.conditionals.last().unwrap();
     assert!(!final_if.taken);
-    let queries = flip_queries(&outcome, &HashSet::new());
+    let set = flip_queries(&outcome, &HashSet::new());
     // Flipping the final if demands n == 3, which contradicts the executed
     // loop-trip count (n − 2 == 0 is on the path): must be Unsat. That is
     // how concolic execution learns a different trip count needs a
     // different trace.
-    let q_last = queries.last().unwrap();
-    let (res, _) = check(&outcome.pool, &q_last.constraints, Budget::default());
+    let q_last = set.queries.last().unwrap();
+    let (res, _) = check(
+        &outcome.pool,
+        &set.constraints_of(q_last),
+        Budget::default(),
+    );
     assert_eq!(res, SolveResult::Unsat);
     // But flipping the FIRST loop-exit test (n == 0) is satisfiable.
-    let q0 = &queries[0];
-    let (res0, _) = check(&outcome.pool, &q0.constraints, Budget::default());
+    let c0 = set.constraints_of(&set.queries[0]);
+    let (res0, _) = check(&outcome.pool, &c0, Budget::default());
     let m = res0.model().expect("sat");
-    let vars = constraint_vars(&outcome.pool, &q0.constraints);
+    let vars = constraint_vars(&outcome.pool, &c0);
     let seed = seed_from_model(&outcome.spec, &outcome.pool, m, &vars);
     assert_eq!(seed, vec![ParamValue::U64(0)]);
 }

@@ -190,6 +190,10 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
     // Campaigns run traced only when a trace destination was requested;
     // untraced sweeps attach no sink at all and behave exactly as before.
     let tracing = opts.trace_path.is_some();
+    // All campaigns share one solver query cache: contracts in a sweep often
+    // repeat guard shapes, and a fleet hit replays the exact result a fresh
+    // solve would produce, so the triage and trace stay byte-identical.
+    let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
     let runs = fleet::run_jobs_isolated(jobs, wasm_paths, deadline, |i, path| {
         stage::enter(stage::PREPARE);
         let bytes = fs::read(&path).map_err(|e| ChainError::BadContract(e.to_string()))?;
@@ -198,11 +202,13 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         let abi_text = fs::read_to_string(&abi_path)
             .map_err(|e| ChainError::BadContract(format!("{}: {e}", abi_path.display())))?;
         let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
-        let wasai = Wasai::new(module, abi).with_config(FuzzConfig {
-            rng_seed: seed ^ (i as u64),
-            deadline,
-            ..FuzzConfig::default()
-        });
+        let wasai = Wasai::new(module, abi)
+            .with_config(FuzzConfig {
+                rng_seed: seed ^ (i as u64),
+                deadline,
+                ..FuzzConfig::default()
+            })
+            .with_solver_cache(solver_cache.clone());
         if tracing {
             wasai.run_traced()
         } else {
