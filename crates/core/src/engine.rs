@@ -55,9 +55,12 @@ pub struct Engine {
     custom_oracles: Vec<Box<dyn CustomOracle>>,
     sink: Option<Box<dyn TelemetrySink>>,
     truncated: bool,
-    /// Per-campaign query memo (L1). Keyed canonically, so the same guard
-    /// re-reached by a later seed replays its `(result, stats)` instead of
-    /// re-solving. Drives the deterministic `cache_hit` telemetry tag.
+    /// Per-campaign query memo (L1). Keyed canonically (budget cap
+    /// included), so the same guard re-reached by a later seed replays its
+    /// `(result, stats)` instead of re-solving. Only definitive outcomes
+    /// are stored ([`wasai_smt::cacheable`]) — a deadline-truncated
+    /// `Unknown` must not shadow a retry that has time. Drives the
+    /// deterministic `cache_hit` telemetry tag.
     memo: HashMap<QueryKey, CachedQuery>,
     /// Optional fleet-wide cache (L2), shared across campaigns like the
     /// `PreparedTarget` artifact cache. Hits are invisible in telemetry
@@ -514,12 +517,18 @@ impl Engine {
             stage::enter(stage::SOLVE);
             let prefix = &set.prefix[..q.prefix_len];
             let (result, stats, cache_hit, incremental) = if self.cfg.smt_reuse {
-                let qkey = wasai_smt::query_key(&outcome.pool, prefix, Some(q.flipped));
+                let qkey =
+                    wasai_smt::query_key(&outcome.pool, prefix, Some(q.flipped), budget.max_conflicts);
                 if let Some(entry) = self.memo.get(&qkey) {
                     // L1: an identical canonical query was resolved earlier
-                    // this campaign — replay its exact (result, stats).
+                    // this campaign — replay its exact (result, stats), and
+                    // advance the session over the prefix just like an L2
+                    // hit, so the `incremental` tag of later queries has one
+                    // meaning regardless of which layer answered.
                     let (r, s) = entry.decode(&outcome.pool);
-                    (r, s, true, false)
+                    let incremental = session.started();
+                    session.advance(prefix);
+                    (r, s, true, incremental)
                 } else {
                     let incremental = session.started();
                     let fleet_hit = self
@@ -537,15 +546,28 @@ impl Engine {
                         }
                         None => {
                             let (r, s) = session.solve(prefix, q.flipped, budget);
-                            if let Some(cache) = &self.solver_cache {
-                                cache
-                                    .store(qkey.clone(), CachedQuery::encode(&outcome.pool, &r, s));
+                            // A deadline-truncated Unknown is a watchdog
+                            // artifact, not the query's answer — memoizing
+                            // it would replay the truncation into sibling
+                            // campaigns whose solves had time, so only
+                            // definitive outcomes enter the fleet cache.
+                            if wasai_smt::cacheable(&r, &budget) {
+                                if let Some(cache) = &self.solver_cache {
+                                    cache.store(
+                                        qkey.clone(),
+                                        CachedQuery::encode(&outcome.pool, &r, s),
+                                    );
+                                }
                             }
                             (r, s)
                         }
                     };
-                    self.memo
-                        .insert(qkey, CachedQuery::encode(&outcome.pool, &r, s));
+                    // Same rule for the per-campaign memo: a transient
+                    // Unknown must not shadow a later retry of this key.
+                    if wasai_smt::cacheable(&r, &budget) {
+                        self.memo
+                            .insert(qkey, CachedQuery::encode(&outcome.pool, &r, s));
+                    }
                     (r, s, false, incremental)
                 }
             } else {

@@ -173,9 +173,12 @@ pub enum TelemetryEvent {
         /// Deterministic: independent of worker count and of any fleet-level
         /// cache.
         cache_hit: bool,
-        /// The query was answered through the shared-prefix incremental
-        /// session (an earlier query of this replay already blasted part of
-        /// the path prefix). Also deterministic.
+        /// The shared-prefix incremental session had already consumed part
+        /// of this replay's path constraints when this query arrived. Every
+        /// earlier query of the replay advances the session — whether it
+        /// was solved or replayed from the memo/fleet cache — so the tag
+        /// has one meaning regardless of which layer answered, and stays
+        /// deterministic.
         incremental: bool,
         /// Virtual microseconds at emission (after the charge).
         vtime: u64,

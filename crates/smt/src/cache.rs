@@ -13,14 +13,42 @@
 //! already-solved queries. Because a hit returns exactly what a solve would
 //! have, sharing across worker threads cannot perturb campaign results —
 //! only wall-clock time.
+//!
+//! That guarantee has one precondition, enforced by [`cacheable`]: an
+//! `Unknown` produced under a live wall-clock
+//! [`Deadline`](crate::deadline::Deadline) is a watchdog
+//! artifact — where the clock happened to fire, not what the query solves
+//! to — and must never be memoized, or a slow moment in one campaign would
+//! nondeterministically suppress seeds in every sibling sharing the cache.
+//! `Unknown` from a conflict cap alone *is* deterministic and replayable
+//! (the cap is part of the [`QueryKey`]), so deadline-free campaigns still
+//! memoize their give-ups.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::canon::QueryKey;
-use crate::solver::{Model, SolveResult, SolveStats};
+use crate::solver::{Budget, Model, SolveResult, SolveStats};
 use crate::term::TermPool;
+
+/// Whether a solve outcome may be memoized (fleet-wide or per-campaign)
+/// when it was produced under `budget`.
+///
+/// `Sat` and `Unsat` are always definitive: a live deadline only ever
+/// truncates a search to `Unknown`, so a completed verdict is exactly what
+/// an unhurried solve would return. `Unknown` is definitive only when no
+/// wall-clock deadline was set — then it means "conflicted out at the cap",
+/// which is deterministic and keyed (the cap is part of the
+/// [`QueryKey`]). With a deadline set, an `Unknown` may merely mean "the
+/// watchdog fired first", and replaying it would nondeterministically
+/// suppress results a fresh solve finds.
+pub fn cacheable(result: &SolveResult, budget: &Budget) -> bool {
+    match result {
+        SolveResult::Unknown => !budget.deadline.is_set(),
+        SolveResult::Sat(_) | SolveResult::Unsat => true,
+    }
+}
 
 /// Entry cap: beyond this the cache stops accepting new queries instead of
 /// evicting (eviction order would make hit patterns scheduling-dependent;
@@ -181,14 +209,15 @@ mod tests {
         // Solve in pool 1 and memoize.
         let mut p1 = TermPool::new();
         let (q1, _) = build_query(&mut p1, 0);
-        let key1 = query_key(&p1, &[q1], None);
-        let (res1, stats1) = check(&p1, &[q1], Budget::default());
+        let budget = Budget::default();
+        let key1 = query_key(&p1, &[q1], None, budget.max_conflicts);
+        let (res1, stats1) = check(&p1, &[q1], budget);
         cache.store(key1.clone(), CachedQuery::encode(&p1, &res1, stats1));
 
         // Same structural query from a different pool with shifted indices.
         let mut p2 = TermPool::new();
         let (q2, x2) = build_query(&mut p2, 3);
-        let key2 = query_key(&p2, &[q2], None);
+        let key2 = query_key(&p2, &[q2], None, budget.max_conflicts);
         assert_eq!(key1, key2, "canonical keys must match across pools");
 
         let (hit_res, hit_stats) = cache.lookup(&key2, &p2).expect("hit");
@@ -209,7 +238,7 @@ mod tests {
         let x = p.var("x", 16);
         let c = p.bv_const(5, 16);
         let q = p.cmp(CmpOp::Ult, x, c);
-        let key = query_key(&p, &[q], None);
+        let key = query_key(&p, &[q], None, Budget::default().max_conflicts);
         assert!(cache.lookup(&key, &p).is_none());
         let (res, stats) = check(&p, &[q], Budget::default());
         cache.store(key.clone(), CachedQuery::encode(&p, &res, stats));
@@ -227,7 +256,7 @@ mod tests {
         let x = p.var("x", 16);
         let c = p.bv_const(9, 16);
         let q = p.eq(x, c);
-        let key = query_key(&p, &[q], None);
+        let key = query_key(&p, &[q], None, Budget::default().max_conflicts);
         let (res, stats) = check(&p, &[q], Budget::default());
         cache.store(key.clone(), CachedQuery::encode(&p, &res, stats));
 
@@ -243,5 +272,27 @@ mod tests {
             }
         });
         assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn deadline_truncated_unknown_is_not_cacheable() {
+        use crate::deadline::Deadline;
+        use std::time::Duration;
+
+        // An Unknown under a live watchdog reflects where the clock fired,
+        // not what the query solves to — memoizing it would let one slow
+        // campaign suppress its siblings' seeds nondeterministically.
+        let watchdog = Budget {
+            max_conflicts: 50_000,
+            deadline: Deadline::after(Duration::ZERO),
+        };
+        assert!(!cacheable(&SolveResult::Unknown, &watchdog));
+        // Completed verdicts under the same watchdog are exact: a deadline
+        // only ever truncates to Unknown.
+        assert!(cacheable(&SolveResult::Unsat, &watchdog));
+        assert!(cacheable(&SolveResult::Sat(Model::default()), &watchdog));
+        // With no deadline, Unknown means "conflicted out at the cap" —
+        // deterministic, and the cap is part of the key.
+        assert!(cacheable(&SolveResult::Unknown, &Budget::conflicts(1)));
     }
 }

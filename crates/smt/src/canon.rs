@@ -16,6 +16,15 @@
 //! which case bit-blasting them produces literally the same CNF and the
 //! solver the same result and statistics — the property that makes cache
 //! hits byte-identical to re-solving.
+//!
+//! The key also folds in the solve's conflict cap
+//! ([`crate::solver::Budget::max_conflicts`]): the cap decides where a
+//! search gives up with `Unknown`, so the same CNF under different caps can
+//! have different (both deterministic) outcomes, and campaigns with
+//! heterogeneous budgets sharing one fleet cache must never alias. The
+//! wall-clock deadline is deliberately *not* part of the key — it is not
+//! replayable — which is why deadline-truncated outcomes are refused by the
+//! cache instead (see [`crate::cache::cacheable`]).
 
 use std::collections::HashMap;
 
@@ -201,11 +210,19 @@ impl<'p> Encoder<'p> {
 }
 
 /// The canonical key of the query `prefix ∧ delta` (pass `None` for a
-/// plain assertion list). The key covers the assertion list exactly as
-/// given — order and repetitions included — so equal keys imply an
-/// identical bit-blast and therefore identical results *and statistics*.
-pub fn query_key(pool: &TermPool, prefix: &[TermId], delta: Option<TermId>) -> QueryKey {
+/// plain assertion list) solved under a conflict cap of `max_conflicts`.
+/// The key covers the assertion list exactly as given — order and
+/// repetitions included — plus the cap, so equal keys imply an identical
+/// bit-blast searched under the identical resource limit, and therefore
+/// identical results *and statistics*.
+pub fn query_key(
+    pool: &TermPool,
+    prefix: &[TermId],
+    delta: Option<TermId>,
+    max_conflicts: u64,
+) -> QueryKey {
     let mut enc = Encoder::new(pool);
+    enc.put_u64(max_conflicts);
     let mut roots: Vec<u32> = Vec::with_capacity(prefix.len() + 1);
     for &a in prefix {
         let id = enc.term(a);
@@ -247,8 +264,8 @@ mod tests {
         let a2 = guard(&mut p2, "arg0", 10);
 
         assert_eq!(
-            query_key(&p1, &[a1], Some(b1)),
-            query_key(&p2, &[a2], Some(b2))
+            query_key(&p1, &[a1], Some(b1), 50_000),
+            query_key(&p2, &[a2], Some(b2), 50_000)
         );
     }
 
@@ -258,12 +275,36 @@ mod tests {
         let a = guard(&mut p, "arg0", 10);
         let b = guard(&mut p, "arg1", 10);
         let c = guard(&mut p, "arg0", 11);
-        assert_ne!(query_key(&p, &[a], None), query_key(&p, &[b], None));
-        assert_ne!(query_key(&p, &[a], None), query_key(&p, &[c], None));
+        assert_ne!(query_key(&p, &[a], None, 1), query_key(&p, &[b], None, 1));
+        assert_ne!(query_key(&p, &[a], None, 1), query_key(&p, &[c], None, 1));
         // Order matters: the blast order (and hence CNF numbering) differs.
-        assert_ne!(query_key(&p, &[a, b], None), query_key(&p, &[b, a], None));
+        assert_ne!(
+            query_key(&p, &[a, b], None, 1),
+            query_key(&p, &[b, a], None, 1)
+        );
         // Prefix + delta is the same list as prefix-with-delta-appended.
-        assert_eq!(query_key(&p, &[a, b], None), query_key(&p, &[a], Some(b)));
+        assert_eq!(
+            query_key(&p, &[a, b], None, 1),
+            query_key(&p, &[a], Some(b), 1)
+        );
+    }
+
+    #[test]
+    fn conflict_cap_is_part_of_the_key() {
+        // The same constraints under different conflict caps can resolve
+        // differently (one conflicts out to Unknown, the other solves), so
+        // heterogeneous-budget campaigns sharing a fleet cache must not
+        // alias each other's entries.
+        let mut p = TermPool::new();
+        let a = guard(&mut p, "arg0", 10);
+        assert_ne!(
+            query_key(&p, &[a], None, 1),
+            query_key(&p, &[a], None, 50_000)
+        );
+        assert_eq!(
+            query_key(&p, &[a], None, 50_000),
+            query_key(&p, &[a], None, 50_000)
+        );
     }
 
     #[test]
@@ -273,8 +314,8 @@ mod tests {
         let c = p.bv_const(5, 32);
         let lt = p.cmp(CmpOp::Ult, x, c);
         let eq = p.eq(x, c);
-        let k_pair = query_key(&p, &[lt, eq], None);
-        let k_single = query_key(&p, &[lt], None);
+        let k_pair = query_key(&p, &[lt, eq], None, 1);
+        let k_single = query_key(&p, &[lt], None, 1);
         // The pair's key reuses x and c: it is shorter than two singles.
         assert!(k_pair.len() < 2 * k_single.len());
     }

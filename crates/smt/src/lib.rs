@@ -57,7 +57,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
-pub use cache::{CachedQuery, SolverCache};
+pub use cache::{cacheable, CachedQuery, SolverCache};
 pub use canon::{query_key, QueryKey};
 pub use deadline::Deadline;
 pub use prefix::PrefixSolver;

@@ -28,12 +28,29 @@
 //! its models satisfy the constraints) but not on statistics — learnt
 //! clauses and activities carry over — so the engine uses the fork path and
 //! reserves assumptions for callers that only need verdicts fast.
+//!
+//! The two query paths are **mutually exclusive on one session**:
+//! `solve_assuming` Tseitin-encodes each flip's gates into the persistent
+//! instance, so a later [`solve`](PrefixSolver::solve) would fork an
+//! instance carrying extra gates and silently lose its bit-identity
+//! guarantee. The session latches whichever mode answers its first query
+//! and panics if the other is used afterwards.
 
 use std::collections::HashSet;
 
 use crate::bitblast::BitBlaster;
 use crate::solver::{result_of, stats_of, Budget, Model, SolveResult, SolveStats};
 use crate::term::{TermId, TermPool};
+
+/// Which query API a session has committed to (see the module docs on why
+/// the fork and assumption paths must not share one instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionMode {
+    /// [`PrefixSolver::solve`]: fork per query, bit-identical to `check`.
+    Fork,
+    /// [`PrefixSolver::solve_assuming`]: persistent instance, assumptions.
+    Assume,
+}
 
 /// A solver session over one replay's path-constraint chain.
 pub struct PrefixSolver<'p> {
@@ -51,6 +68,8 @@ pub struct PrefixSolver<'p> {
     /// every query whose prefix reaches it is unsat without touching `bb`.
     false_at: Option<usize>,
     started: bool,
+    /// Latched by the first query; mixing modes afterwards panics.
+    mode: Option<SessionMode>,
     forks: u64,
     work_props: u64,
 }
@@ -68,8 +87,24 @@ impl<'p> PrefixSolver<'p> {
             seen: HashSet::new(),
             false_at: None,
             started: false,
+            mode: None,
             forks: 0,
             work_props: 0,
+        }
+    }
+
+    /// Commit the session to one query API; panics on a mode mix, which
+    /// would silently void [`solve`](PrefixSolver::solve)'s bit-identity
+    /// guarantee (the check is always on — it is one comparison per query).
+    fn latch_mode(&mut self, mode: SessionMode) {
+        match self.mode {
+            None => self.mode = Some(mode),
+            Some(m) => assert!(
+                m == mode,
+                "PrefixSolver: solve and solve_assuming are mutually \
+                 exclusive on one session (started in {m:?} mode, got a \
+                 {mode:?} query)"
+            ),
         }
     }
 
@@ -92,11 +127,24 @@ impl<'p> PrefixSolver<'p> {
         self.work_props
     }
 
-    #[cfg(debug_assertions)]
-    fn debug_check_extends(&self, prefix: &[TermId]) {
+    /// Enforce the nondecreasing-prefix contract. The length comparison is
+    /// always on — a shorter prefix would silently inherit stale asserted
+    /// constraints from the longer one, corrupting answers rather than
+    /// crashing, so it must fail loudly in release builds too. The
+    /// element-wise comparison (contents actually extend) is debug-only.
+    fn check_extends(&self, prefix: &[TermId]) {
         assert!(
-            prefix.len() >= self.raw_seen && prefix[..self.raw_seen] == self.raw[..],
-            "prefix slices must extend previously seen ones"
+            prefix.len() >= self.raw_seen,
+            "prefix slices must extend previously seen ones \
+             (got {} items after consuming {})",
+            prefix.len(),
+            self.raw_seen
+        );
+        #[cfg(debug_assertions)]
+        assert!(
+            prefix[..self.raw_seen] == self.raw[..],
+            "prefix slices must extend previously seen ones \
+             (same length, diverging contents)"
         );
     }
 
@@ -123,8 +171,7 @@ impl<'p> PrefixSolver<'p> {
     /// [`check`](crate::solver::check)'s preprocessing). Used directly when
     /// a fleet-cache hit skips the solve but the session must keep pace.
     pub fn advance(&mut self, prefix: &[TermId]) {
-        #[cfg(debug_assertions)]
-        self.debug_check_extends(prefix);
+        self.check_extends(prefix);
         if self.trivially_false(prefix, None) {
             return;
         }
@@ -147,12 +194,20 @@ impl<'p> PrefixSolver<'p> {
 
     /// Solve `prefix ∧ delta` under `budget`, bit-identically (result and
     /// statistics) to `check(pool, prefix + [delta], budget)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this session already answered a
+    /// [`solve_assuming`](PrefixSolver::solve_assuming) query — the
+    /// assumption path mutates the shared instance, which would void the
+    /// bit-identity guarantee here (see the module docs).
     pub fn solve(
         &mut self,
         prefix: &[TermId],
         delta: TermId,
         budget: Budget,
     ) -> (SolveResult, SolveStats) {
+        self.latch_mode(SessionMode::Fork);
         if self.trivially_false(prefix, Some(delta)) {
             return (SolveResult::Unsat, SolveStats::default());
         }
@@ -182,12 +237,20 @@ impl<'p> PrefixSolver<'p> {
     /// model satisfies the constraints — but statistics and model values may
     /// differ from a from-scratch solve, so the deterministic campaign path
     /// uses [`PrefixSolver::solve`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this session already answered a
+    /// [`solve`](PrefixSolver::solve) query: the flip gates blasted here
+    /// persist in the shared instance, so the two APIs are mutually
+    /// exclusive per session (see the module docs).
     pub fn solve_assuming(
         &mut self,
         prefix: &[TermId],
         delta: TermId,
         budget: Budget,
     ) -> (SolveResult, SolveStats) {
+        self.latch_mode(SessionMode::Assume);
         if self.trivially_false(prefix, Some(delta)) {
             return (SolveResult::Unsat, SolveStats::default());
         }
@@ -219,6 +282,7 @@ impl std::fmt::Debug for PrefixSolver<'_> {
         f.debug_struct("PrefixSolver")
             .field("raw_seen", &self.raw_seen)
             .field("asserted", &self.asserted)
+            .field("mode", &self.mode)
             .field("forks", &self.forks)
             .field("work_props", &self.work_props)
             .finish()
@@ -340,6 +404,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn mixing_assumption_then_fork_queries_panics() {
+        // solve_assuming blasts flip gates into the persistent instance, so
+        // a later solve() would fork polluted state — the session must
+        // refuse loudly instead of silently losing bit-identity.
+        let mut pool = TermPool::new();
+        let (path, flips) = flip_family(&mut pool, 3, 0);
+        let mut session = PrefixSolver::new(&pool);
+        session.solve_assuming(&path[..1], flips[1], Budget::default());
+        session.solve(&path[..2], flips[2], Budget::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn mixing_fork_then_assumption_queries_panics() {
+        let mut pool = TermPool::new();
+        let (path, flips) = flip_family(&mut pool, 3, 0);
+        let mut session = PrefixSolver::new(&pool);
+        session.solve(&path[..1], flips[1], Budget::default());
+        session.solve_assuming(&path[..2], flips[2], Budget::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "extend previously seen")]
+    fn shrinking_prefix_fails_loudly() {
+        // The nondecreasing-prefix contract must hold in release builds
+        // too: a shorter prefix would silently reuse stale constraints
+        // asserted for the longer one.
+        let mut pool = TermPool::new();
+        let (path, flips) = flip_family(&mut pool, 3, 1);
+        let mut session = PrefixSolver::new(&pool);
+        session.solve(&path[..2], flips[2], Budget::default());
+        session.solve(&path[..1], flips[1], Budget::default());
     }
 
     #[test]

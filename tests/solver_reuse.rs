@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use wasai::wasai_core::{telemetry, FuzzConfig, TelemetryEvent, Wasai};
 use wasai::wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
-use wasai::wasai_smt::SolverCache;
+use wasai::wasai_smt::{Budget, Deadline, SolverCache};
 
 fn blueprint(seed: u64) -> Blueprint {
     Blueprint {
@@ -76,6 +76,24 @@ fn strip_tags(events: &[TelemetryEvent]) -> Vec<TelemetryEvent> {
             other => other,
         })
         .collect()
+}
+
+/// A campaign over `bp` with a custom solve budget, feeding `cache`.
+fn run_with_budget(
+    bp: Blueprint,
+    smt_budget: Budget,
+    cache: &Arc<SolverCache>,
+) -> Vec<TelemetryEvent> {
+    let c = generate(bp);
+    let w = Wasai::new(c.module, c.abi)
+        .with_config(FuzzConfig {
+            smt_reuse: true,
+            smt_budget,
+            ..config()
+        })
+        .with_solver_cache(cache.clone());
+    let (_, events) = w.run_traced().expect("campaign runs");
+    events
 }
 
 #[test]
@@ -160,3 +178,72 @@ fn jobs_one_and_four_share_a_cache_identically() {
         "shared-cache fleets must serialize identically at any worker count"
     );
 }
+
+#[test]
+fn deadline_truncated_unknowns_do_not_poison_the_fleet() {
+    // Reference: a healthy campaign over a private cache.
+    let (ref_report, ref_events) = run(blueprint(3), true, None);
+
+    // A sibling campaign whose per-query wall-clock watchdog has already
+    // fired: every solve that reaches the SAT search truncates to Unknown.
+    // Those Unknowns are watchdog artifacts — they must never be memoized
+    // fleet-wide, or siblings would replay them for queries they had time
+    // to solve, nondeterministically suppressing seeds and findings.
+    // Same conflict cap as the healthy campaign so the canonical keys
+    // match — this test is about the Unknown policy, not key separation
+    // (that is `heterogeneous_conflict_budgets_do_not_alias`).
+    let cache = Arc::new(SolverCache::new());
+    let truncated_events = run_with_budget(
+        blueprint(3),
+        Budget {
+            deadline: Deadline::after_secs(0.0),
+            ..config().smt_budget
+        },
+        &cache,
+    );
+    let truncated = truncated_events
+        .iter()
+        .filter(|ev| {
+            matches!(
+                ev,
+                TelemetryEvent::SmtQuery {
+                    outcome: telemetry::SmtOutcome::Unknown,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        truncated > 0,
+        "watchdog campaign produced no truncated queries; this test is vacuous"
+    );
+
+    // A healthy campaign sharing that cache must be byte-identical to the
+    // reference, reuse tags included.
+    let (report, events) = run(blueprint(3), true, Some(cache));
+    assert_eq!(
+        report, ref_report,
+        "deadline-truncated Unknowns leaked into the fleet cache"
+    );
+    assert_eq!(events, ref_events);
+}
+
+#[test]
+fn heterogeneous_conflict_budgets_do_not_alias() {
+    // The conflict cap decides where a search gives up, so it is part of
+    // the canonical key: a campaign solving under a starved cap must not
+    // hand its (deterministic but cap-specific) outcomes to a sibling with
+    // a real budget.
+    let (ref_report, ref_events) = run(blueprint(5), true, None);
+
+    let cache = Arc::new(SolverCache::new());
+    run_with_budget(blueprint(5), Budget::conflicts(1), &cache);
+
+    let (report, events) = run(blueprint(5), true, Some(cache));
+    assert_eq!(
+        report, ref_report,
+        "starved-budget outcomes aliased a full-budget campaign"
+    );
+    assert_eq!(events, ref_events);
+}
+
