@@ -102,6 +102,7 @@ enum SiteKind {
 pub struct BranchSites {
     sites: HashMap<(u32, u32), SiteKind>,
     apply_idx: Option<u32>,
+    directions: usize,
 }
 
 impl BranchSites {
@@ -109,6 +110,7 @@ impl BranchSites {
     pub fn new(module: &Module) -> Self {
         let apply_idx = module.exported_func("apply");
         let mut sites = HashMap::new();
+        let mut directions = 0usize;
         let first_local = module.num_imported_funcs();
         for (local_i, f) in module.funcs.iter().enumerate() {
             let func = first_local + local_i as u32;
@@ -121,15 +123,32 @@ impl BranchSites {
                     Instr::BrTable(..) => SiteKind::Table,
                     _ => continue,
                 };
+                directions += match instr {
+                    // Table arms plus the default target.
+                    Instr::BrTable(targets, _) => targets.len() + 1,
+                    _ => 2,
+                };
                 sites.insert((func, pc as u32), kind);
             }
         }
-        BranchSites { sites, apply_idx }
+        BranchSites {
+            sites,
+            apply_idx,
+            directions,
+        }
     }
 
     /// Number of distinct branch *sites* (each contributes ≥ 1 direction).
     pub fn len(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Upper bound on distinct coverable branch directions: 2 per
+    /// conditional site, arms + default per `br_table` site. The coverage
+    /// denominator for observability (the numerator is the explored
+    /// `(func, pc, direction)` set, which this bounds).
+    pub fn directions(&self) -> usize {
+        self.directions
     }
 
     /// True if the module has no branch sites outside `apply`.
@@ -227,6 +246,10 @@ mod tests {
         let branches = branches_in_trace(&m, &trace);
         assert_eq!(branches.len(), 1, "apply branches are excluded");
         assert!(branches.contains(&(action, 2, 0)));
+
+        let sites = BranchSites::new(&m);
+        assert_eq!(sites.len(), 1, "apply sites are excluded");
+        assert_eq!(sites.directions(), 2, "one conditional = two directions");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use wasai_chain::abi::{ActionDecl, ParamValue};
 use wasai_chain::action::ApiEvent;
 use wasai_chain::name::Name;
 use wasai_chain::{Chain, Receipt, Transaction};
+use wasai_obs as obs;
 use wasai_smt::{CachedQuery, PrefixSolver, QueryKey, SolveResult, SolverCache};
 use wasai_symex::{constraint_vars, flip_queries, seed_from_model, Replayer};
 
@@ -157,6 +158,13 @@ impl Engine {
             actions: prepared.info.abi.actions.len(),
             vtime: 0,
         });
+        // Coverage denominator: this target's coverable direction count, summed once
+        // per campaign so it stays consistent with the per-campaign-summed
+        // coverage numerator.
+        obs::add(
+            obs::Counter::BranchSites,
+            prepared.branch_sites.directions() as u64,
+        );
 
         // Algorithm 1, line 2: fill `seeds` with random data.
         for decl in &prepared.info.abi.actions {
@@ -180,6 +188,8 @@ impl Engine {
             let decl = &prepared.info.abi.actions[(self.iterations as usize) % num_actions];
             self.iterate(decl);
             self.iterations += 1;
+            obs::inc(obs::Counter::Iterations);
+            obs::worker::tick();
         }
 
         // Final adversary sweep: deeper on-chain state may open new paths.
@@ -377,6 +387,7 @@ impl Engine {
             Err(e) => e.receipt,
         };
         stage::enter(stage::CAMPAIGN);
+        obs::inc(obs::Counter::SeedsExecuted);
         let vtime_before = self.clock.micros();
         self.clock
             .charge_execution(&self.cfg.cost, receipt.steps_used);
@@ -443,6 +454,10 @@ impl Engine {
         } else {
             self.stall += 1;
         }
+        obs::add(
+            obs::Counter::CoverageBranches,
+            (self.explored.len() - before) as u64,
+        );
         self.coverage_series
             .push(self.clock.micros(), self.explored.len());
         if self.sink.is_some() {
@@ -470,9 +485,12 @@ impl Engine {
         // re-clone of the declaration or the values.
         let pairs: Vec<_> = decl.params.iter().copied().zip(params).collect();
         stage::enter(stage::REPLAY);
+        obs::inc(obs::Counter::Replays);
+        let replay_timer = obs::ScopeTimer::start(obs::Histogram::ReplayWallSeconds);
         let outcome = Replayer::new(&prepared.info.original, action_func, 1, &pairs)
             .with_deadline(self.cfg.deadline)
             .run(&receipt.trace);
+        drop(replay_timer);
         stage::enter(stage::CAMPAIGN);
         if outcome.truncated {
             self.truncated = true;
@@ -515,11 +533,18 @@ impl Engine {
             }
             *tries += 1;
             stage::enter(stage::SOLVE);
+            let solve_timer = obs::ScopeTimer::start(obs::Histogram::SolveWallSeconds);
             let prefix = &set.prefix[..q.prefix_len];
             let (result, stats, cache_hit, incremental) = if self.cfg.smt_reuse {
-                let qkey =
-                    wasai_smt::query_key(&outcome.pool, prefix, Some(q.flipped), budget.max_conflicts);
+                let qkey = wasai_smt::query_key(
+                    &outcome.pool,
+                    prefix,
+                    Some(q.flipped),
+                    budget.max_conflicts,
+                );
+                obs::inc(obs::Counter::CacheLookupsCampaign);
                 if let Some(entry) = self.memo.get(&qkey) {
+                    obs::inc(obs::Counter::CacheHitsCampaign);
                     // L1: an identical canonical query was resolved earlier
                     // this campaign — replay its exact (result, stats), and
                     // advance the session over the prefix just like an L2
@@ -575,7 +600,15 @@ impl Engine {
                 let (r, s) = wasai_smt::check(&outcome.pool, &constraints, budget);
                 (r, s, false, false)
             };
+            drop(solve_timer);
             stage::enter(stage::CAMPAIGN);
+            obs::inc(match result {
+                SolveResult::Sat(_) => obs::Counter::SmtSat,
+                SolveResult::Unsat => obs::Counter::SmtUnsat,
+                SolveResult::Unknown => obs::Counter::SmtUnknown,
+            });
+            obs::add(obs::Counter::SmtPropagations, stats.propagations);
+            obs::worker::tick();
             let vtime_before = self.clock.micros();
             self.clock.charge_smt(&self.cfg.cost, stats.propagations);
             self.smt_queries += 1;
@@ -601,6 +634,7 @@ impl Engine {
                 });
             }
             if let SolveResult::Sat(model) = result {
+                obs::inc(obs::Counter::Flips);
                 self.emit(TelemetryEvent::ConstraintFlipped {
                     func: key.0,
                     pc: key.1,

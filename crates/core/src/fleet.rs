@@ -26,6 +26,7 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use wasai_chain::ChainError;
+use wasai_obs as obs;
 use wasai_smt::Deadline;
 
 use crate::chaos::Fault;
@@ -133,11 +134,24 @@ where
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    // Observability bracket: stamp each job's heartbeat slot and the
+    // running-campaigns gauge around the worker call. Write-only wall-clock
+    // metrics — scheduling and results are untouched (no-ops when disabled).
+    obs::global().gauge_set(obs::Gauge::FleetCampaigns, items.len() as u64);
+    let observed = |i: usize, item: I| -> T {
+        obs::worker::begin(i as u64);
+        obs::global().gauge_add(obs::Gauge::CampaignsRunning, 1);
+        let result = worker(i, item);
+        obs::global().gauge_sub(obs::Gauge::CampaignsRunning, 1);
+        obs::worker::end();
+        result
+    };
+
     if jobs <= 1 || items.len() <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| worker(i, item))
+            .map(|(i, item)| observed(i, item))
             .collect();
     }
 
@@ -150,7 +164,7 @@ where
             scope.spawn(|| loop {
                 let job = recover(&queue).pop_front();
                 let Some((i, item)) = job else { break };
-                let result = worker(i, item);
+                let result = observed(i, item);
                 *recover(&slots[i]) = Some(result);
             });
         }
@@ -218,8 +232,13 @@ pub mod stage {
     }
 
     /// Mark the current thread as being inside `name`.
+    ///
+    /// Also mirrors the marker into the observability heartbeat slot so the
+    /// stall detector can say which stage a quiet campaign is stuck in —
+    /// a no-op (one relaxed load) unless metrics are enabled.
     pub fn enter(name: &'static str) {
         STAGE.with(|s| s.set(name));
+        wasai_obs::worker::set_stage_name(name);
     }
 
     /// The stage the current thread most recently entered.
@@ -427,10 +446,15 @@ where
     run_jobs(jobs, items, |i, item| {
         let start = Instant::now();
         let outcome = run_one_isolated(i, item, deadline, &worker);
-        CampaignRun {
-            outcome,
-            elapsed: start.elapsed(),
-        }
+        let elapsed = start.elapsed();
+        obs::inc(match &outcome {
+            CampaignOutcome::Ok(_) => obs::Counter::CampaignsOk,
+            CampaignOutcome::Failed(_) => obs::Counter::CampaignsFailed,
+            CampaignOutcome::Panicked { .. } => obs::Counter::CampaignsPanicked,
+            CampaignOutcome::TimedOut { .. } => obs::Counter::CampaignsTimedOut,
+        });
+        obs::global().observe(obs::Histogram::CampaignWallSeconds, elapsed);
+        CampaignRun { outcome, elapsed }
     })
 }
 

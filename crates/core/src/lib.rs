@@ -23,6 +23,7 @@ pub mod dbg;
 pub mod engine;
 pub mod fleet;
 pub mod harness;
+pub mod obs_bridge;
 pub mod oracle;
 pub mod pool;
 pub mod report;
@@ -40,6 +41,7 @@ pub use fleet::{
     CampaignOutcome, CampaignRun, FleetStats,
 };
 pub use harness::{PreparedTarget, TargetInfo};
+pub use obs_bridge::{MirrorSink, MonitorHandle, MonitorReport, ProgressMonitor};
 pub use oracle::{ApiUsageOracle, CustomOracle};
 pub use report::{ExploitRecord, FuzzReport, VulnClass};
 pub use scanner::{PayloadKind, Scanner};

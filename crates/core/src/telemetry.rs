@@ -869,6 +869,9 @@ pub fn json_escape(s: &str) -> String {
 pub enum JsonValue {
     /// An unsigned integer.
     Num(u64),
+    /// A non-negative decimal fraction (observability dumps emit histogram
+    /// `_sum` series in seconds).
+    Float(f64),
     /// A string (unescaped).
     Str(String),
     /// A boolean.
@@ -884,17 +887,27 @@ impl JsonValue {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is an integer.
     pub fn as_num(&self) -> Option<u64> {
         match self {
             JsonValue::Num(n) => Some(*n),
             _ => None,
         }
     }
+
+    /// The numeric payload as a float, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
 }
 
-/// Parse one flat JSON object line (string/unsigned-number/boolean values
-/// only — exactly what the trace and triage writers emit).
+/// Parse one flat JSON object line (string/unsigned-number/decimal/boolean
+/// values only — exactly what the trace, triage, and metrics-dump writers
+/// emit).
 ///
 /// # Errors
 ///
@@ -932,11 +945,23 @@ pub fn parse_json_fields(line: &str) -> Result<BTreeMap<String, JsonValue>, Stri
                 while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
                     digits.push(chars.next().unwrap_or('0'));
                 }
-                JsonValue::Num(
-                    digits
-                        .parse()
-                        .map_err(|e| format!("bad number {digits:?}: {e}"))?,
-                )
+                if chars.peek() == Some(&'.') {
+                    digits.push(chars.next().unwrap_or('.'));
+                    while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                        digits.push(chars.next().unwrap_or('0'));
+                    }
+                    JsonValue::Float(
+                        digits
+                            .parse()
+                            .map_err(|e| format!("bad number {digits:?}: {e}"))?,
+                    )
+                } else {
+                    JsonValue::Num(
+                        digits
+                            .parse()
+                            .map_err(|e| format!("bad number {digits:?}: {e}"))?,
+                    )
+                }
             }
             Some('t' | 'f') => {
                 let mut word = String::new();

@@ -1,0 +1,305 @@
+//! Metric exposition: Prometheus text format v0.0.4 and a one-shot JSON
+//! dump, both rendered from a registry snapshot.
+//!
+//! The two renderers share the same metric families and label sets (see
+//! [`crate::registry`]) so a scraped `/metrics` page, a `--metrics-dump`
+//! file, and `wasai stats --format json` all correlate by name.
+
+use crate::registry::{
+    Counter, Gauge, HistSnapshot, Histogram, Registry, BUCKET_BOUNDS_US, NUM_BUCKETS,
+};
+use std::fmt::Write as _;
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote, and newline must be escaped inside the quoted value.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP string: backslash and newline (but not quotes) are escaped.
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn series_name(family: &str, label: Option<(&str, &str)>) -> String {
+    match label {
+        Some((k, v)) => format!("{family}{{{k}=\"{}\"}}", escape_label_value(v)),
+        None => family.to_string(),
+    }
+}
+
+/// Format a bucket upper bound (microseconds) as Prometheus seconds.
+/// Bounds are exact decimal fractions so this never loses precision.
+fn le_seconds(us: u64) -> String {
+    let secs = us / 1_000_000;
+    let frac = us % 1_000_000;
+    if frac == 0 {
+        format!("{secs}")
+    } else {
+        let s = format!("{frac:06}");
+        format!("{secs}.{}", s.trim_end_matches('0'))
+    }
+}
+
+/// Render the full registry in Prometheus text exposition format v0.0.4.
+///
+/// Families appear in a fixed order (counters, then gauges, then
+/// histograms), each preceded by exactly one `# HELP` and one `# TYPE`
+/// line; histogram buckets are cumulative and end with `le="+Inf"` equal to
+/// `_count`.
+pub fn render_prometheus(reg: &Registry) -> String {
+    let mut out = String::with_capacity(4096);
+
+    let mut last_family = "";
+    for &c in Counter::ALL {
+        let fam = c.family();
+        if fam != last_family {
+            let _ = writeln!(out, "# HELP {fam} {}", escape_help(c.help()));
+            let _ = writeln!(out, "# TYPE {fam} counter");
+            last_family = fam;
+        }
+        let _ = writeln!(out, "{} {}", series_name(fam, c.label()), reg.counter(c));
+    }
+
+    for &g in Gauge::ALL {
+        let fam = g.family();
+        let _ = writeln!(out, "# HELP {fam} {}", escape_help(g.help()));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", reg.gauge(g));
+    }
+
+    for &h in Histogram::ALL {
+        let fam = h.family();
+        let snap = reg.histogram(h);
+        let _ = writeln!(out, "# HELP {fam} {}", escape_help(h.help()));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let cum = snap.cumulative();
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{{le=\"{}\"}} {}",
+                le_seconds(bound),
+                cum[i]
+            );
+        }
+        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", cum[NUM_BUCKETS - 1]);
+        let _ = writeln!(out, "{fam}_sum {}", sum_seconds(&snap));
+        let _ = writeln!(out, "{fam}_count {}", snap.count);
+    }
+
+    out
+}
+
+/// Render a histogram's sum (stored in µs) as seconds with full precision.
+fn sum_seconds(snap: &HistSnapshot) -> String {
+    le_seconds(snap.sum_us)
+}
+
+/// Render the full registry as a single JSON object keyed by series name
+/// (Prometheus series syntax, so live and offline views correlate by the
+/// exact same strings). Histograms dump cumulative buckets plus sum/count.
+pub fn render_json(reg: &Registry) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    let mut first = true;
+    let mut field = |out: &mut String, key: &str, val: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "  \"{}\": {val}", escape_json_key(key));
+    };
+
+    for &c in Counter::ALL {
+        field(
+            &mut out,
+            &series_name(c.family(), c.label()),
+            reg.counter(c).to_string(),
+        );
+    }
+    for &g in Gauge::ALL {
+        field(&mut out, g.family(), reg.gauge(g).to_string());
+    }
+    for &h in Histogram::ALL {
+        let fam = h.family();
+        let snap = reg.histogram(h);
+        let cum = snap.cumulative();
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            field(
+                &mut out,
+                &format!("{fam}_bucket{{le=\"{}\"}}", le_seconds(bound)),
+                cum[i].to_string(),
+            );
+        }
+        field(
+            &mut out,
+            &format!("{fam}_bucket{{le=\"+Inf\"}}"),
+            cum[NUM_BUCKETS - 1].to_string(),
+        );
+        field(&mut out, &format!("{fam}_sum"), sum_seconds(&snap));
+        field(&mut out, &format!("{fam}_count"), snap.count.to_string());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn escape_json_key(k: &str) -> String {
+    let mut out = String::with_capacity(k.len());
+    for c in k.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn enabled_registry() -> Registry {
+        let r = Registry::new();
+        r.enable();
+        r
+    }
+
+    #[test]
+    fn help_and_type_precede_every_family_exactly_once() {
+        let r = enabled_registry();
+        let text = render_prometheus(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut families_seen = std::collections::HashSet::new();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let fam = rest.split_whitespace().next().unwrap();
+                assert!(
+                    families_seen.insert(fam.to_string()),
+                    "duplicate HELP for {fam}"
+                );
+                let type_line = lines[i + 1];
+                assert!(
+                    type_line.starts_with(&format!("# TYPE {fam} ")),
+                    "HELP for {fam} not immediately followed by its TYPE: {type_line}"
+                );
+            }
+        }
+        // Every sample line's family must have been introduced by HELP/TYPE.
+        for line in &lines {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            let fam = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                families_seen.contains(fam),
+                "sample {name} has no HELP/TYPE header (family {fam})"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_values_round_trip_through_text() {
+        let r = enabled_registry();
+        r.add(Counter::SeedsExecuted, 42);
+        r.add(Counter::CampaignsTimedOut, 3);
+        let text = render_prometheus(&r);
+        assert!(text.contains("wasai_seeds_executed_total 42\n"), "{text}");
+        assert!(
+            text.contains("wasai_campaigns_total{outcome=\"timed-out\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE wasai_campaigns_total counter\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_inf_equals_count() {
+        let r = enabled_registry();
+        for us in [10, 150, 2_000, 2_000, 50_000, 2_000_000, 90_000_000] {
+            r.observe_us(Histogram::SolveWallSeconds, us);
+        }
+        let text = render_prometheus(&r);
+        let mut prev = 0u64;
+        let mut inf = None;
+        let mut count = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("wasai_solve_wall_seconds_bucket{le=\"") {
+                let (le, val) = rest.split_once("\"} ").unwrap();
+                let v: u64 = val.parse().unwrap();
+                assert!(v >= prev, "bucket le={le} decreased: {v} < {prev}");
+                prev = v;
+                if le == "+Inf" {
+                    inf = Some(v);
+                }
+            } else if let Some(v) = line.strip_prefix("wasai_solve_wall_seconds_count ") {
+                count = Some(v.parse::<u64>().unwrap());
+            }
+        }
+        assert_eq!(inf, Some(7));
+        assert_eq!(count, Some(7), "le=\"+Inf\" must equal _count");
+    }
+
+    #[test]
+    fn bucket_bounds_render_as_seconds() {
+        assert_eq!(le_seconds(100), "0.0001");
+        assert_eq!(le_seconds(1_000), "0.001");
+        assert_eq!(le_seconds(1_000_000), "1");
+        assert_eq!(le_seconds(5_000_000), "5");
+        assert_eq!(le_seconds(1_500_000), "1.5");
+    }
+
+    #[test]
+    fn label_escaping_covers_quote_backslash_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            escape_help("line\nbreak \\ \"q\""),
+            "line\\nbreak \\\\ \"q\""
+        );
+    }
+
+    #[test]
+    fn json_dump_shares_prometheus_series_names() {
+        let r = enabled_registry();
+        r.add(Counter::SmtSat, 5);
+        r.observe_us(Histogram::ReplayWallSeconds, 500);
+        let json = render_json(&r);
+        assert!(
+            json.contains("\"wasai_smt_queries_total{outcome=\\\"sat\\\"}\": 5"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"wasai_replay_wall_seconds_count\": 1"),
+            "{json}"
+        );
+        // Parseable by the repo's own minimal JSON field splitter: one
+        // object, string keys, numeric values.
+        assert!(json.starts_with("{\n") && json.ends_with("\n}\n"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Worker heartbeats and the stall detector.
+//!
+//! Every fleet worker owns one fixed [`HeartbeatTable`] slot for the
+//! duration of the sweep. While a campaign runs, the worker stamps the slot
+//! — campaign index, a monotonically increasing tick count, the wall
+//! timestamp of the last tick, and the watchdog stage it is in (the same
+//! thread-local stage markers PR 2's fault isolation uses for panic
+//! attribution). The monitor thread scans the table: a slot whose campaign
+//! has been live for longer than the stall threshold *without a fresh tick*
+//! is flagged as stalled.
+//!
+//! The table is wall-clock-only and write-only from workers, like the rest
+//! of the observability layer: the detector reports, it never intervenes,
+//! so scheduling and results are untouched (the PR 2 deadline machinery
+//! remains the enforcement mechanism).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Maximum concurrently tracked workers. `WASAI_JOBS` beyond this still
+/// works — extra workers simply share no heartbeat slot and are invisible
+/// to the stall detector (they are still bounded by the PR 2 deadline).
+pub const MAX_SLOTS: usize = 64;
+
+/// Sentinel for "no campaign on this slot".
+const IDLE: u64 = u64::MAX;
+
+/// Watchdog stage codes mirrored into heartbeat slots; kept in sync with
+/// the `wasai_core::fleet::stage` marker strings by the core-side bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Stage {
+    /// Top-level campaign driver.
+    Campaign = 0,
+    /// Executing seeds on the concrete VM.
+    Execute = 1,
+    /// Symbolic replay of a recorded trace.
+    Replay = 2,
+    /// Inside an SMT flip query.
+    Solve = 3,
+    /// Decoding/instrumenting the target.
+    Prepare = 4,
+}
+
+impl Stage {
+    /// Short display name, matching the PR 2 stage marker strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Campaign => "campaign",
+            Stage::Execute => "execute",
+            Stage::Replay => "replay",
+            Stage::Solve => "solve",
+            Stage::Prepare => "prepare",
+        }
+    }
+
+    fn from_code(code: u8) -> Stage {
+        match code {
+            1 => Stage::Execute,
+            2 => Stage::Replay,
+            3 => Stage::Solve,
+            4 => Stage::Prepare,
+            _ => Stage::Campaign,
+        }
+    }
+}
+
+/// One worker's heartbeat slot.
+#[derive(Debug)]
+struct Slot {
+    /// Campaign index currently running on this worker, or [`IDLE`].
+    campaign: AtomicU64,
+    /// Progress ticks since the campaign began on this slot.
+    ticks: AtomicU64,
+    /// Milliseconds since the table's epoch at the last tick (or begin).
+    last_ms: AtomicU64,
+    /// Current [`Stage`] code.
+    stage: AtomicU8,
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            campaign: AtomicU64::new(IDLE),
+            ticks: AtomicU64::new(0),
+            last_ms: AtomicU64::new(0),
+            stage: AtomicU8::new(Stage::Campaign as u8),
+        }
+    }
+}
+
+/// A stalled campaign, as reported by [`HeartbeatTable::stalled`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Worker slot the campaign is running on.
+    pub slot: usize,
+    /// Campaign index (position in the sweep's input order).
+    pub campaign: u64,
+    /// Milliseconds since the last observed tick.
+    pub idle_ms: u64,
+    /// Stage the worker was last seen in.
+    pub stage: Stage,
+    /// Ticks the campaign made before going quiet.
+    pub ticks: u64,
+}
+
+/// Fixed-size table of worker heartbeat slots.
+#[derive(Debug)]
+pub struct HeartbeatTable {
+    slots: [Slot; MAX_SLOTS],
+    /// Next slot to hand out; wraps at [`MAX_SLOTS`].
+    next: AtomicUsize,
+}
+
+impl HeartbeatTable {
+    /// A table with every slot idle.
+    pub const fn new() -> HeartbeatTable {
+        // Array-repeat initializer, never read as a const.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const S: Slot = Slot::new();
+        HeartbeatTable {
+            slots: [S; MAX_SLOTS],
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide wall epoch all `last_ms` stamps are relative to.
+    fn epoch() -> Instant {
+        static INIT: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        *INIT.get_or_init(Instant::now)
+    }
+
+    /// Milliseconds elapsed since the epoch.
+    pub fn now_ms() -> u64 {
+        Self::epoch()
+            .elapsed()
+            .as_millis()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Claim a slot for the calling worker thread. Returns the slot index
+    /// to pass to the other methods.
+    pub fn claim_slot(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % MAX_SLOTS
+    }
+
+    /// Reset slot assignment so the next sweep's workers start from slot 0.
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+        for s in &self.slots {
+            s.campaign.store(IDLE, Ordering::Relaxed);
+            s.ticks.store(0, Ordering::Relaxed);
+            s.last_ms.store(0, Ordering::Relaxed);
+            s.stage.store(Stage::Campaign as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Mark `campaign` as running on `slot`.
+    pub fn begin(&self, slot: usize, campaign: u64) {
+        let s = &self.slots[slot % MAX_SLOTS];
+        s.ticks.store(0, Ordering::Relaxed);
+        s.last_ms.store(Self::now_ms(), Ordering::Relaxed);
+        s.stage.store(Stage::Campaign as u8, Ordering::Relaxed);
+        s.campaign.store(campaign, Ordering::Relaxed);
+    }
+
+    /// Record one unit of forward progress on `slot`.
+    #[inline]
+    pub fn tick(&self, slot: usize) {
+        let s = &self.slots[slot % MAX_SLOTS];
+        s.ticks.fetch_add(1, Ordering::Relaxed);
+        s.last_ms.store(Self::now_ms(), Ordering::Relaxed);
+    }
+
+    /// Record which watchdog stage `slot`'s worker is in.
+    #[inline]
+    pub fn set_stage(&self, slot: usize, stage: Stage) {
+        self.slots[slot % MAX_SLOTS]
+            .stage
+            .store(stage as u8, Ordering::Relaxed);
+    }
+
+    /// Mark `slot` idle again.
+    pub fn end(&self, slot: usize) {
+        self.slots[slot % MAX_SLOTS]
+            .campaign
+            .store(IDLE, Ordering::Relaxed);
+    }
+
+    /// Number of slots currently running a campaign.
+    pub fn running(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.campaign.load(Ordering::Relaxed) != IDLE)
+            .count()
+    }
+
+    /// Scan for campaigns whose last tick is older than `threshold_ms`.
+    pub fn stalled(&self, threshold_ms: u64) -> Vec<StallReport> {
+        let now = Self::now_ms();
+        let mut out = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            let campaign = s.campaign.load(Ordering::Relaxed);
+            if campaign == IDLE {
+                continue;
+            }
+            let last = s.last_ms.load(Ordering::Relaxed);
+            let idle_ms = now.saturating_sub(last);
+            if idle_ms >= threshold_ms {
+                // Re-check the slot is still on the same campaign: `end()`
+                // racing the scan must not produce a ghost report.
+                if s.campaign.load(Ordering::Relaxed) != campaign {
+                    continue;
+                }
+                out.push(StallReport {
+                    slot: i,
+                    campaign,
+                    idle_ms,
+                    stage: Stage::from_code(s.stage.load(Ordering::Relaxed)),
+                    ticks: s.ticks.load(Ordering::Relaxed),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Default for HeartbeatTable {
+    fn default() -> Self {
+        HeartbeatTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_table_reports_nothing() {
+        let t = HeartbeatTable::new();
+        assert_eq!(t.running(), 0);
+        assert!(t.stalled(0).is_empty());
+    }
+
+    #[test]
+    fn ticking_campaign_is_not_stalled_quiet_one_is() {
+        let t = HeartbeatTable::new();
+        let a = t.claim_slot();
+        let b = t.claim_slot();
+        assert_ne!(a, b);
+        t.begin(a, 7);
+        t.begin(b, 8);
+        t.set_stage(b, Stage::Solve);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        t.tick(a); // a stays fresh, b goes quiet
+        let stalls = t.stalled(20);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].campaign, 8);
+        assert_eq!(stalls[0].stage, Stage::Solve);
+        assert!(stalls[0].idle_ms >= 20);
+        assert_eq!(t.running(), 2);
+    }
+
+    #[test]
+    fn ended_campaign_disappears_from_scan() {
+        let t = HeartbeatTable::new();
+        let s = t.claim_slot();
+        t.begin(s, 3);
+        t.end(s);
+        assert_eq!(t.running(), 0);
+        assert!(t.stalled(0).is_empty());
+    }
+
+    #[test]
+    fn reset_reclaims_slots_from_zero() {
+        let t = HeartbeatTable::new();
+        let first = t.claim_slot();
+        t.begin(first, 1);
+        t.reset();
+        assert_eq!(t.claim_slot(), 0);
+        assert_eq!(t.running(), 0);
+    }
+
+    #[test]
+    fn stage_codes_round_trip() {
+        for s in [
+            Stage::Campaign,
+            Stage::Execute,
+            Stage::Replay,
+            Stage::Solve,
+            Stage::Prepare,
+        ] {
+            assert_eq!(Stage::from_code(s as u8), s);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! A tiny, dependency-free HTTP/1.1 listener for metric scraping.
+//!
+//! Serves exactly two endpoints from a registry reference:
+//!
+//! - `GET /metrics` — Prometheus text exposition v0.0.4
+//! - `GET /metrics.json` — the JSON dump from [`crate::expo::render_json`]
+//!
+//! One accept thread, one request per connection, `Connection: close`. This
+//! is a scrape endpoint, not a web server: no keep-alive, no chunked
+//! bodies, no TLS. Requests are parsed just enough to route on the path.
+
+use crate::expo::{render_json, render_prometheus};
+use crate::registry::Registry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics server. Dropping it (or calling [`MetricsServer::stop`])
+/// shuts the accept loop down.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// serve `reg` until stopped. The registry must be `'static` — in the
+    /// CLI that is [`crate::global`], in tests a `Box::leak`ed instance.
+    pub fn bind(addr: &str, reg: &'static Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // Poll the stop flag between accepts so `stop()` terminates the
+        // thread promptly without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let handle = std::thread::Builder::new()
+            .name("wasai-metrics".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = serve_one(stream, reg);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Handle one connection: read the request line, route, write a response.
+fn serve_one(stream: TcpStream, reg: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients don't see a reset mid-request.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" | "/" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(reg),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", render_json(reg)),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Blocking one-shot GET against a metrics server, used by tests and the
+/// in-repo scrape tooling (avoids depending on curl for unit tests).
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    match buf.split_once("\r\n\r\n") {
+        Some((_headers, body)) => Ok(body.to_string()),
+        None => Ok(buf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Counter, Registry};
+
+    fn leaked_registry() -> &'static Registry {
+        let r = Box::leak(Box::new(Registry::new()));
+        r.enable();
+        r
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_json() {
+        let reg = leaked_registry();
+        reg.add(Counter::Iterations, 11);
+        let mut srv = MetricsServer::bind("127.0.0.1:0", reg).expect("bind");
+        let addr = srv.local_addr();
+
+        let text = scrape(addr, "/metrics").expect("scrape /metrics");
+        assert!(text.contains("wasai_iterations_total 11\n"), "{text}");
+        assert!(text.contains("# TYPE wasai_iterations_total counter\n"));
+
+        let json = scrape(addr, "/metrics.json").expect("scrape /metrics.json");
+        assert!(json.contains("\"wasai_iterations_total\": 11"), "{json}");
+
+        let missing = scrape(addr, "/nope").expect("scrape 404");
+        assert!(missing.contains("not found"));
+
+        srv.stop();
+    }
+
+    #[test]
+    fn scrape_sees_live_updates() {
+        let reg = leaked_registry();
+        let srv = MetricsServer::bind("127.0.0.1:0", reg).expect("bind");
+        let addr = srv.local_addr();
+        let before = scrape(addr, "/metrics").expect("scrape");
+        assert!(before.contains("wasai_flips_total 0\n"));
+        reg.add(Counter::Flips, 4);
+        let after = scrape(addr, "/metrics").expect("scrape");
+        assert!(after.contains("wasai_flips_total 4\n"), "{after}");
+    }
+
+    #[test]
+    fn stop_joins_the_server_thread() {
+        let reg = leaked_registry();
+        let mut srv = MetricsServer::bind("127.0.0.1:0", reg).expect("bind");
+        srv.stop();
+        // Idempotent: a second stop (and the Drop impl) must not hang.
+        srv.stop();
+    }
+}

@@ -132,6 +132,7 @@ impl SolverCache {
     /// Look up a canonical key, decoding the memo against `pool` on a hit.
     pub fn lookup(&self, key: &QueryKey, pool: &TermPool) -> Option<(SolveResult, SolveStats)> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        wasai_obs::inc(wasai_obs::Counter::CacheLookupsFleet);
         let entry = {
             let map = self.map.lock().expect("cache poisoned");
             map.get(key).cloned()
@@ -139,6 +140,7 @@ impl SolverCache {
         let hit = entry.map(|e| e.decode(pool));
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            wasai_obs::inc(wasai_obs::Counter::CacheHitsFleet);
         }
         hit
     }

@@ -220,6 +220,7 @@ impl<'p> PrefixSolver<'p> {
         let base_props = self.bb.sat.propagations;
         let mut fork = self.bb.clone();
         self.forks += 1;
+        wasai_obs::inc(wasai_obs::Counter::PrefixForks);
         if !delta_dropped {
             fork.assert_true(delta);
         }

@@ -235,7 +235,16 @@ impl Instance {
         args: &[Value],
         fuel: &mut Fuel,
     ) -> Result<Vec<Value>, Trap> {
-        self.call_function(host, func_idx, args, fuel)
+        let fuel_before = fuel.0;
+        let r = self.call_function(host, func_idx, args, fuel);
+        // Fuel only decreases during a call, so the delta is the executed
+        // instruction count; one batched counter add per invoke keeps the
+        // per-instruction loop untouched.
+        wasai_obs::add(
+            wasai_obs::Counter::VmInstructions,
+            fuel_before.saturating_sub(fuel.0),
+        );
+        r
     }
 
     fn call_function(

@@ -1,14 +1,32 @@
 //! The `wasai` command-line tool.
 //!
 //! ```text
-//! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE]
+//! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]
 //!                                                 analyze a contract binary
-//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]
+//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE] [obs flags]
 //!                                                 analyze every *.wasm in a directory
-//! wasai stats     <trace-or-triage.jsonl>         summarize a telemetry trace or triage report
+//! wasai stats     <trace-or-triage.jsonl> [--format table|json]
+//!                                                 summarize a telemetry trace or triage report
 //! wasai gen       <out-dir> [count] [seed]        emit a labeled sample corpus
 //! wasai show      <contract.wasm>                 dump a WAT-like listing
 //! ```
+//!
+//! Observability flags (shared by `audit` and `audit-dir`):
+//!
+//! - `--metrics-addr ADDR` (or `WASAI_METRICS_ADDR`) serves live Prometheus
+//!   text exposition on `http://ADDR/metrics` (JSON at `/metrics.json`) for
+//!   the duration of the run; `WASAI_METRICS_LINGER_SECS` keeps the
+//!   listener up that many seconds after the sweep so late scrapes land.
+//! - `--metrics-dump FILE` writes a one-shot JSON snapshot of every metric
+//!   at exit.
+//! - `--progress` / `--no-progress` (or `WASAI_PROGRESS=1|0`) force the
+//!   live stderr progress line on or off; the default is on only when
+//!   stderr is a terminal. `--stall-secs N` (default 30) sets the
+//!   heartbeat threshold after which a quiet campaign is flagged STALLED.
+//!
+//! All observability output is wall-clock and strictly out-of-band: stdout
+//! verdicts, triage files, and telemetry traces are byte-identical with
+//! these surfaces on or off (see DESIGN.md, "The determinism boundary").
 //!
 //! `audit-dir` fans campaigns out over `WASAI_JOBS` worker threads (default:
 //! available parallelism; `1` forces serial) and reports per-contract
@@ -44,15 +62,145 @@
 //! ```
 
 use std::fs;
+use std::io::IsTerminal;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use wasai::prelude::*;
 use wasai::wasai_chain::ChainError;
 use wasai::wasai_core::fleet::{self, stage, CampaignOutcome};
+use wasai::wasai_core::obs_bridge::{self, ProgressMonitor};
 use wasai::wasai_core::telemetry::{self, json_escape, Metrics, TelemetryEvent};
 use wasai::wasai_corpus::wild_corpus;
+use wasai::wasai_obs as obs;
 use wasai::wasai_smt::Deadline;
 use wasai::wasai_wasm::{decode, display, encode};
+
+/// Observability options shared by `audit` and `audit-dir`.
+#[derive(Default)]
+struct ObsOpts {
+    /// `--metrics-addr ADDR`: serve Prometheus exposition over HTTP.
+    metrics_addr: Option<String>,
+    /// `--metrics-dump FILE`: one-shot JSON metrics snapshot at exit.
+    metrics_dump: Option<String>,
+    /// `--progress` / `--no-progress` override (None = auto: stderr TTY).
+    progress: Option<bool>,
+    /// `--stall-secs N`: heartbeat stall threshold (default 30).
+    stall_secs: f64,
+}
+
+impl ObsOpts {
+    fn new() -> ObsOpts {
+        ObsOpts {
+            stall_secs: 30.0,
+            ..ObsOpts::default()
+        }
+    }
+
+    /// Try to consume one observability flag; `Ok(true)` if `arg` was ours.
+    fn parse_flag(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--metrics-addr" => {
+                let v = it.next().ok_or("--metrics-addr needs host:port")?;
+                self.metrics_addr = Some(v.clone());
+            }
+            "--metrics-dump" => {
+                let v = it.next().ok_or("--metrics-dump needs a file path")?;
+                self.metrics_dump = Some(v.clone());
+            }
+            "--progress" => self.progress = Some(true),
+            "--no-progress" => self.progress = Some(false),
+            "--stall-secs" => {
+                let v = it.next().ok_or("--stall-secs needs a value")?;
+                self.stall_secs = v.parse().map_err(|e| format!("--stall-secs {v}: {e}"))?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The metrics address, with the `WASAI_METRICS_ADDR` env fallback.
+    fn resolved_addr(&self) -> Option<String> {
+        self.metrics_addr.clone().or_else(|| {
+            std::env::var("WASAI_METRICS_ADDR")
+                .ok()
+                .filter(|s| !s.trim().is_empty())
+        })
+    }
+
+    /// Whether the live progress line is wanted: explicit flag, then
+    /// `WASAI_PROGRESS=1|0`, then "stderr is a terminal".
+    fn resolved_progress(&self) -> bool {
+        if let Some(p) = self.progress {
+            return p;
+        }
+        match std::env::var("WASAI_PROGRESS").ok().as_deref() {
+            Some("1") => true,
+            Some("0") => false,
+            _ => std::io::stderr().is_terminal(),
+        }
+    }
+}
+
+/// The live observability surfaces of one run. Everything here renders to
+/// stderr or a socket — stdout and result files are untouched, so reports
+/// stay byte-identical whether or not a session is active.
+struct ObsSession {
+    server: Option<obs::http::MetricsServer>,
+    monitor: Option<wasai::wasai_core::MonitorHandle>,
+}
+
+/// Start the requested observability surfaces for a run of `total`
+/// campaigns. Enables the global registry iff any surface is on.
+fn obs_start(opts: &ObsOpts, total: u64) -> Result<ObsSession, String> {
+    let addr = opts.resolved_addr();
+    let progress = opts.resolved_progress();
+    if addr.is_some() || opts.metrics_dump.is_some() || progress {
+        obs::enable();
+    }
+    let server = match addr {
+        Some(a) => {
+            let srv = obs::http::MetricsServer::bind(&a, obs::global())
+                .map_err(|e| format!("--metrics-addr {a}: {e}"))?;
+            eprintln!("metrics listening on http://{}/metrics", srv.local_addr());
+            Some(srv)
+        }
+        None => None,
+    };
+    let monitor = progress.then(|| {
+        ProgressMonitor::new(total, Duration::from_secs_f64(opts.stall_secs.max(0.0)))
+            .spawn(Duration::from_millis(500), std::io::stderr().is_terminal())
+    });
+    Ok(ObsSession { server, monitor })
+}
+
+/// Tear a session down: stop the monitor, write the `--metrics-dump`
+/// snapshot, honor `WASAI_METRICS_LINGER_SECS`, then close the listener.
+fn obs_finish(mut session: ObsSession, opts: &ObsOpts) -> Result<(), String> {
+    if let Some(mut monitor) = session.monitor.take() {
+        monitor.stop();
+    }
+    if let Some(path) = &opts.metrics_dump {
+        fs::write(path, obs::expo::render_json(obs::global()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics dump written to {path}");
+    }
+    if session.server.is_some() {
+        let linger = std::env::var("WASAI_METRICS_LINGER_SECS")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|s| *s > 0.0);
+        if let Some(secs) = linger {
+            eprintln!("metrics listener lingering {secs}s for late scrapes");
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+    }
+    Ok(())
+}
 
 fn parse_abi(text: &str) -> Result<Abi, String> {
     let mut actions = Vec::new();
@@ -93,7 +241,12 @@ fn parse_abi(text: &str) -> Result<Abi, String> {
     Ok(Abi::new(actions))
 }
 
-fn audit(wasm_path: &str, abi_path: &str, trace_out: Option<&str>) -> Result<(), String> {
+fn audit(
+    wasm_path: &str,
+    abi_path: &str,
+    trace_out: Option<&str>,
+    obs_opts: &ObsOpts,
+) -> Result<(), String> {
     let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
     let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
     let abi = parse_abi(&fs::read_to_string(abi_path).map_err(|e| format!("{abi_path}: {e}"))?)?;
@@ -103,19 +256,30 @@ fn audit(wasm_path: &str, abi_path: &str, trace_out: Option<&str>) -> Result<(),
         module.funcs.len(),
         abi.actions.len()
     );
+    let session = obs_start(obs_opts, 1)?;
+    // A single audit never enters the fleet scheduler, so bracket the
+    // campaign's heartbeat here for the stall detector.
+    obs::worker::begin(0);
     let wasai = Wasai::new(module, abi).with_config(FuzzConfig::default());
-    let report = if let Some(path) = trace_out {
-        let (report, events) = wasai.run_traced().map_err(|e| e.to_string())?;
-        fs::write(path, telemetry::write_trace([(0, events.as_slice())]))
-            .map_err(|e| format!("{path}: {e}"))?;
-        eprintln!(
-            "telemetry trace written to {path} ({} events)",
-            events.len()
-        );
-        report
+    let run_result = if let Some(path) = trace_out {
+        wasai
+            .run_traced()
+            .map_err(|e| e.to_string())
+            .and_then(|(report, events)| {
+                fs::write(path, telemetry::write_trace([(0, events.as_slice())]))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    "telemetry trace written to {path} ({} events)",
+                    events.len()
+                );
+                Ok(report)
+            })
     } else {
-        wasai.run().map_err(|e| e.to_string())?
+        wasai.run().map_err(|e| e.to_string())
     };
+    obs::worker::end();
+    obs_finish(session, obs_opts)?;
+    let report = run_result?;
     println!(
         "campaign: {} iterations, {} SMT queries, {} branches covered",
         report.iterations, report.smt_queries, report.branches
@@ -134,7 +298,6 @@ fn audit(wasm_path: &str, abi_path: &str, trace_out: Option<&str>) -> Result<(),
 }
 
 /// Options for `audit-dir` beyond the directory and seed.
-#[derive(Default)]
 struct AuditDirOpts {
     /// Wall-clock watchdog from `--deadline-secs` (overrides
     /// `WASAI_DEADLINE`).
@@ -143,6 +306,19 @@ struct AuditDirOpts {
     triage_path: Option<String>,
     /// Destination for the JSON-lines telemetry trace.
     trace_path: Option<String>,
+    /// Observability surfaces (metrics listener, dump, progress monitor).
+    obs: ObsOpts,
+}
+
+impl Default for AuditDirOpts {
+    fn default() -> Self {
+        AuditDirOpts {
+            deadline_secs: None,
+            triage_path: None,
+            trace_path: None,
+            obs: ObsOpts::new(),
+        }
+    }
 }
 
 /// Analyze every `*.wasm` (with `.abi` sidecar) in a directory, in parallel,
@@ -186,6 +362,7 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         }
     );
 
+    let session = obs_start(&opts.obs, wasm_paths.len() as u64)?;
     let start = std::time::Instant::now();
     // Campaigns run traced only when a trace destination was requested;
     // untraced sweeps attach no sink at all and behave exactly as before.
@@ -216,6 +393,7 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         }
     });
     let wall = start.elapsed();
+    obs_finish(session, &opts.obs)?;
 
     let mut vulnerable = 0usize;
     let mut clean = 0usize;
@@ -348,7 +526,7 @@ fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
 ///
 /// The two formats are distinguished by their fields: trace lines carry
 /// `"event"`, triage lines carry `"contract"`.
-fn stats_cmd(path: &str) -> Result<(), String> {
+fn stats_cmd(path: &str, format: &str) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let first = text
         .lines()
@@ -358,6 +536,12 @@ fn stats_cmd(path: &str) -> Result<(), String> {
     if fields.contains_key("event") {
         let events = telemetry::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
         let metrics = Metrics::from_events(events.iter().map(|(_, ev)| ev));
+        if format == "json" {
+            // Machine-readable, keyed by the same Prometheus series names
+            // the live `/metrics` exposition uses.
+            print!("{}", obs_bridge::metrics_json(&metrics));
+            return Ok(());
+        }
         let campaigns: std::collections::BTreeSet<usize> = events.iter().map(|&(c, _)| c).collect();
         println!(
             "trace {path}: {} events across {} campaign(s)\n",
@@ -366,6 +550,10 @@ fn stats_cmd(path: &str) -> Result<(), String> {
         );
         print!("{}", metrics.render());
         Ok(())
+    } else if format == "json" {
+        Err(format!(
+            "{path}: --format json requires a telemetry trace (triage reports are already JSON lines)"
+        ))
     } else if fields.contains_key("contract") {
         let mut by_outcome = std::collections::BTreeMap::<String, usize>::new();
         let mut failed_stages = std::collections::BTreeMap::<String, usize>::new();
@@ -420,14 +608,18 @@ fn show(wasm_path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse `audit-dir`'s tail: positional `[seed]` plus `--deadline-secs S`
-/// and `--triage FILE` flags, in any order.
+/// Parse `audit-dir`'s tail: positional `[seed]` plus `--deadline-secs S`,
+/// `--triage FILE`, `--trace-out FILE`, and the observability flags, in any
+/// order.
 fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> {
     let mut seed = 0xe05u64;
     let mut seed_seen = false;
     let mut opts = AuditDirOpts::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
+        if opts.obs.parse_flag(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--deadline-secs" => {
                 let v = it.next().ok_or("--deadline-secs needs a value")?;
@@ -454,19 +646,55 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
     Ok((seed, opts))
 }
 
+/// Parse `audit`'s tail: positional `<wasm> <abi>` plus `--trace-out FILE`
+/// and the observability flags, in any order.
+fn parse_audit_args(rest: &[String]) -> Result<(String, String, Option<String>, ObsOpts), String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut trace_out = None;
+    let mut obs_opts = ObsOpts::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if obs_opts.parse_flag(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file path")?;
+                trace_out = Some(v.clone());
+            }
+            other if !other.starts_with("--") && positional.len() < 2 => {
+                positional.push(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let [wasm, abi] = positional.try_into().map_err(|p: Vec<String>| {
+        format!(
+            "audit needs <contract.wasm> <contract.abi>, got {} positional args",
+            p.len()
+        )
+    })?;
+    Ok((wasm, abi, trace_out, obs_opts))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n  wasai stats <trace-or-triage.jsonl>\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE] [obs flags]\n  wasai stats <trace-or-triage.jsonl> [--format table|json]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
     let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
-        Some("audit") if args.len() == 4 => {
-            audit(&args[2], &args[3], None).map(|()| ExitCode::SUCCESS)
-        }
-        Some("audit") if args.len() == 6 && args[4] == "--trace-out" => {
-            audit(&args[2], &args[3], Some(&args[5])).map(|()| ExitCode::SUCCESS)
+        Some("audit") if args.len() >= 4 => {
+            parse_audit_args(&args[2..]).and_then(|(wasm, abi, trace_out, obs_opts)| {
+                audit(&wasm, &abi, trace_out.as_deref(), &obs_opts).map(|()| ExitCode::SUCCESS)
+            })
         }
         Some("audit-dir") if args.len() >= 3 => parse_audit_dir_args(&args[3..])
             .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
-        Some("stats") if args.len() == 3 => stats_cmd(&args[2]).map(|()| ExitCode::SUCCESS),
+        Some("stats") if args.len() == 3 => {
+            stats_cmd(&args[2], "table").map(|()| ExitCode::SUCCESS)
+        }
+        Some("stats") if args.len() == 5 && args[3] == "--format" => match args[4].as_str() {
+            f @ ("table" | "json") => stats_cmd(&args[2], f).map(|()| ExitCode::SUCCESS),
+            other => Err(format!("--format must be table or json, got {other:?}")),
+        },
         Some("gen") if args.len() >= 3 => {
             let count = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
             let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);

@@ -22,6 +22,7 @@ pub use wasai_baselines;
 pub use wasai_chain;
 pub use wasai_core;
 pub use wasai_corpus;
+pub use wasai_obs;
 pub use wasai_smt;
 pub use wasai_symex;
 pub use wasai_vm;

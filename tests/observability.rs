@@ -1,0 +1,384 @@
+//! Observability is strictly out-of-band: enabling every surface at once —
+//! the Prometheus listener, the JSON dump, the stderr progress monitor —
+//! must leave verdict lines and golden traces byte-identical to a dark run,
+//! at any worker count. These tests drive the real `wasai` binary with the
+//! surfaces on and off and diff the outputs, scrape the live HTTP endpoint,
+//! and (under `--features chaos`) check that the stall detector flags a
+//! solver-stalled campaign while its siblings keep finishing.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use wasai::wasai_core::telemetry::parse_json_fields;
+
+/// A fresh scratch directory under the target dir (no tempfile dependency).
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("test-scratch")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Generate a labeled corpus with real action-function branches (branches
+/// in `apply` are excluded from the coverage metric, so hand-rolled stubs
+/// would leave every coverage/flip counter at zero).
+fn write_corpus(dir: &Path) {
+    let out = Command::new(env!("CARGO_BIN_EXE_wasai"))
+        .arg("gen")
+        .arg(dir)
+        .arg("3")
+        .arg("7")
+        .output()
+        .expect("spawn wasai gen");
+    assert!(out.status.success(), "gen failed: {out:?}");
+}
+
+struct SweepRun {
+    /// Per-contract verdict lines (stdout up to the summary blank line).
+    verdicts: Vec<String>,
+    /// Bytes of the `--trace-out` file.
+    trace: String,
+    stderr: String,
+}
+
+/// Run `wasai audit-dir` with or without every observability surface on.
+/// With `obs`, the run serves `/metrics` on an ephemeral port, writes a
+/// `--metrics-dump` snapshot, and forces the (non-TTY) progress line on.
+fn run_audit_dir(dir: &Path, jobs: &str, obs: bool) -> SweepRun {
+    let tag = format!("{jobs}-{}", if obs { "obs" } else { "dark" });
+    let trace_path = dir.join(format!("trace-{tag}.jsonl"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_wasai"));
+    cmd.arg("audit-dir")
+        .arg(dir)
+        .arg("5")
+        .arg("--deadline-secs")
+        .arg("300")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .env("WASAI_JOBS", jobs);
+    if obs {
+        cmd.arg("--metrics-addr")
+            .arg("127.0.0.1:0")
+            .arg("--metrics-dump")
+            .arg(dir.join(format!("dump-{tag}.json")))
+            .arg("--stall-secs")
+            .arg("1")
+            .env("WASAI_PROGRESS", "1");
+    } else {
+        cmd.env("WASAI_PROGRESS", "0");
+    }
+    let out = cmd.output().expect("spawn wasai");
+    assert_eq!(out.status.code(), Some(0), "{tag}: {:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    SweepRun {
+        verdicts: stdout
+            .lines()
+            .take_while(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
+        trace: fs::read_to_string(&trace_path).expect("trace exists"),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn read_dump(dir: &Path, tag: &str) -> std::collections::BTreeMap<String, u64> {
+    let raw = fs::read_to_string(dir.join(format!("dump-{tag}.json"))).expect("metrics dump");
+    parse_json_fields(&raw)
+        .expect("parseable metrics dump")
+        .into_iter()
+        .filter_map(|(k, v)| v.as_num().map(|n| (k, n)))
+        .collect()
+}
+
+/// ISSUE 5's acceptance gate: verdicts and traces byte-identical with
+/// observability fully on vs fully off, at `WASAI_JOBS=1` and `4`.
+#[test]
+fn reports_and_traces_are_byte_identical_with_observability_on() {
+    let dir = scratch_dir("obs-identity");
+    write_corpus(&dir);
+
+    let baseline = run_audit_dir(&dir, "1", false);
+    assert_eq!(baseline.verdicts.len(), 3, "{:?}", baseline.verdicts);
+    assert!(!baseline.trace.is_empty());
+
+    for (jobs, obs) in [("1", true), ("4", false), ("4", true)] {
+        let run = run_audit_dir(&dir, jobs, obs);
+        assert_eq!(
+            run.verdicts, baseline.verdicts,
+            "verdicts drifted at jobs={jobs} obs={obs}"
+        );
+        assert_eq!(
+            run.trace, baseline.trace,
+            "trace drifted at jobs={jobs} obs={obs}"
+        );
+        if obs {
+            // The surfaces were actually live, not silently skipped.
+            assert!(
+                run.stderr
+                    .contains("metrics listening on http://127.0.0.1:"),
+                "no listener banner: {}",
+                run.stderr
+            );
+            assert!(
+                run.stderr.contains("[wasai] "),
+                "no progress line: {}",
+                run.stderr
+            );
+            assert!(
+                run.stderr.contains("metrics dump written to"),
+                "no dump notice: {}",
+                run.stderr
+            );
+        }
+    }
+
+    // The wall-clock registry itself is deterministic where it counts work,
+    // not time: seeds, coverage, flips are per-slot deterministic, so their
+    // fleet-wide sums match across worker counts.
+    let d1 = read_dump(&dir, "1-obs");
+    let d4 = read_dump(&dir, "4-obs");
+    for key in [
+        "wasai_campaigns_total{outcome=\"ok\"}",
+        "wasai_seeds_executed_total",
+        "wasai_coverage_branches_total",
+        "wasai_branch_sites_total",
+        "wasai_flips_total",
+        "wasai_smt_queries_total{outcome=\"sat\"}",
+    ] {
+        assert_eq!(d1.get(key), d4.get(key), "{key} drifted across jobs");
+        assert!(d1.get(key).copied().unwrap_or(0) > 0, "{key} never counted");
+    }
+    // The coverage denominator bounds the numerator (directions, not sites).
+    assert!(
+        d1["wasai_coverage_branches_total"] <= d1["wasai_branch_sites_total"],
+        "coverage {} exceeds denominator {}",
+        d1["wasai_coverage_branches_total"],
+        d1["wasai_branch_sites_total"]
+    );
+}
+
+/// `wasai stats --format json` over the run's trace reports the same values
+/// under the same Prometheus series names as the live registry dump, so
+/// offline and live observability join by key.
+#[test]
+fn stats_json_agrees_with_live_metrics_dump() {
+    let dir = scratch_dir("obs-stats");
+    write_corpus(&dir);
+    let run = run_audit_dir(&dir, "2", true);
+    assert_eq!(run.verdicts.len(), 3);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_wasai"))
+        .arg("stats")
+        .arg(dir.join("trace-2-obs.jsonl"))
+        .arg("--format")
+        .arg("json")
+        .output()
+        .expect("spawn wasai stats");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stats = parse_json_fields(&String::from_utf8_lossy(&out.stdout)).expect("parseable stats");
+    let dump = read_dump(&dir, "2-obs");
+
+    for key in [
+        "wasai_campaigns_total{outcome=\"ok\"}",
+        "wasai_seeds_executed_total",
+        "wasai_coverage_branches_total",
+        "wasai_replays_total",
+        "wasai_flips_total",
+        "wasai_smt_queries_total{outcome=\"sat\"}",
+        "wasai_smt_queries_total{outcome=\"unsat\"}",
+        "wasai_smt_queries_total{outcome=\"unknown\"}",
+        "wasai_smt_propagations_total",
+    ] {
+        let offline = stats.get(key).and_then(|v| v.as_num());
+        assert_eq!(
+            offline,
+            dump.get(key).copied(),
+            "offline stats and live dump disagree on {key}"
+        );
+    }
+}
+
+/// Minimal HTTP GET against the metrics listener.
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics listener");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// Scrape the live `/metrics` endpoint of a running sweep: Prometheus text
+/// exposition with HELP/TYPE per family, plus the JSON twin at
+/// `/metrics.json`.
+#[test]
+fn live_http_listener_serves_prometheus_and_json() {
+    let dir = scratch_dir("obs-scrape");
+    write_corpus(&dir);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wasai"))
+        .arg("audit-dir")
+        .arg(&dir)
+        .arg("5")
+        .arg("--deadline-secs")
+        .arg("300")
+        .arg("--metrics-addr")
+        .arg("127.0.0.1:0")
+        .env("WASAI_JOBS", "2")
+        .env("WASAI_PROGRESS", "0")
+        // Keep the listener up after the sweep so the scrape cannot race a
+        // fast run.
+        .env("WASAI_METRICS_LINGER_SECS", "60")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn wasai");
+
+    // The binary announces the resolved ephemeral port on stderr.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("stderr closed before listener banner")
+            .expect("read stderr");
+        if let Some(rest) = line.strip_prefix("metrics listening on http://") {
+            break rest
+                .strip_suffix("/metrics")
+                .expect("banner ends in /metrics")
+                .to_string();
+        }
+    };
+
+    let (head, body) = http_get(&addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "missing exposition content type: {head}"
+    );
+    for family in [
+        "wasai_campaigns_total",
+        "wasai_seeds_executed_total",
+        "wasai_fleet_campaigns",
+        "wasai_campaign_wall_seconds",
+    ] {
+        assert!(
+            body.contains(&format!("# HELP {family} ")),
+            "no HELP for {family}:\n{body}"
+        );
+        assert!(
+            body.contains(&format!("# TYPE {family} ")),
+            "no TYPE for {family}:\n{body}"
+        );
+        // Exactly one HELP per family, even with labeled series.
+        assert_eq!(
+            body.matches(&format!("# HELP {family} ")).count(),
+            1,
+            "duplicated HELP for {family}"
+        );
+    }
+    assert!(
+        body.contains("wasai_campaign_wall_seconds_bucket{le=\"+Inf\"}"),
+        "histogram missing +Inf bucket:\n{body}"
+    );
+
+    let (jhead, jbody) = http_get(&addr, "/metrics.json");
+    assert!(jhead.starts_with("HTTP/1.1 200"), "{jhead}");
+    let fields = parse_json_fields(&jbody).expect("parseable /metrics.json");
+    assert!(
+        fields.contains_key("wasai_seeds_executed_total"),
+        "JSON twin missing series: {jbody}"
+    );
+
+    let (nf_head, _) = http_get(&addr, "/nope");
+    assert!(nf_head.starts_with("HTTP/1.1 404"), "{nf_head}");
+
+    child.kill().expect("kill lingering child");
+    child.wait().expect("reap child");
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use std::time::{Duration, Instant};
+
+    use wasai::wasai_core::chaos::{clear, install, ChaosPlan, Fault};
+    use wasai::wasai_core::{CampaignOutcome, ProgressMonitor};
+    use wasai::wasai_corpus::{wild_corpus, WildRates};
+    use wasai::wasai_obs as obs;
+    use wasai::wasai_smt::Deadline;
+    use wasai_bench::rq4_analyze_isolated;
+
+    /// ISSUE 5's stall satellite: with a `stall@0` fault injected, the
+    /// monitor must flag campaign 0 as stalled in the solve stage while the
+    /// sibling campaigns keep finishing, and the PR 2 deadline must still be
+    /// what retires the stalled slot.
+    #[test]
+    fn monitor_flags_stalled_campaign_while_siblings_finish() {
+        let reg = obs::global();
+        reg.reset();
+        reg.enable();
+        obs::heartbeats().reset();
+        clear();
+
+        let corpus = wild_corpus(4, 6, WildRates::default());
+        let total = corpus.len() as u64;
+        install(ChaosPlan::new(vec![(0, Fault::SolverStall)]));
+        let monitor = ProgressMonitor::new(total, Duration::from_millis(300));
+        let fleet = std::thread::spawn(move || {
+            rq4_analyze_isolated(&corpus, 11, 2, Deadline::after(Duration::from_secs(2)))
+        });
+
+        // Sample like the render loop does until the stall shows up (the
+        // injected stall holds its worker for the full 2s deadline).
+        let poll_deadline = Instant::now() + Duration::from_secs(15);
+        let mut stall = None;
+        while stall.is_none() && Instant::now() < poll_deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            let report = monitor.sample();
+            if !report.stalled.is_empty() {
+                // The sampler also maintains the stalled-campaigns gauge.
+                assert_eq!(
+                    reg.gauge(obs::Gauge::StalledCampaigns),
+                    report.stalled.len() as u64
+                );
+            }
+            stall = report.stalled.first().cloned();
+        }
+        let runs = fleet.join().expect("fleet thread");
+        clear();
+
+        let stall = stall.expect("monitor never flagged the stalled campaign");
+        assert_eq!(stall.campaign, 0, "wrong campaign flagged: {stall:?}");
+        assert_eq!(stall.stage, obs::Stage::Solve, "wrong stage: {stall:?}");
+        assert!(stall.idle_ms >= 300, "under-threshold report: {stall:?}");
+
+        assert!(
+            matches!(runs[0].outcome, CampaignOutcome::TimedOut { .. }),
+            "stalled campaign should be deadline-retired, got {}",
+            runs[0].outcome.detail()
+        );
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert!(
+                !matches!(run.outcome, CampaignOutcome::TimedOut { .. }),
+                "sibling {i} should finish while campaign 0 stalls, got {}",
+                run.outcome.detail()
+            );
+        }
+
+        reg.disable();
+        reg.reset();
+        obs::heartbeats().reset();
+    }
+}

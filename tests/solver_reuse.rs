@@ -246,4 +246,3 @@ fn heterogeneous_conflict_budgets_do_not_alias() {
     );
     assert_eq!(events, ref_events);
 }
-
