@@ -84,6 +84,7 @@ fn repeated_campaign_hits() -> (u64, u64) {
     let bp = Blueprint {
         seed: 2,
         code_guard: true,
+        sdk_work: 0,
         payee_guard: true,
         auth_check: true,
         blockinfo: false,

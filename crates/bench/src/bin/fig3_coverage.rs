@@ -32,6 +32,7 @@ fn main() {
         let bp = Blueprint {
             seed: rng.gen(),
             code_guard: rng.gen_bool(0.5),
+            sdk_work: 0,
             payee_guard: rng.gen_bool(0.5),
             auth_check: rng.gen_bool(0.5),
             blockinfo: rng.gen_bool(0.3),

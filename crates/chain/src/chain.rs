@@ -6,8 +6,8 @@
 //! contracts, e.g. bin', eosio.token and some agent contracts used in the
 //! adversary oracles").
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use wasai_vm::{CompiledModule, Fuel, Host, HostFnId, Instance, LinearMemory, Trap, Value};
 use wasai_wasm::types::FuncType;
@@ -43,12 +43,27 @@ pub enum NativeKind {
 }
 
 /// A deployed Wasm contract.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct WasmContract {
     /// Compiled module ready to instantiate.
     pub compiled: Arc<CompiledModule>,
     /// Its ABI.
     pub abi: Abi,
+    /// Import table resolved on first execution and reused by every later
+    /// instantiation (resolution depends only on the module's import names,
+    /// never on chain state, so caching cannot change behavior).
+    resolved: OnceLock<Arc<Vec<HostFnId>>>,
+}
+
+impl WasmContract {
+    /// Wrap a compiled module and its ABI for deployment.
+    pub fn new(compiled: Arc<CompiledModule>, abi: Abi) -> Self {
+        WasmContract {
+            compiled,
+            abi,
+            resolved: OnceLock::new(),
+        }
+    }
 }
 
 /// What an account hosts.
@@ -57,8 +72,9 @@ pub enum AccountKind {
     /// No contract — a plain wallet account.
     #[default]
     Plain,
-    /// A Wasm contract.
-    Wasm(WasmContract),
+    /// A Wasm contract (behind an [`Arc`]: executing an action clones the
+    /// account entry, and contracts should not deep-copy their ABI per call).
+    Wasm(Arc<WasmContract>),
     /// A native harness contract.
     Native(NativeKind),
 }
@@ -68,12 +84,18 @@ pub enum AccountKind {
 pub struct ChainConfig {
     /// Fuel budget per transaction (instructions).
     pub fuel_per_tx: u64,
+    /// Benchmark-only: emulate the pre-fast-path per-transaction costs —
+    /// physically deep rollback snapshots and per-action import resolution
+    /// instead of COW clones and the cached table. Observationally
+    /// identical, only slower; `bench_vm` uses it as the baseline arm.
+    pub legacy_exec_costs: bool,
 }
 
 impl Default for ChainConfig {
     fn default() -> Self {
         ChainConfig {
             fuel_per_tx: 5_000_000,
+            legacy_exec_costs: false,
         }
     }
 }
@@ -95,6 +117,12 @@ pub struct Chain {
     executed: Vec<ExecutedAction>,
     api_events: Vec<ApiEvent>,
     sink: wasai_vm::TraceSink,
+    /// Reusable contract instances, keyed by receiver and compiled-module
+    /// identity. Purely an allocation cache: instances are [`Instance::reset`]
+    /// before reuse, so a pooled execution is indistinguishable from a fresh
+    /// one. Never forked, never compared, bypassed under
+    /// [`ChainConfig::legacy_exec_costs`].
+    instance_pool: HashMap<(Name, usize), Instance>,
 }
 
 impl Chain {
@@ -107,6 +135,18 @@ impl Chain {
             time_us: 1_600_000_000_000_000,
             ..Default::default()
         }
+    }
+
+    /// The chain's configuration.
+    pub fn config(&self) -> ChainConfig {
+        self.config
+    }
+
+    /// Replace the chain's configuration. The throughput benchmark uses this
+    /// to flip [`ChainConfig::legacy_exec_costs`] on an already-set-up
+    /// chain; configuration does not alter chain state, only execution cost.
+    pub fn set_config(&mut self, config: ChainConfig) {
+        self.config = config;
     }
 
     /// A fresh chain with a custom configuration.
@@ -155,8 +195,35 @@ impl Chain {
     /// [`CompiledModule`] lets many chains (e.g. parallel fuzzing campaigns
     /// over the same contract) deploy it without recompiling.
     pub fn deploy_compiled(&mut self, name: Name, compiled: Arc<CompiledModule>, abi: Abi) {
-        self.accounts
-            .insert(name, AccountKind::Wasm(WasmContract { compiled, abi }));
+        self.accounts.insert(
+            name,
+            AccountKind::Wasm(Arc::new(WasmContract::new(compiled, abi))),
+        );
+    }
+
+    /// Fork this chain into an independent copy sharing unmodified state.
+    ///
+    /// Databases and ledgers are copy-on-write, account entries are `Arc`s:
+    /// the fork starts byte-identical to `self` (minus per-transaction
+    /// observation buffers, which only live inside `push_transaction`) and
+    /// the two chains can never observe each other's subsequent writes.
+    /// This is what turns one post-`setup_chain` snapshot into thousands of
+    /// per-seed chains without replaying deployment from genesis.
+    pub fn fork(&self) -> Chain {
+        Chain {
+            accounts: self.accounts.clone(),
+            db: self.db.clone(),
+            ledger: self.ledger.clone(),
+            config: self.config,
+            block_num: self.block_num,
+            block_prefix: self.block_prefix,
+            time_us: self.time_us,
+            deferred_queue: self.deferred_queue.clone(),
+            executed: Vec::new(),
+            api_events: Vec::new(),
+            sink: wasai_vm::TraceSink::new(),
+            instance_pool: HashMap::new(),
+        }
     }
 
     /// Deploy a native harness contract.
@@ -205,8 +272,11 @@ impl Chain {
     /// [`TransactionError`] when any action (or nested notification / inline
     /// action) traps.
     pub fn push_transaction(&mut self, tx: &Transaction) -> Result<Receipt, TransactionError> {
-        let db_snapshot = self.db.clone();
-        let ledger_snapshot = self.ledger.clone();
+        let (db_snapshot, ledger_snapshot) = if self.config.legacy_exec_costs {
+            (self.db.deep_clone(), self.ledger.deep_clone())
+        } else {
+            (self.db.clone(), self.ledger.clone())
+        };
         let deferred_mark = self.deferred_queue.len();
         self.executed.clear();
         self.api_events.clear();
@@ -468,7 +538,18 @@ impl Chain {
         fuel: &mut Fuel,
     ) -> Result<Outcome, Trap> {
         let compiled = contract.compiled.clone();
+        let legacy = self.config.legacy_exec_costs;
         let _ = code; // `code` reaches the contract through apply()'s args
+        let pool_key = (receiver, Arc::as_ptr(&compiled) as usize);
+        // Take any pooled instance out before the host borrows the chain; it
+        // is reset to the freshly-instantiated state below. The pooled
+        // instance keeps its `compiled` Arc alive, so the pointer key cannot
+        // be reused by a different module while the entry exists.
+        let pooled = if legacy {
+            None
+        } else {
+            self.instance_pool.remove(&pool_key)
+        };
         let mut host = ChainHost {
             chain: self,
             receiver,
@@ -476,15 +557,42 @@ impl Chain {
             outcome: Outcome::default(),
             iterators: Vec::new(),
         };
-        let mut instance =
-            Instance::new(compiled, &mut host).map_err(|e| Trap::Host(e.to_string()))?;
+        // Resolution is a pure function of the module's import names, so the
+        // table is resolved once per contract and reused; failures are not
+        // cached (re-resolving yields the same error). The legacy bench arm
+        // re-resolves every action, as the seed interpreter did.
+        let host_ids = match contract.resolved.get() {
+            Some(ids) if !legacy => ids.clone(),
+            _ => {
+                let ids = wasai_vm::resolve_imports(&compiled, &mut host)
+                    .map_err(|e| Trap::Host(e.to_string()))?;
+                if legacy {
+                    ids
+                } else {
+                    contract.resolved.get_or_init(|| ids).clone()
+                }
+            }
+        };
+        let reusable = pooled.and_then(|mut inst| inst.reset().is_ok().then_some(inst));
+        let mut instance = match reusable {
+            Some(inst) => inst,
+            None => Instance::with_host_ids(compiled, host_ids)
+                .map_err(|e| Trap::Host(e.to_string()))?,
+        };
         let args = [
             Value::I64(receiver.as_i64()),
             Value::I64(code.as_i64()),
             Value::I64(action.name.as_i64()),
         ];
-        instance.invoke_export(&mut host, "apply", &args, fuel)?;
-        Ok(host.outcome)
+        let result = instance.invoke_export(&mut host, "apply", &args, fuel);
+        let outcome = host.outcome;
+        // Pool the instance even after a trap — reset() restores it before
+        // the next use, and trapping runs are common while fuzzing.
+        if !legacy {
+            self.instance_pool.insert(pool_key, instance);
+        }
+        result?;
+        Ok(outcome)
     }
 }
 

@@ -3,6 +3,7 @@
 //! (DBG, §3.3.2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::name::Name;
 
@@ -39,9 +40,15 @@ pub struct DbOp {
 }
 
 /// The chain-wide database: every contract's tables.
+///
+/// Tables are held behind [`Arc`]s so cloning the database — the
+/// transaction-rollback snapshot and the prepared-target chain snapshot —
+/// is O(number of tables) pointer bumps. Mutation copies a table's rows
+/// only when it is actually shared (`Arc::make_mut`), so writes after a
+/// snapshot never leak into the snapshot or into sibling forks.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
-    tables: BTreeMap<TableId, BTreeMap<u64, Vec<u8>>>,
+    tables: BTreeMap<TableId, Arc<BTreeMap<u64, Vec<u8>>>>,
 }
 
 impl Database {
@@ -56,7 +63,7 @@ impl Database {
         if rows.contains_key(&primary) {
             return false;
         }
-        rows.insert(primary, data);
+        Arc::make_mut(rows).insert(primary, data);
         true
     }
 
@@ -67,25 +74,37 @@ impl Database {
 
     /// Replace an existing row; returns `false` if it does not exist.
     pub fn update(&mut self, table: TableId, primary: u64, data: Vec<u8>) -> bool {
-        match self
-            .tables
-            .get_mut(&table)
-            .and_then(|rows| rows.get_mut(&primary))
-        {
-            Some(slot) => {
-                *slot = data;
+        match self.tables.get_mut(&table) {
+            Some(rows) if rows.contains_key(&primary) => {
+                Arc::make_mut(rows).insert(primary, data);
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 
     /// Remove a row; returns `false` if it does not exist.
     pub fn remove(&mut self, table: TableId, primary: u64) -> bool {
-        self.tables
-            .get_mut(&table)
-            .map(|rows| rows.remove(&primary).is_some())
-            .unwrap_or(false)
+        match self.tables.get_mut(&table) {
+            Some(rows) if rows.contains_key(&primary) => {
+                Arc::make_mut(rows).remove(&primary);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Clone with every table's rows physically copied (no structural
+    /// sharing). Only the throughput benchmark uses this, to reproduce the
+    /// pre-COW snapshot cost it measures the fast path against.
+    pub fn deep_clone(&self) -> Database {
+        Database {
+            tables: self
+                .tables
+                .iter()
+                .map(|(id, rows)| (*id, Arc::new((**rows).clone())))
+                .collect(),
+        }
     }
 
     /// The smallest primary key strictly greater than `primary`, if any.
@@ -102,7 +121,7 @@ impl Database {
 
     /// Number of rows in a table.
     pub fn row_count(&self, table: TableId) -> usize {
-        self.tables.get(&table).map(BTreeMap::len).unwrap_or(0)
+        self.tables.get(&table).map(|rows| rows.len()).unwrap_or(0)
     }
 
     /// All tables owned by `code` that contain at least one row.
@@ -172,6 +191,33 @@ mod tests {
         };
         db.store(other, 1, vec![]);
         assert_eq!(db.tables_of(Name::new("eosbet")), vec![tid()]);
+    }
+
+    #[test]
+    fn cow_forks_isolate_writes_both_ways() {
+        // Two forks of one base: each fork's writes stay private, and the
+        // shared base stays untouched (the overlay-isolation contract).
+        let mut base = Database::new();
+        base.store(tid(), 1, vec![1]);
+        let mut fork_a = base.clone();
+        let mut fork_b = base.clone();
+        fork_a.update(tid(), 1, vec![0xA]);
+        fork_b.store(tid(), 2, vec![0xB]);
+        fork_b.remove(tid(), 1);
+        assert_eq!(base.find(tid(), 1), Some(&[1u8][..]));
+        assert_eq!(base.find(tid(), 2), None);
+        assert_eq!(fork_a.find(tid(), 1), Some(&[0xAu8][..]));
+        assert_eq!(fork_a.find(tid(), 2), None);
+        assert_eq!(fork_b.find(tid(), 1), None);
+        assert_eq!(fork_b.find(tid(), 2), Some(&[0xBu8][..]));
+    }
+
+    #[test]
+    fn deep_clone_matches_cow_clone_observationally() {
+        let mut db = Database::new();
+        db.store(tid(), 1, vec![1, 2, 3]);
+        db.store(tid(), 9, vec![]);
+        assert_eq!(db.deep_clone(), db.clone());
     }
 
     #[test]

@@ -624,6 +624,7 @@ mod limit_tests {
         b.export_func("apply", apply);
         let mut chain = Chain::with_config(ChainConfig {
             fuel_per_tx: 50_000,
+            ..ChainConfig::default()
         });
         chain.create_account(Name::new("x")).unwrap();
         chain

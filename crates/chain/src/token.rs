@@ -7,15 +7,20 @@
 //! and the two never mix even though their symbols are bit-identical.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::asset::{Asset, Symbol};
 use crate::name::Name;
 
 /// Balances of every token of every issuer contract.
+///
+/// The map sits behind an [`Arc`] so the per-transaction rollback snapshot
+/// and the prepared-target chain snapshot clone in O(1); the first write
+/// after a snapshot copies the map (`Arc::make_mut`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TokenLedger {
     /// (token contract, symbol, owner) → amount in sub-units.
-    balances: BTreeMap<(Name, u64, Name), i64>,
+    balances: Arc<BTreeMap<(Name, u64, Name), i64>>,
 }
 
 /// A transfer failure.
@@ -70,10 +75,19 @@ impl TokenLedger {
 
     /// Mint tokens to an account (the `issue` action, simplified).
     pub fn issue(&mut self, contract: Name, owner: Name, quantity: Asset) {
-        *self
-            .balances
+        *Arc::make_mut(&mut self.balances)
             .entry((contract, quantity.symbol.raw(), owner))
             .or_insert(0) += quantity.amount;
+    }
+
+    /// Clone with the balance map physically copied (no structural
+    /// sharing); benchmark-only, mirroring [`Database::deep_clone`].
+    ///
+    /// [`Database::deep_clone`]: crate::database::Database::deep_clone
+    pub fn deep_clone(&self) -> TokenLedger {
+        TokenLedger {
+            balances: Arc::new((*self.balances).clone()),
+        }
     }
 
     /// Move `quantity` of the token issued by `contract` from `from` to `to`.
@@ -104,9 +118,9 @@ impl TokenLedger {
                 amount: quantity.amount,
             });
         }
-        *self.balances.entry(key_from).or_insert(0) -= quantity.amount;
-        *self
-            .balances
+        let balances = Arc::make_mut(&mut self.balances);
+        *balances.entry(key_from).or_insert(0) -= quantity.amount;
+        *balances
             .entry((contract, quantity.symbol.raw(), to))
             .or_insert(0) += quantity.amount;
         Ok(())

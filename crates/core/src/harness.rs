@@ -85,26 +85,126 @@ pub struct PreparedTarget {
     pub compiled: Arc<CompiledModule>,
     /// Branch sites of the *original* module (trace sites refer to it).
     pub branch_sites: BranchSites,
+    /// The post-`setup_chain` chain state, captured once. Campaigns fork it
+    /// copy-on-write instead of replaying deployment from genesis per seed.
+    /// `None` when the fast path is disabled (`WASAI_VM_FAST=0`) or the
+    /// target was prepared for the reference interpreter.
+    snapshot: Option<Chain>,
 }
 
 impl PreparedTarget {
-    /// Instrument, compile and scan `target` once.
+    /// Instrument, compile and scan `target` once, and capture the
+    /// post-setup chain snapshot that [`PreparedTarget::fork_chain`] serves.
     ///
     /// # Errors
     ///
     /// Fails when the module cannot be instrumented or compiled.
     pub fn prepare(target: TargetInfo) -> Result<Arc<Self>, wasai_chain::ChainError> {
-        let instrumented = wasai_wasm::instrument::instrument(&target.original)
-            .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?
-            .module;
-        let compiled = CompiledModule::compile(instrumented)
-            .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?;
+        Self::prepare_inner(target, true, false)
+    }
+
+    /// [`PreparedTarget::prepare`] without instrumentation: the *original*
+    /// module is compiled and snapshotted. Concrete replay — confirming a
+    /// verdict by re-running a seed, or measuring raw execution throughput —
+    /// consumes receipts, not traces, and the trace hooks that
+    /// instrumentation threads through every instruction dominate its cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the module cannot be compiled.
+    pub fn prepare_concrete(target: TargetInfo) -> Result<Arc<Self>, wasai_chain::ChainError> {
+        Self::prepare_inner(target, false, false)
+    }
+
+    /// [`PreparedTarget::prepare_concrete`] pinned to the reference
+    /// interpreter and genesis setup — the baseline arm for uninstrumented
+    /// replay comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the module cannot be compiled.
+    pub fn prepare_concrete_reference(
+        target: TargetInfo,
+    ) -> Result<Arc<Self>, wasai_chain::ChainError> {
+        Self::prepare_inner(target, false, true)
+    }
+
+    /// [`PreparedTarget::prepare`] pinned to the reference interpreter and
+    /// genesis chain setup, regardless of `WASAI_VM_FAST`. The differential
+    /// suite and the throughput benchmark's baseline arm use this to compare
+    /// the fast path against the unaccelerated execution stack.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the module cannot be instrumented or compiled.
+    pub fn prepare_reference(target: TargetInfo) -> Result<Arc<Self>, wasai_chain::ChainError> {
+        Self::prepare_inner(target, true, true)
+    }
+
+    fn prepare_inner(
+        target: TargetInfo,
+        instrument: bool,
+        reference: bool,
+    ) -> Result<Arc<Self>, wasai_chain::ChainError> {
+        let module = if instrument {
+            wasai_wasm::instrument::instrument(&target.original)
+                .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?
+                .module
+        } else {
+            target.original.clone()
+        };
+        let compiled = if reference {
+            CompiledModule::compile_reference(module)
+        } else {
+            CompiledModule::compile(module)
+        }
+        .map_err(|e| wasai_chain::ChainError::BadContract(e.to_string()))?;
         let branch_sites = BranchSites::new(&target.original);
-        Ok(Arc::new(PreparedTarget {
+        let mut prepared = PreparedTarget {
             info: target,
             compiled,
             branch_sites,
-        }))
+            snapshot: None,
+        };
+        if !reference && wasai_vm::fast_path_enabled() {
+            prepared.snapshot = Some(prepared.setup_chain_genesis()?);
+        }
+        Ok(Arc::new(prepared))
+    }
+
+    /// A chain ready for fuzzing: a copy-on-write fork of the post-setup
+    /// snapshot when one was captured, or a fresh genesis setup otherwise.
+    /// Forks are byte-equivalent to genesis setup (the harness pushes no
+    /// transactions during setup) and isolated from each other — a seed's
+    /// writes never reach the snapshot or sibling forks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness account-creation errors on the genesis path.
+    pub fn fork_chain(&self) -> Result<Chain, wasai_chain::ChainError> {
+        match &self.snapshot {
+            Some(snapshot) => {
+                let timer =
+                    wasai_obs::ScopeTimer::start(wasai_obs::Histogram::SnapshotRestoreWallSeconds);
+                let chain = snapshot.fork();
+                drop(timer);
+                wasai_obs::inc(wasai_obs::Counter::VmSnapshotRestores);
+                Ok(chain)
+            }
+            None => self.setup_chain_genesis(),
+        }
+    }
+
+    /// Initialize a chain from genesis: deploy the cached compiled module
+    /// and the harness cast from scratch, bypassing the snapshot. The
+    /// differential suite uses this as the ground truth
+    /// [`PreparedTarget::fork_chain`] must match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness account-creation errors.
+    pub fn setup_chain_genesis(&self) -> Result<Chain, wasai_chain::ChainError> {
+        setup_chain_compiled(self.compiled.clone(), self.info.abi.clone())
     }
 }
 
@@ -128,14 +228,18 @@ pub fn setup_chain(
     setup_chain_compiled(compiled, target.abi.clone())
 }
 
-/// [`setup_chain`] against a [`PreparedTarget`]: deploys the cached compiled
-/// module instead of re-instrumenting and recompiling per campaign.
+/// [`setup_chain`] against a [`PreparedTarget`]: forks the cached post-setup
+/// snapshot (or re-runs genesis setup when no snapshot was captured) instead
+/// of re-instrumenting, recompiling and redeploying per campaign. Every
+/// campaign entry point — the WASAI engine, the baselines, the benches —
+/// obtains its chain through this single helper, so the snapshot path is
+/// adopted (and can be disabled via `WASAI_VM_FAST=0`) uniformly.
 ///
 /// # Errors
 ///
 /// Propagates harness account-creation errors.
 pub fn setup_chain_prepared(prepared: &PreparedTarget) -> Result<Chain, wasai_chain::ChainError> {
-    setup_chain_compiled(prepared.compiled.clone(), prepared.info.abi.clone())
+    prepared.fork_chain()
 }
 
 fn setup_chain_compiled(

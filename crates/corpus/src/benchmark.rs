@@ -57,6 +57,7 @@ fn base_blueprint(rng: &mut StdRng) -> Blueprint {
         reward: RewardKind::None,
         gate: GateKind::Open,
         eosponser_branches: rng.gen_range(1..4),
+        sdk_work: 0,
     }
 }
 

@@ -183,6 +183,32 @@ fn emit_reward(body: &mut Vec<Instr>, imports: &Imports, reward: RewardKind) {
 /// exact Local-section layout.
 fn build_eosponser(bp: &Blueprint, imports: &Imports, rng: &mut StdRng) -> Vec<Instr> {
     let mut body = Vec::new();
+    if bp.sdk_work > 0 {
+        // SDK-style deserialization work: an FNV-ish byte-mixing loop over
+        // the action buffer (locals 7 = index, 8 = accumulator), run before
+        // any guard — real SDKs unpack the datastream before dispatching.
+        body.push(Instr::Loop(BlockType::Empty));
+        body.push(Instr::LocalGet(8));
+        body.push(Instr::I64Const(0x100_0000_01b3));
+        body.push(Instr::I64Mul);
+        body.push(Instr::I32Const(BUF));
+        body.push(Instr::LocalGet(7));
+        body.push(Instr::I32Const(63));
+        body.push(Instr::I32And);
+        body.push(Instr::I32Add);
+        body.push(Instr::I32Load8U(MemArg::default()));
+        body.push(Instr::I64ExtendI32U);
+        body.push(Instr::I64Xor);
+        body.push(Instr::LocalSet(8));
+        body.push(Instr::LocalGet(7));
+        body.push(Instr::I32Const(1));
+        body.push(Instr::I32Add);
+        body.push(Instr::LocalTee(7));
+        body.push(Instr::I32Const(bp.sdk_work as i32));
+        body.push(Instr::I32LtU);
+        body.push(Instr::BrIf(0));
+        body.push(Instr::End);
+    }
     if bp.payee_guard {
         // Listing 2's patch: if (to != _self) return.
         body.push(Instr::LocalGet(2));
@@ -389,7 +415,20 @@ pub fn generate(bp: Blueprint) -> LabeledContract {
     let imports = declare_imports(&mut b);
 
     let transfer_body = build_eosponser(&bp, &imports, &mut rng);
-    let transfer_fn = b.func(&[I64, I64, I64, I32, I32], &[], &[I64, I32], transfer_body);
+    // The sdk_work loop needs two extra locals; only declare them when the
+    // loop exists so sdk_work = 0 modules stay byte-identical to pre-knob
+    // generations.
+    let transfer_locals: &[wasai_wasm::types::ValType] = if bp.sdk_work > 0 {
+        &[I64, I32, I32, I64]
+    } else {
+        &[I64, I32]
+    };
+    let transfer_fn = b.func(
+        &[I64, I64, I64, I32, I32],
+        &[],
+        transfer_locals,
+        transfer_body,
+    );
     let reveal_body = build_reveal(&bp, &imports, &mut rng);
     let reveal_fn = b.func(&[I64, I64, I64], &[], &[I32], reveal_body);
     let setowner_body = build_setowner(&bp, &imports);
@@ -520,6 +559,7 @@ mod tests {
                                 reward,
                                 gate,
                                 eosponser_branches: 2,
+                                sdk_work: 8,
                             };
                             let c = generate(bp);
                             validate(&c.module).unwrap_or_else(|e| {

@@ -58,6 +58,12 @@ pub struct Blueprint {
     pub gate: GateKind,
     /// Benign nested branches in the eosponser (amount/memo verification).
     pub eosponser_branches: u32,
+    /// Iterations of SDK-style deserialization/checksum work (a byte-mixing
+    /// loop over the action buffer) at the top of the eosponser. `0` — the
+    /// default — emits nothing, leaving the module byte-identical to
+    /// pre-knob generations; throughput benchmarks raise it to make samples
+    /// execution-bound the way `datastream`-deserializing SDK contracts are.
+    pub sdk_work: u32,
 }
 
 impl Default for Blueprint {
@@ -71,6 +77,7 @@ impl Default for Blueprint {
             reward: RewardKind::None,
             gate: GateKind::Open,
             eosponser_branches: 2,
+            sdk_work: 0,
         }
     }
 }

@@ -50,6 +50,10 @@ pub struct WildRates {
     pub blockinfo: f64,
     /// P(inline reward) — Rollback.
     pub rollback: f64,
+    /// [`Blueprint::sdk_work`] applied to every generated contract. `0`
+    /// (the default) keeps the corpus byte-identical to pre-knob output;
+    /// throughput benchmarks raise it for execution-bound samples.
+    pub sdk_work: u32,
 }
 
 impl Default for WildRates {
@@ -61,6 +65,7 @@ impl Default for WildRates {
             missauth: 0.474,
             blockinfo: 0.022,
             rollback: 0.123,
+            sdk_work: 0,
         }
     }
 }
@@ -92,6 +97,7 @@ pub fn wild_corpus(seed: u64, count: usize, rates: WildRates) -> Vec<WildContrac
                     GateKind::Open
                 },
                 eosponser_branches: rng.gen_range(1..5),
+                sdk_work: rates.sdk_work,
             };
             let deployed = generate(bp);
             let vulnerable = !deployed.label.is_empty();

@@ -110,6 +110,10 @@ metric_enum! {
         PrefixForks,
         /// `wasai_vm_instructions_total`
         VmInstructions,
+        /// `wasai_vm_tape_compiles_total`
+        VmTapeCompiles,
+        /// `wasai_vm_snapshot_restores_total`
+        VmSnapshotRestores,
     }
 }
 
@@ -135,6 +139,8 @@ impl Counter {
             Counter::CacheHitsCampaign | Counter::CacheHitsFleet => "wasai_smt_cache_hits_total",
             Counter::PrefixForks => "wasai_smt_prefix_forks_total",
             Counter::VmInstructions => "wasai_vm_instructions_total",
+            Counter::VmTapeCompiles => "wasai_vm_tape_compiles_total",
+            Counter::VmSnapshotRestores => "wasai_vm_snapshot_restores_total",
         }
     }
 
@@ -186,6 +192,10 @@ impl Counter {
             }
             Counter::PrefixForks => "Queries answered by forking a shared-prefix SAT instance.",
             Counter::VmInstructions => "Wasm instructions interpreted by the VM.",
+            Counter::VmTapeCompiles => "Modules lowered to threaded-code tapes by the fast path.",
+            Counter::VmSnapshotRestores => {
+                "Chain forks restored from a prepared post-setup snapshot."
+            }
         }
     }
 }
@@ -236,6 +246,10 @@ metric_enum! {
         ReplayWallSeconds,
         /// `wasai_solve_wall_seconds`
         SolveWallSeconds,
+        /// `wasai_vm_tape_compile_wall_seconds`
+        TapeCompileWallSeconds,
+        /// `wasai_vm_snapshot_restore_wall_seconds`
+        SnapshotRestoreWallSeconds,
     }
 }
 
@@ -246,6 +260,8 @@ impl Histogram {
             Histogram::CampaignWallSeconds => "wasai_campaign_wall_seconds",
             Histogram::ReplayWallSeconds => "wasai_replay_wall_seconds",
             Histogram::SolveWallSeconds => "wasai_solve_wall_seconds",
+            Histogram::TapeCompileWallSeconds => "wasai_vm_tape_compile_wall_seconds",
+            Histogram::SnapshotRestoreWallSeconds => "wasai_vm_snapshot_restore_wall_seconds",
         }
     }
 
@@ -255,6 +271,12 @@ impl Histogram {
             Histogram::CampaignWallSeconds => "Wall-clock duration of one campaign.",
             Histogram::ReplayWallSeconds => "Wall-clock duration of one symbolic replay.",
             Histogram::SolveWallSeconds => "Wall-clock duration of one SMT flip query.",
+            Histogram::TapeCompileWallSeconds => {
+                "Wall-clock duration of lowering one module to tapes."
+            }
+            Histogram::SnapshotRestoreWallSeconds => {
+                "Wall-clock duration of forking the prepared chain snapshot."
+            }
         }
     }
 }

@@ -11,11 +11,12 @@ use std::sync::Arc;
 
 use wasai_wasm::instr::Instr;
 use wasai_wasm::module::{ImportDesc, Module};
-use wasai_wasm::types::ValType;
 
 use crate::error::{InstanceError, Trap};
 use crate::host::{Host, HostFnId};
 use crate::memory::LinearMemory;
+use crate::numeric;
+use crate::tape::{self, Tape};
 use crate::value::Value;
 
 /// Maximum nested call depth (EOSVM isolates function namespaces with
@@ -39,29 +40,50 @@ impl Fuel {
 
 /// Per-pc structured-control targets, precomputed at compile time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-struct CtrlTarget {
+pub(crate) struct CtrlTarget {
     /// For `if`: pc of the matching `else`, if present.
-    else_pc: Option<u32>,
+    pub(crate) else_pc: Option<u32>,
     /// For block/loop/if: pc of the matching `end`.
-    end_pc: u32,
+    pub(crate) end_pc: u32,
 }
 
-/// A module plus the metadata the interpreter needs (control-flow targets).
+/// A module plus the metadata the interpreter needs (control-flow targets),
+/// and — when the fast path is enabled — the compiled execution tapes.
 #[derive(Debug)]
 pub struct CompiledModule {
     module: Arc<Module>,
     /// `targets[local_func][pc]` is meaningful for Block/Loop/If pcs.
     targets: Vec<Vec<CtrlTarget>>,
+    /// Flattened threaded-code tapes, one per local function; `None` when the
+    /// fast path is disabled or lowering bailed (all-or-nothing per module).
+    tapes: Option<Vec<Tape>>,
 }
 
 impl CompiledModule {
-    /// Compile a module (which should already validate).
+    /// Compile a module (which should already validate). Builds the
+    /// threaded-code tapes unless `WASAI_VM_FAST=0` disables the fast path.
     ///
     /// # Errors
     ///
     /// Returns [`InstanceError::MalformedControlFlow`] on unmatched
     /// block/if/end nesting.
     pub fn compile(module: Module) -> Result<Arc<Self>, InstanceError> {
+        Self::compile_inner(module, tape::fast_path_enabled())
+    }
+
+    /// Compile without building tapes: the reference interpreter path.
+    ///
+    /// Differential tests use this to pin the fast path against the
+    /// reference without racing on process-wide environment state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledModule::compile`].
+    pub fn compile_reference(module: Module) -> Result<Arc<Self>, InstanceError> {
+        Self::compile_inner(module, false)
+    }
+
+    fn compile_inner(module: Module, build_tapes: bool) -> Result<Arc<Self>, InstanceError> {
         let module = Arc::new(module);
         let mut targets = Vec::with_capacity(module.funcs.len());
         for (local_i, f) in module.funcs.iter().enumerate() {
@@ -93,12 +115,37 @@ impl CompiledModule {
             }
             targets.push(t);
         }
-        Ok(Arc::new(CompiledModule { module, targets }))
+        let tapes = if build_tapes {
+            let timer = wasai_obs::ScopeTimer::start(wasai_obs::Histogram::TapeCompileWallSeconds);
+            let tapes = tape::lower_module(&module, &targets);
+            if tapes.is_some() {
+                wasai_obs::inc(wasai_obs::Counter::VmTapeCompiles);
+            }
+            drop(timer);
+            tapes
+        } else {
+            None
+        };
+        Ok(Arc::new(CompiledModule {
+            module,
+            targets,
+            tapes,
+        }))
     }
 
     /// The underlying module.
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// The compiled tapes, when the fast path built them.
+    pub(crate) fn tapes(&self) -> Option<&Vec<Tape>> {
+        self.tapes.as_ref()
+    }
+
+    /// Does this module execute on the compiled-tape fast path?
+    pub fn has_fast_path(&self) -> bool {
+        self.tapes.is_some()
     }
 }
 
@@ -115,6 +162,69 @@ struct Label {
     is_loop: bool,
 }
 
+/// Resolve a compiled module's function imports against `host`.
+///
+/// Split out of [`Instance::new`] so callers that instantiate the same
+/// module many times (the chain's fresh-instance-per-action loop) can
+/// resolve once and reuse the table via [`Instance::with_host_ids`].
+///
+/// # Errors
+///
+/// Fails if an import cannot be resolved or names a bad type index.
+pub fn resolve_imports(
+    compiled: &CompiledModule,
+    host: &mut dyn Host,
+) -> Result<Arc<Vec<HostFnId>>, InstanceError> {
+    let module = &compiled.module;
+    let mut host_ids = Vec::new();
+    for imp in &module.imports {
+        if let ImportDesc::Func(type_idx) = imp.desc {
+            let ty = module
+                .types
+                .get(type_idx as usize)
+                .ok_or_else(|| InstanceError::BadIndex(format!("type {type_idx}")))?;
+            let id = host.resolve(&imp.module, &imp.name, ty).ok_or_else(|| {
+                InstanceError::UnresolvedImport {
+                    module: imp.module.clone(),
+                    name: imp.name.clone(),
+                }
+            })?;
+            host_ids.push(id);
+        }
+    }
+    Ok(Arc::new(host_ids))
+}
+
+fn init_globals(module: &Module) -> Result<Vec<Value>, InstanceError> {
+    let mut globals = Vec::with_capacity(module.globals.len());
+    for g in &module.globals {
+        let v = match g.init {
+            Instr::I32Const(v) => Value::I32(v),
+            Instr::I64Const(v) => Value::I64(v),
+            Instr::F32Const(v) => Value::F32(v),
+            Instr::F64Const(v) => Value::F64(v),
+            ref other => return Err(InstanceError::BadIndex(format!("global init {other:?}"))),
+        };
+        globals.push(v);
+    }
+    Ok(globals)
+}
+
+fn init_table(module: &Module) -> Result<Vec<Option<u32>>, InstanceError> {
+    let table_size = module.tables.first().map(|l| l.min).unwrap_or(0);
+    let mut table = vec![None; table_size as usize];
+    for e in &module.elems {
+        for (k, &f) in e.funcs.iter().enumerate() {
+            let slot = e.offset as usize + k;
+            if slot >= table.len() {
+                return Err(InstanceError::ElemSegmentOutOfBounds);
+            }
+            table[slot] = Some(f);
+        }
+    }
+    Ok(table)
+}
+
 /// A live contract instance: memory, globals, table, resolved imports.
 #[derive(Debug)]
 pub struct Instance {
@@ -122,9 +232,9 @@ pub struct Instance {
     /// The instance's linear memory (public so hosts can service APIs like
     /// `read_action_data` between calls).
     pub mem: LinearMemory,
-    globals: Vec<Value>,
-    table: Vec<Option<u32>>,
-    host_ids: Vec<HostFnId>,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) table: Vec<Option<u32>>,
+    pub(crate) host_ids: Arc<Vec<HostFnId>>,
 }
 
 impl Instance {
@@ -136,52 +246,28 @@ impl Instance {
     /// Fails if an import cannot be resolved, a segment is out of bounds, or
     /// an index is invalid.
     pub fn new(compiled: Arc<CompiledModule>, host: &mut dyn Host) -> Result<Self, InstanceError> {
-        let module = compiled.module.clone();
-        let mut host_ids = Vec::new();
-        for imp in &module.imports {
-            if let ImportDesc::Func(type_idx) = imp.desc {
-                let ty = module
-                    .types
-                    .get(type_idx as usize)
-                    .ok_or_else(|| InstanceError::BadIndex(format!("type {type_idx}")))?;
-                let id = host.resolve(&imp.module, &imp.name, ty).ok_or_else(|| {
-                    InstanceError::UnresolvedImport {
-                        module: imp.module.clone(),
-                        name: imp.name.clone(),
-                    }
-                })?;
-                host_ids.push(id);
-            }
-        }
+        let host_ids = resolve_imports(&compiled, host)?;
+        Self::with_host_ids(compiled, host_ids)
+    }
 
+    /// Instantiate with an import table resolved earlier by
+    /// [`resolve_imports`] (skips the per-instantiation resolve loop).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a segment is out of bounds or an index is invalid.
+    pub fn with_host_ids(
+        compiled: Arc<CompiledModule>,
+        host_ids: Arc<Vec<HostFnId>>,
+    ) -> Result<Self, InstanceError> {
+        let module = compiled.module.clone();
         let mem = match module.memories.first() {
             Some(l) => LinearMemory::new(l.min, l.max),
             None => LinearMemory::new(0, Some(0)),
         };
 
-        let mut globals = Vec::with_capacity(module.globals.len());
-        for g in &module.globals {
-            let v = match g.init {
-                Instr::I32Const(v) => Value::I32(v),
-                Instr::I64Const(v) => Value::I64(v),
-                Instr::F32Const(v) => Value::F32(v),
-                Instr::F64Const(v) => Value::F64(v),
-                ref other => return Err(InstanceError::BadIndex(format!("global init {other:?}"))),
-            };
-            globals.push(v);
-        }
-
-        let table_size = module.tables.first().map(|l| l.min).unwrap_or(0);
-        let mut table = vec![None; table_size as usize];
-        for e in &module.elems {
-            for (k, &f) in e.funcs.iter().enumerate() {
-                let slot = e.offset as usize + k;
-                if slot >= table.len() {
-                    return Err(InstanceError::ElemSegmentOutOfBounds);
-                }
-                table[slot] = Some(f);
-            }
-        }
+        let globals = init_globals(&module)?;
+        let table = init_table(&module)?;
 
         let mut inst = Instance {
             compiled,
@@ -190,12 +276,35 @@ impl Instance {
             table,
             host_ids,
         };
-        for d in &inst.compiled.module.data.clone() {
-            inst.mem
+        inst.apply_data_segments()?;
+        Ok(inst)
+    }
+
+    /// Restore the freshly-instantiated state so the instance (and its
+    /// linear-memory allocation) can be reused for another top-level call:
+    /// memory back to min pages and all zeroes, globals and table re-derived
+    /// from their init expressions, data segments re-applied. A reset
+    /// instance is indistinguishable from one built by
+    /// [`Instance::with_host_ids`].
+    ///
+    /// # Errors
+    ///
+    /// The same segment/index validation as instantiation; cannot fail for a
+    /// module that instantiated successfully before.
+    pub fn reset(&mut self) -> Result<(), InstanceError> {
+        self.mem.reset();
+        self.globals = init_globals(&self.compiled.module)?;
+        self.table = init_table(&self.compiled.module)?;
+        self.apply_data_segments()
+    }
+
+    fn apply_data_segments(&mut self) -> Result<(), InstanceError> {
+        for d in &self.compiled.module.data.clone() {
+            self.mem
                 .write(d.offset as u64, &d.bytes)
                 .map_err(|_| InstanceError::DataSegmentOutOfBounds)?;
         }
-        Ok(inst)
+        Ok(())
     }
 
     /// The compiled module this instance runs.
@@ -260,6 +369,9 @@ impl Instance {
             let r = host.call(id, args, &mut self.mem)?;
             return Ok(r.into_iter().collect());
         }
+        if self.compiled.tapes.is_some() {
+            return tape::run(self, host, func_idx, args, fuel);
+        }
         self.run_frames(host, func_idx, args, fuel)
     }
 
@@ -319,9 +431,7 @@ impl Instance {
             let idx = labels.len() - 1 - l as usize;
             let lab = labels[idx];
             let keep = if lab.is_loop { 0 } else { lab.arity };
-            let kept: Vec<Value> = stack.split_off(stack.len() - keep);
-            stack.truncate(lab.height);
-            stack.extend(kept);
+            tape::adjust(stack, lab.height, keep);
             // Loops jump back to the Loop instruction, which re-pushes the
             // label; forward branches discard the label.
             labels.truncate(idx);
@@ -342,87 +452,6 @@ impl Instance {
                     () => {
                         frame.stack.pop().expect("validated stack never underflows")
                     };
-                }
-
-                macro_rules! bin_i32 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_i32();
-                        let $a = pop!().as_i32();
-                        frame.stack.push(Value::I32($e));
-                    }};
-                }
-                macro_rules! bin_i64 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_i64();
-                        let $a = pop!().as_i64();
-                        frame.stack.push(Value::I64($e));
-                    }};
-                }
-                macro_rules! cmp_i64 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_i64();
-                        let $a = pop!().as_i64();
-                        frame.stack.push(Value::I32(($e) as i32));
-                    }};
-                }
-                macro_rules! cmp_i32 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_i32();
-                        let $a = pop!().as_i32();
-                        frame.stack.push(Value::I32(($e) as i32));
-                    }};
-                }
-                macro_rules! bin_f32 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_f32();
-                        let $a = pop!().as_f32();
-                        frame.stack.push(Value::F32($e));
-                    }};
-                }
-                macro_rules! bin_f64 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_f64();
-                        let $a = pop!().as_f64();
-                        frame.stack.push(Value::F64($e));
-                    }};
-                }
-                macro_rules! cmp_f32 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_f32();
-                        let $a = pop!().as_f32();
-                        frame.stack.push(Value::I32(($e) as i32));
-                    }};
-                }
-                macro_rules! cmp_f64 {
-                    (|$a:ident, $b:ident| $e:expr) => {{
-                        let $b = pop!().as_f64();
-                        let $a = pop!().as_f64();
-                        frame.stack.push(Value::I32(($e) as i32));
-                    }};
-                }
-                macro_rules! un_i32 {
-                    (|$a:ident| $e:expr) => {{
-                        let $a = pop!().as_i32();
-                        frame.stack.push(Value::I32($e));
-                    }};
-                }
-                macro_rules! un_i64 {
-                    (|$a:ident| $e:expr) => {{
-                        let $a = pop!().as_i64();
-                        frame.stack.push(Value::I64($e));
-                    }};
-                }
-                macro_rules! un_f32 {
-                    (|$a:ident| $e:expr) => {{
-                        let $a = pop!().as_f32();
-                        frame.stack.push(Value::F32($e));
-                    }};
-                }
-                macro_rules! un_f64 {
-                    (|$a:ident| $e:expr) => {{
-                        let $a = pop!().as_f64();
-                        frame.stack.push(Value::F64($e));
-                    }};
                 }
 
                 loop {
@@ -593,296 +622,20 @@ impl Instance {
                                 let base = pop!().as_i32() as u32 as u64;
                                 let addr = base + m.offset as u64;
                                 let raw = self.mem.load_uint(addr, acc.bytes)?;
-                                let v = extend_loaded(raw, acc.bytes, acc.signed, acc.val_type);
+                                let v = numeric::extend_loaded(
+                                    raw,
+                                    acc.bytes,
+                                    acc.signed,
+                                    acc.val_type,
+                                );
                                 frame.stack.push(v);
                             }
                         }
 
-                        // i32 compare.
-                        Instr::I32Eqz => un_i32!(|a| (a == 0) as i32),
-                        Instr::I32Eq => cmp_i32!(|a, b| a == b),
-                        Instr::I32Ne => cmp_i32!(|a, b| a != b),
-                        Instr::I32LtS => cmp_i32!(|a, b| a < b),
-                        Instr::I32LtU => cmp_i32!(|a, b| (a as u32) < (b as u32)),
-                        Instr::I32GtS => cmp_i32!(|a, b| a > b),
-                        Instr::I32GtU => cmp_i32!(|a, b| (a as u32) > (b as u32)),
-                        Instr::I32LeS => cmp_i32!(|a, b| a <= b),
-                        Instr::I32LeU => cmp_i32!(|a, b| (a as u32) <= (b as u32)),
-                        Instr::I32GeS => cmp_i32!(|a, b| a >= b),
-                        Instr::I32GeU => cmp_i32!(|a, b| (a as u32) >= (b as u32)),
-
-                        // i64 compare.
-                        Instr::I64Eqz => {
-                            let a = pop!().as_i64();
-                            frame.stack.push(Value::I32((a == 0) as i32));
-                        }
-                        Instr::I64Eq => cmp_i64!(|a, b| a == b),
-                        Instr::I64Ne => cmp_i64!(|a, b| a != b),
-                        Instr::I64LtS => cmp_i64!(|a, b| a < b),
-                        Instr::I64LtU => cmp_i64!(|a, b| (a as u64) < (b as u64)),
-                        Instr::I64GtS => cmp_i64!(|a, b| a > b),
-                        Instr::I64GtU => cmp_i64!(|a, b| (a as u64) > (b as u64)),
-                        Instr::I64LeS => cmp_i64!(|a, b| a <= b),
-                        Instr::I64LeU => cmp_i64!(|a, b| (a as u64) <= (b as u64)),
-                        Instr::I64GeS => cmp_i64!(|a, b| a >= b),
-                        Instr::I64GeU => cmp_i64!(|a, b| (a as u64) >= (b as u64)),
-
-                        // f32/f64 compare.
-                        Instr::F32Eq => cmp_f32!(|a, b| a == b),
-                        Instr::F32Ne => cmp_f32!(|a, b| a != b),
-                        Instr::F32Lt => cmp_f32!(|a, b| a < b),
-                        Instr::F32Gt => cmp_f32!(|a, b| a > b),
-                        Instr::F32Le => cmp_f32!(|a, b| a <= b),
-                        Instr::F32Ge => cmp_f32!(|a, b| a >= b),
-                        Instr::F64Eq => cmp_f64!(|a, b| a == b),
-                        Instr::F64Ne => cmp_f64!(|a, b| a != b),
-                        Instr::F64Lt => cmp_f64!(|a, b| a < b),
-                        Instr::F64Gt => cmp_f64!(|a, b| a > b),
-                        Instr::F64Le => cmp_f64!(|a, b| a <= b),
-                        Instr::F64Ge => cmp_f64!(|a, b| a >= b),
-
-                        // i32 arithmetic.
-                        Instr::I32Clz => un_i32!(|a| a.leading_zeros() as i32),
-                        Instr::I32Ctz => un_i32!(|a| a.trailing_zeros() as i32),
-                        Instr::I32Popcnt => un_i32!(|a| a.count_ones() as i32),
-                        Instr::I32Add => bin_i32!(|a, b| a.wrapping_add(b)),
-                        Instr::I32Sub => bin_i32!(|a, b| a.wrapping_sub(b)),
-                        Instr::I32Mul => bin_i32!(|a, b| a.wrapping_mul(b)),
-                        Instr::I32DivS => {
-                            let b = pop!().as_i32();
-                            let a = pop!().as_i32();
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            if a == i32::MIN && b == -1 {
-                                return Err(Trap::IntegerOverflow);
-                            }
-                            frame.stack.push(Value::I32(a.wrapping_div(b)));
-                        }
-                        Instr::I32DivU => {
-                            let b = pop!().as_i32() as u32;
-                            let a = pop!().as_i32() as u32;
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            frame.stack.push(Value::I32((a / b) as i32));
-                        }
-                        Instr::I32RemS => {
-                            let b = pop!().as_i32();
-                            let a = pop!().as_i32();
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            frame.stack.push(Value::I32(a.wrapping_rem(b)));
-                        }
-                        Instr::I32RemU => {
-                            let b = pop!().as_i32() as u32;
-                            let a = pop!().as_i32() as u32;
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            frame.stack.push(Value::I32((a % b) as i32));
-                        }
-                        Instr::I32And => bin_i32!(|a, b| a & b),
-                        Instr::I32Or => bin_i32!(|a, b| a | b),
-                        Instr::I32Xor => bin_i32!(|a, b| a ^ b),
-                        Instr::I32Shl => bin_i32!(|a, b| a.wrapping_shl(b as u32)),
-                        Instr::I32ShrS => bin_i32!(|a, b| a.wrapping_shr(b as u32)),
-                        Instr::I32ShrU => {
-                            bin_i32!(|a, b| ((a as u32).wrapping_shr(b as u32)) as i32)
-                        }
-                        Instr::I32Rotl => bin_i32!(|a, b| a.rotate_left(b as u32 % 32)),
-                        Instr::I32Rotr => bin_i32!(|a, b| a.rotate_right(b as u32 % 32)),
-
-                        // i64 arithmetic.
-                        Instr::I64Clz => un_i64!(|a| a.leading_zeros() as i64),
-                        Instr::I64Ctz => un_i64!(|a| a.trailing_zeros() as i64),
-                        Instr::I64Popcnt => un_i64!(|a| a.count_ones() as i64),
-                        Instr::I64Add => bin_i64!(|a, b| a.wrapping_add(b)),
-                        Instr::I64Sub => bin_i64!(|a, b| a.wrapping_sub(b)),
-                        Instr::I64Mul => bin_i64!(|a, b| a.wrapping_mul(b)),
-                        Instr::I64DivS => {
-                            let b = pop!().as_i64();
-                            let a = pop!().as_i64();
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            if a == i64::MIN && b == -1 {
-                                return Err(Trap::IntegerOverflow);
-                            }
-                            frame.stack.push(Value::I64(a.wrapping_div(b)));
-                        }
-                        Instr::I64DivU => {
-                            let b = pop!().as_i64() as u64;
-                            let a = pop!().as_i64() as u64;
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            frame.stack.push(Value::I64((a / b) as i64));
-                        }
-                        Instr::I64RemS => {
-                            let b = pop!().as_i64();
-                            let a = pop!().as_i64();
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            frame.stack.push(Value::I64(a.wrapping_rem(b)));
-                        }
-                        Instr::I64RemU => {
-                            let b = pop!().as_i64() as u64;
-                            let a = pop!().as_i64() as u64;
-                            if b == 0 {
-                                return Err(Trap::DivideByZero);
-                            }
-                            frame.stack.push(Value::I64((a % b) as i64));
-                        }
-                        Instr::I64And => bin_i64!(|a, b| a & b),
-                        Instr::I64Or => bin_i64!(|a, b| a | b),
-                        Instr::I64Xor => bin_i64!(|a, b| a ^ b),
-                        Instr::I64Shl => bin_i64!(|a, b| a.wrapping_shl(b as u32)),
-                        Instr::I64ShrS => bin_i64!(|a, b| a.wrapping_shr(b as u32)),
-                        Instr::I64ShrU => {
-                            bin_i64!(|a, b| ((a as u64).wrapping_shr(b as u32)) as i64)
-                        }
-                        Instr::I64Rotl => bin_i64!(|a, b| a.rotate_left((b as u32) % 64)),
-                        Instr::I64Rotr => bin_i64!(|a, b| a.rotate_right((b as u32) % 64)),
-
-                        // f32 arithmetic.
-                        Instr::F32Abs => un_f32!(|a| a.abs()),
-                        Instr::F32Neg => un_f32!(|a| -a),
-                        Instr::F32Ceil => un_f32!(|a| a.ceil()),
-                        Instr::F32Floor => un_f32!(|a| a.floor()),
-                        Instr::F32Trunc => un_f32!(|a| a.trunc()),
-                        Instr::F32Nearest => un_f32!(|a| nearest_f32(a)),
-                        Instr::F32Sqrt => un_f32!(|a| a.sqrt()),
-                        Instr::F32Add => bin_f32!(|a, b| a + b),
-                        Instr::F32Sub => bin_f32!(|a, b| a - b),
-                        Instr::F32Mul => bin_f32!(|a, b| a * b),
-                        Instr::F32Div => bin_f32!(|a, b| a / b),
-                        Instr::F32Min => bin_f32!(|a, b| a.min(b)),
-                        Instr::F32Max => bin_f32!(|a, b| a.max(b)),
-                        Instr::F32Copysign => bin_f32!(|a, b| a.copysign(b)),
-
-                        // f64 arithmetic.
-                        Instr::F64Abs => un_f64!(|a| a.abs()),
-                        Instr::F64Neg => un_f64!(|a| -a),
-                        Instr::F64Ceil => un_f64!(|a| a.ceil()),
-                        Instr::F64Floor => un_f64!(|a| a.floor()),
-                        Instr::F64Trunc => un_f64!(|a| a.trunc()),
-                        Instr::F64Nearest => un_f64!(|a| nearest_f64(a)),
-                        Instr::F64Sqrt => un_f64!(|a| a.sqrt()),
-                        Instr::F64Add => bin_f64!(|a, b| a + b),
-                        Instr::F64Sub => bin_f64!(|a, b| a - b),
-                        Instr::F64Mul => bin_f64!(|a, b| a * b),
-                        Instr::F64Div => bin_f64!(|a, b| a / b),
-                        Instr::F64Min => bin_f64!(|a, b| a.min(b)),
-                        Instr::F64Max => bin_f64!(|a, b| a.max(b)),
-                        Instr::F64Copysign => bin_f64!(|a, b| a.copysign(b)),
-
-                        // Conversions.
-                        Instr::I32WrapI64 => {
-                            let a = pop!().as_i64();
-                            frame.stack.push(Value::I32(a as i32));
-                        }
-                        Instr::I32TruncF32S => {
-                            let a = pop!().as_f32();
-                            frame.stack.push(Value::I32(trunc_to_i32(a as f64)?));
-                        }
-                        Instr::I32TruncF32U => {
-                            let a = pop!().as_f32();
-                            frame.stack.push(Value::I32(trunc_to_u32(a as f64)? as i32));
-                        }
-                        Instr::I32TruncF64S => {
-                            let a = pop!().as_f64();
-                            frame.stack.push(Value::I32(trunc_to_i32(a)?));
-                        }
-                        Instr::I32TruncF64U => {
-                            let a = pop!().as_f64();
-                            frame.stack.push(Value::I32(trunc_to_u32(a)? as i32));
-                        }
-                        Instr::I64ExtendI32S => {
-                            let a = pop!().as_i32();
-                            frame.stack.push(Value::I64(a as i64));
-                        }
-                        Instr::I64ExtendI32U => {
-                            let a = pop!().as_i32();
-                            frame.stack.push(Value::I64(a as u32 as i64));
-                        }
-                        Instr::I64TruncF32S => {
-                            let a = pop!().as_f32();
-                            frame.stack.push(Value::I64(trunc_to_i64(a as f64)?));
-                        }
-                        Instr::I64TruncF32U => {
-                            let a = pop!().as_f32();
-                            frame.stack.push(Value::I64(trunc_to_u64(a as f64)? as i64));
-                        }
-                        Instr::I64TruncF64S => {
-                            let a = pop!().as_f64();
-                            frame.stack.push(Value::I64(trunc_to_i64(a)?));
-                        }
-                        Instr::I64TruncF64U => {
-                            let a = pop!().as_f64();
-                            frame.stack.push(Value::I64(trunc_to_u64(a)? as i64));
-                        }
-                        Instr::F32ConvertI32S => {
-                            let a = pop!().as_i32();
-                            frame.stack.push(Value::F32(a as f32));
-                        }
-                        Instr::F32ConvertI32U => {
-                            let a = pop!().as_i32() as u32;
-                            frame.stack.push(Value::F32(a as f32));
-                        }
-                        Instr::F32ConvertI64S => {
-                            let a = pop!().as_i64();
-                            frame.stack.push(Value::F32(a as f32));
-                        }
-                        Instr::F32ConvertI64U => {
-                            let a = pop!().as_i64() as u64;
-                            frame.stack.push(Value::F32(a as f32));
-                        }
-                        Instr::F32DemoteF64 => {
-                            let a = pop!().as_f64();
-                            frame.stack.push(Value::F32(a as f32));
-                        }
-                        Instr::F64ConvertI32S => {
-                            let a = pop!().as_i32();
-                            frame.stack.push(Value::F64(a as f64));
-                        }
-                        Instr::F64ConvertI32U => {
-                            let a = pop!().as_i32() as u32;
-                            frame.stack.push(Value::F64(a as f64));
-                        }
-                        Instr::F64ConvertI64S => {
-                            let a = pop!().as_i64();
-                            frame.stack.push(Value::F64(a as f64));
-                        }
-                        Instr::F64ConvertI64U => {
-                            let a = pop!().as_i64() as u64;
-                            frame.stack.push(Value::F64(a as f64));
-                        }
-                        Instr::F64PromoteF32 => {
-                            let a = pop!().as_f32();
-                            frame.stack.push(Value::F64(a as f64));
-                        }
-                        Instr::I32ReinterpretF32 => {
-                            let a = pop!().as_f32();
-                            frame.stack.push(Value::I32(a.to_bits() as i32));
-                        }
-                        Instr::I64ReinterpretF64 => {
-                            let a = pop!().as_f64();
-                            frame.stack.push(Value::I64(a.to_bits() as i64));
-                        }
-                        Instr::F32ReinterpretI32 => {
-                            let a = pop!().as_i32();
-                            frame.stack.push(Value::F32(f32::from_bits(a as u32)));
-                        }
-                        Instr::F64ReinterpretI64 => {
-                            let a = pop!().as_i64();
-                            frame.stack.push(Value::F64(f64::from_bits(a as u64)));
-                        }
-                        // All memory instructions were handled by the guarded arm
-                        // above; every other opcode has an explicit arm.
-                        other => unreachable!("unhandled instruction {other:?}"),
+                        // Numeric tail (compares, arithmetic, conversions):
+                        // shared with the tape executor via [`numeric::exec`]
+                        // so the two dispatch loops cannot drift.
+                        other => numeric::exec(other, &mut frame.stack)?,
                     }
 
                     frame.pc = next_pc;
@@ -905,81 +658,4 @@ impl Instance {
             }
         }
     }
-}
-
-fn extend_loaded(raw: u64, bytes: u32, signed: bool, t: ValType) -> Value {
-    let bits = if signed {
-        let shift = 64 - bytes * 8;
-        (((raw << shift) as i64) >> shift) as u64
-    } else {
-        raw
-    };
-    match t {
-        ValType::I32 => Value::I32(bits as u32 as i32),
-        ValType::I64 => Value::I64(bits as i64),
-        ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
-        ValType::F64 => Value::F64(f64::from_bits(bits)),
-    }
-}
-
-fn nearest_f32(a: f32) -> f32 {
-    let r = a.round();
-    if (r - a).abs() == 0.5 && r % 2.0 != 0.0 {
-        r - a.signum()
-    } else {
-        r
-    }
-}
-
-fn nearest_f64(a: f64) -> f64 {
-    let r = a.round();
-    if (r - a).abs() == 0.5 && r % 2.0 != 0.0 {
-        r - a.signum()
-    } else {
-        r
-    }
-}
-
-fn trunc_to_i32(a: f64) -> Result<i32, Trap> {
-    if a.is_nan() {
-        return Err(Trap::InvalidConversion);
-    }
-    let t = a.trunc();
-    if t < i32::MIN as f64 || t > i32::MAX as f64 {
-        return Err(Trap::IntegerOverflow);
-    }
-    Ok(t as i32)
-}
-
-fn trunc_to_u32(a: f64) -> Result<u32, Trap> {
-    if a.is_nan() {
-        return Err(Trap::InvalidConversion);
-    }
-    let t = a.trunc();
-    if t < 0.0 || t > u32::MAX as f64 {
-        return Err(Trap::IntegerOverflow);
-    }
-    Ok(t as u32)
-}
-
-fn trunc_to_i64(a: f64) -> Result<i64, Trap> {
-    if a.is_nan() {
-        return Err(Trap::InvalidConversion);
-    }
-    let t = a.trunc();
-    if t < -(2f64.powi(63)) || t >= 2f64.powi(63) {
-        return Err(Trap::IntegerOverflow);
-    }
-    Ok(t as i64)
-}
-
-fn trunc_to_u64(a: f64) -> Result<u64, Trap> {
-    if a.is_nan() {
-        return Err(Trap::InvalidConversion);
-    }
-    let t = a.trunc();
-    if t < 0.0 || t >= 2f64.powi(64) {
-        return Err(Trap::IntegerOverflow);
-    }
-    Ok(t as u64)
 }

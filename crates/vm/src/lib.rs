@@ -42,13 +42,16 @@ pub mod error;
 pub mod host;
 pub mod interp;
 pub mod memory;
+mod numeric;
+pub mod tape;
 pub mod trace;
 pub mod value;
 
 pub use error::{InstanceError, Trap};
 pub use host::{Host, HostFnId, NullHost};
-pub use interp::{CompiledModule, Fuel, Instance};
+pub use interp::{resolve_imports, CompiledModule, Fuel, Instance};
 pub use memory::LinearMemory;
+pub use tape::fast_path_enabled;
 pub use trace::{TraceKind, TraceRecord, TraceSink, TraceVal};
 pub use value::Value;
 

@@ -7,10 +7,25 @@ use crate::error::Trap;
 pub const PAGE_SIZE: u32 = 65_536;
 
 /// A contract's linear memory.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Writes maintain a high-water mark so [`LinearMemory::reset`] can restore
+/// the all-zero initial state by clearing only the touched prefix instead of
+/// the whole allocation — what makes pooled instance reuse cheaper than a
+/// fresh 64 KiB zeroed allocation per action.
+#[derive(Debug, Clone, Eq)]
 pub struct LinearMemory {
     bytes: Vec<u8>,
+    min_pages: u32,
     max_pages: u32,
+    /// Exclusive upper bound of bytes written since the last reset.
+    dirty_end: usize,
+}
+
+impl PartialEq for LinearMemory {
+    fn eq(&self, other: &Self) -> bool {
+        // The dirty mark is reset bookkeeping, not observable state.
+        self.bytes == other.bytes && self.max_pages == other.max_pages
+    }
 }
 
 impl LinearMemory {
@@ -19,8 +34,20 @@ impl LinearMemory {
         let max_pages = max.unwrap_or(u16::MAX as u32 + 1).min(u16::MAX as u32 + 1);
         LinearMemory {
             bytes: vec![0; (min * PAGE_SIZE) as usize],
+            min_pages: min,
             max_pages,
+            dirty_end: 0,
         }
+    }
+
+    /// Restore the freshly-instantiated state: minimum size, all zeroes.
+    /// Only the written prefix is cleared, so resetting a barely-touched
+    /// memory is near-free regardless of its size.
+    pub fn reset(&mut self) {
+        self.bytes.truncate((self.min_pages * PAGE_SIZE) as usize);
+        let end = self.dirty_end.min(self.bytes.len());
+        self.bytes[..end].fill(0);
+        self.dirty_end = 0;
     }
 
     /// Current size in pages.
@@ -74,6 +101,7 @@ impl LinearMemory {
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
         let start = self.check(addr, bytes.len() as u32)?;
         self.bytes[start..start + bytes.len()].copy_from_slice(bytes);
+        self.dirty_end = self.dirty_end.max(start + bytes.len());
         Ok(())
     }
 
@@ -130,6 +158,26 @@ mod tests {
             }
         );
         assert!(m.store_uint(u64::MAX, 8, 1).is_err());
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut m = LinearMemory::new(1, Some(4));
+        m.store_uint(128, 8, 0xdead_beef).unwrap();
+        assert_eq!(m.grow(2), 1);
+        m.store_uint(2 * PAGE_SIZE as u64, 4, 7).unwrap();
+        m.reset();
+        assert_eq!(m, LinearMemory::new(1, Some(4)));
+        assert_eq!(m.size_pages(), 1);
+        assert_eq!(m.load_uint(128, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_bookkeeping() {
+        let mut m = LinearMemory::new(1, None);
+        m.store_uint(0, 8, 1).unwrap();
+        m.store_uint(0, 8, 0).unwrap();
+        assert_eq!(m, LinearMemory::new(1, None));
     }
 
     #[test]

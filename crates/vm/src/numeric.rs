@@ -1,0 +1,481 @@
+//! Pure numeric instruction semantics, shared by the reference interpreter
+//! ([`crate::interp`]) and the compiled-tape executor ([`crate::tape`]).
+//!
+//! Keeping every comparison, arithmetic and conversion arm in one function
+//! means the fast path cannot drift from the reference semantics: both
+//! dispatch loops call [`exec`] for the numeric tail, so a divergence would
+//! have to be introduced in the structural/branch handling where the
+//! differential suite (`tests/vm_fastpath.rs`) pins it down.
+
+use wasai_wasm::instr::Instr;
+use wasai_wasm::types::ValType;
+
+use crate::error::Trap;
+use crate::value::Value;
+
+macro_rules! pop {
+    ($s:expr) => {
+        $s.pop().expect("validated stack never underflows")
+    };
+}
+
+macro_rules! bin_i32 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_i32();
+        let $a = pop!($s).as_i32();
+        $s.push(Value::I32($e));
+    }};
+}
+macro_rules! bin_i64 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_i64();
+        let $a = pop!($s).as_i64();
+        $s.push(Value::I64($e));
+    }};
+}
+macro_rules! cmp_i32 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_i32();
+        let $a = pop!($s).as_i32();
+        $s.push(Value::I32(($e) as i32));
+    }};
+}
+macro_rules! cmp_i64 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_i64();
+        let $a = pop!($s).as_i64();
+        $s.push(Value::I32(($e) as i32));
+    }};
+}
+macro_rules! bin_f32 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_f32();
+        let $a = pop!($s).as_f32();
+        $s.push(Value::F32($e));
+    }};
+}
+macro_rules! bin_f64 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_f64();
+        let $a = pop!($s).as_f64();
+        $s.push(Value::F64($e));
+    }};
+}
+macro_rules! cmp_f32 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_f32();
+        let $a = pop!($s).as_f32();
+        $s.push(Value::I32(($e) as i32));
+    }};
+}
+macro_rules! cmp_f64 {
+    ($s:expr, |$a:ident, $b:ident| $e:expr) => {{
+        let $b = pop!($s).as_f64();
+        let $a = pop!($s).as_f64();
+        $s.push(Value::I32(($e) as i32));
+    }};
+}
+macro_rules! un_i32 {
+    ($s:expr, |$a:ident| $e:expr) => {{
+        let $a = pop!($s).as_i32();
+        $s.push(Value::I32($e));
+    }};
+}
+macro_rules! un_i64 {
+    ($s:expr, |$a:ident| $e:expr) => {{
+        let $a = pop!($s).as_i64();
+        $s.push(Value::I64($e));
+    }};
+}
+macro_rules! un_f32 {
+    ($s:expr, |$a:ident| $e:expr) => {{
+        let $a = pop!($s).as_f32();
+        $s.push(Value::F32($e));
+    }};
+}
+macro_rules! un_f64 {
+    ($s:expr, |$a:ident| $e:expr) => {{
+        let $a = pop!($s).as_f64();
+        $s.push(Value::F64($e));
+    }};
+}
+
+/// Execute one pure numeric instruction (comparison, arithmetic, conversion)
+/// against the value stack.
+///
+/// # Errors
+///
+/// Division, remainder and float→int truncation arms trap exactly like the
+/// reference interpreter always has.
+///
+/// # Panics
+///
+/// Panics if called with a non-numeric instruction — both dispatch loops
+/// route only their numeric tails here.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn exec(instr: &Instr, stack: &mut Vec<Value>) -> Result<(), Trap> {
+    match instr {
+        // i32 compare.
+        Instr::I32Eqz => un_i32!(stack, |a| (a == 0) as i32),
+        Instr::I32Eq => cmp_i32!(stack, |a, b| a == b),
+        Instr::I32Ne => cmp_i32!(stack, |a, b| a != b),
+        Instr::I32LtS => cmp_i32!(stack, |a, b| a < b),
+        Instr::I32LtU => cmp_i32!(stack, |a, b| (a as u32) < (b as u32)),
+        Instr::I32GtS => cmp_i32!(stack, |a, b| a > b),
+        Instr::I32GtU => cmp_i32!(stack, |a, b| (a as u32) > (b as u32)),
+        Instr::I32LeS => cmp_i32!(stack, |a, b| a <= b),
+        Instr::I32LeU => cmp_i32!(stack, |a, b| (a as u32) <= (b as u32)),
+        Instr::I32GeS => cmp_i32!(stack, |a, b| a >= b),
+        Instr::I32GeU => cmp_i32!(stack, |a, b| (a as u32) >= (b as u32)),
+
+        // i64 compare.
+        Instr::I64Eqz => {
+            let a = pop!(stack).as_i64();
+            stack.push(Value::I32((a == 0) as i32));
+        }
+        Instr::I64Eq => cmp_i64!(stack, |a, b| a == b),
+        Instr::I64Ne => cmp_i64!(stack, |a, b| a != b),
+        Instr::I64LtS => cmp_i64!(stack, |a, b| a < b),
+        Instr::I64LtU => cmp_i64!(stack, |a, b| (a as u64) < (b as u64)),
+        Instr::I64GtS => cmp_i64!(stack, |a, b| a > b),
+        Instr::I64GtU => cmp_i64!(stack, |a, b| (a as u64) > (b as u64)),
+        Instr::I64LeS => cmp_i64!(stack, |a, b| a <= b),
+        Instr::I64LeU => cmp_i64!(stack, |a, b| (a as u64) <= (b as u64)),
+        Instr::I64GeS => cmp_i64!(stack, |a, b| a >= b),
+        Instr::I64GeU => cmp_i64!(stack, |a, b| (a as u64) >= (b as u64)),
+
+        // f32/f64 compare.
+        Instr::F32Eq => cmp_f32!(stack, |a, b| a == b),
+        Instr::F32Ne => cmp_f32!(stack, |a, b| a != b),
+        Instr::F32Lt => cmp_f32!(stack, |a, b| a < b),
+        Instr::F32Gt => cmp_f32!(stack, |a, b| a > b),
+        Instr::F32Le => cmp_f32!(stack, |a, b| a <= b),
+        Instr::F32Ge => cmp_f32!(stack, |a, b| a >= b),
+        Instr::F64Eq => cmp_f64!(stack, |a, b| a == b),
+        Instr::F64Ne => cmp_f64!(stack, |a, b| a != b),
+        Instr::F64Lt => cmp_f64!(stack, |a, b| a < b),
+        Instr::F64Gt => cmp_f64!(stack, |a, b| a > b),
+        Instr::F64Le => cmp_f64!(stack, |a, b| a <= b),
+        Instr::F64Ge => cmp_f64!(stack, |a, b| a >= b),
+
+        // i32 arithmetic.
+        Instr::I32Clz => un_i32!(stack, |a| a.leading_zeros() as i32),
+        Instr::I32Ctz => un_i32!(stack, |a| a.trailing_zeros() as i32),
+        Instr::I32Popcnt => un_i32!(stack, |a| a.count_ones() as i32),
+        Instr::I32Add => bin_i32!(stack, |a, b| a.wrapping_add(b)),
+        Instr::I32Sub => bin_i32!(stack, |a, b| a.wrapping_sub(b)),
+        Instr::I32Mul => bin_i32!(stack, |a, b| a.wrapping_mul(b)),
+        Instr::I32DivS => {
+            let b = pop!(stack).as_i32();
+            let a = pop!(stack).as_i32();
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            if a == i32::MIN && b == -1 {
+                return Err(Trap::IntegerOverflow);
+            }
+            stack.push(Value::I32(a.wrapping_div(b)));
+        }
+        Instr::I32DivU => {
+            let b = pop!(stack).as_i32() as u32;
+            let a = pop!(stack).as_i32() as u32;
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            stack.push(Value::I32((a / b) as i32));
+        }
+        Instr::I32RemS => {
+            let b = pop!(stack).as_i32();
+            let a = pop!(stack).as_i32();
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            stack.push(Value::I32(a.wrapping_rem(b)));
+        }
+        Instr::I32RemU => {
+            let b = pop!(stack).as_i32() as u32;
+            let a = pop!(stack).as_i32() as u32;
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            stack.push(Value::I32((a % b) as i32));
+        }
+        Instr::I32And => bin_i32!(stack, |a, b| a & b),
+        Instr::I32Or => bin_i32!(stack, |a, b| a | b),
+        Instr::I32Xor => bin_i32!(stack, |a, b| a ^ b),
+        Instr::I32Shl => bin_i32!(stack, |a, b| a.wrapping_shl(b as u32)),
+        Instr::I32ShrS => bin_i32!(stack, |a, b| a.wrapping_shr(b as u32)),
+        Instr::I32ShrU => {
+            bin_i32!(stack, |a, b| ((a as u32).wrapping_shr(b as u32)) as i32)
+        }
+        Instr::I32Rotl => bin_i32!(stack, |a, b| a.rotate_left(b as u32 % 32)),
+        Instr::I32Rotr => bin_i32!(stack, |a, b| a.rotate_right(b as u32 % 32)),
+
+        // i64 arithmetic.
+        Instr::I64Clz => un_i64!(stack, |a| a.leading_zeros() as i64),
+        Instr::I64Ctz => un_i64!(stack, |a| a.trailing_zeros() as i64),
+        Instr::I64Popcnt => un_i64!(stack, |a| a.count_ones() as i64),
+        Instr::I64Add => bin_i64!(stack, |a, b| a.wrapping_add(b)),
+        Instr::I64Sub => bin_i64!(stack, |a, b| a.wrapping_sub(b)),
+        Instr::I64Mul => bin_i64!(stack, |a, b| a.wrapping_mul(b)),
+        Instr::I64DivS => {
+            let b = pop!(stack).as_i64();
+            let a = pop!(stack).as_i64();
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            if a == i64::MIN && b == -1 {
+                return Err(Trap::IntegerOverflow);
+            }
+            stack.push(Value::I64(a.wrapping_div(b)));
+        }
+        Instr::I64DivU => {
+            let b = pop!(stack).as_i64() as u64;
+            let a = pop!(stack).as_i64() as u64;
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            stack.push(Value::I64((a / b) as i64));
+        }
+        Instr::I64RemS => {
+            let b = pop!(stack).as_i64();
+            let a = pop!(stack).as_i64();
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            stack.push(Value::I64(a.wrapping_rem(b)));
+        }
+        Instr::I64RemU => {
+            let b = pop!(stack).as_i64() as u64;
+            let a = pop!(stack).as_i64() as u64;
+            if b == 0 {
+                return Err(Trap::DivideByZero);
+            }
+            stack.push(Value::I64((a % b) as i64));
+        }
+        Instr::I64And => bin_i64!(stack, |a, b| a & b),
+        Instr::I64Or => bin_i64!(stack, |a, b| a | b),
+        Instr::I64Xor => bin_i64!(stack, |a, b| a ^ b),
+        Instr::I64Shl => bin_i64!(stack, |a, b| a.wrapping_shl(b as u32)),
+        Instr::I64ShrS => bin_i64!(stack, |a, b| a.wrapping_shr(b as u32)),
+        Instr::I64ShrU => {
+            bin_i64!(stack, |a, b| ((a as u64).wrapping_shr(b as u32)) as i64)
+        }
+        Instr::I64Rotl => bin_i64!(stack, |a, b| a.rotate_left((b as u32) % 64)),
+        Instr::I64Rotr => bin_i64!(stack, |a, b| a.rotate_right((b as u32) % 64)),
+
+        // f32 arithmetic.
+        Instr::F32Abs => un_f32!(stack, |a| a.abs()),
+        Instr::F32Neg => un_f32!(stack, |a| -a),
+        Instr::F32Ceil => un_f32!(stack, |a| a.ceil()),
+        Instr::F32Floor => un_f32!(stack, |a| a.floor()),
+        Instr::F32Trunc => un_f32!(stack, |a| a.trunc()),
+        Instr::F32Nearest => un_f32!(stack, |a| nearest_f32(a)),
+        Instr::F32Sqrt => un_f32!(stack, |a| a.sqrt()),
+        Instr::F32Add => bin_f32!(stack, |a, b| a + b),
+        Instr::F32Sub => bin_f32!(stack, |a, b| a - b),
+        Instr::F32Mul => bin_f32!(stack, |a, b| a * b),
+        Instr::F32Div => bin_f32!(stack, |a, b| a / b),
+        Instr::F32Min => bin_f32!(stack, |a, b| a.min(b)),
+        Instr::F32Max => bin_f32!(stack, |a, b| a.max(b)),
+        Instr::F32Copysign => bin_f32!(stack, |a, b| a.copysign(b)),
+
+        // f64 arithmetic.
+        Instr::F64Abs => un_f64!(stack, |a| a.abs()),
+        Instr::F64Neg => un_f64!(stack, |a| -a),
+        Instr::F64Ceil => un_f64!(stack, |a| a.ceil()),
+        Instr::F64Floor => un_f64!(stack, |a| a.floor()),
+        Instr::F64Trunc => un_f64!(stack, |a| a.trunc()),
+        Instr::F64Nearest => un_f64!(stack, |a| nearest_f64(a)),
+        Instr::F64Sqrt => un_f64!(stack, |a| a.sqrt()),
+        Instr::F64Add => bin_f64!(stack, |a, b| a + b),
+        Instr::F64Sub => bin_f64!(stack, |a, b| a - b),
+        Instr::F64Mul => bin_f64!(stack, |a, b| a * b),
+        Instr::F64Div => bin_f64!(stack, |a, b| a / b),
+        Instr::F64Min => bin_f64!(stack, |a, b| a.min(b)),
+        Instr::F64Max => bin_f64!(stack, |a, b| a.max(b)),
+        Instr::F64Copysign => bin_f64!(stack, |a, b| a.copysign(b)),
+
+        // Conversions.
+        Instr::I32WrapI64 => {
+            let a = pop!(stack).as_i64();
+            stack.push(Value::I32(a as i32));
+        }
+        Instr::I32TruncF32S => {
+            let a = pop!(stack).as_f32();
+            stack.push(Value::I32(trunc_to_i32(a as f64)?));
+        }
+        Instr::I32TruncF32U => {
+            let a = pop!(stack).as_f32();
+            stack.push(Value::I32(trunc_to_u32(a as f64)? as i32));
+        }
+        Instr::I32TruncF64S => {
+            let a = pop!(stack).as_f64();
+            stack.push(Value::I32(trunc_to_i32(a)?));
+        }
+        Instr::I32TruncF64U => {
+            let a = pop!(stack).as_f64();
+            stack.push(Value::I32(trunc_to_u32(a)? as i32));
+        }
+        Instr::I64ExtendI32S => {
+            let a = pop!(stack).as_i32();
+            stack.push(Value::I64(a as i64));
+        }
+        Instr::I64ExtendI32U => {
+            let a = pop!(stack).as_i32();
+            stack.push(Value::I64(a as u32 as i64));
+        }
+        Instr::I64TruncF32S => {
+            let a = pop!(stack).as_f32();
+            stack.push(Value::I64(trunc_to_i64(a as f64)?));
+        }
+        Instr::I64TruncF32U => {
+            let a = pop!(stack).as_f32();
+            stack.push(Value::I64(trunc_to_u64(a as f64)? as i64));
+        }
+        Instr::I64TruncF64S => {
+            let a = pop!(stack).as_f64();
+            stack.push(Value::I64(trunc_to_i64(a)?));
+        }
+        Instr::I64TruncF64U => {
+            let a = pop!(stack).as_f64();
+            stack.push(Value::I64(trunc_to_u64(a)? as i64));
+        }
+        Instr::F32ConvertI32S => {
+            let a = pop!(stack).as_i32();
+            stack.push(Value::F32(a as f32));
+        }
+        Instr::F32ConvertI32U => {
+            let a = pop!(stack).as_i32() as u32;
+            stack.push(Value::F32(a as f32));
+        }
+        Instr::F32ConvertI64S => {
+            let a = pop!(stack).as_i64();
+            stack.push(Value::F32(a as f32));
+        }
+        Instr::F32ConvertI64U => {
+            let a = pop!(stack).as_i64() as u64;
+            stack.push(Value::F32(a as f32));
+        }
+        Instr::F32DemoteF64 => {
+            let a = pop!(stack).as_f64();
+            stack.push(Value::F32(a as f32));
+        }
+        Instr::F64ConvertI32S => {
+            let a = pop!(stack).as_i32();
+            stack.push(Value::F64(a as f64));
+        }
+        Instr::F64ConvertI32U => {
+            let a = pop!(stack).as_i32() as u32;
+            stack.push(Value::F64(a as f64));
+        }
+        Instr::F64ConvertI64S => {
+            let a = pop!(stack).as_i64();
+            stack.push(Value::F64(a as f64));
+        }
+        Instr::F64ConvertI64U => {
+            let a = pop!(stack).as_i64() as u64;
+            stack.push(Value::F64(a as f64));
+        }
+        Instr::F64PromoteF32 => {
+            let a = pop!(stack).as_f32();
+            stack.push(Value::F64(a as f64));
+        }
+        Instr::I32ReinterpretF32 => {
+            let a = pop!(stack).as_f32();
+            stack.push(Value::I32(a.to_bits() as i32));
+        }
+        Instr::I64ReinterpretF64 => {
+            let a = pop!(stack).as_f64();
+            stack.push(Value::I64(a.to_bits() as i64));
+        }
+        Instr::F32ReinterpretI32 => {
+            let a = pop!(stack).as_i32();
+            stack.push(Value::F32(f32::from_bits(a as u32)));
+        }
+        Instr::F64ReinterpretI64 => {
+            let a = pop!(stack).as_i64();
+            stack.push(Value::F64(f64::from_bits(a as u64)));
+        }
+        other => unreachable!("non-numeric instruction {other:?} in numeric::exec"),
+    }
+    Ok(())
+}
+
+/// Extend a raw little-endian load to a full stack value.
+pub(crate) fn extend_loaded(raw: u64, bytes: u32, signed: bool, t: ValType) -> Value {
+    let bits = if signed {
+        let shift = 64 - bytes * 8;
+        (((raw << shift) as i64) >> shift) as u64
+    } else {
+        raw
+    };
+    match t {
+        ValType::I32 => Value::I32(bits as u32 as i32),
+        ValType::I64 => Value::I64(bits as i64),
+        ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
+        ValType::F64 => Value::F64(f64::from_bits(bits)),
+    }
+}
+
+fn nearest_f32(a: f32) -> f32 {
+    let r = a.round();
+    if (r - a).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - a.signum()
+    } else {
+        r
+    }
+}
+
+fn nearest_f64(a: f64) -> f64 {
+    let r = a.round();
+    if (r - a).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - a.signum()
+    } else {
+        r
+    }
+}
+
+fn trunc_to_i32(a: f64) -> Result<i32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < i32::MIN as f64 || t > i32::MAX as f64 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as i32)
+}
+
+fn trunc_to_u32(a: f64) -> Result<u32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < 0.0 || t > u32::MAX as f64 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as u32)
+}
+
+fn trunc_to_i64(a: f64) -> Result<i64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < -(2f64.powi(63)) || t >= 2f64.powi(63) {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as i64)
+}
+
+fn trunc_to_u64(a: f64) -> Result<u64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = a.trunc();
+    if t < 0.0 || t >= 2f64.powi(64) {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as u64)
+}

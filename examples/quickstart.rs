@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         payee_guard: false,
         auth_check: false,
         blockinfo: true,
+        sdk_work: 0,
         reward: RewardKind::Inline,
         gate: GateKind::Solvable { depth: 2 },
         eosponser_branches: 2,

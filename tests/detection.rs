@@ -19,6 +19,7 @@ fn fully_vulnerable_contract_flags_all_five() {
         payee_guard: false,
         auth_check: false,
         blockinfo: true,
+        sdk_work: 0,
         reward: RewardKind::Inline,
         gate: GateKind::Open,
         eosponser_branches: 2,
@@ -38,6 +39,7 @@ fn fully_guarded_contract_flags_nothing() {
         payee_guard: true,
         auth_check: true,
         blockinfo: false,
+        sdk_work: 0,
         reward: RewardKind::Deferred,
         gate: GateKind::Open,
         eosponser_branches: 2,
@@ -60,6 +62,7 @@ fn solver_reaches_template_behind_64bit_gate() {
         payee_guard: true,
         auth_check: true,
         blockinfo: true,
+        sdk_work: 0,
         reward: RewardKind::Inline,
         gate: GateKind::Solvable { depth: 2 },
         eosponser_branches: 1,
@@ -78,6 +81,7 @@ fn unsatisfiable_gate_is_not_a_false_positive() {
         payee_guard: true,
         auth_check: true,
         blockinfo: true,
+        sdk_work: 0,
         reward: RewardKind::Inline,
         gate: GateKind::Unsatisfiable { depth: 2 },
         eosponser_branches: 1,

@@ -20,6 +20,7 @@ fn blueprint(seed: u64) -> Blueprint {
         payee_guard: true,
         auth_check: true,
         blockinfo: false,
+        sdk_work: 0,
         reward: RewardKind::Inline,
         gate: GateKind::Open,
         eosponser_branches: 2,

@@ -87,6 +87,7 @@ fn vulnerable_blueprint() -> Blueprint {
     Blueprint {
         seed: 1,
         code_guard: false,
+        sdk_work: 0,
         payee_guard: false,
         auth_check: false,
         blockinfo: true,
@@ -100,6 +101,7 @@ fn guarded_blueprint() -> Blueprint {
     Blueprint {
         seed: 2,
         code_guard: true,
+        sdk_work: 0,
         payee_guard: true,
         auth_check: true,
         blockinfo: false,

@@ -26,6 +26,7 @@ fn solver_blueprint() -> Blueprint {
         payee_guard: true,
         auth_check: true,
         blockinfo: true,
+        sdk_work: 0,
         reward: RewardKind::Inline,
         gate: GateKind::Solvable { depth: 2 },
         eosponser_branches: 1,
