@@ -444,6 +444,9 @@ fn strip_events(
                 wasai_core::CampaignOutcome::TimedOut { elapsed } => {
                     wasai_core::CampaignOutcome::TimedOut { elapsed }
                 }
+                wasai_core::CampaignOutcome::Crashed { attempts, detail } => {
+                    wasai_core::CampaignOutcome::Crashed { attempts, detail }
+                }
             },
             elapsed: r.elapsed,
         })

@@ -38,6 +38,16 @@ pub enum Fault {
     SolverStall,
     /// A decoder error (surfaces as `Failed`).
     DecodeError,
+    /// Kill the whole worker **process** (`abort()`) when the campaign is
+    /// about to start. Only the supervised fleet's worker entrypoint honors
+    /// it; the thread-level scheduler ignores it, so an unsupervised run
+    /// with the same plan is undisturbed (exercises supervisor retry).
+    KillProc,
+    /// Stall the whole worker **process** on this campaign: the worker
+    /// thread blocks without heartbeat progress until the supervisor's
+    /// stall detector kills and re-dispatches the shard. Ignored by the
+    /// thread-level scheduler, like [`Fault::KillProc`].
+    StallProc,
 }
 
 impl Fault {
@@ -48,10 +58,19 @@ impl Fault {
             "trap" => Ok(Fault::Trap),
             "stall" => Ok(Fault::SolverStall),
             "decode" => Ok(Fault::DecodeError),
+            "kill" => Ok(Fault::KillProc),
+            "stallproc" => Ok(Fault::StallProc),
             other => Err(format!(
-                "unknown chaos fault {other:?} (expected panic|trap|stall|decode)"
+                "unknown chaos fault {other:?} (expected panic|trap|stall|decode|kill|stallproc)"
             )),
         }
+    }
+
+    /// True for faults that act on a whole worker process rather than a
+    /// single campaign thread. The supervisor strips these from the plan it
+    /// hands to re-dispatched workers, so each fires at most once.
+    pub fn is_proc_level(self) -> bool {
+        matches!(self, Fault::KillProc | Fault::StallProc)
     }
 }
 
@@ -62,6 +81,8 @@ impl fmt::Display for Fault {
             Fault::Trap => "trap",
             Fault::SolverStall => "stall",
             Fault::DecodeError => "decode",
+            Fault::KillProc => "kill",
+            Fault::StallProc => "stallproc",
         })
     }
 }
@@ -110,6 +131,33 @@ impl ChaosPlan {
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+
+    /// The plan with every process-level fault removed. The supervisor
+    /// hands this to re-dispatched workers so a `kill@i`/`stallproc@i`
+    /// fires at most once instead of re-killing every retry.
+    pub fn without_proc_faults(&self) -> ChaosPlan {
+        ChaosPlan {
+            faults: self
+                .faults
+                .iter()
+                .filter(|(_, f)| !f.is_proc_level())
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    /// Renders back to the `WASAI_CHAOS` spec form (`fault@index,…`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, (index, fault)) in self.faults.iter().enumerate() {
+            if n > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{fault}@{index}")?;
+        }
+        Ok(())
     }
 }
 
@@ -200,8 +248,27 @@ mod tests {
             Fault::Trap,
             Fault::SolverStall,
             Fault::DecodeError,
+            Fault::KillProc,
+            Fault::StallProc,
         ] {
             assert_eq!(Fault::parse(&f.to_string()), Ok(f));
         }
+    }
+
+    #[test]
+    fn plan_display_roundtrips_and_proc_stripping_preserves_the_rest() {
+        let p = ChaosPlan::parse("panic@1,kill@2,stall@4,stallproc@5").expect("parses");
+        assert_eq!(p.to_string(), "panic@1,kill@2,stall@4,stallproc@5");
+        let stripped = p.without_proc_faults();
+        assert_eq!(stripped.to_string(), "panic@1,stall@4");
+        assert_eq!(ChaosPlan::parse(&stripped.to_string()), Ok(stripped));
+    }
+
+    #[test]
+    fn proc_level_classification() {
+        assert!(Fault::KillProc.is_proc_level());
+        assert!(Fault::StallProc.is_proc_level());
+        assert!(!Fault::Panic.is_proc_level());
+        assert!(!Fault::SolverStall.is_proc_level());
     }
 }

@@ -32,6 +32,9 @@ use wasai_smt::Deadline;
 use crate::chaos::Fault;
 use crate::telemetry::{TelemetryEvent, TelemetrySink};
 
+pub mod journal;
+pub mod supervisor;
+
 /// Lock `m`, recovering the guard if a previous holder panicked.
 ///
 /// Fleet state stays coherent under poisoning: the queue only ever has
@@ -245,6 +248,21 @@ pub mod stage {
     pub fn current() -> &'static str {
         STAGE.with(|s| s.get())
     }
+
+    /// Map an arbitrary stage string back to the canonical `&'static str`
+    /// marker (unknown names, and the triage `-` placeholder, map to
+    /// [`CAMPAIGN`] / `-`). Used when outcomes cross a process boundary and
+    /// come back as owned strings.
+    pub fn canonical(name: &str) -> &'static str {
+        match name {
+            "execute" => EXECUTE,
+            "replay" => REPLAY,
+            "solve" => SOLVE,
+            "prepare" => PREPARE,
+            "-" => "-",
+            _ => CAMPAIGN,
+        }
+    }
 }
 
 /// How one fault-isolated campaign ended.
@@ -268,6 +286,15 @@ pub enum CampaignOutcome<T> {
         /// Wall-clock time this campaign consumed before being cut off
         /// (zero if it never started).
         elapsed: Duration,
+    },
+    /// The campaign was lost with its worker **process** (supervised mode):
+    /// the process died or stalled, and the supervisor's bounded retries
+    /// were exhausted before the campaign completed.
+    Crashed {
+        /// Spawn attempts the supervisor made for the shard.
+        attempts: u32,
+        /// Human-readable description of the last process failure.
+        detail: String,
     },
 }
 
@@ -293,14 +320,16 @@ impl<T> CampaignOutcome<T> {
         }
     }
 
-    /// Machine-readable outcome tag: `ok`, `failed`, `panicked`, or
-    /// `timed-out` (the `outcome` field of the triage format).
+    /// Machine-readable outcome tag: `ok`, `failed`, `panicked`,
+    /// `timed-out`, or `crashed` (the `outcome` field of the triage
+    /// format).
     pub fn kind(&self) -> &'static str {
         match self {
             CampaignOutcome::Ok(_) => "ok",
             CampaignOutcome::Failed(_) => "failed",
             CampaignOutcome::Panicked { .. } => "panicked",
             CampaignOutcome::TimedOut { .. } => "timed-out",
+            CampaignOutcome::Crashed { .. } => "crashed",
         }
     }
 
@@ -312,6 +341,7 @@ impl<T> CampaignOutcome<T> {
             CampaignOutcome::Failed(_) => stage::PREPARE,
             CampaignOutcome::Panicked { stage, .. } => stage,
             CampaignOutcome::TimedOut { .. } => stage::CAMPAIGN,
+            CampaignOutcome::Crashed { .. } => stage::CAMPAIGN,
         }
     }
 
@@ -325,6 +355,9 @@ impl<T> CampaignOutcome<T> {
             }
             CampaignOutcome::TimedOut { elapsed } => {
                 format!("deadline expired after {}ms", elapsed.as_millis())
+            }
+            CampaignOutcome::Crashed { attempts, detail } => {
+                format!("{detail} after {attempts} attempt(s)")
             }
         }
     }
@@ -394,6 +427,11 @@ where
                 elapsed: start.elapsed(),
             };
         }
+        // Process-level faults are the supervised fleet's worker
+        // entrypoint's business (it aborts or blocks the whole process);
+        // the thread-level scheduler runs the campaign normally so an
+        // unsupervised sweep under the same plan is undisturbed.
+        Some(Fault::KillProc | Fault::StallProc) => {}
         Some(Fault::Panic) | None => {}
     }
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -444,18 +482,50 @@ where
     F: Fn(usize, I) -> Result<T, ChainError> + Sync,
 {
     run_jobs(jobs, items, |i, item| {
-        let start = Instant::now();
-        let outcome = run_one_isolated(i, item, deadline, &worker);
-        let elapsed = start.elapsed();
-        obs::inc(match &outcome {
-            CampaignOutcome::Ok(_) => obs::Counter::CampaignsOk,
-            CampaignOutcome::Failed(_) => obs::Counter::CampaignsFailed,
-            CampaignOutcome::Panicked { .. } => obs::Counter::CampaignsPanicked,
-            CampaignOutcome::TimedOut { .. } => obs::Counter::CampaignsTimedOut,
-        });
-        obs::global().observe(obs::Histogram::CampaignWallSeconds, elapsed);
-        CampaignRun { outcome, elapsed }
+        run_campaign_isolated(i, item, deadline, &worker)
     })
+}
+
+/// The global outcome counter a finished campaign bumps, shared by the
+/// thread scheduler and the supervisor's merge of relayed outcomes.
+pub(crate) fn outcome_counter(kind: &str) -> obs::Counter {
+    match kind {
+        "ok" => obs::Counter::CampaignsOk,
+        "failed" => obs::Counter::CampaignsFailed,
+        "panicked" => obs::Counter::CampaignsPanicked,
+        "timed-out" => obs::Counter::CampaignsTimedOut,
+        _ => obs::Counter::CampaignsCrashed,
+    }
+}
+
+/// Run one fault-isolated campaign — the per-item body of
+/// [`run_jobs_isolated`], exposed so the supervised fleet's worker
+/// entrypoint can run campaigns one at a time (emitting each outcome over
+/// the status pipe as it completes) under exactly the same isolation,
+/// timing, and observability accounting as the thread scheduler.
+///
+/// `i` is the campaign's **global** index in the sweep (heartbeats and
+/// chaos injection are keyed by it), which may differ from the local
+/// position when a worker runs a resumed or sharded subset.
+pub fn run_campaign_isolated<I, T, F>(
+    i: usize,
+    item: I,
+    deadline: Deadline,
+    worker: &F,
+) -> CampaignRun<T>
+where
+    F: Fn(usize, I) -> Result<T, ChainError>,
+{
+    // Re-stamp the heartbeat with the global index: the scheduler's bracket
+    // stamped the local enumeration position, which is only correct for a
+    // full-corpus sweep.
+    obs::worker::begin(i as u64);
+    let start = Instant::now();
+    let outcome = run_one_isolated(i, item, deadline, worker);
+    let elapsed = start.elapsed();
+    obs::inc(outcome_counter(outcome.kind()));
+    obs::global().observe(obs::Histogram::CampaignWallSeconds, elapsed);
+    CampaignRun { outcome, elapsed }
 }
 
 /// [`run_jobs_isolated`] that additionally reports every non-completing

@@ -36,9 +36,11 @@ pub use clock::{CostModel, VirtualClock};
 pub use config::FuzzConfig;
 pub use coverage::{BranchSites, CoverageSeries};
 pub use engine::Engine;
+pub use fleet::journal::{corpus_digest, Journal, JournalMeta, OutcomeRecord};
+pub use fleet::supervisor::{run_supervised, SupervisorOpts};
 pub use fleet::{
-    jobs_from_env, run_jobs, run_jobs_isolated, run_jobs_isolated_with_sink, run_jobs_timed,
-    CampaignOutcome, CampaignRun, FleetStats,
+    jobs_from_env, run_campaign_isolated, run_jobs, run_jobs_isolated, run_jobs_isolated_with_sink,
+    run_jobs_timed, CampaignOutcome, CampaignRun, FleetStats,
 };
 pub use harness::{PreparedTarget, TargetInfo};
 pub use obs_bridge::{MirrorSink, MonitorHandle, MonitorReport, ProgressMonitor};

@@ -89,6 +89,7 @@ impl<S: TelemetrySink> TelemetrySink for MirrorSink<S> {
             TelemetryEvent::CampaignAborted { outcome, .. } => reg.inc(match outcome.as_str() {
                 "panicked" => Counter::CampaignsPanicked,
                 "timed-out" => Counter::CampaignsTimedOut,
+                "crashed" => Counter::CampaignsCrashed,
                 _ => Counter::CampaignsFailed,
             }),
         }
@@ -108,6 +109,12 @@ pub struct MonitorReport {
     pub panicked: u64,
     /// Campaigns cut off by the fleet deadline so far.
     pub timed_out: u64,
+    /// Campaigns lost with a dead worker process (retries exhausted).
+    pub crashed: u64,
+    /// Worker subprocess re-dispatches by the supervisor so far.
+    pub worker_restarts: u64,
+    /// Heartbeat slot-aliasing events (worker count exceeded the table).
+    pub hb_overflow: u64,
     /// Campaigns scheduled in the sweep (0 when unknown).
     pub total: u64,
     /// Seeds executed per wall-clock second since the monitor started.
@@ -127,7 +134,7 @@ pub struct MonitorReport {
 impl MonitorReport {
     /// Campaigns retired (any outcome).
     pub fn done(&self) -> u64 {
-        self.ok + self.failed + self.panicked + self.timed_out
+        self.ok + self.failed + self.panicked + self.timed_out + self.crashed
     }
 }
 
@@ -135,7 +142,7 @@ impl fmt::Display for MonitorReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{} campaigns (ok {}, failed {}, panicked {}, timed-out {})",
+            "{}/{} campaigns (ok {}, failed {}, panicked {}, timed-out {}",
             self.done(),
             self.total,
             self.ok,
@@ -143,13 +150,22 @@ impl fmt::Display for MonitorReport {
             self.panicked,
             self.timed_out
         )?;
+        if self.crashed > 0 {
+            write!(f, ", crashed {}", self.crashed)?;
+        }
         write!(
             f,
-            " | {:.0} exec/s | cov {:.1}% | cache {:.0}%",
+            ") | {:.0} exec/s | cov {:.1}% | cache {:.0}%",
             self.exec_per_sec,
             self.coverage_pct,
             self.cache_hit_rate * 100.0
         )?;
+        if self.worker_restarts > 0 {
+            write!(f, " | restarts {}", self.worker_restarts)?;
+        }
+        if self.hb_overflow > 0 {
+            write!(f, " | hb-overflow {}", self.hb_overflow)?;
+        }
         if let Some(eta) = self.eta {
             write!(f, " | eta {}s", eta.as_secs())?;
         }
@@ -200,7 +216,9 @@ impl ProgressMonitor {
         let failed = reg.counter(Counter::CampaignsFailed);
         let panicked = reg.counter(Counter::CampaignsPanicked);
         let timed_out = reg.counter(Counter::CampaignsTimedOut);
-        let done = ok + failed + panicked + timed_out;
+        let crashed = reg.counter(Counter::CampaignsCrashed);
+        let worker_restarts = reg.counter(Counter::WorkerRestarts);
+        let done = ok + failed + panicked + timed_out + crashed;
 
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let seeds = reg.counter(Counter::SeedsExecuted);
@@ -217,12 +235,17 @@ impl ProgressMonitor {
 
         let stalled = obs::heartbeats().stalled(self.stall_threshold.as_millis() as u64);
         reg.gauge_set(Gauge::StalledCampaigns, stalled.len() as u64);
+        let hb_overflow = obs::heartbeats().overflowed();
+        reg.gauge_set(Gauge::HeartbeatOverflow, hb_overflow);
 
         MonitorReport {
             ok,
             failed,
             panicked,
             timed_out,
+            crashed,
+            worker_restarts,
+            hb_overflow,
             total: self.total,
             exec_per_sec: seeds as f64 / elapsed,
             coverage_pct: if sites == 0 {
@@ -338,7 +361,7 @@ pub fn metrics_json(m: &Metrics) -> String {
         "wasai_campaigns_total{outcome=\"ok\"}",
         m.finished,
     );
-    for tag in ["failed", "panicked", "timed-out"] {
+    for tag in ["failed", "panicked", "timed-out", "crashed"] {
         field(
             &mut out,
             &format!("wasai_campaigns_total{{outcome=\"{tag}\"}}"),
@@ -529,6 +552,9 @@ mod tests {
             failed: 1,
             panicked: 0,
             timed_out: 0,
+            crashed: 1,
+            worker_restarts: 2,
+            hb_overflow: 0,
             total: 8,
             exec_per_sec: 120.0,
             coverage_pct: 42.5,
@@ -543,8 +569,14 @@ mod tests {
             }],
         };
         let line = report.to_string();
-        assert!(line.contains("4/8 campaigns"), "{line}");
+        assert!(line.contains("5/8 campaigns"), "{line}");
         assert!(line.contains("ok 3"), "{line}");
+        assert!(line.contains(", crashed 1)"), "{line}");
+        assert!(line.contains("| restarts 2"), "{line}");
+        assert!(
+            !line.contains("hb-overflow"),
+            "zero overflow stays quiet: {line}"
+        );
         assert!(line.contains("cov 42.5%"), "{line}");
         assert!(line.contains("cache 25%"), "{line}");
         assert!(line.contains("eta 9s"), "{line}");

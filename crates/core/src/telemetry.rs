@@ -903,6 +903,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parse one flat JSON object line (string/unsigned-number/decimal/boolean

@@ -173,6 +173,67 @@ fn escape_json_key(k: &str) -> String {
     out
 }
 
+/// One parsed sample from a Prometheus text exposition page: the full
+/// series name (family plus rendered label set, exactly as emitted) and its
+/// value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Series name including any `{label="value"}` suffix.
+    pub series: String,
+    /// Sample value. `+Inf`/`-Inf`/`NaN` parse to the matching float.
+    pub value: f64,
+}
+
+/// Parse a Prometheus text exposition page back into samples — the inverse
+/// of [`render_prometheus`] for the subset this crate emits (no timestamps,
+/// single-label series). Comment and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (missing value
+/// separator or unparsable sample value) instead of panicking, so
+/// round-trip consumers — tests, scrape post-processors — degrade cleanly
+/// on garbage input.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is the token after the last space *outside* a label
+        // set: label values may themselves contain spaces, so split at the
+        // last space after the closing brace (or the last space when there
+        // are no labels).
+        let split_at = match line.rfind('}') {
+            Some(brace) => line[brace..].find(' ').map(|off| brace + off),
+            None => line.rfind(' '),
+        };
+        let (series, value) = match split_at {
+            Some(i) if i + 1 < line.len() => (&line[..i], line[i + 1..].trim()),
+            _ => {
+                return Err(format!(
+                    "line {}: expected `series value`, got {raw:?}",
+                    lineno + 1
+                ))
+            }
+        };
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|e| format!("line {}: bad sample value {v:?}: {e}", lineno + 1))?,
+        };
+        out.push(Sample {
+            series: series.trim().to_string(),
+            value,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,25 +303,66 @@ mod tests {
         for us in [10, 150, 2_000, 2_000, 50_000, 2_000_000, 90_000_000] {
             r.observe_us(Histogram::SolveWallSeconds, us);
         }
-        let text = render_prometheus(&r);
-        let mut prev = 0u64;
+        let samples = parse_prometheus(&render_prometheus(&r)).expect("well-formed exposition");
+        let mut prev = 0.0f64;
         let mut inf = None;
         let mut count = None;
-        for line in text.lines() {
-            if let Some(rest) = line.strip_prefix("wasai_solve_wall_seconds_bucket{le=\"") {
-                let (le, val) = rest.split_once("\"} ").unwrap();
-                let v: u64 = val.parse().unwrap();
-                assert!(v >= prev, "bucket le={le} decreased: {v} < {prev}");
-                prev = v;
+        for s in &samples {
+            if let Some(rest) = s
+                .series
+                .strip_prefix("wasai_solve_wall_seconds_bucket{le=\"")
+            {
+                let le = rest.trim_end_matches("\"}");
+                assert!(
+                    s.value >= prev,
+                    "bucket le={le} decreased: {} < {prev}",
+                    s.value
+                );
+                prev = s.value;
                 if le == "+Inf" {
-                    inf = Some(v);
+                    inf = Some(s.value);
                 }
-            } else if let Some(v) = line.strip_prefix("wasai_solve_wall_seconds_count ") {
-                count = Some(v.parse::<u64>().unwrap());
+            } else if s.series == "wasai_solve_wall_seconds_count" {
+                count = Some(s.value);
             }
         }
-        assert_eq!(inf, Some(7));
-        assert_eq!(count, Some(7), "le=\"+Inf\" must equal _count");
+        assert_eq!(inf, Some(7.0));
+        assert_eq!(count, Some(7.0), "le=\"+Inf\" must equal _count");
+    }
+
+    #[test]
+    fn parser_round_trips_the_full_page() {
+        let r = enabled_registry();
+        r.add(Counter::SeedsExecuted, 17);
+        r.observe_us(Histogram::ReplayWallSeconds, 1_000);
+        let samples = parse_prometheus(&render_prometheus(&r)).expect("well-formed exposition");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.series == name)
+                .map(|s| s.value)
+                .unwrap_or(f64::NAN)
+        };
+        assert_eq!(get("wasai_seeds_executed_total"), 17.0);
+        assert_eq!(get("wasai_campaigns_total{outcome=\"ok\"}"), 0.0);
+        assert_eq!(get("wasai_replay_wall_seconds_count"), 1.0);
+        assert_eq!(get("wasai_replay_wall_seconds_bucket{le=\"+Inf\"}"), 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input_without_panicking() {
+        // A bare series with no value used to panic the round-trip parse
+        // (`.unwrap()` on the value); both malformations must now surface
+        // as errors naming the offending line.
+        let err = parse_prometheus("wasai_seeds_executed_total\n").expect_err("no value");
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_prometheus("ok_metric 1\nwasai_seeds_executed_total forty-two\n")
+            .expect_err("non-numeric value");
+        assert!(err.contains("line 2") && err.contains("forty-two"), "{err}");
+        // Label values containing spaces still parse.
+        let samples = parse_prometheus("m{outcome=\"timed out\"} 3\n").expect("spaced label");
+        assert_eq!(samples[0].series, "m{outcome=\"timed out\"}");
+        assert_eq!(samples[0].value, 3.0);
     }
 
     #[test]

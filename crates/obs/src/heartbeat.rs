@@ -63,6 +63,20 @@ impl Stage {
             _ => Stage::Campaign,
         }
     }
+
+    /// Parse a stage marker string back into a code; unknown names map to
+    /// [`Stage::Campaign`], mirroring [`Stage::from_code`]. Used by the
+    /// supervisor when it re-stamps heartbeat lines relayed from worker
+    /// processes.
+    pub fn from_name(name: &str) -> Stage {
+        match name {
+            "execute" => Stage::Execute,
+            "replay" => Stage::Replay,
+            "solve" => Stage::Solve,
+            "prepare" => Stage::Prepare,
+            _ => Stage::Campaign,
+        }
+    }
 }
 
 /// One worker's heartbeat slot.
@@ -104,12 +118,33 @@ pub struct StallReport {
     pub ticks: u64,
 }
 
+/// A point-in-time reading of one active heartbeat slot, as returned by
+/// [`HeartbeatTable::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotReading {
+    /// Worker slot index.
+    pub slot: usize,
+    /// Campaign index running on the slot.
+    pub campaign: u64,
+    /// Progress ticks since the campaign began.
+    pub ticks: u64,
+    /// Milliseconds since the table epoch at the last tick.
+    pub last_ms: u64,
+    /// Stage the worker was last seen in.
+    pub stage: Stage,
+}
+
 /// Fixed-size table of worker heartbeat slots.
 #[derive(Debug)]
 pub struct HeartbeatTable {
     slots: [Slot; MAX_SLOTS],
     /// Next slot to hand out; wraps at [`MAX_SLOTS`].
     next: AtomicUsize,
+    /// Workers that claimed a slot after the table was full — their
+    /// heartbeats alias an earlier worker's slot, so the stall detector
+    /// cannot see them individually. Surfaced in the progress line instead
+    /// of being dropped silently.
+    overflow: AtomicU64,
 }
 
 impl HeartbeatTable {
@@ -121,6 +156,7 @@ impl HeartbeatTable {
         HeartbeatTable {
             slots: [S; MAX_SLOTS],
             next: AtomicUsize::new(0),
+            overflow: AtomicU64::new(0),
         }
     }
 
@@ -140,13 +176,29 @@ impl HeartbeatTable {
 
     /// Claim a slot for the calling worker thread. Returns the slot index
     /// to pass to the other methods.
+    ///
+    /// Claims beyond [`MAX_SLOTS`] wrap (the worker shares an earlier
+    /// worker's slot) and are counted in [`HeartbeatTable::overflowed`] so
+    /// the aliasing is visible instead of silent.
     pub fn claim_slot(&self) -> usize {
-        self.next.fetch_add(1, Ordering::Relaxed) % MAX_SLOTS
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        if n >= MAX_SLOTS {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        n % MAX_SLOTS
+    }
+
+    /// Workers that claimed a slot after the table was full (their
+    /// heartbeats alias earlier slots and are invisible to the stall
+    /// detector individually).
+    pub fn overflowed(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Reset slot assignment so the next sweep's workers start from slot 0.
     pub fn reset(&self) {
         self.next.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
         for s in &self.slots {
             s.campaign.store(IDLE, Ordering::Relaxed);
             s.ticks.store(0, Ordering::Relaxed);
@@ -193,6 +245,27 @@ impl HeartbeatTable {
             .iter()
             .filter(|s| s.campaign.load(Ordering::Relaxed) != IDLE)
             .count()
+    }
+
+    /// Point-in-time readings of every active (non-idle) slot, in slot
+    /// order. Used by the supervised fleet's worker processes to relay
+    /// their heartbeats over the status pipe.
+    pub fn snapshot(&self) -> Vec<SlotReading> {
+        let mut out = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            let campaign = s.campaign.load(Ordering::Relaxed);
+            if campaign == IDLE {
+                continue;
+            }
+            out.push(SlotReading {
+                slot: i,
+                campaign,
+                ticks: s.ticks.load(Ordering::Relaxed),
+                last_ms: s.last_ms.load(Ordering::Relaxed),
+                stage: Stage::from_code(s.stage.load(Ordering::Relaxed)),
+            });
+        }
+        out
     }
 
     /// Scan for campaigns whose last tick is older than `threshold_ms`.
@@ -279,6 +352,54 @@ mod tests {
         t.reset();
         assert_eq!(t.claim_slot(), 0);
         assert_eq!(t.running(), 0);
+    }
+
+    #[test]
+    fn claims_beyond_capacity_are_counted_not_dropped() {
+        let t = HeartbeatTable::new();
+        for _ in 0..MAX_SLOTS {
+            t.claim_slot();
+        }
+        assert_eq!(t.overflowed(), 0);
+        assert_eq!(t.claim_slot(), 0, "claim past the cap wraps to slot 0");
+        t.claim_slot();
+        assert_eq!(t.overflowed(), 2);
+        t.reset();
+        assert_eq!(t.overflowed(), 0);
+    }
+
+    #[test]
+    fn snapshot_reads_active_slots_in_order() {
+        let t = HeartbeatTable::new();
+        let a = t.claim_slot();
+        let b = t.claim_slot();
+        t.begin(a, 10);
+        t.begin(b, 11);
+        t.tick(b);
+        t.set_stage(b, Stage::Replay);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].campaign, 10);
+        assert_eq!(snap[0].ticks, 0);
+        assert_eq!(snap[1].campaign, 11);
+        assert_eq!(snap[1].ticks, 1);
+        assert_eq!(snap[1].stage, Stage::Replay);
+        t.end(a);
+        assert_eq!(t.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn stage_names_round_trip_through_from_name() {
+        for s in [
+            Stage::Campaign,
+            Stage::Execute,
+            Stage::Replay,
+            Stage::Solve,
+            Stage::Prepare,
+        ] {
+            assert_eq!(Stage::from_name(s.name()), s);
+        }
+        assert_eq!(Stage::from_name("weird"), Stage::Campaign);
     }
 
     #[test]

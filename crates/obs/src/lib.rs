@@ -35,7 +35,7 @@ pub mod heartbeat;
 pub mod http;
 pub mod registry;
 
-pub use heartbeat::{HeartbeatTable, Stage, StallReport};
+pub use heartbeat::{HeartbeatTable, SlotReading, Stage, StallReport};
 pub use registry::{Counter, Gauge, HistSnapshot, Histogram, Registry};
 
 /// The process-wide registry the instrumented hot paths write to.
@@ -141,14 +141,7 @@ pub mod worker {
     #[inline]
     pub fn set_stage_name(name: &str) {
         if enabled() {
-            let stage = match name {
-                "execute" => Stage::Execute,
-                "replay" => Stage::Replay,
-                "solve" => Stage::Solve,
-                "prepare" => Stage::Prepare,
-                _ => Stage::Campaign,
-            };
-            heartbeats().set_stage(slot(), stage);
+            heartbeats().set_stage(slot(), Stage::from_name(name));
         }
     }
 

@@ -78,6 +78,19 @@ metric_enum! {
         CampaignsPanicked,
         /// `wasai_campaigns_total{outcome="timed-out"}`
         CampaignsTimedOut,
+        /// `wasai_campaigns_total{outcome="crashed"}` — supervised-mode
+        /// campaigns lost with a worker process after retries were
+        /// exhausted.
+        CampaignsCrashed,
+        /// `wasai_worker_restarts_total` — worker processes re-dispatched by
+        /// the supervisor after a death or stall.
+        WorkerRestarts,
+        /// `wasai_journal_records_total` — campaign outcomes appended to the
+        /// durable journal.
+        JournalRecords,
+        /// `wasai_journal_replayed_total` — journaled outcomes restored by
+        /// `--resume` instead of re-running the campaign.
+        JournalReplayed,
         /// `wasai_iterations_total`
         Iterations,
         /// `wasai_seeds_executed_total`
@@ -124,7 +137,11 @@ impl Counter {
             Counter::CampaignsOk
             | Counter::CampaignsFailed
             | Counter::CampaignsPanicked
-            | Counter::CampaignsTimedOut => "wasai_campaigns_total",
+            | Counter::CampaignsTimedOut
+            | Counter::CampaignsCrashed => "wasai_campaigns_total",
+            Counter::WorkerRestarts => "wasai_worker_restarts_total",
+            Counter::JournalRecords => "wasai_journal_records_total",
+            Counter::JournalReplayed => "wasai_journal_replayed_total",
             Counter::Iterations => "wasai_iterations_total",
             Counter::SeedsExecuted => "wasai_seeds_executed_total",
             Counter::CoverageBranches => "wasai_coverage_branches_total",
@@ -151,6 +168,7 @@ impl Counter {
             Counter::CampaignsFailed => Some(("outcome", "failed")),
             Counter::CampaignsPanicked => Some(("outcome", "panicked")),
             Counter::CampaignsTimedOut => Some(("outcome", "timed-out")),
+            Counter::CampaignsCrashed => Some(("outcome", "crashed")),
             Counter::SmtSat => Some(("outcome", "sat")),
             Counter::SmtUnsat => Some(("outcome", "unsat")),
             Counter::SmtUnknown => Some(("outcome", "unknown")),
@@ -168,7 +186,15 @@ impl Counter {
             Counter::CampaignsOk
             | Counter::CampaignsFailed
             | Counter::CampaignsPanicked
-            | Counter::CampaignsTimedOut => "Campaigns finished, by outcome tag.",
+            | Counter::CampaignsTimedOut
+            | Counter::CampaignsCrashed => "Campaigns finished, by outcome tag.",
+            Counter::WorkerRestarts => {
+                "Worker processes re-dispatched by the fleet supervisor after a death or stall."
+            }
+            Counter::JournalRecords => "Campaign outcomes appended to the durable journal.",
+            Counter::JournalReplayed => {
+                "Journaled campaign outcomes restored by --resume without re-running."
+            }
             Counter::Iterations => "Fuzzing-loop iterations executed.",
             Counter::SeedsExecuted => "Seeds executed on the local chain.",
             Counter::CoverageBranches => {
@@ -210,6 +236,9 @@ metric_enum! {
         /// `wasai_stalled_campaigns` — campaigns flagged by the stall
         /// detector right now.
         StalledCampaigns,
+        /// `wasai_heartbeat_overflow` — workers sharing (aliasing) a
+        /// heartbeat slot because the table's capacity was exceeded.
+        HeartbeatOverflow,
     }
 }
 
@@ -221,6 +250,7 @@ impl Gauge {
             Gauge::FleetCampaigns => "wasai_fleet_campaigns",
             Gauge::CampaignsRunning => "wasai_campaigns_running",
             Gauge::StalledCampaigns => "wasai_stalled_campaigns",
+            Gauge::HeartbeatOverflow => "wasai_heartbeat_overflow",
         }
     }
 
@@ -231,6 +261,9 @@ impl Gauge {
             Gauge::CampaignsRunning => "Campaigns currently executing on a worker.",
             Gauge::StalledCampaigns => {
                 "Campaigns currently flagged by the heartbeat stall detector."
+            }
+            Gauge::HeartbeatOverflow => {
+                "Workers aliasing a heartbeat slot because the table's capacity was exceeded."
             }
         }
     }

@@ -3,7 +3,8 @@
 //! ```text
 //! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]
 //!                                                 analyze a contract binary
-//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE] [obs flags]
+//! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]
+//!                       [--procs N] [--journal FILE] [--resume FILE] [obs flags]
 //!                                                 analyze every *.wasm in a directory
 //! wasai stats     <trace-or-triage.jsonl> [--format table|json]
 //!                                                 summarize a telemetry trace or triage report
@@ -47,6 +48,29 @@
 //! the trace is byte-identical for every `WASAI_JOBS` value. `wasai stats`
 //! renders either file kind as a human-readable table.
 //!
+//! `--procs N` (or `WASAI_PROCS`) promotes fault isolation from threads to
+//! **processes**: a supervisor shards the corpus across N `audit-worker`
+//! subprocesses (each running the thread fleet internally on
+//! `WASAI_JOBS / N` threads) and merges their streamed outcome records.
+//! A worker that dies or stalls is re-dispatched with only its unfinished
+//! campaigns (bounded exponential backoff; `WASAI_MAX_ATTEMPTS`,
+//! `WASAI_RETRY_BACKOFF_MS`, `WASAI_WORKER_STALL_SECS` tune it) and
+//! campaigns that outlive every retry are triaged as `crashed`. Because
+//! campaign seeds depend only on the sweep seed and the campaign's index,
+//! verdicts and triage are byte-identical to a single-process run at any
+//! `--procs` value and any kill schedule.
+//!
+//! `--journal FILE` additionally appends each completed campaign's outcome
+//! record to a durable JSONL journal (fsync'd per record, digest-checked);
+//! `--resume FILE` is the same flag with intent spelled out: if FILE
+//! already holds records from an interrupted sweep of the same corpus and
+//! seed, those campaigns are restored without re-running and only the
+//! unfinished remainder executes. A torn final line (the power-loss case)
+//! is dropped and rewritten; any other corruption is a hard error. The
+//! aggregate report after a resume is byte-identical to an uninterrupted
+//! run. `audit-worker` is the internal worker entrypoint spawned by
+//! `--procs`; it is not part of the public interface.
+//!
 //! Exit codes: `0` — sweep completed, every contract audited cleanly (the
 //! contracts may still be *vulnerable*; findings are verdicts, not errors);
 //! `2` — sweep completed but at least one contract failed, panicked, or
@@ -63,12 +87,16 @@
 
 use std::fs;
 use std::io::IsTerminal;
-use std::process::ExitCode;
+use std::path::{Path, PathBuf};
+use std::process::{ExitCode, Stdio};
 use std::time::Duration;
 
 use wasai::prelude::*;
 use wasai::wasai_chain::ChainError;
-use wasai::wasai_core::fleet::{self, stage, CampaignOutcome};
+use wasai::wasai_core::chaos;
+use wasai::wasai_core::fleet::journal::{Journal, JournalMeta, OutcomeRecord};
+use wasai::wasai_core::fleet::supervisor::{run_supervised, SupervisorOpts};
+use wasai::wasai_core::fleet::{self, stage, CampaignOutcome, CampaignRun};
 use wasai::wasai_core::obs_bridge::{self, ProgressMonitor};
 use wasai::wasai_core::telemetry::{self, json_escape, Metrics, TelemetryEvent};
 use wasai::wasai_corpus::wild_corpus;
@@ -162,15 +190,31 @@ fn obs_start(opts: &ObsOpts, total: u64) -> Result<ObsSession, String> {
     if addr.is_some() || opts.metrics_dump.is_some() || progress {
         obs::enable();
     }
-    let server = match addr {
-        Some(a) => {
-            let srv = obs::http::MetricsServer::bind(&a, obs::global())
-                .map_err(|e| format!("--metrics-addr {a}: {e}"))?;
-            eprintln!("metrics listening on http://{}/metrics", srv.local_addr());
-            Some(srv)
+    // A metrics listener that can't come up must not take the audit down
+    // with it: observability is strictly auxiliary to the sweep. An
+    // in-use address gets one retry (the previous run's listener may
+    // still be draining its linger window); after that — or on any other
+    // bind error — warn and run dark.
+    let server = addr.and_then(|a| {
+        let mut attempt = obs::http::MetricsServer::bind(&a, obs::global());
+        if matches!(&attempt, Err(e) if e.kind() == std::io::ErrorKind::AddrInUse) {
+            eprintln!("warning: --metrics-addr {a} is in use; retrying once in 500ms");
+            std::thread::sleep(Duration::from_millis(500));
+            attempt = obs::http::MetricsServer::bind(&a, obs::global());
         }
-        None => None,
-    };
+        match attempt {
+            Ok(srv) => {
+                eprintln!("metrics listening on http://{}/metrics", srv.local_addr());
+                Some(srv)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: --metrics-addr {a}: {e}; continuing without the metrics listener"
+                );
+                None
+            }
+        }
+    });
     let monitor = progress.then(|| {
         ProgressMonitor::new(total, Duration::from_secs_f64(opts.stall_secs.max(0.0)))
             .spawn(Duration::from_millis(500), std::io::stderr().is_terminal())
@@ -306,6 +350,14 @@ struct AuditDirOpts {
     triage_path: Option<String>,
     /// Destination for the JSON-lines telemetry trace.
     trace_path: Option<String>,
+    /// `--procs N`: shard across worker subprocesses (None = `WASAI_PROCS`
+    /// env, else 1 = in-process).
+    procs: Option<usize>,
+    /// `--journal FILE`: durable outcome journal.
+    journal_path: Option<String>,
+    /// `--resume FILE`: journal to FILE and restore any outcomes already
+    /// recorded there.
+    resume_path: Option<String>,
     /// Observability surfaces (metrics listener, dump, progress monitor).
     obs: ObsOpts,
 }
@@ -316,8 +368,33 @@ impl Default for AuditDirOpts {
             deadline_secs: None,
             triage_path: None,
             trace_path: None,
+            procs: None,
+            journal_path: None,
+            resume_path: None,
             obs: ObsOpts::new(),
         }
+    }
+}
+
+impl AuditDirOpts {
+    /// Worker subprocess count: flag, then `WASAI_PROCS`, then 1.
+    fn resolved_procs(&self) -> Result<usize, String> {
+        if let Some(p) = self.procs {
+            return Ok(p.max(1));
+        }
+        match std::env::var("WASAI_PROCS") {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(|p| p.max(1))
+                .map_err(|e| format!("WASAI_PROCS {v:?}: {e}")),
+            Err(_) => Ok(1),
+        }
+    }
+
+    /// The journal destination: `--resume` wins, then `--journal`.
+    fn journal_dest(&self) -> Option<&str> {
+        self.resume_path.as_deref().or(self.journal_path.as_deref())
     }
 }
 
@@ -327,14 +404,17 @@ impl Default for AuditDirOpts {
 /// Returns the documented sweep exit code: `0` when every contract audited
 /// cleanly, `2` when the sweep completed but some contracts failed, panicked
 /// or timed out.
-fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, String> {
-    let mut wasm_paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
+/// Discover the sorted `*.wasm` corpus of `dir` with its contract names.
+///
+/// Sorted order fixes the campaign indices (and thus each campaign's seed),
+/// independent of directory enumeration order — the supervisor, its worker
+/// subprocesses, and a resumed run all see the identical corpus layout.
+fn corpus(dir: &str) -> Result<(Vec<PathBuf>, Vec<String>), String> {
+    let mut wasm_paths: Vec<PathBuf> = fs::read_dir(dir)
         .map_err(|e| format!("{dir}: {e}"))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|ext| ext == "wasm"))
         .collect();
-    // Sorted order fixes the job indices (and thus each campaign's seed),
-    // independent of directory enumeration order.
     wasm_paths.sort();
     if wasm_paths.is_empty() {
         return Err(format!("{dir}: no *.wasm files"));
@@ -347,15 +427,121 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
                 .unwrap_or_default()
         })
         .collect();
+    Ok((wasm_paths, names))
+}
+
+/// Load, decode, and fuzz one contract — the campaign body shared by the
+/// in-process fleet and the `audit-worker` subprocess entrypoint.
+fn audit_campaign(
+    i: usize,
+    path: &Path,
+    seed: u64,
+    deadline: Deadline,
+    tracing: bool,
+    solver_cache: &std::sync::Arc<wasai::wasai_smt::SolverCache>,
+) -> Result<(FuzzReport, Vec<TelemetryEvent>), ChainError> {
+    stage::enter(stage::PREPARE);
+    let bytes = fs::read(path).map_err(|e| ChainError::BadContract(e.to_string()))?;
+    let module = decode::decode(&bytes).map_err(|e| ChainError::BadContract(e.to_string()))?;
+    let abi_path = path.with_extension("abi");
+    let abi_text = fs::read_to_string(&abi_path)
+        .map_err(|e| ChainError::BadContract(format!("{}: {e}", abi_path.display())))?;
+    let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
+    let wasai = Wasai::new(module, abi)
+        .with_config(FuzzConfig {
+            rng_seed: seed ^ (i as u64),
+            deadline,
+            ..FuzzConfig::default()
+        })
+        .with_solver_cache(solver_cache.clone());
+    if tracing {
+        wasai.run_traced()
+    } else {
+        wasai.run().map(|r| (r, Vec::new()))
+    }
+}
+
+/// One campaign's result as a journal-ready outcome record. The record is
+/// the single source for verdict lines, triage lines, the durable journal,
+/// and the worker wire protocol, so every consumer renders identical bytes.
+fn record_from_run(
+    index: usize,
+    name: &str,
+    repro_seed: u64,
+    run: &CampaignRun<(FuzzReport, Vec<TelemetryEvent>)>,
+) -> OutcomeRecord {
+    let (truncated, branches, findings, virtual_us) = match run.outcome.as_ok() {
+        Some((report, _)) => (
+            report.truncated,
+            report.branches as u64,
+            report
+                .findings
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            report.virtual_us,
+        ),
+        // Timed-out campaigns report as truncated, like a deadline-cut
+        // in-campaign run would.
+        None => (
+            matches!(run.outcome, CampaignOutcome::TimedOut { .. }),
+            0,
+            String::new(),
+            0,
+        ),
+    };
+    OutcomeRecord {
+        index,
+        contract: name.to_string(),
+        outcome: run.outcome.kind().to_string(),
+        stage: run.outcome.stage().to_string(),
+        detail: run.outcome.detail(),
+        seed: repro_seed,
+        truncated,
+        branches,
+        findings,
+        virtual_us,
+        elapsed_ms: run.elapsed.as_millis() as u64,
+    }
+}
+
+fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, String> {
+    let (wasm_paths, names) = corpus(dir)?;
     let jobs = wasai::wasai_core::jobs_from_env();
+    let procs = opts.resolved_procs()?;
+    // Telemetry events do not cross the worker-process boundary, and a
+    // resumed sweep skips journaled campaigns — either way the merged trace
+    // would be incomplete, so refuse the combination up front.
+    if opts.trace_path.is_some() {
+        if procs > 1 {
+            return Err(
+                "--trace-out is incompatible with --procs > 1 (telemetry events stay \
+                 inside the worker processes); drop one of the two"
+                    .to_string(),
+            );
+        }
+        if opts.journal_dest().is_some() {
+            return Err(
+                "--trace-out is incompatible with --journal/--resume (a resumed sweep \
+                 skips journaled campaigns, leaving the trace incomplete)"
+                    .to_string(),
+            );
+        }
+    }
     let deadline = match opts.deadline_secs {
         Some(secs) if secs > 0.0 => Deadline::after_secs(secs),
         Some(_) => Deadline::NONE,
         None => fleet::deadline_from_env(),
     };
     eprintln!(
-        "auditing {} contracts from {dir} on {jobs} worker(s){}",
+        "auditing {} contracts from {dir} on {jobs} worker(s){}{}",
         wasm_paths.len(),
+        if procs > 1 {
+            format!(" across {procs} process(es)")
+        } else {
+            String::new()
+        },
         match deadline.remaining() {
             Some(d) => format!(", deadline {:.1}s", d.as_secs_f64()),
             None => String::new(),
@@ -367,105 +553,213 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
     // Campaigns run traced only when a trace destination was requested;
     // untraced sweeps attach no sink at all and behave exactly as before.
     let tracing = opts.trace_path.is_some();
-    // All campaigns share one solver query cache: contracts in a sweep often
-    // repeat guard shapes, and a fleet hit replays the exact result a fresh
-    // solve would produce, so the triage and trace stay byte-identical.
-    let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
-    let runs = fleet::run_jobs_isolated(jobs, wasm_paths, deadline, |i, path| {
-        stage::enter(stage::PREPARE);
-        let bytes = fs::read(&path).map_err(|e| ChainError::BadContract(e.to_string()))?;
-        let module = decode::decode(&bytes).map_err(|e| ChainError::BadContract(e.to_string()))?;
-        let abi_path = path.with_extension("abi");
-        let abi_text = fs::read_to_string(&abi_path)
-            .map_err(|e| ChainError::BadContract(format!("{}: {e}", abi_path.display())))?;
-        let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
-        let wasai = Wasai::new(module, abi)
-            .with_config(FuzzConfig {
-                rng_seed: seed ^ (i as u64),
-                deadline,
-                ..FuzzConfig::default()
-            })
-            .with_solver_cache(solver_cache.clone());
-        if tracing {
-            wasai.run_traced()
-        } else {
-            wasai.run().map(|r| (r, Vec::new()))
+
+    // Every campaign outcome lands in its index-keyed slot: freshly run,
+    // streamed from a worker subprocess, or restored from a journal. The
+    // report is rendered from the slots alone, so all three sources
+    // produce identical bytes.
+    let meta = JournalMeta::new(seed, &names);
+    let mut slots: Vec<Option<OutcomeRecord>> = names.iter().map(|_| None).collect();
+    let mut journal = None;
+    if let Some(path) = opts.journal_dest() {
+        let (j, restored) = Journal::open_or_resume(Path::new(path), &meta)?;
+        if !restored.is_empty() {
+            obs::add(obs::Counter::JournalReplayed, restored.len() as u64);
+            eprintln!(
+                "resume: restored {} of {} campaign outcome(s) from {path}; {} left to run",
+                restored.len(),
+                names.len(),
+                names.len() - restored.len()
+            );
         }
-    });
+        for rec in restored {
+            let idx = rec.index;
+            slots[idx] = Some(rec);
+        }
+        journal = Some(j);
+    }
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+
+    let mut trace_lines = Vec::new();
+    if pending.is_empty() {
+        eprintln!("resume: every campaign is already journaled; rendering the report");
+    } else if procs <= 1 {
+        // In-process thread fleet over the pending campaigns. All campaigns
+        // share one solver query cache: contracts in a sweep often repeat
+        // guard shapes, and a fleet hit replays the exact result a fresh
+        // solve would produce, so the triage and trace stay byte-identical.
+        let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
+        let audit_one = |i: usize, path: PathBuf| {
+            audit_campaign(i, &path, seed, deadline, tracing, &solver_cache)
+        };
+        let journal_cell = journal.take().map(std::sync::Mutex::new);
+        let items: Vec<(usize, PathBuf)> = pending
+            .iter()
+            .map(|&i| (i, wasm_paths[i].clone()))
+            .collect();
+        let outs = fleet::run_jobs(jobs, items, |_, (gi, path)| {
+            let run = fleet::run_campaign_isolated(gi, path, deadline, &audit_one);
+            let rec = record_from_run(gi, &names[gi], seed ^ gi as u64, &run);
+            if let Some(cell) = &journal_cell {
+                let mut j = cell.lock().unwrap_or_else(|p| p.into_inner());
+                if let Err(e) = j.append(&rec) {
+                    eprintln!("warning: journal append failed: {e}");
+                }
+            }
+            (rec, run)
+        });
+        journal = journal_cell.map(|c| c.into_inner().unwrap_or_else(|p| p.into_inner()));
+        for (rec, run) in outs {
+            if tracing {
+                match &run.outcome {
+                    CampaignOutcome::Ok((_, events)) => {
+                        trace_lines.extend(events.iter().map(|ev| ev.to_jsonl(rec.index)));
+                    }
+                    other => {
+                        // Aborted campaigns leave a structured marker in the
+                        // trace, mirroring `run_jobs_isolated_with_sink`.
+                        trace_lines.push(
+                            TelemetryEvent::CampaignAborted {
+                                campaign: rec.index,
+                                stage: other.stage().to_string(),
+                                outcome: other.kind().to_string(),
+                                vtime: 0,
+                            }
+                            .to_jsonl(rec.index),
+                        );
+                    }
+                }
+            }
+            let idx = rec.index;
+            slots[idx] = Some(rec);
+        }
+    } else {
+        // Supervised subprocess fleet: shard the pending campaigns across
+        // `procs` audit-worker children, each running the thread fleet on
+        // its share of the job budget.
+        let exe = std::env::current_exe().map_err(|e| format!("resolving own executable: {e}"))?;
+        let worker_jobs = (jobs / procs).max(1);
+        let chaos_spec = std::env::var("WASAI_CHAOS").ok();
+        let env_parse = |name: &str, default: f64| -> Result<f64, String> {
+            match std::env::var(name) {
+                Ok(v) => v.trim().parse().map_err(|e| format!("{name} {v:?}: {e}")),
+                Err(_) => Ok(default),
+            }
+        };
+        let max_attempts = env_parse("WASAI_MAX_ATTEMPTS", 3.0)?.max(1.0) as u32;
+        let backoff_ms = env_parse("WASAI_RETRY_BACKOFF_MS", 100.0)?.max(0.0);
+        let stall_secs = env_parse("WASAI_WORKER_STALL_SECS", 120.0)?;
+        let sup = SupervisorOpts {
+            procs,
+            max_attempts,
+            backoff: Duration::from_millis(backoff_ms as u64),
+            stall_timeout: (stall_secs > 0.0).then(|| Duration::from_secs_f64(stall_secs)),
+            poll: Duration::from_millis(25),
+        };
+        let deadline_secs = opts.deadline_secs;
+        let spawn = |attempt: u32, indices: &[usize]| {
+            let csv: Vec<String> = indices.iter().map(ToString::to_string).collect();
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("audit-worker")
+                .arg(dir)
+                .arg("--seed")
+                .arg(seed.to_string())
+                .arg("--indices")
+                .arg(csv.join(","))
+                .env("WASAI_JOBS", worker_jobs.to_string())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            if let Some(secs) = deadline_secs {
+                cmd.arg("--deadline-secs").arg(secs.to_string());
+            }
+            if attempt > 1 {
+                // Proc-level chaos faults fire at most once: strip them
+                // from the environment of re-dispatched workers so a
+                // `kill@i` doesn't re-kill every retry.
+                if let Some(stripped) = chaos_spec
+                    .as_deref()
+                    .and_then(|s| chaos::ChaosPlan::parse(s).ok())
+                    .map(|p| p.without_proc_faults().to_string())
+                {
+                    cmd.env("WASAI_CHAOS", stripped);
+                }
+            }
+            cmd.spawn()
+        };
+        let journal_cell = journal.take().map(std::cell::RefCell::new);
+        let records = run_supervised(&sup, &names, seed, &pending, spawn, |rec| {
+            if let Some(cell) = &journal_cell {
+                if let Err(e) = cell.borrow_mut().append(rec) {
+                    eprintln!("warning: journal append failed: {e}");
+                }
+            }
+        })?;
+        journal = journal_cell.map(|c| c.into_inner());
+        for rec in records {
+            let idx = rec.index;
+            slots[idx] = Some(rec);
+        }
+    }
     let wall = start.elapsed();
     obs_finish(session, &opts.obs)?;
+    drop(journal);
 
+    // Render the report from the index-keyed slots. Per-contract failures
+    // (including crashed shards) are triaged, not fatal: a sweep survives
+    // malformed, panicking, hanging, or worker-killing binaries.
     let mut vulnerable = 0usize;
     let mut clean = 0usize;
     let mut failures = 0usize;
-    let mut triage_lines = Vec::with_capacity(runs.len());
-    let mut trace_lines = Vec::new();
-    for (i, (name, run)) in names.iter().zip(&runs).enumerate() {
-        let repro_seed = seed ^ (i as u64);
-        match &run.outcome {
-            CampaignOutcome::Ok((report, events)) => {
-                let truncated = if report.truncated { ", truncated" } else { "" };
-                if report.findings.is_empty() {
-                    clean += 1;
-                    println!("{name}: clean ({} branches{truncated})", report.branches);
-                } else {
-                    vulnerable += 1;
-                    let classes: Vec<String> =
-                        report.findings.iter().map(|c| c.to_string()).collect();
-                    println!("{name}: VULNERABLE — {}{truncated}", classes.join(", "));
-                }
-                if tracing {
-                    trace_lines.extend(events.iter().map(|ev| ev.to_jsonl(i)));
-                }
+    let mut triage_lines = Vec::with_capacity(slots.len());
+    let mut virtual_us = 0u64;
+    for (i, slot) in slots.iter().enumerate() {
+        let Some(rec) = slot else {
+            return Err(format!(
+                "internal error: campaign {i} finished without an outcome record"
+            ));
+        };
+        if rec.outcome == "ok" {
+            let truncated = if rec.truncated { ", truncated" } else { "" };
+            if rec.findings.is_empty() {
+                clean += 1;
+                println!(
+                    "{}: clean ({} branches{truncated})",
+                    rec.contract, rec.branches
+                );
+            } else {
+                vulnerable += 1;
+                println!("{}: VULNERABLE — {}{truncated}", rec.contract, rec.findings);
             }
-            other => {
-                // Per-contract failures are triaged, not fatal: a sweep
-                // survives one malformed, panicking, or hanging binary.
-                failures += 1;
-                println!("{name}: {} — {}", other.kind(), other.detail());
-                if tracing {
-                    // Aborted campaigns leave a structured marker in the
-                    // trace, mirroring `run_jobs_isolated_with_sink`.
-                    trace_lines.push(
-                        TelemetryEvent::CampaignAborted {
-                            campaign: i,
-                            stage: other.stage().to_string(),
-                            outcome: other.kind().to_string(),
-                            vtime: 0,
-                        }
-                        .to_jsonl(i),
-                    );
-                }
-            }
+            virtual_us += rec.virtual_us;
+        } else {
+            failures += 1;
+            println!("{}: {} — {}", rec.contract, rec.outcome, rec.detail);
         }
-        let truncated = run
-            .outcome
-            .as_ok()
-            .map(|(r, _)| r.truncated)
-            .unwrap_or(matches!(run.outcome, CampaignOutcome::TimedOut { .. }));
         triage_lines.push(format!(
-            "{{\"contract\":\"{}\",\"index\":{i},\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{repro_seed},\"truncated\":{truncated},\"elapsed_ms\":{}}}",
-            json_escape(name),
-            run.outcome.kind(),
-            run.outcome.stage(),
-            json_escape(&run.outcome.detail()),
-            run.elapsed.as_millis(),
+            "{{\"contract\":\"{}\",\"index\":{i},\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{},\"truncated\":{},\"elapsed_ms\":{}}}",
+            json_escape(&rec.contract),
+            rec.outcome,
+            rec.stage,
+            json_escape(&rec.detail),
+            rec.seed,
+            rec.truncated,
+            rec.elapsed_ms,
         ));
     }
 
     let stats = wasai::wasai_core::FleetStats {
         jobs: jobs.max(1),
-        campaigns: runs.len(),
-        virtual_us: runs
-            .iter()
-            .filter_map(|r| r.outcome.as_ok())
-            .map(|(r, _)| r.virtual_us)
-            .sum(),
+        campaigns: slots.len(),
+        virtual_us,
         wall,
     };
     println!(
         "\n{} contracts: {} vulnerable, {} clean, {} failed",
-        runs.len(),
+        slots.len(),
         vulnerable,
         clean,
         failures,
@@ -494,6 +788,136 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
     } else {
         ExitCode::from(2)
     })
+}
+
+/// The internal worker entrypoint behind `audit-dir --procs` (spawned by
+/// the supervisor, never meant to be typed by hand): audit the given
+/// campaign indices of `dir`'s sorted corpus on the in-process thread
+/// fleet, streaming the status protocol on stdout — one digest-checked
+/// outcome record per completed campaign, periodic heartbeat and seed-count
+/// relays, and a terminal `{"type":"done"}` marker.
+fn audit_worker(
+    dir: &str,
+    seed: u64,
+    indices: &[usize],
+    deadline_secs: Option<f64>,
+) -> Result<(), String> {
+    let (wasm_paths, names) = corpus(dir)?;
+    if let Some(&bad) = indices.iter().find(|&&i| i >= names.len()) {
+        return Err(format!(
+            "--indices {bad}: corpus has only {} contracts",
+            names.len()
+        ));
+    }
+    // The registry and heartbeat table feed the status relay, so a worker
+    // is always instrumented; the supervisor decides what to surface.
+    obs::enable();
+    let deadline = match deadline_secs {
+        Some(secs) if secs > 0.0 => Deadline::after_secs(secs),
+        Some(_) => Deadline::NONE,
+        None => fleet::deadline_from_env(),
+    };
+    let jobs = wasai::wasai_core::jobs_from_env();
+    let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
+
+    // Heartbeat/stats pump: relay this process's heartbeat table and seed
+    // counter upstream a few times a second. `println!` holds the stdout
+    // lock for the whole call, so protocol lines never interleave; stdout
+    // is line-buffered, so completed lines survive even an abort().
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pump = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            while !stop.load(Ordering::Relaxed) {
+                for r in obs::heartbeats().snapshot() {
+                    println!(
+                        "{{\"type\":\"hb\",\"slot\":{},\"campaign\":{},\"ticks\":{},\"stage\":\"{}\"}}",
+                        r.slot,
+                        r.campaign,
+                        r.ticks,
+                        r.stage.name()
+                    );
+                }
+                println!(
+                    "{{\"type\":\"stats\",\"seeds\":{}}}",
+                    obs::global().counter(obs::Counter::SeedsExecuted)
+                );
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        })
+    };
+
+    let audit_one =
+        |i: usize, path: PathBuf| audit_campaign(i, &path, seed, deadline, false, &solver_cache);
+    let items: Vec<(usize, PathBuf)> = indices
+        .iter()
+        .map(|&i| (i, wasm_paths[i].clone()))
+        .collect();
+    fleet::run_jobs(jobs, items, |_, (gi, path)| {
+        // Proc-level chaos faults are honored here, and only here: the
+        // thread scheduler ignores them, so the same WASAI_CHAOS plan run
+        // unsupervised is undisturbed.
+        match chaos::fault_at(gi) {
+            Some(chaos::Fault::KillProc) => {
+                eprintln!("chaos: aborting worker process at campaign {gi}");
+                std::process::abort();
+            }
+            Some(chaos::Fault::StallProc) => {
+                eprintln!("chaos: stalling worker process at campaign {gi}");
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+            _ => {}
+        }
+        let run = fleet::run_campaign_isolated(gi, path, deadline, &audit_one);
+        let rec = record_from_run(gi, &names[gi], seed ^ gi as u64, &run);
+        println!("{}", rec.to_jsonl());
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = pump.join();
+    println!(
+        "{{\"type\":\"stats\",\"seeds\":{}}}",
+        obs::global().counter(obs::Counter::SeedsExecuted)
+    );
+    println!("{{\"type\":\"done\"}}");
+    Ok(())
+}
+
+/// Parse `audit-worker`'s tail: `--seed N --indices CSV [--deadline-secs S]`.
+fn parse_audit_worker_args(rest: &[String]) -> Result<(u64, Vec<usize>, Option<f64>), String> {
+    let mut seed = None;
+    let mut indices = None;
+    let mut deadline = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|e| format!("--seed {v}: {e}"))?);
+            }
+            "--indices" => {
+                let v = it.next().ok_or("--indices needs a comma-separated list")?;
+                let mut list = Vec::new();
+                for part in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    list.push(
+                        part.parse()
+                            .map_err(|e| format!("--indices {part:?}: {e}"))?,
+                    );
+                }
+                indices = Some(list);
+            }
+            "--deadline-secs" => {
+                let v = it.next().ok_or("--deadline-secs needs a value")?;
+                deadline = Some(v.parse().map_err(|e| format!("--deadline-secs {v}: {e}"))?);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok((
+        seed.ok_or("audit-worker needs --seed")?,
+        indices.ok_or("audit-worker needs --indices")?,
+        deadline,
+    ))
 }
 
 fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
@@ -634,6 +1058,18 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
                 let v = it.next().ok_or("--trace-out needs a file path")?;
                 opts.trace_path = Some(v.clone());
             }
+            "--procs" => {
+                let v = it.next().ok_or("--procs needs a count")?;
+                opts.procs = Some(v.parse().map_err(|e| format!("--procs {v}: {e}"))?);
+            }
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a file path")?;
+                opts.journal_path = Some(v.clone());
+            }
+            "--resume" => {
+                let v = it.next().ok_or("--resume needs a journal file path")?;
+                opts.resume_path = Some(v.clone());
+            }
             other if !seed_seen => {
                 seed = other
                     .parse()
@@ -679,7 +1115,7 @@ fn parse_audit_args(rest: &[String]) -> Result<(String, String, Option<String>, 
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE] [obs flags]\n  wasai stats <trace-or-triage.jsonl> [--format table|json]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [obs flags]\n  wasai stats <trace-or-triage.jsonl> [--format table|json]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
     let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
         Some("audit") if args.len() >= 4 => {
             parse_audit_args(&args[2..]).and_then(|(wasm, abi, trace_out, obs_opts)| {
@@ -688,6 +1124,11 @@ fn main() -> ExitCode {
         }
         Some("audit-dir") if args.len() >= 3 => parse_audit_dir_args(&args[3..])
             .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
+        Some("audit-worker") if args.len() >= 3 => {
+            parse_audit_worker_args(&args[3..]).and_then(|(seed, indices, deadline)| {
+                audit_worker(&args[2], seed, &indices, deadline).map(|()| ExitCode::SUCCESS)
+            })
+        }
         Some("stats") if args.len() == 3 => {
             stats_cmd(&args[2], "table").map(|()| ExitCode::SUCCESS)
         }
