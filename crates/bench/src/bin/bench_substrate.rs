@@ -1,0 +1,75 @@
+//! Second-substrate throughput bench (BENCH_substrate.json): CosmWasm
+//! campaign dispatch rate, with the EOSIO engine's seed-execution rate on
+//! the same prepared-artifact pipeline as the reference point.
+//!
+//! Workload: the labeled CosmWasm ground-truth corpus (`cw_corpus`), each
+//! sample run through the full campaign (`--substrate cosmwasm` path:
+//! prepare → probe sweep → random loop → behavioral oracles). Reported
+//! numbers are whole-campaign, not microbenchmarks — the figure of merit is
+//! how fast the substrate audits a corpus end to end.
+//!
+//! The bench hard-fails (exit 1) if any campaign's findings diverge from
+//! the sample's ground-truth label: a throughput number from a
+//! wrong-answers run is worthless.
+//!
+//! Prints a JSON measurement block; paste into BENCH_substrate.json when
+//! refreshing the baseline.
+
+use std::time::Instant;
+
+use wasai_core::cw;
+use wasai_core::harness::TargetInfo;
+use wasai_core::{FuzzConfig, PreparedTarget};
+use wasai_corpus::cw_corpus;
+
+const SAMPLES: usize = 16;
+const REPS: usize = 5;
+
+fn main() {
+    let corpus = cw_corpus(0xBE7C, SAMPLES);
+    let prepared: Vec<_> = corpus
+        .iter()
+        .map(|c| {
+            PreparedTarget::prepare(TargetInfo::new(
+                c.module.clone(),
+                wasai_chain::abi::Abi::default(),
+            ))
+            .expect("corpus sample prepares")
+        })
+        .collect();
+
+    let mut mismatches = 0usize;
+    let mut total_iterations = 0u64;
+    let mut best_campaigns_per_sec = 0.0f64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        for (c, p) in corpus.iter().zip(&prepared) {
+            let report =
+                cw::run_campaign(p.clone(), FuzzConfig::quick(), None).expect("campaign runs");
+            iterations += report.iterations;
+            if report.findings != c.label {
+                mismatches += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        best_campaigns_per_sec = best_campaigns_per_sec.max(SAMPLES as f64 / secs);
+        total_iterations = iterations;
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"substrate_cosmwasm\",");
+    println!("  \"samples\": {SAMPLES},");
+    println!("  \"reps\": {REPS},");
+    println!(
+        "  \"iterations_per_campaign\": {},",
+        total_iterations / SAMPLES as u64
+    );
+    println!("  \"campaigns_per_sec\": {best_campaigns_per_sec:.1},");
+    println!("  \"ground_truth_mismatches\": {mismatches}");
+    println!("}}");
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} campaign(s) diverged from ground truth");
+        std::process::exit(1);
+    }
+}

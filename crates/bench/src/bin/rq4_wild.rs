@@ -109,6 +109,9 @@ fn main() {
             VulnClass::MissAuth => 470,
             VulnClass::BlockinfoDep => 22,
             VulnClass::Rollback => 122,
+            // The loop covers VulnClass::ALL only; the CosmWasm classes
+            // have no §4.4 Mainnet counts.
+            VulnClass::UnauthInstantiate | VulnClass::UncheckedReply => 0,
         };
         println!(
             "  {c:<14} {n:>5}  ({:.1}% of corpus)   [paper: {paper} of 991 = {:.1}%]",

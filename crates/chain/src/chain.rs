@@ -6,10 +6,12 @@
 //! contracts, e.g. bin', eosio.token and some agent contracts used in the
 //! adversary oracles").
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
-use wasai_vm::{CompiledModule, Fuel, Host, HostFnId, Instance, LinearMemory, Trap, Value};
+use wasai_vm::{
+    CompiledModule, Fuel, Host, HostFnId, Instance, InstancePool, LinearMemory, Trap, Value,
+};
 use wasai_wasm::types::FuncType;
 
 use crate::abi::{Abi, ParamValue};
@@ -122,7 +124,7 @@ pub struct Chain {
     /// before reuse, so a pooled execution is indistinguishable from a fresh
     /// one. Never forked, never compared, bypassed under
     /// [`ChainConfig::legacy_exec_costs`].
-    instance_pool: HashMap<(Name, usize), Instance>,
+    instance_pool: InstancePool<(Name, usize)>,
 }
 
 impl Chain {
@@ -222,7 +224,7 @@ impl Chain {
             executed: Vec::new(),
             api_events: Vec::new(),
             sink: wasai_vm::TraceSink::new(),
-            instance_pool: HashMap::new(),
+            instance_pool: InstancePool::new(),
         }
     }
 
@@ -548,7 +550,7 @@ impl Chain {
         let pooled = if legacy {
             None
         } else {
-            self.instance_pool.remove(&pool_key)
+            self.instance_pool.take(&pool_key)
         };
         let mut host = ChainHost {
             chain: self,
@@ -589,7 +591,7 @@ impl Chain {
         // Pool the instance even after a trap — reset() restores it before
         // the next use, and trapping runs are common while fuzzing.
         if !legacy {
-            self.instance_pool.insert(pool_key, instance);
+            self.instance_pool.put(pool_key, instance);
         }
         result?;
         Ok(outcome)

@@ -1,0 +1,1041 @@
+//! The CosmWasm-shaped substrate: `instantiate`/`execute`/`query` entry
+//! model, env/info plumbing, bank + submessage/reply handling.
+//!
+//! Where the EOSIO chain ([`crate::Chain`]) dispatches every action through
+//! one `apply(receiver, code, action)` export, CosmWasm-style contracts
+//! export one function per entry point and receive their environment (the
+//! calling address, attached funds) as arguments. This backend reproduces
+//! that shape against the same first-party VM, adapted to value passing:
+//! `sender`, `msg` and `funds` travel as `i64` scalars instead of
+//! JSON-in-linear-memory, which keeps the host boundary small while
+//! preserving the semantics the new oracle classes need — who may
+//! instantiate, what happens to state when a submessage fails, and whether
+//! `reply` inspects the success flag.
+//!
+//! Entry conventions (all exports optional except `execute`):
+//!
+//! | export        | signature                                  |
+//! |---------------|--------------------------------------------|
+//! | `instantiate` | `(sender: i64, msg: i64, funds: i64)`      |
+//! | `execute`     | `(sender: i64, msg: i64, funds: i64)`      |
+//! | `query`       | `(msg: i64) -> i64`                        |
+//! | `reply`       | `(id: i64, success: i32)`                  |
+//!
+//! Host imports (module `"env"`), mirroring the CosmWasm `Deps`/`BankMsg`/
+//! `SubMsg` surface:
+//!
+//! | import           | signature                                      |
+//! |------------------|------------------------------------------------|
+//! | `storage_read`   | `(key: i64) -> i64` (0 when absent)            |
+//! | `storage_has`    | `(key: i64) -> i32`                            |
+//! | `storage_write`  | `(key: i64, value: i64)`                       |
+//! | `storage_remove` | `(key: i64)`                                   |
+//! | `addr_eq`        | `(a: i64, b: i64) -> i32`                      |
+//! | `cw_abort`       | `(code: i64)` — traps, rolls the dispatch back |
+//! | `bank_send`      | `(to: i64, amount: i64)`                       |
+//! | `submsg`         | `(target: i64, msg: i64, amount: i64, id: i64)`|
+//!
+//! Submessages queue during the entry call and dispatch after it returns,
+//! as on the real chain. A failed submessage reverts only its own effects;
+//! if it carried a nonzero `reply` id the caller's `reply` export still runs
+//! with `success = 0` (the `ReplyOn::Always` contract), otherwise the
+//! failure propagates and the whole dispatch rolls back. That ordering is
+//! exactly what the unchecked-reply oracle class observes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+
+use wasai_vm::{
+    CompiledModule, Fuel, Host, HostFnId, Instance, InstancePool, LinearMemory, TraceRecord,
+    TraceSink, Trap, Value,
+};
+use wasai_wasm::types::FuncType;
+
+use crate::error::ChainError;
+use crate::name::Name;
+
+/// Maximum nesting of submessage-driven contract-to-contract executes.
+const MAX_CW_DEPTH: u32 = 8;
+
+/// Host ids at or above this offset are WASAI trace hooks; below, chain APIs.
+const HOOK_BASE: u32 = 1000;
+
+/// Which entry export a dispatch targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CwEntry {
+    /// One-time setup; the contract is expected to guard re-entry itself.
+    Instantiate,
+    /// The workhorse entry point.
+    Execute,
+    /// Read-only entry returning an `i64`.
+    Query,
+    /// Submessage completion callback.
+    Reply,
+}
+
+impl CwEntry {
+    /// The export name for this entry point.
+    pub fn export(self) -> &'static str {
+        match self {
+            CwEntry::Instantiate => "instantiate",
+            CwEntry::Execute => "execute",
+            CwEntry::Query => "query",
+            CwEntry::Reply => "reply",
+        }
+    }
+}
+
+/// One observable side effect of a dispatch, in execution order.
+///
+/// The CosmWasm oracle classes are behavioral: they read these events, not
+/// the contract's code. `Entry`/`Reply` records bracket the writes made
+/// inside them, which is what lets the scanner attribute a `StorageWrite`
+/// to "inside a failed reply".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CwEvent {
+    /// An entry export began executing.
+    Entry {
+        /// The contract being entered.
+        contract: Name,
+        /// Which entry point.
+        entry: CwEntry,
+        /// `info.sender` for this call.
+        sender: Name,
+        /// The scalar message.
+        msg: i64,
+        /// Funds moved sender → contract before the call.
+        funds: i64,
+    },
+    /// The contract persisted a value.
+    StorageWrite {
+        /// The writing contract.
+        contract: Name,
+        /// The storage key.
+        key: i64,
+    },
+    /// The contract deleted a key.
+    StorageRemove {
+        /// The removing contract.
+        contract: Name,
+        /// The storage key.
+        key: i64,
+    },
+    /// The contract compared two addresses via `addr_eq`.
+    SenderCheck {
+        /// The checking contract.
+        contract: Name,
+        /// Whether the comparison involved `info.sender` and matched.
+        matched: bool,
+    },
+    /// Funds moved between accounts via `bank_send`.
+    BankSend {
+        /// Paying contract.
+        from: Name,
+        /// Receiving account.
+        to: Name,
+        /// Amount in the single native denom.
+        amount: i64,
+    },
+    /// A queued submessage finished dispatching.
+    SubMsg {
+        /// The contract that queued it.
+        from: Name,
+        /// The target account.
+        target: Name,
+        /// The reply id (0 = no reply requested).
+        id: i64,
+        /// Whether the submessage succeeded.
+        ok: bool,
+    },
+    /// The `reply` export was entered.
+    Reply {
+        /// The contract receiving the callback.
+        contract: Name,
+        /// The reply id of the completed submessage.
+        id: i64,
+        /// Whether that submessage succeeded.
+        success: bool,
+    },
+}
+
+/// Observations from one top-level dispatch, success or failure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CwReceipt {
+    /// Side effects in execution order.
+    pub events: Vec<CwEvent>,
+    /// Instrumentation trace (empty for uninstrumented modules).
+    pub trace: Vec<TraceRecord>,
+    /// Fuel consumed by the dispatch, including submessages and replies.
+    pub steps_used: u64,
+    /// The `query` return value, when the entry was [`CwEntry::Query`].
+    pub result: Option<i64>,
+}
+
+/// A dispatch trapped and was rolled back; the partial receipt is preserved
+/// (failed traces feed the constraint flipper exactly as on EOSIO).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CwError {
+    /// The trap that aborted the dispatch.
+    pub trap: Trap,
+    /// Observations up to the failure point.
+    pub receipt: CwReceipt,
+}
+
+impl std::fmt::Display for CwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dispatch reverted: {}", self.trap)
+    }
+}
+
+impl std::error::Error for CwError {}
+
+/// A deployed CosmWasm-shaped contract.
+#[derive(Debug)]
+struct CwContract {
+    compiled: Arc<CompiledModule>,
+    /// Import table resolved once per contract (resolution depends only on
+    /// import names, never on chain state).
+    resolved: OnceLock<Arc<Vec<HostFnId>>>,
+}
+
+/// Configuration for the CosmWasm-shaped chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CwConfig {
+    /// Fuel budget per top-level dispatch (shared with its submessages and
+    /// replies, like the EOSIO per-transaction budget).
+    pub fuel_per_dispatch: u64,
+}
+
+impl Default for CwConfig {
+    fn default() -> Self {
+        CwConfig {
+            fuel_per_dispatch: 5_000_000,
+        }
+    }
+}
+
+/// The local CosmWasm-shaped chain: contracts, wallets, a single-denom bank
+/// and per-contract key/value storage.
+#[derive(Debug, Default)]
+pub struct CwChain {
+    contracts: BTreeMap<Name, Arc<CwContract>>,
+    wallets: BTreeSet<Name>,
+    balances: BTreeMap<Name, i64>,
+    storage: BTreeMap<(Name, i64), i64>,
+    /// Contracts whose `instantiate` has completed successfully at least
+    /// once. Rolls back with the dispatch that set it.
+    instantiated: BTreeSet<Name>,
+    config: CwConfig,
+    sink: TraceSink,
+    events: Vec<CwEvent>,
+    /// Allocation cache, same discipline as the EOSIO chain's pool.
+    instance_pool: InstancePool<(Name, usize)>,
+}
+
+impl CwChain {
+    /// A fresh chain with default configuration.
+    pub fn new() -> Self {
+        CwChain {
+            sink: TraceSink::new(),
+            ..Default::default()
+        }
+    }
+
+    /// A fresh chain with a custom configuration.
+    pub fn with_config(config: CwConfig) -> Self {
+        CwChain {
+            config,
+            ..CwChain::new()
+        }
+    }
+
+    /// The chain's configuration.
+    pub fn config(&self) -> CwConfig {
+        self.config
+    }
+
+    /// Create a wallet (a plain bank account) with an opening balance.
+    pub fn create_wallet(&mut self, name: Name, balance: i64) {
+        self.wallets.insert(name);
+        self.balances.insert(name, balance);
+    }
+
+    /// Deploy (or replace) a contract, compiling the module.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not compile.
+    pub fn deploy(&mut self, name: Name, module: wasai_wasm::Module) -> Result<(), ChainError> {
+        let compiled =
+            CompiledModule::compile(module).map_err(|e| ChainError::BadContract(e.to_string()))?;
+        self.deploy_compiled(name, compiled);
+        Ok(())
+    }
+
+    /// Deploy (or replace) an already-compiled contract. Sharing one
+    /// [`CompiledModule`] lets parallel campaigns deploy without
+    /// recompiling, as on the EOSIO chain.
+    pub fn deploy_compiled(&mut self, name: Name, compiled: Arc<CompiledModule>) {
+        self.contracts.insert(
+            name,
+            Arc::new(CwContract {
+                compiled,
+                resolved: OnceLock::new(),
+            }),
+        );
+        self.balances.entry(name).or_insert(0);
+    }
+
+    /// Fork this chain into an independent copy. Contract entries are
+    /// `Arc`s; storage and bank maps are cloned. Observation buffers and
+    /// the instance pool start empty, exactly like [`crate::Chain::fork`].
+    pub fn fork(&self) -> CwChain {
+        CwChain {
+            contracts: self.contracts.clone(),
+            wallets: self.wallets.clone(),
+            balances: self.balances.clone(),
+            storage: self.storage.clone(),
+            instantiated: self.instantiated.clone(),
+            config: self.config,
+            sink: TraceSink::new(),
+            events: Vec::new(),
+            instance_pool: InstancePool::new(),
+        }
+    }
+
+    /// Balance of an account in the native denom.
+    pub fn balance(&self, name: Name) -> i64 {
+        self.balances.get(&name).copied().unwrap_or(0)
+    }
+
+    /// A contract's storage value for `key`, if present.
+    pub fn storage_get(&self, contract: Name, key: i64) -> Option<i64> {
+        self.storage.get(&(contract, key)).copied()
+    }
+
+    /// True once the contract's `instantiate` has succeeded.
+    pub fn is_instantiated(&self, contract: Name) -> bool {
+        self.instantiated.contains(&contract)
+    }
+
+    /// True if the account hosts a contract.
+    pub fn is_contract(&self, name: Name) -> bool {
+        self.contracts.contains_key(&name)
+    }
+
+    /// Dispatch an entry call against `contract` as `sender`, moving
+    /// `funds` sender → contract first. On success, queued submessages run
+    /// in order with reply callbacks; on any unhandled trap the whole
+    /// dispatch rolls back.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::NoSuchAccount`] if the contract is not deployed;
+    /// otherwise a [`CwError`] carrying the trap and the partial receipt.
+    pub fn dispatch(
+        &mut self,
+        entry: CwEntry,
+        contract: Name,
+        sender: Name,
+        msg: i64,
+        funds: i64,
+    ) -> Result<CwReceipt, CwDispatchError> {
+        if !self.contracts.contains_key(&contract) {
+            return Err(CwDispatchError::Chain(ChainError::NoSuchAccount(contract)));
+        }
+        // Full-dispatch snapshot for rollback.
+        let storage_snap = self.storage.clone();
+        let balances_snap = self.balances.clone();
+        let instantiated_snap = self.instantiated.clone();
+        self.events.clear();
+        self.sink.take();
+        let mut fuel = Fuel(self.config.fuel_per_dispatch);
+
+        let result = self.dispatch_inner(entry, contract, sender, msg, funds, &mut fuel, 0);
+        let steps_used = self.config.fuel_per_dispatch - fuel.0;
+        let receipt = CwReceipt {
+            events: std::mem::take(&mut self.events),
+            trace: self.sink.take(),
+            steps_used,
+            result: result.as_ref().ok().copied().flatten(),
+        };
+        match result {
+            Ok(_) => {
+                if entry == CwEntry::Instantiate {
+                    self.instantiated.insert(contract);
+                }
+                Ok(receipt)
+            }
+            Err(trap) => {
+                self.storage = storage_snap;
+                self.balances = balances_snap;
+                self.instantiated = instantiated_snap;
+                Err(CwDispatchError::Reverted(CwError { trap, receipt }))
+            }
+        }
+    }
+
+    /// Run one entry call plus its queued submessages. Returns the `query`
+    /// result when there is one.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_inner(
+        &mut self,
+        entry: CwEntry,
+        contract: Name,
+        sender: Name,
+        msg: i64,
+        funds: i64,
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<Option<i64>, Trap> {
+        if depth > MAX_CW_DEPTH {
+            return Err(Trap::Host("submessage depth exceeded".into()));
+        }
+        if funds != 0 {
+            self.transfer(sender, contract, funds)?;
+        }
+        self.events.push(CwEvent::Entry {
+            contract,
+            entry,
+            sender,
+            msg,
+            funds,
+        });
+        let args = match entry {
+            CwEntry::Query => vec![Value::I64(msg)],
+            CwEntry::Reply => unreachable!("replies dispatch via run_reply"),
+            _ => vec![
+                Value::I64(sender.as_i64()),
+                Value::I64(msg),
+                Value::I64(funds),
+            ],
+        };
+        let (ret, queued) = self.exec_entry(contract, sender, entry.export(), &args, fuel)?;
+        for sub in queued {
+            self.run_submsg(contract, sub, fuel, depth)?;
+        }
+        Ok(if entry == CwEntry::Query { ret } else { None })
+    }
+
+    /// Dispatch one queued submessage, honoring reply semantics.
+    fn run_submsg(
+        &mut self,
+        from: Name,
+        sub: CwSubMsg,
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<(), Trap> {
+        // Sub-snapshot: a failed submessage reverts only its own effects.
+        let storage_snap = self.storage.clone();
+        let balances_snap = self.balances.clone();
+        let result = if self.contracts.contains_key(&sub.target) {
+            self.dispatch_inner(
+                CwEntry::Execute,
+                sub.target,
+                from,
+                sub.msg,
+                sub.amount,
+                fuel,
+                depth + 1,
+            )
+            .map(|_| ())
+        } else if self.wallets.contains(&sub.target) {
+            self.transfer(from, sub.target, sub.amount)
+        } else {
+            Err(Trap::Host(format!("no such account: {}", sub.target)))
+        };
+        let ok = result.is_ok();
+        if let Err(trap) = result {
+            // Fuel exhaustion is not handleable: the budget is shared, so a
+            // reply could not run anyway. Propagate it.
+            if trap == Trap::StepLimit {
+                return Err(trap);
+            }
+            self.storage = storage_snap;
+            self.balances = balances_snap;
+            if sub.reply_id == 0 {
+                // No reply requested: the failure propagates (ReplyOn::Never).
+                return Err(trap);
+            }
+        }
+        self.events.push(CwEvent::SubMsg {
+            from,
+            target: sub.target,
+            id: sub.reply_id,
+            ok,
+        });
+        if sub.reply_id != 0 {
+            self.run_reply(from, sub.reply_id, ok, fuel, depth)?;
+        }
+        Ok(())
+    }
+
+    /// Invoke the caller's `reply` export for a completed submessage.
+    fn run_reply(
+        &mut self,
+        contract: Name,
+        id: i64,
+        success: bool,
+        fuel: &mut Fuel,
+        depth: u32,
+    ) -> Result<(), Trap> {
+        if depth > MAX_CW_DEPTH {
+            return Err(Trap::Host("submessage depth exceeded".into()));
+        }
+        self.events.push(CwEvent::Reply {
+            contract,
+            id,
+            success,
+        });
+        let args = vec![Value::I64(id), Value::I32(success as i32)];
+        let (_, queued) = self.exec_entry(contract, contract, "reply", &args, fuel)?;
+        for sub in queued {
+            self.run_submsg(contract, sub, fuel, depth + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Move funds between accounts; traps on insufficient balance.
+    fn transfer(&mut self, from: Name, to: Name, amount: i64) -> Result<(), Trap> {
+        if amount < 0 {
+            return Err(Trap::Host("negative transfer".into()));
+        }
+        let have = self.balance(from);
+        if have < amount {
+            return Err(Trap::Host(format!(
+                "insufficient funds: {from} has {have}, needs {amount}"
+            )));
+        }
+        *self.balances.entry(from).or_insert(0) -= amount;
+        *self.balances.entry(to).or_insert(0) += amount;
+        Ok(())
+    }
+
+    /// Instantiate-or-reuse an instance and invoke one export, collecting
+    /// queued submessages. Mirrors the EOSIO `exec_wasm` pooling discipline.
+    fn exec_entry(
+        &mut self,
+        contract: Name,
+        sender: Name,
+        export: &str,
+        args: &[Value],
+        fuel: &mut Fuel,
+    ) -> Result<(Option<i64>, Vec<CwSubMsg>), Trap> {
+        let entry = self
+            .contracts
+            .get(&contract)
+            .ok_or_else(|| Trap::Host(format!("no such account: {contract}")))?
+            .clone();
+        let compiled = entry.compiled.clone();
+        let pool_key = (contract, Arc::as_ptr(&compiled) as usize);
+        // Take any pooled instance out before the host borrows the chain.
+        let pooled = self.instance_pool.take(&pool_key);
+        let mut host = CwHost {
+            chain: self,
+            contract,
+            sender,
+            queued: Vec::new(),
+        };
+        let host_ids = match entry.resolved.get() {
+            Some(ids) => ids.clone(),
+            None => {
+                let ids = wasai_vm::resolve_imports(&compiled, &mut host)
+                    .map_err(|e| Trap::Host(e.to_string()))?;
+                entry.resolved.get_or_init(|| ids).clone()
+            }
+        };
+        let reusable = pooled.and_then(|mut inst| inst.reset().is_ok().then_some(inst));
+        let mut instance = match reusable {
+            Some(inst) => inst,
+            None => Instance::with_host_ids(compiled, host_ids)
+                .map_err(|e| Trap::Host(e.to_string()))?,
+        };
+        let result = instance.invoke_export(&mut host, export, args, fuel);
+        let queued = host.queued;
+        // Pool even after a trap — reset() restores it before the next use.
+        self.instance_pool.put(pool_key, instance);
+        let ret = result?.first().and_then(|v| match v {
+            Value::I64(x) => Some(*x),
+            Value::I32(x) => Some(*x as i64),
+            _ => None,
+        });
+        Ok((ret, queued))
+    }
+}
+
+/// How a dispatch can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CwDispatchError {
+    /// Setup-level failure (unknown contract).
+    Chain(ChainError),
+    /// The dispatch trapped and rolled back; receipt preserved.
+    Reverted(CwError),
+}
+
+impl std::fmt::Display for CwDispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CwDispatchError::Chain(e) => e.fmt(f),
+            CwDispatchError::Reverted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CwDispatchError {}
+
+impl CwDispatchError {
+    /// The receipt of the partial execution, when one exists.
+    pub fn receipt(&self) -> Option<&CwReceipt> {
+        match self {
+            CwDispatchError::Chain(_) => None,
+            CwDispatchError::Reverted(e) => Some(&e.receipt),
+        }
+    }
+}
+
+/// A submessage queued during an entry call.
+#[derive(Debug, Clone, Copy)]
+struct CwSubMsg {
+    target: Name,
+    msg: i64,
+    amount: i64,
+    reply_id: i64,
+}
+
+/// CosmWasm host APIs, resolved by import name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CwApi {
+    StorageRead,
+    StorageHas,
+    StorageWrite,
+    StorageRemove,
+    AddrEq,
+    CwAbort,
+    BankSend,
+    SubMsg,
+}
+
+/// Import-name → API table for the `"env"` module.
+const CW_API_TABLE: &[(&str, CwApi)] = &[
+    ("storage_read", CwApi::StorageRead),
+    ("storage_has", CwApi::StorageHas),
+    ("storage_write", CwApi::StorageWrite),
+    ("storage_remove", CwApi::StorageRemove),
+    ("addr_eq", CwApi::AddrEq),
+    ("cw_abort", CwApi::CwAbort),
+    ("bank_send", CwApi::BankSend),
+    ("submsg", CwApi::SubMsg),
+];
+
+/// The host the CosmWasm chain presents to an executing contract.
+struct CwHost<'a> {
+    chain: &'a mut CwChain,
+    contract: Name,
+    sender: Name,
+    queued: Vec<CwSubMsg>,
+}
+
+impl CwHost<'_> {
+    fn arg_i64(args: &[Value], i: usize) -> i64 {
+        match args.get(i) {
+            Some(Value::I64(v)) => *v,
+            Some(Value::I32(v)) => *v as i64,
+            _ => 0,
+        }
+    }
+}
+
+impl Host for CwHost<'_> {
+    fn resolve(&mut self, module: &str, name: &str, _ty: &FuncType) -> Option<HostFnId> {
+        if let Some(off) = wasai_vm::host::hooks::hook_offset(module, name) {
+            return Some(HostFnId(HOOK_BASE + off));
+        }
+        if module != "env" {
+            return None;
+        }
+        CW_API_TABLE
+            .iter()
+            .position(|(n, _)| *n == name)
+            .map(|p| HostFnId(p as u32))
+    }
+
+    fn call(
+        &mut self,
+        id: HostFnId,
+        args: &[Value],
+        _mem: &mut LinearMemory,
+    ) -> Result<Option<Value>, Trap> {
+        if id.0 >= HOOK_BASE {
+            wasai_vm::host::hooks::dispatch(&mut self.chain.sink, id.0 - HOOK_BASE, args);
+            return Ok(None);
+        }
+        let api = CW_API_TABLE
+            .get(id.0 as usize)
+            .map(|(_, api)| *api)
+            .ok_or_else(|| Trap::Host(format!("unknown host function {}", id.0)))?;
+        match api {
+            CwApi::StorageRead => {
+                let key = Self::arg_i64(args, 0);
+                Ok(Some(Value::I64(
+                    self.chain.storage_get(self.contract, key).unwrap_or(0),
+                )))
+            }
+            CwApi::StorageHas => {
+                let key = Self::arg_i64(args, 0);
+                Ok(Some(Value::I32(
+                    self.chain.storage_get(self.contract, key).is_some() as i32,
+                )))
+            }
+            CwApi::StorageWrite => {
+                let key = Self::arg_i64(args, 0);
+                let value = Self::arg_i64(args, 1);
+                self.chain.storage.insert((self.contract, key), value);
+                self.chain.events.push(CwEvent::StorageWrite {
+                    contract: self.contract,
+                    key,
+                });
+                Ok(None)
+            }
+            CwApi::StorageRemove => {
+                let key = Self::arg_i64(args, 0);
+                self.chain.storage.remove(&(self.contract, key));
+                self.chain.events.push(CwEvent::StorageRemove {
+                    contract: self.contract,
+                    key,
+                });
+                Ok(None)
+            }
+            CwApi::AddrEq => {
+                let a = Self::arg_i64(args, 0);
+                let b = Self::arg_i64(args, 1);
+                let eq = a == b;
+                let sender = self.sender.as_i64();
+                if a == sender || b == sender {
+                    self.chain.events.push(CwEvent::SenderCheck {
+                        contract: self.contract,
+                        matched: eq,
+                    });
+                }
+                Ok(Some(Value::I32(eq as i32)))
+            }
+            CwApi::CwAbort => {
+                let code = Self::arg_i64(args, 0);
+                Err(Trap::Host(format!("cw_abort({code})")))
+            }
+            CwApi::BankSend => {
+                let to = Name::from_i64(Self::arg_i64(args, 0));
+                let amount = Self::arg_i64(args, 1);
+                self.chain.transfer(self.contract, to, amount)?;
+                self.chain.events.push(CwEvent::BankSend {
+                    from: self.contract,
+                    to,
+                    amount,
+                });
+                Ok(None)
+            }
+            CwApi::SubMsg => {
+                self.queued.push(CwSubMsg {
+                    target: Name::from_i64(Self::arg_i64(args, 0)),
+                    msg: Self::arg_i64(args, 1),
+                    amount: Self::arg_i64(args, 2),
+                    reply_id: Self::arg_i64(args, 3),
+                });
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_wasm::builder::ModuleBuilder;
+    use wasai_wasm::instr::Instr;
+    use wasai_wasm::types::{BlockType, ValType::*};
+
+    fn n(s: &str) -> Name {
+        Name::new(s)
+    }
+
+    /// A contract that writes `msg` under key 1 on execute, and aborts
+    /// after writing when `msg == 13`.
+    fn writer_contract() -> wasai_wasm::Module {
+        let mut b = ModuleBuilder::new();
+        let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+        let abort = b.import_func("env", "cw_abort", &[I64], &[]);
+        let inst = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::I64Const(0),
+                Instr::LocalGet(0),
+                Instr::Call(write),
+                Instr::End,
+            ],
+        );
+        let exec = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::I64Const(1),
+                Instr::LocalGet(1),
+                Instr::Call(write),
+                Instr::LocalGet(1),
+                Instr::I64Const(13),
+                Instr::I64Eq,
+                Instr::If(BlockType::Empty),
+                Instr::I64Const(13),
+                Instr::Call(abort),
+                Instr::End,
+                Instr::End,
+            ],
+        );
+        b.export_func("instantiate", inst);
+        b.export_func("execute", exec);
+        b.build()
+    }
+
+    #[test]
+    fn execute_writes_storage_and_moves_funds() {
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let c = n("writer");
+        chain.create_wallet(alice, 100);
+        chain.deploy(c, writer_contract()).unwrap();
+        chain
+            .dispatch(CwEntry::Instantiate, c, alice, 7, 0)
+            .unwrap();
+        assert!(chain.is_instantiated(c));
+        let r = chain.dispatch(CwEntry::Execute, c, alice, 42, 30).unwrap();
+        assert_eq!(chain.storage_get(c, 1), Some(42));
+        assert_eq!(chain.balance(alice), 70);
+        assert_eq!(chain.balance(c), 30);
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, CwEvent::StorageWrite { key: 1, .. })));
+        assert!(r.steps_used > 0);
+    }
+
+    #[test]
+    fn abort_rolls_back_writes_and_funds() {
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let c = n("writer");
+        chain.create_wallet(alice, 100);
+        chain.deploy(c, writer_contract()).unwrap();
+        chain
+            .dispatch(CwEntry::Instantiate, c, alice, 7, 0)
+            .unwrap();
+        let err = chain
+            .dispatch(CwEntry::Execute, c, alice, 13, 30)
+            .unwrap_err();
+        // The write happened before the abort, but rolled back with it.
+        assert_eq!(chain.storage_get(c, 1), None);
+        assert_eq!(chain.balance(alice), 100);
+        let receipt = err.receipt().expect("reverted, not chain error");
+        assert!(receipt
+            .events
+            .iter()
+            .any(|e| matches!(e, CwEvent::StorageWrite { key: 1, .. })));
+    }
+
+    #[test]
+    fn fuel_exhaustion_rolls_back() {
+        let mut b = ModuleBuilder::new();
+        let exec = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::Loop(BlockType::Empty),
+                Instr::Br(0),
+                Instr::End,
+                Instr::End,
+            ],
+        );
+        b.export_func("execute", exec);
+        let mut chain = CwChain::with_config(CwConfig {
+            fuel_per_dispatch: 10_000,
+        });
+        let alice = n("alice");
+        let c = n("spinner");
+        chain.create_wallet(alice, 10);
+        chain.deploy(c, b.build()).unwrap();
+        let err = chain
+            .dispatch(CwEntry::Execute, c, alice, 0, 0)
+            .unwrap_err();
+        match err {
+            CwDispatchError::Reverted(e) => {
+                assert_eq!(e.trap, Trap::StepLimit);
+                assert_eq!(e.receipt.steps_used, 10_000);
+            }
+            other => panic!("expected revert, got {other:?}"),
+        }
+    }
+
+    /// Caller queues a submessage to a wallet; unfunded contract makes it
+    /// fail; `reply(id, 0)` still runs and writes (the vulnerable shape).
+    fn replier_contract(guard: bool) -> wasai_wasm::Module {
+        let mut b = ModuleBuilder::new();
+        let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+        let submsg = b.import_func("env", "submsg", &[I64, I64, I64, I64], &[]);
+        let exec = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                // submsg(target = msg, msg = 0, amount = 50, reply_id = 9)
+                Instr::LocalGet(1),
+                Instr::I64Const(0),
+                Instr::I64Const(50),
+                Instr::I64Const(9),
+                Instr::Call(submsg),
+                Instr::End,
+            ],
+        );
+        let mut reply_body = vec![];
+        if guard {
+            reply_body.extend([
+                Instr::LocalGet(1),
+                Instr::I32Eqz,
+                Instr::If(BlockType::Empty),
+                Instr::Return,
+                Instr::End,
+            ]);
+        }
+        reply_body.extend([
+            Instr::I64Const(5),
+            Instr::LocalGet(0),
+            Instr::Call(write),
+            Instr::End,
+        ]);
+        let reply = b.func(&[I64, I32], &[], &[], reply_body);
+        b.export_func("execute", exec);
+        b.export_func("reply", reply);
+        b.build()
+    }
+
+    #[test]
+    fn failed_submsg_reverts_but_reply_still_runs() {
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let bob = n("bob");
+        let c = n("replier");
+        chain.create_wallet(alice, 10);
+        chain.create_wallet(bob, 0);
+        chain.deploy(c, replier_contract(false)).unwrap();
+        // Contract has no funds: the 50-token submsg to bob fails.
+        let r = chain
+            .dispatch(CwEntry::Execute, c, alice, bob.as_i64(), 0)
+            .unwrap();
+        assert_eq!(chain.balance(bob), 0, "failed submsg moved no funds");
+        // The unguarded reply wrote anyway.
+        assert_eq!(chain.storage_get(c, 5), Some(9));
+        let reply_ev = r
+            .events
+            .iter()
+            .find(|e| matches!(e, CwEvent::Reply { .. }))
+            .expect("reply entered");
+        assert_eq!(
+            reply_ev,
+            &CwEvent::Reply {
+                contract: c,
+                id: 9,
+                success: false
+            }
+        );
+    }
+
+    #[test]
+    fn guarded_reply_skips_the_write() {
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let bob = n("bob");
+        let c = n("replier");
+        chain.create_wallet(alice, 10);
+        chain.create_wallet(bob, 0);
+        chain.deploy(c, replier_contract(true)).unwrap();
+        chain
+            .dispatch(CwEntry::Execute, c, alice, bob.as_i64(), 0)
+            .unwrap();
+        assert_eq!(chain.storage_get(c, 5), None, "guarded reply wrote nothing");
+    }
+
+    #[test]
+    fn funded_submsg_succeeds_and_reply_sees_success() {
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let bob = n("bob");
+        let c = n("replier");
+        chain.create_wallet(alice, 100);
+        chain.create_wallet(bob, 0);
+        chain.deploy(c, replier_contract(false)).unwrap();
+        // Fund the contract so the 50-token submsg succeeds.
+        let r = chain
+            .dispatch(CwEntry::Execute, c, alice, bob.as_i64(), 60)
+            .unwrap();
+        assert_eq!(chain.balance(bob), 50);
+        assert!(r.events.iter().any(|e| matches!(
+            e,
+            CwEvent::SubMsg {
+                ok: true,
+                id: 9,
+                ..
+            }
+        )));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, CwEvent::Reply { success: true, .. })));
+    }
+
+    #[test]
+    fn query_returns_a_value_without_side_effects() {
+        let mut b = ModuleBuilder::new();
+        let read = b.import_func("env", "storage_read", &[I64], &[I64]);
+        let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+        let q = b.func(
+            &[I64],
+            &[I64],
+            &[],
+            vec![Instr::LocalGet(0), Instr::Call(read), Instr::End],
+        );
+        let exec = b.func(
+            &[I64, I64, I64],
+            &[],
+            &[],
+            vec![
+                Instr::LocalGet(1),
+                Instr::I64Const(77),
+                Instr::Call(write),
+                Instr::End,
+            ],
+        );
+        b.export_func("query", q);
+        b.export_func("execute", exec);
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let c = n("store");
+        chain.create_wallet(alice, 0);
+        chain.deploy(c, b.build()).unwrap();
+        chain.dispatch(CwEntry::Execute, c, alice, 3, 0).unwrap();
+        let r = chain.dispatch(CwEntry::Query, c, alice, 3, 0).unwrap();
+        assert_eq!(r.result, Some(77));
+    }
+
+    #[test]
+    fn instance_pool_reuses_across_dispatches() {
+        let mut chain = CwChain::new();
+        let alice = n("alice");
+        let c = n("writer");
+        chain.create_wallet(alice, 0);
+        chain.deploy(c, writer_contract()).unwrap();
+        for i in 0..5 {
+            chain.dispatch(CwEntry::Execute, c, alice, i, 0).unwrap();
+            assert_eq!(chain.storage_get(c, 1), Some(i));
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod abi;
 pub mod action;
 pub mod asset;
 pub mod chain;
+pub mod cosmwasm;
 pub mod database;
 pub mod error;
 pub mod name;
@@ -58,6 +59,7 @@ pub mod token;
 
 pub use action::{Action, ApiEvent, ExecKind, PermissionLevel, Receipt, Transaction};
 pub use chain::{Chain, ChainConfig, NativeKind};
+pub use cosmwasm::{CwChain, CwConfig, CwDispatchError, CwEntry, CwError, CwEvent, CwReceipt};
 pub use error::{ChainError, TransactionError};
 pub use name::Name;
 

@@ -1,0 +1,559 @@
+//! The CosmWasm-substrate campaign: adversarial entry probes, a bounded
+//! coverage-guided fuzz loop, and the two CosmWasm oracle classes.
+//!
+//! Where the EOSIO engine ([`crate::engine::Engine`]) runs Algorithm 1 with
+//! symbolic replay, the CosmWasm campaign is a deterministic behavioral
+//! fuzzer: the message space of CosmWasm-shaped contracts is a small
+//! discrete opcode enum (our corpus mirrors real `ExecuteMsg` enums), so an
+//! exhaustive entry/message/funds sweep plus a seeded random loop reaches
+//! every guard without a solver. The oracles are behavioral, not syntactic:
+//! they read the chain's event stream ([`CwEvent`]) for state commits that
+//! should not have happened, never the contract's code.
+//!
+//! - **UnauthInstantiate** (§2.3-adjacent, CosmWasm CTF "unauthorized
+//!   instantiate"): after the owner has instantiated, the attacker calls
+//!   `instantiate` again. If that dispatch succeeds *and* persists state,
+//!   privileged configuration was overwritten without authorization. A
+//!   correct contract aborts (no write survives), so it cannot flag.
+//! - **UncheckedReply** (CosmWasm CTF "reply without success check"): a
+//!   `reply` entered with `success = 0` that still writes storage or moves
+//!   funds commits state for a submessage that failed. A correct contract
+//!   returns early on failure, so it cannot flag.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wasai_chain::cosmwasm::{CwChain, CwConfig, CwEntry, CwEvent, CwReceipt};
+use wasai_chain::name::Name;
+use wasai_chain::ChainError;
+use wasai_obs as obs;
+
+use crate::clock::VirtualClock;
+use crate::config::FuzzConfig;
+use crate::coverage::{BranchKey, CoverageSeries};
+use crate::fleet::stage;
+use crate::harness::{accounts, PreparedTarget};
+use crate::report::{ExploitRecord, FuzzReport, VulnClass};
+use crate::telemetry::{self, Stage, TelemetryEvent, TelemetrySink};
+
+/// Well-known CosmWasm harness account names (the EOSIO campaign's
+/// [`accounts`] cast, reshaped for the instantiate/execute model).
+pub mod cw_accounts {
+    use wasai_chain::name::Name;
+
+    /// The legitimate deployer/owner wallet.
+    pub fn owner() -> Name {
+        Name::new("owner")
+    }
+
+    /// The attacker-controlled wallet.
+    pub fn attacker() -> Name {
+        Name::new("attacker")
+    }
+
+    /// A plain wallet used as a bank-send / submessage target.
+    pub fn payee() -> Name {
+        Name::new("payee")
+    }
+}
+
+/// Message opcodes swept exhaustively before the random loop. Corpus
+/// contracts keep their `ExecuteMsg` space inside this range.
+const MSG_SWEEP: i64 = 8;
+
+/// Funds levels for the sweep: unfunded (submessages fail → failed replies)
+/// and funded (submessages succeed → legitimate paths).
+const FUNDS_SWEEP: [i64; 2] = [0, 50];
+
+/// One dispatch outcome as the scanner sees it.
+#[derive(Debug)]
+pub struct DispatchOutcome<'a> {
+    /// Which entry export ran.
+    pub entry: CwEntry,
+    /// `info.sender` of the dispatch.
+    pub sender: Name,
+    /// Whether the dispatch committed (reverted dispatches commit nothing,
+    /// so their writes are not exploits).
+    pub succeeded: bool,
+    /// The chain's event stream for the dispatch.
+    pub events: &'a [CwEvent],
+}
+
+/// The CosmWasm vulnerability scanner: accumulates verdicts for
+/// [`VulnClass::COSMWASM`] across a campaign's dispatches.
+#[derive(Debug)]
+pub struct CwScanner {
+    target: Name,
+    owner: Name,
+    findings: BTreeSet<VulnClass>,
+    exploits: Vec<ExploitRecord>,
+}
+
+impl CwScanner {
+    /// A scanner for `target`, whose legitimate instantiator is `owner`.
+    pub fn new(target: Name, owner: Name) -> Self {
+        CwScanner {
+            target,
+            owner,
+            findings: BTreeSet::new(),
+            exploits: Vec::new(),
+        }
+    }
+
+    /// Analyze one dispatch. `payload` describes it for exploit records.
+    pub fn observe(&mut self, outcome: &DispatchOutcome<'_>, payload: &str) {
+        if !outcome.succeeded {
+            return;
+        }
+        if outcome.entry == CwEntry::Instantiate
+            && outcome.sender != self.owner
+            && outcome.events.iter().any(
+                |e| matches!(e, CwEvent::StorageWrite { contract, .. } if *contract == self.target),
+            )
+        {
+            self.flag(
+                VulnClass::UnauthInstantiate,
+                format!("re-instantiate by non-owner persisted state: {payload}"),
+            );
+        }
+        // A write or bank send attributed to a failed reply frame: events
+        // between `Reply { success: false }` and the next entry/reply
+        // boundary belong to that reply's body.
+        let mut failed_reply: Option<(Name, i64)> = None;
+        for ev in outcome.events {
+            match ev {
+                CwEvent::Reply {
+                    contract,
+                    id,
+                    success: false,
+                } => failed_reply = Some((*contract, *id)),
+                CwEvent::Reply { .. } | CwEvent::Entry { .. } => failed_reply = None,
+                CwEvent::StorageWrite { contract, .. }
+                | CwEvent::StorageRemove { contract, .. } => {
+                    if let Some((c, id)) = failed_reply {
+                        if c == *contract {
+                            self.flag(
+                                VulnClass::UncheckedReply,
+                                format!("reply(id={id}, success=0) committed state: {payload}"),
+                            );
+                        }
+                    }
+                }
+                CwEvent::BankSend { from, .. } => {
+                    if let Some((c, id)) = failed_reply {
+                        if c == *from {
+                            self.flag(
+                                VulnClass::UncheckedReply,
+                                format!("reply(id={id}, success=0) moved funds: {payload}"),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn flag(&mut self, class: VulnClass, payload: String) {
+        if self.findings.insert(class) {
+            self.exploits.push(ExploitRecord { class, payload });
+        }
+    }
+
+    /// Findings and their exploit records, in detection order.
+    pub fn verdicts(self) -> (BTreeSet<VulnClass>, Vec<ExploitRecord>) {
+        (self.findings, self.exploits)
+    }
+}
+
+/// Run one CosmWasm campaign over a prepared target.
+///
+/// The instrumented module, branch-site table and compiled artifact are the
+/// same ones the EOSIO engine would use — preparation is substrate-neutral.
+///
+/// # Errors
+///
+/// Fails if the contract cannot be deployed (does not compile/validate).
+pub fn run_campaign(
+    prepared: Arc<PreparedTarget>,
+    cfg: FuzzConfig,
+    sink: Option<Box<dyn TelemetrySink>>,
+) -> Result<FuzzReport, ChainError> {
+    CwCampaign::new(prepared, cfg, sink)?.run()
+}
+
+struct CwCampaign {
+    prepared: Arc<PreparedTarget>,
+    cfg: FuzzConfig,
+    chain: CwChain,
+    rng: StdRng,
+    clock: VirtualClock,
+    scanner: CwScanner,
+    explored: HashSet<BranchKey>,
+    coverage_series: CoverageSeries,
+    iterations: u64,
+    stall: u64,
+    truncated: bool,
+    sink: Option<Box<dyn TelemetrySink>>,
+}
+
+impl CwCampaign {
+    fn new(
+        prepared: Arc<PreparedTarget>,
+        cfg: FuzzConfig,
+        sink: Option<Box<dyn TelemetrySink>>,
+    ) -> Result<Self, ChainError> {
+        stage::enter(stage::PREPARE);
+        let target = accounts::target();
+        let mut chain = CwChain::with_config(CwConfig::default());
+        chain.create_wallet(cw_accounts::owner(), 1_000_000);
+        chain.create_wallet(cw_accounts::attacker(), 1_000_000);
+        chain.create_wallet(cw_accounts::payee(), 0);
+        chain.deploy_compiled(target, prepared.compiled.clone());
+        stage::enter(stage::CAMPAIGN);
+        Ok(CwCampaign {
+            rng: StdRng::seed_from_u64(cfg.rng_seed),
+            scanner: CwScanner::new(target, cw_accounts::owner()),
+            prepared,
+            cfg,
+            chain,
+            clock: VirtualClock::new(),
+            explored: HashSet::new(),
+            coverage_series: CoverageSeries::new(),
+            iterations: 0,
+            stall: 0,
+            truncated: false,
+            sink,
+        })
+    }
+
+    fn emit(&mut self, event: TelemetryEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(event);
+        }
+    }
+
+    fn has_export(&self, name: &str) -> bool {
+        self.prepared.info.original.exported_func(name).is_some()
+    }
+
+    fn deadline_fired(&mut self) -> bool {
+        if !self.truncated && self.cfg.deadline.expired() {
+            self.truncated = true;
+        }
+        self.truncated
+    }
+
+    /// Dispatch one entry call, feed scanner/coverage/telemetry.
+    fn dispatch(&mut self, entry: CwEntry, sender: Name, msg: i64, funds: i64) {
+        let target = accounts::target();
+        stage::enter(stage::EXECUTE);
+        let result = self.chain.dispatch(entry, target, sender, msg, funds);
+        stage::enter(stage::CAMPAIGN);
+        obs::inc(obs::Counter::SeedsExecuted);
+        let (succeeded, receipt): (bool, CwReceipt) = match result {
+            Ok(r) => (true, r),
+            Err(e) => match e.receipt() {
+                Some(r) => (false, r.clone()),
+                None => return,
+            },
+        };
+        let vtime_before = self.clock.micros();
+        self.clock
+            .charge_execution(&self.cfg.cost, receipt.steps_used);
+        self.emit(TelemetryEvent::StageTiming {
+            stage: Stage::Execute,
+            dur_us: self.clock.micros() - vtime_before,
+            vtime: self.clock.micros(),
+        });
+
+        let payload = format!("msg={msg} funds={funds} sender={sender}");
+        self.scanner.observe(
+            &DispatchOutcome {
+                entry,
+                sender,
+                succeeded,
+                events: &receipt.events,
+            },
+            &payload,
+        );
+
+        let before = self.explored.len();
+        self.prepared
+            .branch_sites
+            .extend_from_trace(&mut self.explored, &receipt.trace);
+        if self.explored.len() > before {
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+        obs::add(
+            obs::Counter::CoverageBranches,
+            (self.explored.len() - before) as u64,
+        );
+        self.coverage_series
+            .push(self.clock.micros(), self.explored.len());
+        if self.sink.is_some() {
+            let branches = self.explored.len();
+            self.emit(TelemetryEvent::SeedExecuted {
+                action: entry.export().to_string(),
+                payload,
+                coverage_delta: branches - before,
+                branches,
+                vtime: self.clock.micros(),
+            });
+        }
+    }
+
+    /// The adversarial probe sequence: owner setup, attacker
+    /// re-instantiate, exhaustive entry/message/funds sweep.
+    fn probe_sweep(&mut self) {
+        let owner = cw_accounts::owner();
+        let attacker = cw_accounts::attacker();
+        if self.has_export("instantiate") {
+            // Legitimate setup, then the takeover probe.
+            self.dispatch(CwEntry::Instantiate, owner, 1, 0);
+            self.dispatch(CwEntry::Instantiate, attacker, 1, 0);
+        }
+        if self.has_export("execute") {
+            for funds in FUNDS_SWEEP {
+                for msg in 0..MSG_SWEEP {
+                    self.dispatch(CwEntry::Execute, attacker, msg, funds);
+                }
+            }
+        }
+        if self.has_export("query") {
+            for msg in 0..4 {
+                self.dispatch(CwEntry::Query, attacker, msg, 0);
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<FuzzReport, ChainError> {
+        let entries = ["instantiate", "execute", "query", "reply"]
+            .iter()
+            .filter(|e| self.has_export(e))
+            .count();
+        self.emit(TelemetryEvent::CampaignStarted {
+            seed: self.cfg.rng_seed,
+            actions: entries,
+            vtime: 0,
+        });
+        obs::add(
+            obs::Counter::BranchSites,
+            self.prepared.branch_sites.directions() as u64,
+        );
+
+        self.probe_sweep();
+
+        // The random loop: residual message/funds/sender combinations the
+        // sweep missed, until coverage stalls or time runs out.
+        let fuzzable = self.has_export("execute");
+        while fuzzable
+            && !self.clock.timed_out(self.cfg.timeout_us)
+            && self.stall < self.cfg.stall_iters
+            && !self.deadline_fired()
+        {
+            let msg = self.rng.gen_range(0..(2 * MSG_SWEEP));
+            let funds = [0, 0, 10, 200][self.rng.gen_range(0..4usize)];
+            let sender = if self.rng.gen_bool(0.25) {
+                cw_accounts::owner()
+            } else {
+                cw_accounts::attacker()
+            };
+            self.dispatch(CwEntry::Execute, sender, msg, funds);
+            self.iterations += 1;
+            obs::inc(obs::Counter::Iterations);
+            obs::worker::tick();
+        }
+
+        // Final probe pass: deeper state may open new event sequences.
+        self.probe_sweep();
+
+        let scanner = std::mem::replace(
+            &mut self.scanner,
+            CwScanner::new(accounts::target(), cw_accounts::owner()),
+        );
+        let (findings, exploits) = scanner.verdicts();
+        let branches = self.explored.len();
+        if self.sink.is_some() {
+            for ev in telemetry::oracle_verdicts_for(
+                &VulnClass::COSMWASM,
+                &findings,
+                &[],
+                self.clock.micros(),
+            ) {
+                self.emit(ev);
+            }
+            self.emit(TelemetryEvent::CampaignFinished {
+                iterations: self.iterations,
+                branches,
+                truncated: self.truncated,
+                vtime: self.clock.micros(),
+            });
+        }
+        let mut coverage_series = std::mem::take(&mut self.coverage_series);
+        coverage_series.push(self.cfg.timeout_us.max(self.clock.micros()), branches);
+        Ok(FuzzReport {
+            findings,
+            exploits,
+            branches,
+            coverage_series,
+            iterations: self.iterations,
+            virtual_us: self.clock.micros(),
+            smt_queries: 0,
+            custom_findings: Vec::new(),
+            truncated: self.truncated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome<'a>(
+        entry: CwEntry,
+        sender: Name,
+        succeeded: bool,
+        events: &'a [CwEvent],
+    ) -> DispatchOutcome<'a> {
+        DispatchOutcome {
+            entry,
+            sender,
+            succeeded,
+            events,
+        }
+    }
+
+    #[test]
+    fn attacker_instantiate_with_write_flags() {
+        let target = accounts::target();
+        let mut s = CwScanner::new(target, cw_accounts::owner());
+        let events = vec![CwEvent::StorageWrite {
+            contract: target,
+            key: 0,
+        }];
+        s.observe(
+            &outcome(CwEntry::Instantiate, cw_accounts::attacker(), true, &events),
+            "probe",
+        );
+        let (findings, exploits) = s.verdicts();
+        assert_eq!(findings, BTreeSet::from([VulnClass::UnauthInstantiate]));
+        assert_eq!(exploits.len(), 1);
+    }
+
+    #[test]
+    fn owner_instantiate_never_flags() {
+        let target = accounts::target();
+        let mut s = CwScanner::new(target, cw_accounts::owner());
+        let events = vec![CwEvent::StorageWrite {
+            contract: target,
+            key: 0,
+        }];
+        s.observe(
+            &outcome(CwEntry::Instantiate, cw_accounts::owner(), true, &events),
+            "setup",
+        );
+        assert!(s.verdicts().0.is_empty());
+    }
+
+    #[test]
+    fn reverted_attacker_instantiate_never_flags() {
+        let target = accounts::target();
+        let mut s = CwScanner::new(target, cw_accounts::owner());
+        let events = vec![CwEvent::StorageWrite {
+            contract: target,
+            key: 0,
+        }];
+        // The write happened but the dispatch reverted: nothing persisted.
+        s.observe(
+            &outcome(
+                CwEntry::Instantiate,
+                cw_accounts::attacker(),
+                false,
+                &events,
+            ),
+            "probe",
+        );
+        assert!(s.verdicts().0.is_empty());
+    }
+
+    #[test]
+    fn write_inside_failed_reply_flags() {
+        let target = accounts::target();
+        let mut s = CwScanner::new(target, cw_accounts::owner());
+        let events = vec![
+            CwEvent::Reply {
+                contract: target,
+                id: 9,
+                success: false,
+            },
+            CwEvent::StorageWrite {
+                contract: target,
+                key: 5,
+            },
+        ];
+        s.observe(
+            &outcome(CwEntry::Execute, cw_accounts::attacker(), true, &events),
+            "play",
+        );
+        let (findings, _) = s.verdicts();
+        assert_eq!(findings, BTreeSet::from([VulnClass::UncheckedReply]));
+    }
+
+    #[test]
+    fn write_inside_successful_reply_never_flags() {
+        let target = accounts::target();
+        let mut s = CwScanner::new(target, cw_accounts::owner());
+        let events = vec![
+            CwEvent::Reply {
+                contract: target,
+                id: 9,
+                success: true,
+            },
+            CwEvent::StorageWrite {
+                contract: target,
+                key: 5,
+            },
+        ];
+        s.observe(
+            &outcome(CwEntry::Execute, cw_accounts::attacker(), true, &events),
+            "play",
+        );
+        assert!(s.verdicts().0.is_empty());
+    }
+
+    #[test]
+    fn write_after_reply_frame_closes_never_flags() {
+        let target = accounts::target();
+        let mut s = CwScanner::new(target, cw_accounts::owner());
+        let events = vec![
+            CwEvent::Reply {
+                contract: target,
+                id: 9,
+                success: false,
+            },
+            // A new entry closes the failed-reply frame before the write.
+            CwEvent::Entry {
+                contract: target,
+                entry: CwEntry::Execute,
+                sender: cw_accounts::attacker(),
+                msg: 2,
+                funds: 0,
+            },
+            CwEvent::StorageWrite {
+                contract: target,
+                key: 5,
+            },
+        ];
+        s.observe(
+            &outcome(CwEntry::Execute, cw_accounts::attacker(), true, &events),
+            "play",
+        );
+        assert!(s.verdicts().0.is_empty());
+    }
+}

@@ -19,6 +19,7 @@ pub mod chaos;
 pub mod clock;
 pub mod config;
 pub mod coverage;
+pub mod cw;
 pub mod dbg;
 pub mod engine;
 pub mod fleet;
@@ -29,12 +30,14 @@ pub mod pool;
 pub mod report;
 pub mod scanner;
 pub mod seed;
+pub mod substrate;
 pub mod telemetry;
 pub mod wasai;
 
 pub use clock::{CostModel, VirtualClock};
 pub use config::FuzzConfig;
 pub use coverage::{BranchSites, CoverageSeries};
+pub use cw::CwScanner;
 pub use engine::Engine;
 pub use fleet::journal::{corpus_digest, Journal, JournalMeta, OutcomeRecord};
 pub use fleet::supervisor::{run_supervised, SupervisorOpts};
@@ -48,6 +51,10 @@ pub use oracle::{ApiUsageOracle, CustomOracle};
 pub use report::{ExploitRecord, FuzzReport, VulnClass};
 pub use scanner::{PayloadKind, Scanner};
 pub use seed::Seed;
+pub use substrate::{
+    substrate, CampaignContext, CampaignTarget, ConformanceHarness, ConformanceOp,
+    ConformanceVerdict, Substrate, SubstrateKind,
+};
 pub use telemetry::{
     Metrics, NullSink, Recorder, SmtOutcome, Stage, TelemetryEvent, TelemetrySink, VtimeHistogram,
 };

@@ -339,4 +339,157 @@ mod tests {
             assert_telemetry_matches(&findings, &custom);
         }
     }
+
+    /// End-to-end positive/negative pairs for the two CosmWasm oracle
+    /// classes, run through the full [`crate::Wasai`] façade with substrate
+    /// auto-detection: each vulnerable fixture must flag, and its corrected
+    /// twin — same shape, one guard added — must NOT fire the oracle.
+    mod cw_oracles {
+        use wasai_chain::abi::Abi;
+        use wasai_wasm::builder::ModuleBuilder;
+        use wasai_wasm::instr::Instr;
+        use wasai_wasm::types::{BlockType, ValType::*};
+        use wasai_wasm::Module;
+
+        use crate::config::FuzzConfig;
+        use crate::cw::cw_accounts;
+        use crate::report::{FuzzReport, VulnClass};
+        use crate::wasai::Wasai;
+
+        fn run(module: Module) -> FuzzReport {
+            Wasai::new(module, Abi::default())
+                .with_config(FuzzConfig::quick())
+                .run()
+                .expect("fixture deploys")
+        }
+
+        /// `instantiate` writes the owner key. With `guard`, a second
+        /// instantiate aborts instead of overwriting.
+        fn instantiate_contract(guard: bool) -> Module {
+            let mut b = ModuleBuilder::new();
+            let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+            let has = b.import_func("env", "storage_has", &[I64], &[I32]);
+            let abort = b.import_func("env", "cw_abort", &[I64], &[]);
+            let mut body = vec![];
+            if guard {
+                body.extend([
+                    Instr::I64Const(0),
+                    Instr::Call(has),
+                    Instr::If(BlockType::Empty),
+                    Instr::I64Const(1),
+                    Instr::Call(abort),
+                    Instr::End,
+                ]);
+            }
+            body.extend([
+                Instr::I64Const(0),
+                Instr::LocalGet(0),
+                Instr::Call(write),
+                Instr::End,
+            ]);
+            let inst = b.func(&[I64, I64, I64], &[], &[], body);
+            b.export_func("instantiate", inst);
+            b.build()
+        }
+
+        /// `execute(1)` queues an over-funded submessage (the unfunded
+        /// contract cannot cover it, so the reply sees failure); `reply`
+        /// credits a ledger key. With `guard`, the reply returns early
+        /// unless the submessage succeeded.
+        fn reply_contract(guard: bool) -> Module {
+            let mut b = ModuleBuilder::new();
+            let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+            let submsg = b.import_func("env", "submsg", &[I64, I64, I64, I64], &[]);
+            let exec = b.func(
+                &[I64, I64, I64],
+                &[],
+                &[],
+                vec![
+                    Instr::LocalGet(1),
+                    Instr::I64Const(1),
+                    Instr::I64Eq,
+                    Instr::If(BlockType::Empty),
+                    Instr::I64Const(cw_accounts::payee().as_i64()),
+                    Instr::I64Const(0),
+                    Instr::I64Const(100),
+                    Instr::I64Const(7),
+                    Instr::Call(submsg),
+                    Instr::End,
+                    Instr::End,
+                ],
+            );
+            let mut reply_body = vec![];
+            if guard {
+                reply_body.extend([
+                    Instr::LocalGet(1),
+                    Instr::I32Eqz,
+                    Instr::If(BlockType::Empty),
+                    Instr::Return,
+                    Instr::End,
+                ]);
+            }
+            reply_body.extend([
+                Instr::I64Const(5),
+                Instr::I64Const(1),
+                Instr::Call(write),
+                Instr::End,
+            ]);
+            let reply = b.func(&[I64, I32], &[], &[], reply_body);
+            b.export_func("execute", exec);
+            b.export_func("reply", reply);
+            b.build()
+        }
+
+        #[test]
+        fn open_instantiate_flags_unauth_instantiate() {
+            let report = run(instantiate_contract(false));
+            assert!(report.has(VulnClass::UnauthInstantiate));
+            assert!(
+                report
+                    .exploits
+                    .iter()
+                    .any(|e| e.class == VulnClass::UnauthInstantiate),
+                "finding carries an exploit record"
+            );
+        }
+
+        #[test]
+        fn guarded_instantiate_does_not_flag() {
+            let report = run(instantiate_contract(true));
+            assert!(
+                !report.has(VulnClass::UnauthInstantiate),
+                "a correct re-instantiate guard must not fire the oracle"
+            );
+            assert!(report.findings.is_empty());
+        }
+
+        #[test]
+        fn blind_reply_flags_unchecked_reply() {
+            let report = run(reply_contract(false));
+            assert!(report.has(VulnClass::UncheckedReply));
+        }
+
+        #[test]
+        fn guarded_reply_does_not_flag() {
+            let report = run(reply_contract(true));
+            assert!(
+                !report.has(VulnClass::UncheckedReply),
+                "a success-checked reply must not fire the oracle"
+            );
+            assert!(report.findings.is_empty());
+        }
+
+        #[test]
+        fn cw_reports_never_raise_eosio_classes() {
+            for module in [instantiate_contract(false), reply_contract(false)] {
+                let report = run(module);
+                for class in VulnClass::ALL {
+                    assert!(
+                        !report.has(class),
+                        "CosmWasm campaign raised EOSIO-only class {class}"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -5,7 +5,13 @@ use std::fmt;
 
 use crate::coverage::CoverageSeries;
 
-/// The five vulnerability classes of §2.3.
+/// The vulnerability classes WASAI detects: the five of §2.3 plus the
+/// CosmWasm-substrate classes the CTF catalog names.
+///
+/// Variant order is load-bearing: `Ord` derives from declaration order and
+/// drives the `findings:` line of [`FuzzReport::render`], and the EOSIO
+/// classes come first so appending substrate-specific classes cannot perturb
+/// any EOSIO golden report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum VulnClass {
     /// Accepting counterfeit EOS tokens (§2.3.1).
@@ -18,10 +24,19 @@ pub enum VulnClass {
     BlockinfoDep,
     /// Revertable inline-action reward schemes (§2.3.5).
     Rollback,
+    /// CosmWasm: `instantiate` callable by anyone — an attacker re-runs it
+    /// and takes over privileged state (owner, config).
+    UnauthInstantiate,
+    /// CosmWasm: `reply` commits state without checking whether the
+    /// submessage it answers actually succeeded.
+    UncheckedReply,
 }
 
 impl VulnClass {
-    /// All five classes, in the paper's order.
+    /// The five EOSIO classes, in the paper's order. This is the set the
+    /// EOSIO substrate reports against; it deliberately excludes the
+    /// CosmWasm classes so telemetry and golden reports for EOSIO campaigns
+    /// stay byte-identical as new substrates land.
     pub const ALL: [VulnClass; 5] = [
         VulnClass::FakeEos,
         VulnClass::FakeNotif,
@@ -29,6 +44,19 @@ impl VulnClass {
         VulnClass::BlockinfoDep,
         VulnClass::Rollback,
     ];
+
+    /// The classes the CosmWasm substrate reports against.
+    pub const COSMWASM: [VulnClass; 2] = [VulnClass::UnauthInstantiate, VulnClass::UncheckedReply];
+
+    /// Parse one class from its [`fmt::Display`] name — the inverse used by
+    /// ground-truth label sidecars.
+    pub fn from_label(s: &str) -> Option<VulnClass> {
+        VulnClass::ALL
+            .iter()
+            .chain(VulnClass::COSMWASM.iter())
+            .copied()
+            .find(|c| c.to_string() == s)
+    }
 }
 
 impl fmt::Display for VulnClass {
@@ -39,6 +67,8 @@ impl fmt::Display for VulnClass {
             VulnClass::MissAuth => "MissAuth",
             VulnClass::BlockinfoDep => "BlockinfoDep",
             VulnClass::Rollback => "Rollback",
+            VulnClass::UnauthInstantiate => "UnauthInstantiate",
+            VulnClass::UncheckedReply => "UncheckedReply",
         };
         f.write_str(s)
     }
@@ -138,6 +168,23 @@ mod tests {
         assert_eq!(VulnClass::FakeEos.to_string(), "Fake EOS");
         assert_eq!(VulnClass::BlockinfoDep.to_string(), "BlockinfoDep");
         assert_eq!(VulnClass::ALL.len(), 5);
+    }
+
+    #[test]
+    fn cosmwasm_classes_sort_after_the_eosio_five() {
+        for cw in VulnClass::COSMWASM {
+            for eosio in VulnClass::ALL {
+                assert!(eosio < cw, "{eosio} must order before {cw}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip_through_display() {
+        for c in VulnClass::ALL.iter().chain(VulnClass::COSMWASM.iter()) {
+            assert_eq!(VulnClass::from_label(&c.to_string()), Some(*c));
+        }
+        assert_eq!(VulnClass::from_label("NoSuchClass"), None);
     }
 
     #[test]

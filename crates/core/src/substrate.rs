@@ -1,0 +1,552 @@
+//! The substrate boundary: one trait over everything a chain backend
+//! hardcodes — entrypoint/ABI model, import table, action dispatch, state
+//! access and authorization model.
+//!
+//! WASAI's engine pipeline (instrument → compile → execute → trace → scan)
+//! is substrate-neutral; what differs between chains is how a contract is
+//! entered and which host APIs it sees. [`Substrate`] packages that
+//! difference: the EOSIO backend routes campaigns through the unchanged
+//! [`crate::engine::Engine`] (its reports are byte-identical to the
+//! pre-trait code path — CI proves it differentially), the CosmWasm backend
+//! through [`crate::cw::run_campaign`]. A third backend implements this
+//! trait and inherits the conformance battery
+//! (`tests/substrate_conformance.rs`) for free.
+//!
+//! Determinism contract per backend:
+//! - **EOSIO**: reports and telemetry traces are byte-identical at any
+//!   `WASAI_JOBS`/`--procs` count and kill schedule, and with or without
+//!   the solver cache or tape fast path.
+//! - **CosmWasm**: the campaign is solver-free; reports depend only on
+//!   `rng_seed` and the wall-clock deadline (`truncated` latches exactly
+//!   like the EOSIO engine's).
+
+use std::sync::Arc;
+
+use wasai_chain::abi::Abi;
+use wasai_chain::cosmwasm::{CwChain, CwConfig, CwEntry};
+use wasai_chain::database::TableId;
+use wasai_chain::name::Name;
+use wasai_chain::{Action, Chain, ChainConfig, ChainError, Transaction};
+use wasai_smt::SolverCache;
+use wasai_wasm::builder::ModuleBuilder;
+use wasai_wasm::instr::{Instr, MemArg};
+use wasai_wasm::types::{BlockType, ValType::*};
+use wasai_wasm::Module;
+
+use crate::config::FuzzConfig;
+use crate::cw;
+use crate::engine::Engine;
+use crate::harness::{accounts, PreparedTarget, TargetInfo};
+use crate::oracle::CustomOracle;
+use crate::report::{FuzzReport, VulnClass};
+use crate::telemetry::TelemetrySink;
+
+/// Which chain substrate a campaign targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubstrateKind {
+    /// EOSIO-style: one `apply(receiver, code, action)` export, `env`
+    /// library APIs, notification/inline/deferred action model.
+    Eosio,
+    /// CosmWasm-style: `instantiate`/`execute`/`query` exports, env/info as
+    /// arguments, bank + submessage/reply model.
+    Cosmwasm,
+}
+
+impl SubstrateKind {
+    /// Stable CLI / config name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubstrateKind::Eosio => "eosio",
+            SubstrateKind::Cosmwasm => "cosmwasm",
+        }
+    }
+
+    /// Parse a CLI / config name.
+    pub fn parse(s: &str) -> Option<SubstrateKind> {
+        match s {
+            "eosio" => Some(SubstrateKind::Eosio),
+            "cosmwasm" | "cw" => Some(SubstrateKind::Cosmwasm),
+            _ => None,
+        }
+    }
+
+    /// Infer the substrate from a module's entry exports. `apply` wins
+    /// (EOSIO contracts are the default and the historical behavior);
+    /// otherwise an `instantiate` or `execute` export marks CosmWasm.
+    /// Modules exporting neither default to EOSIO, which reports the same
+    /// missing-entrypoint failure it always has.
+    pub fn detect(module: &Module) -> SubstrateKind {
+        if module.exported_func("apply").is_some() {
+            SubstrateKind::Eosio
+        } else if module.exported_func("instantiate").is_some()
+            || module.exported_func("execute").is_some()
+        {
+            SubstrateKind::Cosmwasm
+        } else {
+            SubstrateKind::Eosio
+        }
+    }
+}
+
+impl std::fmt::Display for SubstrateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a campaign's target comes from: a raw module prepared at run time,
+/// or a shared pre-instrumented artifact (the fleet cache). Preparation is
+/// substrate-neutral — both backends consume the same artifact.
+#[derive(Debug)]
+pub enum CampaignTarget {
+    /// Instrument/compile on demand.
+    Raw(Box<TargetInfo>),
+    /// A shared prepared artifact.
+    Prepared(Arc<PreparedTarget>),
+}
+
+impl CampaignTarget {
+    /// Resolve to a prepared artifact.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module cannot be instrumented or deployed.
+    pub fn prepare(self) -> Result<Arc<PreparedTarget>, ChainError> {
+        match self {
+            CampaignTarget::Raw(info) => PreparedTarget::prepare(*info),
+            CampaignTarget::Prepared(p) => Ok(p),
+        }
+    }
+
+    /// The original (uninstrumented) module, for substrate detection.
+    pub fn module(&self) -> &Module {
+        match self {
+            CampaignTarget::Raw(info) => &info.original,
+            CampaignTarget::Prepared(p) => &p.info.original,
+        }
+    }
+}
+
+/// Everything a backend needs to run one campaign — the [`crate::Wasai`]
+/// builder's state, handed across the substrate boundary.
+pub struct CampaignContext {
+    /// The contract under test.
+    pub target: CampaignTarget,
+    /// Campaign configuration.
+    pub cfg: FuzzConfig,
+    /// Custom oracles (§5). EOSIO-receipt-bound; the CosmWasm backend
+    /// ignores them.
+    pub oracles: Vec<Box<dyn CustomOracle>>,
+    /// Telemetry sink, if any.
+    pub sink: Option<Box<dyn TelemetrySink>>,
+    /// Fleet-shared solver cache. The CosmWasm campaign is solver-free and
+    /// ignores it.
+    pub solver_cache: Option<Arc<SolverCache>>,
+}
+
+/// One chain backend behind the host-API boundary.
+pub trait Substrate: Sync {
+    /// Which substrate this is.
+    fn kind(&self) -> SubstrateKind;
+
+    /// The entry exports this substrate dispatches through.
+    fn entry_exports(&self) -> &'static [&'static str];
+
+    /// The oracle classes this substrate's campaigns report against.
+    fn oracle_classes(&self) -> &'static [VulnClass];
+
+    /// Run one fuzzing campaign.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the contract cannot be instrumented or deployed.
+    fn run_campaign(&self, ctx: CampaignContext) -> Result<FuzzReport, ChainError>;
+
+    /// A fresh conformance harness with the given per-dispatch fuel budget,
+    /// wired to this substrate's self-test fixture contract. The shared
+    /// battery (`tests/substrate_conformance.rs`) drives it.
+    fn conformance(&self, fuel_budget: u64) -> Box<dyn ConformanceHarness>;
+}
+
+/// Look up the backend for a kind.
+pub fn substrate(kind: SubstrateKind) -> &'static dyn Substrate {
+    match kind {
+        SubstrateKind::Eosio => &EosioSubstrate,
+        SubstrateKind::Cosmwasm => &CosmwasmSubstrate,
+    }
+}
+
+/// The operations every substrate must express for the conformance battery:
+/// persistence, rollback-on-trap, fuel metering and a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConformanceOp {
+    /// Do nothing; must succeed.
+    Noop,
+    /// Persist marker value 11 under probe key 1; must commit.
+    Store,
+    /// Persist marker value 22 under probe key 2, then trap; must roll back.
+    StoreThenTrap,
+    /// Loop until the fuel budget exhausts; must trap with
+    /// `steps_used == budget` and leave state untouched.
+    Spin,
+}
+
+/// The outcome of one conformance dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceVerdict {
+    /// Whether the dispatch committed.
+    pub ok: bool,
+    /// Fuel consumed (meaningful on failure too).
+    pub steps_used: u64,
+}
+
+/// A deployed self-test fixture the battery dispatches ops against.
+pub trait ConformanceHarness {
+    /// Dispatch one op as the substrate's default (unprivileged) caller.
+    fn dispatch(&mut self, op: ConformanceOp) -> ConformanceVerdict;
+
+    /// The persisted value under a probe key, if any.
+    fn probe(&self, key: i64) -> Option<i64>;
+}
+
+// ---------------------------------------------------------------------------
+// EOSIO backend
+// ---------------------------------------------------------------------------
+
+/// The EOSIO backend: campaigns route through the unchanged engine.
+pub struct EosioSubstrate;
+
+impl Substrate for EosioSubstrate {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::Eosio
+    }
+
+    fn entry_exports(&self) -> &'static [&'static str] {
+        &["apply"]
+    }
+
+    fn oracle_classes(&self) -> &'static [VulnClass] {
+        &VulnClass::ALL
+    }
+
+    fn run_campaign(&self, ctx: CampaignContext) -> Result<FuzzReport, ChainError> {
+        let prepared = ctx.target.prepare()?;
+        let mut engine = Engine::from_prepared(prepared, ctx.cfg)?;
+        for o in ctx.oracles {
+            engine.add_oracle(o);
+        }
+        if let Some(sink) = ctx.sink {
+            engine.set_sink(sink);
+        }
+        if let Some(cache) = ctx.solver_cache {
+            engine.set_solver_cache(cache);
+        }
+        Ok(engine.run())
+    }
+
+    fn conformance(&self, fuel_budget: u64) -> Box<dyn ConformanceHarness> {
+        Box::new(EosioConformance::new(fuel_budget))
+    }
+}
+
+/// The EOSIO fixture: an `apply`-dispatching contract storing 8-byte rows
+/// through `db_store_i64`.
+fn eosio_fixture() -> Module {
+    let me = accounts::target().as_i64();
+    let probe = probe_table().as_i64();
+    let mut b = ModuleBuilder::with_memory(1);
+    let db_store = b.import_func(
+        "env",
+        "db_store_i64",
+        &[I64, I64, I64, I64, I32, I32],
+        &[I32],
+    );
+    // db_store_i64(scope, table, payer, id, ptr, len) with the marker value
+    // staged at memory offset 0.
+    let store_row = |value: i64, id: i64| {
+        vec![
+            Instr::I32Const(0),
+            Instr::I64Const(value),
+            Instr::I64Store(MemArg::default()),
+            Instr::I64Const(me),
+            Instr::I64Const(probe),
+            Instr::I64Const(me),
+            Instr::I64Const(id),
+            Instr::I32Const(0),
+            Instr::I32Const(8),
+            Instr::Call(db_store),
+            Instr::Drop,
+        ]
+    };
+    let mut body = vec![
+        Instr::LocalGet(2),
+        Instr::I64Const(Name::new("store").as_i64()),
+        Instr::I64Eq,
+        Instr::If(BlockType::Empty),
+    ];
+    body.extend(store_row(11, 1));
+    body.extend([
+        Instr::End,
+        Instr::LocalGet(2),
+        Instr::I64Const(Name::new("storetrap").as_i64()),
+        Instr::I64Eq,
+        Instr::If(BlockType::Empty),
+    ]);
+    body.extend(store_row(22, 2));
+    body.extend([
+        Instr::Unreachable,
+        Instr::End,
+        Instr::LocalGet(2),
+        Instr::I64Const(Name::new("spin").as_i64()),
+        Instr::I64Eq,
+        Instr::If(BlockType::Empty),
+        Instr::Loop(BlockType::Empty),
+        Instr::Br(0),
+        Instr::End,
+        Instr::End,
+        Instr::End,
+    ]);
+    let apply = b.func(&[I64, I64, I64], &[], &[], body);
+    b.export_func("apply", apply);
+    b.build()
+}
+
+fn probe_table() -> Name {
+    Name::new("probe")
+}
+
+struct EosioConformance {
+    chain: Chain,
+}
+
+impl EosioConformance {
+    fn new(fuel_budget: u64) -> Self {
+        let mut chain = Chain::with_config(ChainConfig {
+            fuel_per_tx: fuel_budget,
+            ..ChainConfig::default()
+        });
+        chain
+            .create_account(accounts::attacker())
+            .expect("fresh chain");
+        chain
+            .deploy_wasm(accounts::target(), eosio_fixture(), Abi::default())
+            .expect("fixture compiles");
+        EosioConformance { chain }
+    }
+}
+
+impl ConformanceHarness for EosioConformance {
+    fn dispatch(&mut self, op: ConformanceOp) -> ConformanceVerdict {
+        let action = match op {
+            ConformanceOp::Noop => "noop",
+            ConformanceOp::Store => "store",
+            ConformanceOp::StoreThenTrap => "storetrap",
+            ConformanceOp::Spin => "spin",
+        };
+        let tx = Transaction::single(Action::new(
+            accounts::target(),
+            Name::new(action),
+            &[accounts::attacker()],
+            &[],
+        ));
+        match self.chain.push_transaction(&tx) {
+            Ok(r) => ConformanceVerdict {
+                ok: true,
+                steps_used: r.steps_used,
+            },
+            Err(e) => ConformanceVerdict {
+                ok: false,
+                steps_used: e.receipt.steps_used,
+            },
+        }
+    }
+
+    fn probe(&self, key: i64) -> Option<i64> {
+        let me = accounts::target();
+        let table = TableId {
+            code: me,
+            scope: me,
+            table: probe_table(),
+        };
+        let row = self.chain.db.find(table, key as u64)?;
+        let bytes: [u8; 8] = row.get(..8)?.try_into().ok()?;
+        Some(i64::from_le_bytes(bytes))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CosmWasm backend
+// ---------------------------------------------------------------------------
+
+/// The CosmWasm backend: campaigns route through [`crate::cw`].
+pub struct CosmwasmSubstrate;
+
+impl Substrate for CosmwasmSubstrate {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::Cosmwasm
+    }
+
+    fn entry_exports(&self) -> &'static [&'static str] {
+        &["instantiate", "execute", "query", "reply"]
+    }
+
+    fn oracle_classes(&self) -> &'static [VulnClass] {
+        &VulnClass::COSMWASM
+    }
+
+    fn run_campaign(&self, ctx: CampaignContext) -> Result<FuzzReport, ChainError> {
+        // Custom oracles and the solver cache are EOSIO-bound (receipts and
+        // flip queries); the CosmWasm campaign is solver-free.
+        let prepared = ctx.target.prepare()?;
+        cw::run_campaign(prepared, ctx.cfg, ctx.sink)
+    }
+
+    fn conformance(&self, fuel_budget: u64) -> Box<dyn ConformanceHarness> {
+        Box::new(CwConformance::new(fuel_budget))
+    }
+}
+
+/// The CosmWasm fixture: an `execute` opcode-dispatching contract using the
+/// value-passing storage API.
+fn cw_fixture() -> Module {
+    let mut b = ModuleBuilder::new();
+    let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+    let abort = b.import_func("env", "cw_abort", &[I64], &[]);
+    let case = |opcode: i64, then: Vec<Instr>| {
+        let mut v = vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(opcode),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+        ];
+        v.extend(then);
+        v.push(Instr::End);
+        v
+    };
+    let mut body = case(
+        1,
+        vec![Instr::I64Const(1), Instr::I64Const(11), Instr::Call(write)],
+    );
+    body.extend(case(
+        2,
+        vec![
+            Instr::I64Const(2),
+            Instr::I64Const(22),
+            Instr::Call(write),
+            Instr::I64Const(2),
+            Instr::Call(abort),
+        ],
+    ));
+    body.extend(case(
+        3,
+        vec![Instr::Loop(BlockType::Empty), Instr::Br(0), Instr::End],
+    ));
+    body.push(Instr::End);
+    let exec = b.func(&[I64, I64, I64], &[], &[], body);
+    b.export_func("execute", exec);
+    b.build()
+}
+
+struct CwConformance {
+    chain: CwChain,
+}
+
+impl CwConformance {
+    fn new(fuel_budget: u64) -> Self {
+        let mut chain = CwChain::with_config(CwConfig {
+            fuel_per_dispatch: fuel_budget,
+        });
+        chain.create_wallet(cw::cw_accounts::attacker(), 1_000_000);
+        chain
+            .deploy(accounts::target(), cw_fixture())
+            .expect("fixture compiles");
+        CwConformance { chain }
+    }
+}
+
+impl ConformanceHarness for CwConformance {
+    fn dispatch(&mut self, op: ConformanceOp) -> ConformanceVerdict {
+        let msg = match op {
+            ConformanceOp::Noop => 0,
+            ConformanceOp::Store => 1,
+            ConformanceOp::StoreThenTrap => 2,
+            ConformanceOp::Spin => 3,
+        };
+        let budget = self.chain.config().fuel_per_dispatch;
+        match self.chain.dispatch(
+            CwEntry::Execute,
+            accounts::target(),
+            cw::cw_accounts::attacker(),
+            msg,
+            0,
+        ) {
+            Ok(r) => ConformanceVerdict {
+                ok: true,
+                steps_used: r.steps_used,
+            },
+            Err(e) => ConformanceVerdict {
+                ok: false,
+                steps_used: e.receipt().map_or(budget, |r| r.steps_used),
+            },
+        }
+    }
+
+    fn probe(&self, key: i64) -> Option<i64> {
+        self.chain.storage_get(accounts::target(), key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [SubstrateKind::Eosio, SubstrateKind::Cosmwasm] {
+            assert_eq!(SubstrateKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SubstrateKind::parse("cw"), Some(SubstrateKind::Cosmwasm));
+        assert_eq!(SubstrateKind::parse("solana"), None);
+    }
+
+    #[test]
+    fn detect_classifies_entry_models() {
+        assert_eq!(
+            SubstrateKind::detect(&eosio_fixture()),
+            SubstrateKind::Eosio
+        );
+        assert_eq!(
+            SubstrateKind::detect(&cw_fixture()),
+            SubstrateKind::Cosmwasm
+        );
+        assert_eq!(
+            SubstrateKind::detect(&Module::new()),
+            SubstrateKind::Eosio,
+            "entry-less modules default to the historical behavior"
+        );
+    }
+
+    #[test]
+    fn registry_serves_both_backends() {
+        for kind in [SubstrateKind::Eosio, SubstrateKind::Cosmwasm] {
+            let s = substrate(kind);
+            assert_eq!(s.kind(), kind);
+            assert!(!s.entry_exports().is_empty());
+            assert!(!s.oracle_classes().is_empty());
+        }
+        assert_eq!(
+            substrate(SubstrateKind::Eosio).oracle_classes(),
+            &VulnClass::ALL
+        );
+        assert_eq!(
+            substrate(SubstrateKind::Cosmwasm).oracle_classes(),
+            &VulnClass::COSMWASM
+        );
+    }
+
+    #[test]
+    fn fixtures_validate() {
+        assert!(wasai_wasm::validate::validate(&eosio_fixture()).is_ok());
+        assert!(wasai_wasm::validate::validate(&cw_fixture()).is_ok());
+    }
+}

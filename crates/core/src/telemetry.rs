@@ -792,7 +792,20 @@ pub fn oracle_verdicts(
     custom_findings: &[(String, String)],
     vtime: u64,
 ) -> Vec<TelemetryEvent> {
-    let mut out: Vec<TelemetryEvent> = VulnClass::ALL
+    oracle_verdicts_for(&VulnClass::ALL, findings, custom_findings, vtime)
+}
+
+/// [`oracle_verdicts`] against an explicit class list — each substrate
+/// passes its own oracle catalog ([`VulnClass::ALL`] for EOSIO,
+/// [`VulnClass::COSMWASM`] for CosmWasm) so the event stream always carries
+/// one verdict per oracle the campaign actually ran.
+pub fn oracle_verdicts_for(
+    classes: &[VulnClass],
+    findings: &BTreeSet<VulnClass>,
+    custom_findings: &[(String, String)],
+    vtime: u64,
+) -> Vec<TelemetryEvent> {
+    let mut out: Vec<TelemetryEvent> = classes
         .iter()
         .map(|class| TelemetryEvent::OracleVerdict {
             oracle: class.to_string(),

@@ -6,19 +6,11 @@ use wasai_chain::abi::Abi;
 use wasai_wasm::Module;
 
 use crate::config::FuzzConfig;
-use crate::engine::Engine;
 use crate::harness::{PreparedTarget, TargetInfo};
 use crate::report::FuzzReport;
+use crate::substrate::{substrate, CampaignContext, CampaignTarget, SubstrateKind};
 use crate::telemetry::{Recorder, TelemetryEvent, TelemetrySink};
 use wasai_smt::SolverCache;
-
-/// Where the campaign's target comes from: a raw module prepared on `run`,
-/// or a shared pre-instrumented artifact (the fleet cache).
-#[derive(Debug)]
-enum Target {
-    Raw(Box<TargetInfo>),
-    Prepared(Arc<PreparedTarget>),
-}
 
 /// A configured WASAI analysis of one Wasm smart contract.
 ///
@@ -37,8 +29,9 @@ enum Target {
 /// ```
 #[derive(Debug)]
 pub struct Wasai {
-    target: Target,
+    target: CampaignTarget,
     cfg: FuzzConfig,
+    substrate: Option<SubstrateKind>,
     oracles: Vec<Box<dyn crate::oracle::CustomOracle>>,
     sink: Option<Box<dyn TelemetrySink>>,
     solver_cache: Option<Arc<SolverCache>>,
@@ -48,8 +41,9 @@ impl Wasai {
     /// Analyze `module` (with its ABI) under the default configuration.
     pub fn new(module: Module, abi: Abi) -> Self {
         Wasai {
-            target: Target::Raw(Box::new(TargetInfo::new(module, abi))),
+            target: CampaignTarget::Raw(Box::new(TargetInfo::new(module, abi))),
             cfg: FuzzConfig::default(),
+            substrate: None,
             oracles: Vec::new(),
             sink: None,
             solver_cache: None,
@@ -61,12 +55,21 @@ impl Wasai {
     /// the same `Arc` instead of being redone per campaign.
     pub fn from_prepared(prepared: Arc<PreparedTarget>) -> Self {
         Wasai {
-            target: Target::Prepared(prepared),
+            target: CampaignTarget::Prepared(prepared),
             cfg: FuzzConfig::default(),
+            substrate: None,
             oracles: Vec::new(),
             sink: None,
             solver_cache: None,
         }
+    }
+
+    /// Pin the chain substrate instead of auto-detecting it from the
+    /// module's entry exports. The EOSIO path is byte-identical whether
+    /// pinned or detected.
+    pub fn with_substrate(mut self, kind: SubstrateKind) -> Self {
+        self.substrate = Some(kind);
+        self
     }
 
     /// Override the configuration.
@@ -106,21 +109,16 @@ impl Wasai {
     /// Fails if the contract cannot be instrumented or deployed (e.g. it
     /// does not validate).
     pub fn run(self) -> Result<FuzzReport, wasai_chain::ChainError> {
-        let prepared = match self.target {
-            Target::Raw(info) => PreparedTarget::prepare(*info)?,
-            Target::Prepared(p) => p,
-        };
-        let mut engine = Engine::from_prepared(prepared, self.cfg)?;
-        for o in self.oracles {
-            engine.add_oracle(o);
-        }
-        if let Some(sink) = self.sink {
-            engine.set_sink(sink);
-        }
-        if let Some(cache) = self.solver_cache {
-            engine.set_solver_cache(cache);
-        }
-        Ok(engine.run())
+        let kind = self
+            .substrate
+            .unwrap_or_else(|| SubstrateKind::detect(self.target.module()));
+        substrate(kind).run_campaign(CampaignContext {
+            target: self.target,
+            cfg: self.cfg,
+            oracles: self.oracles,
+            sink: self.sink,
+            solver_cache: self.solver_cache,
+        })
     }
 
     /// Run the campaign and return its full telemetry event stream along

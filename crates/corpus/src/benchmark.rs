@@ -84,6 +84,11 @@ fn build_group(
                     base
                 }
             }
+            // CosmWasm-substrate classes live in `crate::cw`; the §4.2
+            // benchmark is EOSIO-only and never groups by them.
+            VulnClass::UnauthInstantiate | VulnClass::UncheckedReply => {
+                unreachable!("benchmark groups cover only VulnClass::ALL")
+            }
             // Template classes: generated directly; the non-vulnerable half
             // hides the template behind inaccessible branches (§4.2).
             VulnClass::BlockinfoDep | VulnClass::Rollback => {

@@ -1,0 +1,355 @@
+//! CosmWasm-shaped labeled contracts: the ground-truth corpus for the
+//! second substrate.
+//!
+//! Mirrors [`crate::spec`]'s philosophy — the blueprint *is* the ground
+//! truth: every vulnerability is present exactly when its guard knob is
+//! off, so labels are derived, never asserted by hand. The generated shape
+//! follows real CosmWasm CTF patterns: an `instantiate` that persists the
+//! owner, a `play` message that queues a funded submessage, a `reply` that
+//! credits the ledger, and benign filler messages for coverage realism.
+//!
+//! The message opcode space stays inside `0..8` — the range the CosmWasm
+//! campaign sweeps exhaustively — so every labeled bug is reachable by the
+//! fuzzer and the precision/recall gate (`tests/cw_ground_truth.rs`) can
+//! demand 100% recall with zero false positives.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wasai_core::cw::cw_accounts;
+use wasai_core::VulnClass;
+use wasai_wasm::builder::ModuleBuilder;
+use wasai_wasm::instr::Instr;
+use wasai_wasm::types::{BlockType, ValType::*};
+use wasai_wasm::Module;
+
+/// A CosmWasm generation blueprint. Each `*_guard` knob removes one
+/// vulnerability; the all-guards-on contract is the clean twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CwBlueprint {
+    /// RNG seed for the contract's random constants.
+    pub seed: u64,
+    /// `instantiate` refuses to run twice (aborts when the owner key is
+    /// already set). Off → [`VulnClass::UnauthInstantiate`].
+    pub instantiate_auth: bool,
+    /// `reply` returns early when the submessage failed. Off →
+    /// [`VulnClass::UncheckedReply`].
+    pub reply_check: bool,
+    /// Export a read-only `query` entry.
+    pub has_query: bool,
+    /// Benign extra execute opcodes (0–4): storage writes under distinct
+    /// keys, for coverage realism.
+    pub filler_msgs: u32,
+}
+
+impl Default for CwBlueprint {
+    fn default() -> Self {
+        CwBlueprint {
+            seed: 0,
+            instantiate_auth: true,
+            reply_check: true,
+            has_query: true,
+            filler_msgs: 2,
+        }
+    }
+}
+
+impl CwBlueprint {
+    /// The ground-truth label implied by the blueprint.
+    pub fn label(&self) -> BTreeSet<VulnClass> {
+        let mut out = BTreeSet::new();
+        if !self.instantiate_auth {
+            out.insert(VulnClass::UnauthInstantiate);
+        }
+        if !self.reply_check {
+            out.insert(VulnClass::UncheckedReply);
+        }
+        out
+    }
+}
+
+/// A generated, labeled CosmWasm sample.
+#[derive(Debug, Clone)]
+pub struct LabeledCwContract {
+    /// The contract bytecode (uninstrumented).
+    pub module: Module,
+    /// Ground-truth classes present.
+    pub label: BTreeSet<VulnClass>,
+    /// The blueprint it was generated from.
+    pub blueprint: CwBlueprint,
+}
+
+/// Storage keys the generated contracts use.
+mod keys {
+    /// Owner address, set by `instantiate`.
+    pub const OWNER: i64 = 0;
+    /// Deposit ledger, written by the `deposit` message.
+    pub const DEPOSITS: i64 = 2;
+    /// Reply credit, written by `reply`.
+    pub const CREDIT: i64 = 5;
+    /// First filler key (one per filler message).
+    pub const FILLER: i64 = 16;
+}
+
+/// Execute message opcodes (kept inside the campaign's `0..8` sweep).
+mod msgs {
+    /// Queue the submessage whose reply credits the ledger.
+    pub const PLAY: i64 = 1;
+    /// Record the attached funds.
+    pub const DEPOSIT: i64 = 2;
+    /// First filler opcode.
+    pub const FILLER: i64 = 3;
+}
+
+/// Generate one contract from a blueprint.
+pub fn generate_cw(bp: CwBlueprint) -> LabeledCwContract {
+    let mut rng = StdRng::seed_from_u64(bp.seed);
+    let mut b = ModuleBuilder::new();
+    let read = b.import_func("env", "storage_read", &[I64], &[I64]);
+    let has = b.import_func("env", "storage_has", &[I64], &[I32]);
+    let write = b.import_func("env", "storage_write", &[I64, I64], &[]);
+    let abort = b.import_func("env", "cw_abort", &[I64], &[]);
+    let submsg = b.import_func("env", "submsg", &[I64, I64, I64, I64], &[]);
+
+    // instantiate(sender, msg, funds): optionally refuse a second run, then
+    // persist the caller as owner.
+    let mut inst_body = vec![];
+    if bp.instantiate_auth {
+        inst_body.extend([
+            Instr::I64Const(keys::OWNER),
+            Instr::Call(has),
+            Instr::If(BlockType::Empty),
+            Instr::I64Const(1),
+            Instr::Call(abort),
+            Instr::End,
+        ]);
+    }
+    inst_body.extend([
+        Instr::I64Const(keys::OWNER),
+        Instr::LocalGet(0),
+        Instr::Call(write),
+        Instr::End,
+    ]);
+    let inst = b.func(&[I64, I64, I64], &[], &[], inst_body);
+
+    // execute(sender, msg, funds): play / deposit / filler dispatch.
+    let stake: i64 = rng.gen_range(60..120);
+    let case = |opcode: i64, then: Vec<Instr>| {
+        let mut v = vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(opcode),
+            Instr::I64Eq,
+            Instr::If(BlockType::Empty),
+        ];
+        v.extend(then);
+        v.push(Instr::End);
+        v
+    };
+    let mut exec_body = case(
+        msgs::PLAY,
+        vec![
+            Instr::I64Const(cw_accounts::payee().as_i64()),
+            Instr::I64Const(0),
+            Instr::I64Const(stake),
+            Instr::I64Const(7),
+            Instr::Call(submsg),
+        ],
+    );
+    exec_body.extend(case(
+        msgs::DEPOSIT,
+        vec![
+            Instr::I64Const(keys::DEPOSITS),
+            Instr::LocalGet(2),
+            Instr::Call(write),
+        ],
+    ));
+    let fillers = bp.filler_msgs.min(4) as i64;
+    for i in 0..fillers {
+        let marker: i64 = rng.gen_range(1..1_000);
+        exec_body.extend(case(
+            msgs::FILLER + i,
+            vec![
+                Instr::I64Const(keys::FILLER + i),
+                Instr::I64Const(marker),
+                Instr::Call(write),
+            ],
+        ));
+    }
+    exec_body.push(Instr::End);
+    let exec = b.func(&[I64, I64, I64], &[], &[], exec_body);
+
+    // reply(id, success): optionally bail on failure, then credit.
+    let mut reply_body = vec![];
+    if bp.reply_check {
+        reply_body.extend([
+            Instr::LocalGet(1),
+            Instr::I32Eqz,
+            Instr::If(BlockType::Empty),
+            Instr::Return,
+            Instr::End,
+        ]);
+    }
+    reply_body.extend([
+        Instr::I64Const(keys::CREDIT),
+        Instr::LocalGet(0),
+        Instr::Call(write),
+        Instr::End,
+    ]);
+    let reply = b.func(&[I64, I32], &[], &[], reply_body);
+
+    b.export_func("instantiate", inst);
+    b.export_func("execute", exec);
+    b.export_func("reply", reply);
+    if bp.has_query {
+        let query = b.func(
+            &[I64],
+            &[I64],
+            &[],
+            vec![Instr::LocalGet(0), Instr::Call(read), Instr::End],
+        );
+        b.export_func("query", query);
+    }
+
+    LabeledCwContract {
+        module: b.build(),
+        label: bp.label(),
+        blueprint: bp,
+    }
+}
+
+/// Generate a labeled corpus of `count` contracts: a deterministic mix of
+/// vulnerable samples and their clean twins (every guard combination
+/// appears when `count >= 4`).
+pub fn cw_corpus(seed: u64, count: usize) -> Vec<LabeledCwContract> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            // Cycle the four guard combinations so small corpora still
+            // contain every label, then randomize the rest.
+            let combo = i % 4;
+            generate_cw(CwBlueprint {
+                seed: rng.gen(),
+                instantiate_auth: combo & 1 == 0,
+                reply_check: combo & 2 == 0,
+                has_query: rng.gen_bool(0.5),
+                filler_msgs: rng.gen_range(0..5),
+            })
+        })
+        .collect()
+}
+
+/// Serialize a ground-truth label to the `.label` sidecar format: class
+/// [`std::fmt::Display`] names, comma-joined, newline-terminated (the same
+/// schema the EOSIO corpus writes). An empty label is a bare newline.
+pub fn label_sidecar(label: &BTreeSet<VulnClass>) -> String {
+    let names: Vec<String> = label.iter().map(|c| c.to_string()).collect();
+    names.join(",") + "\n"
+}
+
+/// Parse a `.label` sidecar. Returns `None` if any entry is not a known
+/// class name — the schema check the ground-truth gate relies on.
+pub fn parse_label_sidecar(text: &str) -> Option<BTreeSet<VulnClass>> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Some(BTreeSet::new());
+    }
+    trimmed
+        .split(',')
+        .map(|s| VulnClass::from_label(s.trim()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasai_chain::name::Name;
+    use wasai_wasm::validate::validate;
+
+    #[test]
+    fn labels_follow_blueprint() {
+        assert!(CwBlueprint::default().label().is_empty());
+        let both = CwBlueprint {
+            instantiate_auth: false,
+            reply_check: false,
+            ..CwBlueprint::default()
+        };
+        assert_eq!(
+            both.label(),
+            BTreeSet::from([VulnClass::UnauthInstantiate, VulnClass::UncheckedReply])
+        );
+    }
+
+    #[test]
+    fn generated_modules_validate_and_export_the_entry_model() {
+        for bp in [
+            CwBlueprint::default(),
+            CwBlueprint {
+                instantiate_auth: false,
+                reply_check: false,
+                has_query: false,
+                filler_msgs: 4,
+                ..CwBlueprint::default()
+            },
+        ] {
+            let c = generate_cw(bp);
+            validate(&c.module).expect("generated module validates");
+            for export in ["instantiate", "execute", "reply"] {
+                assert!(c.module.exported_func(export).is_some(), "missing {export}");
+            }
+            assert_eq!(c.module.exported_func("query").is_some(), bp.has_query);
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_every_label_combo() {
+        let a = cw_corpus(42, 8);
+        let b = cw_corpus(42, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.blueprint, y.blueprint);
+            assert_eq!(x.label, y.label);
+        }
+        let labels: BTreeSet<Vec<VulnClass>> = a
+            .iter()
+            .map(|c| c.label.iter().copied().collect())
+            .collect();
+        assert_eq!(labels.len(), 4, "all four guard combinations present");
+    }
+
+    #[test]
+    fn label_sidecar_schema_roundtrips() {
+        let corpus = cw_corpus(7, 8);
+        for c in &corpus {
+            let text = label_sidecar(&c.label);
+            assert!(text.ends_with('\n'));
+            assert_eq!(parse_label_sidecar(&text).expect("sidecar parses"), c.label);
+        }
+        assert_eq!(parse_label_sidecar("\n"), Some(BTreeSet::new()));
+        assert_eq!(
+            parse_label_sidecar("UnauthInstantiate,UncheckedReply\n"),
+            Some(BTreeSet::from([
+                VulnClass::UnauthInstantiate,
+                VulnClass::UncheckedReply
+            ]))
+        );
+        assert_eq!(
+            parse_label_sidecar("NotAClass\n"),
+            None,
+            "unknown names fail the schema check"
+        );
+        // EOSIO sidecars parse under the same schema.
+        assert_eq!(
+            parse_label_sidecar("Fake EOS,MissAuth\n"),
+            Some(BTreeSet::from([VulnClass::FakeEos, VulnClass::MissAuth]))
+        );
+    }
+
+    #[test]
+    fn sender_name_constants_fit_the_campaign_cast() {
+        // The generated `play` submessage targets the campaign's payee
+        // wallet by name — drift here would break the ground-truth gate.
+        assert_eq!(cw_accounts::payee(), Name::new("payee"));
+    }
+}

@@ -10,6 +10,7 @@
 //! mix of RQ4 ([`wild`]).
 
 pub mod benchmark;
+pub mod cw;
 pub mod inject;
 pub mod obfuscate;
 pub mod realistic;
@@ -18,6 +19,9 @@ pub mod verification;
 pub mod wild;
 
 pub use benchmark::{table4_benchmark, table5_benchmark, table6_benchmark, BenchmarkSample};
+pub use cw::{
+    cw_corpus, generate_cw, label_sidecar, parse_label_sidecar, CwBlueprint, LabeledCwContract,
+};
 pub use inject::make_vulnerable;
 pub use obfuscate::obfuscate;
 pub use realistic::generate;

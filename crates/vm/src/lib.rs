@@ -43,6 +43,7 @@ pub mod host;
 pub mod interp;
 pub mod memory;
 mod numeric;
+pub mod pool;
 pub mod tape;
 pub mod trace;
 pub mod value;
@@ -51,6 +52,7 @@ pub use error::{InstanceError, Trap};
 pub use host::{Host, HostFnId, NullHost};
 pub use interp::{resolve_imports, CompiledModule, Fuel, Instance};
 pub use memory::LinearMemory;
+pub use pool::InstancePool;
 pub use tape::fast_path_enabled;
 pub use trace::{TraceKind, TraceRecord, TraceSink, TraceVal};
 pub use value::Value;

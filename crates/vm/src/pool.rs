@@ -1,0 +1,90 @@
+//! Keyed instance pooling, shared by every chain substrate.
+//!
+//! Instantiating a module allocates linear memory, globals and the indirect
+//! table; a fuzzing campaign re-invokes the same handful of contracts
+//! thousands of times. The pool is purely an allocation cache: an instance
+//! taken from it is [`Instance::reset`] back to the freshly-instantiated
+//! state, so a pooled execution is indistinguishable from a fresh one. Both
+//! the EOSIO chain and the CosmWasm-shaped chain key their pools by
+//! `(account, compiled-module identity)` — the pooled instance keeps its
+//! `CompiledModule` `Arc` alive, so the pointer half of such a key cannot be
+//! reused by a different module while the entry exists.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::interp::Instance;
+
+/// A keyed cache of reusable [`Instance`]s.
+///
+/// Never forked and never compared: pools are skipped when chains fork and
+/// play no part in state equality, exactly like any other allocator.
+#[derive(Debug)]
+pub struct InstancePool<K: Eq + Hash> {
+    slots: HashMap<K, Instance>,
+}
+
+impl<K: Eq + Hash> Default for InstancePool<K> {
+    fn default() -> Self {
+        InstancePool::new()
+    }
+}
+
+impl<K: Eq + Hash> InstancePool<K> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        InstancePool {
+            slots: HashMap::new(),
+        }
+    }
+
+    /// Remove the pooled instance for `key`, if any. The caller decides when
+    /// to [`Instance::reset`] it (typically after import resolution, so the
+    /// host borrow does not overlap the pool borrow).
+    pub fn take(&mut self, key: &K) -> Option<Instance> {
+        self.slots.remove(key)
+    }
+
+    /// Return an instance to the pool under `key`. Pooling a trapped
+    /// instance is fine — `reset` restores it before the next use, and
+    /// trapping runs are common while fuzzing.
+    pub fn put(&mut self, key: K, instance: Instance) {
+        self.slots.insert(key, instance);
+    }
+
+    /// Number of pooled instances.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::NullHost;
+    use crate::interp::CompiledModule;
+    use wasai_wasm::builder::ModuleBuilder;
+
+    #[test]
+    fn take_put_roundtrip() {
+        let mut b = ModuleBuilder::with_memory(1);
+        let f = b.func(&[], &[], &[], vec![wasai_wasm::instr::Instr::End]);
+        b.export_func("noop", f);
+        let compiled = CompiledModule::compile(b.build()).unwrap();
+        let inst = Instance::new(compiled, &mut NullHost).unwrap();
+
+        let mut pool: InstancePool<(u64, usize)> = InstancePool::new();
+        assert!(pool.is_empty());
+        pool.put((7, 1), inst);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.take(&(7, 2)).is_none(), "different key misses");
+        let mut got = pool.take(&(7, 1)).expect("pooled instance comes back");
+        assert!(pool.is_empty());
+        got.reset().unwrap();
+    }
+}

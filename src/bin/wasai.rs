@@ -1,16 +1,24 @@
 //! The `wasai` command-line tool.
 //!
 //! ```text
-//! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]
+//! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE]
+//!                       [--substrate eosio|cosmwasm|auto] [obs flags]
 //!                                                 analyze a contract binary
 //! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]
-//!                       [--procs N] [--journal FILE] [--resume FILE] [obs flags]
+//!                       [--procs N] [--journal FILE] [--resume FILE]
+//!                       [--substrate eosio|cosmwasm|auto] [obs flags]
 //!                                                 analyze every *.wasm in a directory
 //! wasai stats     <trace-or-triage.jsonl> [--format table|json]
 //!                                                 summarize a telemetry trace or triage report
-//! wasai gen       <out-dir> [count] [seed]        emit a labeled sample corpus
+//! wasai gen       <out-dir> [count] [seed] [--substrate eosio|cosmwasm]
+//!                                                 emit a labeled sample corpus
 //! wasai show      <contract.wasm>                 dump a WAT-like listing
 //! ```
+//!
+//! `--substrate` pins the chain backend for every campaign; the default
+//! (`auto`) detects it per module from the entry exports (`apply` → eosio,
+//! `instantiate`/`execute` → cosmwasm). Worker subprocesses spawned by
+//! `--procs` inherit the flag verbatim.
 //!
 //! Observability flags (shared by `audit` and `audit-dir`):
 //!
@@ -99,7 +107,8 @@ use wasai::wasai_core::fleet::supervisor::{run_supervised, SupervisorOpts};
 use wasai::wasai_core::fleet::{self, stage, CampaignOutcome, CampaignRun};
 use wasai::wasai_core::obs_bridge::{self, ProgressMonitor};
 use wasai::wasai_core::telemetry::{self, json_escape, Metrics, TelemetryEvent};
-use wasai::wasai_corpus::wild_corpus;
+use wasai::wasai_core::SubstrateKind;
+use wasai::wasai_corpus::{cw_corpus, label_sidecar, wild_corpus};
 use wasai::wasai_obs as obs;
 use wasai::wasai_smt::Deadline;
 use wasai::wasai_wasm::{decode, display, encode};
@@ -285,10 +294,22 @@ fn parse_abi(text: &str) -> Result<Abi, String> {
     Ok(Abi::new(actions))
 }
 
+/// Parse a `--substrate` value: `auto` means detect from the module's entry
+/// exports (`None`), anything else must be a known substrate name.
+fn parse_substrate(v: &str) -> Result<Option<SubstrateKind>, String> {
+    if v == "auto" {
+        return Ok(None);
+    }
+    SubstrateKind::parse(v)
+        .map(Some)
+        .ok_or_else(|| format!("--substrate must be eosio, cosmwasm or auto, got {v:?}"))
+}
+
 fn audit(
     wasm_path: &str,
     abi_path: &str,
     trace_out: Option<&str>,
+    substrate: Option<SubstrateKind>,
     obs_opts: &ObsOpts,
 ) -> Result<(), String> {
     let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
@@ -304,7 +325,10 @@ fn audit(
     // A single audit never enters the fleet scheduler, so bracket the
     // campaign's heartbeat here for the stall detector.
     obs::worker::begin(0);
-    let wasai = Wasai::new(module, abi).with_config(FuzzConfig::default());
+    let mut wasai = Wasai::new(module, abi).with_config(FuzzConfig::default());
+    if let Some(kind) = substrate {
+        wasai = wasai.with_substrate(kind);
+    }
     let run_result = if let Some(path) = trace_out {
         wasai
             .run_traced()
@@ -358,6 +382,10 @@ struct AuditDirOpts {
     /// `--resume FILE`: journal to FILE and restore any outcomes already
     /// recorded there.
     resume_path: Option<String>,
+    /// `--substrate eosio|cosmwasm|auto`: pin the chain substrate for every
+    /// campaign (None = auto-detect per module). Inherited verbatim by
+    /// `audit-worker` subprocesses.
+    substrate: Option<SubstrateKind>,
     /// Observability surfaces (metrics listener, dump, progress monitor).
     obs: ObsOpts,
 }
@@ -371,6 +399,7 @@ impl Default for AuditDirOpts {
             procs: None,
             journal_path: None,
             resume_path: None,
+            substrate: None,
             obs: ObsOpts::new(),
         }
     }
@@ -438,6 +467,7 @@ fn audit_campaign(
     seed: u64,
     deadline: Deadline,
     tracing: bool,
+    substrate: Option<SubstrateKind>,
     solver_cache: &std::sync::Arc<wasai::wasai_smt::SolverCache>,
 ) -> Result<(FuzzReport, Vec<TelemetryEvent>), ChainError> {
     stage::enter(stage::PREPARE);
@@ -447,13 +477,16 @@ fn audit_campaign(
     let abi_text = fs::read_to_string(&abi_path)
         .map_err(|e| ChainError::BadContract(format!("{}: {e}", abi_path.display())))?;
     let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
-    let wasai = Wasai::new(module, abi)
+    let mut wasai = Wasai::new(module, abi)
         .with_config(FuzzConfig {
             rng_seed: seed ^ (i as u64),
             deadline,
             ..FuzzConfig::default()
         })
         .with_solver_cache(solver_cache.clone());
+    if let Some(kind) = substrate {
+        wasai = wasai.with_substrate(kind);
+    }
     if tracing {
         wasai.run_traced()
     } else {
@@ -594,7 +627,15 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         // solve would produce, so the triage and trace stay byte-identical.
         let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
         let audit_one = |i: usize, path: PathBuf| {
-            audit_campaign(i, &path, seed, deadline, tracing, &solver_cache)
+            audit_campaign(
+                i,
+                &path,
+                seed,
+                deadline,
+                tracing,
+                opts.substrate,
+                &solver_cache,
+            )
         };
         let journal_cell = journal.take().map(std::sync::Mutex::new);
         let items: Vec<(usize, PathBuf)> = pending
@@ -661,6 +702,7 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
             poll: Duration::from_millis(25),
         };
         let deadline_secs = opts.deadline_secs;
+        let substrate = opts.substrate;
         let spawn = |attempt: u32, indices: &[usize]| {
             let csv: Vec<String> = indices.iter().map(ToString::to_string).collect();
             let mut cmd = std::process::Command::new(&exe);
@@ -675,6 +717,9 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
                 .stderr(Stdio::inherit());
             if let Some(secs) = deadline_secs {
                 cmd.arg("--deadline-secs").arg(secs.to_string());
+            }
+            if let Some(kind) = substrate {
+                cmd.arg("--substrate").arg(kind.name());
             }
             if attempt > 1 {
                 // Proc-level chaos faults fire at most once: strip them
@@ -801,6 +846,7 @@ fn audit_worker(
     seed: u64,
     indices: &[usize],
     deadline_secs: Option<f64>,
+    substrate: Option<SubstrateKind>,
 ) -> Result<(), String> {
     let (wasm_paths, names) = corpus(dir)?;
     if let Some(&bad) = indices.iter().find(|&&i| i >= names.len()) {
@@ -848,8 +894,9 @@ fn audit_worker(
         })
     };
 
-    let audit_one =
-        |i: usize, path: PathBuf| audit_campaign(i, &path, seed, deadline, false, &solver_cache);
+    let audit_one = |i: usize, path: PathBuf| {
+        audit_campaign(i, &path, seed, deadline, false, substrate, &solver_cache)
+    };
     let items: Vec<(usize, PathBuf)> = indices
         .iter()
         .map(|&i| (i, wasm_paths[i].clone()))
@@ -883,14 +930,23 @@ fn audit_worker(
     Ok(())
 }
 
-/// Parse `audit-worker`'s tail: `--seed N --indices CSV [--deadline-secs S]`.
-fn parse_audit_worker_args(rest: &[String]) -> Result<(u64, Vec<usize>, Option<f64>), String> {
+/// Parse `audit-worker`'s tail: `--seed N --indices CSV [--deadline-secs S]
+/// [--substrate NAME]`.
+#[allow(clippy::type_complexity)]
+fn parse_audit_worker_args(
+    rest: &[String],
+) -> Result<(u64, Vec<usize>, Option<f64>, Option<SubstrateKind>), String> {
     let mut seed = None;
     let mut indices = None;
     let mut deadline = None;
+    let mut substrate = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--substrate" => {
+                let v = it.next().ok_or("--substrate needs a value")?;
+                substrate = parse_substrate(v)?;
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = Some(v.parse().map_err(|e| format!("--seed {v}: {e}"))?);
@@ -917,10 +973,19 @@ fn parse_audit_worker_args(rest: &[String]) -> Result<(u64, Vec<usize>, Option<f
         seed.ok_or("audit-worker needs --seed")?,
         indices.ok_or("audit-worker needs --indices")?,
         deadline,
+        substrate,
     ))
 }
 
-fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
+fn gen(
+    out_dir: &str,
+    count: usize,
+    seed: u64,
+    substrate: Option<SubstrateKind>,
+) -> Result<(), String> {
+    if substrate == Some(SubstrateKind::Cosmwasm) {
+        return gen_cw(out_dir, count, seed);
+    }
     fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
     let corpus = wild_corpus(seed, count, wasai::wasai_corpus::WildRates::default());
     for (i, w) in corpus.iter().enumerate() {
@@ -942,6 +1007,28 @@ fn gen(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
         fs::write(format!("{base}.label"), label.join(",") + "\n").map_err(|e| e.to_string())?;
     }
     println!("wrote {count} contracts (+.abi/.label sidecars) to {out_dir}");
+    Ok(())
+}
+
+/// `gen --substrate cosmwasm`: write the labeled CosmWasm ground-truth
+/// corpus. The `.abi` sidecar lists the entry exports in the same
+/// `name(type,…)` line format as EOSIO sidecars so `audit-dir` loads both
+/// corpora identically; labels use the shared comma-joined class schema.
+fn gen_cw(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
+    fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    let corpus = cw_corpus(seed, count);
+    for (i, c) in corpus.iter().enumerate() {
+        let base = format!("{out_dir}/cw_contract_{i:04}");
+        fs::write(format!("{base}.wasm"), encode::encode(&c.module)).map_err(|e| e.to_string())?;
+        let abi_text: String = ["instantiate", "execute", "query", "reply"]
+            .iter()
+            .filter(|name| c.module.exported_func(name).is_some())
+            .map(|name| format!("{name}(i64,i64,i64)\n"))
+            .collect();
+        fs::write(format!("{base}.abi"), abi_text).map_err(|e| e.to_string())?;
+        fs::write(format!("{base}.label"), label_sidecar(&c.label)).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {count} cosmwasm contracts (+.abi/.label sidecars) to {out_dir}");
     Ok(())
 }
 
@@ -1070,6 +1157,10 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
                 let v = it.next().ok_or("--resume needs a journal file path")?;
                 opts.resume_path = Some(v.clone());
             }
+            "--substrate" => {
+                let v = it.next().ok_or("--substrate needs a value")?;
+                opts.substrate = parse_substrate(v)?;
+            }
             other if !seed_seen => {
                 seed = other
                     .parse()
@@ -1084,9 +1175,22 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
 
 /// Parse `audit`'s tail: positional `<wasm> <abi>` plus `--trace-out FILE`
 /// and the observability flags, in any order.
-fn parse_audit_args(rest: &[String]) -> Result<(String, String, Option<String>, ObsOpts), String> {
+#[allow(clippy::type_complexity)]
+fn parse_audit_args(
+    rest: &[String],
+) -> Result<
+    (
+        String,
+        String,
+        Option<String>,
+        Option<SubstrateKind>,
+        ObsOpts,
+    ),
+    String,
+> {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_out = None;
+    let mut substrate = None;
     let mut obs_opts = ObsOpts::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -1097,6 +1201,10 @@ fn parse_audit_args(rest: &[String]) -> Result<(String, String, Option<String>, 
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a file path")?;
                 trace_out = Some(v.clone());
+            }
+            "--substrate" => {
+                let v = it.next().ok_or("--substrate needs a value")?;
+                substrate = parse_substrate(v)?;
             }
             other if !other.starts_with("--") && positional.len() < 2 => {
                 positional.push(other.to_string());
@@ -1110,23 +1218,25 @@ fn parse_audit_args(rest: &[String]) -> Result<(String, String, Option<String>, 
             p.len()
         )
     })?;
-    Ok((wasm, abi, trace_out, obs_opts))
+    Ok((wasm, abi, trace_out, substrate, obs_opts))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [obs flags]\n  wasai stats <trace-or-triage.jsonl> [--format table|json]\n  wasai gen <out-dir> [count] [seed]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [--substrate eosio|cosmwasm|auto] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [--substrate eosio|cosmwasm|auto] [obs flags]\n  wasai stats <trace-or-triage.jsonl> [--format table|json]\n  wasai gen <out-dir> [count] [seed] [--substrate eosio|cosmwasm]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
     let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
         Some("audit") if args.len() >= 4 => {
-            parse_audit_args(&args[2..]).and_then(|(wasm, abi, trace_out, obs_opts)| {
-                audit(&wasm, &abi, trace_out.as_deref(), &obs_opts).map(|()| ExitCode::SUCCESS)
+            parse_audit_args(&args[2..]).and_then(|(wasm, abi, trace_out, substrate, obs_opts)| {
+                audit(&wasm, &abi, trace_out.as_deref(), substrate, &obs_opts)
+                    .map(|()| ExitCode::SUCCESS)
             })
         }
         Some("audit-dir") if args.len() >= 3 => parse_audit_dir_args(&args[3..])
             .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
         Some("audit-worker") if args.len() >= 3 => {
-            parse_audit_worker_args(&args[3..]).and_then(|(seed, indices, deadline)| {
-                audit_worker(&args[2], seed, &indices, deadline).map(|()| ExitCode::SUCCESS)
+            parse_audit_worker_args(&args[3..]).and_then(|(seed, indices, deadline, substrate)| {
+                audit_worker(&args[2], seed, &indices, deadline, substrate)
+                    .map(|()| ExitCode::SUCCESS)
             })
         }
         Some("stats") if args.len() == 3 => {
@@ -1137,9 +1247,27 @@ fn main() -> ExitCode {
             other => Err(format!("--format must be table or json, got {other:?}")),
         },
         Some("gen") if args.len() >= 3 => {
-            let count = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
-            let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
-            gen(&args[2], count, seed).map(|()| ExitCode::SUCCESS)
+            // Positional [count] [seed] plus an optional `--substrate NAME`
+            // anywhere in the tail.
+            let mut positional = Vec::new();
+            let mut substrate = Ok(None);
+            let mut it = args[3..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--substrate" {
+                    match it.next() {
+                        Some(v) => substrate = parse_substrate(v),
+                        None => substrate = Err("--substrate needs a value".to_string()),
+                    }
+                } else {
+                    positional.push(arg.clone());
+                }
+            }
+            let count = positional
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10);
+            let seed = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+            substrate.and_then(|sub| gen(&args[2], count, seed, sub).map(|()| ExitCode::SUCCESS))
         }
         Some("show") if args.len() == 3 => show(&args[2]).map(|()| ExitCode::SUCCESS),
         _ => Err(usage.to_string()),

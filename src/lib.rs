@@ -34,6 +34,9 @@ pub mod prelude {
     pub use wasai_chain::asset::Asset;
     pub use wasai_chain::name::Name;
     pub use wasai_chain::Chain;
-    pub use wasai_core::{FuzzConfig, FuzzReport, VulnClass, Wasai};
-    pub use wasai_corpus::{generate, Blueprint, GateKind, LabeledContract, RewardKind};
+    pub use wasai_core::{FuzzConfig, FuzzReport, SubstrateKind, VulnClass, Wasai};
+    pub use wasai_corpus::{
+        cw_corpus, generate, Blueprint, CwBlueprint, GateKind, LabeledContract, LabeledCwContract,
+        RewardKind,
+    };
 }

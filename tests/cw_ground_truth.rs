@@ -1,0 +1,163 @@
+//! The CosmWasm ground-truth gate: 100% recall, zero false positives.
+//!
+//! The labeled corpus (`wasai_corpus::cw_corpus`) derives each sample's
+//! label from its blueprint — a vulnerability is present exactly when its
+//! guard knob is off — so the gate can demand *exact* equality between the
+//! fuzzer's findings and the label: every seeded bug detected (recall) and
+//! nothing flagged on the clean twins (precision). CI runs this as the
+//! `substrate` job's acceptance bar.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use wasai::prelude::*;
+use wasai::wasai_chain::abi::Abi;
+use wasai::wasai_corpus::parse_label_sidecar;
+
+/// A fresh scratch directory under the target dir (no tempfile dependency;
+/// target/ is already gitignored and writable).
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("test-scratch")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn audit_cw(module: wasai::wasai_wasm::Module) -> FuzzReport {
+    Wasai::new(module, Abi::default())
+        .with_config(FuzzConfig::quick())
+        .with_substrate(SubstrateKind::Cosmwasm)
+        .run()
+        .expect("corpus contract deploys")
+}
+
+#[test]
+fn every_seeded_bug_is_found_and_clean_twins_stay_clean() {
+    // 12 samples cycle through all four guard combinations three times,
+    // with randomized query presence and filler opcodes.
+    for (i, c) in cw_corpus(0xC0FFEE, 12).into_iter().enumerate() {
+        let report = audit_cw(c.module.clone());
+        assert_eq!(
+            report.findings, c.label,
+            "sample {i} (blueprint {:?}): findings must equal the ground \
+             truth exactly — a miss is a recall failure, an extra class a \
+             false positive",
+            c.blueprint
+        );
+        // Every finding carries a reproducible exploit payload.
+        for class in &report.findings {
+            assert!(
+                report.exploits.iter().any(|e| e.class == *class),
+                "sample {i}: finding {class} has no exploit record"
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let c = cw_corpus(7, 4)
+        .into_iter()
+        .find(|c| !c.label.is_empty())
+        .expect("corpus contains a vulnerable sample");
+    let a = audit_cw(c.module.clone());
+    let b = audit_cw(c.module.clone());
+    assert_eq!(a.render(), b.render(), "same module, same report bytes");
+}
+
+#[test]
+fn substrate_detection_routes_the_corpus_without_the_flag() {
+    // The corpus exports instantiate/execute with no `apply`, so the
+    // auto-detected substrate must match the pinned one exactly.
+    let c = cw_corpus(21, 4)
+        .into_iter()
+        .find(|c| c.label.len() == 2)
+        .expect("corpus contains a doubly-vulnerable sample");
+    let auto = Wasai::new(c.module.clone(), Abi::default())
+        .with_config(FuzzConfig::quick())
+        .run()
+        .expect("deploys");
+    let pinned = audit_cw(c.module.clone());
+    assert_eq!(auto.render(), pinned.render());
+    assert_eq!(auto.findings, c.label);
+}
+
+#[test]
+fn gen_cli_writes_a_labeled_corpus_the_schema_validates() {
+    let dir = scratch_dir("cw-gen");
+    let out = Command::new(env!("CARGO_BIN_EXE_wasai"))
+        .arg("gen")
+        .arg(&dir)
+        .arg("6")
+        .arg("3")
+        .arg("--substrate")
+        .arg("cosmwasm")
+        .output()
+        .expect("spawn wasai gen");
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let mut wasm_count = 0;
+    for i in 0..6 {
+        let base = dir.join(format!("cw_contract_{i:04}"));
+        assert!(base.with_extension("wasm").exists(), "missing wasm {i}");
+        assert!(base.with_extension("abi").exists(), "missing abi {i}");
+        let label_text =
+            fs::read_to_string(base.with_extension("label")).expect("label sidecar exists");
+        let label = parse_label_sidecar(&label_text)
+            .unwrap_or_else(|| panic!("label sidecar {i} violates the schema: {label_text:?}"));
+        for class in &label {
+            assert!(
+                VulnClass::COSMWASM.contains(class),
+                "cw corpus labeled with non-cw class {class}"
+            );
+        }
+        wasm_count += 1;
+    }
+    assert_eq!(wasm_count, 6);
+
+    // The on-disk corpus round-trips through the CLI sweep: findings in the
+    // verdict lines must match each contract's label sidecar.
+    let sweep = Command::new(env!("CARGO_BIN_EXE_wasai"))
+        .arg("audit-dir")
+        .arg(&dir)
+        .arg("--substrate")
+        .arg("cosmwasm")
+        .env("WASAI_PROGRESS", "0")
+        .env_remove("WASAI_PROCS")
+        .output()
+        .expect("spawn wasai audit-dir");
+    assert!(
+        out.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&sweep.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&sweep.stdout);
+    for i in 0..6 {
+        let name = format!("cw_contract_{i:04}.wasm");
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(&format!("{name}:")))
+            .unwrap_or_else(|| panic!("no verdict line for {name}"));
+        let label_text =
+            fs::read_to_string(dir.join(format!("cw_contract_{i:04}.label"))).expect("label");
+        let label = parse_label_sidecar(&label_text).expect("schema");
+        if label.is_empty() {
+            assert!(line.contains("clean"), "{name}: expected clean, got {line}");
+        } else {
+            assert!(
+                line.contains("VULNERABLE"),
+                "{name}: expected a finding, got {line}"
+            );
+            for class in &label {
+                assert!(
+                    line.contains(&class.to_string()),
+                    "{name}: verdict {line:?} is missing labeled class {class}"
+                );
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

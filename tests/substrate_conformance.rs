@@ -1,0 +1,122 @@
+//! The substrate conformance battery: one shared test suite, parameterized
+//! over every backend behind the [`wasai::wasai_core::Substrate`] trait.
+//!
+//! Each backend supplies a self-test fixture contract and a harness
+//! (`Substrate::conformance`) that dispatches the battery's abstract ops
+//! against it. The battery then pins the semantics every substrate must
+//! share for campaigns to be comparable across chains:
+//!
+//! - **setup/dispatch**: a deployed contract accepts a no-op dispatch;
+//! - **persistence**: a committed dispatch's storage writes survive;
+//! - **state rollback**: a trapped dispatch leaves no trace, including
+//!   writes issued before the trap, while earlier committed state survives;
+//! - **fuel**: a spinning dispatch traps at exactly the configured budget;
+//! - **determinism**: the same op sequence on a fresh harness produces
+//!   byte-identical verdicts, fuel included.
+//!
+//! A third substrate gets all of this for free by implementing the trait.
+
+use wasai::wasai_core::{substrate, ConformanceOp, ConformanceVerdict, SubstrateKind};
+
+const FUEL: u64 = 10_000;
+
+const BACKENDS: [SubstrateKind; 2] = [SubstrateKind::Eosio, SubstrateKind::Cosmwasm];
+
+#[test]
+fn setup_and_noop_dispatch_succeed() {
+    for kind in BACKENDS {
+        let mut h = substrate(kind).conformance(FUEL);
+        let v = h.dispatch(ConformanceOp::Noop);
+        assert!(v.ok, "{kind}: no-op dispatch must commit");
+        assert!(v.steps_used > 0, "{kind}: execution is metered");
+        assert!(v.steps_used < FUEL, "{kind}: no-op stays under the budget");
+    }
+}
+
+#[test]
+fn committed_writes_persist() {
+    for kind in BACKENDS {
+        let mut h = substrate(kind).conformance(FUEL);
+        assert_eq!(h.probe(1), None, "{kind}: fresh state is empty");
+        assert!(h.dispatch(ConformanceOp::Store).ok, "{kind}: store commits");
+        assert_eq!(
+            h.probe(1),
+            Some(11),
+            "{kind}: a committed write must persist"
+        );
+    }
+}
+
+#[test]
+fn trapped_dispatch_rolls_back_without_touching_prior_state() {
+    for kind in BACKENDS {
+        let mut h = substrate(kind).conformance(FUEL);
+        assert!(h.dispatch(ConformanceOp::Store).ok);
+        let v = h.dispatch(ConformanceOp::StoreThenTrap);
+        assert!(!v.ok, "{kind}: a trapping dispatch must not commit");
+        assert_eq!(
+            h.probe(2),
+            None,
+            "{kind}: writes issued before the trap must roll back"
+        );
+        assert_eq!(
+            h.probe(1),
+            Some(11),
+            "{kind}: rollback is per-dispatch, earlier commits survive"
+        );
+    }
+}
+
+#[test]
+fn fuel_exhaustion_traps_at_exactly_the_budget() {
+    for kind in BACKENDS {
+        let mut h = substrate(kind).conformance(FUEL);
+        let v = h.dispatch(ConformanceOp::Spin);
+        assert!(!v.ok, "{kind}: a spinning dispatch must be cut off");
+        assert_eq!(
+            v.steps_used, FUEL,
+            "{kind}: the step meter stops at the configured budget"
+        );
+        assert_eq!(h.probe(1), None, "{kind}: the cut-off commits nothing");
+    }
+}
+
+#[test]
+fn identical_op_sequences_produce_identical_verdicts() {
+    let script = [
+        ConformanceOp::Noop,
+        ConformanceOp::Store,
+        ConformanceOp::StoreThenTrap,
+        ConformanceOp::Spin,
+        ConformanceOp::Noop,
+    ];
+    for kind in BACKENDS {
+        let run = || -> Vec<ConformanceVerdict> {
+            let mut h = substrate(kind).conformance(FUEL);
+            script.iter().map(|&op| h.dispatch(op)).collect()
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "{kind}: replaying the op script must be deterministic, fuel included"
+        );
+    }
+}
+
+#[test]
+fn backends_declare_disjoint_oracle_classes() {
+    let eosio = substrate(SubstrateKind::Eosio).oracle_classes();
+    let cw = substrate(SubstrateKind::Cosmwasm).oracle_classes();
+    for c in cw {
+        assert!(
+            !eosio.contains(c),
+            "{c} is claimed by both substrates — findings would be ambiguous"
+        );
+    }
+    assert!(substrate(SubstrateKind::Eosio)
+        .entry_exports()
+        .contains(&"apply"));
+    assert!(substrate(SubstrateKind::Cosmwasm)
+        .entry_exports()
+        .contains(&"instantiate"));
+}
