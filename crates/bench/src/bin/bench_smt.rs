@@ -11,6 +11,10 @@
 //!    twice sharing one fleet [`wasai_smt::SolverCache`]; the second
 //!    campaign's flip queries are all warm. Exits 1 if the hit rate is 0
 //!    (the CI gate: a silent cache regression must fail the build).
+//! 3. **Persistent warm start** — the cold campaign's cache round-trips
+//!    through `wasai_smt::persist` and a fresh process-shaped run replays
+//!    from the loaded cache: every fleet lookup must hit (the on-disk gate:
+//!    warm hit rate ≥ 0.8, propagations strictly below cold).
 //!
 //! Prints a JSON measurement block; paste into BENCH_smt.json when
 //! refreshing the baseline.
@@ -19,7 +23,7 @@ use std::sync::Arc;
 
 use wasai_core::{FuzzConfig, Wasai};
 use wasai_corpus::{generate, Blueprint, GateKind, RewardKind};
-use wasai_smt::{check, Budget, BvOp, CmpOp, PrefixSolver, SolverCache, TermId, TermPool};
+use wasai_smt::{check, persist, Budget, BvOp, CmpOp, PrefixSolver, SolverCache, TermId, TermPool};
 
 /// A replay-like flip family: a chain of path guards over two 64-bit args,
 /// one flip per step (mirrors the engine's flip-query shape).
@@ -109,11 +113,62 @@ fn repeated_campaign_hits() -> (u64, u64) {
     (cache.lookups(), cache.hits())
 }
 
+/// Cold/warm measurement of the on-disk cache: solve every flip-family
+/// query from scratch storing cacheable results, round-trip the cache
+/// through [`persist`], then replay the identical query stream against the
+/// loaded cache, solving only on a miss. Returns
+/// (cold_props, warm_props, warm_lookups, warm_hits, entries_on_disk).
+fn warm_start_persistence(families: u64, steps: usize) -> (u64, u64, u64, u64, usize) {
+    use wasai_smt::{cacheable, query_key, CachedQuery};
+    let budget = Budget::default();
+    let file = std::env::temp_dir().join(format!("bench-smt-warm-{}.cache", std::process::id()));
+
+    let run = |cache: &SolverCache, warm: bool| -> u64 {
+        let mut performed = 0u64;
+        for salt in 0..families {
+            let mut pool = TermPool::new();
+            let (path, flips) = flip_family(&mut pool, steps, salt);
+            for (i, &flip) in flips.iter().enumerate() {
+                let key = query_key(&pool, &path[..i], Some(flip), budget.max_conflicts);
+                if warm && cache.lookup(&key, &pool).is_some() {
+                    continue;
+                }
+                let mut q: Vec<TermId> = path[..i].to_vec();
+                q.push(flip);
+                let (r, s) = check(&pool, &q, budget);
+                performed += s.propagations;
+                if cacheable(&r, &budget) {
+                    cache.store(key, CachedQuery::encode(&pool, &r, s));
+                }
+            }
+        }
+        performed
+    };
+
+    let cold_cache = SolverCache::evicting();
+    let cold_props = run(&cold_cache, false);
+    let entries = persist::save(&file, &cold_cache).expect("cache saves");
+
+    let warm_cache = SolverCache::evicting();
+    persist::load_into(&file, &warm_cache).expect("cache loads");
+    let warm_props = run(&warm_cache, true);
+    let _ = std::fs::remove_file(&file);
+    (
+        cold_props,
+        warm_props,
+        warm_cache.lookups(),
+        warm_cache.hits(),
+        entries,
+    )
+}
+
 fn main() {
     let (scratch, reused) = prefix_savings(8, 16);
     let ratio = scratch as f64 / reused.max(1) as f64;
     let (lookups, hits) = repeated_campaign_hits();
     let hit_rate = hits as f64 / lookups.max(1) as f64;
+    let (cold_props, warm_props, warm_lookups, warm_hits, entries) = warm_start_persistence(8, 16);
+    let warm_rate = warm_hits as f64 / warm_lookups.max(1) as f64;
 
     println!("{{");
     println!("  \"shared_prefix_flip_families\": {{");
@@ -124,6 +179,12 @@ fn main() {
     println!("  }},");
     println!("  \"repeated_campaign_fleet_cache\": {{");
     println!("    \"lookups\": {lookups}, \"hits\": {hits}, \"hit_rate\": {hit_rate:.3}");
+    println!("  }},");
+    println!("  \"persistent_warm_start\": {{");
+    println!("    \"entries_on_disk\": {entries},");
+    println!("    \"cold_propagations\": {cold_props},");
+    println!("    \"warm_propagations\": {warm_props},");
+    println!("    \"warm_lookups\": {warm_lookups}, \"warm_hits\": {warm_hits}, \"warm_hit_rate\": {warm_rate:.3}");
     println!("  }}");
     println!("}}");
 
@@ -135,5 +196,18 @@ fn main() {
         eprintln!("FAIL: shared-prefix reduction {ratio:.2}x is below the 2x acceptance bar");
         std::process::exit(1);
     }
-    eprintln!("ok: {ratio:.2}x propagation reduction, {hit_rate:.3} repeat hit rate");
+    if warm_rate < 0.8 {
+        eprintln!("FAIL: warm-start hit rate {warm_rate:.3} is below the 0.8 acceptance bar");
+        std::process::exit(1);
+    }
+    if warm_props >= cold_props {
+        eprintln!(
+            "FAIL: warm-start performed {warm_props} propagations, not below cold {cold_props}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: {ratio:.2}x propagation reduction, {hit_rate:.3} repeat hit rate, \
+         {warm_rate:.3} warm-start hit rate ({warm_props}/{cold_props} props)"
+    );
 }

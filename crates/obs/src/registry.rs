@@ -119,8 +119,18 @@ metric_enum! {
         CacheHitsCampaign,
         /// `wasai_smt_cache_hits_total{level="fleet"}`
         CacheHitsFleet,
+        /// `wasai_smt_cache_store_dropped_total`
+        CacheStoreDropped,
         /// `wasai_smt_prefix_forks_total`
         PrefixForks,
+        /// `wasai_smt_portfolio_races_total`
+        PortfolioRaces,
+        /// `wasai_smt_portfolio_salvaged_total{outcome="sat"}`
+        PortfolioSalvagedSat,
+        /// `wasai_smt_portfolio_salvaged_total{outcome="unsat"}`
+        PortfolioSalvagedUnsat,
+        /// `wasai_smt_portfolio_disagreements_total`
+        PortfolioDisagreements,
         /// `wasai_vm_instructions_total`
         VmInstructions,
         /// `wasai_vm_tape_compiles_total`
@@ -154,7 +164,13 @@ impl Counter {
                 "wasai_smt_cache_lookups_total"
             }
             Counter::CacheHitsCampaign | Counter::CacheHitsFleet => "wasai_smt_cache_hits_total",
+            Counter::CacheStoreDropped => "wasai_smt_cache_store_dropped_total",
             Counter::PrefixForks => "wasai_smt_prefix_forks_total",
+            Counter::PortfolioRaces => "wasai_smt_portfolio_races_total",
+            Counter::PortfolioSalvagedSat | Counter::PortfolioSalvagedUnsat => {
+                "wasai_smt_portfolio_salvaged_total"
+            }
+            Counter::PortfolioDisagreements => "wasai_smt_portfolio_disagreements_total",
             Counter::VmInstructions => "wasai_vm_instructions_total",
             Counter::VmTapeCompiles => "wasai_vm_tape_compiles_total",
             Counter::VmSnapshotRestores => "wasai_vm_snapshot_restores_total",
@@ -176,6 +192,8 @@ impl Counter {
                 Some(("level", "campaign"))
             }
             Counter::CacheLookupsFleet | Counter::CacheHitsFleet => Some(("level", "fleet")),
+            Counter::PortfolioSalvagedSat => Some(("outcome", "sat")),
+            Counter::PortfolioSalvagedUnsat => Some(("outcome", "unsat")),
             _ => None,
         }
     }
@@ -216,7 +234,22 @@ impl Counter {
             Counter::CacheHitsCampaign | Counter::CacheHitsFleet => {
                 "Solver query-cache hits, by cache level."
             }
+            Counter::CacheStoreDropped => {
+                "Fleet query-cache entries lost to the capacity cap (refused or evicted)."
+            }
             Counter::PrefixForks => "Queries answered by forking a shared-prefix SAT instance.",
+            Counter::PortfolioRaces => {
+                "Hard queries re-raced across portfolio CDCL configurations."
+            }
+            Counter::PortfolioSalvagedSat | Counter::PortfolioSalvagedUnsat => {
+                "Portfolio races where a variant solved a query the reference \
+                 configuration gave up on, by the variant's verdict (diagnostic \
+                 only: the reported result stays the reference's)."
+            }
+            Counter::PortfolioDisagreements => {
+                "Portfolio races where a variant contradicted the reference's \
+                 definitive verdict (a soundness alarm)."
+            }
             Counter::VmInstructions => "Wasm instructions interpreted by the VM.",
             Counter::VmTapeCompiles => "Modules lowered to threaded-code tapes by the fast path.",
             Counter::VmSnapshotRestores => {

@@ -24,9 +24,9 @@
 //! (the cap is part of the [`QueryKey`]), so deadline-free campaigns still
 //! memoize their give-ups.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::canon::QueryKey;
 use crate::solver::{Budget, Model, SolveResult, SolveStats};
@@ -50,13 +50,14 @@ pub fn cacheable(result: &SolveResult, budget: &Budget) -> bool {
     }
 }
 
-/// Entry cap: beyond this the cache stops accepting new queries instead of
-/// evicting (eviction order would make hit patterns scheduling-dependent;
-/// refusing keeps behavior deterministic and memory bounded).
+/// Default entry cap. At the cap a plain cache refuses new entries and an
+/// evicting cache (see [`SolverCache::evicting`]) keeps the
+/// lexicographically smallest keys — both policies bound memory and leave
+/// the end state a pure function of the key *set*, never of arrival order.
 const MAX_ENTRIES: usize = 1 << 16;
 
-#[derive(Debug, Clone)]
-enum CachedOutcome {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CachedOutcome {
     /// Sat, with the model's nonzero values keyed by variable name.
     Sat(Vec<(String, u64)>),
     Unsat,
@@ -65,10 +66,10 @@ enum CachedOutcome {
 
 /// One memoized query: the solver's verdict plus its exact statistics, in a
 /// pool-independent form.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedQuery {
-    outcome: CachedOutcome,
-    stats: SolveStats,
+    pub(crate) outcome: CachedOutcome,
+    pub(crate) stats: SolveStats,
 }
 
 impl CachedQuery {
@@ -115,28 +116,75 @@ impl CachedQuery {
 }
 
 /// The fleet-wide query cache. Cheap to share: lookups take one mutex hold
-/// over a hash probe; counters are atomic.
-#[derive(Debug, Default)]
+/// over an ordered-map probe; counters are atomic.
+///
+/// The map is a `BTreeMap` rather than a hash map so that iteration order
+/// (for [`SolverCache::snapshot`] and the on-disk format) and the eviction
+/// victim (the largest key) are deterministic, independent of hasher seeds
+/// and arrival order.
+#[derive(Debug)]
 pub struct SolverCache {
-    map: Mutex<HashMap<QueryKey, CachedQuery>>,
+    map: Mutex<BTreeMap<QueryKey, CachedQuery>>,
     hits: AtomicU64,
     lookups: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    evict: bool,
+}
+
+impl Default for SolverCache {
+    fn default() -> SolverCache {
+        SolverCache::new()
+    }
 }
 
 impl SolverCache {
-    /// An empty cache.
+    /// An empty cache that *refuses* new entries at capacity (the in-memory
+    /// fleet default: refusal keeps the hot set intact for the duration of
+    /// one sweep).
     pub fn new() -> SolverCache {
-        SolverCache::default()
+        SolverCache::with_policy(MAX_ENTRIES, false)
+    }
+
+    /// An empty cache that *evicts* deterministically at capacity, keeping
+    /// the lexicographically smallest keys. This is the policy used when a
+    /// persistent cache file is configured: refusal would silently freeze
+    /// the warm set at whatever the first run happened to solve, while
+    /// smallest-keys-win makes the retained set (and hence the saved file)
+    /// a pure function of the keys ever offered, at any thread or process
+    /// schedule.
+    pub fn evicting() -> SolverCache {
+        SolverCache::with_policy(MAX_ENTRIES, true)
+    }
+
+    /// A cache with an explicit capacity (tests exercise tiny caps).
+    pub fn with_policy(capacity: usize, evict: bool) -> SolverCache {
+        SolverCache {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            capacity,
+            evict,
+        }
+    }
+
+    /// The map guard, tolerant of poisoning: a campaign that panics while
+    /// holding the lock (chaos mode injects exactly that) must not cascade
+    /// panics into every sibling sharing the cache. The map is always
+    /// consistent at poison time — entries are inserted or removed whole —
+    /// so continuing with the inner value is safe.
+    fn map(&self) -> MutexGuard<'_, BTreeMap<QueryKey, CachedQuery>> {
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Look up a canonical key, decoding the memo against `pool` on a hit.
     pub fn lookup(&self, key: &QueryKey, pool: &TermPool) -> Option<(SolveResult, SolveStats)> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         wasai_obs::inc(wasai_obs::Counter::CacheLookupsFleet);
-        let entry = {
-            let map = self.map.lock().expect("cache poisoned");
-            map.get(key).cloned()
-        };
+        let entry = self.map().get(key).cloned();
         let hit = entry.map(|e| e.decode(pool));
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -148,17 +196,59 @@ impl SolverCache {
     /// Memoize a solved query. Idempotent: concurrent stores of the same
     /// key write identical entries (solving is deterministic), so races are
     /// harmless.
+    ///
+    /// At capacity the non-evicting cache refuses the new key; the evicting
+    /// cache admits it iff it sorts below the current largest key, which it
+    /// then evicts. Either way each lost entry (refused or evicted) bumps
+    /// the drop counter and the `CacheStoreDropped` observability series —
+    /// a shrinking warm rate at scale should be visible, not silent.
     pub fn store(&self, key: QueryKey, entry: CachedQuery) {
-        let mut map = self.map.lock().expect("cache poisoned");
-        if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
+        let mut map = self.map();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            if !self.evict {
+                drop(map);
+                self.note_dropped();
+                return;
+            }
+            // Deterministic eviction: keep the smallest `capacity` keys.
+            // Inductively the map always holds the smallest keys offered so
+            // far, so the end state depends only on the offered key set.
+            let victim = map
+                .keys()
+                .next_back()
+                .expect("capacity is nonzero at eviction time")
+                .clone();
+            if victim <= key {
+                drop(map);
+                self.note_dropped();
+                return;
+            }
+            map.remove(&victim);
+            map.insert(key, entry);
+            drop(map);
+            self.note_dropped();
             return;
         }
         map.insert(key, entry);
     }
 
+    fn note_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        wasai_obs::inc(wasai_obs::Counter::CacheStoreDropped);
+    }
+
+    /// A sorted snapshot of every entry (the persistence layer serializes
+    /// this; sortedness makes the saved file canonical).
+    pub fn snapshot(&self) -> Vec<(QueryKey, CachedQuery)> {
+        self.map()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Number of memoized queries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.map().len()
     }
 
     /// True when nothing is memoized yet.
@@ -184,6 +274,11 @@ impl SolverCache {
         } else {
             self.hits() as f64 / lookups as f64
         }
+    }
+
+    /// Entries lost to the capacity cap (refused or evicted).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -296,5 +391,83 @@ mod tests {
         // With no deadline, Unknown means "conflicted out at the cap" —
         // deterministic, and the cap is part of the key.
         assert!(cacheable(&SolveResult::Unknown, &Budget::conflicts(1)));
+    }
+
+    /// A campaign that panics while holding the cache lock (chaos mode does
+    /// exactly this) must not poison the cache for its siblings — the
+    /// regression for the `.expect("cache poisoned")` cascade.
+    #[test]
+    fn poisoned_lock_leaves_siblings_working() {
+        use std::sync::Arc;
+        let cache = Arc::new(SolverCache::new());
+        let mut p = TermPool::new();
+        let x = p.var("x", 16);
+        let c = p.bv_const(9, 16);
+        let q = p.eq(x, c);
+        let key = query_key(&p, &[q], None, Budget::default().max_conflicts);
+        let (res, stats) = check(&p, &[q], Budget::default());
+        cache.store(key.clone(), CachedQuery::encode(&p, &res, stats));
+
+        // Poison the mutex: panic in a thread that holds the guard.
+        let poisoner = Arc::clone(&cache);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.map();
+            panic!("chaos: campaign dies holding the cache lock");
+        })
+        .join();
+        assert!(joined.is_err(), "poisoner must have panicked");
+
+        // Siblings keep hitting, storing, and counting.
+        assert!(cache.lookup(&key, &p).is_some(), "lookup after poison");
+        let key2 = query_key(&p, &[q], None, 1);
+        cache.store(key2.clone(), CachedQuery::encode(&p, &res, stats));
+        assert_eq!(cache.len(), 2, "store after poison");
+    }
+
+    fn tiny_entry(pool: &TermPool) -> CachedQuery {
+        CachedQuery::encode(pool, &SolveResult::Unsat, SolveStats::default())
+    }
+
+    /// The evicting cache keeps the smallest `capacity` keys of whatever
+    /// set was offered, in any order — the property that makes the saved
+    /// cache file schedule-independent.
+    #[test]
+    fn eviction_is_arrival_order_independent() {
+        let p = TermPool::new();
+        let keys: Vec<QueryKey> = (0u64..6)
+            .map(|i| QueryKey::from_bytes(vec![i as u8; 4]))
+            .collect();
+
+        let forward = SolverCache::with_policy(3, true);
+        for k in &keys {
+            forward.store(k.clone(), tiny_entry(&p));
+        }
+        let reverse = SolverCache::with_policy(3, true);
+        for k in keys.iter().rev() {
+            reverse.store(k.clone(), tiny_entry(&p));
+        }
+
+        let keys_of = |c: &SolverCache| -> Vec<QueryKey> {
+            c.snapshot().into_iter().map(|(k, _)| k).collect()
+        };
+        assert_eq!(keys_of(&forward), keys_of(&reverse));
+        assert_eq!(keys_of(&forward), keys[..3].to_vec());
+        assert_eq!(forward.dropped(), 3);
+        assert_eq!(reverse.dropped(), 3);
+    }
+
+    /// The non-evicting cache still refuses at capacity, but now counts it.
+    #[test]
+    fn refusal_at_capacity_is_counted() {
+        let p = TermPool::new();
+        let cache = SolverCache::with_policy(2, false);
+        for i in 0u8..4 {
+            cache.store(QueryKey::from_bytes(vec![i]), tiny_entry(&p));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.dropped(), 2);
+        // Re-storing a resident key is not a drop.
+        cache.store(QueryKey::from_bytes(vec![0]), tiny_entry(&p));
+        assert_eq!(cache.dropped(), 2);
     }
 }

@@ -30,8 +30,18 @@ use std::collections::HashMap;
 
 use crate::term::{BvOp, CmpOp, TermId, TermKind, TermPool};
 
+/// Version of the canonical key encoding. Bumped whenever the byte layout
+/// produced by [`query_key`] changes (opcode table, field widths, ordering),
+/// so a persisted cache written under one encoding is never interpreted
+/// under another ([`crate::persist`] pins this in its file header).
+pub const CANON_VERSION: u64 = 1;
+
 /// An opaque canonical key for one assertion list.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` is the lexicographic order of the encoded bytes — meaningless
+/// semantically, but stable, which is what deterministic eviction and the
+/// sorted on-disk cache format need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryKey(Vec<u8>);
 
 impl QueryKey {
@@ -43,6 +53,30 @@ impl QueryKey {
     /// True when the key is empty (the empty query).
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// The raw encoded bytes (for serialization).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Reconstruct a key from bytes previously produced by [`Self::as_bytes`]
+    /// under the same [`CANON_VERSION`].
+    pub fn from_bytes(bytes: Vec<u8>) -> QueryKey {
+        QueryKey(bytes)
+    }
+
+    /// The conflict cap the query was keyed under. [`query_key`] emits the
+    /// cap as the first eight little-endian bytes, so it is recoverable from
+    /// the key alone — the persistence layer uses this to refuse `Unknown`
+    /// records whose recorded conflict count never reached the cap (a
+    /// deadline-truncation artifact that [`crate::cache::cacheable`] would
+    /// never have admitted).
+    pub fn max_conflicts(&self) -> u64 {
+        let mut raw = [0u8; 8];
+        let n = self.0.len().min(8);
+        raw[..n].copy_from_slice(&self.0[..n]);
+        u64::from_le_bytes(raw)
     }
 }
 
@@ -305,6 +339,19 @@ mod tests {
             query_key(&p, &[a], None, 50_000),
             query_key(&p, &[a], None, 50_000)
         );
+    }
+
+    #[test]
+    fn key_byte_accessors_round_trip() {
+        let mut p = TermPool::new();
+        let a = guard(&mut p, "arg0", 10);
+        let k = query_key(&p, &[a], None, 123_456);
+        assert_eq!(k.max_conflicts(), 123_456);
+        let back = QueryKey::from_bytes(k.as_bytes().to_vec());
+        assert_eq!(back, k);
+        // Ord is the lexicographic byte order — stable across processes.
+        let k2 = query_key(&p, &[a], None, 123_457);
+        assert_eq!(k.cmp(&k2), k.as_bytes().cmp(k2.as_bytes()));
     }
 
     #[test]

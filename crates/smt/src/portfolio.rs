@@ -1,0 +1,250 @@
+//! Deterministic portfolio SAT: race k CDCL configurations on hard queries
+//! without ever changing what the engine reports.
+//!
+//! Classic portfolio solvers take whichever configuration answers first —
+//! which makes the result a function of the thread schedule, poisoning
+//! every byte-identity guarantee this codebase is built on. This module
+//! resolves the tension with a **virtual-budget-fair merge rule**:
+//!
+//! 1. Every configuration — the reference ([`SearchConfig::DEFAULT`], i.e.
+//!    exactly the historical search) and each variant — gets the *same*
+//!    deterministic conflict budget. No configuration is granted more
+//!    virtual time than the engine would have spent anyway.
+//! 2. The reference configuration's result is **always** the one reported,
+//!    merged stats included. A variant can finish first, finish better, or
+//!    not finish at all; none of that reaches the engine's result, the
+//!    virtual clock, the telemetry trace, or the caches.
+//!
+//! Under that rule determinism is immediate: the reported `(result, stats)`
+//! is a pure function of the query and the budget — the same function as
+//! `k = 1` — so reports and traces are bit-identical at any `k` and any
+//! thread schedule. What the variants buy is *observability*: when a
+//! variant proves Sat/Unsat on a query the reference conflicted out on,
+//! that near-miss is counted (`wasai_smt_portfolio_salvaged_total`) as
+//! evidence the budget or the default heuristics are leaving results on
+//! the table; and if a variant ever contradicts a definitive reference
+//! verdict, that is a solver soundness bug and is counted and logged
+//! loudly (`wasai_smt_portfolio_disagreements_total`).
+//!
+//! The race itself runs on scoped threads (all joined before returning, in
+//! spawn order), so wall-clock cost is roughly one extra solve when cores
+//! are free. Counters are `wasai-obs` series: monotonic, out-of-band, never
+//! read back into decisions — the sanctioned place for schedule-varying
+//! facts.
+
+use crate::bitblast::BitBlaster;
+use crate::deadline::Deadline;
+use crate::sat::{SatOutcome, SearchConfig};
+use crate::solver::{preprocess, SolveResult};
+use crate::term::{TermId, TermPool};
+
+/// The deterministic configuration family. Index 0 is always the reference
+/// ([`SearchConfig::DEFAULT`]); further indices cycle through restart,
+/// phase and decay variations chosen to diversify the search order.
+pub fn variant_configs(k: usize) -> Vec<SearchConfig> {
+    (0..k)
+        .map(|i| match i % 6 {
+            0 => SearchConfig::DEFAULT,
+            1 => SearchConfig {
+                restart_base: 256,
+                ..SearchConfig::DEFAULT
+            },
+            2 => SearchConfig {
+                phase_saving: false,
+                default_phase: true,
+                ..SearchConfig::DEFAULT
+            },
+            3 => SearchConfig {
+                restart_base: 16,
+                decay: 1.2,
+                ..SearchConfig::DEFAULT
+            },
+            4 => SearchConfig {
+                phase_saving: false,
+                default_phase: false,
+                ..SearchConfig::DEFAULT
+            },
+            _ => SearchConfig {
+                restart_base: 1024,
+                decay: 1.01,
+                ..SearchConfig::DEFAULT
+            },
+        })
+        .collect()
+}
+
+/// What one race observed — diagnostics only; nothing here may influence
+/// engine results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RaceReport {
+    /// Variant configurations actually raced (k - 1, or 0 when k <= 1).
+    pub variants_run: usize,
+    /// Variants that proved Sat where the reference gave up Unknown.
+    pub salvaged_sat: usize,
+    /// Variants that proved Unsat where the reference gave up Unknown.
+    pub salvaged_unsat: usize,
+    /// Variants that contradicted a definitive reference verdict — a
+    /// soundness alarm.
+    pub disagreements: usize,
+}
+
+/// Solve `assertions` from scratch under `cfg`, returning only the verdict
+/// tag. No deadline: variant searches must be deterministic.
+fn verdict_under(
+    pool: &TermPool,
+    assertions: &[TermId],
+    max_conflicts: u64,
+    cfg: &SearchConfig,
+) -> &'static str {
+    let Some(effective) = preprocess(pool, assertions) else {
+        return "unsat";
+    };
+    if effective.is_empty() {
+        return "sat";
+    }
+    let mut bb = BitBlaster::new(pool);
+    for &a in &effective {
+        bb.assert_true(a);
+    }
+    match bb.sat.solve_with_config(max_conflicts, Deadline::NONE, cfg) {
+        SatOutcome::Sat => "sat",
+        SatOutcome::Unsat => "unsat",
+        SatOutcome::Unknown => "unknown",
+    }
+}
+
+/// Race the variant configurations (indices 1..k of [`variant_configs`])
+/// against the already-computed `reference` verdict for `assertions` under
+/// the same conflict budget, merging under the virtual-budget-fair rule:
+/// the returned report is observability, the reference result stays
+/// authoritative.
+///
+/// The caller passes the result it is about to report (produced by the
+/// reference configuration); this function never returns an alternative.
+pub fn race_diagnostics(
+    pool: &TermPool,
+    assertions: &[TermId],
+    max_conflicts: u64,
+    k: usize,
+    reference: &SolveResult,
+) -> RaceReport {
+    let configs = variant_configs(k);
+    if configs.len() <= 1 {
+        return RaceReport::default();
+    }
+    wasai_obs::inc(wasai_obs::Counter::PortfolioRaces);
+    // All variants run to completion under the same budget and are joined
+    // in spawn order: the verdict vector is schedule-independent.
+    let verdicts: Vec<&'static str> = std::thread::scope(|s| {
+        let handles: Vec<_> = configs[1..]
+            .iter()
+            .map(|cfg| s.spawn(move || verdict_under(pool, assertions, max_conflicts, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or("unknown"))
+            .collect()
+    });
+    let mut report = RaceReport {
+        variants_run: verdicts.len(),
+        ..RaceReport::default()
+    };
+    let ref_kind = reference.kind();
+    for (i, v) in verdicts.iter().enumerate() {
+        match (ref_kind, *v) {
+            ("unknown", "sat") => {
+                report.salvaged_sat += 1;
+                wasai_obs::inc(wasai_obs::Counter::PortfolioSalvagedSat);
+            }
+            ("unknown", "unsat") => {
+                report.salvaged_unsat += 1;
+                wasai_obs::inc(wasai_obs::Counter::PortfolioSalvagedUnsat);
+            }
+            ("sat", "unsat") | ("unsat", "sat") => {
+                report.disagreements += 1;
+                wasai_obs::inc(wasai_obs::Counter::PortfolioDisagreements);
+                eprintln!(
+                    "portfolio: variant {} answered {v} against a definitive \
+                     reference {ref_kind} — solver soundness bug",
+                    i + 1
+                );
+                debug_assert!(false, "portfolio variant contradicted a definitive verdict");
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{check, Budget};
+    use crate::term::CmpOp;
+
+    fn query(pool: &mut TermPool) -> Vec<TermId> {
+        let x = pool.var("x", 32);
+        let y = pool.var("y", 32);
+        let c = pool.bv_const(12345, 32);
+        let sum = pool.bv(crate::term::BvOp::Add, x, y);
+        let eq = pool.eq(sum, c);
+        let bound = pool.bv_const(100, 32);
+        let lt = pool.cmp(CmpOp::Ult, x, bound);
+        vec![eq, lt]
+    }
+
+    #[test]
+    fn k1_is_a_no_op() {
+        let mut p = TermPool::new();
+        let q = query(&mut p);
+        let (res, _) = check(&p, &q, Budget::default());
+        let report = race_diagnostics(&p, &q, Budget::default().max_conflicts, 1, &res);
+        assert_eq!(report, RaceReport::default());
+    }
+
+    #[test]
+    fn variants_agree_with_a_definitive_reference() {
+        let mut p = TermPool::new();
+        let q = query(&mut p);
+        let budget = Budget::default();
+        let (res, _) = check(&p, &q, budget);
+        assert_eq!(res.kind(), "sat");
+        let report = race_diagnostics(&p, &q, budget.max_conflicts, 4, &res);
+        assert_eq!(report.variants_run, 3);
+        assert_eq!(report.disagreements, 0, "variants contradicted: {report:?}");
+        assert_eq!(report.salvaged_sat + report.salvaged_unsat, 0);
+    }
+
+    #[test]
+    fn a_reference_unknown_is_salvaged_not_overridden() {
+        // The reference gave up (simulated: the engine would pass its actual
+        // Unknown); variants under an ample budget solve the query — counted
+        // as salvage, never as a changed answer.
+        let mut p = TermPool::new();
+        let q = query(&mut p);
+        let report = race_diagnostics(&p, &q, 50_000, 3, &SolveResult::Unknown);
+        assert_eq!(report.variants_run, 2);
+        assert_eq!(report.salvaged_sat, 2);
+        assert_eq!(report.disagreements, 0);
+    }
+
+    #[test]
+    fn race_is_repeatable() {
+        let mut p = TermPool::new();
+        let q = query(&mut p);
+        let budget = Budget::default();
+        let (res, _) = check(&p, &q, budget);
+        let a = race_diagnostics(&p, &q, budget.max_conflicts, 6, &res);
+        let b = race_diagnostics(&p, &q, budget.max_conflicts, 6, &res);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_family_is_deterministic_and_reference_first() {
+        let c = variant_configs(8);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c[0], SearchConfig::DEFAULT);
+        assert_eq!(c, variant_configs(8));
+        assert_eq!(c[6], c[0], "family cycles after 6");
+    }
+}

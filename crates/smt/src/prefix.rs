@@ -29,16 +29,26 @@
 //! clauses and activities carry over — so the engine uses the fork path and
 //! reserves assumptions for callers that only need verdicts fast.
 //!
-//! The two query paths are **mutually exclusive on one session**:
+//! [`solve_sharing`](PrefixSolver::solve_sharing) is the third mode:
+//! fork-per-query like `solve`, but learnt clauses that mention only
+//! shared-prefix variables are harvested after each fork and injected into
+//! the next — so sibling flips of one campaign family stop rediscovering
+//! the same prefix conflicts. Verdict-identical to `check`; statistics are
+//! not (the injected clauses change the search), so the engine's
+//! byte-identity path still uses `solve`.
+//!
+//! The query paths are **mutually exclusive on one session**:
 //! `solve_assuming` Tseitin-encodes each flip's gates into the persistent
 //! instance, so a later [`solve`](PrefixSolver::solve) would fork an
 //! instance carrying extra gates and silently lose its bit-identity
-//! guarantee. The session latches whichever mode answers its first query
-//! and panics if the other is used afterwards.
+//! guarantee — and `solve_sharing`'s stats are pool-dependent. The session
+//! latches whichever mode answers its first query and panics if another is
+//! used afterwards.
 
 use std::collections::HashSet;
 
 use crate::bitblast::BitBlaster;
+use crate::sat::Lit;
 use crate::solver::{result_of, stats_of, Budget, Model, SolveResult, SolveStats};
 use crate::term::{TermId, TermPool};
 
@@ -50,6 +60,9 @@ enum SessionMode {
     Fork,
     /// [`PrefixSolver::solve_assuming`]: persistent instance, assumptions.
     Assume,
+    /// [`PrefixSolver::solve_sharing`]: fork per query, learnt prefix-only
+    /// clauses carried between forks.
+    Share,
 }
 
 /// A solver session over one replay's path-constraint chain.
@@ -72,6 +85,13 @@ pub struct PrefixSolver<'p> {
     mode: Option<SessionMode>,
     forks: u64,
     work_props: u64,
+    /// Learnt clauses harvested from earlier forks (Share mode only). Each
+    /// mentions only variables the shared instance owned when its fork was
+    /// taken, so it is implied by the prefix alone and sound to inject into
+    /// any later fork of the same family.
+    shared_clauses: Vec<Vec<Lit>>,
+    /// Sorted-literal fingerprints of `shared_clauses`, for dedup.
+    shared_seen: HashSet<Vec<Lit>>,
 }
 
 impl<'p> PrefixSolver<'p> {
@@ -90,6 +110,8 @@ impl<'p> PrefixSolver<'p> {
             mode: None,
             forks: 0,
             work_props: 0,
+            shared_clauses: Vec::new(),
+            shared_seen: HashSet::new(),
         }
     }
 
@@ -276,6 +298,97 @@ impl<'p> PrefixSolver<'p> {
         self.bb.sat.backtrack_root();
         (result, stats)
     }
+
+    /// Learnt clauses currently in the sharing pool (Share mode).
+    pub fn shared_clause_count(&self) -> usize {
+        self.shared_clauses.len()
+    }
+
+    /// Solve `prefix ∧ delta` on a fork of the shared instance, carrying
+    /// learnt clauses *between* forks of this campaign family.
+    ///
+    /// Each query forks like [`PrefixSolver::solve`], but (1) the fork is
+    /// seeded with every clause earlier forks learnt about the shared
+    /// prefix, and (2) after solving, newly learnt clauses that mention
+    /// only prefix variables are harvested into the pool for future forks.
+    ///
+    /// # Why the harvest is sound
+    ///
+    /// The flip is decided as a SAT *assumption*, never asserted as a unit
+    /// clause, so the fork's clause database is exactly: the shared prefix
+    /// clauses, the pool (inductively implied by the prefix), and Tseitin
+    /// gate definitions (conservative: each defines a fresh variable).
+    /// CDCL learns only resolvents of database clauses — assumptions, being
+    /// decisions, are never resolved in — so every learnt clause is implied
+    /// by that database. A learnt clause restricted to variables the shared
+    /// instance owned *before* the fork mentions no defined-fresh variable,
+    /// and a clause over old variables implied by a conservative extension
+    /// is implied by the prefix alone. Hence it holds in every sibling
+    /// fork, whatever flip that sibling assumes.
+    ///
+    /// Verdict-identical to [`check`](crate::solver::check) (and Sat models
+    /// satisfy the constraints), but the injected clauses change the search,
+    /// so statistics are *not* from-scratch-identical — like
+    /// [`solve_assuming`](PrefixSolver::solve_assuming), this mode is for
+    /// callers that want verdicts fast, not for the byte-identity engine
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this session already answered queries in another mode.
+    pub fn solve_sharing(
+        &mut self,
+        prefix: &[TermId],
+        delta: TermId,
+        budget: Budget,
+    ) -> (SolveResult, SolveStats) {
+        self.latch_mode(SessionMode::Share);
+        if self.trivially_false(prefix, Some(delta)) {
+            return (SolveResult::Unsat, SolveStats::default());
+        }
+        self.advance(prefix);
+        let delta_dropped = self.pool.as_const(delta) == Some(1) || self.seen.contains(&delta);
+        if self.asserted == 0 && delta_dropped {
+            return (SolveResult::Sat(Model::default()), SolveStats::default());
+        }
+        // Variables the shared instance owns right now: the harvest
+        // boundary. Anything at or above this index is fork-local.
+        let prefix_vars = self.bb.sat.num_vars();
+        let base_props = self.bb.sat.propagations;
+        let mut fork = self.bb.clone();
+        self.forks += 1;
+        wasai_obs::inc(wasai_obs::Counter::PrefixForks);
+        for clause in &self.shared_clauses {
+            // A pool clause can only conflict if the prefix itself is
+            // unsat, in which case the solve below reports exactly that.
+            let _ = fork.sat.add_clause(clause);
+        }
+        let injected_at = fork.sat.num_clauses();
+        let assumptions: Vec<Lit> = if delta_dropped {
+            Vec::new()
+        } else {
+            vec![fork.blast_bool(delta)]
+        };
+        let outcome =
+            fork.sat
+                .solve_with_assumptions(&assumptions, budget.max_conflicts, budget.deadline);
+        self.work_props += fork.sat.propagations - base_props;
+        // Harvest: learnt clauses over prefix variables only. Gate clauses
+        // from blasting `delta` always mention the fresh gate variable, so
+        // the variable filter excludes them naturally.
+        for id in injected_at..fork.sat.num_clauses() {
+            let clause = fork.sat.clause(id);
+            if clause.iter().all(|l| (l.var() as usize) < prefix_vars) {
+                let mut fingerprint = clause.to_vec();
+                fingerprint.sort_by_key(|l| l.0);
+                if self.shared_seen.insert(fingerprint) {
+                    self.shared_clauses.push(clause.to_vec());
+                }
+            }
+        }
+        let stats = stats_of(&fork);
+        (result_of(self.pool, &fork, outcome), stats)
+    }
 }
 
 impl std::fmt::Debug for PrefixSolver<'_> {
@@ -286,6 +399,7 @@ impl std::fmt::Debug for PrefixSolver<'_> {
             .field("mode", &self.mode)
             .field("forks", &self.forks)
             .field("work_props", &self.work_props)
+            .field("shared_clauses", &self.shared_clauses.len())
             .finish()
     }
 }
@@ -405,6 +519,119 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharing_path_agrees_with_from_scratch_on_randomized_family() {
+        // Clause sharing changes the search, never the verdict; Sat models
+        // must still satisfy every constraint of the query they answer.
+        for salt in 0..6u64 {
+            let mut pool = TermPool::new();
+            let (path, flips) = flip_family(&mut pool, 10, salt);
+            let mut session = PrefixSolver::new(&pool);
+            for (i, &flip) in flips.iter().enumerate() {
+                let mut scratch: Vec<TermId> = path[..i].to_vec();
+                scratch.push(flip);
+                let (want, _) = check(&pool, &scratch, Budget::default());
+                let (got, _) = session.solve_sharing(&path[..i], flip, Budget::default());
+                assert_eq!(
+                    want.kind(),
+                    got.kind(),
+                    "salt {salt} flip {i}: verdict diverged"
+                );
+                if let SolveResult::Sat(m) = &got {
+                    let vals = m.to_vec(&pool);
+                    for &c in &scratch {
+                        assert_eq!(
+                            pool.eval(c, &vals),
+                            1,
+                            "salt {salt} flip {i}: sharing model violates a constraint"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A flip family whose prefix pins a *bounded* factoring constraint
+    /// (`a·b = K, 2 ≤ a,b < 64`): bounding the operands defeats the
+    /// modular-wraparound shortcut, so CDCL genuinely searches and learns
+    /// non-unit clauses — unlike the BCP-trivial [`flip_family`].
+    fn hard_family(pool: &mut TermPool, steps: usize, salt: u64) -> (Vec<TermId>, Vec<TermId>) {
+        let mut rng = salt.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let a = pool.var("arg0", 12);
+        let b = pool.var("arg1", 12);
+        let product = pool.bv(BvOp::Mul, a, b);
+        let k = pool.bv_const((next() % 50 + 13) * (next() % 40 + 11), 12);
+        let lim = pool.bv_const(64, 12);
+        let two = pool.bv_const(2, 12);
+        let mut path = vec![
+            pool.eq(product, k),
+            pool.cmp(CmpOp::Ult, a, lim),
+            pool.cmp(CmpOp::Ult, b, lim),
+            pool.cmp(CmpOp::Ule, two, a),
+            pool.cmp(CmpOp::Ule, two, b),
+        ];
+        for i in 0..steps {
+            let k = pool.bv_const(next() % 60 + 2, 12);
+            let guard = if i % 2 == 0 {
+                pool.cmp(CmpOp::Ult, a, k)
+            } else {
+                let x = pool.bv(BvOp::Xor, a, b);
+                pool.cmp(CmpOp::Ule, x, k)
+            };
+            path.push(guard);
+        }
+        let flips = path.iter().map(|&g| pool.not(g)).collect();
+        (path, flips)
+    }
+
+    #[test]
+    fn sharing_harvests_prefix_clauses_between_forks() {
+        // A family whose flips force conflicts on the shared prefix: the
+        // pool must actually accumulate clauses (otherwise the mode is a
+        // silent no-op), every fork must still agree with a from-scratch
+        // check, and Sat models must satisfy the constraints.
+        let mut harvested_any = false;
+        for salt in 0..4u64 {
+            let mut pool = TermPool::new();
+            let (path, flips) = hard_family(&mut pool, 6, salt);
+            let mut session = PrefixSolver::new(&pool);
+            for (i, &flip) in flips.iter().enumerate() {
+                let mut scratch: Vec<TermId> = path[..i].to_vec();
+                scratch.push(flip);
+                let (want, _) = check(&pool, &scratch, Budget::default());
+                let (got, _) = session.solve_sharing(&path[..i], flip, Budget::default());
+                assert_eq!(want.kind(), got.kind(), "salt {salt} flip {i}");
+                if let SolveResult::Sat(m) = &got {
+                    let vals = m.to_vec(&pool);
+                    for &c in &scratch {
+                        assert_eq!(pool.eval(c, &vals), 1, "salt {salt} flip {i}");
+                    }
+                }
+            }
+            harvested_any |= session.shared_clause_count() > 0;
+        }
+        assert!(
+            harvested_any,
+            "no salt produced a single shared clause — harvest is broken"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn mixing_sharing_then_fork_queries_panics() {
+        let mut pool = TermPool::new();
+        let (path, flips) = flip_family(&mut pool, 3, 0);
+        let mut session = PrefixSolver::new(&pool);
+        session.solve_sharing(&path[..1], flips[1], Budget::default());
+        session.solve(&path[..2], flips[2], Budget::default());
     }
 
     #[test]

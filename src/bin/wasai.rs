@@ -305,13 +305,19 @@ fn parse_substrate(v: &str) -> Result<Option<SubstrateKind>, String> {
         .ok_or_else(|| format!("--substrate must be eosio, cosmwasm or auto, got {v:?}"))
 }
 
-fn audit(
-    wasm_path: &str,
-    abi_path: &str,
-    trace_out: Option<&str>,
+/// Parsed `audit` invocation: positionals plus every optional flag.
+struct AuditArgs {
+    wasm: String,
+    abi: String,
+    trace_out: Option<String>,
     substrate: Option<SubstrateKind>,
-    obs_opts: &ObsOpts,
-) -> Result<(), String> {
+    solver_cache: Option<String>,
+    portfolio_k: Option<usize>,
+    obs: ObsOpts,
+}
+
+fn audit(a: &AuditArgs) -> Result<(), String> {
+    let (wasm_path, abi_path) = (a.wasm.as_str(), a.abi.as_str());
     let bytes = fs::read(wasm_path).map_err(|e| format!("{wasm_path}: {e}"))?;
     let module = decode::decode(&bytes).map_err(|e| format!("{wasm_path}: {e}"))?;
     let abi = parse_abi(&fs::read_to_string(abi_path).map_err(|e| format!("{abi_path}: {e}"))?)?;
@@ -321,15 +327,21 @@ fn audit(
         module.funcs.len(),
         abi.actions.len()
     );
-    let session = obs_start(obs_opts, 1)?;
+    let session = obs_start(&a.obs, 1)?;
     // A single audit never enters the fleet scheduler, so bracket the
     // campaign's heartbeat here for the stall detector.
     obs::worker::begin(0);
-    let mut wasai = Wasai::new(module, abi).with_config(FuzzConfig::default());
-    if let Some(kind) = substrate {
+    let solver_cache = open_solver_cache(a.solver_cache.as_deref())?;
+    let mut wasai = Wasai::new(module, abi)
+        .with_config(FuzzConfig {
+            portfolio_k: resolved_portfolio(a.portfolio_k)?,
+            ..FuzzConfig::default()
+        })
+        .with_solver_cache(solver_cache.clone());
+    if let Some(kind) = a.substrate {
         wasai = wasai.with_substrate(kind);
     }
-    let run_result = if let Some(path) = trace_out {
+    let run_result = if let Some(path) = a.trace_out.as_deref() {
         wasai
             .run_traced()
             .map_err(|e| e.to_string())
@@ -346,7 +358,10 @@ fn audit(
         wasai.run().map_err(|e| e.to_string())
     };
     obs::worker::end();
-    obs_finish(session, obs_opts)?;
+    if let Some(path) = a.solver_cache.as_deref() {
+        save_solver_cache(path, &solver_cache)?;
+    }
+    obs_finish(session, &a.obs)?;
     let report = run_result?;
     println!(
         "campaign: {} iterations, {} SMT queries, {} branches covered",
@@ -386,6 +401,12 @@ struct AuditDirOpts {
     /// campaign (None = auto-detect per module). Inherited verbatim by
     /// `audit-worker` subprocesses.
     substrate: Option<SubstrateKind>,
+    /// `--solver-cache FILE`: warm-start the fleet solver cache from FILE
+    /// before the sweep and persist it back after (created if missing).
+    solver_cache_path: Option<String>,
+    /// `--portfolio K`: portfolio width for hard SMT queries (None =
+    /// `WASAI_PORTFOLIO` env, else 1 = off).
+    portfolio_k: Option<usize>,
     /// Observability surfaces (metrics listener, dump, progress monitor).
     obs: ObsOpts,
 }
@@ -400,6 +421,8 @@ impl Default for AuditDirOpts {
             journal_path: None,
             resume_path: None,
             substrate: None,
+            solver_cache_path: None,
+            portfolio_k: None,
             obs: ObsOpts::new(),
         }
     }
@@ -425,6 +448,53 @@ impl AuditDirOpts {
     fn journal_dest(&self) -> Option<&str> {
         self.resume_path.as_deref().or(self.journal_path.as_deref())
     }
+}
+
+/// Portfolio width: flag, then `WASAI_PORTFOLIO`, then 1 (off).
+fn resolved_portfolio(flag: Option<usize>) -> Result<usize, String> {
+    if let Some(k) = flag {
+        return Ok(k.max(1));
+    }
+    match std::env::var("WASAI_PORTFOLIO") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .map(|k| k.max(1))
+            .map_err(|e| format!("WASAI_PORTFOLIO {v:?}: {e}")),
+        Err(_) => Ok(1),
+    }
+}
+
+/// Build the fleet solver cache, warm-started from `path` when one was
+/// configured. A persistent cache uses the deterministic-eviction policy so
+/// its on-disk end state is a pure function of the offered key set.
+fn open_solver_cache(
+    path: Option<&str>,
+) -> Result<std::sync::Arc<wasai::wasai_smt::SolverCache>, String> {
+    use wasai::wasai_smt::{persist, SolverCache};
+    let Some(path) = path else {
+        return Ok(std::sync::Arc::new(SolverCache::new()));
+    };
+    let cache = SolverCache::evicting();
+    let loaded = persist::load_into(Path::new(path), &cache)?;
+    if loaded > 0 {
+        eprintln!("solver cache: warm-started {loaded} entries from {path}");
+    }
+    Ok(std::sync::Arc::new(cache))
+}
+
+/// Persist the fleet solver cache back to `path` and summarize its traffic
+/// on stderr (out-of-band: fleet hit counts are schedule-dependent).
+fn save_solver_cache(path: &str, cache: &wasai::wasai_smt::SolverCache) -> Result<(), String> {
+    let written = wasai::wasai_smt::persist::save(Path::new(path), cache)?;
+    eprintln!(
+        "solver cache: saved {written} entries to {path} \
+         ({}/{} fleet hits, {} stores dropped)",
+        cache.hits(),
+        cache.lookups(),
+        cache.dropped()
+    );
+    Ok(())
 }
 
 /// Analyze every `*.wasm` (with `.abi` sidecar) in a directory, in parallel,
@@ -459,16 +529,23 @@ fn corpus(dir: &str) -> Result<(Vec<PathBuf>, Vec<String>), String> {
     Ok((wasm_paths, names))
 }
 
+/// Everything one campaign needs beyond its index and contract path —
+/// shared by the in-process fleet and the `audit-worker` entrypoint.
+struct CampaignCtx {
+    seed: u64,
+    deadline: Deadline,
+    tracing: bool,
+    substrate: Option<SubstrateKind>,
+    solver_cache: std::sync::Arc<wasai::wasai_smt::SolverCache>,
+    portfolio_k: usize,
+}
+
 /// Load, decode, and fuzz one contract — the campaign body shared by the
 /// in-process fleet and the `audit-worker` subprocess entrypoint.
 fn audit_campaign(
     i: usize,
     path: &Path,
-    seed: u64,
-    deadline: Deadline,
-    tracing: bool,
-    substrate: Option<SubstrateKind>,
-    solver_cache: &std::sync::Arc<wasai::wasai_smt::SolverCache>,
+    ctx: &CampaignCtx,
 ) -> Result<(FuzzReport, Vec<TelemetryEvent>), ChainError> {
     stage::enter(stage::PREPARE);
     let bytes = fs::read(path).map_err(|e| ChainError::BadContract(e.to_string()))?;
@@ -479,15 +556,16 @@ fn audit_campaign(
     let abi = parse_abi(&abi_text).map_err(ChainError::BadContract)?;
     let mut wasai = Wasai::new(module, abi)
         .with_config(FuzzConfig {
-            rng_seed: seed ^ (i as u64),
-            deadline,
+            rng_seed: ctx.seed ^ (i as u64),
+            deadline: ctx.deadline,
+            portfolio_k: ctx.portfolio_k,
             ..FuzzConfig::default()
         })
-        .with_solver_cache(solver_cache.clone());
-    if let Some(kind) = substrate {
+        .with_solver_cache(ctx.solver_cache.clone());
+    if let Some(kind) = ctx.substrate {
         wasai = wasai.with_substrate(kind);
     }
-    if tracing {
+    if ctx.tracing {
         wasai.run_traced()
     } else {
         wasai.run().map(|r| (r, Vec::new()))
@@ -617,6 +695,7 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         .filter_map(|(i, s)| s.is_none().then_some(i))
         .collect();
 
+    let portfolio_k = resolved_portfolio(opts.portfolio_k)?;
     let mut trace_lines = Vec::new();
     if pending.is_empty() {
         eprintln!("resume: every campaign is already journaled; rendering the report");
@@ -625,18 +704,15 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         // share one solver query cache: contracts in a sweep often repeat
         // guard shapes, and a fleet hit replays the exact result a fresh
         // solve would produce, so the triage and trace stay byte-identical.
-        let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
-        let audit_one = |i: usize, path: PathBuf| {
-            audit_campaign(
-                i,
-                &path,
-                seed,
-                deadline,
-                tracing,
-                opts.substrate,
-                &solver_cache,
-            )
+        let ctx = CampaignCtx {
+            seed,
+            deadline,
+            tracing,
+            substrate: opts.substrate,
+            solver_cache: open_solver_cache(opts.solver_cache_path.as_deref())?,
+            portfolio_k,
         };
+        let audit_one = |i: usize, path: PathBuf| audit_campaign(i, &path, &ctx);
         let journal_cell = journal.take().map(std::sync::Mutex::new);
         let items: Vec<(usize, PathBuf)> = pending
             .iter()
@@ -678,6 +754,9 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
             let idx = rec.index;
             slots[idx] = Some(rec);
         }
+        if let Some(path) = &opts.solver_cache_path {
+            save_solver_cache(path, &ctx.solver_cache)?;
+        }
     } else {
         // Supervised subprocess fleet: shard the pending campaigns across
         // `procs` audit-worker children, each running the thread fleet on
@@ -703,6 +782,13 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         };
         let deadline_secs = opts.deadline_secs;
         let substrate = opts.substrate;
+        // Each worker shard warm-starts from the shared cache file and saves
+        // its additions to a private sibling (`FILE.shard-<first-index>`);
+        // the supervisor merges the shards after the sweep. Shard names are
+        // keyed by the shard's first campaign index, so a retried worker
+        // overwrites its own shard instead of leaking a stale one.
+        let shard_paths = std::cell::RefCell::new(std::collections::BTreeSet::<String>::new());
+        let cache_path = opts.solver_cache_path.clone();
         let spawn = |attempt: u32, indices: &[usize]| {
             let csv: Vec<String> = indices.iter().map(ToString::to_string).collect();
             let mut cmd = std::process::Command::new(&exe);
@@ -720,6 +806,15 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
             }
             if let Some(kind) = substrate {
                 cmd.arg("--substrate").arg(kind.name());
+            }
+            if portfolio_k > 1 {
+                cmd.arg("--portfolio").arg(portfolio_k.to_string());
+            }
+            if let Some(file) = &cache_path {
+                let shard = format!("{file}.shard-{}", indices.first().copied().unwrap_or(0));
+                cmd.arg("--solver-cache").arg(file);
+                cmd.arg("--solver-cache-out").arg(&shard);
+                shard_paths.borrow_mut().insert(shard);
             }
             if attempt > 1 {
                 // Proc-level chaos faults fire at most once: strip them
@@ -747,6 +842,21 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         for rec in records {
             let idx = rec.index;
             slots[idx] = Some(rec);
+        }
+        if let Some(file) = &cache_path {
+            // Merge: prior cache contents first, then every shard in sorted
+            // path order. Entries are idempotent and eviction keeps the
+            // smallest N keys, so the merged file is independent of which
+            // worker finished first — and of `--procs` itself.
+            let merged = wasai::wasai_smt::SolverCache::evicting();
+            wasai::wasai_smt::persist::load_into(Path::new(file), &merged)?;
+            for shard in shard_paths.borrow().iter() {
+                wasai::wasai_smt::persist::load_into(Path::new(shard), &merged)?;
+            }
+            save_solver_cache(file, &merged)?;
+            for shard in shard_paths.borrow().iter() {
+                let _ = fs::remove_file(shard);
+            }
         }
     }
     let wall = start.elapsed();
@@ -841,13 +951,8 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
 /// fleet, streaming the status protocol on stdout — one digest-checked
 /// outcome record per completed campaign, periodic heartbeat and seed-count
 /// relays, and a terminal `{"type":"done"}` marker.
-fn audit_worker(
-    dir: &str,
-    seed: u64,
-    indices: &[usize],
-    deadline_secs: Option<f64>,
-    substrate: Option<SubstrateKind>,
-) -> Result<(), String> {
+fn audit_worker(dir: &str, w: &WorkerArgs) -> Result<(), String> {
+    let indices = &w.indices;
     let (wasm_paths, names) = corpus(dir)?;
     if let Some(&bad) = indices.iter().find(|&&i| i >= names.len()) {
         return Err(format!(
@@ -858,13 +963,16 @@ fn audit_worker(
     // The registry and heartbeat table feed the status relay, so a worker
     // is always instrumented; the supervisor decides what to surface.
     obs::enable();
-    let deadline = match deadline_secs {
+    let deadline = match w.deadline_secs {
         Some(secs) if secs > 0.0 => Deadline::after_secs(secs),
         Some(_) => Deadline::NONE,
         None => fleet::deadline_from_env(),
     };
     let jobs = wasai::wasai_core::jobs_from_env();
-    let solver_cache = std::sync::Arc::new(wasai::wasai_smt::SolverCache::new());
+    // Warm-start from the shared cache file; additions are saved to this
+    // worker's private shard (the supervisor merges shards afterwards), so
+    // concurrent workers never write the same file.
+    let solver_cache = open_solver_cache(w.solver_cache_in.as_deref())?;
 
     // Heartbeat/stats pump: relay this process's heartbeat table and seed
     // counter upstream a few times a second. `println!` holds the stdout
@@ -894,9 +1002,17 @@ fn audit_worker(
         })
     };
 
-    let audit_one = |i: usize, path: PathBuf| {
-        audit_campaign(i, &path, seed, deadline, false, substrate, &solver_cache)
+    let ctx = CampaignCtx {
+        seed: w.seed,
+        deadline,
+        tracing: false,
+        substrate: w.substrate,
+        solver_cache,
+        portfolio_k: w.portfolio_k,
     };
+    let audit_one = |i: usize, path: PathBuf| audit_campaign(i, &path, &ctx);
+    // Serializes per-campaign shard saves across the worker's job threads.
+    let shard_save_lock = std::sync::Mutex::new(());
     let items: Vec<(usize, PathBuf)> = indices
         .iter()
         .map(|&i| (i, wasm_paths[i].clone()))
@@ -917,7 +1033,18 @@ fn audit_worker(
             _ => {}
         }
         let run = fleet::run_campaign_isolated(gi, path, deadline, &audit_one);
-        let rec = record_from_run(gi, &names[gi], seed ^ gi as u64, &run);
+        // Persist the shard BEFORE announcing the record: the supervisor
+        // kills workers as soon as every campaign is accounted for, so the
+        // save must already be durable when the last record line lands.
+        // Atomic tmp+rename saves mean a kill leaves the previous complete
+        // shard, never a torn one.
+        if let Some(out) = w.solver_cache_out.as_deref() {
+            let _guard = shard_save_lock.lock().unwrap_or_else(|p| p.into_inner());
+            if let Err(e) = wasai::wasai_smt::persist::save(Path::new(out), &ctx.solver_cache) {
+                eprintln!("warning: solver cache shard {out}: {e}");
+            }
+        }
+        let rec = record_from_run(gi, &names[gi], w.seed ^ gi as u64, &run);
         println!("{}", rec.to_jsonl());
     });
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -930,22 +1057,48 @@ fn audit_worker(
     Ok(())
 }
 
+/// Parsed `audit-worker` invocation (everything after the directory).
+struct WorkerArgs {
+    seed: u64,
+    indices: Vec<usize>,
+    deadline_secs: Option<f64>,
+    substrate: Option<SubstrateKind>,
+    /// `--solver-cache FILE`: shared warm-start source (read only).
+    solver_cache_in: Option<String>,
+    /// `--solver-cache-out FILE`: this worker's private shard (write only).
+    solver_cache_out: Option<String>,
+    portfolio_k: usize,
+}
+
 /// Parse `audit-worker`'s tail: `--seed N --indices CSV [--deadline-secs S]
-/// [--substrate NAME]`.
-#[allow(clippy::type_complexity)]
-fn parse_audit_worker_args(
-    rest: &[String],
-) -> Result<(u64, Vec<usize>, Option<f64>, Option<SubstrateKind>), String> {
+/// [--substrate NAME] [--solver-cache FILE] [--solver-cache-out FILE]
+/// [--portfolio K]`.
+fn parse_audit_worker_args(rest: &[String]) -> Result<WorkerArgs, String> {
     let mut seed = None;
     let mut indices = None;
     let mut deadline = None;
     let mut substrate = None;
+    let mut solver_cache_in = None;
+    let mut solver_cache_out = None;
+    let mut portfolio_k = 1usize;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--substrate" => {
                 let v = it.next().ok_or("--substrate needs a value")?;
                 substrate = parse_substrate(v)?;
+            }
+            "--solver-cache" => {
+                let v = it.next().ok_or("--solver-cache needs a file path")?;
+                solver_cache_in = Some(v.clone());
+            }
+            "--solver-cache-out" => {
+                let v = it.next().ok_or("--solver-cache-out needs a file path")?;
+                solver_cache_out = Some(v.clone());
+            }
+            "--portfolio" => {
+                let v = it.next().ok_or("--portfolio needs a width")?;
+                portfolio_k = v.parse().map_err(|e| format!("--portfolio {v}: {e}"))?;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -969,12 +1122,15 @@ fn parse_audit_worker_args(
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok((
-        seed.ok_or("audit-worker needs --seed")?,
-        indices.ok_or("audit-worker needs --indices")?,
-        deadline,
+    Ok(WorkerArgs {
+        seed: seed.ok_or("audit-worker needs --seed")?,
+        indices: indices.ok_or("audit-worker needs --indices")?,
+        deadline_secs: deadline,
         substrate,
-    ))
+        solver_cache_in,
+        solver_cache_out,
+        portfolio_k,
+    })
 }
 
 fn gen(
@@ -1032,10 +1188,12 @@ fn gen_cw(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
-/// Summarize a JSONL telemetry trace (`--trace-out`) or triage report
-/// (`--triage`) as a human-readable table.
+/// Summarize a JSONL telemetry trace (`--trace-out`), a triage report
+/// (`--triage`), or a metrics dump (`--metrics-dump`) as a human-readable
+/// table.
 ///
-/// The two formats are distinguished by their fields: trace lines carry
+/// The formats are distinguished structurally: a metrics dump is one
+/// pretty-printed JSON object (first line is a bare `{`), trace lines carry
 /// `"event"`, triage lines carry `"contract"`.
 fn stats_cmd(path: &str, format: &str) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -1043,6 +1201,33 @@ fn stats_cmd(path: &str, format: &str) -> Result<(), String> {
         .lines()
         .find(|l| !l.trim().is_empty())
         .ok_or_else(|| format!("{path}: empty file"))?;
+    if first.trim() == "{" {
+        // A `--metrics-dump` snapshot: one flat object keyed by Prometheus
+        // series names. Render the non-zero series (this is where solver
+        // counters with no telemetry event live, e.g.
+        // `wasai_smt_cache_store_dropped_total`).
+        let fields = telemetry::parse_json_fields(&text).map_err(|e| format!("{path}: {e}"))?;
+        if format == "json" {
+            print!("{text}");
+            return Ok(());
+        }
+        let mut zeros = 0usize;
+        println!("metrics {path}: {} series\n", fields.len());
+        for (name, value) in &fields {
+            match value.as_f64() {
+                Some(0.0) => zeros += 1,
+                Some(_) => match value.as_num() {
+                    Some(n) => println!("  {name:<48} {n:>12}"),
+                    None => println!("  {name:<48} {:>12}", value.as_f64().unwrap_or(0.0)),
+                },
+                None => println!("  {name:<48} {:>12}", value.as_str().unwrap_or("?")),
+            }
+        }
+        if zeros > 0 {
+            println!("  ({zeros} zero series not shown)");
+        }
+        return Ok(());
+    }
     let fields = telemetry::parse_json_fields(first).map_err(|e| format!("{path}: {e}"))?;
     if fields.contains_key("event") {
         let events = telemetry::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -1161,6 +1346,14 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
                 let v = it.next().ok_or("--substrate needs a value")?;
                 opts.substrate = parse_substrate(v)?;
             }
+            "--solver-cache" => {
+                let v = it.next().ok_or("--solver-cache needs a file path")?;
+                opts.solver_cache_path = Some(v.clone());
+            }
+            "--portfolio" => {
+                let v = it.next().ok_or("--portfolio needs a width")?;
+                opts.portfolio_k = Some(v.parse().map_err(|e| format!("--portfolio {v}: {e}"))?);
+            }
             other if !seed_seen => {
                 seed = other
                     .parse()
@@ -1173,24 +1366,15 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
     Ok((seed, opts))
 }
 
-/// Parse `audit`'s tail: positional `<wasm> <abi>` plus `--trace-out FILE`
-/// and the observability flags, in any order.
-#[allow(clippy::type_complexity)]
-fn parse_audit_args(
-    rest: &[String],
-) -> Result<
-    (
-        String,
-        String,
-        Option<String>,
-        Option<SubstrateKind>,
-        ObsOpts,
-    ),
-    String,
-> {
+/// Parse `audit`'s tail: positional `<wasm> <abi>` plus `--trace-out FILE`,
+/// `--solver-cache FILE`, `--portfolio K` and the observability flags, in
+/// any order.
+fn parse_audit_args(rest: &[String]) -> Result<AuditArgs, String> {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_out = None;
     let mut substrate = None;
+    let mut solver_cache = None;
+    let mut portfolio_k = None;
     let mut obs_opts = ObsOpts::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -1206,6 +1390,14 @@ fn parse_audit_args(
                 let v = it.next().ok_or("--substrate needs a value")?;
                 substrate = parse_substrate(v)?;
             }
+            "--solver-cache" => {
+                let v = it.next().ok_or("--solver-cache needs a file path")?;
+                solver_cache = Some(v.clone());
+            }
+            "--portfolio" => {
+                let v = it.next().ok_or("--portfolio needs a width")?;
+                portfolio_k = Some(v.parse().map_err(|e| format!("--portfolio {v}: {e}"))?);
+            }
             other if !other.starts_with("--") && positional.len() < 2 => {
                 positional.push(other.to_string());
             }
@@ -1218,27 +1410,63 @@ fn parse_audit_args(
             p.len()
         )
     })?;
-    Ok((wasm, abi, trace_out, substrate, obs_opts))
+    Ok(AuditArgs {
+        wasm,
+        abi,
+        trace_out,
+        substrate,
+        solver_cache,
+        portfolio_k,
+        obs: obs_opts,
+    })
+}
+
+/// Parse `gen`'s tail: positional `[count] [seed]` plus an optional
+/// `--substrate NAME` anywhere.
+///
+/// A malformed count or seed is a usage error, not a silent fallback: the
+/// old `.parse().ok().unwrap_or(…)` pattern turned `wasai gen out 1O0`
+/// (typo'd letter O) into a 10-contract corpus with no hint anything was
+/// wrong — poison for reproducibility scripts that record the command line.
+fn parse_gen_args(rest: &[String]) -> Result<(usize, u64, Option<SubstrateKind>), String> {
+    let mut positional = Vec::new();
+    let mut substrate = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--substrate" {
+            let v = it.next().ok_or("--substrate needs a value")?;
+            substrate = parse_substrate(v)?;
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    if positional.len() > 2 {
+        return Err(format!(
+            "gen takes at most [count] [seed], got {} positional args",
+            positional.len()
+        ));
+    }
+    let count = match positional.first() {
+        Some(v) => v.parse().map_err(|e| format!("gen count {v:?}: {e}"))?,
+        None => 10,
+    };
+    let seed = match positional.get(1) {
+        Some(v) => v.parse().map_err(|e| format!("gen seed {v:?}: {e}"))?,
+        None => 1,
+    };
+    Ok((count, seed, substrate))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [--substrate eosio|cosmwasm|auto] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [--substrate eosio|cosmwasm|auto] [obs flags]\n  wasai stats <trace-or-triage.jsonl> [--format table|json]\n  wasai gen <out-dir> [count] [seed] [--substrate eosio|cosmwasm]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [--substrate eosio|cosmwasm|auto]\n              [--solver-cache FILE] [--portfolio K] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [--substrate eosio|cosmwasm|auto]\n                  [--solver-cache FILE] [--portfolio K] [obs flags]\n  wasai stats <trace-triage-or-metrics.json[l]> [--format table|json]\n  wasai gen <out-dir> [count] [seed] [--substrate eosio|cosmwasm]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
     let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
-        Some("audit") if args.len() >= 4 => {
-            parse_audit_args(&args[2..]).and_then(|(wasm, abi, trace_out, substrate, obs_opts)| {
-                audit(&wasm, &abi, trace_out.as_deref(), substrate, &obs_opts)
-                    .map(|()| ExitCode::SUCCESS)
-            })
-        }
+        Some("audit") if args.len() >= 4 => parse_audit_args(&args[2..])
+            .and_then(|parsed| audit(&parsed).map(|()| ExitCode::SUCCESS)),
         Some("audit-dir") if args.len() >= 3 => parse_audit_dir_args(&args[3..])
             .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
-        Some("audit-worker") if args.len() >= 3 => {
-            parse_audit_worker_args(&args[3..]).and_then(|(seed, indices, deadline, substrate)| {
-                audit_worker(&args[2], seed, &indices, deadline, substrate)
-                    .map(|()| ExitCode::SUCCESS)
-            })
-        }
+        Some("audit-worker") if args.len() >= 3 => parse_audit_worker_args(&args[3..])
+            .and_then(|parsed| audit_worker(&args[2], &parsed).map(|()| ExitCode::SUCCESS)),
         Some("stats") if args.len() == 3 => {
             stats_cmd(&args[2], "table").map(|()| ExitCode::SUCCESS)
         }
@@ -1246,29 +1474,9 @@ fn main() -> ExitCode {
             f @ ("table" | "json") => stats_cmd(&args[2], f).map(|()| ExitCode::SUCCESS),
             other => Err(format!("--format must be table or json, got {other:?}")),
         },
-        Some("gen") if args.len() >= 3 => {
-            // Positional [count] [seed] plus an optional `--substrate NAME`
-            // anywhere in the tail.
-            let mut positional = Vec::new();
-            let mut substrate = Ok(None);
-            let mut it = args[3..].iter();
-            while let Some(arg) = it.next() {
-                if arg == "--substrate" {
-                    match it.next() {
-                        Some(v) => substrate = parse_substrate(v),
-                        None => substrate = Err("--substrate needs a value".to_string()),
-                    }
-                } else {
-                    positional.push(arg.clone());
-                }
-            }
-            let count = positional
-                .first()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(10);
-            let seed = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-            substrate.and_then(|sub| gen(&args[2], count, seed, sub).map(|()| ExitCode::SUCCESS))
-        }
+        Some("gen") if args.len() >= 3 => parse_gen_args(&args[3..])
+            .and_then(|(count, seed, sub)| gen(&args[2], count, seed, sub))
+            .map(|()| ExitCode::SUCCESS),
         Some("show") if args.len() == 3 => show(&args[2]).map(|()| ExitCode::SUCCESS),
         _ => Err(usage.to_string()),
     };
@@ -1278,5 +1486,97 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn gen_defaults_when_no_positionals() {
+        let (count, seed, sub) = parse_gen_args(&[]).expect("defaults parse");
+        assert_eq!((count, seed), (10, 1));
+        assert!(sub.is_none());
+    }
+
+    #[test]
+    fn gen_malformed_count_is_a_usage_error_not_a_fallback() {
+        // The regression: `1O0` (letter O) used to silently become count=10.
+        let err = parse_gen_args(&strs(&["1O0"])).unwrap_err();
+        assert!(err.contains("gen count \"1O0\""), "got {err:?}");
+        let err = parse_gen_args(&strs(&["5", "0x12"])).unwrap_err();
+        assert!(err.contains("gen seed \"0x12\""), "got {err:?}");
+    }
+
+    #[test]
+    fn gen_rejects_extra_positionals() {
+        let err = parse_gen_args(&strs(&["5", "9", "7"])).unwrap_err();
+        assert!(err.contains("at most"), "got {err:?}");
+    }
+
+    #[test]
+    fn gen_parses_count_seed_and_substrate_anywhere() {
+        let (count, seed, sub) =
+            parse_gen_args(&strs(&["8", "--substrate", "cosmwasm", "42"])).expect("parses");
+        assert_eq!((count, seed), (8, 42));
+        assert_eq!(sub, Some(SubstrateKind::Cosmwasm));
+    }
+
+    #[test]
+    fn audit_dir_parses_solver_cache_and_portfolio() {
+        let (seed, opts) = parse_audit_dir_args(&strs(&[
+            "7",
+            "--solver-cache",
+            "warm.cache",
+            "--portfolio",
+            "3",
+        ]))
+        .expect("parses");
+        assert_eq!(seed, 7);
+        assert_eq!(opts.solver_cache_path.as_deref(), Some("warm.cache"));
+        assert_eq!(opts.portfolio_k, Some(3));
+    }
+
+    #[test]
+    fn audit_worker_parses_cache_shard_flags() {
+        let w = parse_audit_worker_args(&strs(&[
+            "--seed",
+            "9",
+            "--indices",
+            "0,2",
+            "--solver-cache",
+            "warm.cache",
+            "--solver-cache-out",
+            "warm.cache.shard-0",
+            "--portfolio",
+            "2",
+        ]))
+        .expect("parses");
+        assert_eq!(w.seed, 9);
+        assert_eq!(w.indices, vec![0, 2]);
+        assert_eq!(w.solver_cache_in.as_deref(), Some("warm.cache"));
+        assert_eq!(w.solver_cache_out.as_deref(), Some("warm.cache.shard-0"));
+        assert_eq!(w.portfolio_k, 2);
+    }
+
+    #[test]
+    fn audit_args_parse_solver_cache() {
+        let a = parse_audit_args(&strs(&[
+            "c.wasm",
+            "c.abi",
+            "--solver-cache",
+            "warm.cache",
+            "--portfolio",
+            "4",
+        ]))
+        .expect("parses");
+        assert_eq!(a.wasm, "c.wasm");
+        assert_eq!(a.solver_cache.as_deref(), Some("warm.cache"));
+        assert_eq!(a.portfolio_k, Some(4));
     }
 }
