@@ -129,6 +129,9 @@ impl EosFuzzer {
             coverage_series,
             iterations: self.iterations,
             virtual_us: self.clock.micros(),
+            // Black-box baseline: all virtual time is execution time.
+            exec_virtual_us: self.clock.micros(),
+            solve_virtual_us: 0,
             smt_queries: 0,
             custom_findings: Vec::new(),
             truncated: false,

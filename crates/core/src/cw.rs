@@ -404,6 +404,11 @@ impl CwCampaign {
             coverage_series,
             iterations: self.iterations,
             virtual_us: self.clock.micros(),
+            // CosmWasm campaigns are black-box: the clock only ever
+            // advances through execution charges, so the whole budget is
+            // execution time.
+            exec_virtual_us: self.clock.micros(),
+            solve_virtual_us: 0,
             smt_queries: 0,
             custom_findings: Vec::new(),
             truncated: self.truncated,

@@ -51,6 +51,11 @@ pub struct Engine {
     coverage_series: CoverageSeries,
     iterations: u64,
     smt_queries: u64,
+    /// Virtual µs charged to execution / the solver — the deterministic
+    /// split behind [`FuzzReport::exec_virtual_us`]. Accumulated at the
+    /// clock charge sites, so the two always partition `clock.micros()`.
+    exec_vus: u64,
+    solve_vus: u64,
     stall: u64,
     transfer_round: u64,
     custom_oracles: Vec<Box<dyn CustomOracle>>,
@@ -108,6 +113,8 @@ impl Engine {
             coverage_series: CoverageSeries::new(),
             iterations: 0,
             smt_queries: 0,
+            exec_vus: 0,
+            solve_vus: 0,
             stall: 0,
             transfer_round: 0,
             custom_oracles: Vec::new(),
@@ -222,6 +229,8 @@ impl Engine {
             coverage_series,
             iterations: self.iterations,
             virtual_us: self.clock.micros(),
+            exec_virtual_us: self.exec_vus,
+            solve_virtual_us: self.solve_vus,
             smt_queries: self.smt_queries,
             custom_findings,
             truncated: self.truncated,
@@ -391,6 +400,7 @@ impl Engine {
         let vtime_before = self.clock.micros();
         self.clock
             .charge_execution(&self.cfg.cost, receipt.steps_used);
+        self.exec_vus += self.clock.micros() - vtime_before;
         self.emit(TelemetryEvent::StageTiming {
             stage: Stage::Execute,
             dur_us: self.clock.micros() - vtime_before,
@@ -620,6 +630,7 @@ impl Engine {
             obs::worker::tick();
             let vtime_before = self.clock.micros();
             self.clock.charge_smt(&self.cfg.cost, stats.propagations);
+            self.solve_vus += self.clock.micros() - vtime_before;
             self.smt_queries += 1;
             solved += 1;
             if self.sink.is_some() {

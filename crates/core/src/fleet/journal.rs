@@ -13,7 +13,7 @@
 //! Line 1 is the header, binding the journal to one exact sweep:
 //!
 //! ```text
-//! {"v":1,"kind":"wasai-journal","seed":5,"campaigns":6,"corpus":"a1b2…"}
+//! {"v":2,"kind":"wasai-journal","seed":5,"campaigns":6,"corpus":"a1b2…"}
 //! ```
 //!
 //! `corpus` is an FNV-1a digest over the sorted contract names, so a
@@ -21,9 +21,10 @@
 //! corpus size. Each subsequent line is one [`OutcomeRecord`]:
 //!
 //! ```text
-//! {"v":1,"index":3,"contract":"c.wasm","outcome":"ok","stage":"-",
+//! {"v":2,"index":3,"contract":"c.wasm","outcome":"ok","stage":"-",
 //!  "detail":"","seed":6,"truncated":false,"branches":14,"findings":"",
-//!  "virtual_us":812345,"elapsed_ms":17,"digest":"9f0e…"}
+//!  "virtual_us":812345,"iterations":64,"smt_queries":3,"exec_us":800000,
+//!  "solve_us":12345,"elapsed_ms":17,"digest":"9f0e…"}
 //! ```
 //!
 //! `digest` covers every deterministic field (everything except
@@ -56,7 +57,11 @@ use std::path::{Path, PathBuf};
 use crate::telemetry::{json_escape, parse_json_fields};
 
 /// Journal format version; bumped on any incompatible change.
-pub const JOURNAL_VERSION: u64 = 1;
+///
+/// v2 added the per-campaign timeline fields (`iterations`,
+/// `smt_queries`, `exec_us`, `solve_us`) feeding the audit timelines and
+/// the `--profile-out` folded stacks.
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// 64-bit FNV-1a, the repo's standard tiny content digest.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +192,16 @@ pub struct OutcomeRecord {
     pub findings: String,
     /// Virtual microseconds the campaign simulated (0 for non-ok).
     pub virtual_us: u64,
+    /// Fuzz iterations the campaign ran (0 for non-ok).
+    pub iterations: u64,
+    /// SMT queries the campaign issued (0 for non-ok).
+    pub smt_queries: u64,
+    /// Virtual microseconds charged to execution (0 for non-ok). With
+    /// `solve_us` this partitions `virtual_us` — the clock only advances
+    /// through execution and solver charges.
+    pub exec_us: u64,
+    /// Virtual microseconds charged to the SMT solver (0 for non-ok).
+    pub solve_us: u64,
     /// Wall-clock milliseconds the campaign consumed. Excluded from the
     /// digest: wall clock is honest history, not identity.
     pub elapsed_ms: u64,
@@ -211,13 +226,17 @@ impl OutcomeRecord {
         h.field(self.branches.to_string().as_bytes());
         h.field(self.findings.as_bytes());
         h.field(self.virtual_us.to_string().as_bytes());
+        h.field(self.iterations.to_string().as_bytes());
+        h.field(self.smt_queries.to_string().as_bytes());
+        h.field(self.exec_us.to_string().as_bytes());
+        h.field(self.solve_us.to_string().as_bytes());
         h.finish()
     }
 
     /// Render the record as its journal/wire line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"v\":{JOURNAL_VERSION},\"index\":{},\"contract\":\"{}\",\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{},\"truncated\":{},\"branches\":{},\"findings\":\"{}\",\"virtual_us\":{},\"elapsed_ms\":{},\"digest\":\"{:016x}\"}}",
+            "{{\"v\":{JOURNAL_VERSION},\"index\":{},\"contract\":\"{}\",\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{},\"truncated\":{},\"branches\":{},\"findings\":\"{}\",\"virtual_us\":{},\"iterations\":{},\"smt_queries\":{},\"exec_us\":{},\"solve_us\":{},\"elapsed_ms\":{},\"digest\":\"{:016x}\"}}",
             self.index,
             json_escape(&self.contract),
             self.outcome,
@@ -228,6 +247,10 @@ impl OutcomeRecord {
             self.branches,
             json_escape(&self.findings),
             self.virtual_us,
+            self.iterations,
+            self.smt_queries,
+            self.exec_us,
+            self.solve_us,
             self.elapsed_ms,
             self.digest(),
         )
@@ -270,6 +293,10 @@ impl OutcomeRecord {
             branches: num("branches")?,
             findings: text("findings")?,
             virtual_us: num("virtual_us")?,
+            iterations: num("iterations")?,
+            smt_queries: num("smt_queries")?,
+            exec_us: num("exec_us")?,
+            solve_us: num("solve_us")?,
             elapsed_ms: num("elapsed_ms")?,
         };
         let stated = f
@@ -498,6 +525,10 @@ mod tests {
                 "Fake EOS, Rollback".to_string()
             },
             virtual_us: 1000 * index as u64,
+            iterations: 8 * index as u64,
+            smt_queries: index as u64,
+            exec_us: 900 * index as u64,
+            solve_us: 100 * index as u64,
             elapsed_ms: 17,
         }
     }

@@ -10,9 +10,10 @@
 //! its stdout pipe:
 //!
 //! ```text
-//! {"v":1,"index":3,…,"digest":"…"}        one OutcomeRecord per campaign
+//! {"v":2,"index":3,…,"digest":"…"}        one OutcomeRecord per campaign
 //! {"type":"hb","slot":0,"campaign":3,"ticks":412,"stage":"solve"}
 //! {"type":"stats","seeds":15023}
+//! {"type":"metrics","v":1,"counters":"…","gauges":"…","hists":"…","digest":"…"}
 //! {"type":"done"}
 //! ```
 //!
@@ -22,6 +23,20 @@
 //! PR 5 heartbeat table into the supervisor's, so the existing
 //! `ProgressMonitor` stall detector watches subprocess campaigns exactly
 //! like threads.
+//!
+//! Metrics frames carry the worker's **entire** cumulative registry — every
+//! counter, gauge, and histogram bucket array, digest-checked
+//! ([`obs::RegistrySnapshot`]). The supervisor merges each frame as a
+//! *delta against the last frame from the same spawn generation*: counters
+//! and histogram cells are `frame − last_frame` (applied to the global
+//! registry as fleet totals and to [`obs::fleet`] as `shard="N"` series),
+//! gauges are levels (latest value wins, fleet value is the per-shard sum).
+//! A respawn resets the per-shard baseline to zero, and stale-generation
+//! frames (a killed worker's drained tail) are rejected outright — so a
+//! killed-and-retried worker can never double-count: whatever its ghost
+//! already contributed stays, and the replacement re-reports from zero.
+//! Losing a frame loses only latency, never data, because the next frame's
+//! absolutes supersede it.
 //!
 //! # Failure policy
 //!
@@ -97,6 +112,8 @@ enum WorkerMsg {
     },
     /// Process-wide cumulative seed counter (for the exec/s readout).
     Stats { seeds: u64 },
+    /// A full cumulative registry snapshot (boxed: ~50 series of state).
+    Metrics(Box<obs::RegistrySnapshot>),
     /// The worker finished its loop cleanly.
     Done,
 }
@@ -129,6 +146,21 @@ fn parse_worker_line(line: &str) -> Option<WorkerMsg> {
         "stats" => Some(WorkerMsg::Stats {
             seeds: num("seeds")?,
         }),
+        // A malformed metrics frame (torn line, digest tamper, version
+        // skew) is dropped like any other bad protocol line: the next
+        // frame's cumulative absolutes supersede whatever this one carried.
+        "metrics" => {
+            let text = |key: &str| fields.get(key).and_then(|v| v.as_str());
+            obs::RegistrySnapshot::from_parts(
+                num("v")?,
+                text("counters")?,
+                text("gauges")?,
+                text("hists")?,
+                text("digest")?,
+            )
+            .ok()
+            .map(|snap| WorkerMsg::Metrics(Box::new(snap)))
+        }
         "done" => Some(WorkerMsg::Done),
         _ => None,
     }
@@ -156,8 +188,12 @@ struct Shard {
     last_progress: Instant,
     /// Last seen per-worker-slot tick counts (stall detection input).
     last_ticks: BTreeMap<usize, u64>,
-    /// Last seen cumulative seed count (for the exec/s delta).
+    /// Last seen cumulative seed count (monitoring readout).
     last_seeds: u64,
+    /// Last merged metrics frame from the current generation — the delta
+    /// baseline. Reset to zero on respawn, so a fresh worker's cumulative
+    /// counts merge in full without double-counting the dead one's.
+    last_snap: Box<obs::RegistrySnapshot>,
     /// When to respawn after a death (exponential backoff).
     retry_at: Option<Instant>,
     /// Description of the most recent process failure.
@@ -216,6 +252,7 @@ where
             last_progress: Instant::now(),
             last_ticks: BTreeMap::new(),
             last_seeds: 0,
+            last_snap: Box::new(obs::RegistrySnapshot::zero()),
             retry_at: None,
             last_err: String::new(),
             dead: false,
@@ -240,15 +277,13 @@ where
                     WorkerMsg::Outcome(rec) => {
                         // Outcomes are valid from any generation: a killed
                         // worker's drained tail is still true, completed
-                        // work (the record is digest-checked).
+                        // work (the record is digest-checked). The worker
+                        // counts its own outcomes into its registry, which
+                        // metrics frames deliver — counting here too would
+                        // double every campaign in the fleet totals.
                         shard.remaining.remove(&rec.index);
                         shard.last_progress = Instant::now();
                         if let Entry::Vacant(slot) = results.entry(rec.index) {
-                            obs::inc(super::outcome_counter(&rec.outcome));
-                            obs::global().observe(
-                                obs::Histogram::CampaignWallSeconds,
-                                Duration::from_millis(rec.elapsed_ms),
-                            );
                             on_record(&rec);
                             slot.insert(rec);
                         }
@@ -268,12 +303,14 @@ where
                         }
                         bridge_heartbeat(shard, slot, campaign, ticks, &stage);
                     }
+                    // Seed counts now travel in metrics frames (as
+                    // SeedsExecuted deltas); the stats line survives as a
+                    // lightweight protocol heartbeat and readout.
                     WorkerMsg::Stats { seeds } if !stale => {
-                        obs::add(
-                            obs::Counter::SeedsExecuted,
-                            seeds.saturating_sub(shard.last_seeds),
-                        );
                         shard.last_seeds = seeds;
+                    }
+                    WorkerMsg::Metrics(snap) => {
+                        merge_metrics_frame(shard, wid, stale, snap);
                     }
                     // `done` with campaigns missing is a protocol breach;
                     // the exit handler treats it as a death.
@@ -365,6 +402,10 @@ where
                     branches: 0,
                     findings: String::new(),
                     virtual_us: 0,
+                    iterations: 0,
+                    smt_queries: 0,
+                    exec_us: 0,
+                    solve_us: 0,
                     elapsed_ms: 0,
                 });
             }
@@ -388,6 +429,9 @@ where
     shard.generation = shard.attempts;
     shard.last_ticks.clear();
     shard.last_seeds = 0;
+    // New process, new cumulative registry: the delta baseline restarts at
+    // zero so the replacement's counts merge in full.
+    *shard.last_snap = obs::RegistrySnapshot::zero();
     shard.last_progress = Instant::now();
     let indices: Vec<usize> = shard.remaining.iter().copied().collect();
     let mut child = spawn(shard.attempts, &indices)?;
@@ -411,6 +455,40 @@ where
     }));
     shard.child = Some(child);
     Ok(())
+}
+
+/// Merge one worker metrics frame into the fleet plane: the delta against
+/// the shard's generation baseline lands in the supervisor's global
+/// registry (fleet totals) and the per-shard store (`shard="N"` series).
+///
+/// Stale frames — a killed generation's drained tail — are rejected
+/// outright: the ghost's last merged frame already stands as true work,
+/// and the replacement's baseline is back at zero, so merging the tail
+/// would double-count everything the ghost reported.
+fn merge_metrics_frame(
+    shard: &mut Shard,
+    wid: usize,
+    stale: bool,
+    snap: Box<obs::RegistrySnapshot>,
+) {
+    if stale {
+        obs::inc(obs::Counter::MetricsFramesRejected);
+        return;
+    }
+    if !obs::enabled() {
+        return;
+    }
+    let delta = snap.saturating_delta(&shard.last_snap);
+    delta.apply_to(obs::global());
+    obs::fleet().apply(wid, &delta);
+    // Gauges are levels, not sums-of-deltas: the fleet value is the sum of
+    // each shard's latest reading.
+    obs::global().gauge_set(
+        obs::Gauge::CampaignsRunning,
+        obs::fleet().gauge_sum(obs::Gauge::CampaignsRunning),
+    );
+    obs::inc(obs::Counter::MetricsFramesMerged);
+    shard.last_snap = snap;
 }
 
 /// A worker died (EOF + exit), stalled out, or failed to respawn: name the
@@ -543,6 +621,10 @@ mod tests {
             branches: 3,
             findings: String::new(),
             virtual_us: 100,
+            iterations: 4,
+            smt_queries: 1,
+            exec_us: 90,
+            solve_us: 10,
             elapsed_ms: 1,
         }
     }
@@ -705,6 +787,194 @@ mod tests {
         .expect("supervised run");
         assert_eq!(attempts, 2, "stall must trigger a re-dispatch");
         assert!(out.iter().all(|r| r.outcome == "ok"));
+    }
+
+    /// Serializes tests that assert on the process-global [`obs::fleet`]
+    /// store (and resets it), so parallel tests can't cross-contaminate.
+    fn fleet_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        obs::enable();
+        obs::fleet().reset();
+        guard
+    }
+
+    /// A metrics frame claiming `seeds` cumulative SeedsExecuted.
+    fn frame(seeds: u64) -> String {
+        let mut snap = obs::RegistrySnapshot::zero();
+        snap.counters[obs::Counter::SeedsExecuted as usize] = seeds;
+        snap.to_frame()
+    }
+
+    fn fleet_seeds(wid: usize) -> u64 {
+        obs::fleet()
+            .snapshot()
+            .into_iter()
+            .find(|(id, _)| *id == wid)
+            .map(|(_, snap)| snap.counters[obs::Counter::SeedsExecuted as usize])
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn metrics_frames_merge_as_deltas_within_a_generation() {
+        let _guard = fleet_lock();
+        let names = names(2);
+        let pending: Vec<usize> = (0..2).collect();
+        let out = run_supervised(
+            &fast_opts(1),
+            &names,
+            7,
+            &pending,
+            |_, indices| {
+                // Two cumulative frames: 100 then 150. The merged total
+                // must be 150, not 250 — frames are absolutes, not deltas.
+                let mut lines = vec![frame(100), frame(150)];
+                lines.extend(indices.iter().map(|&i| record(i, 7).to_jsonl()));
+                lines.push("{\"type\":\"done\"}".to_string());
+                sh_worker(&lines, 0)
+            },
+            |_| {},
+        )
+        .expect("supervised run");
+        assert!(out.iter().all(|r| r.outcome == "ok"));
+        assert_eq!(
+            fleet_seeds(0),
+            150,
+            "cumulative frames must merge as deltas"
+        );
+    }
+
+    #[test]
+    fn killed_worker_generations_never_double_count() {
+        let _guard = fleet_lock();
+        let names = names(2);
+        let pending: Vec<usize> = (0..2).collect();
+        let out = run_supervised(
+            &fast_opts(1),
+            &names,
+            3,
+            &pending,
+            |attempt, indices| {
+                if attempt == 1 {
+                    // Report 100 seeds, then die without `done`.
+                    sh_worker(&[frame(100)], 1)
+                } else {
+                    // The replacement restarts its registry from zero: its
+                    // 30 must land on top of the ghost's 100, not replace
+                    // or double it.
+                    let mut lines = vec![frame(30)];
+                    lines.extend(indices.iter().map(|&i| record(i, 3).to_jsonl()));
+                    lines.push("{\"type\":\"done\"}".to_string());
+                    sh_worker(&lines, 0)
+                }
+            },
+            |_| {},
+        )
+        .expect("supervised run");
+        assert!(out.iter().all(|r| r.outcome == "ok"));
+        assert_eq!(
+            fleet_seeds(0),
+            130,
+            "ghost's merged work stays, replacement re-reports from zero"
+        );
+    }
+
+    #[test]
+    fn stale_generation_frame_is_rejected_without_poisoning_totals() {
+        let _guard = fleet_lock();
+        let mut shard = Shard {
+            remaining: BTreeSet::new(),
+            attempts: 1,
+            generation: 1,
+            child: None,
+            readers: Vec::new(),
+            last_progress: Instant::now(),
+            last_ticks: BTreeMap::new(),
+            last_seeds: 0,
+            last_snap: Box::new(obs::RegistrySnapshot::zero()),
+            retry_at: None,
+            last_err: String::new(),
+            dead: false,
+            done: false,
+            hb_slots: BTreeMap::new(),
+        };
+        let mut snap = obs::RegistrySnapshot::zero();
+        snap.counters[obs::Counter::SeedsExecuted as usize] = 40;
+        merge_metrics_frame(&mut shard, 9, false, Box::new(snap.clone()));
+        assert_eq!(fleet_seeds(9), 40);
+
+        // The drained tail of a killed generation claims a huge cumulative
+        // count; merging it against the fresh zero baseline would inject
+        // phantom work.
+        let mut tail = obs::RegistrySnapshot::zero();
+        tail.counters[obs::Counter::SeedsExecuted as usize] = 1_000_000;
+        merge_metrics_frame(&mut shard, 9, true, Box::new(tail));
+        assert_eq!(fleet_seeds(9), 40, "stale frame must not poison totals");
+
+        // The live generation keeps merging normally afterwards.
+        snap.counters[obs::Counter::SeedsExecuted as usize] = 55;
+        merge_metrics_frame(&mut shard, 9, false, Box::new(snap));
+        assert_eq!(fleet_seeds(9), 55);
+    }
+
+    #[test]
+    fn worker_frames_never_clobber_monitor_owned_gauges() {
+        let _guard = fleet_lock();
+        let mut shard = Shard {
+            remaining: BTreeSet::new(),
+            attempts: 1,
+            generation: 1,
+            child: None,
+            readers: Vec::new(),
+            last_progress: Instant::now(),
+            last_ticks: BTreeMap::new(),
+            last_seeds: 0,
+            last_snap: Box::new(obs::RegistrySnapshot::zero()),
+            retry_at: None,
+            last_err: String::new(),
+            dead: false,
+            done: false,
+            hb_slots: BTreeMap::new(),
+        };
+        // StalledCampaigns and HeartbeatOverflow belong to the supervisor's
+        // own ProgressMonitor; CampaignsRunning is the one gauge summed from
+        // shard frames.
+        obs::global().gauge_set(obs::Gauge::HeartbeatOverflow, 1);
+        let mut snap = obs::RegistrySnapshot::zero();
+        snap.gauges[obs::Gauge::HeartbeatOverflow as usize] = 5;
+        snap.gauges[obs::Gauge::CampaignsRunning as usize] = 2;
+        merge_metrics_frame(&mut shard, 0, false, Box::new(snap));
+        assert_eq!(
+            obs::global().gauge(obs::Gauge::HeartbeatOverflow),
+            1,
+            "a worker's overflow reading must not overwrite the monitor's"
+        );
+        assert_eq!(
+            obs::global().gauge(obs::Gauge::CampaignsRunning),
+            obs::fleet().gauge_sum(obs::Gauge::CampaignsRunning),
+            "running count is the sum of shard levels"
+        );
+        assert_eq!(obs::global().gauge(obs::Gauge::CampaignsRunning), 2);
+    }
+
+    #[test]
+    fn metrics_frame_parses_and_tampering_is_rejected() {
+        let line = frame(42);
+        match parse_worker_line(&line) {
+            Some(WorkerMsg::Metrics(snap)) => {
+                assert_eq!(snap.counters[obs::Counter::SeedsExecuted as usize], 42);
+            }
+            other => panic!("expected metrics frame, got {other:?}"),
+        }
+        // Digest tamper: flip the seed count in the payload.
+        let tampered = line.replace(",42,", ",43,");
+        assert_ne!(line, tampered, "fixture must actually contain the value");
+        assert!(
+            parse_worker_line(&tampered).is_none(),
+            "tampered frame must be dropped"
+        );
+        // Torn frame: truncation mid-payload is dropped, not a panic.
+        assert!(parse_worker_line(&line[..line.len() / 2]).is_none());
     }
 
     #[test]

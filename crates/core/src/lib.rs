@@ -27,6 +27,7 @@ pub mod harness;
 pub mod obs_bridge;
 pub mod oracle;
 pub mod pool;
+pub mod profile;
 pub mod report;
 pub mod scanner;
 pub mod seed;

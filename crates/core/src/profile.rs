@@ -1,0 +1,111 @@
+//! Deterministic span profiler: folded-stack output for flamegraphs.
+//!
+//! A campaign's virtual clock only advances through two charge sites —
+//! contract execution and SMT solving — so every campaign carries an exact,
+//! deterministic partition of its virtual time
+//! ([`crate::report::FuzzReport::exec_virtual_us`] /
+//! [`crate::report::FuzzReport::solve_virtual_us`]). This module renders
+//! those spans in the *folded stack* format every flamegraph tool consumes
+//! (`flamegraph.pl`, inferno, speedscope):
+//!
+//! ```text
+//! wasai;token.wasm;execute 812345
+//! wasai;token.wasm;solve 40321
+//! ```
+//!
+//! One line per leaf frame, `;`-joined stack, space, sample weight. Weights
+//! here are virtual microseconds, not wall samples — the flamegraph shows
+//! where *simulated* time went, which is the only notion of time that is
+//! identical at any `WASAI_JOBS` or `--procs`. Campaigns render in sweep
+//! (index) order and zero-weight frames are skipped, so the output is
+//! byte-identical however the schedule interleaved — the same determinism
+//! contract as reports and traces, and the reason `--profile-out` needs no
+//! synchronization with the wall-clock observability plane.
+
+use std::fmt::Write as _;
+
+/// One campaign's deterministic time partition, in sweep order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSpan {
+    /// Campaign label — the contract file name for `audit-dir`, the target
+    /// path for a single `audit`.
+    pub campaign: String,
+    /// Virtual µs charged to contract execution.
+    pub exec_us: u64,
+    /// Virtual µs charged to the SMT solver.
+    pub solve_us: u64,
+}
+
+/// Render spans as folded stacks (`root;campaign;stage weight\n` lines).
+///
+/// Spans render in the order given (callers pass sweep order); zero-weight
+/// frames are skipped so schedules that never reached a stage don't emit
+/// empty samples. Frame names are sanitized: `;` (the stack separator) and
+/// ` ` (the weight separator) become `_`.
+pub fn folded_stacks(spans: &[ProfileSpan]) -> String {
+    let mut out = String::with_capacity(spans.len() * 48);
+    for span in spans {
+        let name = sanitize_frame(&span.campaign);
+        if span.exec_us > 0 {
+            let _ = writeln!(out, "wasai;{name};execute {}", span.exec_us);
+        }
+        if span.solve_us > 0 {
+            let _ = writeln!(out, "wasai;{name};solve {}", span.solve_us);
+        }
+    }
+    out
+}
+
+/// Replace the folded-stack metacharacters (`;` splits frames, ` ` splits
+/// the weight) with `_` so arbitrary file names can't corrupt the format.
+fn sanitize_frame(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == ';' || c == ' ' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(campaign: &str, exec_us: u64, solve_us: u64) -> ProfileSpan {
+        ProfileSpan {
+            campaign: campaign.to_string(),
+            exec_us,
+            solve_us,
+        }
+    }
+
+    #[test]
+    fn folded_stacks_render_in_given_order() {
+        let out = folded_stacks(&[span("a.wasm", 100, 7), span("b.wasm", 50, 0)]);
+        assert_eq!(
+            out,
+            "wasai;a.wasm;execute 100\nwasai;a.wasm;solve 7\nwasai;b.wasm;execute 50\n"
+        );
+    }
+
+    #[test]
+    fn zero_weight_frames_are_skipped() {
+        assert_eq!(folded_stacks(&[span("idle.wasm", 0, 0)]), "");
+        assert_eq!(
+            folded_stacks(&[span("s.wasm", 0, 9)]),
+            "wasai;s.wasm;solve 9\n"
+        );
+    }
+
+    #[test]
+    fn frame_names_are_sanitized() {
+        let out = folded_stacks(&[span("weird name;v2.wasm", 1, 0)]);
+        assert_eq!(out, "wasai;weird_name_v2.wasm;execute 1\n");
+    }
+
+    #[test]
+    fn output_is_schedule_independent_by_construction() {
+        // The renderer is a pure function of (ordered) spans: callers pass
+        // sweep order, so any schedule that produced the same campaign
+        // reports folds to the same bytes.
+        let spans = vec![span("x.wasm", 10, 2), span("y.wasm", 20, 0)];
+        assert_eq!(folded_stacks(&spans), folded_stacks(&spans.clone()));
+    }
+}

@@ -98,6 +98,13 @@ pub struct FuzzReport {
     pub iterations: u64,
     /// Virtual microseconds consumed.
     pub virtual_us: u64,
+    /// Virtual microseconds charged to contract execution. Together with
+    /// `solve_virtual_us` this partitions `virtual_us` (the clock only
+    /// advances through execution and solver charges) — the span profiler's
+    /// deterministic breakdown. Not rendered into the report text.
+    pub exec_virtual_us: u64,
+    /// Virtual microseconds charged to the SMT solver.
+    pub solve_virtual_us: u64,
     /// SMT queries issued (0 for black-box fuzzers).
     pub smt_queries: u64,
     /// Verdicts of user-registered custom oracles (§5): `(name, finding)`.

@@ -8,6 +8,7 @@
 use crate::registry::{
     Counter, Gauge, HistSnapshot, Histogram, Registry, BUCKET_BOUNDS_US, NUM_BUCKETS,
 };
+use crate::snapshot::RegistrySnapshot;
 use std::fmt::Write as _;
 
 /// Escape a label value per the Prometheus text format: backslash, double
@@ -39,9 +40,34 @@ pub fn escape_help(v: &str) -> String {
 }
 
 fn series_name(family: &str, label: Option<(&str, &str)>) -> String {
-    match label {
-        Some((k, v)) => format!("{family}{{{k}=\"{}\"}}", escape_label_value(v)),
-        None => family.to_string(),
+    series_name_sharded(family, label, None)
+}
+
+/// Series name with an optional trailing `shard="N"` label — the fleet
+/// exposition's per-worker series. `None` renders the plain (fleet-total)
+/// series, so single-registry pages are byte-identical to the pre-fleet
+/// format.
+fn series_name_sharded(family: &str, label: Option<(&str, &str)>, shard: Option<usize>) -> String {
+    let mut labels: Vec<String> = Vec::new();
+    if let Some((k, v)) = label {
+        labels.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if let Some(n) = shard {
+        labels.push(format!("shard=\"{n}\""));
+    }
+    if labels.is_empty() {
+        family.to_string()
+    } else {
+        format!("{family}{{{}}}", labels.join(","))
+    }
+}
+
+/// The `,shard="N"` insert for histogram bucket label sets (which already
+/// carry `le`).
+fn shard_tail(shard: Option<usize>) -> String {
+    match shard {
+        Some(n) => format!(",shard=\"{n}\""),
+        None => String::new(),
     }
 }
 
@@ -65,6 +91,16 @@ fn le_seconds(us: u64) -> String {
 /// line; histogram buckets are cumulative and end with `le="+Inf"` equal to
 /// `_count`.
 pub fn render_prometheus(reg: &Registry) -> String {
+    render_prometheus_fleet(reg, &[])
+}
+
+/// [`render_prometheus`] extended with per-worker `shard="N"` series from a
+/// supervised sweep's merged snapshot store. `reg` holds the fleet totals
+/// (the supervisor's own registry, with worker deltas already folded in);
+/// each shard snapshot renders right after its total series, under the same
+/// HELP/TYPE header. With no shards the page is byte-identical to
+/// [`render_prometheus`].
+pub fn render_prometheus_fleet(reg: &Registry, shards: &[(usize, RegistrySnapshot)]) -> String {
     let mut out = String::with_capacity(4096);
 
     let mut last_family = "";
@@ -76,6 +112,14 @@ pub fn render_prometheus(reg: &Registry) -> String {
             last_family = fam;
         }
         let _ = writeln!(out, "{} {}", series_name(fam, c.label()), reg.counter(c));
+        for (id, snap) in shards {
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series_name_sharded(fam, c.label(), Some(*id)),
+                snap.counters[c as usize]
+            );
+        }
     }
 
     for &g in Gauge::ALL {
@@ -83,28 +127,62 @@ pub fn render_prometheus(reg: &Registry) -> String {
         let _ = writeln!(out, "# HELP {fam} {}", escape_help(g.help()));
         let _ = writeln!(out, "# TYPE {fam} gauge");
         let _ = writeln!(out, "{fam} {}", reg.gauge(g));
+        for (id, snap) in shards {
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series_name_sharded(fam, None, Some(*id)),
+                snap.gauges[g as usize]
+            );
+        }
     }
 
     for &h in Histogram::ALL {
         let fam = h.family();
-        let snap = reg.histogram(h);
         let _ = writeln!(out, "# HELP {fam} {}", escape_help(h.help()));
         let _ = writeln!(out, "# TYPE {fam} histogram");
-        let cum = snap.cumulative();
-        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "{fam}_bucket{{le=\"{}\"}} {}",
-                le_seconds(bound),
-                cum[i]
-            );
+        write_hist_block(&mut out, fam, &reg.histogram(h), None);
+        for (id, snap) in shards {
+            write_hist_block(&mut out, fam, &snap.hists[h as usize], Some(*id));
         }
-        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", cum[NUM_BUCKETS - 1]);
-        let _ = writeln!(out, "{fam}_sum {}", sum_seconds(&snap));
-        let _ = writeln!(out, "{fam}_count {}", snap.count);
     }
 
     out
+}
+
+/// One histogram's bucket/sum/count lines, optionally shard-labeled.
+fn write_hist_block(out: &mut String, fam: &str, snap: &HistSnapshot, shard: Option<usize>) {
+    let cum = snap.cumulative();
+    let tail = shard_tail(shard);
+    for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{fam}_bucket{{le=\"{}\"{tail}}} {}",
+            le_seconds(bound),
+            cum[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{fam}_bucket{{le=\"+Inf\"{tail}}} {}",
+        cum[NUM_BUCKETS - 1]
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        fam,
+        series_suffix(shard),
+        sum_seconds(snap)
+    );
+    let _ = writeln!(out, "{}_count{} {}", fam, series_suffix(shard), snap.count);
+}
+
+/// The `{shard="N"}` suffix for `_sum`/`_count` series (no other labels).
+fn series_suffix(shard: Option<usize>) -> String {
+    match shard {
+        Some(n) => format!("{{shard=\"{n}\"}}"),
+        None => String::new(),
+    }
 }
 
 /// Render a histogram's sum (stored in µs) as seconds with full precision.
@@ -116,6 +194,14 @@ fn sum_seconds(snap: &HistSnapshot) -> String {
 /// (Prometheus series syntax, so live and offline views correlate by the
 /// exact same strings). Histograms dump cumulative buckets plus sum/count.
 pub fn render_json(reg: &Registry) -> String {
+    render_json_fleet(reg, &[])
+}
+
+/// [`render_json`] extended with per-worker `shard="N"` keyed entries —
+/// the dump-file twin of [`render_prometheus_fleet`]. With no shards the
+/// output is byte-identical to [`render_json`], which `--metrics-dump`
+/// consumers (CI greps, `wasai stats`) rely on.
+pub fn render_json_fleet(reg: &Registry, shards: &[(usize, RegistrySnapshot)]) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     let mut first = true;
@@ -133,28 +219,56 @@ pub fn render_json(reg: &Registry) -> String {
             &series_name(c.family(), c.label()),
             reg.counter(c).to_string(),
         );
+        for (id, snap) in shards {
+            field(
+                &mut out,
+                &series_name_sharded(c.family(), c.label(), Some(*id)),
+                snap.counters[c as usize].to_string(),
+            );
+        }
     }
     for &g in Gauge::ALL {
         field(&mut out, g.family(), reg.gauge(g).to_string());
+        for (id, snap) in shards {
+            field(
+                &mut out,
+                &series_name_sharded(g.family(), None, Some(*id)),
+                snap.gauges[g as usize].to_string(),
+            );
+        }
     }
     for &h in Histogram::ALL {
         let fam = h.family();
-        let snap = reg.histogram(h);
-        let cum = snap.cumulative();
-        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+        let mut block = |out: &mut String, snap: &HistSnapshot, shard: Option<usize>| {
+            let cum = snap.cumulative();
+            let tail = shard_tail(shard);
+            for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                field(
+                    out,
+                    &format!("{fam}_bucket{{le=\"{}\"{tail}}}", le_seconds(bound)),
+                    cum[i].to_string(),
+                );
+            }
             field(
-                &mut out,
-                &format!("{fam}_bucket{{le=\"{}\"}}", le_seconds(bound)),
-                cum[i].to_string(),
+                out,
+                &format!("{fam}_bucket{{le=\"+Inf\"{tail}}}"),
+                cum[NUM_BUCKETS - 1].to_string(),
             );
+            field(
+                out,
+                &format!("{fam}_sum{}", series_suffix(shard)),
+                sum_seconds(snap),
+            );
+            field(
+                out,
+                &format!("{fam}_count{}", series_suffix(shard)),
+                snap.count.to_string(),
+            );
+        };
+        block(&mut out, &reg.histogram(h), None);
+        for (id, snap) in shards {
+            block(&mut out, &snap.hists[h as usize], Some(*id));
         }
-        field(
-            &mut out,
-            &format!("{fam}_bucket{{le=\"+Inf\"}}"),
-            cum[NUM_BUCKETS - 1].to_string(),
-        );
-        field(&mut out, &format!("{fam}_sum"), sum_seconds(&snap));
-        field(&mut out, &format!("{fam}_count"), snap.count.to_string());
     }
     out.push_str("\n}\n");
     out
@@ -383,6 +497,87 @@ mod tests {
         assert_eq!(
             escape_help("line\nbreak \\ \"q\""),
             "line\\nbreak \\\\ \"q\""
+        );
+    }
+
+    #[test]
+    fn fleet_renderers_with_no_shards_are_byte_identical_to_plain() {
+        let r = enabled_registry();
+        r.add(Counter::SeedsExecuted, 9);
+        r.observe_us(Histogram::SolveWallSeconds, 2_000);
+        assert_eq!(render_prometheus(&r), render_prometheus_fleet(&r, &[]));
+        assert_eq!(render_json(&r), render_json_fleet(&r, &[]));
+    }
+
+    #[test]
+    fn fleet_render_emits_shard_labeled_series_after_totals() {
+        let r = enabled_registry();
+        r.add(Counter::SeedsExecuted, 30);
+        r.add(Counter::CampaignsOk, 3);
+        r.observe_us(Histogram::CampaignWallSeconds, 1_000);
+
+        let mut s0 = RegistrySnapshot::zero();
+        s0.counters[Counter::SeedsExecuted as usize] = 10;
+        s0.counters[Counter::CampaignsOk as usize] = 1;
+        s0.gauges[Gauge::CampaignsRunning as usize] = 2;
+        s0.hists[Histogram::CampaignWallSeconds as usize].count = 1;
+        s0.hists[Histogram::CampaignWallSeconds as usize].sum_us = 1_000;
+        s0.hists[Histogram::CampaignWallSeconds as usize].buckets[2] = 1;
+        let mut s1 = RegistrySnapshot::zero();
+        s1.counters[Counter::SeedsExecuted as usize] = 20;
+        s1.counters[Counter::CampaignsOk as usize] = 2;
+
+        let shards = vec![(0usize, s0), (1usize, s1)];
+        let text = render_prometheus_fleet(&r, &shards);
+        assert!(
+            text.contains("wasai_seeds_executed_total{shard=\"0\"} 10\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wasai_seeds_executed_total{shard=\"1\"} 20\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wasai_campaigns_total{outcome=\"ok\",shard=\"0\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wasai_campaigns_running{shard=\"0\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wasai_campaign_wall_seconds_count{shard=\"0\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wasai_campaign_wall_seconds_sum{shard=\"0\"} 0.001\n"),
+            "{text}"
+        );
+        // The fleet-total series still render unlabeled before the shards.
+        let total_at = text.find("wasai_seeds_executed_total 30").unwrap();
+        let shard_at = text
+            .find("wasai_seeds_executed_total{shard=\"0\"}")
+            .unwrap();
+        assert!(total_at < shard_at, "total must precede shard series");
+        // Shard-labeled bucket lines carry both le and shard labels and the
+        // whole page still parses.
+        assert!(
+            text.contains("wasai_campaign_wall_seconds_bucket{le=\"+Inf\",shard=\"0\"} 1\n"),
+            "{text}"
+        );
+        let samples = parse_prometheus(&text).expect("fleet page parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.series == "wasai_seeds_executed_total{shard=\"1\"}" && s.value == 20.0));
+
+        let json = render_json_fleet(&r, &shards);
+        assert!(
+            json.contains("\"wasai_seeds_executed_total{shard=\\\"1\\\"}\": 20"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"wasai_campaign_wall_seconds_sum{shard=\\\"0\\\"}\": 0.001"),
+            "{json}"
         );
     }
 

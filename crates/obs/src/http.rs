@@ -9,8 +9,9 @@
 //! is a scrape endpoint, not a web server: no keep-alive, no chunked
 //! bodies, no TLS. Requests are parsed just enough to route on the path.
 
-use crate::expo::{render_json, render_prometheus};
+use crate::expo::{render_json_fleet, render_prometheus_fleet};
 use crate::registry::Registry;
+use crate::snapshot::FleetStore;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,6 +32,26 @@ impl MetricsServer {
     /// serve `reg` until stopped. The registry must be `'static` — in the
     /// CLI that is [`crate::global`], in tests a `Box::leak`ed instance.
     pub fn bind(addr: &str, reg: &'static Registry) -> std::io::Result<MetricsServer> {
+        MetricsServer::bind_with(addr, reg, None)
+    }
+
+    /// [`MetricsServer::bind`] with a per-shard snapshot store: each scrape
+    /// also renders `shard="N"` series for every worker the supervisor has
+    /// merged frames from. The fleet store is re-read per request, so
+    /// mid-sweep scrapes see shards appear as their first frames land.
+    pub fn bind_fleet(
+        addr: &str,
+        reg: &'static Registry,
+        fleet: &'static FleetStore,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::bind_with(addr, reg, Some(fleet))
+    }
+
+    fn bind_with(
+        addr: &str,
+        reg: &'static Registry,
+        fleet: Option<&'static FleetStore>,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -44,7 +65,7 @@ impl MetricsServer {
                 while !stop2.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = serve_one(stream, reg);
+                            let _ = serve_one(stream, reg, fleet);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(25));
@@ -82,7 +103,7 @@ impl Drop for MetricsServer {
 }
 
 /// Handle one connection: read the request line, route, write a response.
-fn serve_one(stream: TcpStream, reg: &Registry) -> std::io::Result<()> {
+fn serve_one(stream: TcpStream, reg: &Registry, fleet: Option<&FleetStore>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
@@ -102,6 +123,9 @@ fn serve_one(stream: TcpStream, reg: &Registry) -> std::io::Result<()> {
     let path = parts.next().unwrap_or("");
     let path = path.split('?').next().unwrap_or(path);
 
+    // An empty shard list renders byte-identically to the plain page, so a
+    // fleet-bound server with no merged frames yet degrades gracefully.
+    let shards = fleet.map(|f| f.snapshot()).unwrap_or_default();
     let (status, content_type, body) = if method != "GET" {
         (
             "405 Method Not Allowed",
@@ -113,9 +137,13 @@ fn serve_one(stream: TcpStream, reg: &Registry) -> std::io::Result<()> {
             "/metrics" | "/" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
-                render_prometheus(reg),
+                render_prometheus_fleet(reg, &shards),
             ),
-            "/metrics.json" => ("200 OK", "application/json", render_json(reg)),
+            "/metrics.json" => (
+                "200 OK",
+                "application/json",
+                render_json_fleet(reg, &shards),
+            ),
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
     };
@@ -187,6 +215,37 @@ mod tests {
         reg.add(Counter::Flips, 4);
         let after = scrape(addr, "/metrics").expect("scrape");
         assert!(after.contains("wasai_flips_total 4\n"), "{after}");
+    }
+
+    #[test]
+    fn fleet_server_serves_shard_series_as_frames_merge() {
+        use crate::snapshot::RegistrySnapshot;
+        let reg = leaked_registry();
+        let store: &'static FleetStore = Box::leak(Box::new(FleetStore::new()));
+        let mut srv = MetricsServer::bind_fleet("127.0.0.1:0", reg, store).expect("bind");
+        let addr = srv.local_addr();
+
+        // No frames merged yet: page has no shard labels.
+        let before = scrape(addr, "/metrics").expect("scrape");
+        assert!(!before.contains("shard=\""), "{before}");
+
+        let mut delta = RegistrySnapshot::zero();
+        delta.counters[Counter::SeedsExecuted as usize] = 7;
+        store.apply(3, &delta);
+        reg.add(Counter::SeedsExecuted, 7);
+
+        let after = scrape(addr, "/metrics").expect("scrape");
+        assert!(
+            after.contains("wasai_seeds_executed_total{shard=\"3\"} 7\n"),
+            "{after}"
+        );
+        assert!(after.contains("wasai_seeds_executed_total 7\n"), "{after}");
+        let json = scrape(addr, "/metrics.json").expect("scrape json");
+        assert!(
+            json.contains("\"wasai_seeds_executed_total{shard=\\\"3\\\"}\": 7"),
+            "{json}"
+        );
+        srv.stop();
     }
 
     #[test]

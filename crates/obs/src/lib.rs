@@ -34,9 +34,11 @@ pub mod expo;
 pub mod heartbeat;
 pub mod http;
 pub mod registry;
+pub mod snapshot;
 
 pub use heartbeat::{HeartbeatTable, SlotReading, Stage, StallReport};
 pub use registry::{Counter, Gauge, HistSnapshot, Histogram, Registry};
+pub use snapshot::{FleetStore, RegistrySnapshot};
 
 /// The process-wide registry the instrumented hot paths write to.
 ///
@@ -53,6 +55,15 @@ pub fn global() -> &'static Registry {
 pub fn heartbeats() -> &'static HeartbeatTable {
     static TABLE: HeartbeatTable = HeartbeatTable::new();
     &TABLE
+}
+
+/// The process-wide per-shard metric store the fleet supervisor merges
+/// worker snapshot frames into. Empty in worker processes and in-process
+/// sweeps, so exposition over it degrades to the plain single-registry
+/// view.
+pub fn fleet() -> &'static FleetStore {
+    static STORE: FleetStore = FleetStore::new();
+    &STORE
 }
 
 /// Enable the global registry (idempotent). Called by the CLI when any

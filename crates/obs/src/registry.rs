@@ -137,6 +137,15 @@ metric_enum! {
         VmTapeCompiles,
         /// `wasai_vm_snapshot_restores_total`
         VmSnapshotRestores,
+        /// `wasai_obs_listener_failed_total` — `--metrics-addr` listeners
+        /// that never came up after the bounded bind-retry loop.
+        ObsListenerFailed,
+        /// `wasai_metrics_frames_merged_total` — worker registry snapshot
+        /// frames the supervisor merged into the fleet rollup.
+        MetricsFramesMerged,
+        /// `wasai_metrics_frames_rejected_total` — snapshot frames dropped
+        /// as stale (a killed worker's tail after re-dispatch).
+        MetricsFramesRejected,
     }
 }
 
@@ -174,6 +183,9 @@ impl Counter {
             Counter::VmInstructions => "wasai_vm_instructions_total",
             Counter::VmTapeCompiles => "wasai_vm_tape_compiles_total",
             Counter::VmSnapshotRestores => "wasai_vm_snapshot_restores_total",
+            Counter::ObsListenerFailed => "wasai_obs_listener_failed_total",
+            Counter::MetricsFramesMerged => "wasai_metrics_frames_merged_total",
+            Counter::MetricsFramesRejected => "wasai_metrics_frames_rejected_total",
         }
     }
 
@@ -254,6 +266,16 @@ impl Counter {
             Counter::VmTapeCompiles => "Modules lowered to threaded-code tapes by the fast path.",
             Counter::VmSnapshotRestores => {
                 "Chain forks restored from a prepared post-setup snapshot."
+            }
+            Counter::ObsListenerFailed => {
+                "Metrics listeners that never bound after the bounded retry loop \
+                 (the run continued dark)."
+            }
+            Counter::MetricsFramesMerged => {
+                "Worker registry snapshot frames merged into the fleet rollup."
+            }
+            Counter::MetricsFramesRejected => {
+                "Worker registry snapshot frames dropped as stale after a re-dispatch."
             }
         }
     }
@@ -532,6 +554,31 @@ impl Registry {
     #[inline]
     pub fn observe(&self, h: Histogram, d: std::time::Duration) {
         self.observe_us(h, d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Merge a histogram delta (another registry's observations, e.g. a
+    /// worker snapshot) into this histogram's cells (no-op while disabled).
+    ///
+    /// Unlike [`Registry::observe_us`] this preserves the source's bucket
+    /// placement and sum exactly, so fleet-merged histograms keep correct
+    /// sums instead of re-bucketing a lossy average.
+    pub fn merge_hist(&self, h: Histogram, delta: &HistSnapshot) {
+        if !self.is_enabled() || (delta.count == 0 && delta.sum_us == 0) {
+            return;
+        }
+        let cells = &self.hists[h as usize];
+        let shard = my_shard();
+        for (row, &n) in cells.buckets.iter().zip(delta.buckets.iter()) {
+            if n > 0 {
+                row[shard].0.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        cells.sum_us[shard]
+            .0
+            .fetch_add(delta.sum_us, Ordering::Relaxed);
+        cells.count[shard]
+            .0
+            .fetch_add(delta.count, Ordering::Relaxed);
     }
 
     /// A point-in-time reading of one histogram.

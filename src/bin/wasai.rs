@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! wasai audit     <contract.wasm> <contract.abi> [--trace-out FILE]
-//!                       [--substrate eosio|cosmwasm|auto] [obs flags]
+//!                       [--substrate eosio|cosmwasm|auto] [--profile-out FILE] [obs flags]
 //!                                                 analyze a contract binary
 //! wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]
 //!                       [--procs N] [--journal FILE] [--resume FILE]
-//!                       [--substrate eosio|cosmwasm|auto] [obs flags]
+//!                       [--substrate eosio|cosmwasm|auto] [--profile-out FILE] [obs flags]
 //!                                                 analyze every *.wasm in a directory
-//! wasai stats     <trace-or-triage.jsonl> [--format table|json]
+//! wasai stats     <trace-or-triage.jsonl> [--format table|json] [--fleet]
 //!                                                 summarize a telemetry trace or triage report
 //! wasai gen       <out-dir> [count] [seed] [--substrate eosio|cosmwasm]
 //!                                                 emit a labeled sample corpus
@@ -48,13 +48,29 @@
 //!
 //! ```text
 //! {"contract":"c.wasm","index":3,"outcome":"panicked","stage":"replay",
-//!  "detail":"...","seed":1234,"truncated":false,"elapsed_ms":17}
+//!  "detail":"...","seed":1234,"truncated":false,"branches":12,
+//!  "virtual_us":500000,"exec_us":450000,"solve_us":50000,
+//!  "iterations":96,"smt_queries":14,"elapsed_ms":17}
 //! ```
+//!
+//! The per-campaign timeline fields (`virtual_us` = `exec_us` + `solve_us`,
+//! `iterations`, `smt_queries`) are deterministic; `elapsed_ms` is the only
+//! wall-clock field and stays last so it can be stripped with a one-line
+//! `sed` for byte comparison across schedules.
+//!
+//! `--profile-out FILE` writes a folded-stack span profile (one
+//! `wasai;<contract>;execute|solve <virtual-µs>` line per non-zero stage,
+//! sweep order) ready for any flamegraph renderer. Weights come from the
+//! virtual clock, so the file is byte-identical at any `WASAI_JOBS`,
+//! `--procs` value, or resume schedule.
 //!
 //! `--trace-out FILE` writes the campaigns' telemetry event stream as JSON
 //! lines (see `wasai_core::telemetry`), merged in campaign-index order —
 //! the trace is byte-identical for every `WASAI_JOBS` value. `wasai stats`
-//! renders either file kind as a human-readable table.
+//! renders either file kind as a human-readable table; on a
+//! `--metrics-dump` snapshot, `wasai stats --fleet` splits the
+//! `shard="N"` series into one table per worker shard after the
+//! fleet-total rollup.
 //!
 //! `--procs N` (or `WASAI_PROCS`) promotes fault isolation from threads to
 //! **processes**: a supervisor shards the corpus across N `audit-worker`
@@ -106,6 +122,7 @@ use wasai::wasai_core::fleet::journal::{Journal, JournalMeta, OutcomeRecord};
 use wasai::wasai_core::fleet::supervisor::{run_supervised, SupervisorOpts};
 use wasai::wasai_core::fleet::{self, stage, CampaignOutcome, CampaignRun};
 use wasai::wasai_core::obs_bridge::{self, ProgressMonitor};
+use wasai::wasai_core::profile;
 use wasai::wasai_core::telemetry::{self, json_escape, Metrics, TelemetryEvent};
 use wasai::wasai_core::SubstrateKind;
 use wasai::wasai_corpus::{cw_corpus, label_sidecar, wild_corpus};
@@ -114,7 +131,7 @@ use wasai::wasai_smt::Deadline;
 use wasai::wasai_wasm::{decode, display, encode};
 
 /// Observability options shared by `audit` and `audit-dir`.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct ObsOpts {
     /// `--metrics-addr ADDR`: serve Prometheus exposition over HTTP.
     metrics_addr: Option<String>,
@@ -201,15 +218,22 @@ fn obs_start(opts: &ObsOpts, total: u64) -> Result<ObsSession, String> {
     }
     // A metrics listener that can't come up must not take the audit down
     // with it: observability is strictly auxiliary to the sweep. An
-    // in-use address gets one retry (the previous run's listener may
-    // still be draining its linger window); after that — or on any other
-    // bind error — warn and run dark.
+    // in-use address gets a short bounded backoff (3 attempts, 250 ms
+    // apart — the previous run's listener may still be draining its
+    // linger window); after that — or on any other bind error — count the
+    // degradation on `wasai_obs_listener_failed_total`, warn, and run
+    // dark. The server is fleet-aware: supervised sweeps merge worker
+    // frames into `obs::fleet()`, and each scrape renders its shards.
     let server = addr.and_then(|a| {
-        let mut attempt = obs::http::MetricsServer::bind(&a, obs::global());
-        if matches!(&attempt, Err(e) if e.kind() == std::io::ErrorKind::AddrInUse) {
-            eprintln!("warning: --metrics-addr {a} is in use; retrying once in 500ms");
-            std::thread::sleep(Duration::from_millis(500));
-            attempt = obs::http::MetricsServer::bind(&a, obs::global());
+        let mut attempt = obs::http::MetricsServer::bind_fleet(&a, obs::global(), obs::fleet());
+        for _ in 1..3 {
+            let in_use = matches!(&attempt, Err(e) if e.kind() == std::io::ErrorKind::AddrInUse);
+            if !in_use {
+                break;
+            }
+            eprintln!("warning: --metrics-addr {a} is in use; retrying in 250ms");
+            std::thread::sleep(Duration::from_millis(250));
+            attempt = obs::http::MetricsServer::bind_fleet(&a, obs::global(), obs::fleet());
         }
         match attempt {
             Ok(srv) => {
@@ -217,6 +241,7 @@ fn obs_start(opts: &ObsOpts, total: u64) -> Result<ObsSession, String> {
                 Some(srv)
             }
             Err(e) => {
+                obs::inc(obs::Counter::ObsListenerFailed);
                 eprintln!(
                     "warning: --metrics-addr {a}: {e}; continuing without the metrics listener"
                 );
@@ -238,7 +263,12 @@ fn obs_finish(mut session: ObsSession, opts: &ObsOpts) -> Result<(), String> {
         monitor.stop();
     }
     if let Some(path) = &opts.metrics_dump {
-        fs::write(path, obs::expo::render_json(obs::global()))
+        // Fleet-aware dump: under `--procs` the global registry already
+        // holds the merged fleet totals and `obs::fleet()` the per-shard
+        // series; single-process runs have an empty shard list and render
+        // byte-identically to the plain dump.
+        let shards = obs::fleet().snapshot();
+        fs::write(path, obs::expo::render_json_fleet(obs::global(), &shards))
             .map_err(|e| format!("{path}: {e}"))?;
         eprintln!("metrics dump written to {path}");
     }
@@ -306,6 +336,7 @@ fn parse_substrate(v: &str) -> Result<Option<SubstrateKind>, String> {
 }
 
 /// Parsed `audit` invocation: positionals plus every optional flag.
+#[derive(Debug)]
 struct AuditArgs {
     wasm: String,
     abi: String,
@@ -313,6 +344,7 @@ struct AuditArgs {
     substrate: Option<SubstrateKind>,
     solver_cache: Option<String>,
     portfolio_k: Option<usize>,
+    profile_out: Option<String>,
     obs: ObsOpts,
 }
 
@@ -363,6 +395,19 @@ fn audit(a: &AuditArgs) -> Result<(), String> {
     }
     obs_finish(session, &a.obs)?;
     let report = run_result?;
+    if let Some(path) = a.profile_out.as_deref() {
+        let campaign = std::path::Path::new(wasm_path).file_name().map_or_else(
+            || wasm_path.to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        );
+        let spans = [profile::ProfileSpan {
+            campaign,
+            exec_us: report.exec_virtual_us,
+            solve_us: report.solve_virtual_us,
+        }];
+        fs::write(path, profile::folded_stacks(&spans)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("span profile written to {path}");
+    }
     println!(
         "campaign: {} iterations, {} SMT queries, {} branches covered",
         report.iterations, report.smt_queries, report.branches
@@ -407,6 +452,9 @@ struct AuditDirOpts {
     /// `--portfolio K`: portfolio width for hard SMT queries (None =
     /// `WASAI_PORTFOLIO` env, else 1 = off).
     portfolio_k: Option<usize>,
+    /// `--profile-out FILE`: folded-stack span profile (virtual-clock
+    /// weights, flamegraph-compatible, byte-identical at any job count).
+    profile_path: Option<String>,
     /// Observability surfaces (metrics listener, dump, progress monitor).
     obs: ObsOpts,
 }
@@ -423,6 +471,7 @@ impl Default for AuditDirOpts {
             substrate: None,
             solver_cache_path: None,
             portfolio_k: None,
+            profile_path: None,
             obs: ObsOpts::new(),
         }
     }
@@ -581,8 +630,9 @@ fn record_from_run(
     repro_seed: u64,
     run: &CampaignRun<(FuzzReport, Vec<TelemetryEvent>)>,
 ) -> OutcomeRecord {
-    let (truncated, branches, findings, virtual_us) = match run.outcome.as_ok() {
-        Some((report, _)) => (
+    let report = run.outcome.as_ok().map(|(report, _)| report);
+    let (truncated, branches, findings, virtual_us) = match report {
+        Some(report) => (
             report.truncated,
             report.branches as u64,
             report
@@ -613,6 +663,10 @@ fn record_from_run(
         branches,
         findings,
         virtual_us,
+        iterations: report.map_or(0, |r| r.iterations),
+        smt_queries: report.map_or(0, |r| r.smt_queries),
+        exec_us: report.map_or(0, |r| r.exec_virtual_us),
+        solve_us: report.map_or(0, |r| r.solve_virtual_us),
         elapsed_ms: run.elapsed.as_millis() as u64,
     }
 }
@@ -860,7 +914,6 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
         }
     }
     let wall = start.elapsed();
-    obs_finish(session, &opts.obs)?;
     drop(journal);
 
     // Render the report from the index-keyed slots. Per-contract failures
@@ -894,14 +947,23 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
             failures += 1;
             println!("{}: {} — {}", rec.contract, rec.outcome, rec.detail);
         }
+        // The per-contract audit timeline: deterministic stage/vtime
+        // breakdowns and work counters before the wall-clock tail (CI's
+        // byte-identity diffs strip only `elapsed_ms`).
         triage_lines.push(format!(
-            "{{\"contract\":\"{}\",\"index\":{i},\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{},\"truncated\":{},\"elapsed_ms\":{}}}",
+            "{{\"contract\":\"{}\",\"index\":{i},\"outcome\":\"{}\",\"stage\":\"{}\",\"detail\":\"{}\",\"seed\":{},\"truncated\":{},\"branches\":{},\"virtual_us\":{},\"exec_us\":{},\"solve_us\":{},\"iterations\":{},\"smt_queries\":{},\"elapsed_ms\":{}}}",
             json_escape(&rec.contract),
             rec.outcome,
             rec.stage,
             json_escape(&rec.detail),
             rec.seed,
             rec.truncated,
+            rec.branches,
+            rec.virtual_us,
+            rec.exec_us,
+            rec.solve_us,
+            rec.iterations,
+            rec.smt_queries,
             rec.elapsed_ms,
         ));
     }
@@ -937,6 +999,25 @@ fn audit_dir(dir: &str, seed: u64, opts: &AuditDirOpts) -> Result<ExitCode, Stri
             trace_lines.len()
         );
     }
+    if let Some(path) = &opts.profile_path {
+        // Spans in sweep order from the deterministic record fields — any
+        // WASAI_JOBS or --procs value folds to the same bytes.
+        let spans: Vec<profile::ProfileSpan> = slots
+            .iter()
+            .flatten()
+            .map(|rec| profile::ProfileSpan {
+                campaign: rec.contract.clone(),
+                exec_us: rec.exec_us,
+                solve_us: rec.solve_us,
+            })
+            .collect();
+        fs::write(path, profile::folded_stacks(&spans)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("span profile written to {path} ({} campaigns)", spans.len());
+    }
+    // Finish observability last (the dump reflects the whole run, and the
+    // listener's linger window must not delay the triage/trace files that
+    // scrapers wait on).
+    obs_finish(session, &opts.obs)?;
 
     Ok(if failures == 0 {
         ExitCode::SUCCESS
@@ -997,6 +1078,15 @@ fn audit_worker(dir: &str, w: &WorkerArgs) -> Result<(), String> {
                     "{{\"type\":\"stats\",\"seeds\":{}}}",
                     obs::global().counter(obs::Counter::SeedsExecuted)
                 );
+                // Full-registry snapshot frame: every counter, gauge, and
+                // histogram bucket crosses to the supervisor, which merges
+                // the delta since our previous frame. Losing one frame
+                // (e.g. a kill mid-line) only costs latency — the next
+                // frame's cumulative absolutes supersede it.
+                println!(
+                    "{}",
+                    obs::RegistrySnapshot::capture(obs::global()).to_frame()
+                );
                 std::thread::sleep(Duration::from_millis(200));
             }
         })
@@ -1045,6 +1135,14 @@ fn audit_worker(dir: &str, w: &WorkerArgs) -> Result<(), String> {
             }
         }
         let rec = record_from_run(gi, &names[gi], w.seed ^ gi as u64, &run);
+        // Frame-before-record: the supervisor tears down as soon as every
+        // campaign is accounted for, so the snapshot carrying this
+        // campaign's counts must precede the record announcing it — the
+        // exit frame below can lose the race and only costs gauge latency.
+        println!(
+            "{}",
+            obs::RegistrySnapshot::capture(obs::global()).to_frame()
+        );
         println!("{}", rec.to_jsonl());
     });
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -1052,6 +1150,13 @@ fn audit_worker(dir: &str, w: &WorkerArgs) -> Result<(), String> {
     println!(
         "{{\"type\":\"stats\",\"seeds\":{}}}",
         obs::global().counter(obs::Counter::SeedsExecuted)
+    );
+    // Exit frame: the authoritative final registry state, emitted after
+    // the fleet has quiesced so the supervisor's totals are exact even if
+    // every periodic frame was missed.
+    println!(
+        "{}",
+        obs::RegistrySnapshot::capture(obs::global()).to_frame()
     );
     println!("{{\"type\":\"done\"}}");
     Ok(())
@@ -1195,7 +1300,53 @@ fn gen_cw(out_dir: &str, count: usize, seed: u64) -> Result<(), String> {
 /// The formats are distinguished structurally: a metrics dump is one
 /// pretty-printed JSON object (first line is a bare `{`), trace lines carry
 /// `"event"`, triage lines carry `"contract"`.
-fn stats_cmd(path: &str, format: &str) -> Result<(), String> {
+/// Split a `shard="N"` label out of a Prometheus series name, returning the
+/// name with the remaining labels intact: `wasai_campaigns_total{outcome="ok",shard="1"}`
+/// becomes `(wasai_campaigns_total{outcome="ok"}, Some(1))`.
+fn split_shard(series: &str) -> (String, Option<usize>) {
+    let (Some(open), Some(close)) = (series.find('{'), series.rfind('}')) else {
+        return (series.to_string(), None);
+    };
+    let mut kept = Vec::new();
+    let mut shard = None;
+    for part in series[open + 1..close].split(',') {
+        match part
+            .strip_prefix("shard=\"")
+            .and_then(|r| r.strip_suffix('"'))
+        {
+            Some(v) => shard = v.parse().ok(),
+            None if !part.is_empty() => kept.push(part),
+            None => {}
+        }
+    }
+    let base = if kept.is_empty() {
+        series[..open].to_string()
+    } else {
+        format!("{}{{{}}}", &series[..open], kept.join(","))
+    };
+    (base, shard)
+}
+
+/// Render one `name -> value` table block, hiding zero series like the
+/// single-registry view.
+fn render_series_table(rows: &[(String, &telemetry::JsonValue)]) {
+    let mut zeros = 0usize;
+    for (name, value) in rows {
+        match value.as_f64() {
+            Some(0.0) => zeros += 1,
+            Some(_) => match value.as_num() {
+                Some(n) => println!("  {name:<48} {n:>12}"),
+                None => println!("  {name:<48} {:>12}", value.as_f64().unwrap_or(0.0)),
+            },
+            None => println!("  {name:<48} {:>12}", value.as_str().unwrap_or("?")),
+        }
+    }
+    if zeros > 0 {
+        println!("  ({zeros} zero series not shown)");
+    }
+}
+
+fn stats_cmd(path: &str, format: &str, fleet: bool) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let first = text
         .lines()
@@ -1211,22 +1362,43 @@ fn stats_cmd(path: &str, format: &str) -> Result<(), String> {
             print!("{text}");
             return Ok(());
         }
-        let mut zeros = 0usize;
-        println!("metrics {path}: {} series\n", fields.len());
-        for (name, value) in &fields {
-            match value.as_f64() {
-                Some(0.0) => zeros += 1,
-                Some(_) => match value.as_num() {
-                    Some(n) => println!("  {name:<48} {n:>12}"),
-                    None => println!("  {name:<48} {:>12}", value.as_f64().unwrap_or(0.0)),
-                },
-                None => println!("  {name:<48} {:>12}", value.as_str().unwrap_or("?")),
+        if fleet {
+            // Group `shard="N"` series under their shard; everything else is
+            // the fleet-total rollup.
+            let mut totals: Vec<(String, &telemetry::JsonValue)> = Vec::new();
+            let mut shards =
+                std::collections::BTreeMap::<usize, Vec<(String, &telemetry::JsonValue)>>::new();
+            for (name, value) in &fields {
+                match split_shard(name) {
+                    (base, Some(id)) => shards.entry(id).or_default().push((base, value)),
+                    (base, None) => totals.push((base, value)),
+                }
             }
+            println!(
+                "fleet metrics {path}: {} series across {} shard(s)\n",
+                fields.len(),
+                shards.len()
+            );
+            println!("fleet totals:");
+            render_series_table(&totals);
+            for (id, rows) in &shards {
+                println!("\nshard {id}:");
+                render_series_table(rows);
+            }
+            return Ok(());
         }
-        if zeros > 0 {
-            println!("  ({zeros} zero series not shown)");
-        }
+        println!("metrics {path}: {} series\n", fields.len());
+        let rows: Vec<(String, &telemetry::JsonValue)> = fields
+            .iter()
+            .map(|(name, value)| (name.clone(), value))
+            .collect();
+        render_series_table(&rows);
         return Ok(());
+    }
+    if fleet {
+        return Err(format!(
+            "{path}: --fleet requires a --metrics-dump snapshot (traces and triage reports have no shard series)"
+        ));
     }
     let fields = telemetry::parse_json_fields(first).map_err(|e| format!("{path}: {e}"))?;
     if fields.contains_key("event") {
@@ -1354,6 +1526,10 @@ fn parse_audit_dir_args(rest: &[String]) -> Result<(u64, AuditDirOpts), String> 
                 let v = it.next().ok_or("--portfolio needs a width")?;
                 opts.portfolio_k = Some(v.parse().map_err(|e| format!("--portfolio {v}: {e}"))?);
             }
+            "--profile-out" => {
+                let v = it.next().ok_or("--profile-out needs a file path")?;
+                opts.profile_path = Some(v.clone());
+            }
             other if !seed_seen => {
                 seed = other
                     .parse()
@@ -1375,6 +1551,7 @@ fn parse_audit_args(rest: &[String]) -> Result<AuditArgs, String> {
     let mut substrate = None;
     let mut solver_cache = None;
     let mut portfolio_k = None;
+    let mut profile_out = None;
     let mut obs_opts = ObsOpts::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -1398,6 +1575,10 @@ fn parse_audit_args(rest: &[String]) -> Result<AuditArgs, String> {
                 let v = it.next().ok_or("--portfolio needs a width")?;
                 portfolio_k = Some(v.parse().map_err(|e| format!("--portfolio {v}: {e}"))?);
             }
+            "--profile-out" => {
+                let v = it.next().ok_or("--profile-out needs a file path")?;
+                profile_out = Some(v.clone());
+            }
             other if !other.starts_with("--") && positional.len() < 2 => {
                 positional.push(other.to_string());
             }
@@ -1417,8 +1598,30 @@ fn parse_audit_args(rest: &[String]) -> Result<AuditArgs, String> {
         substrate,
         solver_cache,
         portfolio_k,
+        profile_out,
         obs: obs_opts,
     })
+}
+
+/// Parse `stats`'s tail: `--format table|json` and `--fleet`, in any order.
+fn parse_stats_args(rest: &[String]) -> Result<(String, bool), String> {
+    let mut format = "table".to_string();
+    let mut fleet = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                match v.as_str() {
+                    "table" | "json" => format = v.clone(),
+                    other => return Err(format!("--format must be table or json, got {other:?}")),
+                }
+            }
+            "--fleet" => fleet = true,
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok((format, fleet))
 }
 
 /// Parse `gen`'s tail: positional `[count] [seed]` plus an optional
@@ -1459,7 +1662,7 @@ fn parse_gen_args(rest: &[String]) -> Result<(usize, u64, Option<SubstrateKind>)
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [--substrate eosio|cosmwasm|auto]\n              [--solver-cache FILE] [--portfolio K] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [--substrate eosio|cosmwasm|auto]\n                  [--solver-cache FILE] [--portfolio K] [obs flags]\n  wasai stats <trace-triage-or-metrics.json[l]> [--format table|json]\n  wasai gen <out-dir> [count] [seed] [--substrate eosio|cosmwasm]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
+    let usage = "usage:\n  wasai audit <contract.wasm> <contract.abi> [--trace-out FILE] [--substrate eosio|cosmwasm|auto]\n              [--solver-cache FILE] [--portfolio K] [--profile-out FILE] [obs flags]\n  wasai audit-dir <dir> [seed] [--deadline-secs S] [--triage FILE] [--trace-out FILE]\n                  [--procs N] [--journal FILE] [--resume FILE] [--substrate eosio|cosmwasm|auto]\n                  [--solver-cache FILE] [--portfolio K] [--profile-out FILE] [obs flags]\n  wasai stats <trace-triage-or-metrics.json[l]> [--format table|json] [--fleet]\n  wasai gen <out-dir> [count] [seed] [--substrate eosio|cosmwasm]\n  wasai show <contract.wasm>\n\nobs flags: --metrics-addr HOST:PORT | --metrics-dump FILE | --progress | --no-progress | --stall-secs N";
     let result: Result<ExitCode, String> = match args.get(1).map(String::as_str) {
         Some("audit") if args.len() >= 4 => parse_audit_args(&args[2..])
             .and_then(|parsed| audit(&parsed).map(|()| ExitCode::SUCCESS)),
@@ -1467,13 +1670,9 @@ fn main() -> ExitCode {
             .and_then(|(seed, opts)| audit_dir(&args[2], seed, &opts)),
         Some("audit-worker") if args.len() >= 3 => parse_audit_worker_args(&args[3..])
             .and_then(|parsed| audit_worker(&args[2], &parsed).map(|()| ExitCode::SUCCESS)),
-        Some("stats") if args.len() == 3 => {
-            stats_cmd(&args[2], "table").map(|()| ExitCode::SUCCESS)
-        }
-        Some("stats") if args.len() == 5 && args[3] == "--format" => match args[4].as_str() {
-            f @ ("table" | "json") => stats_cmd(&args[2], f).map(|()| ExitCode::SUCCESS),
-            other => Err(format!("--format must be table or json, got {other:?}")),
-        },
+        Some("stats") if args.len() >= 3 => parse_stats_args(&args[3..])
+            .and_then(|(format, fleet)| stats_cmd(&args[2], &format, fleet))
+            .map(|()| ExitCode::SUCCESS),
         Some("gen") if args.len() >= 3 => parse_gen_args(&args[3..])
             .and_then(|(count, seed, sub)| gen(&args[2], count, seed, sub))
             .map(|()| ExitCode::SUCCESS),
@@ -1578,5 +1777,65 @@ mod tests {
         assert_eq!(a.wasm, "c.wasm");
         assert_eq!(a.solver_cache.as_deref(), Some("warm.cache"));
         assert_eq!(a.portfolio_k, Some(4));
+    }
+
+    #[test]
+    fn audit_args_parse_profile_out() {
+        let a = parse_audit_args(&strs(&["c.wasm", "c.abi", "--profile-out", "p.folded"]))
+            .expect("parses");
+        assert_eq!(a.profile_out.as_deref(), Some("p.folded"));
+        let err = parse_audit_args(&strs(&["c.wasm", "c.abi", "--profile-out"])).unwrap_err();
+        assert!(err.contains("--profile-out"), "got {err:?}");
+    }
+
+    #[test]
+    fn audit_dir_parses_profile_out_anywhere() {
+        let (seed, opts) =
+            parse_audit_dir_args(&strs(&["--profile-out", "sweep.folded", "11"])).expect("parses");
+        assert_eq!(seed, 11);
+        assert_eq!(opts.profile_path.as_deref(), Some("sweep.folded"));
+    }
+
+    #[test]
+    fn stats_args_default_and_flags() {
+        assert_eq!(
+            parse_stats_args(&[]).expect("defaults"),
+            ("table".into(), false)
+        );
+        assert_eq!(
+            parse_stats_args(&strs(&["--fleet"])).expect("fleet"),
+            ("table".into(), true)
+        );
+        assert_eq!(
+            parse_stats_args(&strs(&["--format", "json", "--fleet"])).expect("both"),
+            ("json".into(), true)
+        );
+        let err = parse_stats_args(&strs(&["--format", "yaml"])).unwrap_err();
+        assert!(err.contains("table or json"), "got {err:?}");
+        let err = parse_stats_args(&strs(&["--shard"])).unwrap_err();
+        assert!(err.contains("unexpected argument"), "got {err:?}");
+    }
+
+    #[test]
+    fn split_shard_extracts_the_label_and_keeps_the_rest() {
+        assert_eq!(
+            split_shard("wasai_seeds_executed_total"),
+            ("wasai_seeds_executed_total".into(), None)
+        );
+        assert_eq!(
+            split_shard("wasai_seeds_executed_total{shard=\"3\"}"),
+            ("wasai_seeds_executed_total".into(), Some(3))
+        );
+        assert_eq!(
+            split_shard("wasai_campaigns_total{outcome=\"ok\",shard=\"1\"}"),
+            ("wasai_campaigns_total{outcome=\"ok\"}".into(), Some(1))
+        );
+        assert_eq!(
+            split_shard("wasai_campaign_wall_seconds_bucket{le=\"0.1\",shard=\"0\"}"),
+            (
+                "wasai_campaign_wall_seconds_bucket{le=\"0.1\"}".into(),
+                Some(0)
+            )
+        );
     }
 }
